@@ -1,0 +1,74 @@
+//! Error type for the execution layer.
+
+use std::fmt;
+
+/// Errors raised while running the FDE or FDS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The sentence was rejected: the start symbol could not be proven.
+    Reject {
+        /// The start symbol that failed.
+        symbol: String,
+        /// Best-effort description of the deepest failure.
+        reason: String,
+    },
+    /// A detector symbol has no registered implementation.
+    UnregisteredDetector(String),
+    /// A detector implementation failed.
+    DetectorFailed {
+        /// Detector name.
+        name: String,
+        /// Failure message.
+        message: String,
+    },
+    /// A grammar-level problem discovered at run time.
+    Grammar(String),
+    /// An underlying grammar-language error.
+    Feagram(feagram::Error),
+    /// A storage-level error.
+    Storage(monetxml::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Reject { symbol, reason } => {
+                write!(f, "sentence rejected: could not prove `{symbol}`: {reason}")
+            }
+            Error::UnregisteredDetector(name) => {
+                write!(f, "no implementation registered for detector `{name}`")
+            }
+            Error::DetectorFailed { name, message } => {
+                write!(f, "detector `{name}` failed: {message}")
+            }
+            Error::Grammar(msg) => write!(f, "grammar problem: {msg}"),
+            Error::Feagram(e) => write!(f, "{e}"),
+            Error::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Feagram(e) => Some(e),
+            Error::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<feagram::Error> for Error {
+    fn from(e: feagram::Error) -> Self {
+        Error::Feagram(e)
+    }
+}
+
+impl From<monetxml::Error> for Error {
+    fn from(e: monetxml::Error) -> Self {
+        Error::Storage(e)
+    }
+}
+
+/// Result alias for execution-layer operations.
+pub type Result<T> = std::result::Result<T, Error>;

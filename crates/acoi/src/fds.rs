@@ -1,0 +1,503 @@
+//! The Feature Detector Scheduler.
+//!
+//! "Opposed to the FDE, which … uses a strictly data-driven paradigm,
+//! the Feature Detector Scheduler (FDS) uses the feature grammar also in
+//! a demand-driven manner. Based on the dependency graph, deduced from
+//! the grammar rules, the FDS can localize the effects of the
+//! evolutionary changes, and trigger incremental parses."
+//!
+//! The paper's three-level version semantics drive everything:
+//!
+//! * **correction** — "will not lead to invalidation of any nodes …
+//!   the FDS does not have to take any action",
+//! * **minor** — partial parse trees invalidated, "however, the data may
+//!   still be used to answer queries. Those revalidations are scheduled
+//!   with a low priority",
+//! * **major** — "the changes are so severe that the stored data has
+//!   become unusable": high priority.
+//!
+//! An incremental parse avoids re-running detectors whose stored results
+//! are still valid: the FDS harvests their memoised outputs from the
+//! stored tree ([`crate::fde::harvest_cache`]) and re-parses with the
+//! cache, so only the invalidated closure's detectors execute. The
+//! savings are reported in [`MaintenanceReport`] — they are what
+//! experiment E3 measures against a full rebuild.
+
+use std::collections::BTreeSet;
+
+use feagram::{DepGraph, Grammar};
+
+use crate::detector::{DetectorFn, DetectorRegistry, RevisionLevel};
+use crate::error::Result;
+use crate::fde::{harvest_cache, DetectorCache, Fde};
+use crate::metaindex::MetaIndex;
+
+/// Scheduling priority of a revalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// No action required (corrections).
+    None,
+    /// Data stays queryable; revalidate lazily (minor revisions).
+    Low,
+    /// Data unusable; revalidate immediately (major revisions).
+    High,
+}
+
+/// The invalidation plan for one detector revision — the output of the
+/// paper's three FDS steps, before any re-parsing happens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidationPlan {
+    /// The revised detector.
+    pub detector: String,
+    /// The revision level.
+    pub level: RevisionLevel,
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Step 1: symbols of the invalidated partial parse trees.
+    pub invalidated: BTreeSet<String>,
+    /// Step 2: detectors needing revalidation because their parameters
+    /// come out of the invalidated region.
+    pub parameter_dependents: BTreeSet<String>,
+    /// Step 3: enclosing detectors (or the start symbol) to revisit if a
+    /// subtree turns out invalid.
+    pub enclosing: BTreeSet<String>,
+}
+
+/// What one maintenance run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// The plan that was executed.
+    pub plan: InvalidationPlan,
+    /// Objects whose stored trees were touched.
+    pub objects_reparsed: usize,
+    /// Objects skipped because their trees cannot contain the detector.
+    pub objects_untouched: usize,
+    /// Detector executions during maintenance.
+    pub detector_calls: usize,
+    /// Detector executions avoided by reusing stored results.
+    pub detector_calls_saved: usize,
+}
+
+/// The scheduler. Owns the dependency graph of one grammar.
+pub struct Fds {
+    depgraph: DepGraph,
+}
+
+impl Fds {
+    /// Builds the scheduler (and the dependency graph) for a grammar.
+    pub fn new(grammar: &Grammar) -> Self {
+        Fds {
+            depgraph: DepGraph::build(grammar),
+        }
+    }
+
+    /// The dependency graph.
+    pub fn depgraph(&self) -> &DepGraph {
+        &self.depgraph
+    }
+
+    /// Computes the invalidation plan for revising `detector` at `level`
+    /// — the paper's three steps, without touching any data.
+    pub fn plan(
+        &self,
+        grammar: &Grammar,
+        detector: &str,
+        level: RevisionLevel,
+    ) -> InvalidationPlan {
+        // Step 1 uses the full derivation closure: everything that can
+        // occur in a parse subtree rooted at the detector (see
+        // `Grammar::derivation_closure` for why this, and not the plain
+        // Figure 8 walk, is the safe invalidation set).
+        let (priority, invalidated) = match level {
+            RevisionLevel::Correction => (Priority::None, BTreeSet::new()),
+            RevisionLevel::Minor => (Priority::Low, grammar.derivation_closure(detector)),
+            RevisionLevel::Major => (Priority::High, grammar.derivation_closure(detector)),
+        };
+        let parameter_dependents = self.depgraph.parameter_dependents(&invalidated);
+        let enclosing = if invalidated.is_empty() {
+            BTreeSet::new()
+        } else {
+            self.depgraph.upward_to_detector(grammar, detector)
+        };
+        InvalidationPlan {
+            detector: detector.to_owned(),
+            level,
+            priority,
+            invalidated,
+            parameter_dependents,
+            enclosing,
+        }
+    }
+
+    /// Installs a new implementation of `detector` at `level` and
+    /// incrementally maintains the meta-index: only objects whose stored
+    /// trees contain the detector are re-parsed, and within each re-parse
+    /// every detector outside the invalidated closure reuses its stored
+    /// output instead of executing.
+    pub fn upgrade_detector(
+        &self,
+        grammar: &Grammar,
+        registry: &mut DetectorRegistry,
+        index: &mut MetaIndex,
+        detector: &str,
+        level: RevisionLevel,
+        new_impl: DetectorFn,
+    ) -> Result<MaintenanceReport> {
+        registry.upgrade(detector, level, new_impl)?;
+        self.apply_revision(grammar, registry, index, detector, level)
+    }
+
+    /// Maintains the index for an implementation change that is already
+    /// installed in the registry (the work a [`Scheduler`] defers).
+    pub fn apply_revision(
+        &self,
+        grammar: &Grammar,
+        registry: &mut DetectorRegistry,
+        index: &mut MetaIndex,
+        detector: &str,
+        level: RevisionLevel,
+    ) -> Result<MaintenanceReport> {
+        let plan = self.plan(grammar, detector, level);
+
+        if plan.priority == Priority::None {
+            // Corrections invalidate nothing.
+            return Ok(MaintenanceReport {
+                objects_untouched: index.sources().len(),
+                plan,
+                objects_reparsed: 0,
+                detector_calls: 0,
+                detector_calls_saved: 0,
+            });
+        }
+
+        // Detectors that may NOT reuse stored results: the invalidated
+        // closure plus its parameter dependents.
+        let stale: BTreeSet<String> = plan
+            .invalidated
+            .iter()
+            .chain(plan.parameter_dependents.iter())
+            .cloned()
+            .collect();
+
+        let mut report = MaintenanceReport {
+            plan,
+            objects_reparsed: 0,
+            objects_untouched: 0,
+            detector_calls: 0,
+            detector_calls_saved: 0,
+        };
+
+        // Cheap pre-filter: if no stored path mentions the detector at
+        // all, nothing is affected.
+        let sources: Vec<String> = index.sources().to_vec();
+        for source in sources {
+            let tree = index.tree(grammar, &source)?;
+            if tree.find_all(detector).is_empty() {
+                report.objects_untouched += 1;
+                continue;
+            }
+            let cache = harvest_cache(grammar, registry, &tree, |d| !stale.contains(d));
+            let initial = index
+                .initial_tokens(&source)
+                .map(<[crate::token::Token]>::to_vec)
+                .unwrap_or_default();
+            let mut fde = Fde::new(grammar, registry);
+            let new_tree = fde.parse_with_cache(initial.clone(), &cache)?;
+            let stats = fde.stats();
+            report.detector_calls += stats.detector_calls;
+            report.detector_calls_saved += stats.cache_hits;
+            index.insert(&source, initial, &new_tree)?;
+            report.objects_reparsed += 1;
+        }
+        Ok(report)
+    }
+
+    /// Handles a change of the *source data* of one object: "the FDS uses
+    /// a special detector associated to the start symbol to determine if
+    /// the complete stored parse tree has become invalid due to changes
+    /// of the source data, in which case the parse tree will be
+    /// regenerated." `still_valid` is that special detector; when it
+    /// returns false the object is fully re-parsed (no cache).
+    pub fn refresh_source(
+        &self,
+        grammar: &Grammar,
+        registry: &mut DetectorRegistry,
+        index: &mut MetaIndex,
+        source: &str,
+        still_valid: impl Fn(&str) -> bool,
+    ) -> Result<bool> {
+        if still_valid(source) {
+            return Ok(false);
+        }
+        let initial = index
+            .initial_tokens(source)
+            .map(<[crate::token::Token]>::to_vec)
+            .unwrap_or_default();
+        let mut fde = Fde::new(grammar, registry);
+        let tree = fde.parse_with_cache(initial.clone(), &DetectorCache::new())?;
+        index.insert(source, initial, &tree)?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Version;
+    use crate::token::Token;
+    use feagram::{parse_grammar, FeatureValue};
+
+    /// Same simulated detector implementations as the FDE tests.
+    fn video_registry(num_shots: usize) -> DetectorRegistry {
+        let mut reg = DetectorRegistry::new();
+        reg.register(
+            "header",
+            Version::new(1, 0, 0),
+            Box::new(|_| {
+                Ok(vec![
+                    Token::new("primary", "video"),
+                    Token::new("secondary", "mpeg"),
+                ])
+            }),
+        );
+        reg.register(
+            "segment",
+            Version::new(1, 0, 0),
+            Box::new(move |_| {
+                let mut tokens = Vec::new();
+                for s in 0..num_shots {
+                    tokens.push(Token::new("frameNo", (s * 100) as i64));
+                    tokens.push(Token::new("frameNo", (s * 100 + 99) as i64));
+                    tokens.push(Token::new(
+                        "type",
+                        if s % 2 == 0 { "tennis" } else { "other" },
+                    ));
+                }
+                Ok(tokens)
+            }),
+        );
+        reg.register(
+            "tennis",
+            Version::new(1, 0, 0),
+            Box::new(|inputs| {
+                let begin = inputs[1].as_f64().ok_or("no begin")? as i64;
+                let mut tokens = Vec::new();
+                for f in 0..2 {
+                    tokens.push(Token::new("frameNo", begin + f));
+                    tokens.push(Token::new("xPos", 320.0));
+                    tokens.push(Token::new("yPos", 400.0));
+                    tokens.push(Token::new("Area", 1200i64));
+                    tokens.push(Token::new("Ecc", 0.8));
+                    tokens.push(Token::new("Orient", 12.0));
+                }
+                Ok(tokens)
+            }),
+        );
+        reg
+    }
+
+    fn populated_index(
+        grammar: &Grammar,
+        registry: &mut DetectorRegistry,
+        objects: usize,
+    ) -> MetaIndex {
+        let mut index = MetaIndex::new();
+        for i in 0..objects {
+            let url = format!("http://x/video{i}.mpg");
+            let initial = vec![Token::new("location", FeatureValue::url(url.clone()))];
+            let mut fde = Fde::new(grammar, registry);
+            let tree = fde.parse(initial.clone()).unwrap();
+            index.insert(&url, initial, &tree).unwrap();
+        }
+        index
+    }
+
+    #[test]
+    fn correction_revision_is_a_noop() {
+        let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = video_registry(2);
+        let mut index = populated_index(&g, &mut reg, 3);
+        let fds = Fds::new(&g);
+        reg.reset_counts();
+        let report = fds
+            .upgrade_detector(
+                &g,
+                &mut reg,
+                &mut index,
+                "tennis",
+                RevisionLevel::Correction,
+                Box::new(|_| Ok(vec![])),
+            )
+            .unwrap();
+        assert_eq!(report.plan.priority, Priority::None);
+        assert_eq!(report.objects_reparsed, 0);
+        assert_eq!(report.objects_untouched, 3);
+        assert_eq!(reg.total_calls(), 0);
+    }
+
+    #[test]
+    fn minor_revision_reuses_unaffected_detectors() {
+        let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = video_registry(4); // 2 tennis shots per object
+        let mut index = populated_index(&g, &mut reg, 2);
+        let fds = Fds::new(&g);
+        reg.reset_counts();
+
+        // New tennis implementation: player closer to the net.
+        let report = fds
+            .upgrade_detector(
+                &g,
+                &mut reg,
+                &mut index,
+                "tennis",
+                RevisionLevel::Minor,
+                Box::new(|inputs| {
+                    let begin = inputs[1].as_f64().ok_or("no begin")? as i64;
+                    Ok(vec![
+                        Token::new("frameNo", begin),
+                        Token::new("xPos", 320.0),
+                        Token::new("yPos", 150.0),
+                        Token::new("Area", 1000i64),
+                        Token::new("Ecc", 0.7),
+                        Token::new("Orient", 5.0),
+                    ])
+                }),
+            )
+            .unwrap();
+
+        assert_eq!(report.plan.priority, Priority::Low);
+        assert_eq!(report.objects_reparsed, 2);
+        // Per object: tennis ran twice (2 tennis shots), header and
+        // segment were reused from the stored tree.
+        assert_eq!(report.detector_calls, 4);
+        assert_eq!(report.detector_calls_saved, 4); // header+segment × 2 objects
+        assert_eq!(reg.call_count("header"), 0);
+        assert_eq!(reg.call_count("segment"), 0);
+        assert_eq!(reg.call_count("tennis"), 4);
+
+        // The new data is live: netplay now true.
+        let tree = index.tree(&g, "http://x/video0.mpg").unwrap();
+        let netplays: Vec<_> = tree
+            .find_all("netplay")
+            .into_iter()
+            .map(|n| tree.value(n).cloned().unwrap())
+            .collect();
+        assert!(netplays.iter().all(|v| *v == FeatureValue::Bit(true)));
+    }
+
+    #[test]
+    fn major_revision_of_segment_invalidates_downstream_tennis() {
+        let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = video_registry(4);
+        let mut index = populated_index(&g, &mut reg, 1);
+        let fds = Fds::new(&g);
+        reg.reset_counts();
+
+        // New segmentation: everything is one big tennis shot.
+        let report = fds
+            .upgrade_detector(
+                &g,
+                &mut reg,
+                &mut index,
+                "segment",
+                RevisionLevel::Major,
+                Box::new(|_| {
+                    Ok(vec![
+                        Token::new("frameNo", 0i64),
+                        Token::new("frameNo", 399i64),
+                        Token::new("type", "tennis"),
+                    ])
+                }),
+            )
+            .unwrap();
+
+        assert_eq!(report.plan.priority, Priority::High);
+        // segment's downward closure contains tennis (and netplay), so
+        // tennis re-ran; header stayed cached.
+        assert!(report.plan.invalidated.contains("tennis"));
+        assert_eq!(reg.call_count("header"), 0);
+        assert_eq!(reg.call_count("segment"), 1);
+        assert_eq!(reg.call_count("tennis"), 1);
+        let tree = index.tree(&g, "http://x/video0.mpg").unwrap();
+        assert_eq!(tree.find_all("shot").len(), 1);
+    }
+
+    #[test]
+    fn objects_without_the_detector_are_untouched() {
+        let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = video_registry(2);
+        // One video object and one image object (no tennis subtree).
+        let mut index = MetaIndex::new();
+        for (url, primary) in [("http://x/v.mpg", "video"), ("http://x/i.jpg", "image")] {
+            reg.register(
+                "header",
+                Version::new(1, 0, 0),
+                Box::new(move |_| {
+                    Ok(vec![
+                        Token::new("primary", primary),
+                        Token::new("secondary", "x"),
+                    ])
+                }),
+            );
+            let initial = vec![Token::new("location", FeatureValue::url(url))];
+            let mut fde = Fde::new(&g, &mut reg);
+            let tree = fde.parse(initial.clone()).unwrap();
+            index.insert(url, initial, &tree).unwrap();
+        }
+        let fds = Fds::new(&g);
+        let report = fds
+            .upgrade_detector(
+                &g,
+                &mut reg,
+                &mut index,
+                "tennis",
+                RevisionLevel::Major,
+                Box::new(|_| Ok(vec![])),
+            )
+            .unwrap();
+        assert_eq!(report.objects_reparsed, 1);
+        assert_eq!(report.objects_untouched, 1);
+    }
+
+    #[test]
+    fn plan_reproduces_the_papers_header_example() {
+        let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let fds = Fds::new(&g);
+        let plan = fds.plan(&g, "header", RevisionLevel::Minor);
+        // Step 1: header, MIME_type, secondary, primary.
+        let expected: BTreeSet<String> = ["header", "MIME_type", "secondary", "primary"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        assert_eq!(plan.invalidated, expected);
+        // Step 2: primary feeds video_type.
+        assert!(plan.parameter_dependents.contains("video_type"));
+        // Step 3: upward reaches the start symbol MMO.
+        assert!(plan.enclosing.contains("MMO"));
+    }
+
+    #[test]
+    fn refresh_source_regenerates_only_invalid_objects() {
+        let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = video_registry(2);
+        let mut index = populated_index(&g, &mut reg, 2);
+        let fds = Fds::new(&g);
+        reg.reset_counts();
+        // Object 0 changed on the web; object 1 did not.
+        let touched = fds
+            .refresh_source(&g, &mut reg, &mut index, "http://x/video0.mpg", |s| {
+                !s.contains("video0")
+            })
+            .unwrap();
+        assert!(touched);
+        let untouched = fds
+            .refresh_source(&g, &mut reg, &mut index, "http://x/video1.mpg", |s| {
+                !s.contains("video0")
+            })
+            .unwrap();
+        assert!(!untouched);
+        // Full regeneration of one object: header + segment + 1 tennis.
+        assert_eq!(reg.call_count("header"), 1);
+        assert_eq!(reg.call_count("segment"), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! The Acoi system: executing feature grammars.
+//!
+//! The `feagram` crate defines *what* a feature grammar is; this crate
+//! makes it run:
+//!
+//! * [`token`] — tokens and the backtracking token stack. Saved stack
+//!   versions **share suffixes** (the paper cites Tomita's stack-prefix
+//!   reuse): a save is O(1), not a copy. A copying stack is kept as the
+//!   benchmark baseline for experiment E7.
+//! * [`tree`] — parse trees, their XML dump (the FDE "dumps the parse
+//!   tree as an XML-document") and the parse-tree path resolution that
+//!   feeds detector inputs and whitebox predicates.
+//! * [`detector`] — the detector registry: blackbox implementations
+//!   (Rust closures/trait objects standing in for the paper's linked C
+//!   code), three-level versions (`major.minor.correction`), and the
+//!   special `init`/`final`/`begin`/`end` hooks.
+//! * [`external`] — the remote-detector boundary: inputs and outputs are
+//!   serialised over a channel "wire", preserving the paper's XML-RPC /
+//!   CORBA contract without a network.
+//! * [`fde`] — the **Feature Detector Engine**: a recursive-descent
+//!   parser with backtracking that runs detectors on demand, validates
+//!   their output against the production rules, and produces the parse
+//!   tree (data-driven population of the meta-index).
+//! * [`fds`] — the **Feature Detector Scheduler**: localises the effect
+//!   of detector revisions through the dependency graph and schedules
+//!   incremental re-parses instead of full rebuilds (demand-driven
+//!   maintenance).
+//! * [`scheduler`] — deferred maintenance with the paper's priorities:
+//!   minor revisions queue at low priority while queries keep using the
+//!   stale-but-usable data; major revisions queue at high priority and
+//!   mark affected trees unusable until processed.
+//! * [`metaindex`] — stored parse trees in the Monet XML store, keyed by
+//!   source location.
+
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod error;
+pub mod external;
+pub mod fde;
+pub mod fds;
+pub mod metaindex;
+pub mod scheduler;
+pub mod token;
+pub mod tree;
+
+pub use detector::{DetectorFn, DetectorRegistry, RevisionLevel, Version};
+pub use error::{Error, Result};
+pub use fde::{Fde, FdeStats, StackMode};
+pub use fds::{Fds, MaintenanceReport};
+pub use metaindex::MetaIndex;
+pub use scheduler::Scheduler;
+pub use token::Token;
+pub use tree::{PNodeId, ParseTree};

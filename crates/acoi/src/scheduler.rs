@@ -1,0 +1,342 @@
+//! Deferred maintenance: the FDS's priority scheduling.
+//!
+//! The paper gives revalidation work explicit priorities: after a minor
+//! revision "the data may still be used to answer queries. Those
+//! revalidations are scheduled with a low priority. High priorities are
+//! used for invalidations caused by major revisions. In these cases the
+//! changes are so severe that the stored data has become unusable."
+//!
+//! [`Scheduler`] realises that: [`Scheduler::submit`] installs a new
+//! detector implementation and *enqueues* the revalidation instead of
+//! running it; queries keep flowing. [`Scheduler::step`] processes the
+//! most urgent task (major before minor, FIFO within a priority);
+//! [`Scheduler::unusable_sources`] tells the query layer which stored
+//! trees a pending *major* revision has rendered unusable, so it can
+//! skip them until maintenance catches up.
+
+use std::collections::VecDeque;
+
+use feagram::Grammar;
+
+use crate::detector::{DetectorFn, DetectorRegistry, RevisionLevel};
+use crate::error::Result;
+use crate::fds::{Fds, MaintenanceReport, Priority};
+use crate::metaindex::MetaIndex;
+
+/// One queued revalidation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedTask {
+    /// The revised detector.
+    pub detector: String,
+    /// The (strongest pending) revision level.
+    pub level: RevisionLevel,
+    /// Its scheduling priority.
+    pub priority: Priority,
+}
+
+/// The deferred-maintenance scheduler: an [`Fds`] plus a priority queue.
+pub struct Scheduler {
+    fds: Fds,
+    high: VecDeque<QueuedTask>,
+    low: VecDeque<QueuedTask>,
+}
+
+impl Scheduler {
+    /// A scheduler for `grammar`.
+    pub fn new(grammar: &Grammar) -> Self {
+        Scheduler {
+            fds: Fds::new(grammar),
+            high: VecDeque::new(),
+            low: VecDeque::new(),
+        }
+    }
+
+    /// The wrapped FDS.
+    pub fn fds(&self) -> &Fds {
+        &self.fds
+    }
+
+    /// Installs `new_impl` for `detector` and enqueues the revalidation.
+    /// Corrections need no revalidation and are not enqueued. If the
+    /// detector already has a pending task, the stronger revision level
+    /// wins (a major upgrade subsumes a pending minor one).
+    pub fn submit(
+        &mut self,
+        registry: &mut DetectorRegistry,
+        detector: &str,
+        level: RevisionLevel,
+        new_impl: DetectorFn,
+    ) -> Result<Priority> {
+        registry.upgrade(detector, level, new_impl)?;
+        let priority = match level {
+            RevisionLevel::Correction => return Ok(Priority::None),
+            RevisionLevel::Minor => Priority::Low,
+            RevisionLevel::Major => Priority::High,
+        };
+        // Dedupe: keep the strongest pending level per detector.
+        let strongest = self
+            .high
+            .iter()
+            .chain(self.low.iter())
+            .filter(|t| t.detector == detector)
+            .map(|t| t.level)
+            .max()
+            .map(|existing| existing.max(level))
+            .unwrap_or(level);
+        self.high.retain(|t| t.detector != detector);
+        self.low.retain(|t| t.detector != detector);
+        let task = QueuedTask {
+            detector: detector.to_owned(),
+            level: strongest,
+            priority: if strongest == RevisionLevel::Major {
+                Priority::High
+            } else {
+                Priority::Low
+            },
+        };
+        let effective = task.priority;
+        match effective {
+            Priority::High => self.high.push_back(task),
+            _ => self.low.push_back(task),
+        }
+        Ok(priority)
+    }
+
+    /// Pending tasks, most urgent first.
+    pub fn pending(&self) -> Vec<&QueuedTask> {
+        self.high.iter().chain(self.low.iter()).collect()
+    }
+
+    /// Sources whose stored trees a pending **major** revision has made
+    /// unusable ("the stored data has become unusable"): those containing
+    /// the revised detector. The query layer should skip these until
+    /// [`Scheduler::step`] has processed the task. Minor revisions leave
+    /// data usable, so they contribute nothing here.
+    pub fn unusable_sources(
+        &self,
+        grammar: &Grammar,
+        index: &mut MetaIndex,
+    ) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let majors: Vec<String> = self.high.iter().map(|t| t.detector.clone()).collect();
+        if majors.is_empty() {
+            return Ok(out);
+        }
+        let sources: Vec<String> = index.sources().to_vec();
+        for source in sources {
+            let tree = index.tree(grammar, &source)?;
+            if majors.iter().any(|d| !tree.find_all(d).is_empty()) {
+                out.push(source);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Processes the most urgent pending task; returns its report, or
+    /// `None` when the queue is empty.
+    pub fn step(
+        &mut self,
+        grammar: &Grammar,
+        registry: &mut DetectorRegistry,
+        index: &mut MetaIndex,
+    ) -> Result<Option<MaintenanceReport>> {
+        let Some(task) = self.high.pop_front().or_else(|| self.low.pop_front()) else {
+            return Ok(None);
+        };
+        let report =
+            self.fds
+                .apply_revision(grammar, registry, index, &task.detector, task.level)?;
+        Ok(Some(report))
+    }
+
+    /// Processes every pending task, most urgent first.
+    pub fn drain(
+        &mut self,
+        grammar: &Grammar,
+        registry: &mut DetectorRegistry,
+        index: &mut MetaIndex,
+    ) -> Result<Vec<MaintenanceReport>> {
+        let mut out = Vec::new();
+        while let Some(report) = self.step(grammar, registry, index)? {
+            out.push(report);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Version;
+    use crate::fde::Fde;
+    use crate::token::Token;
+    use feagram::{parse_grammar, FeatureValue};
+
+    fn registry(ypos: f64) -> DetectorRegistry {
+        let mut reg = DetectorRegistry::new();
+        reg.register(
+            "header",
+            Version::new(1, 0, 0),
+            Box::new(|_| {
+                Ok(vec![
+                    Token::new("primary", "video"),
+                    Token::new("secondary", "mpeg"),
+                ])
+            }),
+        );
+        reg.register(
+            "segment",
+            Version::new(1, 0, 0),
+            Box::new(|_| {
+                Ok(vec![
+                    Token::new("frameNo", 0i64),
+                    Token::new("frameNo", 99i64),
+                    Token::new("type", "tennis"),
+                ])
+            }),
+        );
+        reg.register(
+            "tennis",
+            Version::new(1, 0, 0),
+            Box::new(move |_| {
+                Ok(vec![
+                    Token::new("frameNo", 0i64),
+                    Token::new("xPos", 1.0),
+                    Token::new("yPos", ypos),
+                    Token::new("Area", 1000i64),
+                    Token::new("Ecc", 0.8),
+                    Token::new("Orient", 10.0),
+                ])
+            }),
+        );
+        reg
+    }
+
+    fn setup() -> (Grammar, DetectorRegistry, MetaIndex) {
+        let grammar = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = registry(400.0);
+        let mut index = MetaIndex::new();
+        for i in 0..3 {
+            let url = format!("http://x/v{i}.mpg");
+            let initial = vec![Token::new("location", FeatureValue::url(url.clone()))];
+            let tree = Fde::new(&grammar, &mut reg).parse(initial.clone()).unwrap();
+            index.insert(&url, initial, &tree).unwrap();
+        }
+        (grammar, reg, index)
+    }
+
+    fn new_tennis(yp: f64) -> DetectorFn {
+        Box::new(move |_| {
+            Ok(vec![
+                Token::new("frameNo", 0i64),
+                Token::new("xPos", 1.0),
+                Token::new("yPos", yp),
+                Token::new("Area", 1000i64),
+                Token::new("Ecc", 0.8),
+                Token::new("Orient", 10.0),
+            ])
+        })
+    }
+
+    #[test]
+    fn corrections_are_not_enqueued() {
+        let (grammar, mut reg, _) = setup();
+        let mut sched = Scheduler::new(&grammar);
+        let p = sched
+            .submit(&mut reg, "tennis", RevisionLevel::Correction, new_tennis(1.0))
+            .unwrap();
+        assert_eq!(p, Priority::None);
+        assert!(sched.pending().is_empty());
+    }
+
+    #[test]
+    fn minor_revision_defers_data_stays_queryable() {
+        let (grammar, mut reg, mut index) = setup();
+        let mut sched = Scheduler::new(&grammar);
+        sched
+            .submit(&mut reg, "tennis", RevisionLevel::Minor, new_tennis(100.0))
+            .unwrap();
+        assert_eq!(sched.pending().len(), 1);
+        // Data is stale but usable: no source is unusable.
+        assert!(sched
+            .unusable_sources(&grammar, &mut index)
+            .unwrap()
+            .is_empty());
+        // The stored (old) data still answers: netplay false everywhere.
+        let tree = index.tree(&grammar, "http://x/v0.mpg").unwrap();
+        let np = tree.find_all("netplay")[0];
+        assert_eq!(tree.value(np), Some(&FeatureValue::Bit(false)));
+        // Processing the queue updates it.
+        let report = sched.step(&grammar, &mut reg, &mut index).unwrap().unwrap();
+        assert_eq!(report.objects_reparsed, 3);
+        let tree = index.tree(&grammar, "http://x/v0.mpg").unwrap();
+        let np = tree.find_all("netplay")[0];
+        assert_eq!(tree.value(np), Some(&FeatureValue::Bit(true)));
+        assert!(sched.pending().is_empty());
+    }
+
+    #[test]
+    fn major_revisions_block_queries_and_run_first() {
+        let (grammar, mut reg, mut index) = setup();
+        let mut sched = Scheduler::new(&grammar);
+        // An older minor revision of tennis is pending…
+        sched
+            .submit(&mut reg, "tennis", RevisionLevel::Minor, new_tennis(100.0))
+            .unwrap();
+        // …then segment changes at major level.
+        sched
+            .submit(
+                &mut reg,
+                "segment",
+                RevisionLevel::Major,
+                Box::new(|_| {
+                    Ok(vec![
+                        Token::new("frameNo", 0i64),
+                        Token::new("frameNo", 199i64),
+                        Token::new("type", "other"),
+                    ])
+                }),
+            )
+            .unwrap();
+        // Every video tree contains `segment`: all unusable.
+        assert_eq!(
+            sched.unusable_sources(&grammar, &mut index).unwrap().len(),
+            3
+        );
+        // The major task runs first.
+        let pending: Vec<&str> = sched.pending().iter().map(|t| t.detector.as_str()).collect();
+        assert_eq!(pending, vec!["segment", "tennis"]);
+        sched.step(&grammar, &mut reg, &mut index).unwrap().unwrap();
+        assert!(sched
+            .unusable_sources(&grammar, &mut index)
+            .unwrap()
+            .is_empty());
+        // The minor tennis task remains, then drains.
+        assert_eq!(sched.pending().len(), 1);
+        let reports = sched.drain(&grammar, &mut reg, &mut index).unwrap();
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn resubmission_keeps_the_strongest_level() {
+        let (grammar, mut reg, mut index) = setup();
+        let mut sched = Scheduler::new(&grammar);
+        sched
+            .submit(&mut reg, "tennis", RevisionLevel::Major, new_tennis(100.0))
+            .unwrap();
+        // A later minor revision must not downgrade the pending major.
+        sched
+            .submit(&mut reg, "tennis", RevisionLevel::Minor, new_tennis(90.0))
+            .unwrap();
+        let pending = sched.pending();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].level, RevisionLevel::Major);
+        assert_eq!(pending[0].priority, Priority::High);
+        let report = sched.step(&grammar, &mut reg, &mut index).unwrap().unwrap();
+        // The newest implementation (yPos 90) is the one applied.
+        assert!(report.objects_reparsed > 0);
+        let tree = index.tree(&grammar, "http://x/v0.mpg").unwrap();
+        let y = tree.find_all("yPos")[0];
+        assert_eq!(tree.value(y), Some(&FeatureValue::Flt(90.0)));
+    }
+}

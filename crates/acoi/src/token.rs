@@ -1,0 +1,218 @@
+//! Tokens and the backtracking token stack.
+//!
+//! The FDE "manages a stack of tokens (the input sentence)"; detectors
+//! push their output tokens, the parser pops them while matching
+//! terminals. Backtracking "needs to maintain several versions of the
+//! token stack. Simple copying of stacks places a high burden on both
+//! memory consumption and CPU time. However, many copies share the same
+//! suffix of tokens. Those suffixes can be shared" — [`SharedStack`] is
+//! that structure: a persistent cons list whose save operation is a
+//! reference-count bump. [`CopyingStack`] is the naive alternative the
+//! paper argues against, kept as the baseline for experiment E7.
+
+use std::sync::Arc;
+
+use feagram::FeatureValue;
+
+/// One token: a terminal symbol name and its typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The terminal symbol this token instantiates (or the pseudo-symbol
+    /// for literal matches).
+    pub symbol: String,
+    /// The token's value.
+    pub value: FeatureValue,
+}
+
+impl Token {
+    /// Convenience constructor.
+    pub fn new(symbol: impl Into<String>, value: impl Into<FeatureValue>) -> Self {
+        Token {
+            symbol: symbol.into(),
+            value: value.into(),
+        }
+    }
+}
+
+/// Common interface of the two stack representations, so the FDE can be
+/// benchmarked with either.
+pub trait TokenStack: Clone {
+    /// Builds a stack whose front is the first element of `tokens`.
+    fn from_tokens(tokens: Vec<Token>) -> Self;
+    /// Pops the front token.
+    fn pop(&mut self) -> Option<Arc<Token>>;
+    /// Peeks at the front token.
+    fn peek(&self) -> Option<&Token>;
+    /// Pushes `tokens` so that `tokens[0]` becomes the new front (a
+    /// detector's first output is consumed first).
+    fn push_front_all(&mut self, tokens: Vec<Token>);
+    /// Whether the stack is empty.
+    fn is_empty(&self) -> bool;
+    /// Number of tokens (O(1) for both implementations).
+    fn len(&self) -> usize;
+}
+
+/// Suffix-sharing persistent stack: `Clone` is O(1) and clones share
+/// their tails, exactly the Tomita-style reuse the paper describes.
+#[derive(Debug, Clone, Default)]
+pub struct SharedStack {
+    head: Option<Arc<Cell>>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Cell {
+    token: Arc<Token>,
+    next: Option<Arc<Cell>>,
+}
+
+impl TokenStack for SharedStack {
+    fn from_tokens(tokens: Vec<Token>) -> Self {
+        let mut s = SharedStack::default();
+        s.push_front_all(tokens);
+        s
+    }
+
+    fn pop(&mut self) -> Option<Arc<Token>> {
+        let cell = self.head.take()?;
+        self.head = cell.next.clone();
+        self.len -= 1;
+        Some(cell.token.clone())
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.head.as_ref().map(|c| c.token.as_ref())
+    }
+
+    fn push_front_all(&mut self, tokens: Vec<Token>) {
+        for token in tokens.into_iter().rev() {
+            self.head = Some(Arc::new(Cell {
+                token: Arc::new(token),
+                next: self.head.take(),
+            }));
+            self.len += 1;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head.is_none()
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// The naive baseline: a `Vec` cloned wholesale at every save point.
+#[derive(Debug, Clone, Default)]
+pub struct CopyingStack {
+    /// Front of the stack is the *end* of the vec (cheap pop).
+    items: Vec<Arc<Token>>,
+}
+
+impl TokenStack for CopyingStack {
+    fn from_tokens(tokens: Vec<Token>) -> Self {
+        CopyingStack {
+            items: tokens.into_iter().rev().map(Arc::new).collect(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Arc<Token>> {
+        self.items.pop()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.items.last().map(|t| t.as_ref())
+    }
+
+    fn push_front_all(&mut self, tokens: Vec<Token>) {
+        for token in tokens.into_iter().rev() {
+            self.items.push(Arc::new(token));
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok(s: &str, v: i64) -> Token {
+        Token::new(s, v)
+    }
+
+    fn exercise<S: TokenStack>() {
+        let mut s = S::from_tokens(vec![tok("a", 1), tok("b", 2)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.peek().unwrap().symbol, "a");
+        // Detector pushes output; first emitted is consumed first.
+        s.push_front_all(vec![tok("x", 10), tok("y", 11)]);
+        assert_eq!(s.pop().unwrap().symbol, "x");
+        assert_eq!(s.pop().unwrap().symbol, "y");
+        assert_eq!(s.pop().unwrap().symbol, "a");
+        assert_eq!(s.pop().unwrap().symbol, "b");
+        assert!(s.pop().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn shared_stack_order() {
+        exercise::<SharedStack>();
+    }
+
+    #[test]
+    fn copying_stack_order() {
+        exercise::<CopyingStack>();
+    }
+
+    #[test]
+    fn shared_stack_saves_share_suffixes() {
+        let mut s = SharedStack::from_tokens(vec![tok("a", 1), tok("b", 2), tok("c", 3)]);
+        let save = s.clone(); // O(1) save point
+        s.pop();
+        s.pop();
+        assert_eq!(s.len(), 1);
+        // The save still sees everything.
+        assert_eq!(save.len(), 3);
+        assert_eq!(save.peek().unwrap().symbol, "a");
+        // Restoring is assignment.
+        s = save;
+        assert_eq!(s.pop().unwrap().symbol, "a");
+    }
+
+    #[test]
+    fn both_stacks_agree_on_random_programs() {
+        // Mini differential test between the two implementations.
+        let prog: Vec<(bool, Vec<Token>)> = vec![
+            (false, vec![tok("a", 1), tok("b", 2)]),
+            (true, vec![]),
+            (false, vec![tok("c", 3)]),
+            (true, vec![]),
+            (true, vec![]),
+            (false, vec![tok("d", 4), tok("e", 5), tok("f", 6)]),
+            (true, vec![]),
+        ];
+        let mut shared = SharedStack::default();
+        let mut copying = CopyingStack::default();
+        for (is_pop, tokens) in prog {
+            if is_pop {
+                assert_eq!(shared.pop(), copying.pop());
+            } else {
+                shared.push_front_all(tokens.clone());
+                copying.push_front_all(tokens);
+            }
+            assert_eq!(shared.len(), copying.len());
+            assert_eq!(
+                shared.peek().map(|t| t.symbol.clone()),
+                copying.peek().map(|t| t.symbol.clone())
+            );
+        }
+    }
+}

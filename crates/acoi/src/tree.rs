@@ -1,0 +1,567 @@
+//! Parse trees: the FDE's output and the meta-data the system stores.
+//!
+//! "The result of the parser is a comprehensive description of the
+//! productions used in the parsing process: the parse tree. This parse
+//! tree contains all the tokens found in the input sentence placed in
+//! their hierarchical context."
+//!
+//! The tree is an arena with monotonic appends, which makes backtracking
+//! cheap: a [`Mark`] records the arena length and the open node's child
+//! count, and [`ParseTree::rollback`] truncates both.
+//!
+//! Detector input paths and whitebox predicates resolve against the tree
+//! through [`ParseTree::resolve_values`] and the [`feagram::expr::EvalContext`]
+//! implementation in [`TreeCtx`]; "those input tokens are specified as
+//! paths into the parse tree. These paths can only refer to preceding
+//! symbols" — resolution searches the most recent matching node first.
+
+use feagram::expr::EvalContext;
+use feagram::{FeatureValue, Grammar};
+use monetxml::Document;
+
+use crate::detector::Version;
+use crate::error::{Error, Result};
+
+/// Index of a node in its [`ParseTree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PNodeId(u32);
+
+impl PNodeId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What produced a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PNodeKind {
+    /// A plain grammar variable.
+    Variable,
+    /// A detector node (blackbox or whitebox).
+    Detector,
+    /// A terminal carrying a token value.
+    Terminal,
+    /// A literal match from a rule (`"tennis"`).
+    Literal,
+}
+
+#[derive(Debug, Clone)]
+struct PNode {
+    symbol: String,
+    kind: PNodeKind,
+    value: Option<FeatureValue>,
+    /// Version of the detector implementation that produced this node.
+    version: Option<Version>,
+    children: Vec<PNodeId>,
+    parent: Option<PNodeId>,
+}
+
+/// A savepoint for backtracking; see [`ParseTree::mark`].
+#[derive(Debug, Clone, Copy)]
+pub struct Mark {
+    nodes_len: usize,
+    parent: Option<PNodeId>,
+    parent_children_len: usize,
+}
+
+/// The parse tree arena.
+#[derive(Debug, Clone, Default)]
+pub struct ParseTree {
+    nodes: Vec<PNode>,
+}
+
+impl ParseTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        ParseTree::default()
+    }
+
+    /// The root node (the first created), if any.
+    pub fn root(&self) -> Option<PNodeId> {
+        if self.nodes.is_empty() {
+            None
+        } else {
+            Some(PNodeId(0))
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Creates a node under `parent` (`None` for the root).
+    pub fn add(&mut self, parent: Option<PNodeId>, symbol: &str, kind: PNodeKind) -> PNodeId {
+        let id = PNodeId(self.nodes.len() as u32);
+        self.nodes.push(PNode {
+            symbol: symbol.to_owned(),
+            kind,
+            value: None,
+            version: None,
+            children: Vec::new(),
+            parent,
+        });
+        if let Some(p) = parent {
+            self.nodes[p.index()].children.push(id);
+        }
+        id
+    }
+
+    /// Sets a node's token value.
+    pub fn set_value(&mut self, id: PNodeId, value: FeatureValue) {
+        self.nodes[id.index()].value = Some(value);
+    }
+
+    /// Sets the producing detector's version on a node.
+    pub fn set_version(&mut self, id: PNodeId, version: Version) {
+        self.nodes[id.index()].version = Some(version);
+    }
+
+    /// The node's symbol.
+    pub fn symbol(&self, id: PNodeId) -> &str {
+        &self.nodes[id.index()].symbol
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, id: PNodeId) -> PNodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// The node's value, if any.
+    pub fn value(&self, id: PNodeId) -> Option<&FeatureValue> {
+        self.nodes[id.index()].value.as_ref()
+    }
+
+    /// The node's recorded detector version, if any.
+    pub fn version(&self, id: PNodeId) -> Option<Version> {
+        self.nodes[id.index()].version
+    }
+
+    /// The node's children, in creation order.
+    pub fn children(&self, id: PNodeId) -> &[PNodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// The node's parent.
+    pub fn parent(&self, id: PNodeId) -> Option<PNodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Records a savepoint relative to the currently open `parent`.
+    pub fn mark(&self, parent: Option<PNodeId>) -> Mark {
+        Mark {
+            nodes_len: self.nodes.len(),
+            parent,
+            parent_children_len: parent
+                .map(|p| self.nodes[p.index()].children.len())
+                .unwrap_or(0),
+        }
+    }
+
+    /// Rolls back to a savepoint, discarding every node created since.
+    pub fn rollback(&mut self, mark: Mark) {
+        self.nodes.truncate(mark.nodes_len);
+        if let Some(p) = mark.parent {
+            self.nodes[p.index()]
+                .children
+                .truncate(mark.parent_children_len);
+        }
+    }
+
+    /// Pre-order traversal from `id`.
+    pub fn preorder(&self, id: PNodeId) -> Vec<PNodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for c in self.children(n).iter().rev() {
+                stack.push(*c);
+            }
+        }
+        out
+    }
+
+    /// All nodes with symbol `name`, in document (pre-order) order.
+    pub fn find_all(&self, name: &str) -> Vec<PNodeId> {
+        match self.root() {
+            Some(root) => self
+                .preorder(root)
+                .into_iter()
+                .filter(|n| self.symbol(*n) == name)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The most recent (document-order-last) node with symbol `name`
+    /// inside the subtree of `root`.
+    fn find_last_in_subtree(&self, root: PNodeId, name: &str) -> Option<PNodeId> {
+        // DFS visiting children right-to-left finds the most recent first.
+        let mut stack = vec![root];
+        let mut first_hit = None;
+        while let Some(n) = stack.pop() {
+            if self.symbol(n) == name {
+                first_hit = Some(n);
+                break;
+            }
+            for c in self.children(n) {
+                stack.push(*c);
+            }
+        }
+        first_hit
+    }
+
+    /// Finds the anchor for a path's first segment: the nearest `name`
+    /// node at or before the position of `from`, searching the node
+    /// itself, then (most recent first) the subtrees of each ancestor.
+    pub fn resolve_anchor(&self, from: PNodeId, name: &str) -> Option<PNodeId> {
+        let mut cur = Some(from);
+        while let Some(node) = cur {
+            if self.symbol(node) == name {
+                return Some(node);
+            }
+            if let Some(hit) = self.find_last_in_subtree(node, name) {
+                return Some(hit);
+            }
+            cur = self.parent(node);
+        }
+        None
+    }
+
+    /// All nodes matched by following `rest` from `anchor` (each segment
+    /// matches descendants at any depth), in document order.
+    pub fn match_chain(&self, anchor: PNodeId, rest: &[String]) -> Vec<PNodeId> {
+        let mut frontier = vec![anchor];
+        for seg in rest {
+            let mut next = Vec::new();
+            for node in frontier {
+                for d in self.preorder(node) {
+                    if d != node && self.symbol(d) == seg {
+                        next.push(d);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        frontier
+    }
+
+    /// The values a path resolves to from the position of `from`:
+    /// anchor on the first segment, chain on the rest, then each matched
+    /// node's value (falling back to the values of its terminal
+    /// descendants).
+    pub fn resolve_values(&self, from: PNodeId, path: &[String]) -> Vec<FeatureValue> {
+        let Some((first, rest)) = path.split_first() else {
+            return Vec::new();
+        };
+        let Some(anchor) = self.resolve_anchor(from, first) else {
+            return Vec::new();
+        };
+        self.match_chain(anchor, rest)
+            .into_iter()
+            .flat_map(|n| self.values_of(n))
+            .collect()
+    }
+
+    /// A node's own value, or the values of its terminal descendants.
+    pub fn values_of(&self, id: PNodeId) -> Vec<FeatureValue> {
+        if let Some(v) = self.value(id) {
+            return vec![v.clone()];
+        }
+        self.preorder(id)
+            .into_iter()
+            .filter(|n| *n != id)
+            .filter_map(|n| self.value(n).cloned())
+            .collect()
+    }
+
+    // ---- XML round trip ----
+
+    /// Dumps the tree as an XML document ("in the end the parser proves
+    /// the start rule valid, in which case the parse tree can be dumped
+    /// as an XML-document"). Terminal values become text content;
+    /// detector versions become `version` attributes.
+    pub fn to_document(&self) -> Result<Document> {
+        let root = self
+            .root()
+            .ok_or_else(|| Error::Grammar("cannot dump an empty parse tree".into()))?;
+        let mut doc = Document::new(self.symbol(root));
+        let doc_root = doc.root();
+        self.dump_into(&mut doc, doc_root, root);
+        Ok(doc)
+    }
+
+    fn dump_into(&self, doc: &mut Document, at: monetxml::NodeId, node: PNodeId) {
+        if let Some(version) = self.version(node) {
+            doc.set_attr(at, "version", version.to_string());
+        }
+        if let Some(value) = self.value(node) {
+            doc.add_cdata(at, value.lexical());
+        }
+        for child in self.children(node) {
+            let tag = self.symbol(*child);
+            let child_el = doc.add_element(at, tag);
+            self.dump_into(doc, child_el, *child);
+        }
+    }
+
+    /// Reloads a parse tree from its XML dump. Node kinds and value types
+    /// come from the grammar ("the structure of each XML document
+    /// describes (a part of) the schema in turn").
+    pub fn from_document(grammar: &Grammar, doc: &Document) -> Result<ParseTree> {
+        let mut tree = ParseTree::new();
+        load_node(grammar, doc, doc.root(), &mut tree, None)?;
+        Ok(tree)
+    }
+}
+
+fn load_node(
+    grammar: &Grammar,
+    doc: &Document,
+    at: monetxml::NodeId,
+    tree: &mut ParseTree,
+    parent: Option<PNodeId>,
+) -> Result<()> {
+    let Some(tag) = doc.tag(at) else {
+        return Ok(()); // cdata handled by the parent
+    };
+    let kind = if grammar.detector(tag).is_some() {
+        PNodeKind::Detector
+    } else if tag == "literal" {
+        PNodeKind::Literal
+    } else if grammar.symbols().terminal_type(tag).is_some() {
+        PNodeKind::Terminal
+    } else {
+        PNodeKind::Variable
+    };
+    let id = tree.add(parent, tag, kind);
+
+    if let Some(vtext) = doc.attr(at, "version") {
+        let version = Version::parse(vtext).ok_or_else(|| {
+            Error::Grammar(format!("bad version attribute `{vtext}` on <{tag}>"))
+        })?;
+        tree.set_version(id, version);
+    }
+
+    // Direct text = this node's value.
+    let text: Vec<&str> = doc
+        .children(at)
+        .iter()
+        .filter_map(|c| doc.text(*c))
+        .collect();
+    if !text.is_empty() {
+        let lexical = text.join(" ");
+        let ty = grammar
+            .symbols()
+            .terminal_type(tag)
+            .unwrap_or("str")
+            .to_owned();
+        let value = FeatureValue::from_lexical(&ty, &lexical).ok_or_else(|| {
+            Error::Grammar(format!("value `{lexical}` does not parse as {ty} for <{tag}>"))
+        })?;
+        tree.set_value(id, value);
+    }
+
+    for child in doc.children(at) {
+        load_node(grammar, doc, *child, tree, Some(id))?;
+    }
+    Ok(())
+}
+
+/// Evaluation context over a parse tree for whitebox predicates.
+///
+/// `scope` bounds quantifier instances; `from` anchors free paths. For a
+/// top-level predicate both start at the detector's node; inside a
+/// quantifier each instance supplies its own scope.
+pub struct TreeCtx<'a> {
+    tree: &'a ParseTree,
+    scope: PNodeId,
+    from: PNodeId,
+}
+
+impl<'a> TreeCtx<'a> {
+    /// A context anchored at `at` (typically the whitebox detector's
+    /// freshly created node).
+    pub fn new(tree: &'a ParseTree, at: PNodeId) -> Self {
+        TreeCtx {
+            tree,
+            scope: at,
+            from: at,
+        }
+    }
+}
+
+impl EvalContext for TreeCtx<'_> {
+    fn values(&self, path: &[String]) -> Vec<FeatureValue> {
+        // Within-scope resolution first (quantifier bodies reference the
+        // bound instance), falling back to anchored resolution.
+        if let Some((first, rest)) = path.split_first() {
+            let mut in_scope = Vec::new();
+            for d in self.tree.preorder(self.scope) {
+                if self.tree.symbol(d) == first {
+                    for m in self.tree.match_chain(d, rest) {
+                        in_scope.extend(self.tree.values_of(m));
+                    }
+                }
+            }
+            if !in_scope.is_empty() {
+                return in_scope;
+            }
+        }
+        self.tree.resolve_values(self.from, path)
+    }
+
+    fn contexts(&self, path: &[String]) -> Vec<Box<dyn EvalContext + '_>> {
+        let Some((first, rest)) = path.split_first() else {
+            return Vec::new();
+        };
+        let Some(anchor) = self.tree.resolve_anchor(self.from, first) else {
+            return Vec::new();
+        };
+        self.tree
+            .match_chain(anchor, rest)
+            .into_iter()
+            .map(|inst| {
+                Box::new(TreeCtx {
+                    tree: self.tree,
+                    scope: inst,
+                    from: inst,
+                }) as Box<dyn EvalContext + '_>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// shot( begin(frameNo=0) end(frameNo=9) type( tennis(
+    ///   frame(frameNo=0 player(yPos=300)) frame(frameNo=1 player(yPos=150)) ) ) )
+    fn tennis_shot_tree() -> (ParseTree, PNodeId) {
+        let mut t = ParseTree::new();
+        let shot = t.add(None, "shot", PNodeKind::Variable);
+        let begin = t.add(Some(shot), "begin", PNodeKind::Variable);
+        let f0 = t.add(Some(begin), "frameNo", PNodeKind::Terminal);
+        t.set_value(f0, FeatureValue::Int(0));
+        let end = t.add(Some(shot), "end", PNodeKind::Variable);
+        let f9 = t.add(Some(end), "frameNo", PNodeKind::Terminal);
+        t.set_value(f9, FeatureValue::Int(9));
+        let ty = t.add(Some(shot), "type", PNodeKind::Variable);
+        let tennis = t.add(Some(ty), "tennis", PNodeKind::Detector);
+        for (fno, y) in [(0, 300.0), (1, 150.0)] {
+            let frame = t.add(Some(tennis), "frame", PNodeKind::Variable);
+            let n = t.add(Some(frame), "frameNo", PNodeKind::Terminal);
+            t.set_value(n, FeatureValue::Int(fno));
+            let player = t.add(Some(frame), "player", PNodeKind::Variable);
+            let y_node = t.add(Some(player), "yPos", PNodeKind::Terminal);
+            t.set_value(y_node, FeatureValue::Flt(y));
+        }
+        let event = t.add(Some(tennis), "event", PNodeKind::Variable);
+        let netplay = t.add(Some(event), "netplay", PNodeKind::Detector);
+        (t, netplay)
+    }
+
+    #[test]
+    fn resolve_anchor_prefers_nearest() {
+        let (t, netplay) = tennis_shot_tree();
+        let tennis = t.resolve_anchor(netplay, "tennis").unwrap();
+        assert_eq!(t.symbol(tennis), "tennis");
+        // begin.frameNo resolves from deep inside the tree.
+        let vals = t.resolve_values(netplay, &["begin".into(), "frameNo".into()]);
+        assert_eq!(vals, vec![FeatureValue::Int(0)]);
+        let vals = t.resolve_values(netplay, &["end".into(), "frameNo".into()]);
+        assert_eq!(vals, vec![FeatureValue::Int(9)]);
+    }
+
+    #[test]
+    fn quantifier_contexts_enumerate_frames() {
+        let (t, netplay) = tennis_shot_tree();
+        let ctx = TreeCtx::new(&t, netplay);
+        let frames = ctx.contexts(&["tennis".into(), "frame".into()]);
+        assert_eq!(frames.len(), 2);
+        let y0 = frames[0].values(&["player".into(), "yPos".into()]);
+        let y1 = frames[1].values(&["player".into(), "yPos".into()]);
+        assert_eq!(y0, vec![FeatureValue::Flt(300.0)]);
+        assert_eq!(y1, vec![FeatureValue::Flt(150.0)]);
+    }
+
+    #[test]
+    fn netplay_predicate_evaluates_true_on_this_tree() {
+        // The Figure 7 predicate, end to end on a hand-built tree.
+        let g = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let netplay_decl = g.detector("netplay").unwrap();
+        let feagram::DetectorKind::Whitebox { predicate, .. } = &netplay_decl.kind else {
+            panic!("netplay should be whitebox");
+        };
+        let (t, netplay) = tennis_shot_tree();
+        let ctx = TreeCtx::new(&t, netplay);
+        assert!(predicate.eval_bool(&ctx).unwrap());
+    }
+
+    #[test]
+    fn rollback_discards_speculative_nodes() {
+        let mut t = ParseTree::new();
+        let root = t.add(None, "a", PNodeKind::Variable);
+        let keep = t.add(Some(root), "k", PNodeKind::Variable);
+        let mark = t.mark(Some(root));
+        let spec = t.add(Some(root), "spec", PNodeKind::Variable);
+        t.add(Some(spec), "deep", PNodeKind::Variable);
+        assert_eq!(t.len(), 4);
+        t.rollback(mark);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.children(root), &[keep]);
+    }
+
+    #[test]
+    fn xml_round_trip_preserves_structure_and_values() {
+        let g = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let (t, _) = tennis_shot_tree();
+        let doc = t.to_document().unwrap();
+        let back = ParseTree::from_document(&g, &doc).unwrap();
+        assert_eq!(back.len(), t.len());
+        let y: Vec<_> = back
+            .find_all("yPos")
+            .into_iter()
+            .map(|n| back.value(n).cloned().unwrap())
+            .collect();
+        assert_eq!(y, vec![FeatureValue::Flt(300.0), FeatureValue::Flt(150.0)]);
+        // Kinds recovered from the grammar.
+        let tennis = back.find_all("tennis")[0];
+        assert_eq!(back.kind(tennis), PNodeKind::Detector);
+    }
+
+    #[test]
+    fn versions_survive_the_xml_round_trip() {
+        let g = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut t = ParseTree::new();
+        let mmo = t.add(None, "MMO", PNodeKind::Variable);
+        let header = t.add(Some(mmo), "header", PNodeKind::Detector);
+        t.set_version(header, Version::new(1, 2, 3));
+        let doc = t.to_document().unwrap();
+        let back = ParseTree::from_document(&g, &doc).unwrap();
+        let h = back.find_all("header")[0];
+        assert_eq!(back.version(h), Some(Version::new(1, 2, 3)));
+    }
+
+    #[test]
+    fn find_all_returns_document_order() {
+        let (t, _) = tennis_shot_tree();
+        let frames = t.find_all("frameNo");
+        let vals: Vec<_> = frames.iter().map(|n| t.value(*n).unwrap().clone()).collect();
+        assert_eq!(
+            vals,
+            vec![
+                FeatureValue::Int(0),
+                FeatureValue::Int(9),
+                FeatureValue::Int(0),
+                FeatureValue::Int(1)
+            ]
+        );
+    }
+}

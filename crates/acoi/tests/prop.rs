@@ -1,0 +1,164 @@
+//! Property tests for the execution layer: FDE determinism, stack-mode
+//! equivalence, XML round trips of arbitrary parse results, and wire
+//! format round trips.
+
+use acoi::external::{decode_request, decode_response, encode_request, encode_response};
+use acoi::{DetectorRegistry, Fde, StackMode, Token, Version};
+use feagram::FeatureValue;
+use proptest::prelude::*;
+
+/// A random "video": shot classes and per-shot netplay behaviour.
+#[derive(Debug, Clone)]
+struct Script {
+    shots: Vec<(bool, u8)>, // (is_tennis, frames)
+}
+
+fn arb_script() -> impl Strategy<Value = Script> {
+    prop::collection::vec((any::<bool>(), 1u8..5), 0..6)
+        .prop_map(|shots| Script { shots })
+}
+
+fn registry_for(script: Script) -> DetectorRegistry {
+    let mut reg = DetectorRegistry::new();
+    reg.register(
+        "header",
+        Version::new(1, 0, 0),
+        Box::new(|_| {
+            Ok(vec![
+                Token::new("primary", "video"),
+                Token::new("secondary", "mpeg"),
+            ])
+        }),
+    );
+    let shots = script.shots.clone();
+    reg.register(
+        "segment",
+        Version::new(1, 0, 0),
+        Box::new(move |_| {
+            let mut tokens = Vec::new();
+            for (i, (is_tennis, frames)) in shots.iter().enumerate() {
+                let begin = (i * 100) as i64;
+                tokens.push(Token::new("frameNo", begin));
+                tokens.push(Token::new("frameNo", begin + *frames as i64));
+                tokens.push(Token::new(
+                    "type",
+                    if *is_tennis { "tennis" } else { "other" },
+                ));
+            }
+            Ok(tokens)
+        }),
+    );
+    let shots = script.shots;
+    reg.register(
+        "tennis",
+        Version::new(1, 0, 0),
+        Box::new(move |inputs| {
+            let begin = inputs[1].as_f64().ok_or("no begin")? as usize;
+            let idx = begin / 100;
+            let frames = shots.get(idx).map(|s| s.1).unwrap_or(1);
+            let mut tokens = Vec::new();
+            for f in 0..frames {
+                tokens.push(Token::new("frameNo", (begin + f as usize) as i64));
+                tokens.push(Token::new("xPos", 100.0 + f as f64));
+                tokens.push(Token::new("yPos", 300.0 - (f as f64) * 10.0));
+                tokens.push(Token::new("Area", 1000i64));
+                tokens.push(Token::new("Ecc", 0.8));
+                tokens.push(Token::new("Orient", 45.0));
+            }
+            Ok(tokens)
+        }),
+    );
+    reg
+}
+
+fn initial() -> Vec<Token> {
+    vec![Token::new("location", FeatureValue::url("http://x/v.mpg"))]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fde_is_deterministic(script in arb_script()) {
+        let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut r1 = registry_for(script.clone());
+        let mut r2 = registry_for(script);
+        let t1 = Fde::new(&grammar, &mut r1).parse(initial()).unwrap();
+        let t2 = Fde::new(&grammar, &mut r2).parse(initial()).unwrap();
+        prop_assert_eq!(t1.to_document().unwrap(), t2.to_document().unwrap());
+    }
+
+    #[test]
+    fn stack_modes_agree(script in arb_script()) {
+        let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut r1 = registry_for(script.clone());
+        let mut r2 = registry_for(script);
+        let shared = Fde::with_mode(&grammar, &mut r1, StackMode::Shared)
+            .parse(initial())
+            .unwrap();
+        let copying = Fde::with_mode(&grammar, &mut r2, StackMode::Copying)
+            .parse(initial())
+            .unwrap();
+        prop_assert_eq!(
+            shared.to_document().unwrap(),
+            copying.to_document().unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_tree_xml_round_trip(script in arb_script()) {
+        let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = registry_for(script);
+        let tree = Fde::new(&grammar, &mut reg).parse(initial()).unwrap();
+        let doc = tree.to_document().unwrap();
+        // Through text as well (storage does this).
+        let xml = monetxml::to_xml(&doc);
+        let reparsed = monetxml::parse_document(&xml).unwrap();
+        let reloaded = acoi::ParseTree::from_document(&grammar, &reparsed).unwrap();
+        prop_assert_eq!(reloaded.to_document().unwrap(), doc);
+    }
+
+    #[test]
+    fn shot_structure_matches_script(script in arb_script()) {
+        let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let n_shots = script.shots.len();
+        let n_tennis = script.shots.iter().filter(|(t, _)| *t).count();
+        let mut reg = registry_for(script);
+        let tree = Fde::new(&grammar, &mut reg).parse(initial()).unwrap();
+        prop_assert_eq!(tree.find_all("shot").len(), n_shots);
+        prop_assert_eq!(tree.find_all("tennis").len(), n_tennis);
+        prop_assert_eq!(tree.find_all("netplay").len(), n_tennis);
+    }
+
+    #[test]
+    fn rpc_request_round_trips(
+        name in "[a-z]{1,10}",
+        ints in prop::collection::vec(any::<i64>(), 0..5),
+        text in "[ -~]{0,20}",
+    ) {
+        let mut inputs: Vec<FeatureValue> =
+            ints.into_iter().map(FeatureValue::Int).collect();
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            inputs.push(FeatureValue::Str(trimmed.to_owned()));
+        }
+        let xml = encode_request(&name, &inputs);
+        let (back_name, back_inputs) = decode_request(&xml).unwrap();
+        prop_assert_eq!(back_name, name);
+        prop_assert_eq!(back_inputs, inputs);
+    }
+
+    #[test]
+    fn rpc_response_round_trips(
+        symbols in prop::collection::vec("[a-z]{1,8}", 0..6),
+        values in prop::collection::vec(any::<i64>(), 0..6),
+    ) {
+        let tokens: Vec<Token> = symbols
+            .iter()
+            .zip(&values)
+            .map(|(s, v)| Token::new(s.clone(), *v))
+            .collect();
+        let xml = encode_response(&Ok(tokens.clone()));
+        prop_assert_eq!(decode_response(&xml).unwrap(), tokens);
+    }
+}

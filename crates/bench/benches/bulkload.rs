@@ -1,0 +1,93 @@
+//! E1 — bulkload: SAX streaming with a schema-tree cursor vs the naive
+//! full-path-hashing loader vs materialising a DOM first.
+//!
+//! Paper claims: the bulkloader needs "only slightly higher memory
+//! requirements than SAX — O(height of document)" and avoids "much of
+//! the hashing" by tracking the schema-tree context. Expected shape:
+//! `sax` beats `naive_hash` (less per-node work) and `dom_then_walk`
+//! (no tree materialisation); the gap grows with document count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use monetxml::XmlStore;
+
+fn site_pages(players: usize) -> Vec<(String, String)> {
+    let site = bench::site(players, players * 2);
+    site.urls()
+        .map(|u| (u.to_owned(), site.page(u).unwrap().to_owned()))
+        .collect()
+}
+
+fn bench_bulkload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_bulkload");
+    group.sample_size(20);
+
+    for players in [8usize, 32] {
+        let pages = site_pages(players);
+        let total_bytes: usize = pages.iter().map(|(_, h)| h.len()).sum();
+        group.throughput(Throughput::Bytes(total_bytes as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("sax", players),
+            &pages,
+            |b, pages| {
+                b.iter(|| {
+                    let mut store = XmlStore::new();
+                    for (url, html) in pages {
+                        store.bulkload_str(url, html).unwrap();
+                    }
+                    store.db().association_count()
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("naive_hash", players),
+            &pages,
+            |b, pages| {
+                b.iter(|| {
+                    let mut store = XmlStore::new();
+                    for (url, html) in pages {
+                        store.bulkload_str_naive(url, html).unwrap();
+                    }
+                    store.db().association_count()
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("dom_then_walk", players),
+            &pages,
+            |b, pages| {
+                b.iter(|| {
+                    let mut store = XmlStore::new();
+                    for (url, html) in pages {
+                        let doc = monetxml::parse_document(html).unwrap();
+                        store.insert_document(url, &doc).unwrap();
+                    }
+                    store.db().association_count()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Depth sweep: loader state grows with height, not node count.
+    let mut group = c.benchmark_group("e1_bulkload_depth");
+    group.sample_size(20);
+    for depth in [4usize, 8] {
+        let xml = bench::nested_doc(depth, 3);
+        group.bench_with_input(BenchmarkId::new("sax", depth), &xml, |b, xml| {
+            b.iter(|| {
+                let mut store = XmlStore::new();
+                store.bulkload_str("d", xml).unwrap();
+                // The claim itself: live frames bounded by height.
+                assert!(store.last_stats().max_depth <= depth + 2);
+                store.last_stats().nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulkload);
+criterion_main!(benches);

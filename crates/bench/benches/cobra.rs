@@ -1,0 +1,87 @@
+//! E8 — the COBRA analysis pipeline: frames/second through
+//! segmentation → classification → tracking → events, plus the HMM
+//! stroke recogniser.
+//!
+//! Paper claim: "the specialised video analysis … is very well feasible
+//! for such a limited domain". Expected shape: linear in frame count;
+//! the HMM's Baum-Welch dominates training, Viterbi decoding is cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cobra::events::EventRule;
+use cobra::hmm::{synthetic_strokes, Hmm, StrokeRecognizer, POSE_SYMBOLS};
+use cobra::{classify_video, track_player, BroadcastSpec, ShotClass};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_cobra_pipeline");
+    group.sample_size(20);
+
+    for tennis_shots in [4usize, 16] {
+        let video = BroadcastSpec::typical(tennis_shots, 7).generate();
+        group.throughput(Throughput::Elements(video.len() as u64));
+
+        group.bench_function(BenchmarkId::new("segment_classify", tennis_shots), |b| {
+            b.iter(|| classify_video(&video).len())
+        });
+
+        let classified = classify_video(&video);
+        group.bench_function(BenchmarkId::new("track_all_shots", tennis_shots), |b| {
+            b.iter(|| {
+                classified
+                    .iter()
+                    .filter(|(_, class)| *class == ShotClass::Tennis)
+                    .map(|(shot, _)| track_player(&video, shot).len())
+                    .sum::<usize>()
+            })
+        });
+
+        let rules = [EventRule::netplay(), EventRule::net_approach()];
+        let tracks: Vec<_> = classified
+            .iter()
+            .filter(|(_, class)| *class == ShotClass::Tennis)
+            .map(|(shot, _)| track_player(&video, shot))
+            .collect();
+        group.bench_function(BenchmarkId::new("event_rules", tennis_shots), |b| {
+            b.iter(|| {
+                tracks
+                    .iter()
+                    .map(|t| cobra::events::detect_events(&rules, t).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e8_hmm");
+    group.sample_size(10);
+    let train: Vec<Vec<usize>> = synthetic_strokes("serve", 30, 1);
+    group.bench_function("baum_welch_train_30seq", |b| {
+        b.iter(|| {
+            let mut hmm = Hmm::new_random(4, POSE_SYMBOLS, 2);
+            hmm.train(&train, 20).len()
+        })
+    });
+
+    let mut rec = StrokeRecognizer::new();
+    for (i, label) in ["serve", "forehand", "backhand"].iter().enumerate() {
+        rec.train_class(
+            *label,
+            &synthetic_strokes(label, 30, 100 + i as u64),
+            4,
+            POSE_SYMBOLS,
+            200 + i as u64,
+        );
+    }
+    let test = synthetic_strokes("backhand", 20, 999);
+    group.bench_function("classify_20_strokes", |b| {
+        b.iter(|| {
+            test.iter()
+                .filter(|s| rec.classify(s) == Some("backhand"))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

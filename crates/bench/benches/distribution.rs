@@ -1,0 +1,58 @@
+//! E5 — per-document distribution over N logical servers.
+//!
+//! Paper claim: per-document assignment gives "almost perfect shared
+//! nothing parallelism". Expected shape: work per shard falls ~1/N
+//! (balance), and wall-clock time of the parallel path improves with N
+//! until thread overhead dominates on this corpus size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir::{DistributedIndex, ScoreModel};
+
+const QUERY: &str = "winner tennis champion";
+
+fn build(servers: usize, docs: usize) -> DistributedIndex {
+    let mut d = DistributedIndex::new(servers, ScoreModel::TfIdf).unwrap();
+    for (url, body) in bench::text_corpus(docs) {
+        d.index_document(&url, &body).unwrap();
+    }
+    d.commit().unwrap();
+    d
+}
+
+fn bench_distribution(c: &mut Criterion) {
+    // Large enough that per-shard scoring work dwarfs the per-query
+    // thread-spawn overhead of the parallel path.
+    let docs = 30_000;
+    let mut group = c.benchmark_group("e5_distribution");
+    group.sample_size(10);
+
+    for servers in [1usize, 2, 4, 8] {
+        let mut d = build(servers, docs);
+        group.bench_function(BenchmarkId::new("serial", servers), |b| {
+            b.iter(|| d.query_serial(QUERY, 10).unwrap().hits.len())
+        });
+        let mut d = build(servers, docs);
+        group.bench_function(BenchmarkId::new("parallel", servers), |b| {
+            b.iter(|| d.query_parallel(QUERY, 10).unwrap().hits.len())
+        });
+    }
+    group.finish();
+
+    // Work-balance table: tuples touched per shard.
+    println!("\nE5 shared-nothing balance ({docs} docs):");
+    println!("servers  per-shard tuples (min..max)  total");
+    for servers in [1usize, 2, 4, 8] {
+        let mut d = build(servers, docs);
+        let r = d.query_serial(QUERY, 10).unwrap();
+        let tuples: Vec<usize> = r.per_shard_work.iter().map(|w| w.tuples).collect();
+        println!(
+            "{servers:>7}  {:>6}..{:<6}  {:>6}",
+            tuples.iter().min().unwrap(),
+            tuples.iter().max().unwrap(),
+            tuples.iter().sum::<usize>()
+        );
+    }
+}
+
+criterion_group!(benches, bench_distribution);
+criterion_main!(benches);

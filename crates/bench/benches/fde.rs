@@ -1,0 +1,113 @@
+//! E7 — Feature Detector Engine throughput and the token-stack design.
+//!
+//! Paper claims: the FDE's own work is parsing-bounded (detectors
+//! dominate real deployments), and saved token stacks "share the same
+//! suffix of tokens" so saving is cheap. Expected shape: throughput
+//! scales linearly in emitted tokens; `shared` never loses to `copying`,
+//! and wins once alternatives force saves of long stacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use acoi::{DetectorRegistry, Fde, StackMode, Token, Version};
+use feagram::FeatureValue;
+
+/// Cheap scripted detectors so the parser itself is the measured cost.
+fn registry(shots: usize, frames_per_shot: usize) -> DetectorRegistry {
+    let mut reg = DetectorRegistry::new();
+    reg.register(
+        "header",
+        Version::new(1, 0, 0),
+        Box::new(|_| {
+            Ok(vec![
+                Token::new("primary", "video"),
+                Token::new("secondary", "mpeg"),
+            ])
+        }),
+    );
+    reg.register(
+        "segment",
+        Version::new(1, 0, 0),
+        Box::new(move |_| {
+            let mut tokens = Vec::new();
+            for s in 0..shots {
+                tokens.push(Token::new("frameNo", (s * 100) as i64));
+                tokens.push(Token::new("frameNo", (s * 100 + 99) as i64));
+                tokens.push(Token::new(
+                    "type",
+                    if s % 2 == 0 { "tennis" } else { "other" },
+                ));
+            }
+            Ok(tokens)
+        }),
+    );
+    reg.register(
+        "tennis",
+        Version::new(1, 0, 0),
+        Box::new(move |inputs| {
+            let begin = inputs[1].as_f64().ok_or("no begin")? as i64;
+            let mut tokens = Vec::new();
+            for f in 0..frames_per_shot {
+                tokens.push(Token::new("frameNo", begin + f as i64));
+                tokens.push(Token::new("xPos", 320.0));
+                tokens.push(Token::new("yPos", 380.0));
+                tokens.push(Token::new("Area", 1200i64));
+                tokens.push(Token::new("Ecc", 0.8));
+                tokens.push(Token::new("Orient", 12.0));
+            }
+            Ok(tokens)
+        }),
+    );
+    reg
+}
+
+fn bench_fde(c: &mut Criterion) {
+    let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+    let initial = || vec![Token::new("location", FeatureValue::url("http://x/v.mpg"))];
+
+    let mut group = c.benchmark_group("e7_fde_throughput");
+    group.sample_size(30);
+    for (shots, frames) in [(10usize, 10usize), (50, 20)] {
+        // Tokens ≈ shots × 3 + tennis shots × frames × 6.
+        let tokens = shots * 3 + (shots / 2) * frames * 6;
+        group.throughput(Throughput::Elements(tokens as u64));
+        for (label, mode) in [
+            ("shared", StackMode::Shared),
+            ("copying", StackMode::Copying),
+        ] {
+            let mut reg = registry(shots, frames);
+            group.bench_function(
+                BenchmarkId::new(label, format!("{shots}shots_{frames}frames")),
+                |b| {
+                    b.iter(|| {
+                        let mut fde = Fde::with_mode(&grammar, &mut reg, mode);
+                        let tree = fde.parse(initial()).unwrap();
+                        tree.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // Cache-assisted re-parse (the FDS fast path).
+    let mut group = c.benchmark_group("e7_fde_cached_reparse");
+    group.sample_size(30);
+    let mut reg = registry(50, 20);
+    let tree = {
+        let mut fde = Fde::new(&grammar, &mut reg);
+        fde.parse(initial()).unwrap()
+    };
+    let cache = acoi::fde::harvest_cache(&grammar, &reg, &tree, |_| true);
+    group.bench_function("all_detectors_cached", |b| {
+        b.iter(|| {
+            let mut fde = Fde::new(&grammar, &mut reg);
+            let tree = fde.parse_with_cache(initial(), &cache).unwrap();
+            assert_eq!(fde.stats().detector_calls, 0);
+            tree.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fde);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E6 — the integrated (Figure 13) query at interactive speed.
+//!
+//! Paper claim: "at the physical layer the queries break down to
+//! structured database searches" — the mixed conceptual + content +
+//! ranked query is as cheap as its parts. Expected shape: latency scales
+//! gently with collection size and is dominated by the ranked-text part.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlsearch::qlang;
+
+const FIGURE13: &str = r#"
+    FROM Player
+    WHERE gender = "female" AND hand = "left"
+    TEXT history CONTAINS "Winner"
+    VIA Is_covered_in
+    MEDIA video HAS netplay
+    TOP 10
+"#;
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_integrated_query");
+    group.sample_size(20);
+
+    for players in [8usize, 16, 32] {
+        let (_, mut engine) = bench::populated_engine(players, players * 2);
+        let full = qlang::parse(FIGURE13).unwrap();
+        group.bench_function(BenchmarkId::new("figure13", players), |b| {
+            b.iter(|| engine.query(&full).unwrap().len())
+        });
+
+        let conceptual =
+            qlang::parse(r#"FROM Player WHERE gender = "female" TOP 100"#).unwrap();
+        group.bench_function(BenchmarkId::new("conceptual_only", players), |b| {
+            b.iter(|| engine.query(&conceptual).unwrap().len())
+        });
+
+        let text = qlang::parse(r#"FROM Player TEXT history CONTAINS "Winner" TOP 100"#)
+            .unwrap();
+        group.bench_function(BenchmarkId::new("text_only", players), |b| {
+            b.iter(|| engine.query(&text).unwrap().len())
+        });
+
+        let media =
+            qlang::parse("FROM Player VIA Is_covered_in MEDIA video HAS netplay TOP 100")
+                .unwrap();
+        group.bench_function(BenchmarkId::new("media_only", players), |b| {
+            b.iter(|| engine.query(&media).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,357 @@
+//! Audio analysis: the interview clips of the motivating example.
+//!
+//! "Apart from structural information, the site also contains multimedia
+//! fragments: audio files of interviews and even videos of tennis
+//! matches." The audio side of the logical level mirrors the video side:
+//! a synthetic raw layer ([`AudioClip`]: per-window energy,
+//! zero-crossing rate and pitch salience — the features classic
+//! speech/music discriminators consume), a window classifier, segment
+//! extraction, and speaker-turn counting, from which an
+//! `isInterview` concept is derived in the feature grammar.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One analysis window (~20 ms) of an audio clip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AudioWindow {
+    /// Short-time energy (0..1).
+    pub energy: f64,
+    /// Zero-crossing rate (0..1) — speech sits mid-range, music low.
+    pub zcr: f64,
+    /// Pitch salience (0..1) — music is strongly pitched and steady.
+    pub pitch: f64,
+    /// Fundamental frequency estimate in Hz (0 when unvoiced).
+    pub f0: f64,
+}
+
+/// Window/segment classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AudioClass {
+    /// Speech.
+    Speech,
+    /// Music (jingles, anthem).
+    Music,
+    /// Silence / low-energy background.
+    Silence,
+}
+
+/// A classified contiguous segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AudioSegment {
+    /// First window (inclusive).
+    pub begin: usize,
+    /// Last window (inclusive).
+    pub end: usize,
+    /// The class.
+    pub class: AudioClass,
+}
+
+/// Ground truth of a generated clip.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AudioTruth {
+    /// True segments with, for speech, the speaker index.
+    pub segments: Vec<(usize, usize, AudioClass, Option<u8>)>,
+    /// Number of speaker turns (speaker changes between consecutive
+    /// speech segments).
+    pub turns: usize,
+    /// Fraction of windows that are speech.
+    pub speech_ratio: f64,
+}
+
+/// A synthetic audio clip with ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AudioClip {
+    /// The raw window stream.
+    pub windows: Vec<AudioWindow>,
+    /// Ground truth.
+    pub truth: AudioTruth,
+}
+
+/// Blueprint of a clip: a sequence of parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AudioPart {
+    /// `windows` of speaker `id` (base pitch per speaker).
+    Speech {
+        /// Speaker index (0..4).
+        speaker: u8,
+        /// Window count.
+        windows: usize,
+    },
+    /// Music for `windows`.
+    Music {
+        /// Window count.
+        windows: usize,
+    },
+    /// Silence for `windows`.
+    Silence {
+        /// Window count.
+        windows: usize,
+    },
+}
+
+/// Generates a clip from parts, deterministically per seed.
+pub fn generate_clip(parts: &[AudioPart], seed: u64) -> AudioClip {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut windows = Vec::new();
+    let mut segments = Vec::new();
+    let mut speech_windows = 0usize;
+
+    for part in parts {
+        let begin = windows.len();
+        match part {
+            AudioPart::Speech { speaker, windows: n } => {
+                let base_f0 = 110.0 + 35.0 * f64::from(*speaker);
+                for _ in 0..*n {
+                    windows.push(AudioWindow {
+                        energy: 0.35 + rng.gen_range(0.0..0.4),
+                        zcr: 0.25 + rng.gen_range(0.0..0.2),
+                        pitch: 0.35 + rng.gen_range(0.0..0.2),
+                        f0: base_f0 + rng.gen_range(-6.0..6.0),
+                    });
+                }
+                speech_windows += n;
+                segments.push((begin, windows.len() - 1, AudioClass::Speech, Some(*speaker)));
+            }
+            AudioPart::Music { windows: n } => {
+                for _ in 0..*n {
+                    windows.push(AudioWindow {
+                        energy: 0.6 + rng.gen_range(0.0..0.2),
+                        zcr: 0.05 + rng.gen_range(0.0..0.08),
+                        pitch: 0.8 + rng.gen_range(0.0..0.15),
+                        f0: 440.0 + rng.gen_range(-4.0..4.0),
+                    });
+                }
+                segments.push((begin, windows.len() - 1, AudioClass::Music, None));
+            }
+            AudioPart::Silence { windows: n } => {
+                for _ in 0..*n {
+                    windows.push(AudioWindow {
+                        energy: rng.gen_range(0.0..0.04),
+                        zcr: rng.gen_range(0.0..0.5),
+                        pitch: rng.gen_range(0.0..0.1),
+                        f0: 0.0,
+                    });
+                }
+                segments.push((begin, windows.len() - 1, AudioClass::Silence, None));
+            }
+        }
+    }
+
+    // Turns: speaker changes between consecutive speech segments.
+    let speakers: Vec<u8> = segments
+        .iter()
+        .filter(|(_, _, c, _)| *c == AudioClass::Speech)
+        .map(|(_, _, _, s)| s.expect("speech segments carry a speaker"))
+        .collect();
+    let turns = speakers.windows(2).filter(|w| w[0] != w[1]).count();
+
+    let total = windows.len().max(1);
+    AudioClip {
+        truth: AudioTruth {
+            segments,
+            turns,
+            speech_ratio: speech_windows as f64 / total as f64,
+        },
+        windows,
+    }
+}
+
+/// A typical player interview: intro jingle, alternating
+/// reporter/player turns, outro.
+pub fn interview_clip(turn_pairs: usize, seed: u64) -> AudioClip {
+    let mut parts = vec![AudioPart::Music { windows: 20 }];
+    for _ in 0..turn_pairs {
+        parts.push(AudioPart::Speech {
+            speaker: 0,
+            windows: 30,
+        });
+        parts.push(AudioPart::Speech {
+            speaker: 1,
+            windows: 50,
+        });
+    }
+    parts.push(AudioPart::Silence { windows: 10 });
+    generate_clip(&parts, seed)
+}
+
+/// A non-interview clip: crowd ambience with the club anthem.
+pub fn ambience_clip(seed: u64) -> AudioClip {
+    generate_clip(
+        &[
+            AudioPart::Music { windows: 80 },
+            AudioPart::Silence { windows: 15 },
+            AudioPart::Music { windows: 60 },
+        ],
+        seed,
+    )
+}
+
+/// Energy threshold below which a window is silence.
+pub const SILENCE_ENERGY: f64 = 0.08;
+/// Pitch-salience threshold above which a non-silent window is music.
+pub const MUSIC_PITCH: f64 = 0.6;
+
+/// Classifies one window.
+pub fn classify_window(w: &AudioWindow) -> AudioClass {
+    if w.energy < SILENCE_ENERGY {
+        AudioClass::Silence
+    } else if w.pitch >= MUSIC_PITCH && w.zcr < 0.2 {
+        AudioClass::Music
+    } else {
+        AudioClass::Speech
+    }
+}
+
+/// Segments a clip into contiguous same-class runs (majority-smoothed
+/// over a 5-window neighbourhood to suppress flicker).
+pub fn segment_audio(clip: &AudioClip) -> Vec<AudioSegment> {
+    if clip.windows.is_empty() {
+        return Vec::new();
+    }
+    let raw: Vec<AudioClass> = clip.windows.iter().map(classify_window).collect();
+    // Majority smoothing.
+    let smoothed: Vec<AudioClass> = (0..raw.len())
+        .map(|i| {
+            let lo = i.saturating_sub(2);
+            let hi = (i + 2).min(raw.len() - 1);
+            let mut counts = [(AudioClass::Speech, 0usize), (AudioClass::Music, 0), (AudioClass::Silence, 0)];
+            for c in &raw[lo..=hi] {
+                for slot in counts.iter_mut() {
+                    if slot.0 == *c {
+                        slot.1 += 1;
+                    }
+                }
+            }
+            counts.iter().max_by_key(|(_, n)| *n).expect("non-empty").0
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    let mut begin = 0usize;
+    for i in 1..=smoothed.len() {
+        if i == smoothed.len() || smoothed[i] != smoothed[begin] {
+            out.push(AudioSegment {
+                begin,
+                end: i - 1,
+                class: smoothed[begin],
+            });
+            begin = i;
+        }
+    }
+    out
+}
+
+/// Block length (windows) over which f0 is averaged for turn detection.
+const TURN_BLOCK: usize = 10;
+
+/// Counts speaker turns: jumps of the block-averaged fundamental
+/// frequency above `threshold_hz` across the speech portions of the
+/// clip. Blocks (≈200 ms) smooth per-window pitch jitter; a speaker
+/// change moves the block mean by the inter-speaker f0 gap, whether the
+/// change falls inside one merged speech segment or across two.
+pub fn count_turns(clip: &AudioClip, segments: &[AudioSegment], threshold_hz: f64) -> usize {
+    // Concatenate the block-mean f0 series of all speech segments, in
+    // temporal order.
+    let mut block_means = Vec::new();
+    for segment in segments.iter().filter(|s| s.class == AudioClass::Speech) {
+        let span = &clip.windows[segment.begin..=segment.end];
+        for block in span.chunks(TURN_BLOCK) {
+            if block.len() >= TURN_BLOCK / 2 {
+                block_means.push(block.iter().map(|w| w.f0).sum::<f64>() / block.len() as f64);
+            }
+        }
+    }
+    // A turn = a jump between consecutive blocks; consecutive blocks of
+    // the same speaker differ only by jitter.
+    block_means
+        .windows(2)
+        .filter(|w| (w[0] - w[1]).abs() > threshold_hz)
+        .count()
+}
+
+/// The fraction of windows classified as speech.
+pub fn speech_ratio(segments: &[AudioSegment]) -> f64 {
+    let total: usize = segments.iter().map(|s| s.end - s.begin + 1).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let speech: usize = segments
+        .iter()
+        .filter(|s| s.class == AudioClass::Speech)
+        .map(|s| s.end - s.begin + 1)
+        .sum();
+    speech as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(interview_clip(2, 5), interview_clip(2, 5));
+    }
+
+    #[test]
+    fn segmentation_recovers_the_part_structure() {
+        let clip = interview_clip(2, 9);
+        let segments = segment_audio(&clip);
+        // music, sp0, sp1, sp0, sp1, silence — speech runs merge because
+        // adjacent speech segments share the class.
+        let classes: Vec<AudioClass> = segments.iter().map(|s| s.class).collect();
+        assert_eq!(
+            classes,
+            vec![AudioClass::Music, AudioClass::Speech, AudioClass::Silence]
+        );
+    }
+
+    #[test]
+    fn speech_ratio_matches_ground_truth() {
+        for seed in 0..10 {
+            let clip = interview_clip(3, seed);
+            let segments = segment_audio(&clip);
+            let measured = speech_ratio(&segments);
+            assert!(
+                (measured - clip.truth.speech_ratio).abs() < 0.06,
+                "seed {seed}: {measured} vs {}",
+                clip.truth.speech_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn interviews_have_speech_majority_and_ambience_does_not() {
+        for seed in 0..10 {
+            let interview = segment_audio(&interview_clip(2, seed));
+            assert!(speech_ratio(&interview) >= 0.5, "seed {seed}");
+            let ambience = segment_audio(&ambience_clip(seed));
+            assert!(speech_ratio(&ambience) < 0.2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn turn_counting_detects_speaker_alternation() {
+        // Silence between speech parts keeps speech segments separate,
+        // so f0 jumps are observable per segment.
+        let parts = [
+            AudioPart::Speech { speaker: 0, windows: 40 },
+            AudioPart::Silence { windows: 8 },
+            AudioPart::Speech { speaker: 1, windows: 40 },
+            AudioPart::Silence { windows: 8 },
+            AudioPart::Speech { speaker: 0, windows: 40 },
+        ];
+        let clip = generate_clip(&parts, 3);
+        let segments = segment_audio(&clip);
+        assert_eq!(count_turns(&clip, &segments, 20.0), 2);
+        assert_eq!(clip.truth.turns, 2);
+    }
+
+    #[test]
+    fn empty_clip_is_handled() {
+        let clip = generate_clip(&[], 1);
+        assert!(segment_audio(&clip).is_empty());
+        assert_eq!(speech_ratio(&[]), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Shot classification (Figure 5).
+//!
+//! "The algorithm classifies shots in four different categories: tennis,
+//! close-up, audience, and other. … The court shots are recognized based
+//! on dominant color, as explained. A shot is classified as a close-up,
+//! if it contains a significant amount of skin colored pixels. For the
+//! classification, we also use entropy characteristics, mean and
+//! variance."
+
+use crate::model::{Shot, ShotClass, Video};
+use crate::segment::{court_color, detect_shots};
+
+/// Skin-ratio threshold for close-ups.
+pub const CLOSEUP_SKIN: f64 = 0.3;
+/// Entropy threshold above which a non-court, non-closeup shot is an
+/// audience shot.
+pub const AUDIENCE_ENTROPY: f64 = 6.0;
+
+/// Classifies one shot given the learned court colour.
+pub fn classify_shot(shot: &Shot, court: Option<usize>) -> ShotClass {
+    if Some(shot.dominant) == court {
+        ShotClass::Tennis
+    } else if shot.skin >= CLOSEUP_SKIN {
+        ShotClass::Closeup
+    } else if shot.entropy >= AUDIENCE_ENTROPY {
+        ShotClass::Audience
+    } else {
+        ShotClass::Other
+    }
+}
+
+/// Full segmentation + classification of a video: the paper's combined
+/// "segment detector" ("the same algorithm encapsulates shot
+/// classification"). Returns each detected shot with its class.
+pub fn classify_video(video: &Video) -> Vec<(Shot, ShotClass)> {
+    let shots = detect_shots(video);
+    let court = court_color(&shots);
+    shots
+        .into_iter()
+        .map(|s| {
+            let class = classify_shot(&s, court);
+            (s, class)
+        })
+        .collect()
+}
+
+/// Classification accuracy against ground truth, assuming boundary
+/// detection found the true shots (which the segmenter test guarantees
+/// on synthetic broadcasts).
+pub fn classification_accuracy(video: &Video, classified: &[(Shot, ShotClass)]) -> f64 {
+    if classified.is_empty() {
+        return if video.truth.is_empty() { 1.0 } else { 0.0 };
+    }
+    let mut hits = 0usize;
+    for (shot, class) in classified {
+        // Match to the ground-truth shot with maximal overlap.
+        let best = video
+            .truth
+            .iter()
+            .max_by_key(|t| overlap(shot.begin, shot.end, t.begin, t.end));
+        if let Some(t) = best {
+            if t.class == *class {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / classified.len() as f64
+}
+
+fn overlap(a0: usize, a1: usize, b0: usize, b1: usize) -> usize {
+    let lo = a0.max(b0);
+    let hi = a1.min(b1);
+    hi.saturating_sub(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::BroadcastSpec;
+
+    #[test]
+    fn typical_broadcast_classifies_perfectly() {
+        let video = BroadcastSpec::typical(6, 33).generate();
+        let classified = classify_video(&video);
+        let acc = classification_accuracy(&video, &classified);
+        assert_eq!(acc, 1.0, "accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_is_robust_across_seeds() {
+        // The paper's evaluation is demo-style; we still demand ≥ 0.9
+        // across many random broadcasts (experiment F5).
+        let mut total = 0.0;
+        for seed in 0..20 {
+            let video = BroadcastSpec::typical(4, seed).generate();
+            let classified = classify_video(&video);
+            total += classification_accuracy(&video, &classified);
+        }
+        let mean = total / 20.0;
+        assert!(mean >= 0.9, "mean accuracy {mean}");
+    }
+
+    #[test]
+    fn tennis_shots_carry_the_court_colour() {
+        let video = BroadcastSpec::typical(3, 5).generate();
+        let classified = classify_video(&video);
+        for (shot, class) in classified {
+            if class == ShotClass::Tennis {
+                assert_eq!(shot.dominant, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn closeup_shots_have_high_skin() {
+        let video = BroadcastSpec::typical(3, 5).generate();
+        for (shot, class) in classify_video(&video) {
+            if class == ShotClass::Closeup {
+                assert!(shot.skin >= CLOSEUP_SKIN);
+            }
+        }
+    }
+}

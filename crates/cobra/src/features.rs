@@ -1,0 +1,98 @@
+//! Shape features of the segmented player.
+//!
+//! "Besides the player's position, we extract the dominant color, and
+//! standard shape features such as the mass center, the area, the
+//! bounding box, the orientation, and the eccentricity."
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Blob;
+
+/// The standard shape features of one segmented region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShapeFeatures {
+    /// Mass centre `(x, y)`.
+    pub center: (f64, f64),
+    /// Region area (pixels).
+    pub area: f64,
+    /// Bounding box `(width, height)`.
+    pub bbox: (f64, f64),
+    /// Major-axis orientation, degrees in `[0, 180)`.
+    pub orientation: f64,
+    /// Eccentricity of the fitted ellipse, in `[0, 1)`.
+    pub eccentricity: f64,
+}
+
+/// Computes shape features from a segmented region. The region is
+/// summarised by its blob parameters; the ellipse fitted to a blob of
+/// extent `w × h` has semi-axes proportional to `w` and `h`, giving
+/// `ecc = sqrt(1 - (minor/major)^2)`.
+pub fn shape_features(blob: &Blob) -> ShapeFeatures {
+    let (major, minor) = if blob.w >= blob.h {
+        (blob.w, blob.h)
+    } else {
+        (blob.h, blob.w)
+    };
+    let ratio = if major > 0.0 { minor / major } else { 1.0 };
+    let ecc = (1.0 - ratio * ratio).max(0.0).sqrt();
+    ShapeFeatures {
+        center: (blob.cx, blob.cy),
+        area: blob.area(),
+        bbox: (blob.w, blob.h),
+        orientation: blob.angle.rem_euclid(180.0),
+        eccentricity: ecc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(w: f64, h: f64) -> Blob {
+        Blob {
+            cx: 100.0,
+            cy: 200.0,
+            w,
+            h,
+            angle: 95.0,
+            fill: 0.5,
+        }
+    }
+
+    #[test]
+    fn circle_has_zero_eccentricity() {
+        let f = shape_features(&blob(30.0, 30.0));
+        assert!(f.eccentricity.abs() < 1e-12);
+    }
+
+    #[test]
+    fn elongated_region_is_eccentric() {
+        let f = shape_features(&blob(20.0, 80.0));
+        assert!(f.eccentricity > 0.9);
+        assert!(f.eccentricity < 1.0);
+    }
+
+    #[test]
+    fn orientation_wraps_into_half_circle() {
+        let mut b = blob(10.0, 20.0);
+        b.angle = 270.0;
+        assert_eq!(shape_features(&b).orientation, 90.0);
+        b.angle = -10.0;
+        assert!((shape_features(&b).orientation - 170.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn area_and_center_pass_through() {
+        let f = shape_features(&blob(10.0, 20.0));
+        assert_eq!(f.center, (100.0, 200.0));
+        assert_eq!(f.area, 100.0);
+        assert_eq!(f.bbox, (10.0, 20.0));
+    }
+
+    #[test]
+    fn orientation_independent_of_axis_order() {
+        let a = shape_features(&blob(20.0, 80.0));
+        let b = shape_features(&blob(80.0, 20.0));
+        assert_eq!(a.eccentricity, b.eccentricity);
+    }
+}

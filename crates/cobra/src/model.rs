@@ -1,0 +1,215 @@
+//! The four-layer COBRA data model (Figure 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of coarse colour-histogram bins per frame. Bin semantics used
+/// by the synthetic generator: 0 = skin tones, 1 = clay court, 2 = grass
+/// court, 3 = hard court (the Australian Open's Rebound Ace), 4–7 =
+/// crowd/background colours.
+pub const HIST_BINS: usize = 8;
+
+/// Raw layer: one frame's signal record.
+///
+/// The closest synthetic equivalent of decoded pixels: everything the
+/// paper's detectors read off a frame. Blobs model the connected
+/// components a colour-based segmentation would produce — the player,
+/// plus clutter (ball kids, line judges).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameSignal {
+    /// Normalised colour histogram (sums to 1).
+    pub histogram: [f64; HIST_BINS],
+    /// Fraction of skin-coloured pixels.
+    pub skin_ratio: f64,
+    /// Intensity entropy of the frame.
+    pub entropy: f64,
+    /// Mean intensity.
+    pub mean: f64,
+    /// Intensity variance.
+    pub variance: f64,
+    /// Candidate foreground blobs (pixel regions that differ from the
+    /// estimated court colour), if any.
+    pub blobs: Vec<Blob>,
+}
+
+/// A foreground pixel region in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Blob {
+    /// Mass-centre x (image coordinates, 0..=640).
+    pub cx: f64,
+    /// Mass-centre y (0 = net line end of the court, larger = baseline).
+    pub cy: f64,
+    /// Width of the bounding box.
+    pub w: f64,
+    /// Height of the bounding box.
+    pub h: f64,
+    /// Orientation of the major axis, degrees.
+    pub angle: f64,
+    /// Fraction of the bounding box covered by the region.
+    pub fill: f64,
+}
+
+impl Blob {
+    /// Area of the region (bounding box × fill).
+    pub fn area(&self) -> f64 {
+        self.w * self.h * self.fill
+    }
+}
+
+/// Shot classes of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShotClass {
+    /// A court shot (the class the rest of the pipeline analyses).
+    Tennis,
+    /// A close-up of a person.
+    Closeup,
+    /// A crowd/audience shot.
+    Audience,
+    /// Anything else.
+    Other,
+}
+
+impl ShotClass {
+    /// The lexical form used in feature-grammar tokens (Figure 7 uses
+    /// literals `"tennis"` and `"other"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShotClass::Tennis => "tennis",
+            ShotClass::Closeup => "closeup",
+            ShotClass::Audience => "audience",
+            ShotClass::Other => "other",
+        }
+    }
+}
+
+/// Feature layer: a detected shot with its per-shot features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Shot {
+    /// First frame index (inclusive).
+    pub begin: usize,
+    /// Last frame index (inclusive).
+    pub end: usize,
+    /// The most frequent dominant-colour bin within the shot.
+    pub dominant: usize,
+    /// Mean skin ratio within the shot.
+    pub skin: f64,
+    /// Mean entropy within the shot.
+    pub entropy: f64,
+    /// Mean intensity variance within the shot.
+    pub variance: f64,
+}
+
+impl Shot {
+    /// Number of frames in the shot.
+    pub fn len(&self) -> usize {
+        self.end - self.begin + 1
+    }
+
+    /// Whether the shot is empty (never produced by the segmenter).
+    pub fn is_empty(&self) -> bool {
+        self.end < self.begin
+    }
+}
+
+/// Object layer: the tracked player in one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlayerObservation {
+    /// Frame index.
+    pub frame: usize,
+    /// Mass-centre x.
+    pub x: f64,
+    /// Mass-centre y (small y = close to the net).
+    pub y: f64,
+    /// Region area.
+    pub area: f64,
+    /// Eccentricity of the region's ellipse (0 = circle, →1 = line).
+    pub eccentricity: f64,
+    /// Orientation of the major axis, degrees.
+    pub orientation: f64,
+}
+
+/// A complete (synthetic) video: the raw layer plus ground truth for
+/// scoring the pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Video {
+    /// Per-frame signal records.
+    pub frames: Vec<FrameSignal>,
+    /// Ground truth: one entry per true shot.
+    pub truth: Vec<ShotTruth>,
+}
+
+/// Ground truth for one generated shot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShotTruth {
+    /// First frame (inclusive).
+    pub begin: usize,
+    /// Last frame (inclusive).
+    pub end: usize,
+    /// True class.
+    pub class: ShotClass,
+    /// Whether the embedded player approaches the net during the shot
+    /// (only meaningful for tennis shots).
+    pub netplay: bool,
+    /// The true player path, one `(x, y)` per frame (tennis shots only).
+    pub player_path: Vec<(f64, f64)>,
+}
+
+impl Video {
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the video has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// Event layer: a recognised event with its temporal extent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Event name (`netplay`, `rally`, …).
+    pub name: String,
+    /// First frame of the evidence window.
+    pub begin: usize,
+    /// Last frame of the evidence window.
+    pub end: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_area_uses_fill() {
+        let b = Blob {
+            cx: 0.0,
+            cy: 0.0,
+            w: 10.0,
+            h: 20.0,
+            angle: 0.0,
+            fill: 0.5,
+        };
+        assert_eq!(b.area(), 100.0);
+    }
+
+    #[test]
+    fn shot_len_is_inclusive() {
+        let s = Shot {
+            begin: 10,
+            end: 19,
+            dominant: 3,
+            skin: 0.0,
+            entropy: 0.0,
+            variance: 0.0,
+        };
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn shot_class_lexical_forms_match_figure7_literals() {
+        assert_eq!(ShotClass::Tennis.as_str(), "tennis");
+        assert_eq!(ShotClass::Other.as_str(), "other");
+    }
+}

@@ -1,0 +1,196 @@
+//! Shot segmentation and dominant-colour analysis.
+//!
+//! "The shot boundaries are detected using differences in color
+//! histograms of neighboring frames. For each shot, we extract its
+//! dominant color. The dominant color that occurs most frequently is
+//! supposed to be the tennis court color. By analyzing the dominant
+//! color of all shots, our segmentation algorithm is generalized to work
+//! with different classes of tennis courts without changing any
+//! parameters."
+
+use crate::model::{Shot, Video, HIST_BINS};
+
+/// Histogram-difference threshold above which a boundary is declared.
+/// Within-shot noise keeps L1 distances well below this; palette changes
+/// across shots push far above it.
+pub const BOUNDARY_THRESHOLD: f64 = 0.4;
+
+/// L1 distance between two normalised histograms (0..=2).
+pub fn histogram_distance(a: &[f64; HIST_BINS], b: &[f64; HIST_BINS]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// The dominant colour bin of one frame histogram.
+pub fn dominant_bin(histogram: &[f64; HIST_BINS]) -> usize {
+    histogram
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("histograms are finite"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Segments a video into shots at histogram-difference boundaries and
+/// extracts per-shot features (dominant colour, skin, entropy, variance).
+pub fn detect_shots(video: &Video) -> Vec<Shot> {
+    if video.is_empty() {
+        return Vec::new();
+    }
+    let mut boundaries = vec![0usize];
+    for i in 1..video.len() {
+        let d = histogram_distance(&video.frames[i - 1].histogram, &video.frames[i].histogram);
+        if d > BOUNDARY_THRESHOLD {
+            boundaries.push(i);
+        }
+    }
+    boundaries.push(video.len());
+
+    boundaries
+        .windows(2)
+        .map(|w| summarise(video, w[0], w[1] - 1))
+        .collect()
+}
+
+fn summarise(video: &Video, begin: usize, end: usize) -> Shot {
+    let n = (end - begin + 1) as f64;
+    let mut dominant_votes = [0usize; HIST_BINS];
+    let (mut skin, mut entropy, mut variance) = (0.0, 0.0, 0.0);
+    for f in &video.frames[begin..=end] {
+        dominant_votes[dominant_bin(&f.histogram)] += 1;
+        skin += f.skin_ratio;
+        entropy += f.entropy;
+        variance += f.variance;
+    }
+    let dominant = dominant_votes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, v)| **v)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Shot {
+        begin,
+        end,
+        dominant,
+        skin: skin / n,
+        entropy: entropy / n,
+        variance: variance / n,
+    }
+}
+
+/// Learns the court colour: "the dominant color that occurs most
+/// frequently" across shots, weighted by shot length (court shots
+/// dominate broadcast time).
+pub fn court_color(shots: &[Shot]) -> Option<usize> {
+    let mut weight = [0usize; HIST_BINS];
+    for s in shots {
+        weight[s.dominant] += s.len();
+    }
+    weight
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, w)| **w)
+        .filter(|(_, w)| **w > 0)
+        .map(|(i, _)| i)
+}
+
+/// Boundary-detection quality against ground truth: (precision, recall).
+/// A detected boundary within `tolerance` frames of a true one counts.
+pub fn boundary_quality(video: &Video, shots: &[Shot], tolerance: usize) -> (f64, f64) {
+    let true_boundaries: Vec<usize> = video.truth.iter().skip(1).map(|t| t.begin).collect();
+    let detected: Vec<usize> = shots.iter().skip(1).map(|s| s.begin).collect();
+    if detected.is_empty() || true_boundaries.is_empty() {
+        return (
+            if detected.is_empty() { 1.0 } else { 0.0 },
+            if true_boundaries.is_empty() { 1.0 } else { 0.0 },
+        );
+    }
+    let matched_detected = detected
+        .iter()
+        .filter(|d| {
+            true_boundaries
+                .iter()
+                .any(|t| d.abs_diff(*t) <= tolerance)
+        })
+        .count();
+    let matched_truth = true_boundaries
+        .iter()
+        .filter(|t| detected.iter().any(|d| d.abs_diff(**t) <= tolerance))
+        .count();
+    (
+        matched_detected as f64 / detected.len() as f64,
+        matched_truth as f64 / true_boundaries.len() as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{BroadcastSpec, ShotSpec, TrajectorySpec};
+    use crate::model::ShotClass;
+
+    #[test]
+    fn detects_exact_boundaries_on_typical_broadcast() {
+        let video = BroadcastSpec::typical(5, 11).generate();
+        let shots = detect_shots(&video);
+        assert_eq!(shots.len(), video.truth.len());
+        let (precision, recall) = boundary_quality(&video, &shots, 0);
+        assert_eq!(precision, 1.0);
+        assert_eq!(recall, 1.0);
+    }
+
+    #[test]
+    fn empty_video_yields_no_shots() {
+        let video = Video {
+            frames: vec![],
+            truth: vec![],
+        };
+        assert!(detect_shots(&video).is_empty());
+    }
+
+    use crate::model::Video;
+
+    #[test]
+    fn court_color_learns_hard_court() {
+        let video = BroadcastSpec::typical(4, 3).generate();
+        let shots = detect_shots(&video);
+        assert_eq!(court_color(&shots), Some(3));
+    }
+
+    #[test]
+    fn court_color_generalises_to_clay_without_parameter_changes() {
+        // Same pipeline, clay court (bin 1) — the paper's generalisation
+        // claim.
+        let spec = BroadcastSpec {
+            shots: vec![
+                ShotSpec::tennis(60, 1, TrajectorySpec::baseline()),
+                ShotSpec::other(ShotClass::Audience, 30),
+                ShotSpec::tennis(60, 1, TrajectorySpec::approach_net()),
+            ],
+            seed: 21,
+        };
+        let video = spec.generate();
+        let shots = detect_shots(&video);
+        assert_eq!(court_color(&shots), Some(1));
+    }
+
+    #[test]
+    fn dominant_bin_picks_argmax() {
+        let mut h = [0.1; HIST_BINS];
+        h[5] = 0.3;
+        assert_eq!(dominant_bin(&h), 5);
+    }
+
+    #[test]
+    fn within_shot_distances_stay_below_threshold() {
+        let video = BroadcastSpec::typical(2, 17).generate();
+        for t in &video.truth {
+            for i in (t.begin + 1)..=t.end {
+                let d = histogram_distance(
+                    &video.frames[i - 1].histogram,
+                    &video.frames[i].histogram,
+                );
+                assert!(d < BOUNDARY_THRESHOLD, "frame {i}: {d}");
+            }
+        }
+    }
+}

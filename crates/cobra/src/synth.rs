@@ -1,0 +1,352 @@
+//! The synthetic tennis broadcast generator.
+//!
+//! Produces [`Video`]s whose per-frame signals have the statistical
+//! structure the paper's detectors rely on:
+//!
+//! * within a shot, histograms are stable around the shot's palette;
+//!   across a boundary they jump (driving histogram-difference
+//!   segmentation),
+//! * tennis shots are dominated by one court-colour bin (clay, grass or
+//!   hard court — the generator can mix court types, exercising the
+//!   paper's claim that learning the court colour generalises),
+//! * close-ups have high skin ratios, audience shots high entropy,
+//! * tennis frames embed a noisy player blob following a scripted
+//!   trajectory, plus clutter blobs (ball kids, line judges) that the
+//!   tracker must reject.
+//!
+//! Every video carries its ground truth so the pipeline can be scored.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{Blob, FrameSignal, ShotClass, ShotTruth, Video, HIST_BINS};
+
+/// Image width used by the generator (pixels).
+pub const IMG_W: f64 = 640.0;
+/// Image height; y = 0 is the net line, y = IMG_H the baseline.
+pub const IMG_H: f64 = 480.0;
+/// The y threshold below which a player counts as "at the net"
+/// (Figure 7 uses `player.yPos <= 170.0`).
+pub const NET_Y: f64 = 170.0;
+
+/// A scripted player trajectory within one tennis shot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectorySpec {
+    /// Starting position.
+    pub start: (f64, f64),
+    /// Per-frame velocity.
+    pub velocity: (f64, f64),
+}
+
+impl TrajectorySpec {
+    /// A baseline rally: the player stays near the baseline.
+    pub fn baseline() -> Self {
+        TrajectorySpec {
+            start: (IMG_W / 2.0, 400.0),
+            velocity: (1.5, 0.0),
+        }
+    }
+
+    /// A net approach: the player moves from the baseline towards the
+    /// net fast enough to cross [`NET_Y`] within ~60 frames.
+    pub fn approach_net() -> Self {
+        TrajectorySpec {
+            start: (IMG_W / 2.0, 420.0),
+            velocity: (0.5, -5.0),
+        }
+    }
+
+    /// Position at frame `i` of the shot, clamped to the image.
+    pub fn at(&self, i: usize) -> (f64, f64) {
+        let x = (self.start.0 + self.velocity.0 * i as f64).clamp(0.0, IMG_W);
+        let y = (self.start.1 + self.velocity.1 * i as f64).clamp(20.0, IMG_H);
+        (x, y)
+    }
+}
+
+/// One shot to generate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShotSpec {
+    /// The class of the shot.
+    pub class: ShotClass,
+    /// Number of frames.
+    pub frames: usize,
+    /// Court-colour bin for tennis shots (1 = clay, 2 = grass, 3 = hard).
+    pub court_bin: usize,
+    /// Player trajectory (tennis shots only).
+    pub trajectory: Option<TrajectorySpec>,
+}
+
+impl ShotSpec {
+    /// A tennis shot on the given court with a trajectory.
+    pub fn tennis(frames: usize, court_bin: usize, trajectory: TrajectorySpec) -> Self {
+        ShotSpec {
+            class: ShotClass::Tennis,
+            frames,
+            court_bin,
+            trajectory: Some(trajectory),
+        }
+    }
+
+    /// A non-tennis shot of the given class.
+    pub fn other(class: ShotClass, frames: usize) -> Self {
+        ShotSpec {
+            class,
+            frames,
+            court_bin: 3,
+            trajectory: None,
+        }
+    }
+}
+
+/// A whole broadcast to generate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BroadcastSpec {
+    /// The shots, in order.
+    pub shots: Vec<ShotSpec>,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl BroadcastSpec {
+    /// A typical match broadcast: alternating court play and cutaways,
+    /// on a hard court, with a net approach in every third tennis shot.
+    pub fn typical(num_tennis_shots: usize, seed: u64) -> Self {
+        let mut shots = Vec::new();
+        for i in 0..num_tennis_shots {
+            let trajectory = if i % 3 == 0 {
+                TrajectorySpec::approach_net()
+            } else {
+                TrajectorySpec::baseline()
+            };
+            shots.push(ShotSpec::tennis(60, 3, trajectory));
+            let cutaway = match i % 3 {
+                0 => ShotClass::Closeup,
+                1 => ShotClass::Audience,
+                _ => ShotClass::Other,
+            };
+            shots.push(ShotSpec::other(cutaway, 30));
+        }
+        BroadcastSpec { shots, seed }
+    }
+
+    /// Generates the video with ground truth.
+    pub fn generate(&self) -> Video {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut frames = Vec::new();
+        let mut truth = Vec::new();
+
+        for spec in &self.shots {
+            let begin = frames.len();
+            let mut player_path = Vec::new();
+            let mut netplay = false;
+            // Shot-level palette choice for `Other` shots: the dominant
+            // colour is a property of the scene, stable within the shot.
+            let other_bin = 4 + rng.gen_range(0..4usize);
+            for i in 0..spec.frames {
+                let mut signal = base_signal(spec, other_bin, &mut rng);
+                if let Some(tr) = &spec.trajectory {
+                    let (x, y) = tr.at(i);
+                    player_path.push((x, y));
+                    // The player blob: noisy observation of the true pose.
+                    let blob = player_blob(x, y, &mut rng);
+                    // Netplay ground truth is defined on the raw data the
+                    // detectors actually see (the rendered silhouette),
+                    // so a trajectory grazing the net line cannot create
+                    // label ambiguity between truth and observation.
+                    if blob.cy <= NET_Y {
+                        netplay = true;
+                    }
+                    signal.blobs.push(blob);
+                    // Clutter blobs: small, near the edges.
+                    for _ in 0..rng.gen_range(0..3usize) {
+                        signal.blobs.push(clutter_blob(&mut rng));
+                    }
+                }
+                frames.push(signal);
+            }
+            truth.push(ShotTruth {
+                begin,
+                end: frames.len().saturating_sub(1),
+                class: spec.class,
+                netplay,
+                player_path,
+            });
+        }
+        Video { frames, truth }
+    }
+}
+
+fn base_signal(spec: &ShotSpec, other_bin: usize, rng: &mut StdRng) -> FrameSignal {
+    let mut histogram = [0.0f64; HIST_BINS];
+    // Start from a small uniform floor plus noise.
+    for h in histogram.iter_mut() {
+        *h = 0.02 + rng.gen_range(0.0..0.02);
+    }
+    let (skin, entropy, mean, variance) = match spec.class {
+        ShotClass::Tennis => {
+            histogram[spec.court_bin] += 0.6 + rng.gen_range(0.0..0.05);
+            histogram[0] += 0.05; // a little skin (the players)
+            (
+                0.05 + rng.gen_range(0.0..0.03),
+                3.0 + rng.gen_range(0.0..0.4),
+                0.45 + rng.gen_range(0.0..0.05),
+                0.02 + rng.gen_range(0.0..0.01),
+            )
+        }
+        ShotClass::Closeup => {
+            histogram[0] += 0.55 + rng.gen_range(0.0..0.05); // skin bin
+            (
+                0.45 + rng.gen_range(0.0..0.15),
+                4.0 + rng.gen_range(0.0..0.5),
+                0.55 + rng.gen_range(0.0..0.05),
+                0.03 + rng.gen_range(0.0..0.01),
+            )
+        }
+        ShotClass::Audience => {
+            // Spread over the crowd bins: high entropy, high variance.
+            for h in histogram.iter_mut().take(HIST_BINS).skip(4) {
+                *h += 0.13 + rng.gen_range(0.0..0.04);
+            }
+            (
+                0.12 + rng.gen_range(0.0..0.05),
+                6.5 + rng.gen_range(0.0..0.5),
+                0.5 + rng.gen_range(0.0..0.1),
+                0.12 + rng.gen_range(0.0..0.04),
+            )
+        }
+        ShotClass::Other => {
+            histogram[other_bin] += 0.5 + rng.gen_range(0.0..0.1);
+            (
+                0.08 + rng.gen_range(0.0..0.04),
+                4.5 + rng.gen_range(0.0..0.5),
+                0.4 + rng.gen_range(0.0..0.2),
+                0.05 + rng.gen_range(0.0..0.02),
+            )
+        }
+    };
+    // Normalise the histogram.
+    let sum: f64 = histogram.iter().sum();
+    for h in histogram.iter_mut() {
+        *h /= sum;
+    }
+    FrameSignal {
+        histogram,
+        skin_ratio: skin,
+        entropy,
+        mean,
+        variance,
+        blobs: Vec::new(),
+    }
+}
+
+fn player_blob(x: f64, y: f64, rng: &mut StdRng) -> Blob {
+    // A standing human silhouette: tall, slightly tilted, ~60% fill.
+    Blob {
+        cx: x + rng.gen_range(-2.0..2.0),
+        cy: y + rng.gen_range(-2.0..2.0),
+        w: 28.0 + rng.gen_range(-3.0..3.0),
+        h: 70.0 + rng.gen_range(-5.0..5.0),
+        angle: 90.0 + rng.gen_range(-8.0..8.0),
+        fill: 0.6 + rng.gen_range(-0.05..0.05),
+    }
+}
+
+fn clutter_blob(rng: &mut StdRng) -> Blob {
+    // Small regions near the image edges.
+    let edge_x = if rng.gen_bool(0.5) {
+        rng.gen_range(0.0..60.0)
+    } else {
+        rng.gen_range(IMG_W - 60.0..IMG_W)
+    };
+    Blob {
+        cx: edge_x,
+        cy: rng.gen_range(0.0..IMG_H),
+        w: rng.gen_range(8.0..18.0),
+        h: rng.gen_range(10.0..30.0),
+        angle: rng.gen_range(0.0..180.0),
+        fill: rng.gen_range(0.4..0.8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = BroadcastSpec::typical(3, 42);
+        assert_eq!(spec.generate(), spec.generate());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = BroadcastSpec::typical(3, 1).generate();
+        let b = BroadcastSpec::typical(3, 2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn truth_covers_all_frames_contiguously() {
+        let v = BroadcastSpec::typical(4, 7).generate();
+        let mut expected_begin = 0;
+        for t in &v.truth {
+            assert_eq!(t.begin, expected_begin);
+            assert!(t.end >= t.begin);
+            expected_begin = t.end + 1;
+        }
+        assert_eq!(expected_begin, v.len());
+    }
+
+    #[test]
+    fn histograms_are_normalised() {
+        let v = BroadcastSpec::typical(2, 3).generate();
+        for f in &v.frames {
+            let sum: f64 = f.histogram.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tennis_frames_have_player_blobs_and_court_palette() {
+        let v = BroadcastSpec::typical(2, 9).generate();
+        for t in v.truth.iter().filter(|t| t.class == ShotClass::Tennis) {
+            for i in t.begin..=t.end {
+                let f = &v.frames[i];
+                assert!(!f.blobs.is_empty(), "frame {i} lacks blobs");
+                // Court bin 3 dominates.
+                let max_bin = f
+                    .histogram
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0;
+                assert_eq!(max_bin, 3, "frame {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn approach_net_trajectory_crosses_net_line() {
+        let tr = TrajectorySpec::approach_net();
+        assert!(tr.at(0).1 > NET_Y);
+        assert!(tr.at(59).1 <= NET_Y);
+        let v = BroadcastSpec {
+            shots: vec![ShotSpec::tennis(60, 2, tr)],
+            seed: 5,
+        }
+        .generate();
+        assert!(v.truth[0].netplay);
+    }
+
+    #[test]
+    fn baseline_trajectory_stays_back() {
+        let v = BroadcastSpec {
+            shots: vec![ShotSpec::tennis(60, 3, TrajectorySpec::baseline())],
+            seed: 5,
+        }
+        .generate();
+        assert!(!v.truth[0].netplay);
+    }
+}

@@ -1,0 +1,165 @@
+//! Player segmentation and tracking.
+//!
+//! "Player segmentation and tracking is done by the tennis detector.
+//! Using estimated statistics of the tennis field color, the algorithm
+//! does the initial quadratic segmentation of the first image of a video
+//! sequence classified as a playing shot. In the next frames, we predict
+//! the player position and search for a similar region in the
+//! neighborhood of the initially detected player."
+//!
+//! On the synthetic raw layer, "segmentation" selects among candidate
+//! blobs (the player plus clutter). Initial detection picks the largest,
+//! most person-shaped blob inside the court area; tracking predicts via
+//! constant velocity and accepts the nearest blob within a gate.
+
+use crate::features::shape_features;
+use crate::model::{Blob, PlayerObservation, Shot, Video};
+use crate::synth::{IMG_H, IMG_W};
+
+/// Maximum distance between predicted and observed position for a blob
+/// to be accepted as the player.
+pub const GATE_RADIUS: f64 = 60.0;
+/// Minimum plausible player blob area (filters ball kids / line judges).
+pub const MIN_PLAYER_AREA: f64 = 600.0;
+
+/// Tracks the player through one (tennis) shot; returns one observation
+/// per frame where the player was found.
+pub fn track_player(video: &Video, shot: &Shot) -> Vec<PlayerObservation> {
+    let mut out: Vec<PlayerObservation> = Vec::new();
+    let mut velocity = (0.0f64, 0.0f64);
+
+    for frame_idx in shot.begin..=shot.end {
+        let blobs = &video.frames[frame_idx].blobs;
+        let chosen = match out.last() {
+            None => initial_detection(blobs),
+            Some(prev) => {
+                let predicted = (prev.x + velocity.0, prev.y + velocity.1);
+                nearest_in_gate(blobs, predicted)
+                    // Lost the player: re-run initial detection
+                    // ("search for a similar region").
+                    .or_else(|| initial_detection(blobs))
+            }
+        };
+        if let Some(blob) = chosen {
+            let features = shape_features(&blob);
+            if let Some(prev) = out.last() {
+                velocity = (blob.cx - prev.x, blob.cy - prev.y);
+            }
+            out.push(PlayerObservation {
+                frame: frame_idx,
+                x: features.center.0,
+                y: features.center.1,
+                area: features.area,
+                eccentricity: features.eccentricity,
+                orientation: features.orientation,
+            });
+        }
+    }
+    out
+}
+
+/// Initial segmentation: the largest person-plausible blob within the
+/// central court area.
+fn initial_detection(blobs: &[Blob]) -> Option<Blob> {
+    blobs
+        .iter()
+        .filter(|b| b.area() >= MIN_PLAYER_AREA)
+        .filter(|b| b.cx > IMG_W * 0.1 && b.cx < IMG_W * 0.9 && b.cy > 0.0 && b.cy < IMG_H)
+        .max_by(|a, b| a.area().partial_cmp(&b.area()).expect("finite areas"))
+        .copied()
+}
+
+fn nearest_in_gate(blobs: &[Blob], predicted: (f64, f64)) -> Option<Blob> {
+    blobs
+        .iter()
+        .filter(|b| b.area() >= MIN_PLAYER_AREA)
+        .map(|b| {
+            let d = ((b.cx - predicted.0).powi(2) + (b.cy - predicted.1).powi(2)).sqrt();
+            (d, b)
+        })
+        .filter(|(d, _)| *d <= GATE_RADIUS)
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"))
+        .map(|(_, b)| *b)
+}
+
+/// Mean tracking error (pixels) against the ground-truth path.
+pub fn tracking_error(video: &Video, shot_truth_idx: usize, obs: &[PlayerObservation]) -> f64 {
+    let truth = &video.truth[shot_truth_idx];
+    if obs.is_empty() {
+        return f64::INFINITY;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for o in obs {
+        let i = o.frame - truth.begin;
+        if let Some((tx, ty)) = truth.player_path.get(i) {
+            total += ((o.x - tx).powi(2) + (o.y - ty).powi(2)).sqrt();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::INFINITY
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ShotClass;
+    use crate::classify::classify_video;
+    use crate::synth::BroadcastSpec;
+
+    #[test]
+    fn tracks_every_frame_of_a_tennis_shot() {
+        let video = BroadcastSpec::typical(3, 77).generate();
+        let classified = classify_video(&video);
+        for (shot, class) in &classified {
+            if *class != ShotClass::Tennis {
+                continue;
+            }
+            let obs = track_player(&video, shot);
+            assert_eq!(obs.len(), shot.len(), "lost track in shot {}", shot.begin);
+        }
+    }
+
+    #[test]
+    fn tracking_error_is_small_despite_clutter() {
+        let video = BroadcastSpec::typical(3, 123).generate();
+        let classified = classify_video(&video);
+        for (idx, (shot, class)) in classified.iter().enumerate() {
+            if *class != ShotClass::Tennis {
+                continue;
+            }
+            let obs = track_player(&video, shot);
+            let err = tracking_error(&video, idx, &obs);
+            assert!(err < 10.0, "shot {idx}: error {err}");
+        }
+    }
+
+    #[test]
+    fn net_approach_is_visible_in_the_y_series() {
+        let video = BroadcastSpec::typical(3, 9).generate();
+        let classified = classify_video(&video);
+        // Shot 0 is the approach-net shot in the typical broadcast.
+        let (shot, class) = &classified[0];
+        assert_eq!(*class, ShotClass::Tennis);
+        let obs = track_player(&video, shot);
+        let min_y = obs.iter().map(|o| o.y).fold(f64::INFINITY, f64::min);
+        assert!(min_y <= crate::synth::NET_Y, "min y {min_y}");
+    }
+
+    #[test]
+    fn non_tennis_shot_produces_no_track() {
+        let video = BroadcastSpec::typical(2, 13).generate();
+        let classified = classify_video(&video);
+        for (shot, class) in &classified {
+            if *class == ShotClass::Tennis {
+                continue;
+            }
+            // No blobs in cutaway shots → nothing to track.
+            assert!(track_player(&video, shot).is_empty());
+        }
+    }
+}

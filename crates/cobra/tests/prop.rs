@@ -1,0 +1,112 @@
+//! Property tests for the video pipeline: the detectors must recover the
+//! generator's ground truth across random broadcast structures.
+
+use cobra::events::EventRule;
+use cobra::segment::boundary_quality;
+use cobra::{
+    classify_video, detect_shots, track_player, BroadcastSpec, ShotClass, ShotSpec,
+    TrajectorySpec,
+};
+use proptest::prelude::*;
+
+/// Random broadcasts: alternating tennis and cutaway shots (a cutaway
+/// between court shots, as real direction does), random court, random
+/// trajectories.
+///
+/// Court shots strictly dominate broadcast time (40–80 frames vs 10–20
+/// per cutaway): the paper's court-colour learning — "the dominant color
+/// that occurs most frequently is supposed to be the tennis court
+/// color" — *assumes* this broadcast statistic, and indeed fails on
+/// pathological inputs where cutaway time matches court time.
+fn arb_spec() -> impl Strategy<Value = BroadcastSpec> {
+    let shot = (
+        40usize..80,                       // tennis frames
+        1usize..4,                         // court bin
+        prop::bool::ANY,                   // approach net?
+        10usize..20,                       // cutaway frames
+        0usize..3,                         // cutaway kind
+    );
+    (prop::collection::vec(shot, 1..6), any::<u64>()).prop_map(|(shots, seed)| {
+        let mut out = Vec::new();
+        let court = shots.first().map(|s| s.1).unwrap_or(3); // one court per match
+        for (frames, _, approach, cut_frames, cut_kind) in shots {
+            let trajectory = if approach {
+                TrajectorySpec::approach_net()
+            } else {
+                TrajectorySpec::baseline()
+            };
+            out.push(ShotSpec::tennis(frames, court, trajectory));
+            let class = match cut_kind {
+                0 => ShotClass::Closeup,
+                1 => ShotClass::Audience,
+                _ => ShotClass::Other,
+            };
+            out.push(ShotSpec::other(class, cut_frames));
+        }
+        BroadcastSpec { shots: out, seed }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn boundaries_are_recovered_exactly(spec in arb_spec()) {
+        let video = spec.generate();
+        let shots = detect_shots(&video);
+        let (precision, recall) = boundary_quality(&video, &shots, 0);
+        prop_assert_eq!(precision, 1.0);
+        prop_assert_eq!(recall, 1.0);
+    }
+
+    #[test]
+    fn tennis_shots_are_always_recognised(spec in arb_spec()) {
+        let video = spec.generate();
+        let classified = classify_video(&video);
+        for (i, truth) in video.truth.iter().enumerate() {
+            if truth.class == ShotClass::Tennis {
+                prop_assert_eq!(
+                    classified[i].1,
+                    ShotClass::Tennis,
+                    "shot {} misclassified", i
+                );
+            } else {
+                // Cutaways must never masquerade as court shots.
+                prop_assert_ne!(classified[i].1, ShotClass::Tennis, "shot {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn netplay_detection_matches_ground_truth(spec in arb_spec()) {
+        let video = spec.generate();
+        let classified = classify_video(&video);
+        let rule = EventRule::netplay();
+        for (i, (shot, class)) in classified.iter().enumerate() {
+            if *class != ShotClass::Tennis {
+                continue;
+            }
+            let track = track_player(&video, shot);
+            prop_assert_eq!(
+                rule.detect(&track).is_some(),
+                video.truth[i].netplay,
+                "shot {}", i
+            );
+        }
+    }
+
+    #[test]
+    fn tracking_error_stays_bounded(spec in arb_spec()) {
+        let video = spec.generate();
+        let classified = classify_video(&video);
+        for (i, (shot, class)) in classified.iter().enumerate() {
+            if *class != ShotClass::Tennis {
+                continue;
+            }
+            let obs = track_player(&video, shot);
+            prop_assert_eq!(obs.len(), shot.len(), "shot {} lost frames", i);
+            let err = cobra::track::tracking_error(&video, i, &obs);
+            prop_assert!(err < 10.0, "shot {}: error {}", i, err);
+        }
+    }
+}

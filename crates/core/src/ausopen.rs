@@ -1,0 +1,309 @@
+//! The running example, fully wired: the Australian Open search engine.
+//!
+//! This module is the paper's "developer" role made concrete — it models
+//! the three levels for the tennis domain:
+//!
+//! * the **webspace schema** of Figure 3
+//!   ([`webspace::paper::ausopen_schema`]),
+//! * the **re-engineering template rules** mapping the site's
+//!   presentation markup back to concepts (the "special purpose feature
+//!   grammar" for the HTML),
+//! * the **media feature grammar** — Figures 6–7 plus the audio branch
+//!   ([`feagram::paper::MEDIA_GRAMMAR`]),
+//! * the **detector implementations** binding the grammar to the COBRA
+//!   pipelines: `header` reads MIME types off the (simulated) server,
+//!   `segment` runs shot segmentation + classification, `tennis` runs
+//!   player tracking and shape-feature extraction, `interview` runs the
+//!   audio segmentation and speaker-turn analysis. The `netplay` and
+//!   `isInterview` whiteboxes need no implementation — their predicates
+//!   live in the grammar.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use acoi::{DetectorRegistry, Token, Version};
+use cobra::audio::{count_turns, segment_audio, speech_ratio};
+use cobra::{classify_video, track_player, ShotClass, Video};
+use websim::Site;
+use webspace::{MediaType, Retriever, TemplateRule};
+use webspace::retriever::{AttrKind, AttrRule, LinkRule, Selector};
+
+use crate::engine::{Engine, EngineConfig};
+use crate::error::Result;
+
+/// Builds the complete Australian Open engine over a (simulated) site.
+pub fn engine(site: Arc<Site>) -> Result<Engine> {
+    Engine::new(EngineConfig {
+        schema: webspace::paper::ausopen_schema(),
+        retriever: retriever(),
+        grammar_source: feagram::paper::MEDIA_GRAMMAR.to_owned(),
+        registry: detectors(site),
+    })
+}
+
+/// The template rules for the Australian Open site's page layouts.
+pub fn retriever() -> Retriever {
+    Retriever::new("AustralianOpen")
+        .rule(TemplateRule {
+            class: "Player".into(),
+            page_class: "bio-page".into(),
+            id_prefix: "player:".into(),
+            attrs: vec![
+                AttrRule {
+                    attr: "name".into(),
+                    selector: Selector::text("h1", "player-name"),
+                    kind: AttrKind::Text,
+                },
+                AttrRule {
+                    attr: "gender".into(),
+                    selector: Selector::text("td", "gender"),
+                    kind: AttrKind::Text,
+                },
+                AttrRule {
+                    attr: "country".into(),
+                    selector: Selector::text("td", "country"),
+                    kind: AttrKind::Text,
+                },
+                AttrRule {
+                    attr: "hand".into(),
+                    selector: Selector::text("td", "hand"),
+                    kind: AttrKind::Text,
+                },
+                AttrRule {
+                    attr: "picture".into(),
+                    selector: Selector::attr("img", "portrait", "src"),
+                    kind: AttrKind::Media(MediaType::Image),
+                },
+                AttrRule {
+                    attr: "history".into(),
+                    selector: Selector::text("div", "history"),
+                    kind: AttrKind::Text,
+                },
+            ],
+            links: vec![LinkRule {
+                association: "Is_covered_in".into(),
+                selector: Selector::attr("a", "profile-link", "href"),
+            }],
+        })
+        .rule(TemplateRule {
+            class: "Profile".into(),
+            page_class: "profile-page".into(),
+            id_prefix: "profile:".into(),
+            attrs: vec![
+                AttrRule {
+                    attr: "video".into(),
+                    selector: Selector::attr("a", "match-video", "href"),
+                    kind: AttrKind::Media(MediaType::Video),
+                },
+                AttrRule {
+                    attr: "interview".into(),
+                    selector: Selector::attr("a", "interview-audio", "href"),
+                    kind: AttrKind::Media(MediaType::Audio),
+                },
+            ],
+            links: vec![],
+        })
+        .rule(TemplateRule {
+            class: "Article".into(),
+            page_class: "article-page".into(),
+            id_prefix: "article:".into(),
+            attrs: vec![
+                AttrRule {
+                    attr: "title".into(),
+                    selector: Selector::text("h1", "headline"),
+                    kind: AttrKind::Text,
+                },
+                AttrRule {
+                    attr: "body".into(),
+                    selector: Selector::text("div", "story"),
+                    kind: AttrKind::Text,
+                },
+            ],
+            links: vec![LinkRule {
+                association: "About".into(),
+                selector: Selector::attr("a", "about-player", "href"),
+            }],
+        })
+}
+
+/// Registers the three blackbox detectors of the video grammar against
+/// the simulated site. Analysed videos are cached so `segment` and
+/// `tennis` share one decoded copy per location.
+pub fn detectors(site: Arc<Site>) -> DetectorRegistry {
+    type Cache = Arc<Mutex<HashMap<String, Arc<AnalyzedVideo>>>>;
+
+    struct AnalyzedVideo {
+        video: Video,
+        classified: Vec<(cobra::Shot, ShotClass)>,
+    }
+
+    fn analysed(site: &Site, cache: &Cache, url: &str) -> std::result::Result<Arc<AnalyzedVideo>, String> {
+        if let Some(v) = cache.lock().expect("cache lock").get(url) {
+            return Ok(Arc::clone(v));
+        }
+        let spec = site
+            .video(url)
+            .ok_or_else(|| format!("404: no video at {url}"))?;
+        let video = spec.generate();
+        let classified = classify_video(&video);
+        let entry = Arc::new(AnalyzedVideo { video, classified });
+        cache
+            .lock()
+            .expect("cache lock")
+            .insert(url.to_owned(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    let cache: Cache = Arc::new(Mutex::new(HashMap::new()));
+    let mut registry = DetectorRegistry::new();
+
+    // header: MIME sniffing over the simulated HTTP server.
+    {
+        let site = Arc::clone(&site);
+        registry.register(
+            "header",
+            Version::new(1, 0, 0),
+            Box::new(move |inputs| {
+                let url = inputs[0].as_str().ok_or("header: no location")?;
+                let (primary, secondary) = site.mime(url);
+                Ok(vec![
+                    Token::new("primary", primary),
+                    Token::new("secondary", secondary),
+                ])
+            }),
+        );
+    }
+
+    // segment: shot segmentation + classification (one combined
+    // algorithm, as in the paper).
+    {
+        let site = Arc::clone(&site);
+        let cache = Arc::clone(&cache);
+        registry.register(
+            "segment",
+            Version::new(1, 0, 0),
+            Box::new(move |inputs| {
+                let url = inputs[0].as_str().ok_or("segment: no location")?;
+                let analysed = analysed(&site, &cache, url)?;
+                let mut tokens = Vec::new();
+                for (shot, class) in &analysed.classified {
+                    tokens.push(Token::new("frameNo", shot.begin as i64));
+                    tokens.push(Token::new("frameNo", shot.end as i64));
+                    tokens.push(Token::new(
+                        "type",
+                        // The grammar's `type` alternatives are
+                        // "tennis" and "other" (Figure 7); close-ups and
+                        // audience shots take the "other" branch.
+                        if *class == ShotClass::Tennis {
+                            "tennis"
+                        } else {
+                            "other"
+                        },
+                    ));
+                }
+                Ok(tokens)
+            }),
+        );
+    }
+
+    // tennis: player segmentation, tracking and shape features for one
+    // court shot.
+    {
+        let site = Arc::clone(&site);
+        let cache = Arc::clone(&cache);
+        registry.register(
+            "tennis",
+            Version::new(1, 0, 0),
+            Box::new(move |inputs| {
+                let url = inputs[0].as_str().ok_or("tennis: no location")?;
+                let begin = inputs[1].as_f64().ok_or("tennis: no begin")? as usize;
+                let end = inputs[2].as_f64().ok_or("tennis: no end")? as usize;
+                let analysed = analysed(&site, &cache, url)?;
+                let shot = cobra::Shot {
+                    begin,
+                    end,
+                    dominant: 0,
+                    skin: 0.0,
+                    entropy: 0.0,
+                    variance: 0.0,
+                };
+                let mut tokens = Vec::new();
+                for obs in track_player(&analysed.video, &shot) {
+                    tokens.push(Token::new("frameNo", obs.frame as i64));
+                    tokens.push(Token::new("xPos", obs.x));
+                    tokens.push(Token::new("yPos", obs.y));
+                    tokens.push(Token::new("Area", obs.area.round() as i64));
+                    tokens.push(Token::new("Ecc", obs.eccentricity));
+                    tokens.push(Token::new("Orient", obs.orientation));
+                }
+                Ok(tokens)
+            }),
+        );
+    }
+
+    // interview: audio segmentation + speaker-turn analysis.
+    {
+        let site = Arc::clone(&site);
+        registry.register(
+            "interview",
+            Version::new(1, 0, 0),
+            Box::new(move |inputs| {
+                let url = inputs[0].as_str().ok_or("interview: no location")?;
+                let clip = site
+                    .audio(url)
+                    .ok_or_else(|| format!("404: no audio at {url}"))?;
+                let segments = segment_audio(clip);
+                Ok(vec![
+                    Token::new("speechRatio", speech_ratio(&segments)),
+                    Token::new("turnCount", count_turns(clip, &segments, 20.0) as i64),
+                ])
+            }),
+        );
+    }
+
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::SiteSpec;
+
+    #[test]
+    fn engine_builds_from_the_paper_artifacts() {
+        let site = Arc::new(Site::generate(SiteSpec::default()));
+        let engine = engine(site).unwrap();
+        assert_eq!(engine.schema().name(), "AustralianOpen");
+        assert_eq!(engine.grammar().start().symbol, "MMO");
+    }
+
+    #[test]
+    fn detectors_serve_the_video_grammar() {
+        let site = Arc::new(Site::generate(SiteSpec {
+            players: 2,
+            articles: 2,
+            seed: 8,
+        }));
+        let mut registry = detectors(Arc::clone(&site));
+        let video_url = site.players[0].video_url.clone();
+        let out = registry
+            .run("header", &[feagram::FeatureValue::url(video_url.clone())])
+            .unwrap();
+        assert_eq!(out[0].value.as_str(), Some("video"));
+        let shots = registry
+            .run("segment", &[feagram::FeatureValue::url(video_url)])
+            .unwrap();
+        // 8 shots × 3 tokens each.
+        assert_eq!(shots.len(), 24);
+    }
+
+    #[test]
+    fn segment_fails_on_missing_video() {
+        let site = Arc::new(Site::generate(SiteSpec::default()));
+        let mut registry = detectors(site);
+        let err = registry
+            .run("segment", &[feagram::FeatureValue::url("http://nowhere/x.mpg")])
+            .unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+    }
+}

@@ -1,0 +1,501 @@
+//! The search engine: lifecycle stages over the three levels.
+//!
+//! * **Modeling** — an [`EngineConfig`] carries the webspace schema, the
+//!   re-engineering template rules, the feature grammar and the detector
+//!   registry (the developer "does not have to model all the system
+//!   levels: the focus is on the upper levels").
+//! * **Populating** — [`Engine::populate`] runs the crawler output
+//!   through the web-object retriever, stores every materialized view as
+//!   an XML document (the physical level), feeds Hypertext attributes to
+//!   the full-text indexer, and hands every Video and Audio attribute to
+//!   the FDE, whose parse tree lands in the meta-index.
+//! * **Maintaining** — [`Engine::upgrade_detector`] delegates to the FDS:
+//!   incremental re-parses with memoised detector outputs.
+//! * **Querying** — [`Engine::query`] combines conceptual selection,
+//!   ranked text retrieval and media-event evidence into one answer.
+
+use std::collections::HashMap;
+
+use acoi::{DetectorRegistry, Fde, Fds, MaintenanceReport, MetaIndex, RevisionLevel, Token};
+use feagram::{FeatureValue, Grammar};
+use monetxml::XmlStore;
+use webspace::{AttrValue, MaterializedView, MediaType, Retriever, WebspaceIndex, WebspaceSchema};
+
+use crate::error::{Error, Result};
+use crate::query::{EngineHit, EngineQuery};
+use crate::shots::video_shots;
+
+/// Everything the developer models up front.
+pub struct EngineConfig {
+    /// The conceptual schema.
+    pub schema: WebspaceSchema,
+    /// Template rules for HTML re-engineering.
+    pub retriever: Retriever,
+    /// The feature grammar source (e.g.
+    /// [`feagram::paper::VIDEO_GRAMMAR`]).
+    pub grammar_source: String,
+    /// Implementations for the grammar's blackbox detectors.
+    pub registry: DetectorRegistry,
+}
+
+/// What one population run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PopulateReport {
+    /// Pages processed.
+    pub pages: usize,
+    /// Web objects extracted (after merging).
+    pub objects: usize,
+    /// Association instances extracted.
+    pub associations: usize,
+    /// Hypertext attributes indexed for full text.
+    pub text_documents: usize,
+    /// Multimedia objects (videos, audio clips) analysed by the FDE.
+    pub media_analyzed: usize,
+    /// Multimedia objects whose analysis was rejected by the grammar.
+    pub media_rejected: usize,
+    /// Blackbox detector executions during analysis.
+    pub detector_calls: usize,
+}
+
+/// The integrated search engine.
+pub struct Engine {
+    schema: WebspaceSchema,
+    retriever: Retriever,
+    grammar: Grammar,
+    registry: DetectorRegistry,
+    webspace: WebspaceIndex,
+    /// Conceptual data as stored XML (the physical level's view store).
+    views: XmlStore,
+    text: ir::TextIndex,
+    meta: MetaIndex,
+    fds: Fds,
+    /// Lazily computed media evidence per analysed location: the shot
+    /// list and per-event verdicts. Loading a stored parse tree means
+    /// reconstructing it from the Monet relations, so repeated queries
+    /// must not re-load it per candidate. Invalidated whenever the
+    /// meta-index changes (populate / maintenance / source refresh).
+    media_cache: HashMap<String, MediaEvidence>,
+}
+
+#[derive(Default, Clone)]
+struct MediaEvidence {
+    shots: Option<Vec<crate::shots::ShotMeta>>,
+    events: HashMap<String, bool>,
+}
+
+impl Engine {
+    /// Builds an engine from its model.
+    pub fn new(config: EngineConfig) -> Result<Engine> {
+        let grammar = feagram::parse_grammar(&config.grammar_source)?;
+        let fds = Fds::new(&grammar);
+        Ok(Engine {
+            webspace: WebspaceIndex::new(config.schema.clone()),
+            schema: config.schema,
+            retriever: config.retriever,
+            grammar,
+            registry: config.registry,
+            views: XmlStore::new(),
+            text: ir::TextIndex::new(ir::ScoreModel::TfIdf),
+            meta: MetaIndex::new(),
+            fds,
+            media_cache: HashMap::new(),
+        })
+    }
+
+    /// The conceptual schema.
+    pub fn schema(&self) -> &WebspaceSchema {
+        &self.schema
+    }
+
+    /// The feature grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// The merged object graph.
+    pub fn webspace(&self) -> &WebspaceIndex {
+        &self.webspace
+    }
+
+    /// The stored materialized views (physical level).
+    pub fn views(&self) -> &XmlStore {
+        &self.views
+    }
+
+    /// The meta-index of parse trees.
+    pub fn meta(&self) -> &MetaIndex {
+        &self.meta
+    }
+
+    /// Mutable meta-index access (experiments poke at stored trees).
+    pub fn meta_mut(&mut self) -> &mut MetaIndex {
+        &mut self.meta
+    }
+
+    /// The full-text index.
+    pub fn text_index(&self) -> &ir::TextIndex {
+        &self.text
+    }
+
+    /// The detector registry (call counters for experiments).
+    pub fn registry(&self) -> &DetectorRegistry {
+        &self.registry
+    }
+
+    /// Populates the index from crawled `(url, html)` pages.
+    pub fn populate(&mut self, pages: &[(String, String)]) -> Result<PopulateReport> {
+        let mut report = PopulateReport {
+            pages: pages.len(),
+            ..PopulateReport::default()
+        };
+
+        // Conceptual extraction (two passes: objects, then links).
+        let mut extracts = Vec::new();
+        for (url, html) in pages {
+            extracts.push(self.retriever.extract_page(url, html)?);
+        }
+        let views: Vec<MaterializedView> = self.retriever.finalize(extracts);
+
+        for view in &views {
+            // Physical storage of the view document…
+            let doc = view.to_document();
+            self.views.insert_document(&view.name, &doc)?;
+            // …and the merged conceptual graph.
+            self.webspace.add_view(view)?;
+            report.associations += view.associations.len();
+        }
+        report.objects = self.webspace.object_count();
+
+        // Logical level: full text + video analysis, driven by the
+        // schema's multimedia hooks.
+        let object_ids: Vec<String> = self
+            .webspace
+            .schema()
+            .classes()
+            .iter()
+            .flat_map(|c| {
+                self.webspace
+                    .objects_of(&c.name)
+                    .map(|o| o.id.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+
+        for id in object_ids {
+            let object = self
+                .webspace
+                .object(&id)
+                .expect("id enumerated from the index")
+                .clone();
+            let class = self
+                .schema
+                .class(&object.class)
+                .ok_or_else(|| Error::Config(format!("unknown class {}", object.class)))?
+                .clone();
+            for attr_def in &class.attributes {
+                let Some(value) = object.attr(&attr_def.name) else {
+                    continue;
+                };
+                match (&attr_def.ty, value) {
+                    // Inline hypertext → full-text index.
+                    (
+                        webspace::AttrType::Media(MediaType::Hypertext),
+                        AttrValue::Text(text),
+                    ) => {
+                        let key = text_doc_key(&object.id, &attr_def.name);
+                        self.text
+                            .index_document(&key, text)
+                            .map_err(Error::Ir)?;
+                        report.text_documents += 1;
+                    }
+                    // Video / audio → FDE analysis into the meta-index.
+                    (
+                        webspace::AttrType::Media(MediaType::Video | MediaType::Audio),
+                        AttrValue::Media { location, .. },
+                    ) => {
+                        if self.meta.contains(location) {
+                            continue; // shared media object, already analysed
+                        }
+                        let initial = vec![Token::new(
+                            "location",
+                            FeatureValue::url(location.clone()),
+                        )];
+                        let mut fde = Fde::new(&self.grammar, &mut self.registry);
+                        match fde.parse(initial.clone()) {
+                            Ok(tree) => {
+                                report.detector_calls += fde.stats().detector_calls;
+                                self.meta.insert(location, initial, &tree)?;
+                                report.media_analyzed += 1;
+                            }
+                            Err(acoi::Error::Reject { .. })
+                            | Err(acoi::Error::DetectorFailed { .. }) => {
+                                report.media_rejected += 1;
+                            }
+                            Err(e) => return Err(Error::Acoi(e)),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.text.commit().map_err(Error::Ir)?;
+        self.media_cache.clear();
+        Ok(report)
+    }
+
+    /// Renders the evaluation plan of a query as text — how the query
+    /// "breaks down to structured database searches" at the physical
+    /// layer.
+    pub fn explain(&self, q: &EngineQuery) -> String {
+        let mut out = String::new();
+        let mut step = 1usize;
+        let mut push = |out: &mut String, line: String| {
+            out.push_str(&format!("{step}. {line}\n"));
+            step += 1;
+        };
+        push(
+            &mut out,
+            format!(
+                "conceptual selection on {} ({} predicate(s)) over the merged object graph",
+                q.conceptual.from_class,
+                q.conceptual.predicates.len()
+            ),
+        );
+        if let Some(text) = &q.text {
+            push(
+                &mut out,
+                format!(
+                    "ranked text retrieval on {}.{} for {:?}, top {} ({})",
+                    q.conceptual.from_class,
+                    text.attr,
+                    text.query,
+                    text.top_n,
+                    if text.rank_within {
+                        "restricted a-priori to the conceptual candidates"
+                    } else {
+                        "global ranking, merged afterwards"
+                    }
+                ),
+            );
+        }
+        for join in &q.conceptual.joins {
+            push(
+                &mut out,
+                format!("join along association {}", join.association),
+            );
+        }
+        if let Some(media) = &q.media {
+            push(
+                &mut out,
+                format!(
+                    "media-event filter: {} on attribute {} (meta-index parse trees)",
+                    media.event, media.attr
+                ),
+            );
+        }
+        push(&mut out, format!("top {} by text score", q.limit));
+        out
+    }
+
+    /// Executes an integrated query.
+    pub fn query(&mut self, q: &EngineQuery) -> Result<Vec<EngineHit>> {
+        // 1. Conceptual selection and joins.
+        let rows = self.webspace.execute(&q.conceptual)?;
+
+        // 2. Ranked text retrieval on the start class. The optimizer
+        //    choice: global ranking merged afterwards, or ranking
+        //    restricted a-priori to the conceptual candidates.
+        let mut scores: Option<HashMap<String, f64>> = None;
+        if let Some(text) = &q.text {
+            let hits = if text.rank_within {
+                let candidates: std::collections::HashSet<String> = rows
+                    .iter()
+                    .filter_map(|r| r.chain.first())
+                    .map(|id| text_doc_key(id, &text.attr))
+                    .collect();
+                self.text
+                    .query_restricted(&text.query, text.top_n, &candidates)
+                    .map_err(Error::Ir)?
+                    .0
+            } else {
+                self.text
+                    .query(&text.query, text.top_n)
+                    .map_err(Error::Ir)?
+                    .0
+            };
+            let mut map = HashMap::new();
+            for hit in hits {
+                if let Some((object_id, attr)) = split_text_doc_key(&hit.url) {
+                    if attr == text.attr {
+                        map.insert(object_id.to_owned(), hit.score);
+                    }
+                }
+            }
+            scores = Some(map);
+        }
+
+        // 3. Media evidence on the final class.
+        let mut out = Vec::new();
+        for row in rows {
+            let first = row.chain.first().expect("non-empty chain").clone();
+            let score = match &scores {
+                Some(map) => match map.get(&first) {
+                    Some(s) => *s,
+                    None => continue, // outside the ranked top-N
+                },
+                None => 0.0,
+            };
+
+            let (video, shots) = if let Some(media) = &q.media {
+                // The event must exist in the grammar — an atom-paired
+                // whitebox detector (netplay, isInterview, …).
+                if self.grammar.detector(&media.event).is_none() {
+                    return Err(Error::Query(format!(
+                        "unknown media event `{}` (not a detector of the grammar)",
+                        media.event
+                    )));
+                }
+                let last = row.chain.last().expect("non-empty chain");
+                let Some(object) = self.webspace.object(last) else {
+                    continue;
+                };
+                let Some(AttrValue::Media { location, .. }) = object.attr(&media.attr)
+                else {
+                    continue;
+                };
+                let location = location.clone();
+                if !self.meta.contains(&location) {
+                    continue; // the object was never analysed
+                }
+                // Load the stored tree only when the cache cannot answer.
+                let need_tree = match self.media_cache.get(&location) {
+                    Some(ev) if media.event == "netplay" => ev.shots.is_none(),
+                    Some(ev) => !ev.events.contains_key(&media.event),
+                    None => true,
+                };
+                let tree = if need_tree {
+                    match self.meta.tree(&self.grammar, &location) {
+                        Ok(t) => t,
+                        Err(_) => continue,
+                    }
+                } else {
+                    acoi::ParseTree::new()
+                };
+                let evidence = self.media_cache.entry(location.clone()).or_default();
+                if media.event == "netplay" {
+                    // Video events answer at shot granularity.
+                    let shots = evidence
+                        .shots
+                        .get_or_insert_with(|| video_shots(&tree))
+                        .clone();
+                    let matching: Vec<_> = shots
+                        .into_iter()
+                        .filter(|s| s.netplay == Some(true))
+                        .collect();
+                    if matching.is_empty() {
+                        continue;
+                    }
+                    (Some(location), matching)
+                } else {
+                    // Generic event: any node of that symbol with a true
+                    // outcome.
+                    let event = media.event.clone();
+                    let holds = *evidence.events.entry(event).or_insert_with(|| {
+                        tree.find_all(&media.event).into_iter().any(|n| {
+                            tree.value(n) == Some(&feagram::FeatureValue::Bit(true))
+                        })
+                    });
+                    if !holds {
+                        continue;
+                    }
+                    (Some(location), Vec::new())
+                }
+            } else {
+                (None, Vec::new())
+            };
+
+            out.push(EngineHit {
+                chain: row.chain,
+                score,
+                video,
+                shots,
+            });
+        }
+
+        out.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.chain.cmp(&b.chain))
+        });
+        out.truncate(q.limit);
+        Ok(out)
+    }
+
+    /// Re-checks one analysed object against its source: when
+    /// `still_valid` reports the source data changed, the stored parse
+    /// tree is regenerated from scratch ("the FDS uses a special
+    /// detector associated to the start symbol to determine if the
+    /// complete stored parse tree has become invalid due to changes of
+    /// the source data"). Returns whether a regeneration happened.
+    pub fn refresh_source(
+        &mut self,
+        source: &str,
+        still_valid: impl Fn(&str) -> bool,
+    ) -> Result<bool> {
+        self.media_cache.remove(source);
+        self.fds
+            .refresh_source(
+                &self.grammar,
+                &mut self.registry,
+                &mut self.meta,
+                source,
+                still_valid,
+            )
+            .map_err(Error::Acoi)
+    }
+
+    /// Installs a new detector implementation and incrementally
+    /// maintains the meta-index (the FDS path).
+    pub fn upgrade_detector(
+        &mut self,
+        detector: &str,
+        level: RevisionLevel,
+        new_impl: acoi::DetectorFn,
+    ) -> Result<MaintenanceReport> {
+        self.media_cache.clear();
+        self.fds
+            .upgrade_detector(
+                &self.grammar,
+                &mut self.registry,
+                &mut self.meta,
+                detector,
+                level,
+                new_impl,
+            )
+            .map_err(Error::Acoi)
+    }
+}
+
+/// Key of a Hypertext attribute in the full-text document registry.
+fn text_doc_key(object_id: &str, attr: &str) -> String {
+    format!("{object_id}#{attr}")
+}
+
+fn split_text_doc_key(key: &str) -> Option<(&str, &str)> {
+    key.rsplit_once('#')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_doc_keys_round_trip() {
+        let key = text_doc_key("player:seles0", "history");
+        assert_eq!(
+            split_text_doc_key(&key),
+            Some(("player:seles0", "history"))
+        );
+        assert_eq!(split_text_doc_key("nokey"), None);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type of the integrated engine.
+
+use std::fmt;
+
+/// Errors from any of the three levels, unified.
+#[derive(Debug)]
+pub enum Error {
+    /// Conceptual-level error.
+    Webspace(webspace::Error),
+    /// Logical-level (grammar/engine/scheduler) error.
+    Acoi(acoi::Error),
+    /// Grammar-language error.
+    Feagram(feagram::Error),
+    /// Physical-level XML error.
+    Xml(monetxml::Error),
+    /// Retrieval error.
+    Ir(ir::Error),
+    /// Query formulation error.
+    Query(String),
+    /// Engine configuration error.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Webspace(e) => write!(f, "conceptual level: {e}"),
+            Error::Acoi(e) => write!(f, "logical level: {e}"),
+            Error::Feagram(e) => write!(f, "grammar: {e}"),
+            Error::Xml(e) => write!(f, "physical level: {e}"),
+            Error::Ir(e) => write!(f, "retrieval: {e}"),
+            Error::Query(m) => write!(f, "query error: {m}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Webspace(e) => Some(e),
+            Error::Acoi(e) => Some(e),
+            Error::Feagram(e) => Some(e),
+            Error::Xml(e) => Some(e),
+            Error::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<webspace::Error> for Error {
+    fn from(e: webspace::Error) -> Self {
+        Error::Webspace(e)
+    }
+}
+impl From<acoi::Error> for Error {
+    fn from(e: acoi::Error) -> Self {
+        Error::Acoi(e)
+    }
+}
+impl From<feagram::Error> for Error {
+    fn from(e: feagram::Error) -> Self {
+        Error::Feagram(e)
+    }
+}
+impl From<monetxml::Error> for Error {
+    fn from(e: monetxml::Error) -> Self {
+        Error::Xml(e)
+    }
+}
+impl From<ir::Error> for Error {
+    fn from(e: ir::Error) -> Self {
+        Error::Ir(e)
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,298 @@
+//! A small textual query language for the integrated engine.
+//!
+//! The paper's users compose queries in a GUI over the webspace schema
+//! (Figure 13); this module is the text-mode equivalent, compiling to an
+//! [`EngineQuery`]:
+//!
+//! ```text
+//! FROM Player
+//! WHERE gender = "female" AND hand = "left"
+//! TEXT history CONTAINS "Winner"
+//! VIA Is_covered_in
+//! MEDIA video HAS netplay
+//! TOP 10
+//! ```
+//!
+//! Clauses appear in that order; `WHERE`, `TEXT`, `VIA` (repeatable) and
+//! `MEDIA` are optional. Keywords are case-insensitive.
+
+use crate::error::{Error, Result};
+use crate::query::EngineQuery;
+
+/// Default `top_n` handed to the text retrieval stage.
+const DEFAULT_TEXT_TOP_N: usize = 100;
+
+/// Parses the textual form into an [`EngineQuery`].
+pub fn parse(input: &str) -> Result<EngineQuery> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+
+    p.expect_kw("FROM")?;
+    let class = p.expect_word("class name")?;
+    let mut query = EngineQuery::from_class(class);
+
+    if p.peek_kw("WHERE") {
+        p.pos += 1;
+        loop {
+            let attr = p.expect_word("attribute name")?;
+            let op = p.expect_word("operator")?;
+            match op.as_str() {
+                "=" => {
+                    let value = p.expect_string("value")?;
+                    query = query.filter_eq(attr, value);
+                }
+                _ if op.eq_ignore_ascii_case("CONTAINS") => {
+                    let needle = p.expect_string("value")?;
+                    query.conceptual = query
+                        .conceptual
+                        .filter(webspace::Predicate::Contains { attr, needle });
+                }
+                other => {
+                    return Err(Error::Query(format!(
+                        "unknown operator `{other}` (expected `=` or CONTAINS)"
+                    )))
+                }
+            }
+            if p.peek_kw("AND") {
+                p.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    if p.peek_kw("TEXT") {
+        p.pos += 1;
+        let attr = p.expect_word("attribute name")?;
+        p.expect_kw("CONTAINS")?;
+        let text = p.expect_string("search text")?;
+        query = query.text_search(attr, text, DEFAULT_TEXT_TOP_N);
+        // Optional `WITHIN`: restrict the ranking a-priori to the
+        // conceptual candidates (the paper's optimizer choice).
+        if p.peek_kw("WITHIN") {
+            p.pos += 1;
+            query = query.rank_within_candidates();
+        }
+    }
+
+    while p.peek_kw("VIA") {
+        p.pos += 1;
+        let association = p.expect_word("association name")?;
+        query = query.via(association);
+    }
+
+    if p.peek_kw("MEDIA") {
+        p.pos += 1;
+        let attr = p.expect_word("attribute name")?;
+        p.expect_kw("HAS")?;
+        let event = p.expect_word("event name")?;
+        query = query.media_event(attr, event);
+    }
+
+    if p.peek_kw("TOP") {
+        p.pos += 1;
+        let n = p.expect_word("limit")?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| Error::Query(format!("bad TOP limit `{n}`")))?;
+        query = query.top(n);
+    }
+
+    if p.pos < p.tokens.len() {
+        return Err(Error::Query(format!(
+            "unexpected trailing input near `{}`",
+            p.tokens[p.pos].text()
+        )));
+    }
+    Ok(query)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+}
+
+impl Tok {
+    fn text(&self) -> &str {
+        match self {
+            Tok::Word(w) => w,
+            Tok::Str(s) => s,
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+        } else if c == '"' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => break,
+                    Some(ch) => s.push(ch),
+                    None => return Err(Error::Query("unterminated string literal".into())),
+                }
+            }
+            out.push(Tok::Str(s));
+        } else if c == '=' {
+            chars.next();
+            out.push(Tok::Word("=".into()));
+        } else {
+            let mut w = String::new();
+            while let Some(&ch) = chars.peek() {
+                if ch.is_whitespace() || ch == '"' || ch == '=' {
+                    break;
+                }
+                w.push(ch);
+                chars.next();
+            }
+            out.push(Tok::Word(w));
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.tokens.get(self.pos), Some(Tok::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::Query(format!(
+                "expected keyword {kw}, found `{}`",
+                self.tokens
+                    .get(self.pos)
+                    .map(Tok::text)
+                    .unwrap_or("<end of input>")
+            )))
+        }
+    }
+
+    fn expect_word(&mut self, what: &str) -> Result<String> {
+        match self.tokens.get(self.pos) {
+            Some(Tok::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            other => Err(Error::Query(format!(
+                "expected {what}, found `{}`",
+                other.map(Tok::text).unwrap_or("<end of input>")
+            ))),
+        }
+    }
+
+    fn expect_string(&mut self, what: &str) -> Result<String> {
+        match self.tokens.get(self.pos) {
+            Some(Tok::Str(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => Err(Error::Query(format!(
+                "expected quoted {what}, found `{}`",
+                other.map(Tok::text).unwrap_or("<end of input>")
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure13_query_parses() {
+        let q = parse(
+            r#"
+            FROM Player
+            WHERE gender = "female" AND hand = "left"
+            TEXT history CONTAINS "Winner"
+            VIA Is_covered_in
+            MEDIA video HAS netplay
+            TOP 10
+            "#,
+        )
+        .unwrap();
+        assert_eq!(q.conceptual.from_class, "Player");
+        assert_eq!(q.conceptual.predicates.len(), 2);
+        assert_eq!(q.conceptual.joins.len(), 1);
+        assert_eq!(q.text.as_ref().unwrap().attr, "history");
+        assert_eq!(q.media.as_ref().unwrap().event, "netplay");
+        assert_eq!(q.limit, 10);
+    }
+
+    #[test]
+    fn within_restricts_the_ranking_domain() {
+        let q = parse(r#"FROM Player TEXT history CONTAINS "Winner" WITHIN"#).unwrap();
+        assert!(q.text.as_ref().unwrap().rank_within);
+        let q = parse(r#"FROM Player TEXT history CONTAINS "Winner""#).unwrap();
+        assert!(!q.text.as_ref().unwrap().rank_within);
+    }
+
+    #[test]
+    fn minimal_query_parses() {
+        let q = parse("FROM Article").unwrap();
+        assert_eq!(q.conceptual.from_class, "Article");
+        assert!(q.text.is_none());
+        assert!(q.media.is_none());
+        assert_eq!(q.limit, 10);
+    }
+
+    #[test]
+    fn where_contains_predicate() {
+        let q = parse(r#"FROM Article WHERE title CONTAINS "final""#).unwrap();
+        assert_eq!(q.conceptual.predicates.len(), 1);
+        assert!(matches!(
+            &q.conceptual.predicates[0],
+            webspace::Predicate::Contains { .. }
+        ));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let q = parse(r#"from Player where hand = "left" top 3"#).unwrap();
+        assert_eq!(q.limit, 3);
+    }
+
+    #[test]
+    fn multiple_via_steps_chain() {
+        let q = parse("FROM Article VIA About VIA Is_covered_in").unwrap();
+        assert_eq!(q.conceptual.joins.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("WHERE x").unwrap_err().to_string().contains("FROM"));
+        assert!(parse("FROM Player WHERE a ~ \"b\"")
+            .unwrap_err()
+            .to_string()
+            .contains("operator"));
+        assert!(parse("FROM Player TOP ten")
+            .unwrap_err()
+            .to_string()
+            .contains("TOP"));
+        assert!(parse("FROM Player garbage")
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+        assert!(parse(r#"FROM Player WHERE a = "unclosed"#)
+            .unwrap_err()
+            .to_string()
+            .contains("unterminated"));
+    }
+}

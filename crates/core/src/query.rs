@@ -1,0 +1,165 @@
+//! The integrated query model: conceptual ∧ content-based ∧ ranked text.
+//!
+//! "The integration of all this functionality allows the combination of
+//! both conceptual and content-based querying in the query stage. This
+//! integration is missing in traditional search engines."
+//!
+//! An [`EngineQuery`] wraps a conceptual query (class selection +
+//! association chain) with up to two content-based parts:
+//!
+//! * a [`TextPredicate`] — ranked full-text retrieval over a Hypertext
+//!   attribute of the start class (the Figure 13 query turns "who has
+//!   won the Australian Open in the past" into "a free text search on
+//!   the word 'Winner' in the history attribute"),
+//! * a [`MediaPredicate`] — an event test over the meta-index parse tree
+//!   of a Video attribute of the *final* class in the chain (the
+//!   `netplay` event "is used to determine which shots match the phrase
+//!   'approach the net'").
+
+use serde::{Deserialize, Serialize};
+
+use crate::shots::ShotMeta;
+
+/// Ranked full-text search on a Hypertext attribute of the start class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TextPredicate {
+    /// The attribute searched.
+    pub attr: String,
+    /// The free-text query.
+    pub query: String,
+    /// How many ranked objects to keep before joining.
+    pub top_n: usize,
+    /// The query-optimizer choice the paper leaves open: `false` ranks
+    /// the whole collection and merges afterwards (global top-N);
+    /// `true` restricts the ranking a-priori to the conceptual
+    /// candidates ("a very interesting a-priori restriction of the
+    /// ranking candidate set") — cheaper, and top-N is then *within*
+    /// the candidate domain.
+    pub rank_within: bool,
+}
+
+/// An event test on a Video attribute of the final class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MediaPredicate {
+    /// The video attribute.
+    pub attr: String,
+    /// The event name (currently `netplay`).
+    pub event: String,
+}
+
+/// The integrated query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineQuery {
+    /// The conceptual part.
+    pub conceptual: webspace::ConceptualQuery,
+    /// Optional ranked text part (start class).
+    pub text: Option<TextPredicate>,
+    /// Optional media-event part (final class).
+    pub media: Option<MediaPredicate>,
+    /// Result limit.
+    pub limit: usize,
+}
+
+impl EngineQuery {
+    /// A query over `class` with no predicates and limit 10.
+    pub fn from_class(class: impl Into<String>) -> Self {
+        EngineQuery {
+            conceptual: webspace::ConceptualQuery::from_class(class),
+            text: None,
+            media: None,
+            limit: 10,
+        }
+    }
+
+    /// Adds a conceptual equality predicate (builder style).
+    pub fn filter_eq(mut self, attr: impl Into<String>, value: impl Into<String>) -> Self {
+        self.conceptual = self.conceptual.filter(webspace::Predicate::Eq {
+            attr: attr.into(),
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Adds a join step along an association (builder style).
+    pub fn via(mut self, association: impl Into<String>) -> Self {
+        self.conceptual = self.conceptual.join(association, vec![]);
+        self
+    }
+
+    /// Sets the ranked-text part (builder style).
+    pub fn text_search(
+        mut self,
+        attr: impl Into<String>,
+        query: impl Into<String>,
+        top_n: usize,
+    ) -> Self {
+        self.text = Some(TextPredicate {
+            attr: attr.into(),
+            query: query.into(),
+            top_n,
+            rank_within: false,
+        });
+        self
+    }
+
+    /// Switches the text part to candidate-restricted ranking (builder
+    /// style; no-op without a text part).
+    pub fn rank_within_candidates(mut self) -> Self {
+        if let Some(text) = &mut self.text {
+            text.rank_within = true;
+        }
+        self
+    }
+
+    /// Sets the media-event part (builder style).
+    pub fn media_event(mut self, attr: impl Into<String>, event: impl Into<String>) -> Self {
+        self.media = Some(MediaPredicate {
+            attr: attr.into(),
+            event: event.into(),
+        });
+        self
+    }
+
+    /// Sets the result limit (builder style).
+    pub fn top(mut self, limit: usize) -> Self {
+        self.limit = limit;
+        self
+    }
+}
+
+/// One integrated query answer: conceptual data plus content evidence —
+/// "specific conceptual information can be fetched as the result of a
+/// query, rather than a bunch of relevant document URLs".
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineHit {
+    /// The matched object chain (start class first).
+    pub chain: Vec<String>,
+    /// Text-retrieval score (0 when no text part).
+    pub score: f64,
+    /// The video location the media evidence came from, if any.
+    pub video: Option<String>,
+    /// The shots satisfying the media event (empty when no media part).
+    pub shots: Vec<ShotMeta>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_the_figure13_query() {
+        let q = EngineQuery::from_class("Player")
+            .filter_eq("gender", "female")
+            .filter_eq("hand", "left")
+            .text_search("history", "Winner", 10)
+            .via("Is_covered_in")
+            .media_event("video", "netplay")
+            .top(10);
+        assert_eq!(q.conceptual.from_class, "Player");
+        assert_eq!(q.conceptual.predicates.len(), 2);
+        assert_eq!(q.conceptual.joins.len(), 1);
+        assert_eq!(q.text.as_ref().unwrap().query, "Winner");
+        assert_eq!(q.media.as_ref().unwrap().event, "netplay");
+        assert_eq!(q.limit, 10);
+    }
+}

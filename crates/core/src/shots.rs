@@ -1,0 +1,142 @@
+//! Reading shot structure back out of stored parse trees.
+//!
+//! The video feature grammar (Figure 7) shapes a video's meta-data as
+//! `segment : shot*` with `shot : begin end type`; this module projects a
+//! parse tree onto that shape so the query level can return "video
+//! shots" — the answer granularity of the Figure 13 query.
+
+use acoi::{PNodeId, ParseTree};
+use feagram::FeatureValue;
+
+/// One shot as recorded in the meta-index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShotMeta {
+    /// First frame.
+    pub begin: i64,
+    /// Last frame.
+    pub end: i64,
+    /// Whether the shot was classified as a tennis (court) shot.
+    pub is_tennis: bool,
+    /// The netplay event outcome, when the shot is a tennis shot.
+    pub netplay: Option<bool>,
+}
+
+/// Extracts all shots from a video parse tree.
+pub fn video_shots(tree: &ParseTree) -> Vec<ShotMeta> {
+    tree.find_all("shot")
+        .into_iter()
+        .filter_map(|shot| shot_meta(tree, shot))
+        .collect()
+}
+
+fn shot_meta(tree: &ParseTree, shot: PNodeId) -> Option<ShotMeta> {
+    let mut begin = None;
+    let mut end = None;
+    let mut is_tennis = false;
+    let mut netplay = None;
+    for child in tree.children(shot) {
+        match tree.symbol(*child) {
+            "begin" => begin = frame_no(tree, *child),
+            "end" => end = frame_no(tree, *child),
+            "type" => {
+                // `type : "tennis" tennis;` — a tennis subtree marks a
+                // court shot; its event carries the netplay bit.
+                for tc in tree.children(*child) {
+                    if tree.symbol(*tc) == "tennis" {
+                        is_tennis = true;
+                        for n in tree.preorder(*tc) {
+                            if tree.symbol(n) == "netplay" {
+                                netplay = tree.value(n).and_then(|v| match v {
+                                    FeatureValue::Bit(b) => Some(*b),
+                                    _ => None,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(ShotMeta {
+        begin: begin?,
+        end: end?,
+        is_tennis,
+        netplay,
+    })
+}
+
+fn frame_no(tree: &ParseTree, node: PNodeId) -> Option<i64> {
+    tree.children(node).iter().find_map(|c| {
+        if tree.symbol(*c) == "frameNo" {
+            tree.value(*c).and_then(|v| match v {
+                FeatureValue::Int(i) => Some(*i),
+                _ => None,
+            })
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acoi::tree::PNodeKind;
+
+    fn build_tree() -> ParseTree {
+        let mut t = ParseTree::new();
+        let mmo = t.add(None, "MMO", PNodeKind::Variable);
+        let segment = t.add(Some(mmo), "segment", PNodeKind::Detector);
+        // Shot 1: tennis with netplay.
+        let s1 = t.add(Some(segment), "shot", PNodeKind::Variable);
+        add_frame(&mut t, s1, "begin", 0);
+        add_frame(&mut t, s1, "end", 59);
+        let ty1 = t.add(Some(s1), "type", PNodeKind::Variable);
+        let tennis = t.add(Some(ty1), "tennis", PNodeKind::Detector);
+        let event = t.add(Some(tennis), "event", PNodeKind::Variable);
+        let np = t.add(Some(event), "netplay", PNodeKind::Detector);
+        t.set_value(np, FeatureValue::Bit(true));
+        // Shot 2: other.
+        let s2 = t.add(Some(segment), "shot", PNodeKind::Variable);
+        add_frame(&mut t, s2, "begin", 60);
+        add_frame(&mut t, s2, "end", 89);
+        let ty2 = t.add(Some(s2), "type", PNodeKind::Variable);
+        let lit = t.add(Some(ty2), "literal", PNodeKind::Literal);
+        t.set_value(lit, FeatureValue::from("other"));
+        t
+    }
+
+    fn add_frame(t: &mut ParseTree, parent: PNodeId, tag: &str, v: i64) {
+        let n = t.add(Some(parent), tag, PNodeKind::Variable);
+        let f = t.add(Some(n), "frameNo", PNodeKind::Terminal);
+        t.set_value(f, FeatureValue::Int(v));
+    }
+
+    #[test]
+    fn shots_are_extracted_with_classification() {
+        let shots = video_shots(&build_tree());
+        assert_eq!(
+            shots,
+            vec![
+                ShotMeta {
+                    begin: 0,
+                    end: 59,
+                    is_tennis: true,
+                    netplay: Some(true)
+                },
+                ShotMeta {
+                    begin: 60,
+                    end: 89,
+                    is_tennis: false,
+                    netplay: None
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_tree_has_no_shots() {
+        assert!(video_shots(&ParseTree::new()).is_empty());
+    }
+}

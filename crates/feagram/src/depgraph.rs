@@ -1,0 +1,396 @@
+//! The dependency graph (Figure 8) and the traversals the Feature
+//! Detector Scheduler performs on it.
+//!
+//! Node types are the basic symbol types (atom / variable / detector);
+//! edge types are:
+//!
+//! 1. **sibling** — symbols appearing together in one right-hand side
+//!    "influence the validity of each other" (undirected),
+//! 2. **rule** — the left-hand symbol depends on the validity of the
+//!    *last obligatory* right-hand symbol (directed),
+//! 3. **parameter** — a detector depends on the symbols its input paths
+//!    (or whitebox predicate paths) mention (directed).
+//!
+//! The three FDS invalidation steps map to three traversals here:
+//! [`DepGraph::downward_closure`] (step 1), [`DepGraph::parameter_dependents`]
+//! (step 2) and [`DepGraph::upward_to_detector`] (step 3).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::{DetectorKind, Grammar};
+
+/// Edge classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Undirected co-occurrence in a right-hand side.
+    Sibling,
+    /// Directed lhs → last-obligatory-rhs-symbol.
+    Rule,
+    /// Directed detector → input symbol.
+    Parameter,
+}
+
+/// One dependency edge.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// Source symbol.
+    pub from: String,
+    /// Target symbol.
+    pub to: String,
+    /// Edge kind.
+    pub kind: EdgeKind,
+}
+
+/// The dependency graph of one grammar.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DepGraph {
+    nodes: BTreeSet<String>,
+    edges: BTreeSet<DepEdge>,
+    /// rule edges indexed by source.
+    rule_out: BTreeMap<String, BTreeSet<String>>,
+    /// sibling adjacency (undirected, stored both ways).
+    sibling: BTreeMap<String, BTreeSet<String>>,
+    /// parameter edges indexed by *target* (for dependent lookups).
+    param_in: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl DepGraph {
+    /// Derives the dependency graph from a grammar.
+    pub fn build(grammar: &Grammar) -> Self {
+        let mut g = DepGraph {
+            nodes: BTreeSet::new(),
+            edges: BTreeSet::new(),
+            rule_out: BTreeMap::new(),
+            sibling: BTreeMap::new(),
+            param_in: BTreeMap::new(),
+        };
+
+        for (name, _) in grammar.symbols().iter() {
+            g.nodes.insert(name.to_owned());
+        }
+        for rule in grammar.rules() {
+            g.nodes.insert(rule.lhs.clone());
+        }
+
+        // Sibling + rule edges, per rule.
+        for rule in grammar.rules() {
+            let symbols: Vec<&str> = {
+                let mut seen = BTreeSet::new();
+                rule.rhs_symbols()
+                    .into_iter()
+                    .filter(|s| seen.insert(*s))
+                    .collect()
+            };
+            for (i, a) in symbols.iter().enumerate() {
+                for b in &symbols[i + 1..] {
+                    g.add_sibling(a, b);
+                }
+            }
+            if let Some(last) = rule.last_obligatory_symbol() {
+                if last != rule.lhs {
+                    g.add_rule(&rule.lhs, last);
+                }
+            }
+        }
+
+        // Parameter edges, per detector.
+        for det in grammar.detectors() {
+            let paths: Vec<&crate::ast::PathExpr> = match &det.kind {
+                DetectorKind::Blackbox { inputs, .. } => inputs.iter().collect(),
+                DetectorKind::Whitebox { predicate, .. } => predicate.paths(),
+                DetectorKind::Special { .. } => continue,
+            };
+            for path in paths {
+                for seg in path.segments() {
+                    if seg != &det.name {
+                        g.add_param(&det.name, seg);
+                    }
+                }
+            }
+        }
+
+        // The start declaration's argument paths behave like parameters of
+        // the start symbol (changing the minimum token set invalidates it).
+        for arg in &grammar.start().args {
+            for seg in arg.segments() {
+                if seg != &grammar.start().symbol {
+                    g.add_param(&grammar.start().symbol, seg);
+                }
+            }
+        }
+
+        g
+    }
+
+    fn add_sibling(&mut self, a: &str, b: &str) {
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        self.edges.insert(DepEdge {
+            from: x.to_owned(),
+            to: y.to_owned(),
+            kind: EdgeKind::Sibling,
+        });
+        self.sibling
+            .entry(a.to_owned())
+            .or_default()
+            .insert(b.to_owned());
+        self.sibling
+            .entry(b.to_owned())
+            .or_default()
+            .insert(a.to_owned());
+        self.nodes.insert(a.to_owned());
+        self.nodes.insert(b.to_owned());
+    }
+
+    fn add_rule(&mut self, from: &str, to: &str) {
+        self.edges.insert(DepEdge {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            kind: EdgeKind::Rule,
+        });
+        self.rule_out
+            .entry(from.to_owned())
+            .or_default()
+            .insert(to.to_owned());
+        self.nodes.insert(from.to_owned());
+        self.nodes.insert(to.to_owned());
+    }
+
+    fn add_param(&mut self, detector: &str, input: &str) {
+        self.edges.insert(DepEdge {
+            from: detector.to_owned(),
+            to: input.to_owned(),
+            kind: EdgeKind::Parameter,
+        });
+        self.param_in
+            .entry(input.to_owned())
+            .or_default()
+            .insert(detector.to_owned());
+        self.nodes.insert(detector.to_owned());
+        self.nodes.insert(input.to_owned());
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &str> {
+        self.nodes.iter().map(String::as_str)
+    }
+
+    /// All edges, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter()
+    }
+
+    /// **FDS step 1** — the symbols making up the partial parse trees
+    /// rooted at `start`: follow rule edges from anywhere in the closure
+    /// and sibling edges from every node *below* the start. For the
+    /// Figure 6 grammar, `downward_closure("header")` is exactly
+    /// `{header, MIME_type, secondary, primary}` — the node set the
+    /// paper's example invalidates.
+    pub fn downward_closure(&self, start: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![start.to_owned()];
+        seen.insert(start.to_owned());
+        while let Some(cur) = queue.pop() {
+            if let Some(nexts) = self.rule_out.get(&cur) {
+                for n in nexts {
+                    if seen.insert(n.clone()) {
+                        queue.push(n.clone());
+                    }
+                }
+            }
+            if cur != start {
+                if let Some(sibs) = self.sibling.get(&cur) {
+                    for n in sibs {
+                        if seen.insert(n.clone()) {
+                            queue.push(n.clone());
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// **FDS step 2** — detectors whose parameters mention any symbol in
+    /// `changed`: their inputs may have been modified, so they need
+    /// revalidation even if the subtree itself stayed valid.
+    pub fn parameter_dependents(&self, changed: &BTreeSet<String>) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for sym in changed {
+            if let Some(dets) = self.param_in.get(sym) {
+                for d in dets {
+                    if !changed.contains(d) {
+                        out.insert(d.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// **FDS step 3** — walk rule/sibling containment *upward* from an
+    /// invalid symbol to the nearest enclosing detectors (or the start
+    /// symbol): the symbols whose stored results must be revalidated when
+    /// the subtree below them turned invalid.
+    pub fn upward_to_detector(&self, grammar: &Grammar, from: &str) -> BTreeSet<String> {
+        let mut result = BTreeSet::new();
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![from.to_owned()];
+        seen.insert(from.to_owned());
+        while let Some(cur) = queue.pop() {
+            for parent in grammar.parents_of(&cur) {
+                if !seen.insert(parent.to_owned()) {
+                    continue;
+                }
+                if grammar.detector(parent).is_some() || parent == grammar.start().symbol {
+                    result.insert(parent.to_owned());
+                } else {
+                    queue.push(parent.to_owned());
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_grammar_raw;
+
+    /// The exact Figure 6 fragment — the source of Figure 8.
+    const FIGURE6_ONLY: &str = r#"
+%start MMO(location);
+
+%detector header(location);
+%detector header.init();
+%detector header.final();
+
+%detector video_type primary == "video";
+
+%atom url;
+
+%atom url location;
+%atom str primary;
+%atom str secondary;
+
+MMO : location header mm_type?;
+header : MIME_type;
+MIME_type : primary secondary;
+mm_type : video_type video;
+"#;
+
+    fn figure8() -> (crate::ast::Grammar, DepGraph) {
+        let g = parse_grammar_raw(FIGURE6_ONLY).unwrap();
+        let d = DepGraph::build(&g);
+        (g, d)
+    }
+
+    #[test]
+    fn figure8_edge_set_matches_paper() {
+        let (_, d) = figure8();
+        let mut expected = BTreeSet::new();
+        let sib = |a: &str, b: &str| {
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            DepEdge {
+                from: x.into(),
+                to: y.into(),
+                kind: EdgeKind::Sibling,
+            }
+        };
+        let rule = |a: &str, b: &str| DepEdge {
+            from: a.into(),
+            to: b.into(),
+            kind: EdgeKind::Rule,
+        };
+        let param = |a: &str, b: &str| DepEdge {
+            from: a.into(),
+            to: b.into(),
+            kind: EdgeKind::Parameter,
+        };
+        // Sibling edges (Figure 8, dashed):
+        expected.insert(sib("location", "header"));
+        expected.insert(sib("location", "mm_type"));
+        expected.insert(sib("header", "mm_type"));
+        expected.insert(sib("primary", "secondary"));
+        expected.insert(sib("video_type", "video"));
+        // Rule edges (solid):
+        expected.insert(rule("MMO", "header"));
+        expected.insert(rule("header", "MIME_type"));
+        expected.insert(rule("MIME_type", "secondary"));
+        expected.insert(rule("mm_type", "video"));
+        // Parameter edges (dotted):
+        expected.insert(param("header", "location"));
+        expected.insert(param("video_type", "primary"));
+        expected.insert(param("MMO", "location")); // start minimum token set
+
+        let actual: BTreeSet<DepEdge> = d.edges().cloned().collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn fds_step1_downward_closure_matches_paper_example() {
+        // "The FDS will invalidate all partial parse trees which have an
+        // instantiation of a header symbol as root. This will involve
+        // header, MIME_type, secondary and primary nodes."
+        let (_, d) = figure8();
+        let closure = d.downward_closure("header");
+        let expected: BTreeSet<String> = ["header", "MIME_type", "secondary", "primary"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        assert_eq!(closure, expected);
+    }
+
+    #[test]
+    fn fds_step2_parameter_dependents_matches_paper_example() {
+        // "If, for example, the primary MIME type has changed the
+        // video_type detector will become invalid."
+        let (_, d) = figure8();
+        let changed: BTreeSet<String> = ["primary".to_owned()].into();
+        let deps = d.parameter_dependents(&changed);
+        assert_eq!(
+            deps,
+            ["video_type".to_owned()].into_iter().collect::<BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn fds_step3_upward_reaches_enclosing_detector_or_start() {
+        let (g, d) = figure8();
+        // From an invalid `primary`, the first invalid enclosing detector
+        // is `header` (primary → MIME_type → header).
+        let up = d.upward_to_detector(&g, "primary");
+        assert_eq!(
+            up,
+            ["header".to_owned()].into_iter().collect::<BTreeSet<_>>()
+        );
+        // From `header` itself, the walk reaches the start symbol MMO.
+        let up = d.upward_to_detector(&g, "header");
+        assert_eq!(up, ["MMO".to_owned()].into_iter().collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn whitebox_predicate_paths_become_parameter_edges() {
+        let src = r#"
+%start a(x);
+%atom flt x;
+%atom bit w;
+%detector w some[a.i]( v <= 1.0 );
+a : x i* w;
+i : v;
+%atom flt v;
+"#;
+        let g = parse_grammar_raw(src).unwrap();
+        let d = DepGraph::build(&g);
+        let changed: BTreeSet<String> = ["v".to_owned()].into();
+        assert!(d.parameter_dependents(&changed).contains("w"));
+    }
+
+    #[test]
+    fn downward_closure_of_leaf_is_singleton() {
+        let (_, d) = figure8();
+        assert_eq!(d.downward_closure("secondary").len(), 1);
+    }
+}

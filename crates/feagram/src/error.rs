@@ -1,0 +1,58 @@
+//! Error type for grammar processing.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing or validating a feature grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Lexical error with line/column position (1-based).
+    Lex {
+        /// Line number.
+        line: usize,
+        /// Column number.
+        col: usize,
+        /// Description.
+        message: String,
+    },
+    /// Syntax error with position.
+    Syntax {
+        /// Line number.
+        line: usize,
+        /// Column number.
+        col: usize,
+        /// Description.
+        message: String,
+    },
+    /// Well-formedness violation (undeclared symbol, duplicate detector,
+    /// bad atom type, …).
+    Validation(String),
+}
+
+impl Error {
+    pub(crate) fn syntax(line: usize, col: usize, message: impl Into<String>) -> Self {
+        Error::Syntax {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { line, col, message } => {
+                write!(f, "lexical error at {line}:{col}: {message}")
+            }
+            Error::Syntax { line, col, message } => {
+                write!(f, "syntax error at {line}:{col}: {message}")
+            }
+            Error::Validation(msg) => write!(f, "invalid grammar: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for grammar processing.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,469 @@
+//! The whitebox-detector predicate language.
+//!
+//! A whitebox detector's "complete specification is part of the feature
+//! grammar … a boolean predicate over the information in the parse tree"
+//! (Figure 6 line 7: `video_type primary == "video"`). Predicates may be
+//! quantified over parse-tree instances with `some`, `all` or `one`
+//! (Figure 7 lines 23–25: `netplay some[tennis.frame](player.yPos <=
+//! 170.0)` — "to determine if the player approaches the net in at least
+//! one frame of this shot").
+//!
+//! Evaluation is abstracted over an [`EvalContext`], so the same
+//! expressions work against the FDE's in-flight parse trees (the `acoi`
+//! crate) and against stored trees during query processing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ast::PathExpr;
+use crate::error::{Error, Result};
+use crate::value::FeatureValue;
+
+/// Quantifiers over parse-tree instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Quantifier {
+    /// At least one instance satisfies the body.
+    Some,
+    /// Every instance satisfies the body (vacuously true when none).
+    All,
+    /// Exactly one instance satisfies the body.
+    One,
+}
+
+impl Quantifier {
+    /// Parses `some` / `all` / `one`.
+    pub fn from_name(name: &str) -> Option<Quantifier> {
+        match name {
+            "some" => Some(Quantifier::Some),
+            "all" => Some(Quantifier::All),
+            "one" => Some(Quantifier::One),
+            _ => None,
+        }
+    }
+}
+
+/// Binary operators, loosest first in the precedence table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A predicate/arithmetic expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A literal value.
+    Lit(FeatureValue),
+    /// A dotted path into the parse tree; evaluates to the *most recent*
+    /// matching token's value.
+    Path(PathExpr),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// A binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// A quantified sub-predicate: iterate instances of `path` and
+    /// evaluate `body` in each instance's context.
+    Quantified {
+        /// The quantifier.
+        q: Quantifier,
+        /// The instance path (e.g. `tennis.frame`).
+        path: PathExpr,
+        /// The per-instance predicate.
+        body: Box<Expr>,
+    },
+}
+
+/// Resolution of paths against a concrete parse tree.
+///
+/// `values` returns the values of all tokens matching a path from this
+/// context, in document order; `contexts` returns one sub-context per
+/// *instance* of a path (for quantifier iteration).
+pub trait EvalContext {
+    /// All token values at `path`, in document order.
+    fn values(&self, path: &[String]) -> Vec<FeatureValue>;
+    /// Sub-contexts rooted at each instance of `path`, in document order.
+    fn contexts(&self, path: &[String]) -> Vec<Box<dyn EvalContext + '_>>;
+}
+
+impl Expr {
+    /// Evaluates to a value in `ctx`. Path expressions take the most
+    /// recent (last in document order) matching token.
+    pub fn eval(&self, ctx: &dyn EvalContext) -> Result<FeatureValue> {
+        match self {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Path(p) => ctx
+                .values(&p.0)
+                .pop()
+                .ok_or_else(|| Error::Validation(format!("path `{p}` matched no token"))),
+            Expr::Not(inner) => {
+                let v = inner.eval(ctx)?;
+                let b = v.as_bool().ok_or_else(|| {
+                    Error::Validation(format!("`!` applied to non-boolean {v:?}"))
+                })?;
+                Ok(FeatureValue::Bit(!b))
+            }
+            Expr::Binary(op, lhs, rhs) => eval_binary(*op, lhs, rhs, ctx),
+            Expr::Quantified { q, path, body } => {
+                let instances = ctx.contexts(&path.0);
+                let mut hits = 0usize;
+                for inst in &instances {
+                    let v = body.eval(inst.as_ref())?;
+                    if v.as_bool().ok_or_else(|| {
+                        Error::Validation("quantifier body is not boolean".into())
+                    })? {
+                        hits += 1;
+                        // `some` can short-circuit.
+                        if *q == Quantifier::Some {
+                            return Ok(FeatureValue::Bit(true));
+                        }
+                    } else if *q == Quantifier::All {
+                        return Ok(FeatureValue::Bit(false));
+                    }
+                }
+                Ok(FeatureValue::Bit(match q {
+                    Quantifier::Some => false, // no hit found above
+                    Quantifier::All => true,
+                    Quantifier::One => hits == 1,
+                }))
+            }
+        }
+    }
+
+    /// Evaluates and coerces to boolean.
+    pub fn eval_bool(&self, ctx: &dyn EvalContext) -> Result<bool> {
+        let v = self.eval(ctx)?;
+        v.as_bool()
+            .ok_or_else(|| Error::Validation(format!("predicate evaluated to non-boolean {v:?}")))
+    }
+
+    /// All paths mentioned anywhere in the expression (for dependency
+    /// analysis), including quantifier instance paths.
+    pub fn paths(&self) -> Vec<&PathExpr> {
+        let mut out = Vec::new();
+        self.collect_paths(&mut out);
+        out
+    }
+
+    fn collect_paths<'a>(&'a self, out: &mut Vec<&'a PathExpr>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Path(p) => out.push(p),
+            Expr::Not(e) => e.collect_paths(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_paths(out);
+                r.collect_paths(out);
+            }
+            Expr::Quantified { path, body, .. } => {
+                out.push(path);
+                body.collect_paths(out);
+            }
+        }
+    }
+}
+
+fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, ctx: &dyn EvalContext) -> Result<FeatureValue> {
+    use BinOp::*;
+    // Short-circuit logic first.
+    if matches!(op, And | Or) {
+        let l = lhs.eval(ctx)?.as_bool().ok_or_else(|| {
+            Error::Validation("left operand of logical operator is not boolean".into())
+        })?;
+        return match (op, l) {
+            (And, false) => Ok(FeatureValue::Bit(false)),
+            (Or, true) => Ok(FeatureValue::Bit(true)),
+            _ => {
+                let r = rhs.eval(ctx)?.as_bool().ok_or_else(|| {
+                    Error::Validation("right operand of logical operator is not boolean".into())
+                })?;
+                Ok(FeatureValue::Bit(r))
+            }
+        };
+    }
+
+    let l = lhs.eval(ctx)?;
+    let r = rhs.eval(ctx)?;
+    match op {
+        Eq | Ne => {
+            let equal = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => match (l.as_str(), r.as_str()) {
+                    (Some(a), Some(b)) => a == b,
+                    _ => l == r,
+                },
+            };
+            Ok(FeatureValue::Bit(if op == Eq { equal } else { !equal }))
+        }
+        Lt | Le | Gt | Ge => {
+            let ord = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => a.partial_cmp(&b),
+                _ => match (l.as_str(), r.as_str()) {
+                    (Some(a), Some(b)) => Some(a.cmp(b)),
+                    _ => None,
+                },
+            }
+            .ok_or_else(|| {
+                Error::Validation(format!("cannot order {l:?} against {r:?}"))
+            })?;
+            use std::cmp::Ordering::*;
+            Ok(FeatureValue::Bit(match op {
+                Lt => ord == Less,
+                Le => ord != Greater,
+                Gt => ord == Greater,
+                Ge => ord != Less,
+                _ => unreachable!(),
+            }))
+        }
+        Add | Sub | Mul | Div => {
+            let (a, b) = (
+                l.as_f64().ok_or_else(|| {
+                    Error::Validation("arithmetic on non-numeric value".into())
+                })?,
+                r.as_f64().ok_or_else(|| {
+                    Error::Validation("arithmetic on non-numeric value".into())
+                })?,
+            );
+            let result = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(Error::Validation("division by zero".into()));
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            // Keep integer arithmetic integral when both sides were ints.
+            if matches!(l, FeatureValue::Int(_))
+                && matches!(r, FeatureValue::Int(_))
+                && result.fract() == 0.0
+            {
+                Ok(FeatureValue::Int(result as i64))
+            } else {
+                Ok(FeatureValue::Flt(result))
+            }
+        }
+        And | Or => unreachable!("handled above"),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A flat map-backed context for unit tests: path → values; nested
+    /// contexts are keyed by the instance path joined with '#index'.
+    #[derive(Default)]
+    pub struct MapCtx {
+        pub values: HashMap<String, Vec<FeatureValue>>,
+        pub instances: HashMap<String, Vec<MapCtx>>,
+    }
+
+    impl EvalContext for MapCtx {
+        fn values(&self, path: &[String]) -> Vec<FeatureValue> {
+            self.values.get(&path.join(".")).cloned().unwrap_or_default()
+        }
+        fn contexts(&self, path: &[String]) -> Vec<Box<dyn EvalContext + '_>> {
+            self.instances
+                .get(&path.join("."))
+                .map(|v| {
+                    v.iter()
+                        .map(|c| Box::new(CtxRef(c)) as Box<dyn EvalContext>)
+                        .collect()
+                })
+                .unwrap_or_default()
+        }
+    }
+
+    struct CtxRef<'a>(&'a MapCtx);
+    impl EvalContext for CtxRef<'_> {
+        fn values(&self, path: &[String]) -> Vec<FeatureValue> {
+            self.0.values(path)
+        }
+        fn contexts(&self, path: &[String]) -> Vec<Box<dyn EvalContext + '_>> {
+            self.0.contexts(path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::MapCtx;
+    use super::*;
+
+    fn path(p: &str) -> Expr {
+        Expr::Path(PathExpr(p.split('.').map(str::to_owned).collect()))
+    }
+
+    fn lit(v: impl Into<FeatureValue>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    #[test]
+    fn figure6_video_type_predicate() {
+        // primary == "video"
+        let e = Expr::Binary(
+            BinOp::Eq,
+            Box::new(path("primary")),
+            Box::new(lit("video")),
+        );
+        let mut ctx = MapCtx::default();
+        ctx.values
+            .insert("primary".into(), vec![FeatureValue::from("video")]);
+        assert!(e.eval_bool(&ctx).unwrap());
+        ctx.values
+            .insert("primary".into(), vec![FeatureValue::from("image")]);
+        assert!(!e.eval_bool(&ctx).unwrap());
+    }
+
+    #[test]
+    fn figure7_netplay_quantifier() {
+        // some[tennis.frame]( player.yPos <= 170.0 )
+        let body = Expr::Binary(
+            BinOp::Le,
+            Box::new(path("player.yPos")),
+            Box::new(lit(170.0)),
+        );
+        let e = Expr::Quantified {
+            q: Quantifier::Some,
+            path: PathExpr(vec!["tennis".into(), "frame".into()]),
+            body: Box::new(body),
+        };
+
+        let frame = |y: f64| {
+            let mut c = MapCtx::default();
+            c.values
+                .insert("player.yPos".into(), vec![FeatureValue::Flt(y)]);
+            c
+        };
+        let mut ctx = MapCtx::default();
+        ctx.instances.insert(
+            "tennis.frame".into(),
+            vec![frame(300.0), frame(150.0), frame(400.0)],
+        );
+        assert!(e.eval_bool(&ctx).unwrap());
+
+        let mut far = MapCtx::default();
+        far.instances
+            .insert("tennis.frame".into(), vec![frame(300.0), frame(400.0)]);
+        assert!(!e.eval_bool(&far).unwrap());
+    }
+
+    #[test]
+    fn all_quantifier_is_vacuously_true() {
+        let e = Expr::Quantified {
+            q: Quantifier::All,
+            path: PathExpr(vec!["x".into()]),
+            body: Box::new(lit(false)),
+        };
+        let ctx = MapCtx::default();
+        assert!(e.eval_bool(&ctx).unwrap());
+    }
+
+    #[test]
+    fn one_quantifier_counts_exactly() {
+        let body = Expr::Binary(BinOp::Gt, Box::new(path("v")), Box::new(lit(0i64)));
+        let make = |vals: Vec<i64>| {
+            let mut ctx = MapCtx::default();
+            ctx.instances.insert(
+                "i".into(),
+                vals.into_iter()
+                    .map(|v| {
+                        let mut c = MapCtx::default();
+                        c.values.insert("v".into(), vec![FeatureValue::Int(v)]);
+                        c
+                    })
+                    .collect(),
+            );
+            ctx
+        };
+        let e = Expr::Quantified {
+            q: Quantifier::One,
+            path: PathExpr(vec!["i".into()]),
+            body: Box::new(body),
+        };
+        assert!(e.eval_bool(&make(vec![-1, 5, -2])).unwrap());
+        assert!(!e.eval_bool(&make(vec![1, 5])).unwrap());
+        assert!(!e.eval_bool(&make(vec![-1, -5])).unwrap());
+    }
+
+    #[test]
+    fn logic_short_circuits_missing_paths() {
+        // false && <missing path> must not error.
+        let e = Expr::Binary(
+            BinOp::And,
+            Box::new(lit(false)),
+            Box::new(path("missing")),
+        );
+        assert!(!e.eval_bool(&MapCtx::default()).unwrap());
+        let e = Expr::Binary(BinOp::Or, Box::new(lit(true)), Box::new(path("missing")));
+        assert!(e.eval_bool(&MapCtx::default()).unwrap());
+    }
+
+    #[test]
+    fn missing_path_errors_when_needed() {
+        assert!(path("missing").eval(&MapCtx::default()).is_err());
+    }
+
+    #[test]
+    fn mixed_int_float_comparison() {
+        let e = Expr::Binary(BinOp::Le, Box::new(lit(170i64)), Box::new(lit(170.0)));
+        assert!(e.eval_bool(&MapCtx::default()).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_keeps_ints_integral() {
+        let e = Expr::Binary(BinOp::Add, Box::new(lit(2i64)), Box::new(lit(3i64)));
+        assert_eq!(e.eval(&MapCtx::default()).unwrap(), FeatureValue::Int(5));
+        let e = Expr::Binary(BinOp::Div, Box::new(lit(1i64)), Box::new(lit(0i64)));
+        assert!(e.eval(&MapCtx::default()).is_err());
+    }
+
+    #[test]
+    fn path_takes_most_recent_value() {
+        let mut ctx = MapCtx::default();
+        ctx.values.insert(
+            "x".into(),
+            vec![FeatureValue::Int(1), FeatureValue::Int(2)],
+        );
+        assert_eq!(path("x").eval(&ctx).unwrap(), FeatureValue::Int(2));
+    }
+
+    #[test]
+    fn paths_collects_all_mentions() {
+        let e = Expr::Quantified {
+            q: Quantifier::Some,
+            path: PathExpr(vec!["a".into()]),
+            body: Box::new(Expr::Binary(
+                BinOp::Lt,
+                Box::new(path("b.c")),
+                Box::new(lit(1i64)),
+            )),
+        };
+        let ps: Vec<String> = e.paths().iter().map(|p| p.to_string()).collect();
+        assert_eq!(ps, vec!["a", "b.c"]);
+    }
+}

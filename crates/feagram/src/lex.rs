@@ -1,0 +1,501 @@
+//! Tokenizer for the feature grammar language.
+//!
+//! The concrete syntax follows the paper's figures: `%`-prefixed
+//! declaration keywords, identifiers (which may contain `-`, as in the
+//! `xml-rpc` transport prefix), `::` for transport qualification, string
+//! literals, numbers, the repetition operators `? * +`, the reference
+//! marker `&`, and the predicate operators of whitebox detectors.
+//!
+//! Because `-` may appear inside identifiers, binary minus in predicates
+//! must be surrounded by whitespace (`a - b`); `a-b` is one identifier.
+//! The paper's grammars contain no arithmetic, so this trade-off favours
+//! fidelity to the published syntax.
+
+use crate::error::{Error, Result};
+
+/// A lexical token with its position (1-based line and column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `%start`, `%detector`, `%atom`, … (keyword without the `%`).
+    Percent(String),
+    /// An identifier (may contain `-` and `_`).
+    Ident(String),
+    /// A double-quoted string literal (decoded).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Flt(f64),
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `?`
+    Question,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-` (binary minus; requires surrounding whitespace)
+    Minus,
+    /// `/`
+    Slash,
+    /// `&`
+    Amp,
+    /// `.`
+    Dot,
+    /// `|`
+    Pipe,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+}
+
+/// Tokenizes grammar source text.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(text: &'a str) -> Self {
+        Lexer {
+            src: text.as_bytes(),
+            text,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Lex {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn is_ident_start(c: u8) -> bool {
+        c.is_ascii_alphabetic() || c == b'_'
+    }
+
+    fn is_ident_continue(&self, c: u8) -> bool {
+        c.is_ascii_alphanumeric()
+            || c == b'_'
+            // '-' continues an identifier only when followed by a letter
+            // (so `xml-rpc` lexes as one name but `x -1` does not).
+            || (c == b'-' && self.peek2().is_some_and(|n| n.is_ascii_alphabetic()))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                b'%' => {
+                    self.bump();
+                    let word = self.take_ident()?;
+                    out.push(Token {
+                        kind: TokenKind::Percent(word),
+                        line,
+                        col,
+                    });
+                }
+                b'"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(b'"') => break,
+                            Some(b'\\') => match self.bump() {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(other) => {
+                                    return Err(
+                                        self.err(format!("bad escape \\{}", other as char))
+                                    )
+                                }
+                                None => return Err(self.err("unterminated string")),
+                            },
+                            Some(other) => s.push(other as char),
+                            None => return Err(self.err("unterminated string")),
+                        }
+                    }
+                    out.push(Token {
+                        kind: TokenKind::Str(s),
+                        line,
+                        col,
+                    });
+                }
+                c if c.is_ascii_digit() => {
+                    let kind = self.take_number(false)?;
+                    out.push(Token { kind, line, col });
+                }
+                b'-' if self.peek2().is_some_and(|n| n.is_ascii_digit()) => {
+                    self.bump();
+                    let kind = self.take_number(true)?;
+                    out.push(Token { kind, line, col });
+                }
+                c if Self::is_ident_start(c) => {
+                    let word = self.take_ident()?;
+                    out.push(Token {
+                        kind: TokenKind::Ident(word),
+                        line,
+                        col,
+                    });
+                }
+                _ => {
+                    let kind = self.take_punct()?;
+                    out.push(Token { kind, line, col });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn take_ident(&mut self) -> Result<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if Self::is_ident_start(c) => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected identifier")),
+        }
+        while let Some(c) = self.peek() {
+            if self.is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(self.text[start..self.pos].to_owned())
+    }
+
+    fn take_number(&mut self, negative: bool) -> Result<TokenKind> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = &self.text[start..self.pos];
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad float literal {text}")))?;
+            Ok(TokenKind::Flt(if negative { -v } else { v }))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad integer literal {text}")))?;
+            Ok(TokenKind::Int(if negative { -v } else { v }))
+        }
+    }
+
+    fn take_punct(&mut self) -> Result<TokenKind> {
+        let c = self.bump().expect("caller peeked");
+        let kind = match c {
+            b':' if self.peek() == Some(b':') => {
+                self.bump();
+                TokenKind::ColonColon
+            }
+            b':' => TokenKind::Colon,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b'?' => TokenKind::Question,
+            b'*' => TokenKind::Star,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'/' => TokenKind::Slash,
+            b'.' => TokenKind::Dot,
+            b'|' if self.peek() == Some(b'|') => {
+                self.bump();
+                TokenKind::OrOr
+            }
+            b'|' => TokenKind::Pipe,
+            b'&' if self.peek() == Some(b'&') => {
+                self.bump();
+                TokenKind::AndAnd
+            }
+            b'&' => TokenKind::Amp,
+            b'=' if self.peek() == Some(b'=') => {
+                self.bump();
+                TokenKind::EqEq
+            }
+            b'!' if self.peek() == Some(b'=') => {
+                self.bump();
+                TokenKind::NotEq
+            }
+            b'!' => TokenKind::Not,
+            b'<' if self.peek() == Some(b'=') => {
+                self.bump();
+                TokenKind::Le
+            }
+            b'<' => TokenKind::Lt,
+            b'>' if self.peek() == Some(b'=') => {
+                self.bump();
+                TokenKind::Ge
+            }
+            b'>' => TokenKind::Gt,
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)))
+            }
+        };
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn figure6_line1_lexes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("%start MMO(location);"),
+            vec![
+                Percent("start".into()),
+                Ident("MMO".into()),
+                LParen,
+                Ident("location".into()),
+                RParen,
+                Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn xml_rpc_prefix_is_one_identifier() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("%detector xml-rpc::segment(location);"),
+            vec![
+                Percent("detector".into()),
+                Ident("xml-rpc".into()),
+                ColonColon,
+                Ident("segment".into()),
+                LParen,
+                Ident("location".into()),
+                RParen,
+                Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn special_detector_dot_names() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("%detector header.init();"),
+            vec![
+                Percent("detector".into()),
+                Ident("header".into()),
+                Dot,
+                Ident("init".into()),
+                LParen,
+                RParen,
+                Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn predicate_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"primary == "video" && x <= 170.0 || !(y != 2)"#),
+            vec![
+                Ident("primary".into()),
+                EqEq,
+                Str("video".into()),
+                AndAnd,
+                Ident("x".into()),
+                Le,
+                Flt(170.0),
+                OrOr,
+                Not,
+                LParen,
+                Ident("y".into()),
+                NotEq,
+                Int(2),
+                RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn repetition_and_reference_markers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("anchor : &MMO embedded link? alternative*;"),
+            vec![
+                Ident("anchor".into()),
+                Colon,
+                Amp,
+                Ident("MMO".into()),
+                Ident("embedded".into()),
+                Ident("link".into()),
+                Question,
+                Ident("alternative".into()),
+                Star,
+                Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_and_minus() {
+        use TokenKind::*;
+        assert_eq!(kinds("-5 a - b -1.5"), vec![
+            Int(-5),
+            Ident("a".into()),
+            Minus,
+            Ident("b".into()),
+            Flt(-1.5),
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\n/* block\nstill */ b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        assert_eq!(
+            kinds(r#""a\"b\\c""#),
+            vec![TokenKind::Str("a\"b\\c".into())]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        assert!(tokenize("a $ b").is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! The feature grammar language — the core of the paper's logical level.
+//!
+//! A *feature grammar* is a context-free grammar `G = (V, D, T, S, P)`
+//! extended with a set `D` of **detectors**: grammar variables bound to
+//! feature-extraction algorithms. Production rules describe a detector's
+//! output; its declaration names the input tokens as *paths into the
+//! parse tree*. Parsing a multimedia object therefore *is* analysing it:
+//! the parser (the Feature Detector Engine, in the `acoi` crate) runs
+//! detectors on demand while proving the start symbol.
+//!
+//! This crate implements the language itself:
+//!
+//! * [`lex`] / [`parser`] — concrete syntax, faithful to the paper's
+//!   Figures 6, 7 and 14 (those fragments parse verbatim; see the tests),
+//! * [`ast`] — declarations, rules with regular right parts
+//!   (`?`, `*`, `+`, groups, literals, `&references`),
+//! * [`expr`] — the whitebox-detector predicate language with the
+//!   `some` / `all` / `one` quantifiers,
+//! * [`symbols`] — the symbol table: variables, detectors, atoms
+//!   (terminals with ADTs) and their classification,
+//! * [`validate`] — well-formedness checks,
+//! * [`depgraph`] — the dependency graph (sibling / rule / parameter
+//!   edges, Figure 8) that the Feature Detector Scheduler analyses.
+//!
+//! # Example
+//!
+//! ```
+//! let source = r#"
+//! %start MMO(location);
+//! %detector header(location);
+//! %atom url;
+//! %atom url location;
+//! %atom str primary;
+//! %atom str secondary;
+//! MMO : location header;
+//! header : MIME_type;
+//! MIME_type : primary secondary;
+//! "#;
+//! let grammar = feagram::parse_grammar(source).unwrap();
+//! assert_eq!(grammar.start().symbol, "MMO");
+//! assert!(grammar.detector("header").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod depgraph;
+pub mod error;
+pub mod expr;
+pub mod lex;
+pub mod paper;
+pub mod parser;
+pub mod symbols;
+pub mod validate;
+pub mod value;
+
+pub use ast::{DetectorDecl, DetectorKind, Grammar, Rep, Rule, Term, TermRep, Transport};
+pub use depgraph::{DepEdge, DepGraph, EdgeKind};
+pub use error::{Error, Result};
+pub use expr::{Expr, Quantifier};
+pub use parser::parse_grammar;
+pub use symbols::{SymbolClass, SymbolTable};
+pub use value::FeatureValue;

@@ -1,0 +1,258 @@
+//! Well-formedness checks for parsed grammars.
+//!
+//! The checks catch what the concrete syntax cannot: undeclared symbols,
+//! terminals with production rules, unknown ADTs, detectors without
+//! output descriptions, and paths referring to unknown symbols.
+//!
+//! One deliberate subtlety, straight from Figure 7: a **whitebox detector
+//! doubles as a terminal** — `netplay` is declared both as
+//! `%detector netplay some[…](…)` and `%atom bit netplay`. The detector
+//! computes the predicate; the resulting boolean *is* the token stored at
+//! the node. The checks therefore allow a symbol to be a whitebox
+//! detector and an atom simultaneously (but never a blackbox detector
+//! and an atom).
+
+use std::collections::BTreeSet;
+
+use crate::ast::{AtomDecl, DetectorKind, Grammar, PathExpr, Term, TermRep};
+use crate::error::{Error, Result};
+
+/// Checks `grammar` for well-formedness.
+pub fn check(grammar: &Grammar) -> Result<()> {
+    let known = known_symbols(grammar);
+
+    // 1. ADTs of terminal declarations must exist.
+    for atom in grammar.atoms() {
+        if let AtomDecl::Terminals { ty, names } = atom {
+            if !grammar.symbols().is_adt(ty) {
+                return Err(Error::Validation(format!(
+                    "atom(s) {names:?} use undeclared ADT `{ty}`"
+                )));
+            }
+        }
+    }
+
+    // 2. The start symbol must be known, and its argument paths too.
+    if !known.contains(grammar.start().symbol.as_str()) {
+        return Err(Error::Validation(format!(
+            "start symbol `{}` is not declared anywhere",
+            grammar.start().symbol
+        )));
+    }
+    for arg in &grammar.start().args {
+        check_path(arg, &known, "start declaration")?;
+    }
+
+    // 3. Every rhs symbol must be known.
+    for rule in grammar.rules() {
+        check_terms(&rule.rhs, &known, &rule.lhs)?;
+    }
+
+    // 4. Terminals may not have production rules — except whitebox
+    //    detector-terminals (the Figure 7 `netplay` pattern), which have
+    //    no rules anyway; so the plain check suffices with the detector
+    //    exemption.
+    for rule in grammar.rules() {
+        if grammar.symbols().terminal_type(&rule.lhs).is_some()
+            && grammar.detector(&rule.lhs).is_none()
+        {
+            return Err(Error::Validation(format!(
+                "terminal `{}` has a production rule",
+                rule.lhs
+            )));
+        }
+    }
+
+    // 5. Detector sanity.
+    for det in grammar.detectors() {
+        match &det.kind {
+            DetectorKind::Blackbox { inputs, .. } => {
+                // A blackbox detector's rules describe its output; without
+                // any rule the parser could never consume what it emits.
+                if grammar.rules_for(&det.name).is_empty() {
+                    return Err(Error::Validation(format!(
+                        "blackbox detector `{}` has no production rule describing its output",
+                        det.name
+                    )));
+                }
+                if grammar.symbols().terminal_type(&det.name).is_some() {
+                    return Err(Error::Validation(format!(
+                        "`{}` cannot be both a blackbox detector and an atom",
+                        det.name
+                    )));
+                }
+                for input in inputs {
+                    check_path(input, &known, &det.name)?;
+                }
+            }
+            DetectorKind::Whitebox { predicate, .. } => {
+                for path in predicate.paths() {
+                    check_path(path, &known, &det.name)?;
+                }
+            }
+            DetectorKind::Special { target, .. } => {
+                if !known.contains(target.as_str()) {
+                    return Err(Error::Validation(format!(
+                        "special detector `{}` targets unknown symbol `{target}`",
+                        det.name
+                    )));
+                }
+            }
+        }
+    }
+
+    // 6. Duplicate (non-special) detector declarations.
+    let mut seen = BTreeSet::new();
+    for det in grammar.detectors() {
+        if matches!(det.kind, DetectorKind::Special { .. }) {
+            continue;
+        }
+        if !seen.insert(det.name.as_str()) {
+            return Err(Error::Validation(format!(
+                "detector `{}` declared twice",
+                det.name
+            )));
+        }
+    }
+
+    Ok(())
+}
+
+/// Every name that may legally appear in a rule or path: terminals,
+/// detectors and rule left-hand sides.
+fn known_symbols(grammar: &Grammar) -> BTreeSet<&str> {
+    let mut known: BTreeSet<&str> = grammar.symbols().iter().map(|(n, _)| n).collect();
+    for det in grammar.detectors() {
+        if !matches!(det.kind, DetectorKind::Special { .. }) {
+            known.insert(det.name.as_str());
+        }
+    }
+    for rule in grammar.rules() {
+        known.insert(rule.lhs.as_str());
+    }
+    known
+}
+
+fn check_terms(terms: &[TermRep], known: &BTreeSet<&str>, lhs: &str) -> Result<()> {
+    for tr in terms {
+        match &tr.term {
+            Term::Symbol(s) | Term::Reference(s) => {
+                if !known.contains(s.as_str()) {
+                    return Err(Error::Validation(format!(
+                        "rule for `{lhs}` references undeclared symbol `{s}`"
+                    )));
+                }
+            }
+            Term::Literal(_) => {}
+            Term::Group(alts) => {
+                for alt in alts {
+                    check_terms(alt, known, lhs)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_path(path: &PathExpr, known: &BTreeSet<&str>, owner: &str) -> Result<()> {
+    for seg in path.segments() {
+        if !known.contains(seg.as_str()) {
+            return Err(Error::Validation(format!(
+                "path `{path}` in `{owner}` mentions unknown symbol `{seg}`"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_grammar, parse_grammar_raw};
+
+    fn check_err(src: &str) -> String {
+        let g = parse_grammar_raw(src).unwrap();
+        super::check(&g).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn undeclared_rhs_symbol_is_caught() {
+        let msg = check_err("%start a(x); %atom str x; a : x ghost;");
+        assert!(msg.contains("ghost"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_start_symbol_is_caught() {
+        let msg = check_err("%start nowhere(x); %atom str x; a : x;");
+        assert!(msg.contains("nowhere"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_adt_is_caught() {
+        let msg = check_err("%start a(x); %atom mystery x; a : x;");
+        assert!(msg.contains("mystery"), "{msg}");
+    }
+
+    #[test]
+    fn declared_adt_is_accepted() {
+        let src = "%start a(x); %atom url; %atom url x; a : x;";
+        assert!(parse_grammar(src).is_ok());
+    }
+
+    #[test]
+    fn terminal_with_rule_is_caught() {
+        let msg = check_err("%start a(x); %atom str x; a : x; x : a;");
+        assert!(msg.contains("terminal"), "{msg}");
+    }
+
+    #[test]
+    fn blackbox_without_rule_is_caught() {
+        let msg = check_err("%start a(x); %atom str x; %detector d(x); a : x d;");
+        assert!(msg.contains("no production rule"), "{msg}");
+    }
+
+    #[test]
+    fn blackbox_atom_conflict_is_caught() {
+        let msg =
+            check_err("%start a(x); %atom str x, d; %detector d(x); a : x d; d : x;");
+        assert!(msg.contains("both"), "{msg}");
+    }
+
+    #[test]
+    fn whitebox_atom_pairing_is_allowed() {
+        // The Figure 7 `netplay` pattern.
+        let src = r#"
+%start a(x);
+%atom flt x;
+%atom bit w;
+%detector w x <= 1.0;
+a : x w;
+"#;
+        assert!(parse_grammar(src).is_ok());
+    }
+
+    #[test]
+    fn bad_detector_input_path_is_caught() {
+        let msg = check_err("%start a(x); %atom str x; %detector d(nope); a : x d; d : x;");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn bad_predicate_path_is_caught() {
+        let msg = check_err(r#"%start a(x); %atom str x; %detector w ghost == "v"; a : x w;"#);
+        assert!(msg.contains("ghost"), "{msg}");
+    }
+
+    #[test]
+    fn special_hook_on_unknown_target_is_caught() {
+        let msg = check_err("%start a(x); %atom str x; %detector ghost.init(); a : x;");
+        assert!(msg.contains("ghost"), "{msg}");
+    }
+
+    #[test]
+    fn duplicate_detector_is_caught() {
+        let msg = check_err(
+            "%start a(x); %atom str x; %detector d(x); %detector d(x); a : x d; d : x;",
+        );
+        assert!(msg.contains("twice"), "{msg}");
+    }
+}

@@ -1,0 +1,184 @@
+//! The value domain of feature tokens.
+//!
+//! The feature grammar language declares atoms with Abstract Data Types:
+//! the built-ins `str`, `int`, `flt`, `bit` and developer-declared ADTs
+//! such as `url` ("%atom url;" in Figure 6, "which should be supported by
+//! the lower system levels"). [`FeatureValue`] is the runtime
+//! representation of a token's value; detectors consume and produce it.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A typed token value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureValue {
+    /// A string atom.
+    Str(String),
+    /// An integer atom.
+    Int(i64),
+    /// A float atom.
+    Flt(f64),
+    /// A boolean atom.
+    Bit(bool),
+    /// A value of a developer-declared ADT (e.g. `url`); the type name is
+    /// carried alongside the lexical representation.
+    Adt {
+        /// The declared ADT name.
+        ty: String,
+        /// The value's lexical form.
+        lexical: String,
+    },
+}
+
+impl FeatureValue {
+    /// Convenience constructor for `url` values (the ADT the paper's
+    /// grammars use).
+    pub fn url(u: impl Into<String>) -> Self {
+        FeatureValue::Adt {
+            ty: "url".to_owned(),
+            lexical: u.into(),
+        }
+    }
+
+    /// The ADT name of this value.
+    pub fn type_name(&self) -> &str {
+        match self {
+            FeatureValue::Str(_) => "str",
+            FeatureValue::Int(_) => "int",
+            FeatureValue::Flt(_) => "flt",
+            FeatureValue::Bit(_) => "bit",
+            FeatureValue::Adt { ty, .. } => ty,
+        }
+    }
+
+    /// Numeric view (ints widen to floats), if the value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FeatureValue::Int(i) => Some(*i as f64),
+            FeatureValue::Flt(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// String view for `str` and ADT values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            FeatureValue::Str(s) => Some(s),
+            FeatureValue::Adt { lexical, .. } => Some(lexical),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            FeatureValue::Bit(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The lexical form, as it would appear in an XML dump of the parse
+    /// tree.
+    pub fn lexical(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parses a lexical form back into a value of the ADT `ty`.
+    /// Unknown ADTs round-trip as [`FeatureValue::Adt`].
+    pub fn from_lexical(ty: &str, lexical: &str) -> Option<FeatureValue> {
+        Some(match ty {
+            "str" => FeatureValue::Str(lexical.to_owned()),
+            "int" => FeatureValue::Int(lexical.parse().ok()?),
+            "flt" => FeatureValue::Flt(lexical.parse().ok()?),
+            "bit" => FeatureValue::Bit(match lexical {
+                "true" | "1" => true,
+                "false" | "0" => false,
+                _ => return None,
+            }),
+            other => FeatureValue::Adt {
+                ty: other.to_owned(),
+                lexical: lexical.to_owned(),
+            },
+        })
+    }
+}
+
+impl fmt::Display for FeatureValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureValue::Str(s) => f.write_str(s),
+            FeatureValue::Int(i) => write!(f, "{i}"),
+            FeatureValue::Flt(x) => write!(f, "{x}"),
+            FeatureValue::Bit(b) => write!(f, "{b}"),
+            FeatureValue::Adt { lexical, .. } => f.write_str(lexical),
+        }
+    }
+}
+
+impl From<&str> for FeatureValue {
+    fn from(s: &str) -> Self {
+        FeatureValue::Str(s.to_owned())
+    }
+}
+impl From<String> for FeatureValue {
+    fn from(s: String) -> Self {
+        FeatureValue::Str(s)
+    }
+}
+impl From<i64> for FeatureValue {
+    fn from(i: i64) -> Self {
+        FeatureValue::Int(i)
+    }
+}
+impl From<f64> for FeatureValue {
+    fn from(f: f64) -> Self {
+        FeatureValue::Flt(f)
+    }
+}
+impl From<bool> for FeatureValue {
+    fn from(b: bool) -> Self {
+        FeatureValue::Bit(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexical_round_trips_builtins() {
+        for (ty, v) in [
+            ("str", FeatureValue::from("hello")),
+            ("int", FeatureValue::from(-42i64)),
+            ("flt", FeatureValue::from(1.5f64)),
+            ("bit", FeatureValue::from(true)),
+        ] {
+            let lex = v.lexical();
+            assert_eq!(FeatureValue::from_lexical(ty, &lex), Some(v));
+        }
+    }
+
+    #[test]
+    fn url_adt_round_trips() {
+        let u = FeatureValue::url("http://ausopen.org/");
+        assert_eq!(u.type_name(), "url");
+        assert_eq!(
+            FeatureValue::from_lexical("url", &u.lexical()),
+            Some(u)
+        );
+    }
+
+    #[test]
+    fn numeric_widening() {
+        assert_eq!(FeatureValue::Int(170).as_f64(), Some(170.0));
+        assert_eq!(FeatureValue::Flt(0.5).as_f64(), Some(0.5));
+        assert_eq!(FeatureValue::from("x").as_f64(), None);
+    }
+
+    #[test]
+    fn bad_lexical_forms_rejected() {
+        assert_eq!(FeatureValue::from_lexical("int", "abc"), None);
+        assert_eq!(FeatureValue::from_lexical("bit", "maybe"), None);
+    }
+}

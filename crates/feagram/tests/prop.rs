@@ -1,0 +1,83 @@
+//! Property tests for the grammar language: total (panic-free) lexing
+//! and parsing on arbitrary input, evaluator determinism, and
+//! merge/validation invariants.
+
+use feagram::expr::EvalContext;
+use feagram::{parse_grammar, FeatureValue};
+use proptest::prelude::*;
+
+struct EmptyCtx;
+impl EvalContext for EmptyCtx {
+    fn values(&self, _path: &[String]) -> Vec<FeatureValue> {
+        Vec::new()
+    }
+    fn contexts(&self, _path: &[String]) -> Vec<Box<dyn EvalContext + '_>> {
+        Vec::new()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The front end is total: any byte soup yields Ok or Err, never a
+    /// panic. (The FDE consumes developer-written grammars, but a search
+    /// engine's grammar editor must not crash the system.)
+    #[test]
+    fn lexer_and_parser_never_panic(input in "\\PC{0,200}") {
+        let _ = feagram::lex::tokenize(&input);
+        let _ = feagram::parser::parse_grammar_raw(&input);
+        let _ = parse_grammar(&input);
+    }
+
+    /// Structured fuzz: inputs built from the grammar's own token
+    /// vocabulary reach deeper parser paths.
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("%start"), Just("%detector"), Just("%atom"),
+                Just("MMO"), Just("location"), Just("header"),
+                Just(":"), Just(";"), Just("("), Just(")"),
+                Just("["), Just("]"), Just("?"), Just("*"), Just("+"),
+                Just("&"), Just("|"), Just("=="), Just("\"lit\""),
+                Just("some"), Just("xml-rpc"), Just("::"), Just("."),
+                Just("170.0"), Just("str"),
+            ],
+            0..40,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = feagram::parser::parse_grammar_raw(&input);
+    }
+
+    /// Quantifier evaluation over an empty context is total and
+    /// deterministic.
+    #[test]
+    fn expression_evaluation_is_deterministic(a in -1000i64..1000, b in -1000i64..1000) {
+        use feagram::expr::{BinOp, Expr};
+        let e = Expr::Binary(
+            BinOp::Le,
+            Box::new(Expr::Lit(FeatureValue::Int(a))),
+            Box::new(Expr::Lit(FeatureValue::Int(b))),
+        );
+        let r1 = e.eval_bool(&EmptyCtx).unwrap();
+        let r2 = e.eval_bool(&EmptyCtx).unwrap();
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(r1, a <= b);
+    }
+
+    /// Merging a valid grammar with itself is idempotent and stays valid.
+    #[test]
+    fn self_merge_is_idempotent(seed in 0u8..3) {
+        let source = match seed {
+            0 => feagram::paper::VIDEO_GRAMMAR,
+            1 => feagram::paper::INTERNET_GRAMMAR,
+            _ => feagram::paper::MEDIA_GRAMMAR,
+        };
+        let g = parse_grammar(source).unwrap();
+        let merged = g.merge(&g).unwrap();
+        feagram::validate::check(&merged).unwrap();
+        prop_assert_eq!(merged.rules().len(), g.rules().len());
+        prop_assert_eq!(merged.detectors().len(), g.detectors().len());
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-document distribution over several database servers.
+//!
+//! "Next to this horizontal fragmentation on idf we distribute the TF
+//! (and corresponding IDF tuples) over several database servers, by
+//! assigning parts on a per-document basis to the available hosts. …
+//! almost perfect shared nothing parallelism which facilitates (almost)
+//! unlimited scalability."
+//!
+//! Query protocol, as in the paper's "use of the optimized full text
+//! retrieval support": the central node stems/stops the query, pushes
+//! the **top-N request to the distributed nodes** along with the term
+//! identification, "each distributed node returns a result of the form
+//! `RES(doc-oid, rank)`", and "the central node merges the top-10
+//! rankings into a large ranking".
+//!
+//! Each logical server is a full [`TextIndex`] over its slice of the
+//! collection (shared-nothing: no cross-server state). The parallel
+//! evaluation path runs one scoped thread per server.
+
+use crate::error::{Error, Result};
+use crate::index::{QueryWork, ScoreModel, SearchHit, TextIndex};
+
+/// A distributed text index: N shared-nothing logical servers.
+pub struct DistributedIndex {
+    shards: Vec<TextIndex>,
+}
+
+/// Outcome of a distributed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedResult {
+    /// The merged master ranking.
+    pub hits: Vec<SearchHit>,
+    /// Per-server work counters (for the load-balance experiment E5).
+    pub per_shard_work: Vec<QueryWork>,
+}
+
+impl DistributedIndex {
+    /// Creates `servers` empty logical servers.
+    pub fn new(servers: usize, model: ScoreModel) -> Result<Self> {
+        if servers == 0 {
+            return Err(Error::Config("at least one server required".into()));
+        }
+        Ok(DistributedIndex {
+            shards: (0..servers).map(|_| TextIndex::new(model)).collect(),
+        })
+    }
+
+    /// Number of logical servers.
+    pub fn servers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes a document to its server (stable per-document assignment)
+    /// and indexes it there.
+    pub fn index_document(&mut self, url: &str, text: &str) -> Result<()> {
+        let shard = self.route(url);
+        self.shards[shard].index_document(url, text)?;
+        Ok(())
+    }
+
+    /// The server a URL is assigned to.
+    pub fn route(&self, url: &str) -> usize {
+        // FNV-1a over the URL: deterministic, well-spread.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in url.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Commits every server's pending updates and distributes the
+    /// *global* IDF tuples to the servers ("we distribute the TF (and
+    /// corresponding IDF tuples) over several database servers"), so
+    /// local rankings use collection-wide document frequencies.
+    pub fn commit(&mut self) -> Result<()> {
+        let mut global: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for shard in &mut self.shards {
+            shard.commit()?;
+            for (stem, df) in shard.df_map() {
+                *global.entry(stem).or_insert(0) += df;
+            }
+        }
+        for shard in &mut self.shards {
+            shard.apply_global_df(&global)?;
+        }
+        Ok(())
+    }
+
+    /// Documents per server — the balance the per-document assignment
+    /// achieves.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(TextIndex::document_count).collect()
+    }
+
+    /// Serial evaluation: local top-`k` on each server in turn, then the
+    /// master merge.
+    pub fn query_serial(&mut self, text: &str, k: usize) -> Result<DistributedResult> {
+        let mut locals = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            locals.push(shard.query(text, k)?);
+        }
+        Ok(merge(locals, k))
+    }
+
+    /// Parallel evaluation: one scoped thread per server (shared-nothing,
+    /// so servers proceed independently), then the master merge.
+    pub fn query_parallel(&mut self, text: &str, k: usize) -> Result<DistributedResult> {
+        type LocalResult = Result<(Vec<SearchHit>, QueryWork)>;
+        let mut slots: Vec<Option<LocalResult>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (shard, slot) in self.shards.iter_mut().zip(slots.iter_mut()) {
+                scope.spawn(move |_| {
+                    *slot = Some(shard.query(text, k));
+                });
+            }
+        })
+        .map_err(|_| Error::Config("a server thread panicked".into()))?;
+        let mut locals = Vec::with_capacity(slots.len());
+        for slot in slots {
+            locals.push(slot.expect("every shard ran")?);
+        }
+        Ok(merge(locals, k))
+    }
+}
+
+/// "The central node merges the top-10 rankings into a large ranking."
+fn merge(locals: Vec<(Vec<SearchHit>, QueryWork)>, k: usize) -> DistributedResult {
+    let mut per_shard_work = Vec::with_capacity(locals.len());
+    let mut all = Vec::new();
+    for (hits, work) in locals {
+        per_shard_work.push(work);
+        all.extend(hits);
+    }
+    all.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
+    all.truncate(k);
+    DistributedResult {
+        hits: all,
+        per_shard_work,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize) -> Vec<(String, String)> {
+        (0..n)
+            .map(|i| {
+                let mut body = format!("tennis match report number{i}");
+                if i % 7 == 0 {
+                    body.push_str(" winner winner");
+                } else if i % 3 == 0 {
+                    body.push_str(" winner");
+                }
+                (format!("http://site/news/{i}.html"), body)
+            })
+            .collect()
+    }
+
+    fn build(servers: usize, n: usize) -> DistributedIndex {
+        let mut d = DistributedIndex::new(servers, ScoreModel::TfIdf).unwrap();
+        for (url, body) in corpus(n) {
+            d.index_document(&url, &body).unwrap();
+        }
+        d.commit().unwrap();
+        d
+    }
+
+    #[test]
+    fn per_document_assignment_is_roughly_balanced() {
+        let d = build(4, 400);
+        let sizes = d.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 400);
+        for s in &sizes {
+            assert!(*s > 50, "unbalanced shards: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn routing_is_stable() {
+        let d = build(4, 10);
+        let r1 = d.route("http://site/news/3.html");
+        let r2 = d.route("http://site/news/3.html");
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn distributed_ranking_equals_single_server_ranking() {
+        let mut single = build(1, 120);
+        let mut multi = build(4, 120);
+        let a = single.query_serial("winner", 10).unwrap();
+        let b = multi.query_serial("winner", 10).unwrap();
+        // Global IDF tuples were distributed at commit, so the scores —
+        // and therefore the merged ranking — are identical to the
+        // single-server evaluation. (Tie order may differ because doc
+        // oids are shard-local; compare (url, score) sorted.)
+        let urls = |r: &DistributedResult| {
+            let mut v: Vec<(String, f64)> =
+                r.hits.iter().map(|h| (h.url.clone(), h.score)).collect();
+            v.sort_by(|x, y| x.0.cmp(&y.0));
+            v
+        };
+        assert_eq!(urls(&a), urls(&b));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let mut d = build(4, 200);
+        let serial = d.query_serial("winner tennis", 10).unwrap();
+        let parallel = d.query_parallel("winner tennis", 10).unwrap();
+        assert_eq!(serial.hits, parallel.hits);
+    }
+
+    #[test]
+    fn work_is_spread_across_shards() {
+        let mut d = build(4, 400);
+        let result = d.query_serial("tennis", 10).unwrap();
+        assert_eq!(result.per_shard_work.len(), 4);
+        let total: usize = result.per_shard_work.iter().map(|w| w.tuples).sum();
+        assert_eq!(total, 400, "every document mentions tennis");
+        for w in &result.per_shard_work {
+            assert!(w.tuples > 50, "shard did too little: {result:?}");
+        }
+    }
+
+    #[test]
+    fn zero_servers_is_a_config_error() {
+        assert!(DistributedIndex::new(0, ScoreModel::TfIdf).is_err());
+    }
+}

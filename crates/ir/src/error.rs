@@ -1,0 +1,42 @@
+//! Error type for the retrieval level.
+
+use std::fmt;
+
+/// Errors raised by the text index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A document is already indexed / unknown.
+    Document(String),
+    /// An underlying store error.
+    Monet(monet::Error),
+    /// Bad configuration (zero fragments, zero servers, …).
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Document(m) => write!(f, "document error: {m}"),
+            Error::Monet(e) => write!(f, "store error: {e}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Monet(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<monet::Error> for Error {
+    fn from(e: monet::Error) -> Self {
+        Error::Monet(e)
+    }
+}
+
+/// Result alias for retrieval operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,435 @@
+//! Horizontal fragmentation on descending idf.
+//!
+//! "Since terms with a high idf … are expected to be more significant to
+//! the ranking of a document …, we fragment on descending idf. Note that
+//! the less interesting lower idf terms typically are the most
+//! computationally expensive terms (their high df means they have many
+//! related tuples in the TF relation). Moving these less interesting but
+//! more expensive terms to the end of the fragment set allows us to
+//! exploit this knowledge later on during query optimization."
+//!
+//! [`FragmentedIndex::query_with_cutoff`] processes fragments in idf
+//! order and stops after a budget of fragments, returning the top-N plus
+//! the **quality estimate** of the paper's cost-quality model [BHC+01]:
+//! the fraction of the query's total idf mass that was actually
+//! evaluated ("estimate the quality degrade resulting from a-priori
+//! ignoring fragments with lower idf").
+
+use std::collections::HashMap;
+
+use monet::Oid;
+
+use crate::error::{Error, Result};
+use crate::index::{QueryWork, ScoreModel, SearchHit, TextIndex};
+use crate::text::tokenize_and_stem;
+
+/// One fragment: the postings of a contiguous band of terms in the
+/// descending-idf order.
+pub struct Fragment {
+    /// stem → (idf, postings as `(doc, tf)`).
+    postings: HashMap<String, (f64, Vec<(Oid, i64)>)>,
+    /// Largest idf in the fragment.
+    pub max_idf: f64,
+    /// Smallest idf in the fragment.
+    pub min_idf: f64,
+    /// Total posting tuples (the fragment's evaluation cost).
+    pub tuples: usize,
+    /// Largest tf of any posting in the fragment (drives the score upper
+    /// bound of the early-termination optimisation).
+    pub max_tf: i64,
+}
+
+/// The fragmented index (a read-optimised derivation of a [`TextIndex`]).
+pub struct FragmentedIndex {
+    fragments: Vec<Fragment>,
+    urls: HashMap<Oid, String>,
+    doc_lens: HashMap<Oid, f64>,
+    model: ScoreModel,
+    avg_dl: f64,
+}
+
+/// Result of a cut-off query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CutoffResult {
+    /// The ranked hits.
+    pub hits: Vec<SearchHit>,
+    /// Estimated quality in `[0, 1]`: evaluated idf mass over total idf
+    /// mass of the query.
+    pub quality: f64,
+    /// Fragments actually processed.
+    pub fragments_used: usize,
+    /// Work counters.
+    pub work: QueryWork,
+}
+
+impl FragmentedIndex {
+    /// Splits `index` into `n` fragments balanced by *posting tuples*
+    /// (not by term count): because low-idf terms carry most tuples,
+    /// equal-tuple fragments put very few, expensive terms in the last
+    /// fragments — the shape the paper's argument depends on.
+    pub fn build(index: &mut TextIndex, n: usize) -> Result<FragmentedIndex> {
+        if n == 0 {
+            return Err(Error::Config("at least one fragment required".into()));
+        }
+        index.commit()?;
+        let terms = index.terms_by_desc_idf();
+
+        // Gather all postings (and the total tuple count) first.
+        type GatheredTerm = (String, f64, Vec<(Oid, i64)>);
+        let mut gathered: Vec<GatheredTerm> = Vec::with_capacity(terms.len());
+        let mut total_tuples = 0usize;
+        for (stem, oid, df) in terms {
+            let postings = index.postings(oid)?;
+            total_tuples += postings.len();
+            let idf = 1.0 / (df.max(1)) as f64;
+            gathered.push((stem, idf, postings));
+        }
+
+        let per_fragment = (total_tuples / n).max(1);
+        let mut fragments = Vec::with_capacity(n);
+        let mut current = Fragment {
+            postings: HashMap::new(),
+            max_idf: 0.0,
+            min_idf: f64::INFINITY,
+            tuples: 0,
+            max_tf: 0,
+        };
+        for (stem, idf, postings) in gathered {
+            if current.tuples >= per_fragment && fragments.len() + 1 < n {
+                fragments.push(std::mem::replace(
+                    &mut current,
+                    Fragment {
+                        postings: HashMap::new(),
+                        max_idf: 0.0,
+                        min_idf: f64::INFINITY,
+                        tuples: 0,
+                        max_tf: 0,
+                    },
+                ));
+            }
+            current.tuples += postings.len();
+            current.max_idf = current.max_idf.max(idf);
+            current.min_idf = current.min_idf.min(idf);
+            current.max_tf = current
+                .max_tf
+                .max(postings.iter().map(|(_, tf)| *tf).max().unwrap_or(0));
+            current.postings.insert(stem, (idf, postings));
+        }
+        if !current.postings.is_empty() || fragments.is_empty() {
+            fragments.push(current);
+        }
+
+        // Snapshot document metadata for scoring.
+        let mut urls = HashMap::new();
+        let mut doc_lens = HashMap::new();
+        if let Ok(d) = index.db().get(crate::index::D) {
+            for (doc, v) in d.iter() {
+                if let Some(u) = v.as_str() {
+                    urls.insert(doc, u.to_owned());
+                }
+            }
+        }
+        if let Ok(dl) = index.db().get(crate::index::DL) {
+            for (doc, v) in dl.iter() {
+                if let Some(l) = v.as_int() {
+                    doc_lens.insert(doc, l as f64);
+                }
+            }
+        }
+
+        Ok(FragmentedIndex {
+            fragments,
+            urls,
+            doc_lens,
+            model: index.model(),
+            avg_dl: index.avg_doc_len(),
+        })
+    }
+
+    /// Number of fragments.
+    pub fn fragment_count(&self) -> usize {
+        self.fragments.len()
+    }
+
+    /// Per-fragment `(tuples, max_idf, min_idf)` — lets experiments show
+    /// the skew the paper exploits.
+    pub fn fragment_profile(&self) -> Vec<(usize, f64, f64)> {
+        self.fragments
+            .iter()
+            .map(|f| (f.tuples, f.max_idf, f.min_idf))
+            .collect()
+    }
+
+    fn term_score(&self, tf: i64, idf: f64, dl: f64) -> f64 {
+        match self.model {
+            ScoreModel::TfIdf => tf as f64 * idf,
+            ScoreModel::Hiemstra { lambda } => {
+                let norm = if dl > 0.0 { self.avg_dl.max(1.0) / dl } else { 1.0 };
+                (1.0 + (lambda / (1.0 - lambda)) * tf as f64 * idf * norm).ln()
+            }
+        }
+    }
+
+    /// Evaluates `text` fragment by fragment and **stops as soon as the
+    /// top `k` can no longer change** — the paper's top-N optimisation
+    /// hook ("both database top-N optimization techniques (e.g. [DR99,
+    /// CK98]) and IR top-N optimization techniques (e.g. [Bro95]) can
+    /// be exploited here"), in the braking-distance style of Carey &
+    /// Kossmann: after each fragment, an upper bound on the score any
+    /// document could still gain from the remaining fragments is
+    /// compared against the current k-th score.
+    ///
+    /// Unlike [`Self::query_with_cutoff`], the result is *exactly* the
+    /// full top-k (quality 1), only cheaper.
+    pub fn query_top_k_early(&self, text: &str, k: usize) -> CutoffResult {
+        let stems = tokenize_and_stem(text);
+        // Max score any document can still gain from fragment i onward.
+        let mut remaining_gain = vec![0.0f64; self.fragments.len() + 1];
+        for i in (0..self.fragments.len()).rev() {
+            let fragment = &self.fragments[i];
+            let mut gain = 0.0;
+            for stem in &stems {
+                if let Some((idf, _)) = fragment.postings.get(stem) {
+                    // tf upper bound × idf; length norm ≤ avg/min_dl is
+                    // conservatively ignored for TfIdf (norm = 1) and
+                    // bounded by avg_dl for Hiemstra.
+                    gain += self.term_score(fragment.max_tf, *idf, self.avg_dl.max(1.0));
+                }
+            }
+            remaining_gain[i] = remaining_gain[i + 1] + gain;
+        }
+
+        let mut scores: HashMap<Oid, f64> = HashMap::new();
+        let mut work = QueryWork::default();
+        let mut used = 0usize;
+        for (i, fragment) in self.fragments.iter().enumerate() {
+            // Termination check: can anything outside the current top-k
+            // still reach it?
+            if i > 0 {
+                let mut sorted: Vec<f64> = scores.values().copied().collect();
+                sorted.sort_by(|a, b| b.total_cmp(a));
+                if sorted.len() >= k {
+                    let kth = sorted[k - 1];
+                    let best_below = sorted.get(k).copied().unwrap_or(0.0);
+                    if kth >= best_below + remaining_gain[i] && kth >= remaining_gain[i] {
+                        break;
+                    }
+                }
+            }
+            used = i + 1;
+            for stem in &stems {
+                if let Some((idf, postings)) = fragment.postings.get(stem) {
+                    work.matched_terms += 1;
+                    for (doc, tf) in postings {
+                        work.tuples += 1;
+                        let dl = self.doc_lens.get(doc).copied().unwrap_or(0.0);
+                        *scores.entry(*doc).or_insert(0.0) += self.term_score(*tf, *idf, dl);
+                    }
+                }
+            }
+        }
+
+        let mut hits: Vec<(Oid, f64)> = scores.into_iter().collect();
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        CutoffResult {
+            hits: hits
+                .into_iter()
+                .map(|(doc, score)| SearchHit {
+                    doc,
+                    url: self.urls.get(&doc).cloned().unwrap_or_default(),
+                    score,
+                })
+                .collect(),
+            quality: 1.0,
+            fragments_used: used,
+            work,
+        }
+    }
+
+    /// Evaluates `text` over at most `max_fragments` fragments
+    /// (processed in descending-idf order) and returns the top `k`.
+    pub fn query_with_cutoff(
+        &self,
+        text: &str,
+        k: usize,
+        max_fragments: usize,
+    ) -> CutoffResult {
+        let stems = tokenize_and_stem(text);
+        let budget = max_fragments.min(self.fragments.len());
+
+        // Total idf mass of the query across ALL fragments (denominator
+        // of the quality estimate).
+        let mut total_mass = 0.0;
+        let mut evaluated_mass = 0.0;
+        let mut scores: HashMap<Oid, f64> = HashMap::new();
+        let mut work = QueryWork::default();
+
+        for (i, fragment) in self.fragments.iter().enumerate() {
+            for stem in &stems {
+                if let Some((idf, postings)) = fragment.postings.get(stem) {
+                    total_mass += idf;
+                    if i < budget {
+                        evaluated_mass += idf;
+                        work.matched_terms += 1;
+                        for (doc, tf) in postings {
+                            work.tuples += 1;
+                            let dl = self.doc_lens.get(doc).copied().unwrap_or(0.0);
+                            *scores.entry(*doc).or_insert(0.0) +=
+                                self.term_score(*tf, *idf, dl);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut hits: Vec<(Oid, f64)> = scores.into_iter().collect();
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        CutoffResult {
+            hits: hits
+                .into_iter()
+                .map(|(doc, score)| SearchHit {
+                    doc,
+                    url: self.urls.get(&doc).cloned().unwrap_or_default(),
+                    score,
+                })
+                .collect(),
+            quality: if total_mass > 0.0 {
+                evaluated_mass / total_mass
+            } else {
+                1.0
+            },
+            fragments_used: budget,
+            work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corpus with a deliberate idf skew: one rare term, one medium,
+    /// one that appears everywhere.
+    fn skewed_index(docs: usize) -> TextIndex {
+        let mut idx = TextIndex::new(ScoreModel::TfIdf);
+        for i in 0..docs {
+            // Unique per-document terms give the vocabulary a realistic
+            // long tail of df=1 terms.
+            let mut body = format!("common common tennis event{i} report{i}");
+            if i % 10 == 0 {
+                body.push_str(" medium");
+            }
+            if i == 7 {
+                body.push_str(" rareword");
+            }
+            idx.index_document(&format!("d{i}.html"), &body).unwrap();
+        }
+        idx.commit().unwrap();
+        idx
+    }
+
+    #[test]
+    fn fragments_are_ordered_by_descending_idf() {
+        let mut idx = skewed_index(100);
+        let f = FragmentedIndex::build(&mut idx, 4).unwrap();
+        let profile = f.fragment_profile();
+        assert!(
+            (2..=4).contains(&profile.len()),
+            "fragment count {}",
+            profile.len()
+        );
+        for w in profile.windows(2) {
+            assert!(
+                w[0].2 >= w[1].1 - 1e-12,
+                "min idf of earlier fragment below max idf of later: {profile:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_idf_fragments_carry_most_tuples() {
+        let mut idx = skewed_index(100);
+        let f = FragmentedIndex::build(&mut idx, 4).unwrap();
+        let profile = f.fragment_profile();
+        // The last fragment (lowest idf) should not be smaller than the
+        // first (highest idf, rare terms).
+        assert!(profile.last().unwrap().0 >= profile.first().unwrap().0);
+    }
+
+    #[test]
+    fn full_budget_equals_unfragmented_ranking() {
+        let mut idx = skewed_index(60);
+        let (exact, _) = idx.query("rareword medium common", 10).unwrap();
+        let f = FragmentedIndex::build(&mut idx, 4).unwrap();
+        let cut = f.query_with_cutoff("rareword medium common", 10, 4);
+        assert_eq!(cut.quality, 1.0);
+        let exact_docs: Vec<_> = exact.iter().map(|h| h.doc).collect();
+        let cut_docs: Vec<_> = cut.hits.iter().map(|h| h.doc).collect();
+        assert_eq!(exact_docs, cut_docs);
+    }
+
+    #[test]
+    fn cutoff_reduces_work_with_bounded_quality_loss() {
+        let mut idx = skewed_index(200);
+        let f = FragmentedIndex::build(&mut idx, 8).unwrap();
+        let full = f.query_with_cutoff("rareword medium common", 10, 8);
+        let cut = f.query_with_cutoff("rareword medium common", 10, 2);
+        assert!(cut.work.tuples < full.work.tuples, "cutoff must save work");
+        assert!(cut.quality < 1.0);
+        assert!(cut.quality > 0.0);
+        // The rare, high-idf term is in an early fragment, so the top
+        // document (the only one with "rareword") survives the cutoff.
+        assert_eq!(cut.hits[0].doc, full.hits[0].doc);
+    }
+
+    #[test]
+    fn early_termination_returns_the_exact_top_k_set() {
+        let mut idx = skewed_index(300);
+        let (exact, _) = idx.query("rareword medium common", 10).unwrap();
+        let f = FragmentedIndex::build(&mut idx, 8).unwrap();
+        let early = f.query_top_k_early("rareword medium common", 10);
+        assert_eq!(early.quality, 1.0);
+        // Membership is exact (internal order may differ: members'
+        // residual gains in skipped fragments are not applied).
+        let exact_set: std::collections::HashSet<_> =
+            exact.iter().map(|h| h.doc).collect();
+        let early_set: std::collections::HashSet<_> =
+            early.hits.iter().map(|h| h.doc).collect();
+        assert_eq!(exact_set, early_set);
+    }
+
+    #[test]
+    fn early_termination_saves_work_on_skewed_queries() {
+        let mut idx = skewed_index(500);
+        let f = FragmentedIndex::build(&mut idx, 16).unwrap();
+        let full = f.query_with_cutoff("rareword common", 1, 16);
+        let early = f.query_top_k_early("rareword common", 1);
+        // The single "rareword" document dominates; the common tail
+        // cannot catch up, so evaluation brakes before the last
+        // fragments.
+        assert!(
+            early.fragments_used < 16,
+            "used {} fragments",
+            early.fragments_used
+        );
+        assert!(early.work.tuples <= full.work.tuples);
+        assert_eq!(early.hits[0].doc, full.hits[0].doc);
+    }
+
+    #[test]
+    fn zero_fragments_is_a_config_error() {
+        let mut idx = skewed_index(10);
+        assert!(FragmentedIndex::build(&mut idx, 0).is_err());
+    }
+
+    #[test]
+    fn quality_is_one_for_vocabulary_misses() {
+        let mut idx = skewed_index(10);
+        let f = FragmentedIndex::build(&mut idx, 2).unwrap();
+        let r = f.query_with_cutoff("zzzmissing", 5, 1);
+        assert!(r.hits.is_empty());
+        assert_eq!(r.quality, 1.0);
+    }
+}

@@ -1,0 +1,531 @@
+//! The text index: the paper's T / D / DT / TF / IDF relations.
+//!
+//! All five live as BATs in one [`monet::Db`], exactly as listed in the
+//! paper ("we transparently integrate the necessary relations into our
+//! database"):
+//!
+//! * **T**`(term-oid, term)` — the vocabulary (stemmed, stopped),
+//! * **D**`(doc-oid, doc-url)` — the global document registry,
+//! * **DT** — document/term pairs; being binary relations we split the
+//!   paper's ternary `DT(doc-oid, term-oid, pair-oid)` into
+//!   `DT_doc(pair→doc)` and `DT_term(term→pair)` (head-indexed for the
+//!   probe direction each side needs),
+//! * **TF**`(pair-oid, tf)` — "the number of times a certain term occurs
+//!   in a given document",
+//! * **IDF**`(term-oid, idf)` — "the idf of a term is defined as 1/df".
+//!
+//! Indexing is incremental: documents accumulate in DT, and
+//! [`TextIndex::commit`] re-derives TF/IDF for the touched terms only —
+//! "the incremental full text indexing process is started every time the
+//! XML storage manager has parsed a certain number of document bodies.
+//! … Using these three basic relations the TF and IDF relations are
+//! updated incrementally."
+
+use std::collections::HashMap;
+
+use monet::{ColumnKind, Db, Oid, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::text::tokenize_and_stem;
+
+/// Relation names.
+pub const T: &str = "T";
+/// Document registry relation.
+pub const D: &str = "D";
+/// Pair → document half of DT.
+pub const DT_DOC: &str = "DT_doc";
+/// Term → pair half of DT.
+pub const DT_TERM: &str = "DT_term";
+/// Pair → term frequency.
+pub const TF: &str = "TF";
+/// Term → inverse document frequency.
+pub const IDF: &str = "IDF";
+/// Document → length (token count), used by the Hiemstra model.
+pub const DL: &str = "DL";
+
+/// The ranking model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScoreModel {
+    /// Plain `Σ tf·idf` — the relations as the paper lists them.
+    TfIdf,
+    /// The Hiemstra-style linguistically motivated model the paper
+    /// derives its variant from: `Σ log(1 + (λ·tf·idf·C)/((1-λ)·dl⁻¹))`
+    /// simplified to `Σ log(1 + λ/(1-λ) · tf·idf · avgdl)` per matched
+    /// term, length-normalised.
+    Hiemstra {
+        /// Smoothing parameter λ ∈ (0, 1).
+        lambda: f64,
+    },
+}
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// The document oid.
+    pub doc: Oid,
+    /// The document URL.
+    pub url: String,
+    /// The score (higher is better).
+    pub score: f64,
+}
+
+/// Work counters for one query evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryWork {
+    /// TF/DT tuples touched.
+    pub tuples: usize,
+    /// Query terms found in the vocabulary.
+    pub matched_terms: usize,
+}
+
+/// The text index.
+pub struct TextIndex {
+    db: Db,
+    model: ScoreModel,
+    /// In-memory mirror of T for O(1) term lookup (rebuilt on restore).
+    vocab: HashMap<String, Oid>,
+    /// df per term (mirror, drives incremental IDF updates).
+    df: HashMap<Oid, usize>,
+    /// Terms touched since the last commit.
+    dirty_terms: Vec<Oid>,
+    /// Total token count, for avgdl.
+    total_tokens: usize,
+    committed: bool,
+}
+
+impl TextIndex {
+    /// An empty index with the given ranking model.
+    pub fn new(model: ScoreModel) -> Self {
+        TextIndex {
+            db: Db::new(),
+            model,
+            vocab: HashMap::new(),
+            df: HashMap::new(),
+            dirty_terms: Vec::new(),
+            total_tokens: 0,
+            committed: true,
+        }
+    }
+
+    /// The underlying catalog (the relations are inspectable).
+    pub fn db(&self) -> &Db {
+        &self.db
+    }
+
+    /// The ranking model.
+    pub fn model(&self) -> ScoreModel {
+        self.model
+    }
+
+    /// Number of indexed documents.
+    pub fn document_count(&self) -> usize {
+        self.db.get(D).map(monet::Bat::len).unwrap_or(0)
+    }
+
+    /// Vocabulary size.
+    pub fn term_count(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Indexes one document body; returns its doc oid. Call
+    /// [`TextIndex::commit`] before querying.
+    pub fn index_document(&mut self, url: &str, text: &str) -> Result<Oid> {
+        if !self
+            .db
+            .get(D)
+            .map(|bat| bat.select_str_eq(url).is_empty())
+            .unwrap_or(true)
+        {
+            return Err(Error::Document(format!("`{url}` already indexed")));
+        }
+        let doc = self.db.mint();
+        self.db
+            .get_or_create(D, ColumnKind::Str)
+            .append_str(doc, url)?;
+
+        let terms = tokenize_and_stem(text);
+        self.total_tokens += terms.len();
+        self.db
+            .get_or_create(DL, ColumnKind::Int)
+            .append_int(doc, terms.len() as i64)?;
+
+        // Count per-term occurrences.
+        let mut counts: HashMap<&str, i64> = HashMap::new();
+        for t in &terms {
+            *counts.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let mut sorted: Vec<(&str, i64)> = counts.into_iter().collect();
+        sorted.sort_unstable();
+
+        for (term, tf) in sorted {
+            let term_oid = match self.vocab.get(term) {
+                Some(o) => *o,
+                None => {
+                    let o = self.db.mint();
+                    self.db
+                        .get_or_create(T, ColumnKind::Str)
+                        .append_str(o, term)?;
+                    self.vocab.insert(term.to_owned(), o);
+                    o
+                }
+            };
+            let pair = self.db.mint();
+            self.db
+                .get_or_create(DT_DOC, ColumnKind::Oid)
+                .append_oid(pair, doc)?;
+            self.db
+                .get_or_create(DT_TERM, ColumnKind::Oid)
+                .append_oid(term_oid, pair)?;
+            self.db
+                .get_or_create(TF, ColumnKind::Int)
+                .append_int(pair, tf)?;
+            *self.df.entry(term_oid).or_insert(0) += 1;
+            self.dirty_terms.push(term_oid);
+        }
+        self.committed = false;
+        Ok(doc)
+    }
+
+    /// Derives IDF entries for the terms touched since the last commit
+    /// (`idf = 1/df`, per the paper). Idempotent.
+    pub fn commit(&mut self) -> Result<()> {
+        if self.committed {
+            return Ok(());
+        }
+        let dirty = std::mem::take(&mut self.dirty_terms);
+        let idf_bat = self.db.get_or_create(IDF, ColumnKind::Flt);
+        for term in dirty {
+            let df = self.df.get(&term).copied().unwrap_or(0).max(1);
+            idf_bat.upsert(term, Value::Flt(1.0 / df as f64))?;
+        }
+        self.committed = true;
+        Ok(())
+    }
+
+    /// The idf of a (stemmed) term, if in the vocabulary.
+    pub fn idf(&self, stem: &str) -> Option<f64> {
+        let term = *self.vocab.get(stem)?;
+        self.db
+            .get(IDF)
+            .ok()?
+            .iter()
+            .find(|(h, _)| *h == term)
+            .and_then(|(_, v)| v.as_flt())
+    }
+
+    /// The oid of a stemmed term.
+    pub fn term_oid(&self, stem: &str) -> Option<Oid> {
+        self.vocab.get(stem).copied()
+    }
+
+    /// The URL of a document oid.
+    pub fn url_of(&mut self, doc: Oid) -> Option<String> {
+        self.db
+            .get_mut(D)
+            .ok()?
+            .first_tail_of(doc)
+            .and_then(|v| v.as_str().map(str::to_owned))
+    }
+
+    /// Average document length (tokens).
+    pub fn avg_doc_len(&self) -> f64 {
+        let n = self.document_count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_tokens as f64 / n as f64
+        }
+    }
+
+    /// Postings of one term: `(doc, tf)` pairs. Exposed for the
+    /// fragmentation and distribution layers.
+    pub fn postings(&mut self, term: Oid) -> Result<Vec<(Oid, i64)>> {
+        let pairs: Vec<Oid> = self
+            .db
+            .get_mut(DT_TERM)?
+            .tails_of(term)
+            .into_iter()
+            .filter_map(|v| v.as_oid())
+            .collect();
+        let mut out = Vec::with_capacity(pairs.len());
+        for pair in pairs {
+            let doc = self
+                .db
+                .get_mut(DT_DOC)?
+                .first_tail_of(pair)
+                .and_then(|v| v.as_oid())
+                .ok_or_else(|| Error::Document(format!("pair {pair} lost its document")))?;
+            let tf = self
+                .db
+                .get_mut(TF)?
+                .first_tail_of(pair)
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+            out.push((doc, tf));
+        }
+        Ok(out)
+    }
+
+    /// Per-term contribution to a document's score under the model.
+    pub fn term_score(&self, tf: i64, idf: f64, dl: f64) -> f64 {
+        match self.model {
+            ScoreModel::TfIdf => tf as f64 * idf,
+            ScoreModel::Hiemstra { lambda } => {
+                let avg = self.avg_doc_len().max(1.0);
+                let norm = if dl > 0.0 { avg / dl } else { 1.0 };
+                (1.0 + (lambda / (1.0 - lambda)) * tf as f64 * idf * norm).ln()
+            }
+        }
+    }
+
+    fn doc_len(&mut self, doc: Oid) -> f64 {
+        self.db
+            .get_mut(DL)
+            .ok()
+            .and_then(|bat| bat.first_tail_of(doc))
+            .and_then(|v| v.as_int())
+            .unwrap_or(0) as f64
+    }
+
+    /// Evaluates a free-text query and returns the top `k` documents.
+    pub fn query(&mut self, text: &str, k: usize) -> Result<(Vec<SearchHit>, QueryWork)> {
+        self.query_impl(text, k, None)
+    }
+
+    /// Evaluates a free-text query **restricted to a candidate set** of
+    /// document URLs — the paper's query-optimizer choice: "it is up to
+    /// the query optimizer whether the ranking should be unlimited and
+    /// the results merged afterwards or the ranking should be restricted
+    /// to only a limited domain. For example, if one is only interested
+    /// in articles about the Australian Open tennis tournament from a
+    /// certain author, this might be … a very interesting a-priori
+    /// restriction of the ranking candidate set."
+    pub fn query_restricted(
+        &mut self,
+        text: &str,
+        k: usize,
+        candidates: &std::collections::HashSet<String>,
+    ) -> Result<(Vec<SearchHit>, QueryWork)> {
+        self.commit()?;
+        // Translate candidate URLs to oids once.
+        let mut allowed = std::collections::HashSet::new();
+        if let Ok(d) = self.db.get(D) {
+            for (doc, v) in d.iter() {
+                if v.as_str().map(|u| candidates.contains(u)).unwrap_or(false) {
+                    allowed.insert(doc);
+                }
+            }
+        }
+        self.query_impl(text, k, Some(&allowed))
+    }
+
+    fn query_impl(
+        &mut self,
+        text: &str,
+        k: usize,
+        allowed: Option<&std::collections::HashSet<Oid>>,
+    ) -> Result<(Vec<SearchHit>, QueryWork)> {
+        self.commit()?;
+        let mut work = QueryWork::default();
+        let stems = tokenize_and_stem(text);
+        let mut scores: HashMap<Oid, f64> = HashMap::new();
+        for stem in stems {
+            let Some(term) = self.term_oid(&stem) else {
+                continue;
+            };
+            work.matched_terms += 1;
+            let idf = self.idf(&stem).unwrap_or(0.0);
+            for (doc, tf) in self.postings(term)? {
+                if let Some(allowed) = allowed {
+                    if !allowed.contains(&doc) {
+                        continue; // restricted out before any scoring work
+                    }
+                }
+                work.tuples += 1;
+                let dl = self.doc_len(doc);
+                *scores.entry(doc).or_insert(0.0) += self.term_score(tf, idf, dl);
+            }
+        }
+        let mut hits: Vec<(Oid, f64)> = scores.into_iter().collect();
+        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits.truncate(k);
+        let hits = hits
+            .into_iter()
+            .map(|(doc, score)| {
+                let url = self.url_of(doc).unwrap_or_default();
+                SearchHit { doc, url, score }
+            })
+            .collect();
+        Ok((hits, work))
+    }
+
+    /// The vocabulary with local document frequencies: `stem → df`.
+    pub fn df_map(&self) -> HashMap<String, usize> {
+        self.vocab
+            .iter()
+            .map(|(s, o)| (s.clone(), self.df.get(o).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// Overrides the IDF relation with *global* document frequencies —
+    /// the paper distributes "the TF (and corresponding IDF tuples)"
+    /// to the servers, so a server ranks with collection-wide idf, not
+    /// its local one. Terms absent from this server's vocabulary are
+    /// ignored (their postings live elsewhere).
+    pub fn apply_global_df(&mut self, global: &HashMap<String, usize>) -> Result<()> {
+        self.commit()?;
+        for (stem, df) in global {
+            if let Some(&term) = self.vocab.get(stem) {
+                let df = (*df).max(1);
+                self.db
+                    .get_or_create(IDF, ColumnKind::Flt)
+                    .upsert(term, Value::Flt(1.0 / df as f64))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// All `(stem, term oid, df)` triples, sorted by **descending idf**
+    /// (ascending df) — the fragmentation order of the paper.
+    pub fn terms_by_desc_idf(&self) -> Vec<(String, Oid, usize)> {
+        let mut terms: Vec<(String, Oid, usize)> = self
+            .vocab
+            .iter()
+            .map(|(s, o)| (s.clone(), *o, self.df.get(o).copied().unwrap_or(0)))
+            .collect();
+        terms.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)));
+        terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus() -> TextIndex {
+        let mut idx = TextIndex::new(ScoreModel::TfIdf);
+        idx.index_document(
+            "seles-history.html",
+            "Winner of the Australian Open. Seles is a champion winner.",
+        )
+        .unwrap();
+        idx.index_document("hingis-history.html", "Runner up at the Australian Open.")
+            .unwrap();
+        idx.index_document("news.html", "Tennis news from the open era.")
+            .unwrap();
+        idx.commit().unwrap();
+        idx
+    }
+
+    #[test]
+    fn relations_exist_after_indexing() {
+        let idx = small_corpus();
+        for rel in [T, D, DT_DOC, DT_TERM, TF, IDF, DL] {
+            assert!(idx.db().contains(rel), "missing relation {rel}");
+        }
+        assert_eq!(idx.document_count(), 3);
+    }
+
+    #[test]
+    fn idf_is_one_over_df() {
+        let idx = small_corpus();
+        // "open" appears in all three documents.
+        assert_eq!(idx.idf("open"), Some(1.0 / 3.0));
+        // "winner" appears only in the first.
+        assert_eq!(idx.idf("winner"), Some(1.0));
+    }
+
+    #[test]
+    fn query_ranks_the_winner_document_first() {
+        let mut idx = small_corpus();
+        let (hits, work) = idx.query("winner", 10).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].url, "seles-history.html");
+        // tf("winner") = 2, idf = 1 → score 2.
+        assert_eq!(hits[0].score, 2.0);
+        assert_eq!(work.matched_terms, 1);
+        assert_eq!(work.tuples, 1);
+    }
+
+    #[test]
+    fn multi_term_queries_accumulate() {
+        let mut idx = small_corpus();
+        let (hits, _) = idx.query("australian open", 10).unwrap();
+        assert_eq!(hits.len(), 3);
+        // Both history pages mention both terms; news only "open".
+        assert_eq!(hits[2].url, "news.html");
+        assert!(hits[0].score > hits[2].score);
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let mut idx = small_corpus();
+        let (hits, work) = idx.query("zzzzunknown", 10).unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(work.matched_terms, 0);
+    }
+
+    #[test]
+    fn duplicate_url_is_rejected() {
+        let mut idx = small_corpus();
+        assert!(idx.index_document("news.html", "again").is_err());
+    }
+
+    #[test]
+    fn incremental_commit_updates_touched_terms_only() {
+        let mut idx = small_corpus();
+        assert_eq!(idx.idf("winner"), Some(1.0));
+        idx.index_document("more.html", "another winner emerges")
+            .unwrap();
+        idx.commit().unwrap();
+        assert_eq!(idx.idf("winner"), Some(0.5));
+        // Untouched term unchanged.
+        assert_eq!(idx.idf("runner"), Some(1.0));
+    }
+
+    #[test]
+    fn hiemstra_model_prefers_rare_terms() {
+        let mut idx = TextIndex::new(ScoreModel::Hiemstra { lambda: 0.5 });
+        idx.index_document("a", "tennis tennis tennis rare").unwrap();
+        idx.index_document("b", "tennis tennis tennis tennis").unwrap();
+        idx.index_document("c", "tennis common common").unwrap();
+        idx.commit().unwrap();
+        let (hits, _) = idx.query("rare", 3).unwrap();
+        assert_eq!(hits[0].url, "a");
+        assert!(hits[0].score > 0.0);
+    }
+
+    #[test]
+    fn restricted_query_ranks_only_candidates() {
+        let mut idx = small_corpus();
+        let all: std::collections::HashSet<String> =
+            ["hingis-history.html".to_owned()].into_iter().collect();
+        let (hits, work) = idx.query_restricted("australian open", 10, &all).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].url, "hingis-history.html");
+        // The restriction pruned postings before scoring: fewer tuples
+        // than the unrestricted evaluation.
+        let (_, full_work) = idx.query("australian open", 10).unwrap();
+        assert!(work.tuples < full_work.tuples);
+    }
+
+    #[test]
+    fn restricted_query_with_empty_candidates_returns_nothing() {
+        let mut idx = small_corpus();
+        let none = std::collections::HashSet::new();
+        let (hits, _) = idx.query_restricted("open", 10, &none).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn terms_sorted_by_descending_idf() {
+        let idx = small_corpus();
+        let terms = idx.terms_by_desc_idf();
+        for w in terms.windows(2) {
+            assert!(w[0].2 <= w[1].2, "df must ascend: {:?}", w);
+        }
+        // The most frequent term ("open", df 3) comes last.
+        assert_eq!(terms.last().unwrap().0, "open");
+    }
+}

@@ -1,0 +1,43 @@
+//! Full-text retrieval — the paper's "optimization support for full text
+//! retrieval" at the physical level.
+//!
+//! "We support a variant of the tf·idf ranking model, derived from the
+//! well founded probabilistic retrieval model of [Hie98]. … we
+//! transparently integrate the necessary relations into our database":
+//! the **T** (vocabulary), **D** (documents), **DT** (document/term
+//! pairs), **TF** (pair frequencies) and **IDF** (`idf = 1/df`)
+//! relations, all BATs in a [`monet::Db`] ([`index`]).
+//!
+//! The two scalability mechanisms the paper describes are both here:
+//!
+//! * [`frag`] — "we horizontally fragment these relations … on
+//!   descending idf": high-idf (selective, cheap) fragments first,
+//!   low-idf (expensive, uninteresting) fragments last, so top-N
+//!   evaluation can cut off fragments a-priori with an estimated quality
+//!   degrade ("a quality model that allows the query optimizer to
+//!   estimate the quality degrade resulting from a-priori ignoring
+//!   fragments with lower idf").
+//! * [`distrib`] — "we distribute the TF (and corresponding IDF tuples)
+//!   over several database servers, by assigning parts on a per-document
+//!   basis … almost perfect shared nothing parallelism which facilitates
+//!   (almost) unlimited scalability": local top-N per server, master
+//!   ranking merge at the central node.
+//!
+//! [`text`] supplies the tokenizer, English stop list and a from-scratch
+//! Porter stemmer ("the terms to be stored … actually will be the
+//! corresponding stems. Stop terms are expected to be filtered out").
+
+#![warn(missing_docs)]
+
+pub mod distrib;
+pub mod error;
+pub mod frag;
+pub mod index;
+pub mod lang;
+pub mod text;
+
+pub use distrib::DistributedIndex;
+pub use error::{Error, Result};
+pub use frag::FragmentedIndex;
+pub use index::{ScoreModel, SearchHit, TextIndex};
+pub use text::{porter_stem, tokenize_and_stem};

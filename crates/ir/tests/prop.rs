@@ -1,0 +1,133 @@
+//! Property tests for retrieval invariants.
+
+use ir::{DistributedIndex, FragmentedIndex, ScoreModel, TextIndex};
+use proptest::prelude::*;
+
+/// Random small corpora over a closed vocabulary (so terms collide).
+fn arb_corpus() -> impl Strategy<Value = Vec<Vec<&'static str>>> {
+    const VOCAB: [&str; 10] = [
+        "tennis", "winner", "champion", "match", "court", "serve", "rally", "title", "crowd",
+        "melbourne",
+    ];
+    prop::collection::vec(
+        prop::collection::vec(0usize..VOCAB.len(), 1..20)
+            .prop_map(|ids| ids.into_iter().map(|i| VOCAB[i]).collect::<Vec<_>>()),
+        1..20,
+    )
+}
+
+fn build(corpus: &[Vec<&str>]) -> TextIndex {
+    let mut idx = TextIndex::new(ScoreModel::TfIdf);
+    for (i, words) in corpus.iter().enumerate() {
+        idx.index_document(&format!("d{i}"), &words.join(" "))
+            .unwrap();
+    }
+    idx.commit().unwrap();
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn idf_is_inverse_document_frequency(corpus in arb_corpus()) {
+        let idx = build(&corpus);
+        for term in ["tennis", "winner", "champion"] {
+            let stem = ir::porter_stem(term);
+            let df = corpus
+                .iter()
+                .filter(|doc| doc.iter().any(|w| ir::porter_stem(w) == stem))
+                .count();
+            match idx.idf(&stem) {
+                Some(idf) => prop_assert!((idf - 1.0 / df as f64).abs() < 1e-12),
+                None => prop_assert_eq!(df, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_a_prefix_of_the_full_ranking(corpus in arb_corpus(), k in 1usize..10) {
+        let mut idx = build(&corpus);
+        let (full, _) = idx.query("tennis winner champion", usize::MAX).unwrap();
+        let (top, _) = idx.query("tennis winner champion", k).unwrap();
+        prop_assert_eq!(&full[..top.len()], &top[..]);
+        prop_assert!(top.len() <= k);
+    }
+
+    #[test]
+    fn scores_are_positive_and_sorted(corpus in arb_corpus()) {
+        let mut idx = build(&corpus);
+        let (hits, _) = idx.query("tennis match", 50).unwrap();
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for h in &hits {
+            prop_assert!(h.score > 0.0);
+        }
+    }
+
+    #[test]
+    fn full_budget_fragmented_equals_flat(corpus in arb_corpus(), nfrag in 1usize..6) {
+        // Ask for every document (k ≥ corpus size): floating-point
+        // accumulation order differs between the two evaluation paths,
+        // so tie *order* at a top-k boundary may legitimately differ;
+        // the document/score multiset may not.
+        let k = corpus.len() + 1;
+        let mut idx = build(&corpus);
+        let (flat, _) = idx.query("winner court serve", k).unwrap();
+        let frag = FragmentedIndex::build(&mut idx, nfrag).unwrap();
+        let cut = frag.query_with_cutoff("winner court serve", k, nfrag);
+        prop_assert!((cut.quality - 1.0).abs() < 1e-12);
+        let sorted = |hits: &[ir::SearchHit]| {
+            let mut v: Vec<(monet::Oid, f64)> =
+                hits.iter().map(|h| (h.doc, h.score)).collect();
+            v.sort_by_key(|p| p.0);
+            v
+        };
+        let flat_docs = sorted(&flat);
+        let cut_docs = sorted(&cut.hits);
+        prop_assert_eq!(flat_docs.len(), cut_docs.len());
+        for (a, b) in flat_docs.iter().zip(&cut_docs) {
+            prop_assert_eq!(a.0, b.0);
+            prop_assert!((a.1 - b.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cutoff_quality_is_monotone_in_budget(corpus in arb_corpus()) {
+        let mut idx = build(&corpus);
+        let frag = FragmentedIndex::build(&mut idx, 4).unwrap();
+        let mut prev = -1.0;
+        for budget in 0..=4 {
+            let r = frag.query_with_cutoff("tennis winner rally", 10, budget);
+            prop_assert!(r.quality >= prev - 1e-12, "budget {budget}");
+            prev = r.quality;
+        }
+    }
+
+    #[test]
+    fn distribution_preserves_the_ranking(corpus in arb_corpus(), servers in 1usize..5) {
+        let mut single = DistributedIndex::new(1, ScoreModel::TfIdf).unwrap();
+        let mut multi = DistributedIndex::new(servers, ScoreModel::TfIdf).unwrap();
+        for (i, words) in corpus.iter().enumerate() {
+            let url = format!("d{i}");
+            let body = words.join(" ");
+            single.index_document(&url, &body).unwrap();
+            multi.index_document(&url, &body).unwrap();
+        }
+        single.commit().unwrap();
+        multi.commit().unwrap();
+        let a = single.query_serial("tennis winner", corpus.len()).unwrap();
+        let b = multi.query_serial("tennis winner", corpus.len()).unwrap();
+        let key = |r: &ir::distrib::DistributedResult| {
+            let mut v: Vec<(String, i64)> = r
+                .hits
+                .iter()
+                .map(|h| (h.url.clone(), (h.score * 1e9).round() as i64))
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert_eq!(key(&a), key(&b));
+    }
+}

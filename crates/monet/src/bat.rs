@@ -1,0 +1,618 @@
+//! Binary association tables and their relational operations.
+//!
+//! A [`Bat`] is the unit of storage: a sequence of associations
+//! `(head: Oid, tail: Value)` with a homogeneous tail type. The upper
+//! levels use a small relational algebra over BATs:
+//!
+//! * **selections** — find heads whose tail satisfies a predicate,
+//! * **lookups** — find tails for a head (hash-indexed),
+//! * **joins** — `self.tail ⋈ other.head`, the backbone of path-expression
+//!   evaluation in Monet XML,
+//! * **semijoins** — restrict to a set of heads,
+//! * **grouping / aggregation** — counts and sums per head (used by the IR
+//!   level for `tf` and score accumulation),
+//! * **ordering / slicing** — sort by tail, take top-N.
+//!
+//! Mutation is append-mostly; deletion by head exists to support the FDS's
+//! incremental invalidation of stored parse trees.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::oid::Oid;
+use crate::value::{Column, ColumnKind, Value};
+
+/// A binary association table: `head: Vec<Oid>` aligned with a typed tail
+/// [`Column`], plus a head-index for O(1) expected lookups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Bat {
+    head: Vec<Oid>,
+    tail: Column,
+    /// head oid → positions. Rebuilt on deserialisation, maintained on
+    /// every mutation otherwise.
+    #[serde(skip)]
+    index: HashMap<Oid, Vec<u32>>,
+    #[serde(skip)]
+    index_valid: bool,
+}
+
+impl PartialEq for Bat {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head && self.tail == other.tail
+    }
+}
+
+impl Bat {
+    /// Creates an empty BAT with the given tail kind.
+    pub fn with_kind(kind: ColumnKind) -> Self {
+        Bat {
+            head: Vec::new(),
+            tail: Column::empty(kind),
+            index: HashMap::new(),
+            index_valid: true,
+        }
+    }
+
+    /// Empty `oid × oid` BAT.
+    pub fn new_oid() -> Self {
+        Self::with_kind(ColumnKind::Oid)
+    }
+    /// Empty `oid × int` BAT.
+    pub fn new_int() -> Self {
+        Self::with_kind(ColumnKind::Int)
+    }
+    /// Empty `oid × flt` BAT.
+    pub fn new_flt() -> Self {
+        Self::with_kind(ColumnKind::Flt)
+    }
+    /// Empty `oid × str` BAT.
+    pub fn new_str() -> Self {
+        Self::with_kind(ColumnKind::Str)
+    }
+    /// Empty `oid × bit` BAT.
+    pub fn new_bit() -> Self {
+        Self::with_kind(ColumnKind::Bit)
+    }
+
+    /// The tail type.
+    pub fn kind(&self) -> ColumnKind {
+        self.tail.kind()
+    }
+
+    /// Number of associations.
+    pub fn len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Whether the BAT holds no associations.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    fn ensure_index(&mut self) {
+        if self.index_valid {
+            return;
+        }
+        self.index.clear();
+        for (pos, h) in self.head.iter().enumerate() {
+            self.index.entry(*h).or_default().push(pos as u32);
+        }
+        self.index_valid = true;
+    }
+
+    /// Rebuilds the head index if needed (e.g. after deserialisation).
+    /// All lookup methods call this implicitly through [`Self::positions`].
+    pub fn refresh_index(&mut self) {
+        self.index_valid = false;
+        self.ensure_index();
+    }
+
+    /// Appends an association; fails if the value kind does not match the
+    /// tail column kind.
+    pub fn append(&mut self, head: Oid, value: Value) -> Result<()> {
+        let pos = self.head.len() as u32;
+        self.tail
+            .push(value)
+            .map_err(|(expected, got)| Error::TypeMismatch { expected, got })?;
+        self.head.push(head);
+        if self.index_valid {
+            self.index.entry(head).or_default().push(pos);
+        }
+        Ok(())
+    }
+
+    /// Appends an `oid` tail.
+    pub fn append_oid(&mut self, head: Oid, tail: Oid) -> Result<()> {
+        self.append(head, Value::Oid(tail))
+    }
+    /// Appends an `int` tail.
+    pub fn append_int(&mut self, head: Oid, tail: i64) -> Result<()> {
+        self.append(head, Value::Int(tail))
+    }
+    /// Appends a `flt` tail.
+    pub fn append_flt(&mut self, head: Oid, tail: f64) -> Result<()> {
+        self.append(head, Value::Flt(tail))
+    }
+    /// Appends a `str` tail.
+    pub fn append_str(&mut self, head: Oid, tail: impl Into<String>) -> Result<()> {
+        self.append(head, Value::Str(tail.into()))
+    }
+    /// Appends a `bit` tail.
+    pub fn append_bit(&mut self, head: Oid, tail: bool) -> Result<()> {
+        self.append(head, Value::Bit(tail))
+    }
+
+    /// The association at `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= self.len()`.
+    pub fn at(&self, pos: usize) -> (Oid, Value) {
+        (self.head[pos], self.tail.get(pos))
+    }
+
+    /// Iterates over all associations in insertion order (subject to
+    /// reordering by [`Self::delete_head`], which swap-removes).
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, Value)> + '_ {
+        (0..self.len()).map(move |i| self.at(i))
+    }
+
+    /// Iterates over the head column.
+    pub fn heads(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.head.iter().copied()
+    }
+
+    /// Borrows the tail column.
+    pub fn tail(&self) -> &Column {
+        &self.tail
+    }
+
+    /// Positions of associations whose head equals `head`.
+    pub fn positions(&mut self, head: Oid) -> &[u32] {
+        self.ensure_index();
+        self.index.get(&head).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All tails associated with `head`.
+    pub fn tails_of(&mut self, head: Oid) -> Vec<Value> {
+        self.ensure_index();
+        match self.index.get(&head) {
+            Some(ps) => ps.iter().map(|&p| self.tail.get(p as usize)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The first tail associated with `head`, if any.
+    pub fn first_tail_of(&mut self, head: Oid) -> Option<Value> {
+        self.ensure_index();
+        let p = *self.index.get(&head)?.first()?;
+        Some(self.tail.get(p as usize))
+    }
+
+    /// Whether any association has head `head`.
+    pub fn contains_head(&mut self, head: Oid) -> bool {
+        self.ensure_index();
+        self.index.contains_key(&head)
+    }
+
+    /// Heads whose tail satisfies `pred`. Order follows storage order;
+    /// duplicates are kept (one per matching association).
+    pub fn select_by(&self, mut pred: impl FnMut(&Value) -> bool) -> Vec<Oid> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            let v = self.tail.get(i);
+            if pred(&v) {
+                out.push(self.head[i]);
+            }
+        }
+        out
+    }
+
+    /// Heads with string tail equal to `s` (fast path, no boxing).
+    pub fn select_str_eq(&self, s: &str) -> Vec<Oid> {
+        match &self.tail {
+            Column::Str(vs) => self
+                .head
+                .iter()
+                .zip(vs)
+                .filter(|(_, v)| v.as_str() == s)
+                .map(|(h, _)| *h)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Heads with integer tail equal to `i`.
+    pub fn select_int_eq(&self, i: i64) -> Vec<Oid> {
+        match &self.tail {
+            Column::Int(vs) => self
+                .head
+                .iter()
+                .zip(vs)
+                .filter(|(_, v)| **v == i)
+                .map(|(h, _)| *h)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Heads with boolean tail equal to `b`.
+    pub fn select_bit_eq(&self, b: bool) -> Vec<Oid> {
+        match &self.tail {
+            Column::Bit(vs) => self
+                .head
+                .iter()
+                .zip(vs)
+                .filter(|(_, v)| **v == b)
+                .map(|(h, _)| *h)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Heads with oid tail equal to `o` — i.e. "find parents of `o`" when
+    /// the BAT stores parent→child edges.
+    pub fn select_oid_eq(&self, o: Oid) -> Vec<Oid> {
+        match &self.tail {
+            Column::Oid(vs) => self
+                .head
+                .iter()
+                .zip(vs)
+                .filter(|(_, v)| **v == o)
+                .map(|(h, _)| *h)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Heads with float tail in `[lo, hi]` (integers widen).
+    pub fn select_flt_range(&self, lo: f64, hi: f64) -> Vec<Oid> {
+        self.select_by(|v| v.as_flt().is_some_and(|f| f >= lo && f <= hi))
+    }
+
+    /// Reverses an `oid × oid` BAT: tails become heads and vice versa.
+    pub fn reverse(&self) -> Result<Bat> {
+        let Column::Oid(tails) = &self.tail else {
+            return Err(Error::TypeMismatch {
+                expected: ColumnKind::Oid,
+                got: self.tail.kind(),
+            });
+        };
+        let mut out = Bat::new_oid();
+        for (h, t) in self.head.iter().zip(tails) {
+            out.append_oid(*t, *h)?;
+        }
+        Ok(out)
+    }
+
+    /// Hash join on `self.tail = other.head`; produces
+    /// `(self.head, other.tail)` associations. `self` must have oid tails.
+    ///
+    /// This is the kernel of path-expression evaluation: joining
+    /// `R(a/b)` with `R(a/b/c)` walks one step down the document tree for
+    /// a whole set of nodes at once.
+    pub fn join(&self, other: &mut Bat) -> Result<Bat> {
+        let Column::Oid(tails) = &self.tail else {
+            return Err(Error::TypeMismatch {
+                expected: ColumnKind::Oid,
+                got: self.tail.kind(),
+            });
+        };
+        other.ensure_index();
+        let mut out = Bat::with_kind(other.kind());
+        for (h, t) in self.head.iter().zip(tails) {
+            if let Some(ps) = other.index.get(t) {
+                for &p in ps {
+                    out.append(*h, other.tail.get(p as usize))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Restricts to associations whose head is in `keep`.
+    pub fn semijoin(&self, keep: &std::collections::HashSet<Oid>) -> Bat {
+        let mut out = Bat::with_kind(self.kind());
+        for i in 0..self.len() {
+            if keep.contains(&self.head[i]) {
+                out.append(self.head[i], self.tail.get(i))
+                    .expect("same-kind append cannot fail");
+            }
+        }
+        out
+    }
+
+    /// Counts associations per head: an `oid × int` BAT. The IR level uses
+    /// this to derive `tf` from the document/term pair relation.
+    pub fn group_count(&self) -> Bat {
+        let mut counts: HashMap<Oid, i64> = HashMap::new();
+        for h in &self.head {
+            *counts.entry(*h).or_insert(0) += 1;
+        }
+        let mut out = Bat::new_int();
+        let mut keys: Vec<_> = counts.into_iter().collect();
+        keys.sort_unstable_by_key(|(h, _)| *h);
+        for (h, c) in keys {
+            out.append_int(h, c).expect("int append");
+        }
+        out
+    }
+
+    /// Sums float tails per head: an `oid × flt` BAT (score accumulation).
+    pub fn group_sum_flt(&self) -> Result<Bat> {
+        let Column::Flt(tails) = &self.tail else {
+            return Err(Error::TypeMismatch {
+                expected: ColumnKind::Flt,
+                got: self.tail.kind(),
+            });
+        };
+        let mut sums: HashMap<Oid, f64> = HashMap::new();
+        for (h, v) in self.head.iter().zip(tails) {
+            *sums.entry(*h).or_insert(0.0) += v;
+        }
+        let mut keys: Vec<_> = sums.into_iter().collect();
+        keys.sort_unstable_by_key(|(h, _)| *h);
+        let mut out = Bat::new_flt();
+        for (h, s) in keys {
+            out.append_flt(h, s)?;
+        }
+        Ok(out)
+    }
+
+    /// The `n` associations with the largest tails (descending tail order,
+    /// ties by head for determinism). The top-N operator of the paper's
+    /// query optimiser.
+    pub fn top_n(&self, n: usize) -> Vec<(Oid, Value)> {
+        let mut rows: Vec<(Oid, Value)> = self.iter().collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Deletes every association with head `head`; returns how many were
+    /// removed. Uses swap-removal, so storage order is not preserved.
+    pub fn delete_head(&mut self, head: Oid) -> usize {
+        let mut removed = 0;
+        let mut i = 0;
+        while i < self.head.len() {
+            if self.head[i] == head {
+                self.head.swap_remove(i);
+                self.tail.swap_remove(i);
+                removed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if removed > 0 {
+            self.index_valid = false;
+            self.index.clear();
+        }
+        removed
+    }
+
+    /// Deletes every association whose head is in `heads`, in one pass —
+    /// the bulk form the storage layer uses when removing whole
+    /// documents (per-head deletion would invalidate and rebuild the
+    /// lookup index once per node, which is quadratic in document size).
+    /// Returns how many associations were removed.
+    pub fn delete_heads(&mut self, heads: &std::collections::HashSet<Oid>) -> usize {
+        let before = self.head.len();
+        let mut i = 0;
+        while i < self.head.len() {
+            if heads.contains(&self.head[i]) {
+                self.head.swap_remove(i);
+                self.tail.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let removed = before - self.head.len();
+        if removed > 0 {
+            self.index_valid = false;
+            self.index.clear();
+        }
+        removed
+    }
+
+    /// Replaces the tail of the *first* association with head `head`, or
+    /// appends a fresh association if none exists. Returns whether an
+    /// existing association was updated.
+    pub fn upsert(&mut self, head: Oid, value: Value) -> Result<bool> {
+        self.ensure_index();
+        if let Some(&pos) = self.index.get(&head).and_then(|ps| ps.first()) {
+            self.tail
+                .set(pos as usize, value)
+                .map_err(|(expected, got)| Error::TypeMismatch { expected, got })?;
+            Ok(true)
+        } else {
+            self.append(head, value)?;
+            Ok(false)
+        }
+    }
+
+    /// Distinct heads, in first-appearance order.
+    pub fn distinct_heads(&self) -> Vec<Oid> {
+        let mut seen = std::collections::HashSet::new();
+        self.head.iter().copied().filter(|h| seen.insert(*h)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn oid(n: u64) -> Oid {
+        Oid::from_raw(n)
+    }
+
+    #[test]
+    fn append_and_lookup() {
+        let mut b = Bat::new_str();
+        b.append_str(oid(1), "a").unwrap();
+        b.append_str(oid(1), "b").unwrap();
+        b.append_str(oid(2), "c").unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(
+            b.tails_of(oid(1)),
+            vec![Value::from("a"), Value::from("b")]
+        );
+        assert_eq!(b.first_tail_of(oid(3)), None);
+    }
+
+    #[test]
+    fn append_kind_mismatch_errors() {
+        let mut b = Bat::new_int();
+        let err = b.append(oid(1), Value::from("nope")).unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn select_variants() {
+        let mut b = Bat::new_int();
+        for (h, v) in [(1, 10), (2, 20), (3, 10)] {
+            b.append_int(oid(h), v).unwrap();
+        }
+        assert_eq!(b.select_int_eq(10), vec![oid(1), oid(3)]);
+        assert_eq!(b.select_flt_range(15.0, 25.0), vec![oid(2)]);
+        assert!(b.select_str_eq("x").is_empty());
+    }
+
+    #[test]
+    fn reverse_swaps_columns() {
+        let mut b = Bat::new_oid();
+        b.append_oid(oid(1), oid(10)).unwrap();
+        let r = b.reverse().unwrap();
+        assert_eq!(r.at(0), (oid(10), Value::Oid(oid(1))));
+    }
+
+    #[test]
+    fn reverse_requires_oid_tail() {
+        let b = Bat::new_str();
+        assert!(b.reverse().is_err());
+    }
+
+    #[test]
+    fn join_walks_one_step() {
+        // parent -> child, child -> name
+        let mut edges = Bat::new_oid();
+        edges.append_oid(oid(1), oid(10)).unwrap();
+        edges.append_oid(oid(1), oid(11)).unwrap();
+        edges.append_oid(oid(2), oid(12)).unwrap();
+        let mut names = Bat::new_str();
+        names.append_str(oid(10), "x").unwrap();
+        names.append_str(oid(12), "y").unwrap();
+        let joined = edges.join(&mut names).unwrap();
+        let rows: Vec<_> = joined.iter().collect();
+        assert_eq!(
+            rows,
+            vec![(oid(1), Value::from("x")), (oid(2), Value::from("y"))]
+        );
+    }
+
+    #[test]
+    fn semijoin_filters_heads() {
+        let mut b = Bat::new_int();
+        b.append_int(oid(1), 1).unwrap();
+        b.append_int(oid(2), 2).unwrap();
+        let keep: HashSet<_> = [oid(2)].into();
+        let s = b.semijoin(&keep);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(oid(2), Value::Int(2))]);
+    }
+
+    #[test]
+    fn group_count_counts_per_head() {
+        let mut b = Bat::new_str();
+        for (h, s) in [(1, "a"), (1, "b"), (2, "c"), (1, "d")] {
+            b.append_str(oid(h), s).unwrap();
+        }
+        let g = b.group_count();
+        let rows: Vec<_> = g.iter().collect();
+        assert_eq!(
+            rows,
+            vec![(oid(1), Value::Int(3)), (oid(2), Value::Int(1))]
+        );
+    }
+
+    #[test]
+    fn group_sum_accumulates() {
+        let mut b = Bat::new_flt();
+        b.append_flt(oid(1), 0.5).unwrap();
+        b.append_flt(oid(1), 0.25).unwrap();
+        b.append_flt(oid(2), 1.0).unwrap();
+        let mut g = b.group_sum_flt().unwrap();
+        assert_eq!(g.first_tail_of(oid(1)), Some(Value::Flt(0.75)));
+    }
+
+    #[test]
+    fn top_n_orders_descending_with_deterministic_ties() {
+        let mut b = Bat::new_flt();
+        b.append_flt(oid(3), 0.5).unwrap();
+        b.append_flt(oid(1), 0.9).unwrap();
+        b.append_flt(oid(2), 0.5).unwrap();
+        let top = b.top_n(2);
+        assert_eq!(top[0].0, oid(1));
+        assert_eq!(top[1].0, oid(2)); // tie broken by smaller head
+    }
+
+    #[test]
+    fn delete_head_removes_all_and_invalidates_index() {
+        let mut b = Bat::new_int();
+        b.append_int(oid(1), 1).unwrap();
+        b.append_int(oid(2), 2).unwrap();
+        b.append_int(oid(1), 3).unwrap();
+        assert_eq!(b.delete_head(oid(1)), 2);
+        assert_eq!(b.len(), 1);
+        assert!(!b.contains_head(oid(1)));
+        assert!(b.contains_head(oid(2)));
+    }
+
+    #[test]
+    fn delete_heads_bulk_matches_per_head_semantics() {
+        let build = || {
+            let mut b = Bat::new_int();
+            for (h, v) in [(1, 1), (2, 2), (1, 3), (3, 4), (2, 5)] {
+                b.append_int(oid(h), v).unwrap();
+            }
+            b
+        };
+        let victims: HashSet<Oid> = [oid(1), oid(3)].into();
+        let mut bulk = build();
+        let removed = bulk.delete_heads(&victims);
+        assert_eq!(removed, 3);
+        let mut one_by_one = build();
+        let mut removed2 = 0;
+        for v in &victims {
+            removed2 += one_by_one.delete_head(*v);
+        }
+        assert_eq!(removed, removed2);
+        let key = |b: &Bat| {
+            let mut v: Vec<_> = b.iter().collect();
+            v.sort_by_key(|(h, _)| *h);
+            v
+        };
+        assert_eq!(key(&bulk), key(&one_by_one));
+        assert!(bulk.contains_head(oid(2)));
+        assert!(!bulk.contains_head(oid(1)));
+    }
+
+    #[test]
+    fn upsert_updates_then_inserts() {
+        let mut b = Bat::new_str();
+        assert!(!b.upsert(oid(1), Value::from("a")).unwrap());
+        assert!(b.upsert(oid(1), Value::from("b")).unwrap());
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.first_tail_of(oid(1)), Some(Value::from("b")));
+    }
+
+    #[test]
+    fn distinct_heads_preserves_first_appearance() {
+        let mut b = Bat::new_int();
+        for h in [2, 1, 2, 3, 1] {
+            b.append_int(oid(h), 0).unwrap();
+        }
+        assert_eq!(b.distinct_heads(), vec![oid(2), oid(1), oid(3)]);
+    }
+}

@@ -1,0 +1,185 @@
+//! The catalog: a named collection of BATs plus the oid generator.
+//!
+//! The Monet XML mapping names relations after root-to-node paths
+//! (`R(image/colors/histogram)`), so the catalog is keyed by arbitrary
+//! strings. The paper warns that document-dependent mappings can grow the
+//! schema; [`Db::relation_count`] exposes that size so the experiments can
+//! observe it.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bat::Bat;
+use crate::error::{Error, Result};
+use crate::oid::{Oid, OidGen};
+use crate::value::ColumnKind;
+
+/// A named catalog of BATs with an embedded oid generator.
+///
+/// `Db` uses `&mut self` for mutation; callers that need sharing across
+/// threads wrap it (the IR level gives each logical server its own `Db`,
+/// which is exactly the shared-nothing layout the paper advocates).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Db {
+    bats: BTreeMap<String, Bat>,
+    next_oid: u64,
+    #[serde(skip, default = "OidGen::new")]
+    gen: OidGen,
+}
+
+impl Db {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Db {
+            bats: BTreeMap::new(),
+            next_oid: 1,
+            gen: OidGen::new(),
+        }
+    }
+
+    /// Mints a fresh oid unique within this database.
+    pub fn mint(&mut self) -> Oid {
+        let o = self.gen.mint();
+        self.next_oid = o.raw() + 1;
+        o
+    }
+
+    /// Registers `bat` under `name`; fails if the name is taken.
+    pub fn create(&mut self, name: impl Into<String>, bat: Bat) -> Result<()> {
+        let name = name.into();
+        if self.bats.contains_key(&name) {
+            return Err(Error::BatExists(name));
+        }
+        self.bats.insert(name, bat);
+        Ok(())
+    }
+
+    /// Removes and returns the BAT under `name`.
+    pub fn drop_bat(&mut self, name: &str) -> Result<Bat> {
+        self.bats
+            .remove(name)
+            .ok_or_else(|| Error::NoSuchBat(name.to_owned()))
+    }
+
+    /// Immutable access to a BAT.
+    pub fn get(&self, name: &str) -> Result<&Bat> {
+        self.bats
+            .get(name)
+            .ok_or_else(|| Error::NoSuchBat(name.to_owned()))
+    }
+
+    /// Mutable access to a BAT.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Bat> {
+        self.bats
+            .get_mut(name)
+            .ok_or_else(|| Error::NoSuchBat(name.to_owned()))
+    }
+
+    /// Returns the BAT under `name`, creating an empty one of `kind` first
+    /// if it does not exist. The bulkloader's workhorse.
+    pub fn get_or_create(&mut self, name: &str, kind: ColumnKind) -> &mut Bat {
+        self.bats
+            .entry(name.to_owned())
+            .or_insert_with(|| Bat::with_kind(kind))
+    }
+
+    /// Whether a BAT named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.bats.contains_key(name)
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.bats.keys().map(String::as_str)
+    }
+
+    /// Number of relations — the "database schema size" the paper's
+    /// document-dependent mapping discussion is concerned with.
+    pub fn relation_count(&self) -> usize {
+        self.bats.len()
+    }
+
+    /// Total number of stored associations across all relations.
+    pub fn association_count(&self) -> usize {
+        self.bats.values().map(Bat::len).sum()
+    }
+
+    pub(crate) fn next_oid_raw(&self) -> u64 {
+        self.next_oid.max(self.gen.peek().raw())
+    }
+
+    /// Resets the oid generator to continue after `next - 1` and rebuilds
+    /// all lookup indexes. Used by snapshot restore.
+    pub(crate) fn restore_state(&mut self, next: u64) {
+        self.next_oid = next;
+        self.gen = OidGen::resume_after(Oid::from_raw(next.saturating_sub(1)));
+        for bat in self.bats.values_mut() {
+            bat.refresh_index();
+        }
+    }
+}
+
+impl Default for Db {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_drop() {
+        let mut db = Db::new();
+        db.create("r", Bat::new_int()).unwrap();
+        assert!(db.contains("r"));
+        assert!(matches!(
+            db.create("r", Bat::new_int()),
+            Err(Error::BatExists(_))
+        ));
+        db.drop_bat("r").unwrap();
+        assert!(matches!(db.get("r"), Err(Error::NoSuchBat(_))));
+    }
+
+    #[test]
+    fn get_or_create_is_idempotent() {
+        let mut db = Db::new();
+        let o = db.mint();
+        db.get_or_create("x", ColumnKind::Int)
+            .append_int(o, 1)
+            .unwrap();
+        db.get_or_create("x", ColumnKind::Int)
+            .append_int(o, 2)
+            .unwrap();
+        assert_eq!(db.get("x").unwrap().len(), 2);
+        assert_eq!(db.relation_count(), 1);
+    }
+
+    #[test]
+    fn counters_track_contents() {
+        let mut db = Db::new();
+        let o = db.mint();
+        db.get_or_create("a", ColumnKind::Str)
+            .append_str(o, "v")
+            .unwrap();
+        db.get_or_create("b", ColumnKind::Int)
+            .append_int(o, 3)
+            .unwrap();
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.association_count(), 2);
+        assert_eq!(
+            db.relation_names().collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn minted_oids_are_unique() {
+        let mut db = Db::new();
+        let a = db.mint();
+        let b = db.mint();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for the store.
+
+use std::fmt;
+
+use crate::value::ColumnKind;
+
+/// Errors raised by the BAT store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A value of the wrong kind was pushed into a typed column, or an
+    /// operation required a specific tail kind.
+    TypeMismatch {
+        /// The kind the column holds / the operation requires.
+        expected: ColumnKind,
+        /// The kind that was supplied.
+        got: ColumnKind,
+    },
+    /// A named BAT does not exist in the catalog.
+    NoSuchBat(String),
+    /// A BAT with this name already exists.
+    BatExists(String),
+    /// A snapshot could not be encoded or decoded.
+    Snapshot(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: column holds {expected}, got {got}")
+            }
+            Error::NoSuchBat(name) => write!(f, "no such BAT: {name}"),
+            Error::BatExists(name) => write!(f, "BAT already exists: {name}"),
+            Error::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,354 @@
+//! Tail value domains.
+//!
+//! The paper's feature grammar language declares atoms of type `url`, `str`,
+//! `int`, `flt` and `bit` (Figures 6 and 7); the Monet transform needs
+//! `oid`, `string` and `int` tails. [`Value`] is the union of those
+//! domains (`url` is stored as a string — its ADT behaviour lives in the
+//! grammar layer, not in the store).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::oid::Oid;
+
+/// A dynamically typed tail value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// An object identifier (parent→child associations).
+    Oid(Oid),
+    /// A 64-bit integer (ranks, frame numbers, counts).
+    Int(i64),
+    /// A 64-bit float (features, scores). NaN is not a legal stored value;
+    /// comparisons use IEEE total order so accidental NaNs stay total.
+    Flt(f64),
+    /// A string (labels, CDATA, terms, URLs).
+    Str(String),
+    /// A boolean (whitebox detector outcomes such as `netplay`).
+    Bit(bool),
+}
+
+impl Value {
+    /// The kind tag of this value.
+    pub fn kind(&self) -> ColumnKind {
+        match self {
+            Value::Oid(_) => ColumnKind::Oid,
+            Value::Int(_) => ColumnKind::Int,
+            Value::Flt(_) => ColumnKind::Flt,
+            Value::Str(_) => ColumnKind::Str,
+            Value::Bit(_) => ColumnKind::Bit,
+        }
+    }
+
+    /// Returns the contained oid, if any.
+    pub fn as_oid(&self) -> Option<Oid> {
+        match self {
+            Value::Oid(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained integer, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained float; integers widen losslessly enough for
+    /// predicate evaluation (`frameNo <= 170.0` in the paper's netplay
+    /// detector compares an int against a float literal).
+    pub fn as_flt(&self) -> Option<f64> {
+        match self {
+            Value::Flt(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string slice, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained boolean, if any.
+    pub fn as_bit(&self) -> Option<bool> {
+        match self {
+            Value::Bit(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A total order across same-kind values (floats via IEEE total order).
+    /// Cross-kind comparisons order by kind tag, which keeps sorting total
+    /// without claiming cross-kind semantics.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Oid(a), Oid(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Flt(a), Flt(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bit(a), Bit(b)) => a.cmp(b),
+            _ => self.kind().rank().cmp(&other.kind().rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Oid(o) => write!(f, "{o}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Flt(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bit(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<Oid> for Value {
+    fn from(o: Oid) -> Self {
+        Value::Oid(o)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Flt(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bit(b)
+    }
+}
+
+/// The static type of a BAT tail column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnKind {
+    /// `oid × oid` — parent/child associations.
+    Oid,
+    /// `oid × int` — ranks, counts, frame numbers.
+    Int,
+    /// `oid × float` — features and scores.
+    Flt,
+    /// `oid × string` — labels, CDATA, terms.
+    Str,
+    /// `oid × bool` — predicate outcomes.
+    Bit,
+}
+
+impl ColumnKind {
+    fn rank(self) -> u8 {
+        match self {
+            ColumnKind::Oid => 0,
+            ColumnKind::Int => 1,
+            ColumnKind::Flt => 2,
+            ColumnKind::Str => 3,
+            ColumnKind::Bit => 4,
+        }
+    }
+}
+
+impl fmt::Display for ColumnKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnKind::Oid => "oid",
+            ColumnKind::Int => "int",
+            ColumnKind::Flt => "flt",
+            ColumnKind::Str => "str",
+            ColumnKind::Bit => "bit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed tail column: one variant per [`ColumnKind`], stored densely.
+///
+/// Keeping tails in homogeneous vectors (instead of `Vec<Value>`) is what
+/// makes scans over a path relation cache-friendly — the property the
+/// paper's "semantic clustering" argument rests on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Oid tails.
+    Oid(Vec<Oid>),
+    /// Integer tails.
+    Int(Vec<i64>),
+    /// Float tails.
+    Flt(Vec<f64>),
+    /// String tails.
+    Str(Vec<String>),
+    /// Boolean tails.
+    Bit(Vec<bool>),
+}
+
+impl Column {
+    /// An empty column of the given kind.
+    pub fn empty(kind: ColumnKind) -> Self {
+        match kind {
+            ColumnKind::Oid => Column::Oid(Vec::new()),
+            ColumnKind::Int => Column::Int(Vec::new()),
+            ColumnKind::Flt => Column::Flt(Vec::new()),
+            ColumnKind::Str => Column::Str(Vec::new()),
+            ColumnKind::Bit => Column::Bit(Vec::new()),
+        }
+    }
+
+    /// The kind of this column.
+    pub fn kind(&self) -> ColumnKind {
+        match self {
+            Column::Oid(_) => ColumnKind::Oid,
+            Column::Int(_) => ColumnKind::Int,
+            Column::Flt(_) => ColumnKind::Flt,
+            Column::Str(_) => ColumnKind::Str,
+            Column::Bit(_) => ColumnKind::Bit,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Oid(v) => v.len(),
+            Column::Int(v) => v.len(),
+            Column::Flt(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Bit(v) => v.len(),
+        }
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `idx` (boxed into the dynamic [`Value`]).
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds, like slice indexing.
+    pub fn get(&self, idx: usize) -> Value {
+        match self {
+            Column::Oid(v) => Value::Oid(v[idx]),
+            Column::Int(v) => Value::Int(v[idx]),
+            Column::Flt(v) => Value::Flt(v[idx]),
+            Column::Str(v) => Value::Str(v[idx].clone()),
+            Column::Bit(v) => Value::Bit(v[idx]),
+        }
+    }
+
+    /// Appends a dynamic value; fails on kind mismatch.
+    pub fn push(&mut self, value: Value) -> Result<(), (ColumnKind, ColumnKind)> {
+        match (self, value) {
+            (Column::Oid(v), Value::Oid(x)) => v.push(x),
+            (Column::Int(v), Value::Int(x)) => v.push(x),
+            (Column::Flt(v), Value::Flt(x)) => v.push(x),
+            (Column::Str(v), Value::Str(x)) => v.push(x),
+            (Column::Bit(v), Value::Bit(x)) => v.push(x),
+            (col, value) => return Err((col.kind(), value.kind())),
+        }
+        Ok(())
+    }
+
+    /// Removes the entry at `idx` by swapping with the last entry.
+    pub(crate) fn swap_remove(&mut self, idx: usize) {
+        match self {
+            Column::Oid(v) => {
+                v.swap_remove(idx);
+            }
+            Column::Int(v) => {
+                v.swap_remove(idx);
+            }
+            Column::Flt(v) => {
+                v.swap_remove(idx);
+            }
+            Column::Str(v) => {
+                v.swap_remove(idx);
+            }
+            Column::Bit(v) => {
+                v.swap_remove(idx);
+            }
+        }
+    }
+
+    /// Overwrites the entry at `idx`; fails on kind mismatch.
+    pub(crate) fn set(&mut self, idx: usize, value: Value) -> Result<(), (ColumnKind, ColumnKind)> {
+        match (self, value) {
+            (Column::Oid(v), Value::Oid(x)) => v[idx] = x,
+            (Column::Int(v), Value::Int(x)) => v[idx] = x,
+            (Column::Flt(v), Value::Flt(x)) => v[idx] = x,
+            (Column::Str(v), Value::Str(x)) => v[idx] = x,
+            (Column::Bit(v), Value::Bit(x)) => v[idx] = x,
+            (col, value) => return Err((col.kind(), value.kind())),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors_round_trip() {
+        assert_eq!(Value::from(7i64).as_int(), Some(7));
+        assert_eq!(Value::from(1.5f64).as_flt(), Some(1.5));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bit(), Some(true));
+        assert_eq!(
+            Value::from(Oid::from_raw(3)).as_oid(),
+            Some(Oid::from_raw(3))
+        );
+    }
+
+    #[test]
+    fn int_widens_to_float_for_predicates() {
+        // Paper, Fig. 7: `player.yPos <= 170.0` mixes int/float domains.
+        assert_eq!(Value::Int(170).as_flt(), Some(170.0));
+    }
+
+    #[test]
+    fn total_cmp_is_total_on_floats() {
+        let a = Value::Flt(f64::NAN);
+        let b = Value::Flt(1.0);
+        // No panic, some consistent order.
+        let ord1 = a.total_cmp(&b);
+        let ord2 = b.total_cmp(&a);
+        assert_eq!(ord1, ord2.reverse());
+    }
+
+    #[test]
+    fn column_push_rejects_kind_mismatch() {
+        let mut c = Column::empty(ColumnKind::Int);
+        assert!(c.push(Value::Int(1)).is_ok());
+        let err = c.push(Value::Str("no".into())).unwrap_err();
+        assert_eq!(err, (ColumnKind::Int, ColumnKind::Str));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn column_get_returns_stored_value() {
+        let mut c = Column::empty(ColumnKind::Str);
+        c.push(Value::from("alpha")).unwrap();
+        c.push(Value::from("beta")).unwrap();
+        assert_eq!(c.get(1), Value::from("beta"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the BAT store invariants.
+
+use monet::{Bat, Db, Oid, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<u64>().prop_map(|v| Value::Oid(Oid::from_raw(v))),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: NaN is not a legal stored value by contract.
+        (-1.0e12f64..1.0e12).prop_map(Value::Flt),
+        "[a-z]{0,12}".prop_map(Value::Str),
+        any::<bool>().prop_map(Value::Bit),
+    ]
+}
+
+/// Rows with the same value kind, so they fit a single BAT.
+fn arb_rows() -> impl Strategy<Value = Vec<(u64, Value)>> {
+    arb_value().prop_flat_map(|proto| {
+        let kind = proto.kind();
+        prop::collection::vec((0u64..64, arb_value()), 0..64).prop_map(move |rows| {
+            rows.into_iter()
+                .filter(|(_, v)| v.kind() == kind)
+                .collect::<Vec<_>>()
+        })
+    })
+}
+
+fn build_bat(rows: &[(u64, Value)]) -> Option<Bat> {
+    let first = rows.first()?;
+    let mut bat = Bat::with_kind(first.1.kind());
+    for (h, v) in rows {
+        bat.append(Oid::from_raw(*h), v.clone()).ok()?;
+    }
+    Some(bat)
+}
+
+proptest! {
+    #[test]
+    fn append_preserves_every_association(rows in arb_rows()) {
+        if let Some(bat) = build_bat(&rows) {
+            prop_assert_eq!(bat.len(), rows.len());
+            for (i, (h, v)) in rows.iter().enumerate() {
+                let (bh, bv) = bat.at(i);
+                prop_assert_eq!(bh, Oid::from_raw(*h));
+                prop_assert_eq!(&bv, v);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_agrees_with_scan(rows in arb_rows(), probe in 0u64..64) {
+        if let Some(mut bat) = build_bat(&rows) {
+            let probe = Oid::from_raw(probe);
+            let scanned: Vec<Value> = rows.iter()
+                .filter(|(h, _)| Oid::from_raw(*h) == probe)
+                .map(|(_, v)| v.clone())
+                .collect();
+            prop_assert_eq!(bat.tails_of(probe), scanned);
+        }
+    }
+
+    #[test]
+    fn delete_head_removes_exactly_that_head(rows in arb_rows(), victim in 0u64..64) {
+        if let Some(mut bat) = build_bat(&rows) {
+            let victim = Oid::from_raw(victim);
+            let expected_removed = rows.iter()
+                .filter(|(h, _)| Oid::from_raw(*h) == victim)
+                .count();
+            let removed = bat.delete_head(victim);
+            prop_assert_eq!(removed, expected_removed);
+            prop_assert_eq!(bat.len(), rows.len() - expected_removed);
+            prop_assert!(!bat.heads().any(|h| h == victim));
+        }
+    }
+
+    #[test]
+    fn top_n_is_sorted_prefix_of_full_sort(rows in arb_rows(), n in 0usize..16) {
+        if let Some(bat) = build_bat(&rows) {
+            let top = bat.top_n(n);
+            prop_assert!(top.len() <= n.min(rows.len()));
+            for w in top.windows(2) {
+                // Descending by value, ties ascending by head.
+                let ord = w[0].1.total_cmp(&w[1].1);
+                prop_assert!(ord != std::cmp::Ordering::Less);
+                if ord == std::cmp::Ordering::Equal {
+                    prop_assert!(w[0].0 <= w[1].0);
+                }
+            }
+            // Nothing outside the top-N beats anything inside it.
+            if let Some(last) = top.last() {
+                let inside: std::collections::HashSet<usize> = (0..bat.len())
+                    .filter(|&i| top.iter().any(|t| *t == bat.at(i)))
+                    .collect();
+                for i in 0..bat.len() {
+                    if !inside.contains(&i) {
+                        let (_, v) = bat.at(i);
+                        prop_assert!(v.total_cmp(&last.1) != std::cmp::Ordering::Greater);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_identity(rows in arb_rows()) {
+        let mut db = Db::new();
+        if let Some(bat) = build_bat(&rows) {
+            db.create("r", bat).unwrap();
+        }
+        let back = monet::persist::restore(&monet::persist::snapshot(&db)).unwrap();
+        assert_eq!(back.relation_count(), db.relation_count());
+        for name in db.relation_names() {
+            prop_assert_eq!(back.get(name).unwrap(), db.get(name).unwrap());
+        }
+    }
+
+    #[test]
+    fn join_matches_nested_loop_semantics(
+        edges in prop::collection::vec((0u64..16, 16u64..32), 0..32),
+        leaves in prop::collection::vec((16u64..32, 0i64..100), 0..32),
+    ) {
+        let mut e = Bat::new_oid();
+        for (h, t) in &edges {
+            e.append_oid(Oid::from_raw(*h), Oid::from_raw(*t)).unwrap();
+        }
+        let mut l = Bat::new_int();
+        for (h, v) in &leaves {
+            l.append_int(Oid::from_raw(*h), *v).unwrap();
+        }
+        let joined = e.join(&mut l).unwrap();
+        let mut expected = Vec::new();
+        for (h, t) in &edges {
+            for (lh, lv) in &leaves {
+                if t == lh {
+                    expected.push((Oid::from_raw(*h), Value::Int(*lv)));
+                }
+            }
+        }
+        let got: Vec<_> = joined.iter().collect();
+        // Hash join preserves probe order per edge; sort both for set equality.
+        let mut got_sorted = got;
+        let mut expected_sorted = expected;
+        let key = |p: &(Oid, Value)| (p.0, p.1.as_int().unwrap());
+        got_sorted.sort_by_key(key);
+        expected_sorted.sort_by_key(key);
+        prop_assert_eq!(got_sorted, expected_sorted);
+    }
+}

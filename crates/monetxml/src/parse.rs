@@ -1,0 +1,524 @@
+//! A from-scratch XML parser.
+//!
+//! The paper contrasts two access styles: the low-level event-based SAX
+//! interface ("minimal resources") and the high-level DOM interface
+//! ("memory linear in document size"). Both exist here:
+//!
+//! * [`parse_sax`] streams [`SaxEvent`]s to a [`SaxHandler`] — the
+//!   bulkloader consumes this, keeping only a stack of open elements,
+//! * [`parse_document`] materialises a [`Document`] (the DOM view) on top
+//!   of the same tokenizer.
+//!
+//! Supported: elements, attributes (quoted with `"` or `'`),
+//! self-closing tags, character data, `<![CDATA[...]]>` sections,
+//! comments, processing instructions and the XML declaration (both
+//! skipped), `DOCTYPE` (skipped, no internal-subset parsing), and the five
+//! predefined entities plus decimal/hex character references.
+//! Whitespace-only text between elements is dropped (the paper's documents
+//! are data-centric); text with content keeps its internal spacing but is
+//! trimmed at the edges.
+
+use crate::doc::Document;
+use crate::error::{Error, Result};
+
+/// Events produced by the streaming parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SaxEvent<'a> {
+    /// `<tag attr="v" …>` — attributes are (name, decoded value) pairs.
+    StartElement {
+        /// Tag name.
+        tag: &'a str,
+        /// Decoded attribute pairs in document order.
+        attrs: Vec<(&'a str, String)>,
+    },
+    /// `</tag>` (also synthesised for self-closing tags).
+    EndElement {
+        /// Tag name.
+        tag: &'a str,
+    },
+    /// Decoded character data (never whitespace-only).
+    Characters(String),
+}
+
+/// Receiver of SAX events. The default method bodies ignore events, so
+/// handlers only override what they need — mirroring "user supplied
+/// functions are called on encountering each type of token".
+pub trait SaxHandler {
+    /// Called for each start tag (and before the matching `end_element`
+    /// of a self-closing tag).
+    fn start_element(&mut self, _tag: &str, _attrs: &[(&str, String)]) -> Result<()> {
+        Ok(())
+    }
+    /// Called for each end tag.
+    fn end_element(&mut self, _tag: &str) -> Result<()> {
+        Ok(())
+    }
+    /// Called for each non-whitespace text run.
+    fn characters(&mut self, _text: &str) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams `input` through `handler`. Checks well-formedness (matching
+/// tags, single root, no text outside the root).
+pub fn parse_sax(input: &str, handler: &mut dyn SaxHandler) -> Result<()> {
+    let mut p = Parser::new(input);
+    p.run(handler)
+}
+
+/// Parses `input` into a [`Document`].
+pub fn parse_document(input: &str) -> Result<Document> {
+    struct DomBuilder {
+        doc: Option<Document>,
+        stack: Vec<crate::doc::NodeId>,
+    }
+    impl SaxHandler for DomBuilder {
+        fn start_element(&mut self, tag: &str, attrs: &[(&str, String)]) -> Result<()> {
+            match (&mut self.doc, self.stack.last().copied()) {
+                (None, _) => {
+                    let mut doc = Document::new(tag);
+                    let root = doc.root();
+                    for (n, v) in attrs {
+                        doc.set_attr(root, *n, v.clone());
+                    }
+                    self.stack.push(root);
+                    self.doc = Some(doc);
+                }
+                (Some(doc), Some(parent)) => {
+                    let id = doc.add_element(parent, tag);
+                    for (n, v) in attrs {
+                        doc.set_attr(id, *n, v.clone());
+                    }
+                    self.stack.push(id);
+                }
+                (Some(_), None) => {
+                    return Err(Error::Parse {
+                        offset: 0,
+                        message: "multiple root elements".into(),
+                    })
+                }
+            }
+            Ok(())
+        }
+        fn end_element(&mut self, _tag: &str) -> Result<()> {
+            self.stack.pop();
+            Ok(())
+        }
+        fn characters(&mut self, text: &str) -> Result<()> {
+            let parent = *self.stack.last().ok_or_else(|| Error::Parse {
+                offset: 0,
+                message: "text outside root element".into(),
+            })?;
+            self.doc
+                .as_mut()
+                .expect("doc exists when stack is non-empty")
+                .add_cdata(parent, text);
+            Ok(())
+        }
+    }
+
+    let mut b = DomBuilder {
+        doc: None,
+        stack: Vec::new(),
+    };
+    parse_sax(input, &mut b)?;
+    b.doc.ok_or_else(|| Error::Parse {
+        offset: input.len(),
+        message: "no root element".into(),
+    })
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    /// Advances past `needle`, returning the text before it.
+    fn take_until(&mut self, needle: &str) -> Result<&'a str> {
+        match self.input[self.pos..].find(needle) {
+            Some(rel) => {
+                let s = &self.input[self.pos..self.pos + rel];
+                self.pos += rel + needle.len();
+                Ok(s)
+            }
+            None => Err(self.err(format!("unterminated construct, expected `{needle}`"))),
+        }
+    }
+
+    fn run(&mut self, handler: &mut dyn SaxHandler) -> Result<()> {
+        let mut open: Vec<&'a str> = Vec::new();
+        let mut seen_root = false;
+
+        while self.pos < self.bytes.len() {
+            if self.peek() == Some(b'<') {
+                if self.starts_with("<!--") {
+                    self.skip(4);
+                    self.take_until("-->")?;
+                } else if self.starts_with("<![CDATA[") {
+                    self.skip(9);
+                    let text = self.take_until("]]>")?;
+                    if open.is_empty() {
+                        return Err(self.err("CDATA outside root element"));
+                    }
+                    if !text.is_empty() {
+                        handler.characters(text)?;
+                    }
+                } else if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                    self.skip(9);
+                    // Skip to the closing '>' of the declaration; internal
+                    // subsets in brackets are consumed greedily.
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match self.peek() {
+                            Some(b'<') => {
+                                depth += 1;
+                                self.skip(1);
+                            }
+                            Some(b'>') => {
+                                depth -= 1;
+                                self.skip(1);
+                            }
+                            Some(_) => self.skip(1),
+                            None => return Err(self.err("unterminated DOCTYPE")),
+                        }
+                    }
+                } else if self.starts_with("<?") {
+                    self.skip(2);
+                    self.take_until("?>")?;
+                } else if self.starts_with("</") {
+                    self.skip(2);
+                    let inner = self.take_until(">")?;
+                    let tag = inner.trim();
+                    match open.pop() {
+                        Some(expected) if expected == tag => handler.end_element(tag)?,
+                        Some(expected) => {
+                            return Err(
+                                self.err(format!("mismatched end tag: </{tag}>, expected </{expected}>"))
+                            )
+                        }
+                        None => return Err(self.err(format!("unmatched end tag </{tag}>"))),
+                    }
+                } else {
+                    // Start tag.
+                    self.skip(1);
+                    let (tag, attrs, self_closing) = self.parse_start_tag()?;
+                    if open.is_empty() {
+                        if seen_root {
+                            return Err(self.err("multiple root elements"));
+                        }
+                        seen_root = true;
+                    }
+                    handler.start_element(tag, &attrs)?;
+                    if self_closing {
+                        handler.end_element(tag)?;
+                    } else {
+                        open.push(tag);
+                    }
+                }
+            } else {
+                // Character data run up to the next '<' (or EOF).
+                let rel = self.input[self.pos..]
+                    .find('<')
+                    .unwrap_or(self.input.len() - self.pos);
+                let raw = &self.input[self.pos..self.pos + rel];
+                self.pos += rel;
+                let decoded = decode_entities(raw, self.pos)?;
+                let trimmed = decoded.trim();
+                if !trimmed.is_empty() {
+                    if open.is_empty() {
+                        return Err(self.err("text outside root element"));
+                    }
+                    handler.characters(trimmed)?;
+                }
+            }
+        }
+
+        if let Some(tag) = open.last() {
+            return Err(self.err(format!("unclosed element <{tag}>")));
+        }
+        if !seen_root {
+            return Err(self.err("no root element"));
+        }
+        Ok(())
+    }
+
+    /// Parses after the '<' of a start tag. Returns (tag, attrs, self_closing).
+    #[allow(clippy::type_complexity)]
+    fn parse_start_tag(&mut self) -> Result<(&'a str, Vec<(&'a str, String)>, bool)> {
+        let tag = self.parse_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.skip(1);
+                    return Ok((tag, attrs, false));
+                }
+                Some(b'/') => {
+                    self.skip(1);
+                    if self.peek() == Some(b'>') {
+                        self.skip(1);
+                        return Ok((tag, attrs, true));
+                    }
+                    return Err(self.err("expected '>' after '/'"));
+                }
+                Some(_) => {
+                    let name = self.parse_name()?;
+                    self.skip_whitespace();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("expected '=' after attribute `{name}`")));
+                    }
+                    self.skip(1);
+                    self.skip_whitespace();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.skip(1);
+                    let raw = self.take_until(if quote == b'"' { "\"" } else { "'" })?;
+                    let value = decode_entities(raw, self.pos)?;
+                    attrs.push((name, value));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<&'a str> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.skip(1);
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(&self.input[start..self.pos])
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.skip(1);
+        }
+    }
+}
+
+/// Decodes the predefined entities and numeric character references.
+fn decode_entities(raw: &str, offset: usize) -> Result<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_owned());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or(Error::Parse {
+            offset,
+            message: "unterminated entity reference".into(),
+        })?;
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with('#') => {
+                let code = if let Some(hex) = entity.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16)
+                } else {
+                    entity[1..].parse::<u32>()
+                }
+                .map_err(|_| Error::Parse {
+                    offset,
+                    message: format!("bad character reference &{entity};"),
+                })?;
+                out.push(char::from_u32(code).ok_or(Error::Parse {
+                    offset,
+                    message: format!("invalid code point in &{entity};"),
+                })?);
+            }
+            _ => {
+                return Err(Error::Parse {
+                    offset,
+                    message: format!("unknown entity &{entity};"),
+                })
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{figure9, FIGURE9_XML};
+
+    #[test]
+    fn figure9_xml_parses_to_figure9_tree() {
+        let doc = parse_document(FIGURE9_XML).unwrap();
+        assert_eq!(doc, figure9());
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let doc = parse_document("<a>\n  <b>text</b>\n</a>").unwrap();
+        let root = doc.root();
+        assert_eq!(doc.children(root).len(), 1);
+        let b = doc.children(root)[0];
+        assert_eq!(doc.text(doc.children(b)[0]), Some("text"));
+    }
+
+    #[test]
+    fn self_closing_and_explicit_empty_are_equal() {
+        let a = parse_document("<a><b/></a>").unwrap();
+        let b = parse_document("<a><b></b></a>").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attributes_with_both_quote_styles() {
+        let doc = parse_document(r#"<a x="1" y='2'/>"#).unwrap();
+        assert_eq!(doc.attr(doc.root(), "x"), Some("1"));
+        assert_eq!(doc.attr(doc.root(), "y"), Some("2"));
+    }
+
+    #[test]
+    fn entities_decode_in_text_and_attrs() {
+        let doc = parse_document(r#"<a m="&lt;&amp;&gt;">x &amp; y &#65;&#x42;</a>"#).unwrap();
+        assert_eq!(doc.attr(doc.root(), "m"), Some("<&>"));
+        assert_eq!(doc.text(doc.children(doc.root())[0]), Some("x & y AB"));
+    }
+
+    #[test]
+    fn cdata_section_preserves_markup_characters() {
+        let doc = parse_document("<a><![CDATA[<not> & a tag]]></a>").unwrap();
+        assert_eq!(
+            doc.text(doc.children(doc.root())[0]),
+            Some("<not> & a tag")
+        );
+    }
+
+    #[test]
+    fn comments_pis_and_declaration_are_skipped() {
+        let doc = parse_document(
+            "<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/><?pi data?></a>",
+        )
+        .unwrap();
+        assert_eq!(doc.children(doc.root()).len(), 1);
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let doc = parse_document("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>").unwrap();
+        assert_eq!(doc.tag(doc.root()), Some("a"));
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }), "{err}");
+        assert!(err.to_string().contains("mismatched"));
+    }
+
+    #[test]
+    fn unclosed_element_errors() {
+        assert!(parse_document("<a><b>").is_err());
+    }
+
+    #[test]
+    fn multiple_roots_error() {
+        assert!(parse_document("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn text_outside_root_errors() {
+        assert!(parse_document("hello <a/>").is_err());
+        assert!(parse_document("<a/> trailing").is_err());
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(parse_document("").is_err());
+        assert!(parse_document("   ").is_err());
+    }
+
+    #[test]
+    fn unknown_entity_errors() {
+        assert!(parse_document("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn sax_event_order_is_document_order() {
+        struct Trace(Vec<String>);
+        impl SaxHandler for Trace {
+            fn start_element(&mut self, tag: &str, _: &[(&str, String)]) -> Result<()> {
+                self.0.push(format!("+{tag}"));
+                Ok(())
+            }
+            fn end_element(&mut self, tag: &str) -> Result<()> {
+                self.0.push(format!("-{tag}"));
+                Ok(())
+            }
+            fn characters(&mut self, text: &str) -> Result<()> {
+                self.0.push(format!("\"{text}\""));
+                Ok(())
+            }
+        }
+        let mut t = Trace(Vec::new());
+        parse_sax("<a><b>x</b><c/></a>", &mut t).unwrap();
+        assert_eq!(
+            t.0,
+            vec!["+a", "+b", "\"x\"", "-b", "+c", "-c", "-a"]
+        );
+    }
+
+    #[test]
+    fn deeply_nested_document_parses() {
+        let mut s = String::new();
+        for _ in 0..200 {
+            s.push_str("<d>");
+        }
+        s.push('x');
+        for _ in 0..200 {
+            s.push_str("</d>");
+        }
+        let doc = parse_document(&s).unwrap();
+        assert_eq!(doc.height(), 201);
+    }
+}

@@ -1,0 +1,395 @@
+//! Path-expression evaluation over the store.
+//!
+//! "The main rationale for the path-centric storage of documents is to
+//! evaluate the ubiquitous XML path expressions efficiently": because a
+//! relation holds *all* nodes with the same ancestry, evaluating
+//! `image/colors/histogram` is a single scan of one relation — no
+//! per-level joins. The functions here expose that, plus upward
+//! navigation through the parent accelerator.
+//!
+//! The module also contains the **edge-table baseline**: documents stored
+//! as one generic edge/label heap, evaluated node-at-a-time. The paper
+//! argues its path-centric clustering beats this ("a significantly higher
+//! degree of semantic clustering than implied by plain data guides");
+//! experiment E2 measures exactly that comparison.
+
+use monet::{ColumnKind, Db, Oid};
+
+use crate::doc::{Document, NodeId, NodeKind};
+use crate::error::{Error, Result};
+use crate::path::Path;
+use crate::store::XmlStore;
+use crate::transform::{PARENT_RELATION, SYS_RELATION};
+
+/// All node oids at element path `path` — a single relation scan.
+pub fn nodes_at(store: &mut XmlStore, path: &Path) -> Result<Vec<Oid>> {
+    if path.is_attr() {
+        return Err(Error::Store(format!(
+            "nodes_at expects an element path, got {path}"
+        )));
+    }
+    if path.len() == 1 {
+        // Root paths live in `sys`.
+        let label = path.steps()[0].label().to_owned();
+        return Ok(store
+            .db()
+            .get(SYS_RELATION)
+            .map(|bat| bat.select_str_eq(&label))
+            .unwrap_or_default());
+    }
+    let rel = path.to_string();
+    match store.db().get(&rel) {
+        Ok(bat) => Ok(bat
+            .iter()
+            .filter_map(|(_, v)| v.as_oid())
+            .collect()),
+        Err(_) => Ok(Vec::new()),
+    }
+}
+
+/// `(parent, child)` pairs at element path `path` (len ≥ 2).
+pub fn edges_at(store: &XmlStore, path: &Path) -> Result<Vec<(Oid, Oid)>> {
+    let rel = path.to_string();
+    match store.db().get(&rel) {
+        Ok(bat) => Ok(bat
+            .iter()
+            .filter_map(|(h, v)| v.as_oid().map(|c| (h, c)))
+            .collect()),
+        Err(_) => Ok(Vec::new()),
+    }
+}
+
+/// `(node, value)` pairs for attribute `name` on nodes at element path
+/// `path`.
+pub fn attr_values(store: &XmlStore, path: &Path, name: &str) -> Result<Vec<(Oid, String)>> {
+    let rel = path.attr(name).to_string();
+    match store.db().get(&rel) {
+        Ok(bat) => Ok(bat
+            .iter()
+            .filter_map(|(h, v)| v.as_str().map(|s| (h, s.to_owned())))
+            .collect()),
+        Err(_) => Ok(Vec::new()),
+    }
+}
+
+/// `(element, text)` pairs: the direct text content of every node at
+/// element path `path` (concatenating multiple PCDATA children).
+pub fn text_values(store: &mut XmlStore, path: &Path) -> Result<Vec<(Oid, String)>> {
+    let Some(sum) = store.summary().resolve(path) else {
+        return Ok(Vec::new());
+    };
+    let nodes = nodes_at(store, path)?;
+    let mut out = Vec::with_capacity(nodes.len());
+    for n in nodes {
+        let text = store.direct_text(sum, n)?;
+        if !text.is_empty() {
+            out.push((n, text));
+        }
+    }
+    Ok(out)
+}
+
+/// The attribute value of `name` on a specific node at `path`.
+pub fn attr_of(store: &mut XmlStore, path: &Path, node: Oid, name: &str) -> Option<String> {
+    let rel = path.attr(name).to_string();
+    store
+        .db_mut()
+        .get_mut(&rel)
+        .ok()?
+        .first_tail_of(node)
+        .and_then(|v| v.as_str().map(str::to_owned))
+}
+
+/// Child oids of `node` (at element path `path`) reached via child label
+/// `label`, in storage order.
+pub fn children_of(store: &mut XmlStore, path: &Path, node: Oid, label: &str) -> Vec<Oid> {
+    let rel = path.child(label).to_string();
+    match store.db_mut().get_mut(&rel) {
+        Ok(bat) => bat
+            .tails_of(node)
+            .into_iter()
+            .filter_map(|v| v.as_oid())
+            .collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Walks the parent accelerator up to the document root.
+pub fn root_of(store: &mut XmlStore, node: Oid) -> Result<Oid> {
+    let mut cur = node;
+    for _ in 0..64 {
+        let parent = store
+            .db_mut()
+            .get_mut(PARENT_RELATION)
+            .ok()
+            .and_then(|bat| bat.first_tail_of(cur))
+            .and_then(|v| v.as_oid());
+        match parent {
+            Some(p) => cur = p,
+            None => return Ok(cur),
+        }
+    }
+    Err(Error::Store(format!(
+        "parent chain from {node} exceeds depth 64 (cycle?)"
+    )))
+}
+
+/// The recorded extent `(start, end)` of an element node, when the
+/// document was loaded with extent recording. Extents nest exactly like
+/// elements, so `contains(a, b)` ⇔ a is an ancestor of b — the basis of
+/// structural joins.
+pub fn extent_of(store: &mut XmlStore, path: &Path, node: Oid) -> Option<(i64, i64)> {
+    let start_rel = path
+        .attr(crate::transform::EXTENT_START_ATTR)
+        .to_string();
+    let end_rel = path.attr(crate::transform::EXTENT_END_ATTR).to_string();
+    let start = store
+        .db_mut()
+        .get_mut(&start_rel)
+        .ok()?
+        .first_tail_of(node)?
+        .as_int()?;
+    let end = store
+        .db_mut()
+        .get_mut(&end_rel)
+        .ok()?
+        .first_tail_of(node)?
+        .as_int()?;
+    Some((start, end))
+}
+
+/// Whether extent `outer` strictly contains extent `inner`.
+pub fn extent_contains(outer: (i64, i64), inner: (i64, i64)) -> bool {
+    outer.0 < inner.0 && inner.1 < outer.1
+}
+
+// ---------------------------------------------------------------------
+// Edge-table baseline ("plain data guide" storage).
+// ---------------------------------------------------------------------
+
+/// Generic edge relation of the baseline store: parent → child.
+pub const EDGE_RELATION: &str = "#e_edge";
+/// Generic label relation of the baseline store: node → tag label.
+pub const LABEL_RELATION: &str = "#e_label";
+
+/// Loads `doc` into the generic edge/label heap (baseline storage mode).
+/// Returns the root oid.
+pub fn insert_document_edges(db: &mut Db, doc: &Document) -> Result<Oid> {
+    fn walk(db: &mut Db, doc: &Document, node: NodeId, parent: Option<Oid>) -> Result<Oid> {
+        let oid = db.mint();
+        let label = match doc.kind(node) {
+            NodeKind::Element(t) => t.clone(),
+            NodeKind::Cdata(_) => "PCDATA".to_owned(),
+        };
+        db.get_or_create(LABEL_RELATION, ColumnKind::Str)
+            .append_str(oid, label)?;
+        if let Some(p) = parent {
+            db.get_or_create(EDGE_RELATION, ColumnKind::Oid)
+                .append_oid(p, oid)?;
+        }
+        for child in doc.children(node) {
+            walk(db, doc, *child, Some(oid))?;
+        }
+        Ok(oid)
+    }
+    walk(db, doc, doc.root(), None)
+}
+
+/// Evaluates a label path over the edge/label heap **node-at-a-time**:
+/// start from all nodes with the first label, then for every frontier
+/// node fetch its children and filter by the next label. This touches
+/// every intermediate node individually — the cost profile the paper's
+/// clustering avoids.
+pub fn nodes_at_edges(db: &mut Db, labels: &[&str]) -> Result<Vec<Oid>> {
+    let Some((first, rest)) = labels.split_first() else {
+        return Ok(Vec::new());
+    };
+    // All nodes with the first label that are roots (no parent edge).
+    let candidates = db
+        .get(LABEL_RELATION)
+        .map(|bat| bat.select_str_eq(first))
+        .unwrap_or_default();
+    let mut frontier: Vec<Oid> = Vec::new();
+    for c in candidates {
+        let has_parent = db
+            .get(EDGE_RELATION)
+            .map(|bat| !bat.select_oid_eq(c).is_empty())
+            .unwrap_or(false);
+        if !has_parent {
+            frontier.push(c);
+        }
+    }
+    for label in rest {
+        let mut next = Vec::new();
+        for node in frontier {
+            let children: Vec<Oid> = db
+                .get_mut(EDGE_RELATION)
+                .map(|bat| {
+                    bat.tails_of(node)
+                        .into_iter()
+                        .filter_map(|v| v.as_oid())
+                        .collect()
+                })
+                .unwrap_or_default();
+            for child in children {
+                let matches = db
+                    .get_mut(LABEL_RELATION)
+                    .ok()
+                    .and_then(|bat| bat.first_tail_of(child))
+                    .and_then(|v| v.as_str().map(|s| s == *label))
+                    .unwrap_or(false);
+                if matches {
+                    next.push(child);
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{figure9, FIGURE9_XML};
+
+    fn loaded() -> (XmlStore, Oid) {
+        let mut store = XmlStore::new();
+        let root = store.bulkload_str("s.xml", FIGURE9_XML).unwrap();
+        (store, root)
+    }
+
+    #[test]
+    fn nodes_at_root_path_uses_sys() {
+        let (mut store, root) = loaded();
+        assert_eq!(
+            nodes_at(&mut store, &Path::root("image")).unwrap(),
+            vec![root]
+        );
+        assert!(nodes_at(&mut store, &Path::root("nothing"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn nodes_at_deep_path_is_single_scan() {
+        let (mut store, _) = loaded();
+        let hist = nodes_at(
+            &mut store,
+            &Path::root("image").child("colors").child("histogram"),
+        )
+        .unwrap();
+        assert_eq!(hist.len(), 1);
+    }
+
+    #[test]
+    fn attr_values_reads_attribute_relation() {
+        let (store, root) = loaded();
+        let vals = attr_values(&store, &Path::root("image"), "key").unwrap();
+        assert_eq!(vals, vec![(root, "18934".to_owned())]);
+    }
+
+    #[test]
+    fn text_values_concatenates_pcdata() {
+        let (mut store, _) = loaded();
+        let p = Path::root("image").child("colors").child("saturation");
+        let vals = text_values(&mut store, &p).unwrap();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0].1, "0.390");
+    }
+
+    #[test]
+    fn root_of_walks_to_document_root() {
+        let (mut store, root) = loaded();
+        let p = Path::root("image").child("colors").child("histogram");
+        let hist = nodes_at(&mut store, &p).unwrap()[0];
+        assert_eq!(root_of(&mut store, hist).unwrap(), root);
+        assert_eq!(root_of(&mut store, root).unwrap(), root);
+    }
+
+    #[test]
+    fn attr_of_reads_single_node() {
+        let (mut store, root) = loaded();
+        assert_eq!(
+            attr_of(&mut store, &Path::root("image"), root, "source"),
+            Some("http://.../seles.jpg".to_owned())
+        );
+        assert_eq!(attr_of(&mut store, &Path::root("image"), root, "nope"), None);
+    }
+
+    #[test]
+    fn children_of_follows_labelled_edges() {
+        let (mut store, root) = loaded();
+        let colors = children_of(&mut store, &Path::root("image"), root, "colors");
+        assert_eq!(colors.len(), 1);
+        let kids = children_of(
+            &mut store,
+            &Path::root("image").child("colors"),
+            colors[0],
+            "histogram",
+        );
+        assert_eq!(kids.len(), 1);
+    }
+
+    #[test]
+    fn edge_baseline_agrees_with_path_store_on_node_counts() {
+        let mut db = Db::new();
+        insert_document_edges(&mut db, &figure9()).unwrap();
+        insert_document_edges(&mut db, &figure9()).unwrap();
+        let via_edges = nodes_at_edges(&mut db, &["image", "colors", "histogram"]).unwrap();
+
+        let mut store = XmlStore::new();
+        store.bulkload_str("a.xml", FIGURE9_XML).unwrap();
+        store.bulkload_str("b.xml", FIGURE9_XML).unwrap();
+        let via_paths = nodes_at(
+            &mut store,
+            &Path::root("image").child("colors").child("histogram"),
+        )
+        .unwrap();
+        assert_eq!(via_edges.len(), via_paths.len());
+        assert_eq!(via_edges.len(), 2);
+    }
+
+    #[test]
+    fn extents_mirror_ancestry() {
+        let mut store = XmlStore::new();
+        let root = store
+            .bulkload_str_with_extents("s.xml", FIGURE9_XML)
+            .unwrap();
+        let image_p = Path::root("image");
+        let colors_p = image_p.child("colors");
+        let hist_p = colors_p.child("histogram");
+        let date_p = image_p.child("date");
+
+        let image_ext = extent_of(&mut store, &image_p, root).unwrap();
+        let colors = nodes_at(&mut store, &colors_p).unwrap()[0];
+        let colors_ext = extent_of(&mut store, &colors_p, colors).unwrap();
+        let hist = nodes_at(&mut store, &hist_p).unwrap()[0];
+        let hist_ext = extent_of(&mut store, &hist_p, hist).unwrap();
+        let date = nodes_at(&mut store, &date_p).unwrap()[0];
+        let date_ext = extent_of(&mut store, &date_p, date).unwrap();
+
+        // Ancestors strictly contain descendants…
+        assert!(extent_contains(image_ext, colors_ext));
+        assert!(extent_contains(image_ext, hist_ext));
+        assert!(extent_contains(colors_ext, hist_ext));
+        // …and siblings do not contain each other.
+        assert!(!extent_contains(date_ext, colors_ext));
+        assert!(!extent_contains(colors_ext, date_ext));
+        // Extent-loaded documents still reconstruct isomorphically.
+        assert_eq!(store.reconstruct(root).unwrap(), figure9());
+    }
+
+    #[test]
+    fn plain_loads_record_no_extents() {
+        let mut store = XmlStore::new();
+        let root = store.bulkload_str("s.xml", FIGURE9_XML).unwrap();
+        assert_eq!(extent_of(&mut store, &Path::root("image"), root), None);
+    }
+
+    #[test]
+    fn nodes_at_rejects_attribute_paths() {
+        let (mut store, _) = loaded();
+        assert!(nodes_at(&mut store, &Path::root("image").attr("key")).is_err());
+    }
+}

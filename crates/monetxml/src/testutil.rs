@@ -1,0 +1,33 @@
+//! Shared fixtures for unit tests: the paper's example document.
+
+use crate::doc::Document;
+
+/// Builds the paper's Figure 9 example document by hand.
+pub(crate) fn figure9() -> Document {
+    let mut d = Document::new("image");
+    let root = d.root();
+    d.set_attr(root, "key", "18934");
+    d.set_attr(root, "source", "http://.../seles.jpg");
+    let date = d.add_element(root, "date");
+    d.add_cdata(date, "999010530");
+    let colors = d.add_element(root, "colors");
+    let histogram = d.add_element(colors, "histogram");
+    d.add_cdata(histogram, "0.399 0.277 0.344");
+    let saturation = d.add_element(colors, "saturation");
+    d.add_cdata(saturation, "0.390");
+    let version = d.add_element(colors, "version");
+    d.add_cdata(version, "0.8");
+    d
+}
+
+/// The Figure 9 document as XML text (whitespace-normalised).
+pub(crate) const FIGURE9_XML: &str = concat!(
+    r#"<image key="18934" source="http://.../seles.jpg">"#,
+    "<date>999010530</date>",
+    "<colors>",
+    "<histogram>0.399 0.277 0.344</histogram>",
+    "<saturation>0.390</saturation>",
+    "<version>0.8</version>",
+    "</colors>",
+    "</image>"
+);

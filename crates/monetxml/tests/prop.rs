@@ -1,0 +1,144 @@
+//! Property tests for the XML level: the serializer/parser pair and the
+//! Monet transform/inverse pair are both identities on arbitrary trees.
+
+use monetxml::{parse_document, to_xml, Document, XmlStore};
+use proptest::prelude::*;
+
+/// A recursive strategy for arbitrary documents. Labels are drawn from a
+/// small alphabet so paths collide across documents (exercising relation
+/// sharing); text and attribute values include XML-hostile characters.
+fn arb_document() -> impl Strategy<Value = Document> {
+    let label = prop_oneof![
+        Just("a".to_owned()),
+        Just("b".to_owned()),
+        Just("item".to_owned()),
+        Just("colors".to_owned()),
+    ];
+    let attr_name = prop_oneof![Just("k".to_owned()), Just("src".to_owned())];
+    let text = "[ -~]{1,12}".prop_filter("non-blank", |s: &String| !s.trim().is_empty());
+
+    // Children described as a tree of (label, attrs, kids | text).
+    #[derive(Debug, Clone)]
+    enum Spec {
+        Element(String, Vec<(String, String)>, Vec<Spec>),
+        Text(String),
+    }
+
+    let leaf = prop_oneof![
+        text.clone().prop_map(Spec::Text),
+        (label.clone(), prop::collection::vec((attr_name.clone(), text.clone()), 0..3))
+            .prop_map(|(l, a)| Spec::Element(l, dedup_attrs(a), vec![])),
+    ];
+    let tree = {
+        let label = label.clone();
+        let attr_name = attr_name.clone();
+        let text = text.clone();
+        leaf.prop_recursive(4, 32, 4, move |inner| {
+            (
+                label.clone(),
+                prop::collection::vec((attr_name.clone(), text.clone()), 0..3),
+                prop::collection::vec(inner, 0..4),
+            )
+                .prop_map(|(l, a, kids)| Spec::Element(l, dedup_attrs(a), kids))
+        })
+    };
+
+    fn dedup_attrs(attrs: Vec<(String, String)>) -> Vec<(String, String)> {
+        let mut seen = std::collections::HashSet::new();
+        attrs
+            .into_iter()
+            .filter(|(n, _)| seen.insert(n.clone()))
+            .collect()
+    }
+
+    fn build(doc: &mut Document, parent: monetxml::NodeId, spec: &Spec) {
+        match spec {
+            Spec::Text(t) => {
+                doc.add_cdata(parent, t.trim());
+            }
+            Spec::Element(l, attrs, kids) => {
+                let id = doc.add_element(parent, l.clone());
+                for (n, v) in attrs {
+                    doc.set_attr(id, n.clone(), v.trim().to_owned());
+                }
+                for k in kids {
+                    build(doc, id, k);
+                }
+            }
+        }
+    }
+
+    (
+        label,
+        prop::collection::vec((attr_name, text.clone()), 0..3),
+        prop::collection::vec(tree, 0..4),
+    )
+        .prop_map(|(root_label, attrs, kids)| {
+            let mut doc = Document::new(root_label);
+            let root = doc.root();
+            for (n, v) in dedup_attrs(attrs) {
+                doc.set_attr(root, n, v.trim().to_owned());
+            }
+            for k in &kids {
+                build(&mut doc, root, k);
+            }
+            doc
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_parse_round_trip(doc in arb_document()) {
+        let xml = to_xml(&doc);
+        let back = parse_document(&xml).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn store_reconstruct_round_trip(doc in arb_document()) {
+        let mut store = XmlStore::new();
+        let root = store.insert_document("prop.xml", &doc).unwrap();
+        let back = store.reconstruct(root).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn bulkload_matches_tree_walk(doc in arb_document()) {
+        let xml = to_xml(&doc);
+        let mut via_sax = XmlStore::new();
+        let r1 = via_sax.bulkload_str("p.xml", &xml).unwrap();
+        let mut via_walk = XmlStore::new();
+        let r2 = via_walk.insert_document("p.xml", &doc).unwrap();
+        prop_assert_eq!(via_sax.reconstruct(r1).unwrap(), via_walk.reconstruct(r2).unwrap());
+        prop_assert_eq!(via_sax.db().relation_count(), via_walk.db().relation_count());
+        prop_assert_eq!(via_sax.db().association_count(), via_walk.db().association_count());
+    }
+
+    #[test]
+    fn delete_restores_clean_slate(doc in arb_document()) {
+        let mut store = XmlStore::new();
+        let baseline_doc = {
+            // One sentinel document that must survive deletions intact.
+            let mut d = Document::new("sentinel");
+            d.add_cdata(d.root(), "stay");
+            d
+        };
+        let sentinel = store.insert_document("sentinel.xml", &baseline_doc).unwrap();
+        let after_sentinel = store.db().association_count();
+        let victim = store.insert_document("victim.xml", &doc).unwrap();
+        store.delete_document(victim).unwrap();
+        prop_assert_eq!(store.db().association_count(), after_sentinel);
+        prop_assert_eq!(store.reconstruct(sentinel).unwrap(), baseline_doc);
+    }
+
+    #[test]
+    fn load_stats_count_nodes(doc in arb_document()) {
+        let mut store = XmlStore::new();
+        store.insert_document("p.xml", &doc).unwrap();
+        prop_assert_eq!(store.last_stats().nodes, doc.node_count());
+        // The loader's live state never exceeds the element height.
+        prop_assert!(store.last_stats().max_depth <= doc.height());
+    }
+}

@@ -1,0 +1,494 @@
+//! The Australian Open site generator.
+
+use std::collections::BTreeMap;
+
+use cobra::audio::{ambience_clip, interview_clip, AudioClip};
+use cobra::{BroadcastSpec, ShotSpec, TrajectorySpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Site base URL.
+pub const BASE: &str = "http://ausopen.example.org";
+
+const FIRST_NAMES_F: &[&str] = &[
+    "Monica", "Martina", "Jennifer", "Lindsay", "Venus", "Serena", "Kim", "Justine", "Amelie",
+    "Arantxa",
+];
+const FIRST_NAMES_M: &[&str] = &[
+    "Andre", "Pete", "Patrick", "Yevgeny", "Marat", "Gustavo", "Lleyton", "Thomas", "Carlos",
+    "Goran",
+];
+const LAST_NAMES: &[&str] = &[
+    "Seles", "Hingis", "Capriati", "Davenport", "Williams", "Agassi", "Sampras", "Rafter",
+    "Kafelnikov", "Safin", "Kuerten", "Hewitt", "Johansson", "Moya", "Ivanisevic", "Clijsters",
+    "Henin", "Mauresmo", "Sanchez", "Enqvist",
+];
+const COUNTRIES: &[&str] = &[
+    "USA", "Switzerland", "Australia", "Russia", "Brazil", "Sweden", "Spain", "Croatia",
+    "Belgium", "France",
+];
+
+/// Ground truth for one generated player.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlayerTruth {
+    /// Page key (`seles0` style slug).
+    pub key: String,
+    /// Full display name.
+    pub name: String,
+    /// `female` / `male`.
+    pub gender: String,
+    /// Country name.
+    pub country: String,
+    /// `left` / `right`.
+    pub hand: String,
+    /// Whether the history text declares a past Australian Open win.
+    pub past_winner: bool,
+    /// URL of the bio page.
+    pub bio_url: String,
+    /// URL of the profile page.
+    pub profile_url: String,
+    /// URL of the match video.
+    pub video_url: String,
+    /// URL of the portrait image.
+    pub picture_url: String,
+    /// Whether the match video contains a net approach (ground truth of
+    /// the Figure 13 query's content-based half).
+    pub video_has_netplay: bool,
+    /// URL of the post-match audio clip on the profile page.
+    pub audio_url: String,
+    /// Whether that clip really is an interview (some profiles carry
+    /// crowd-ambience clips instead).
+    pub audio_is_interview: bool,
+}
+
+/// Ground truth for one generated article.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArticleTruth {
+    /// Page key.
+    pub key: String,
+    /// Headline.
+    pub title: String,
+    /// URL of the article page.
+    pub url: String,
+    /// Indexes (into the player list) this article is about.
+    pub about: Vec<usize>,
+}
+
+/// Parameters of the generated site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteSpec {
+    /// Number of players.
+    pub players: usize,
+    /// Number of news articles.
+    pub articles: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SiteSpec {
+    fn default() -> Self {
+        SiteSpec {
+            players: 16,
+            articles: 24,
+            seed: 2001,
+        }
+    }
+}
+
+/// The generated site: pages, media objects and ground truth.
+#[derive(Debug, Clone)]
+pub struct Site {
+    pages: BTreeMap<String, String>,
+    videos: BTreeMap<String, BroadcastSpec>,
+    audio: BTreeMap<String, AudioClip>,
+    /// Player ground truth, in generation order.
+    pub players: Vec<PlayerTruth>,
+    /// Article ground truth, in generation order.
+    pub articles: Vec<ArticleTruth>,
+}
+
+impl Site {
+    /// Generates the site from a spec. Deterministic per spec.
+    pub fn generate(spec: SiteSpec) -> Site {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut players = Vec::with_capacity(spec.players);
+        let mut videos = BTreeMap::new();
+        let mut audio = BTreeMap::new();
+
+        for i in 0..spec.players {
+            let female = i % 2 == 0;
+            let first = if female {
+                FIRST_NAMES_F[i / 2 % FIRST_NAMES_F.len()]
+            } else {
+                FIRST_NAMES_M[i / 2 % FIRST_NAMES_M.len()]
+            };
+            let last = LAST_NAMES[i % LAST_NAMES.len()];
+            let key = format!("{}{}", last.to_lowercase(), i);
+            // Player 0 is always Monica Seles, left-handed female past
+            // champion whose match video contains a net approach — the
+            // historically accurate witness for the Figure 13 query.
+            let has_netplay = i == 0 || rng.gen_bool(0.5);
+            let video_url = format!("{BASE}/video/{key}-match.mpg");
+            videos.insert(video_url.clone(), match_video(has_netplay, spec.seed + i as u64));
+            // Post-match audio: players 0 and most others get a real
+            // interview; every fifth profile carries crowd ambience.
+            let audio_url = format!("{BASE}/audio/{key}-interview.wav");
+            let audio_is_interview = i == 0 || i % 5 != 4;
+            audio.insert(
+                audio_url.clone(),
+                if audio_is_interview {
+                    interview_clip(2, spec.seed ^ (i as u64) << 16)
+                } else {
+                    ambience_clip(spec.seed ^ (i as u64) << 16)
+                },
+            );
+            players.push(PlayerTruth {
+                name: format!("{first} {last}"),
+                gender: if female { "female" } else { "male" }.to_owned(),
+                country: COUNTRIES[i % COUNTRIES.len()].to_owned(),
+                hand: if i % 3 == 0 { "left" } else { "right" }.to_owned(),
+                past_winner: i == 0 || rng.gen_bool(0.4),
+                bio_url: format!("{BASE}/players/{key}.html"),
+                profile_url: format!("{BASE}/profiles/{key}.html"),
+                video_url,
+                picture_url: format!("{BASE}/img/{key}.jpg"),
+                video_has_netplay: has_netplay,
+                audio_url,
+                audio_is_interview,
+                key,
+            });
+        }
+
+        let mut articles = Vec::with_capacity(spec.articles);
+        for a in 0..spec.articles {
+            let subject = a % spec.players.max(1);
+            let mut about = vec![subject];
+            if rng.gen_bool(0.3) && spec.players > 1 {
+                let other = (subject + 1 + rng.gen_range(0..spec.players - 1)) % spec.players;
+                if other != subject {
+                    about.push(other);
+                }
+            }
+            let key = format!("day{}-story{a}", a / 4 + 1);
+            articles.push(ArticleTruth {
+                title: article_title(a, &players[subject], &mut rng),
+                url: format!("{BASE}/news/{key}.html"),
+                about,
+                key,
+            });
+        }
+
+        let mut pages = BTreeMap::new();
+        pages.insert(format!("{BASE}/index.html"), home_page(&players, &articles));
+        for p in &players {
+            pages.insert(p.bio_url.clone(), bio_page(p));
+            pages.insert(p.profile_url.clone(), profile_page(p));
+        }
+        for a in &articles {
+            pages.insert(a.url.clone(), article_page(a, &players));
+        }
+
+        Site {
+            pages,
+            videos,
+            audio,
+            players,
+            articles,
+        }
+    }
+
+    /// The home page URL (crawl entry point).
+    pub fn home(&self) -> String {
+        format!("{BASE}/index.html")
+    }
+
+    /// The HTML of a page, if it exists.
+    pub fn page(&self, url: &str) -> Option<&str> {
+        self.pages.get(url).map(String::as_str)
+    }
+
+    /// All page URLs.
+    pub fn urls(&self) -> impl Iterator<Item = &str> {
+        self.pages.keys().map(String::as_str)
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The broadcast behind a video URL (the "raw multimedia data" the
+    /// detectors fetch).
+    pub fn video(&self, url: &str) -> Option<&BroadcastSpec> {
+        self.videos.get(url)
+    }
+
+    /// The clip behind an audio URL.
+    pub fn audio(&self, url: &str) -> Option<&AudioClip> {
+        self.audio.get(url)
+    }
+
+    /// MIME type of a URL, as the paper's `header` detector would learn
+    /// from the HTTP server.
+    pub fn mime(&self, url: &str) -> (&'static str, &'static str) {
+        if url.ends_with(".mpg") {
+            ("video", "mpeg")
+        } else if url.ends_with(".jpg") {
+            ("image", "jpeg")
+        } else if url.ends_with(".wav") {
+            ("audio", "wav")
+        } else if url.ends_with(".html") {
+            ("text", "html")
+        } else {
+            ("application", "octet-stream")
+        }
+    }
+}
+
+fn match_video(with_netplay: bool, seed: u64) -> BroadcastSpec {
+    let mut shots = Vec::new();
+    for i in 0..4 {
+        let trajectory = if with_netplay && i == 2 {
+            TrajectorySpec::approach_net()
+        } else {
+            TrajectorySpec::baseline()
+        };
+        shots.push(ShotSpec::tennis(60, 3, trajectory));
+        shots.push(ShotSpec::other(
+            if i % 2 == 0 {
+                cobra::ShotClass::Closeup
+            } else {
+                cobra::ShotClass::Audience
+            },
+            20,
+        ));
+    }
+    BroadcastSpec { shots, seed }
+}
+
+fn article_title(a: usize, subject: &PlayerTruth, rng: &mut StdRng) -> String {
+    let verbs = ["storms into", "battles through to", "cruises into", "fights into"];
+    let stages = ["the final", "the semifinal", "the quarterfinals", "round four"];
+    format!(
+        "{} {} {}",
+        subject.name,
+        verbs[rng.gen_range(0..verbs.len())],
+        stages[a % stages.len()]
+    )
+}
+
+fn history_text(p: &PlayerTruth) -> String {
+    let mut text = format!(
+        "{} turned professional and has competed at Melbourne Park for many seasons. ",
+        p.name
+    );
+    if p.past_winner {
+        text.push_str("Winner of the Australian Open, a title that crowned a remarkable run. ");
+    } else {
+        text.push_str("A deep run at the Australian Open has so far eluded this player. ");
+    }
+    text.push_str("Known for relentless baseline play and famous rivalries on tour.");
+    text
+}
+
+fn home_page(players: &[PlayerTruth], articles: &[ArticleTruth]) -> String {
+    let mut body = String::new();
+    body.push_str("<h1 class=\"site-title\">Australian Open</h1><ul class=\"nav\">");
+    for p in players {
+        body.push_str(&format!(
+            "<li><a class=\"player-link\" href=\"{}\">{}</a></li>",
+            p.bio_url, p.name
+        ));
+    }
+    for a in articles {
+        body.push_str(&format!(
+            "<li><a class=\"article-link\" href=\"{}\">{}</a></li>",
+            a.url, a.title
+        ));
+    }
+    body.push_str("</ul>");
+    wrap("Australian Open", "home-page", &body)
+}
+
+fn bio_page(p: &PlayerTruth) -> String {
+    let body = format!(
+        concat!(
+            "<div class=\"bio\">",
+            "<h1 class=\"player-name\">{name}</h1>",
+            "<table class=\"factbox\">",
+            "<tr><td>Gender</td><td class=\"gender\">{gender}</td></tr>",
+            "<tr><td>Country</td><td class=\"country\">{country}</td></tr>",
+            "<tr><td>Plays</td><td class=\"hand\">{hand}</td></tr>",
+            "</table>",
+            "<img class=\"portrait\" src=\"{picture}\"/>",
+            "<div class=\"history\">{history}</div>",
+            "</div>",
+            "<div class=\"media\">",
+            "<a class=\"profile-link\" href=\"{profile}\">full profile</a>",
+            "</div>"
+        ),
+        name = p.name,
+        gender = p.gender,
+        country = p.country,
+        hand = p.hand,
+        picture = p.picture_url,
+        history = history_text(p),
+        profile = p.profile_url,
+    );
+    wrap(&format!("{} - Australian Open", p.name), "bio-page", &body)
+}
+
+fn profile_page(p: &PlayerTruth) -> String {
+    let body = format!(
+        concat!(
+            "<h1 class=\"profile-title\">{name} in action</h1>",
+            "<a class=\"match-video\" href=\"{video}\">match highlights</a>",
+            "<a class=\"interview-audio\" href=\"{audio}\">post-match audio</a>",
+            "<a class=\"player-link\" href=\"{bio}\">back to bio</a>"
+        ),
+        name = p.name,
+        video = p.video_url,
+        audio = p.audio_url,
+        bio = p.bio_url,
+    );
+    wrap(
+        &format!("{} profile - Australian Open", p.name),
+        "profile-page",
+        &body,
+    )
+}
+
+fn article_page(a: &ArticleTruth, players: &[PlayerTruth]) -> String {
+    let mut body = format!("<h1 class=\"headline\">{}</h1><div class=\"story\">", a.title);
+    for (n, idx) in a.about.iter().enumerate() {
+        let p = &players[*idx];
+        if n == 0 {
+            body.push_str(&format!(
+                "{} produced a commanding performance on centre court today. ",
+                p.name
+            ));
+        } else {
+            body.push_str(&format!("Earlier, {} also advanced. ", p.name));
+        }
+    }
+    body.push_str("The crowd at Melbourne Park rose to the occasion.</div><div class=\"related\">");
+    for idx in &a.about {
+        let p = &players[*idx];
+        body.push_str(&format!(
+            "<a class=\"about-player\" href=\"{}\">{}</a>",
+            p.bio_url, p.name
+        ));
+    }
+    body.push_str("</div>");
+    wrap(&a.title, "article-page", &body)
+}
+
+fn wrap(title: &str, page_class: &str, body: &str) -> String {
+    format!(
+        concat!(
+            "<html><head><title>{title}</title></head>",
+            "<body class=\"page {class}\">{body}",
+            "<div class=\"footer\"><a class=\"home-link\" href=\"{base}/index.html\">home</a>",
+            "</div></body></html>"
+        ),
+        title = title,
+        class = page_class,
+        body = body,
+        base = BASE,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Site::generate(SiteSpec::default());
+        let b = Site::generate(SiteSpec::default());
+        assert_eq!(a.pages, b.pages);
+        assert_eq!(a.players, b.players);
+    }
+
+    #[test]
+    fn page_counts_add_up() {
+        let spec = SiteSpec {
+            players: 8,
+            articles: 10,
+            seed: 1,
+        };
+        let site = Site::generate(spec);
+        // home + 2 per player + 1 per article.
+        assert_eq!(site.page_count(), 1 + 2 * 8 + 10);
+        assert_eq!(site.players.len(), 8);
+        assert_eq!(site.articles.len(), 10);
+    }
+
+    #[test]
+    fn every_page_is_well_formed_xml() {
+        let site = Site::generate(SiteSpec::default());
+        for url in site.urls() {
+            let html = site.page(url).unwrap();
+            monetxml::parse_document(html)
+                .unwrap_or_else(|e| panic!("{url} is not well-formed: {e}"));
+        }
+    }
+
+    #[test]
+    fn winner_text_matches_ground_truth() {
+        let site = Site::generate(SiteSpec::default());
+        for p in &site.players {
+            let html = site.page(&p.bio_url).unwrap();
+            assert_eq!(
+                html.contains("Winner of the Australian Open"),
+                p.past_winner,
+                "{}",
+                p.key
+            );
+        }
+    }
+
+    #[test]
+    fn every_video_url_resolves_to_a_broadcast() {
+        let site = Site::generate(SiteSpec::default());
+        for p in &site.players {
+            let spec = site.video(&p.video_url).expect("video exists");
+            let video = spec.generate();
+            // The broadcast's netplay ground truth matches the site's.
+            let has = video.truth.iter().any(|t| t.netplay);
+            assert_eq!(has, p.video_has_netplay, "{}", p.key);
+        }
+    }
+
+    #[test]
+    fn mime_types_follow_extensions() {
+        let site = Site::generate(SiteSpec::default());
+        assert_eq!(site.mime("http://x/v.mpg"), ("video", "mpeg"));
+        assert_eq!(site.mime("http://x/p.jpg"), ("image", "jpeg"));
+        assert_eq!(site.mime("http://x/p.html"), ("text", "html"));
+    }
+
+    #[test]
+    fn players_cover_both_genders_and_hands() {
+        let site = Site::generate(SiteSpec::default());
+        assert!(site.players.iter().any(|p| p.gender == "female"));
+        assert!(site.players.iter().any(|p| p.gender == "male"));
+        assert!(site.players.iter().any(|p| p.hand == "left"));
+        assert!(site.players.iter().any(|p| p.hand == "right"));
+    }
+
+    #[test]
+    fn at_least_one_left_handed_female_past_winner_with_netplay_exists() {
+        // The Figure 13 query must have a non-empty answer on the
+        // default site.
+        let site = Site::generate(SiteSpec::default());
+        assert!(
+            site.players.iter().any(|p| p.gender == "female"
+                && p.hand == "left"
+                && p.past_winner
+                && p.video_has_netplay),
+            "default site cannot answer the Figure 13 query"
+        );
+    }
+}

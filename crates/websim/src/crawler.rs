@@ -1,0 +1,91 @@
+//! A breadth-first crawler over a generated site.
+//!
+//! "In the indexing phase, a crawler retrieves the source documents from
+//! a webspace."
+
+use std::collections::{BTreeSet, VecDeque};
+
+use monetxml::{parse_document, Document, NodeId};
+
+use crate::ausopen::Site;
+
+/// Crawls `site` breadth-first from its home page; returns `(url, html)`
+/// pairs in visit order. Only pages of the site are followed (the paper's
+/// engines restrict themselves to an IP-domain); media links (`.mpg`,
+/// `.jpg`) are recorded by the caller's extraction rules, not fetched.
+pub fn crawl(site: &Site) -> Vec<(String, String)> {
+    let mut visited = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    let mut out = Vec::new();
+    queue.push_back(site.home());
+    visited.insert(site.home());
+
+    while let Some(url) = queue.pop_front() {
+        let Some(html) = site.page(&url) else {
+            continue;
+        };
+        out.push((url.clone(), html.to_owned()));
+        let Ok(doc) = parse_document(html) else {
+            continue;
+        };
+        for href in extract_links(&doc) {
+            if site.page(&href).is_some() && visited.insert(href.clone()) {
+                queue.push_back(href);
+            }
+        }
+    }
+    out
+}
+
+/// All `href` attribute values of `<a>` elements, in document order.
+pub fn extract_links(doc: &Document) -> Vec<String> {
+    let mut out = Vec::new();
+    fn walk(doc: &Document, node: NodeId, out: &mut Vec<String>) {
+        if doc.tag(node) == Some("a") {
+            if let Some(href) = doc.attr(node, "href") {
+                out.push(href.to_owned());
+            }
+        }
+        for c in doc.children(node) {
+            walk(doc, *c, out);
+        }
+    }
+    walk(doc, doc.root(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ausopen::SiteSpec;
+
+    #[test]
+    fn crawl_reaches_every_page() {
+        let site = Site::generate(SiteSpec {
+            players: 6,
+            articles: 8,
+            seed: 3,
+        });
+        let crawled = crawl(&site);
+        assert_eq!(crawled.len(), site.page_count());
+        // No duplicates.
+        let urls: BTreeSet<&str> = crawled.iter().map(|(u, _)| u.as_str()).collect();
+        assert_eq!(urls.len(), crawled.len());
+    }
+
+    #[test]
+    fn crawl_starts_at_home() {
+        let site = Site::generate(SiteSpec::default());
+        let crawled = crawl(&site);
+        assert_eq!(crawled[0].0, site.home());
+    }
+
+    #[test]
+    fn extract_links_finds_hrefs_in_order() {
+        let doc = parse_document(
+            r#"<div><a href="one.html">1</a><p><a href="two.html">2</a></p><a>none</a></div>"#,
+        )
+        .unwrap();
+        assert_eq!(extract_links(&doc), vec!["one.html", "two.html"]);
+    }
+}

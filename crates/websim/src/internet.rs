@@ -1,0 +1,167 @@
+//! Generic Internet pages for the Figure 14 grammar.
+//!
+//! "However, the system is applicable to the Internet as a whole. Either
+//! by replacing the specific webschema by a very generic … one" — these
+//! pages have no webspace schema, only the generic structure the
+//! Internet feature grammar models: a title, body keywords, and anchors
+//! to embedded multimedia objects.
+
+use cobra::image::{generate_image, ImageKind, ImageSignal, ImageTruth};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ground truth of one generic page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenericPage {
+    /// Page URL.
+    pub url: String,
+    /// Page HTML.
+    pub html: String,
+    /// Title text.
+    pub title: String,
+    /// Body keywords.
+    pub keywords: Vec<String>,
+    /// Embedded multimedia object URLs (images and videos).
+    pub objects: Vec<String>,
+    /// Raw signal + ground truth for each embedded *image* object, keyed
+    /// by its URL (the "raw multimedia data" the photo/face detectors
+    /// fetch).
+    pub images: Vec<(String, ImageSignal, ImageTruth)>,
+}
+
+impl GenericPage {
+    /// The image signal behind an embedded image URL.
+    pub fn image(&self, url: &str) -> Option<&ImageSignal> {
+        self.images
+            .iter()
+            .find(|(u, _, _)| u == url)
+            .map(|(_, s, _)| s)
+    }
+}
+
+const TOPICS: &[(&str, &[&str])] = &[
+    (
+        "sports",
+        &["champion", "tournament", "final", "record", "title", "trophy"],
+    ),
+    (
+        "travel",
+        &["beach", "mountain", "hotel", "flight", "guide", "island"],
+    ),
+    (
+        "science",
+        &["experiment", "theory", "measurement", "galaxy", "particle", "genome"],
+    ),
+];
+
+/// Generates `n` deterministic generic pages.
+pub fn generate_pages(n: usize, seed: u64) -> Vec<GenericPage> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let (topic, words) = TOPICS[i % TOPICS.len()];
+            let url = format!("http://web.example.org/{topic}/page{i}.html");
+            let title = format!("All about {topic} #{i}");
+            let mut keywords = Vec::new();
+            for _ in 0..rng.gen_range(4..10) {
+                keywords.push(words[rng.gen_range(0..words.len())].to_owned());
+            }
+            let mut objects = Vec::new();
+            let mut images = Vec::new();
+            if rng.gen_bool(0.7) {
+                let url = format!("http://web.example.org/{topic}/img{i}.jpg");
+                // Roughly 60% of web photos are photographs, the rest
+                // charts and logos; photos may contain faces (portraits).
+                let kind = if rng.gen_bool(0.6) {
+                    ImageKind::Photo
+                } else {
+                    ImageKind::Graphic
+                };
+                let faces = if kind == ImageKind::Photo {
+                    rng.gen_range(0..3usize)
+                } else {
+                    0
+                };
+                let (signal, truth) = generate_image(kind, faces, seed ^ (i as u64) << 8);
+                images.push((url.clone(), signal, truth));
+                objects.push(url);
+            }
+            if rng.gen_bool(0.3) {
+                objects.push(format!("http://web.example.org/{topic}/clip{i}.mpg"));
+            }
+            let mut body = String::new();
+            body.push_str(&format!("<h1>{title}</h1><p>"));
+            for k in &keywords {
+                body.push_str(k);
+                body.push(' ');
+            }
+            body.push_str("</p>");
+            for (j, o) in objects.iter().enumerate() {
+                body.push_str(&format!("<a href=\"{o}\">object {j}</a>"));
+            }
+            let html = format!(
+                "<html><head><title>{title}</title></head><body>{body}</body></html>"
+            );
+            GenericPage {
+                url,
+                html,
+                title,
+                keywords,
+                objects,
+                images,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pages_are_deterministic_and_well_formed() {
+        let a = generate_pages(12, 5);
+        let b = generate_pages(12, 5);
+        assert_eq!(a, b);
+        for p in &a {
+            monetxml::parse_document(&p.html).unwrap();
+        }
+    }
+
+    #[test]
+    fn keywords_appear_in_the_html() {
+        for p in generate_pages(6, 9) {
+            for k in &p.keywords {
+                assert!(p.html.contains(k.as_str()), "{} missing {k}", p.url);
+            }
+        }
+    }
+
+    #[test]
+    fn objects_are_linked() {
+        let pages = generate_pages(20, 11);
+        assert!(pages.iter().any(|p| !p.objects.is_empty()));
+        for p in &pages {
+            for o in &p.objects {
+                assert!(p.html.contains(o.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn image_signals_cover_every_jpg_object() {
+        let pages = generate_pages(30, 4);
+        let mut portraits = 0;
+        for p in &pages {
+            for o in &p.objects {
+                if o.ends_with(".jpg") {
+                    let signal = p.image(o).expect("signal for every image");
+                    if cobra::image::is_portrait(signal) {
+                        portraits += 1;
+                    }
+                }
+            }
+        }
+        assert!(portraits > 0, "some generated images must be portraits");
+    }
+}

@@ -1,0 +1,29 @@
+//! A synthetic Australian Open website — the paper's data source.
+//!
+//! The real `ausopen.org` of 2001 is gone; this crate generates a
+//! deterministic stand-in with exactly the property the paper's
+//! motivating example turns on: **semantic concepts (gender, name,
+//! country, play hand, history) are clearly present in the source data
+//! but lost in the translation to presentation-oriented HTML** (Figure
+//! 1). The generator keeps the source data as ground truth, so the
+//! web-object retriever and the whole search engine can be scored
+//! end-to-end.
+//!
+//! * [`ausopen`] — the site generator: player bio pages, profile pages
+//!   with match videos, and news articles, cross-linked; every match
+//!   video is backed by a [`cobra::BroadcastSpec`] so the logical level
+//!   has real (synthetic) footage to analyse.
+//! * [`crawler`] — a breadth-first crawler over a [`Site`]'s link graph
+//!   ("in the indexing phase, a crawler retrieves the source documents
+//!   from a webspace").
+//! * [`internet`] — generic pages for the Figure 14 Internet grammar
+//!   (titles, keywords, embedded multimedia objects).
+
+#![warn(missing_docs)]
+
+pub mod ausopen;
+pub mod crawler;
+pub mod internet;
+
+pub use ausopen::{PlayerTruth, Site, SiteSpec};
+pub use crawler::crawl;

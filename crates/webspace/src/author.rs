@@ -1,0 +1,211 @@
+//! The webspace authoring tool.
+//!
+//! "When a webspace is setup from scratch the author will create the
+//! documents using a specialized webspace authoring tool. The tool
+//! guides the author through the entire design process." The guided
+//! design is captured by [`DocumentDesign`] rules: which class gets its
+//! own documents, and which associated objects are *inlined* into those
+//! documents (creating the cross-document concept overlap that makes
+//! webspace queries work).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::object::{Association, WebObject};
+use crate::schema::WebspaceSchema;
+use crate::view::MaterializedView;
+
+/// One document-design rule: objects of `class` each get a document,
+/// inlining the targets of the listed associations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DocumentDesign {
+    /// The class whose instances become documents.
+    pub class: String,
+    /// Associations (starting at `class`) whose targets are inlined.
+    pub include: Vec<String>,
+}
+
+/// The authoring tool: a schema plus document designs.
+#[derive(Debug, Clone)]
+pub struct Author {
+    schema: WebspaceSchema,
+    designs: Vec<DocumentDesign>,
+}
+
+impl Author {
+    /// A tool for `schema` with no designs yet.
+    pub fn new(schema: WebspaceSchema) -> Self {
+        Author {
+            schema,
+            designs: Vec::new(),
+        }
+    }
+
+    /// Adds a document design (builder style). The design is validated
+    /// against the schema.
+    pub fn design(mut self, design: DocumentDesign) -> Result<Self> {
+        if self.schema.class(&design.class).is_none() {
+            return Err(Error::Schema(format!(
+                "document design for unknown class `{}`",
+                design.class
+            )));
+        }
+        for assoc in &design.include {
+            let def = self
+                .schema
+                .association(assoc)
+                .ok_or_else(|| Error::Schema(format!("unknown association `{assoc}`")))?;
+            if def.from != design.class {
+                return Err(Error::Schema(format!(
+                    "association `{assoc}` starts at `{}`, not `{}`",
+                    def.from, design.class
+                )));
+            }
+        }
+        self.designs.push(design);
+        Ok(self)
+    }
+
+    /// Authors the webspace: one materialized view per object of each
+    /// designed class, with the designated associated objects inlined.
+    /// Every produced view validates against the schema.
+    pub fn author(
+        &self,
+        objects: &[WebObject],
+        associations: &[Association],
+    ) -> Result<Vec<MaterializedView>> {
+        for object in objects {
+            object.validate(&self.schema)?;
+        }
+        let mut views = Vec::new();
+        for design in &self.designs {
+            for object in objects.iter().filter(|o| o.class == design.class) {
+                let name = format!("{}.xml", object.id.replace(':', "/"));
+                let mut view = MaterializedView::new(name, self.schema.name());
+                view.objects.push(object.clone());
+                for assoc_name in &design.include {
+                    for assoc in associations
+                        .iter()
+                        .filter(|a| a.name == *assoc_name && a.from == object.id)
+                    {
+                        if let Some(target) = objects.iter().find(|o| o.id == assoc.to) {
+                            if !view.objects.contains(target) {
+                                view.objects.push(target.clone());
+                            }
+                            view.associations.push(assoc.clone());
+                        }
+                    }
+                }
+                view.validate(&self.schema)?;
+                views.push(view);
+            }
+        }
+        Ok(views)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::AttrValue;
+    use crate::paper::ausopen_schema;
+    use crate::query::WebspaceIndex;
+    use crate::schema::MediaType;
+
+    fn sample_objects() -> (Vec<WebObject>, Vec<Association>) {
+        let objects = vec![
+            WebObject::new("Player", "player:seles")
+                .with("name", AttrValue::Text("Monica Seles".into())),
+            WebObject::new("Profile", "profile:seles").with(
+                "video",
+                AttrValue::Media {
+                    ty: MediaType::Video,
+                    location: "http://x/v.mpg".into(),
+                },
+            ),
+            WebObject::new("Article", "article:day1")
+                .with("title", AttrValue::Text("Seles wins".into())),
+        ];
+        let associations = vec![
+            Association::new("Is_covered_in", "player:seles", "profile:seles"),
+            Association::new("About", "article:day1", "player:seles"),
+        ];
+        (objects, associations)
+    }
+
+    #[test]
+    fn authoring_produces_valid_views_per_design() {
+        let (objects, associations) = sample_objects();
+        let author = Author::new(ausopen_schema())
+            .design(DocumentDesign {
+                class: "Player".into(),
+                include: vec!["Is_covered_in".into()],
+            })
+            .unwrap()
+            .design(DocumentDesign {
+                class: "Article".into(),
+                include: vec!["About".into()],
+            })
+            .unwrap();
+        let views = author.author(&objects, &associations).unwrap();
+        assert_eq!(views.len(), 2);
+        // The player document inlines the profile (overlap!).
+        let player_view = &views[0];
+        assert_eq!(player_view.objects.len(), 2);
+        assert_eq!(player_view.associations.len(), 1);
+        // Authored views feed the index exactly like crawled ones.
+        let mut index = WebspaceIndex::new(ausopen_schema());
+        for v in &views {
+            index.add_view(v).unwrap();
+        }
+        assert_eq!(index.object_count(), 3);
+        assert_eq!(index.targets("player:seles", "Is_covered_in").len(), 1);
+    }
+
+    #[test]
+    fn authored_views_round_trip_through_xml() {
+        let (objects, associations) = sample_objects();
+        let author = Author::new(ausopen_schema())
+            .design(DocumentDesign {
+                class: "Player".into(),
+                include: vec!["Is_covered_in".into()],
+            })
+            .unwrap();
+        for view in author.author(&objects, &associations).unwrap() {
+            let xml = monetxml::to_xml(&view.to_document());
+            let doc = monetxml::parse_document(&xml).unwrap();
+            assert_eq!(MaterializedView::from_document(&doc).unwrap(), view);
+        }
+    }
+
+    #[test]
+    fn bad_designs_are_rejected() {
+        let author = Author::new(ausopen_schema());
+        assert!(author
+            .clone()
+            .design(DocumentDesign {
+                class: "Ghost".into(),
+                include: vec![],
+            })
+            .is_err());
+        assert!(author
+            .clone()
+            .design(DocumentDesign {
+                class: "Player".into(),
+                include: vec!["About".into()], // starts at Article
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_objects_are_rejected_at_authoring_time() {
+        let author = Author::new(ausopen_schema())
+            .design(DocumentDesign {
+                class: "Player".into(),
+                include: vec![],
+            })
+            .unwrap();
+        let bad = vec![WebObject::new("Player", "p").with("ghost_attr", AttrValue::Int(1))];
+        assert!(author.author(&bad, &[]).is_err());
+    }
+}

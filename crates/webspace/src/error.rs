@@ -1,0 +1,51 @@
+//! Error type for the conceptual level.
+
+use std::fmt;
+
+/// Errors raised by schema, view or query processing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Schema construction or validation failed.
+    Schema(String),
+    /// An object violates its class definition.
+    Object(String),
+    /// A materialized view could not be (de)serialised.
+    View(String),
+    /// A conceptual query is ill-formed against the schema.
+    Query(String),
+    /// HTML re-engineering failed.
+    Retriever(String),
+    /// An underlying XML error.
+    Xml(monetxml::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Object(m) => write!(f, "object error: {m}"),
+            Error::View(m) => write!(f, "view error: {m}"),
+            Error::Query(m) => write!(f, "query error: {m}"),
+            Error::Retriever(m) => write!(f, "retriever error: {m}"),
+            Error::Xml(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<monetxml::Error> for Error {
+    fn from(e: monetxml::Error) -> Self {
+        Error::Xml(e)
+    }
+}
+
+/// Result alias for conceptual-level operations.
+pub type Result<T> = std::result::Result<T, Error>;

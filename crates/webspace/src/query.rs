@@ -1,0 +1,409 @@
+//! Conceptual queries over a populated webspace.
+//!
+//! "Novel within the scope of search engines … is that it allows a user
+//! to integrate information stored in different documents in a single
+//! query" and "specific conceptual information can be fetched as the
+//! result of a query, rather than a bunch of relevant document URLs."
+//!
+//! A [`WebspaceIndex`] merges the materialized views of many documents
+//! into one object graph (objects with the same id contributed by
+//! different documents merge their attributes — the document *overlap*
+//! that makes cross-document queries possible). A [`ConceptualQuery`]
+//! selects objects of a class, filters on attribute predicates, and
+//! walks association chains; the result is conceptual data, not URLs.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::object::{Association, AttrValue, WebObject};
+use crate::schema::WebspaceSchema;
+use crate::view::MaterializedView;
+
+/// A predicate on one attribute of the current class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Attribute equals the given text (case-insensitive).
+    Eq {
+        /// Attribute name.
+        attr: String,
+        /// Expected value.
+        value: String,
+    },
+    /// Attribute text contains the needle (case-insensitive). For
+    /// `Hypertext` attributes the engine layer replaces this with ranked
+    /// full-text retrieval; here it is exact containment.
+    Contains {
+        /// Attribute name.
+        attr: String,
+        /// Substring to find.
+        needle: String,
+    },
+    /// Integer attribute within an inclusive range.
+    IntRange {
+        /// Attribute name.
+        attr: String,
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+}
+
+impl Predicate {
+    /// Evaluates against one object. Missing attributes fail the
+    /// predicate.
+    pub fn holds(&self, object: &WebObject) -> bool {
+        match self {
+            Predicate::Eq { attr, value } => object
+                .attr(attr)
+                .map(|v| v.lexical().eq_ignore_ascii_case(value))
+                .unwrap_or(false),
+            Predicate::Contains { attr, needle } => object
+                .attr(attr)
+                .map(|v| {
+                    v.lexical()
+                        .to_ascii_lowercase()
+                        .contains(&needle.to_ascii_lowercase())
+                })
+                .unwrap_or(false),
+            Predicate::IntRange { attr, lo, hi } => match object.attr(attr) {
+                Some(AttrValue::Int(i)) => i >= lo && i <= hi,
+                _ => false,
+            },
+        }
+    }
+}
+
+/// One join step: follow an association from the current class, filter
+/// the targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinStep {
+    /// Association name (must start at the current class).
+    pub association: String,
+    /// Predicates on the target objects.
+    pub predicates: Vec<Predicate>,
+}
+
+/// A conceptual query: class selection, predicates, association chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConceptualQuery {
+    /// The class the query starts from.
+    pub from_class: String,
+    /// Predicates on the starting class.
+    pub predicates: Vec<Predicate>,
+    /// Association chain to walk.
+    pub joins: Vec<JoinStep>,
+}
+
+impl ConceptualQuery {
+    /// A query over `class` with no predicates.
+    pub fn from_class(class: impl Into<String>) -> Self {
+        ConceptualQuery {
+            from_class: class.into(),
+            predicates: Vec::new(),
+            joins: Vec::new(),
+        }
+    }
+
+    /// Adds a predicate on the starting class (builder style).
+    pub fn filter(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// Adds a join step (builder style).
+    pub fn join(mut self, association: impl Into<String>, predicates: Vec<Predicate>) -> Self {
+        self.joins.push(JoinStep {
+            association: association.into(),
+            predicates,
+        });
+        self
+    }
+}
+
+/// One result row: the chain of matched object ids, starting class
+/// first, one per join step after.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Matched object ids along the chain.
+    pub chain: Vec<String>,
+}
+
+/// The merged object graph of a webspace.
+#[derive(Debug, Clone)]
+pub struct WebspaceIndex {
+    schema: WebspaceSchema,
+    objects: Vec<WebObject>,
+    by_id: HashMap<String, usize>,
+    associations: Vec<Association>,
+}
+
+impl WebspaceIndex {
+    /// An empty index over `schema`.
+    pub fn new(schema: WebspaceSchema) -> Self {
+        WebspaceIndex {
+            schema,
+            objects: Vec::new(),
+            by_id: HashMap::new(),
+            associations: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &WebspaceSchema {
+        &self.schema
+    }
+
+    /// Merges one materialized view into the index. Objects with an id
+    /// already present merge their attributes (later documents win on
+    /// conflicts); class mismatches are errors.
+    pub fn add_view(&mut self, view: &MaterializedView) -> Result<()> {
+        view.validate(&self.schema)?;
+        for object in &view.objects {
+            match self.by_id.get(&object.id) {
+                Some(&idx) => {
+                    let existing = &mut self.objects[idx];
+                    if existing.class != object.class {
+                        return Err(Error::Query(format!(
+                            "object `{}` is both {} and {}",
+                            object.id, existing.class, object.class
+                        )));
+                    }
+                    for (k, v) in &object.attrs {
+                        existing.attrs.insert(k.clone(), v.clone());
+                    }
+                }
+                None => {
+                    self.by_id.insert(object.id.clone(), self.objects.len());
+                    self.objects.push(object.clone());
+                }
+            }
+        }
+        for assoc in &view.associations {
+            if !self.associations.contains(assoc) {
+                self.associations.push(assoc.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// The object with id `id`.
+    pub fn object(&self, id: &str) -> Option<&WebObject> {
+        self.by_id.get(id).map(|&i| &self.objects[i])
+    }
+
+    /// All objects of `class`.
+    pub fn objects_of<'a>(&'a self, class: &'a str) -> impl Iterator<Item = &'a WebObject> + 'a {
+        self.objects.iter().filter(move |o| o.class == class)
+    }
+
+    /// Number of objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// All association instances.
+    pub fn associations(&self) -> &[Association] {
+        &self.associations
+    }
+
+    /// Targets of `association` from object `from`.
+    pub fn targets(&self, from: &str, association: &str) -> Vec<&WebObject> {
+        self.associations
+            .iter()
+            .filter(|a| a.name == association && a.from == from)
+            .filter_map(|a| self.object(&a.to))
+            .collect()
+    }
+
+    /// Executes a conceptual query.
+    pub fn execute(&self, query: &ConceptualQuery) -> Result<Vec<QueryResult>> {
+        // Validate against the schema first.
+        let mut class = self
+            .schema
+            .class(&query.from_class)
+            .ok_or_else(|| Error::Query(format!("unknown class `{}`", query.from_class)))?
+            .name
+            .clone();
+        for step in &query.joins {
+            let assoc = self.schema.association(&step.association).ok_or_else(|| {
+                Error::Query(format!("unknown association `{}`", step.association))
+            })?;
+            if assoc.from != class {
+                return Err(Error::Query(format!(
+                    "association `{}` starts at `{}`, not `{class}`",
+                    step.association, assoc.from
+                )));
+            }
+            class = assoc.to.clone();
+        }
+
+        // Seed: objects of the starting class passing all predicates.
+        let mut rows: Vec<Vec<String>> = self
+            .objects_of(&query.from_class)
+            .filter(|o| query.predicates.iter().all(|p| p.holds(o)))
+            .map(|o| vec![o.id.clone()])
+            .collect();
+
+        // Walk the association chain.
+        for step in &query.joins {
+            let mut next = Vec::new();
+            for row in rows {
+                let last = row.last().expect("rows are non-empty").clone();
+                for target in self.targets(&last, &step.association) {
+                    if step.predicates.iter().all(|p| p.holds(target)) {
+                        let mut extended = row.clone();
+                        extended.push(target.id.clone());
+                        next.push(extended);
+                    }
+                }
+            }
+            rows = next;
+        }
+
+        Ok(rows.into_iter().map(|chain| QueryResult { chain }).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::AttrValue;
+    use crate::paper::ausopen_schema;
+    use crate::schema::MediaType;
+
+    /// Two documents: a player page and an article page, overlapping on
+    /// the player object — the Figure 3 "slashed boxes" situation.
+    fn populated() -> WebspaceIndex {
+        let mut index = WebspaceIndex::new(ausopen_schema());
+
+        let mut player_page = MaterializedView::new("players/seles.html", "AustralianOpen");
+        player_page.objects.push(
+            WebObject::new("Player", "player:seles")
+                .with("name", AttrValue::Text("Monica Seles".into()))
+                .with("gender", AttrValue::Text("female".into()))
+                .with("hand", AttrValue::Text("left".into()))
+                .with(
+                    "history",
+                    AttrValue::Media {
+                        ty: MediaType::Hypertext,
+                        location: "players/seles-history.html".into(),
+                    },
+                ),
+        );
+        player_page.objects.push(
+            WebObject::new("Profile", "profile:seles")
+                .with("document", AttrValue::Uri("profiles/seles.xml".into()))
+                .with(
+                    "video",
+                    AttrValue::Media {
+                        ty: MediaType::Video,
+                        location: "http://x/seles-final.mpg".into(),
+                    },
+                ),
+        );
+        player_page
+            .associations
+            .push(Association::new("Is_covered_in", "player:seles", "profile:seles"));
+        index.add_view(&player_page).unwrap();
+
+        let mut article_page = MaterializedView::new("news/day1.html", "AustralianOpen");
+        article_page.objects.push(
+            WebObject::new("Article", "article:day1")
+                .with("title", AttrValue::Text("Seles storms into final".into())),
+        );
+        // The article page also mentions the player (overlap!), adding
+        // her country.
+        article_page.objects.push(
+            WebObject::new("Player", "player:seles")
+                .with("country", AttrValue::Text("USA".into())),
+        );
+        article_page
+            .associations
+            .push(Association::new("About", "article:day1", "player:seles"));
+        index.add_view(&article_page).unwrap();
+
+        index
+    }
+
+    #[test]
+    fn views_merge_objects_across_documents() {
+        let index = populated();
+        let seles = index.object("player:seles").unwrap();
+        // name came from the player page, country from the article page.
+        assert_eq!(seles.attr("name").unwrap().lexical(), "Monica Seles");
+        assert_eq!(seles.attr("country").unwrap().lexical(), "USA");
+        assert_eq!(index.object_count(), 3);
+    }
+
+    #[test]
+    fn select_with_predicates() {
+        let index = populated();
+        let q = ConceptualQuery::from_class("Player")
+            .filter(Predicate::Eq {
+                attr: "gender".into(),
+                value: "Female".into(), // case-insensitive
+            })
+            .filter(Predicate::Eq {
+                attr: "hand".into(),
+                value: "left".into(),
+            });
+        let rows = index.execute(&q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].chain, vec!["player:seles"]);
+    }
+
+    #[test]
+    fn join_walks_associations_across_documents() {
+        let index = populated();
+        // Article → About → Player → Is_covered_in → Profile: a single
+        // query integrating three documents.
+        let q = ConceptualQuery::from_class("Article")
+            .join("About", vec![Predicate::Eq {
+                attr: "hand".into(),
+                value: "left".into(),
+            }])
+            .join("Is_covered_in", vec![]);
+        let rows = index.execute(&q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].chain,
+            vec!["article:day1", "player:seles", "profile:seles"]
+        );
+    }
+
+    #[test]
+    fn join_from_wrong_class_is_rejected() {
+        let index = populated();
+        let q = ConceptualQuery::from_class("Player").join("About", vec![]);
+        assert!(index.execute(&q).is_err());
+    }
+
+    #[test]
+    fn unknown_class_is_rejected() {
+        let index = populated();
+        let q = ConceptualQuery::from_class("Ghost");
+        assert!(index.execute(&q).is_err());
+    }
+
+    #[test]
+    fn contains_predicate_matches_substrings() {
+        let index = populated();
+        let q = ConceptualQuery::from_class("Article").filter(Predicate::Contains {
+            attr: "title".into(),
+            needle: "final".into(),
+        });
+        assert_eq!(index.execute(&q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn class_conflict_on_merge_is_rejected() {
+        let mut index = populated();
+        let mut view = MaterializedView::new("bad.html", "AustralianOpen");
+        view.objects
+            .push(WebObject::new("Article", "player:seles"));
+        assert!(index.add_view(&view).is_err());
+    }
+}

@@ -1,0 +1,452 @@
+//! The web-object retriever: re-engineering HTML into views.
+//!
+//! "If a webspace is based on an already existing document collection, a
+//! reengineering process can be invoked. The process extracts the
+//! relevant data from the (HTML-)documents on a website, and stores it
+//! in XML-documents, which form a correct view over the webspace schema.
+//! The documents for the Australian Open search engine are generated in
+//! this manner, using a special purpose feature grammar."
+//!
+//! Here the "special purpose" knowledge is a set of [`TemplateRule`]s:
+//! CSS-class selectors mapping the site's presentation markup back to
+//! schema concepts. Pages are processed one by one ([`Retriever::extract_page`]);
+//! cross-page links (associations whose target is another page) resolve
+//! in a second pass ([`Retriever::finalize`]) once every page's object id
+//! is known — exactly how a crawler discovers a site.
+
+use std::collections::HashMap;
+
+use monetxml::{parse_document, Document, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::object::{Association, AttrValue, WebObject};
+use crate::schema::MediaType;
+use crate::view::MaterializedView;
+
+/// What to take from a selected element.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Take {
+    /// The element's (recursive) text content.
+    Text,
+    /// The value of an attribute (e.g. `href`, `src`).
+    Attr(String),
+}
+
+/// A CSS-ish selector: element tag plus required `class` token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Selector {
+    /// Element tag (`div`, `td`, …); empty matches any tag.
+    pub tag: String,
+    /// Required token in the element's `class` attribute.
+    pub class: String,
+    /// What to extract.
+    pub take: Take,
+}
+
+impl Selector {
+    /// `tag.class` extracting text.
+    pub fn text(tag: &str, class: &str) -> Self {
+        Selector {
+            tag: tag.to_owned(),
+            class: class.to_owned(),
+            take: Take::Text,
+        }
+    }
+
+    /// `tag.class` extracting an attribute.
+    pub fn attr(tag: &str, class: &str, attr: &str) -> Self {
+        Selector {
+            tag: tag.to_owned(),
+            class: class.to_owned(),
+            take: Take::Attr(attr.to_owned()),
+        }
+    }
+
+    fn matches(&self, doc: &Document, node: NodeId) -> bool {
+        let Some(tag) = doc.tag(node) else {
+            return false;
+        };
+        if !self.tag.is_empty() && tag != self.tag {
+            return false;
+        }
+        doc.attr(node, "class")
+            .map(|c| c.split_whitespace().any(|t| t == self.class))
+            .unwrap_or(false)
+    }
+
+    /// All extracted values under `root`, in document order.
+    pub fn extract_all(&self, doc: &Document, root: NodeId) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        let mut ordered = Vec::new();
+        while let Some(n) = stack.pop() {
+            ordered.push(n);
+            for c in doc.children(n).iter().rev() {
+                stack.push(*c);
+            }
+        }
+        for n in ordered {
+            if self.matches(doc, n) {
+                match &self.take {
+                    Take::Text => out.push(doc.text_content(n)),
+                    Take::Attr(a) => {
+                        if let Some(v) = doc.attr(n, a) {
+                            out.push(v.to_owned());
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// First extracted value under `root`.
+    pub fn extract_first(&self, doc: &Document, root: NodeId) -> Option<String> {
+        self.extract_all(doc, root).into_iter().next()
+    }
+}
+
+/// How an extracted attribute value is typed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Plain text.
+    Text,
+    /// A URI.
+    Uri,
+    /// A multimedia location.
+    Media(MediaType),
+}
+
+/// One attribute extraction rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrRule {
+    /// Schema attribute name.
+    pub attr: String,
+    /// Where to find it.
+    pub selector: Selector,
+    /// How to type it.
+    pub kind: AttrKind,
+}
+
+/// A template rule: pages matching `page_class` contain one object of
+/// `class`, identified by `id_prefix` + page key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateRule {
+    /// The schema class extracted by this rule.
+    pub class: String,
+    /// Token that must appear in the `<body class="…">` of the page for
+    /// this rule to apply.
+    pub page_class: String,
+    /// Object id = `{id_prefix}{page key}` where the page key is the
+    /// last path segment of the URL without extension.
+    pub id_prefix: String,
+    /// Attribute extraction rules.
+    pub attrs: Vec<AttrRule>,
+    /// Association rules: links on this page whose `href` target page
+    /// yields the association's target object.
+    pub links: Vec<LinkRule>,
+}
+
+/// A cross-page association rule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkRule {
+    /// The schema association name.
+    pub association: String,
+    /// Selector for the anchor elements carrying the link.
+    pub selector: Selector,
+}
+
+/// A pending cross-page link discovered during extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PendingLink {
+    association: String,
+    from: String,
+    target_url: String,
+}
+
+/// One page's extraction result (before link resolution).
+#[derive(Debug, Clone)]
+pub struct PageExtract {
+    /// The source URL.
+    pub url: String,
+    /// Extracted objects.
+    pub objects: Vec<WebObject>,
+    links: Vec<PendingLink>,
+}
+
+/// The web-object retriever.
+#[derive(Debug, Clone, Default)]
+pub struct Retriever {
+    schema_name: String,
+    rules: Vec<TemplateRule>,
+}
+
+impl Retriever {
+    /// A retriever producing views over the named schema.
+    pub fn new(schema_name: impl Into<String>) -> Self {
+        Retriever {
+            schema_name: schema_name.into(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// Adds a template rule.
+    pub fn rule(mut self, rule: TemplateRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Extracts the web objects of one HTML page.
+    pub fn extract_page(&self, url: &str, html: &str) -> Result<PageExtract> {
+        let doc = parse_document(html).map_err(Error::Xml)?;
+        let root = doc.root();
+        let body_class = find_body_class(&doc, root).unwrap_or_default();
+        let key = page_key(url);
+
+        let mut objects = Vec::new();
+        let mut links = Vec::new();
+        for rule in &self.rules {
+            if !body_class
+                .split_whitespace()
+                .any(|t| t == rule.page_class)
+            {
+                continue;
+            }
+            let id = format!("{}{key}", rule.id_prefix);
+            let mut object = WebObject::new(rule.class.clone(), id.clone());
+            for ar in &rule.attrs {
+                if let Some(raw) = ar.selector.extract_first(&doc, root) {
+                    let value = match &ar.kind {
+                        AttrKind::Text => AttrValue::Text(raw),
+                        AttrKind::Uri => AttrValue::Uri(raw),
+                        AttrKind::Media(ty) => AttrValue::Media {
+                            ty: *ty,
+                            location: raw,
+                        },
+                    };
+                    object.attrs.insert(ar.attr.clone(), value);
+                }
+            }
+            for lr in &rule.links {
+                for target_url in lr.selector.extract_all(&doc, root) {
+                    links.push(PendingLink {
+                        association: lr.association.clone(),
+                        from: id.clone(),
+                        target_url,
+                    });
+                }
+            }
+            objects.push(object);
+        }
+        Ok(PageExtract {
+            url: url.to_owned(),
+            objects,
+            links,
+        })
+    }
+
+    /// Resolves cross-page links and produces one materialized view per
+    /// page. Links whose target page yielded no object are dropped (the
+    /// paper's crawler simply cannot re-engineer them).
+    pub fn finalize(&self, extracts: Vec<PageExtract>) -> Vec<MaterializedView> {
+        // URL → primary object id of the page.
+        let mut primary: HashMap<String, String> = HashMap::new();
+        for e in &extracts {
+            if let Some(first) = e.objects.first() {
+                primary.insert(e.url.clone(), first.id.clone());
+            }
+        }
+        extracts
+            .into_iter()
+            .map(|e| {
+                let mut view = MaterializedView::new(e.url.clone(), self.schema_name.clone());
+                view.objects = e.objects;
+                for link in e.links {
+                    if let Some(to) = primary.get(&link.target_url) {
+                        view.associations.push(Association::new(
+                            link.association,
+                            link.from,
+                            to.clone(),
+                        ));
+                    }
+                }
+                view
+            })
+            .collect()
+    }
+}
+
+fn find_body_class(doc: &Document, root: NodeId) -> Option<String> {
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if doc.tag(n) == Some("body") {
+            return doc.attr(n, "class").map(str::to_owned);
+        }
+        for c in doc.children(n) {
+            stack.push(*c);
+        }
+    }
+    None
+}
+
+/// The last path segment of a URL without its extension:
+/// `http://site/players/seles.html` → `seles`.
+pub fn page_key(url: &str) -> String {
+    let tail = url.rsplit('/').next().unwrap_or(url);
+    tail.split('.').next().unwrap_or(tail).to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLAYER_PAGE: &str = r#"
+<html>
+  <head><title>Monica Seles - Australian Open</title></head>
+  <body class="page bio-page">
+    <div class="bio">
+      <h1 class="player-name">Monica Seles</h1>
+      <table class="factbox">
+        <tr><td>Gender</td><td class="gender">female</td></tr>
+        <tr><td>Country</td><td class="country">USA</td></tr>
+        <tr><td>Plays</td><td class="hand">left</td></tr>
+      </table>
+      <img class="portrait" src="http://site/img/seles.jpg"/>
+      <div class="history">Winner of the Australian Open 1991 1992 1993 1996.</div>
+    </div>
+    <div class="media">
+      <a class="profile-link" href="http://site/profiles/seles.html">profile</a>
+    </div>
+  </body>
+</html>"#;
+
+    fn player_rule() -> TemplateRule {
+        TemplateRule {
+            class: "Player".into(),
+            page_class: "bio-page".into(),
+            id_prefix: "player:".into(),
+            attrs: vec![
+                AttrRule {
+                    attr: "name".into(),
+                    selector: Selector::text("h1", "player-name"),
+                    kind: AttrKind::Text,
+                },
+                AttrRule {
+                    attr: "gender".into(),
+                    selector: Selector::text("td", "gender"),
+                    kind: AttrKind::Text,
+                },
+                AttrRule {
+                    attr: "hand".into(),
+                    selector: Selector::text("td", "hand"),
+                    kind: AttrKind::Text,
+                },
+                AttrRule {
+                    attr: "picture".into(),
+                    selector: Selector::attr("img", "portrait", "src"),
+                    kind: AttrKind::Media(MediaType::Image),
+                },
+                AttrRule {
+                    attr: "history".into(),
+                    selector: Selector::text("div", "history"),
+                    kind: AttrKind::Text,
+                },
+            ],
+            links: vec![LinkRule {
+                association: "Is_covered_in".into(),
+                selector: Selector::attr("a", "profile-link", "href"),
+            }],
+        }
+    }
+
+    fn profile_rule() -> TemplateRule {
+        TemplateRule {
+            class: "Profile".into(),
+            page_class: "profile-page".into(),
+            id_prefix: "profile:".into(),
+            attrs: vec![AttrRule {
+                attr: "video".into(),
+                selector: Selector::attr("a", "match-video", "href"),
+                kind: AttrKind::Media(MediaType::Video),
+            }],
+            links: vec![],
+        }
+    }
+
+    const PROFILE_PAGE: &str = r#"
+<html><head><title>Profile</title></head>
+<body class="page profile-page">
+  <a class="match-video" href="http://site/video/seles-final.mpg">final</a>
+</body></html>"#;
+
+    #[test]
+    fn extracts_player_attributes_from_presentation_markup() {
+        let retriever = Retriever::new("AustralianOpen").rule(player_rule());
+        let extract = retriever
+            .extract_page("http://site/players/seles.html", PLAYER_PAGE)
+            .unwrap();
+        assert_eq!(extract.objects.len(), 1);
+        let player = &extract.objects[0];
+        assert_eq!(player.id, "player:seles");
+        assert_eq!(player.attr("name").unwrap().lexical(), "Monica Seles");
+        assert_eq!(player.attr("gender").unwrap().lexical(), "female");
+        assert_eq!(player.attr("hand").unwrap().lexical(), "left");
+        assert_eq!(
+            player.attr("picture").unwrap().lexical(),
+            "http://site/img/seles.jpg"
+        );
+        assert!(player
+            .attr("history")
+            .unwrap()
+            .lexical()
+            .contains("Winner"));
+    }
+
+    #[test]
+    fn cross_page_links_resolve_to_associations() {
+        let retriever = Retriever::new("AustralianOpen")
+            .rule(player_rule())
+            .rule(profile_rule());
+        let extracts = vec![
+            retriever
+                .extract_page("http://site/players/seles.html", PLAYER_PAGE)
+                .unwrap(),
+            retriever
+                .extract_page("http://site/profiles/seles.html", PROFILE_PAGE)
+                .unwrap(),
+        ];
+        let views = retriever.finalize(extracts);
+        assert_eq!(views.len(), 2);
+        let assoc = &views[0].associations[0];
+        assert_eq!(assoc.name, "Is_covered_in");
+        assert_eq!(assoc.from, "player:seles");
+        assert_eq!(assoc.to, "profile:seles");
+    }
+
+    #[test]
+    fn pages_without_matching_template_yield_nothing() {
+        let retriever = Retriever::new("AustralianOpen").rule(player_rule());
+        let extract = retriever
+            .extract_page("http://site/profiles/seles.html", PROFILE_PAGE)
+            .unwrap();
+        assert!(extract.objects.is_empty());
+    }
+
+    #[test]
+    fn dangling_links_are_dropped() {
+        let retriever = Retriever::new("AustralianOpen").rule(player_rule());
+        let extracts = vec![retriever
+            .extract_page("http://site/players/seles.html", PLAYER_PAGE)
+            .unwrap()];
+        let views = retriever.finalize(extracts);
+        assert!(views[0].associations.is_empty());
+    }
+
+    #[test]
+    fn page_key_strips_path_and_extension() {
+        assert_eq!(page_key("http://site/players/seles.html"), "seles");
+        assert_eq!(page_key("seles"), "seles");
+        assert_eq!(page_key("http://site/"), "");
+    }
+}

@@ -1,0 +1,252 @@
+//! Materialized views as XML documents.
+//!
+//! "This collection is stored as XML documents in the XML storage level
+//! … each document contains a materialized view over the webspace
+//! schema; it contains both content and schematic information." The XML
+//! encoding below carries class and attribute names explicitly, so a
+//! view is self-describing against its schema.
+
+use monetxml::Document;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::object::{Association, AttrValue, WebObject};
+use crate::schema::{MediaType, WebspaceSchema};
+
+/// One materialized view: the web objects and association instances one
+/// document contributes to the webspace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaterializedView {
+    /// Document name (usually the source URL).
+    pub name: String,
+    /// The schema this view materialises.
+    pub schema: String,
+    /// Web objects described by this document.
+    pub objects: Vec<WebObject>,
+    /// Association instances described by this document.
+    pub associations: Vec<Association>,
+}
+
+impl MaterializedView {
+    /// An empty view over `schema`.
+    pub fn new(name: impl Into<String>, schema: impl Into<String>) -> Self {
+        MaterializedView {
+            name: name.into(),
+            schema: schema.into(),
+            objects: Vec::new(),
+            associations: Vec::new(),
+        }
+    }
+
+    /// Validates every object against the schema and every association
+    /// name against its definition.
+    pub fn validate(&self, schema: &WebspaceSchema) -> Result<()> {
+        for o in &self.objects {
+            o.validate(schema)?;
+        }
+        for a in &self.associations {
+            if schema.association(&a.name).is_none() {
+                return Err(Error::View(format!("unknown association `{}`", a.name)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialises the view to its XML document form.
+    pub fn to_document(&self) -> Document {
+        let mut doc = Document::new("view");
+        let root = doc.root();
+        doc.set_attr(root, "schema", self.schema.clone());
+        doc.set_attr(root, "name", self.name.clone());
+        for object in &self.objects {
+            let obj = doc.add_element(root, "object");
+            doc.set_attr(obj, "class", object.class.clone());
+            doc.set_attr(obj, "id", object.id.clone());
+            for (name, value) in &object.attrs {
+                let attr = doc.add_element(obj, "attr");
+                doc.set_attr(attr, "name", name.clone());
+                match value {
+                    AttrValue::Text(s) => {
+                        doc.set_attr(attr, "type", "text");
+                        doc.add_cdata(attr, s.clone());
+                    }
+                    AttrValue::Int(i) => {
+                        doc.set_attr(attr, "type", "int");
+                        doc.add_cdata(attr, i.to_string());
+                    }
+                    AttrValue::Float(x) => {
+                        doc.set_attr(attr, "type", "float");
+                        doc.add_cdata(attr, x.to_string());
+                    }
+                    AttrValue::Uri(u) => {
+                        doc.set_attr(attr, "type", "uri");
+                        doc.add_cdata(attr, u.clone());
+                    }
+                    AttrValue::Media { ty, location } => {
+                        doc.set_attr(attr, "type", media_tag(*ty));
+                        doc.set_attr(attr, "location", location.clone());
+                    }
+                }
+            }
+        }
+        for assoc in &self.associations {
+            let a = doc.add_element(root, "association");
+            doc.set_attr(a, "name", assoc.name.clone());
+            doc.set_attr(a, "from", assoc.from.clone());
+            doc.set_attr(a, "to", assoc.to.clone());
+        }
+        doc
+    }
+
+    /// Reconstructs a view from its XML form.
+    pub fn from_document(doc: &Document) -> Result<MaterializedView> {
+        let root = doc.root();
+        if doc.tag(root) != Some("view") {
+            return Err(Error::View("expected <view> root".into()));
+        }
+        let mut view = MaterializedView::new(
+            doc.attr(root, "name").unwrap_or_default(),
+            doc.attr(root, "schema").unwrap_or_default(),
+        );
+        for child in doc.children(root) {
+            match doc.tag(*child) {
+                Some("object") => {
+                    let class = doc
+                        .attr(*child, "class")
+                        .ok_or_else(|| Error::View("object without class".into()))?;
+                    let id = doc
+                        .attr(*child, "id")
+                        .ok_or_else(|| Error::View("object without id".into()))?;
+                    let mut object = WebObject::new(class, id);
+                    for attr_el in doc.children_by_tag(*child, "attr") {
+                        let name = doc
+                            .attr(attr_el, "name")
+                            .ok_or_else(|| Error::View("attr without name".into()))?
+                            .to_owned();
+                        let ty = doc.attr(attr_el, "type").unwrap_or("text");
+                        let text = doc
+                            .children(attr_el)
+                            .first()
+                            .and_then(|c| doc.text(*c))
+                            .unwrap_or("");
+                        let value = decode_attr(ty, text, doc.attr(attr_el, "location"))?;
+                        object.attrs.insert(name, value);
+                    }
+                    view.objects.push(object);
+                }
+                Some("association") => {
+                    let get = |k: &str| {
+                        doc.attr(*child, k)
+                            .map(str::to_owned)
+                            .ok_or_else(|| Error::View(format!("association without {k}")))
+                    };
+                    view.associations.push(Association {
+                        name: get("name")?,
+                        from: get("from")?,
+                        to: get("to")?,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(view)
+    }
+}
+
+fn media_tag(ty: MediaType) -> &'static str {
+    match ty {
+        MediaType::Hypertext => "hypertext",
+        MediaType::Image => "image",
+        MediaType::Video => "video",
+        MediaType::Audio => "audio",
+    }
+}
+
+fn decode_attr(ty: &str, text: &str, location: Option<&str>) -> Result<AttrValue> {
+    Ok(match ty {
+        "text" => AttrValue::Text(text.to_owned()),
+        "int" => AttrValue::Int(
+            text.parse()
+                .map_err(|_| Error::View(format!("bad int `{text}`")))?,
+        ),
+        "float" => AttrValue::Float(
+            text.parse()
+                .map_err(|_| Error::View(format!("bad float `{text}`")))?,
+        ),
+        "uri" => AttrValue::Uri(text.to_owned()),
+        "hypertext" | "image" | "video" | "audio" => {
+            let media_ty = match ty {
+                "hypertext" => MediaType::Hypertext,
+                "image" => MediaType::Image,
+                "video" => MediaType::Video,
+                _ => MediaType::Audio,
+            };
+            AttrValue::Media {
+                ty: media_ty,
+                location: location
+                    .ok_or_else(|| Error::View("media attr without location".into()))?
+                    .to_owned(),
+            }
+        }
+        other => return Err(Error::View(format!("unknown attr type `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_view() -> MaterializedView {
+        let mut view = MaterializedView::new("players/seles.html", "AustralianOpen");
+        view.objects.push(
+            WebObject::new("Player", "player:seles")
+                .with("name", AttrValue::Text("Monica Seles".into()))
+                .with("ranking", AttrValue::Int(1))
+                .with(
+                    "video",
+                    AttrValue::Media {
+                        ty: MediaType::Video,
+                        location: "http://x/final.mpg".into(),
+                    },
+                ),
+        );
+        view.associations
+            .push(Association::new("About", "article:1", "player:seles"));
+        view
+    }
+
+    #[test]
+    fn xml_round_trip_is_identity() {
+        let view = sample_view();
+        let doc = view.to_document();
+        let back = MaterializedView::from_document(&doc).unwrap();
+        assert_eq!(back, view);
+    }
+
+    #[test]
+    fn round_trip_through_text_serialisation() {
+        let view = sample_view();
+        let xml = monetxml::to_xml(&view.to_document());
+        let doc = monetxml::parse_document(&xml).unwrap();
+        assert_eq!(MaterializedView::from_document(&doc).unwrap(), view);
+    }
+
+    #[test]
+    fn wrong_root_is_rejected() {
+        let doc = Document::new("not_a_view");
+        assert!(MaterializedView::from_document(&doc).is_err());
+    }
+
+    #[test]
+    fn media_without_location_is_rejected() {
+        let mut doc = Document::new("view");
+        let root = doc.root();
+        let obj = doc.add_element(root, "object");
+        doc.set_attr(obj, "class", "Player");
+        doc.set_attr(obj, "id", "p");
+        let attr = doc.add_element(obj, "attr");
+        doc.set_attr(attr, "name", "video");
+        doc.set_attr(attr, "type", "video");
+        assert!(MaterializedView::from_document(&doc).is_err());
+    }
+}

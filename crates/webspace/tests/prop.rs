@@ -1,0 +1,120 @@
+//! Property tests for the conceptual level: materialized views survive
+//! the XML round trip for arbitrary object graphs, and index merging is
+//! order-insensitive where the paper requires it.
+
+use proptest::prelude::*;
+use webspace::{
+    Association, AttrValue, MaterializedView, MediaType, WebObject, WebspaceIndex,
+};
+
+fn arb_attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        "[ -~]{0,24}".prop_map(|s| AttrValue::Text(s.trim().to_owned())),
+        any::<i64>().prop_map(AttrValue::Int),
+        (-1.0e9f64..1.0e9).prop_map(AttrValue::Float),
+        "[a-z]{1,12}".prop_map(|s| AttrValue::Uri(format!("http://x/{s}"))),
+        ("[a-z]{1,12}", 0usize..4).prop_map(|(s, t)| AttrValue::Media {
+            ty: match t {
+                0 => MediaType::Hypertext,
+                1 => MediaType::Image,
+                2 => MediaType::Video,
+                _ => MediaType::Audio,
+            },
+            location: format!("http://x/{s}"),
+        }),
+    ]
+}
+
+fn arb_object(idx: usize) -> impl Strategy<Value = WebObject> {
+    prop::collection::vec(("[a-z]{1,8}", arb_attr_value()), 0..5).prop_map(move |attrs| {
+        let mut o = WebObject::new("Thing", format!("thing:{idx}"));
+        for (name, value) in attrs {
+            o.attrs.insert(name, value);
+        }
+        o
+    })
+}
+
+fn arb_view() -> impl Strategy<Value = MaterializedView> {
+    prop::collection::vec(any::<u8>(), 1..6).prop_flat_map(|ids| {
+        let objects: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_object(i))
+            .collect();
+        (objects, prop::collection::vec((0usize..5, 0usize..5), 0..4)).prop_map(
+            |(objects, links)| {
+                let mut view = MaterializedView::new("prop.html", "PropSpace");
+                let n = objects.len();
+                view.objects = objects;
+                for (a, b) in links {
+                    if a < n && b < n {
+                        view.associations.push(Association::new(
+                            "Linked",
+                            format!("thing:{a}"),
+                            format!("thing:{b}"),
+                        ));
+                    }
+                }
+                view
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn views_round_trip_through_xml_text(view in arb_view()) {
+        let xml = monetxml::to_xml(&view.to_document());
+        let doc = monetxml::parse_document(&xml).unwrap();
+        let back = MaterializedView::from_document(&doc).unwrap();
+        prop_assert_eq!(back, view);
+    }
+
+    #[test]
+    fn index_merge_is_view_order_insensitive_for_disjoint_views(
+        mut views in prop::collection::vec(arb_view(), 1..4),
+        order_seed in any::<u64>(),
+    ) {
+        // Rename ids so views are disjoint (merging semantics for
+        // overlapping attrs is last-wins, hence order-sensitive by
+        // design; disjoint views must commute).
+        let mut schema = webspace::WebspaceSchema::new("PropSpace");
+        schema.add_class("Thing", vec![]).unwrap();
+        schema.add_association("Linked", "Thing", "Thing").unwrap();
+        // Allow arbitrary attrs: validation would reject unknown attrs,
+        // so strip them for this property.
+        for (vi, view) in views.iter_mut().enumerate() {
+            for o in view.objects.iter_mut() {
+                o.id = format!("v{vi}:{}", o.id);
+                o.attrs.clear();
+            }
+            for a in view.associations.iter_mut() {
+                a.from = format!("v{vi}:{}", a.from);
+                a.to = format!("v{vi}:{}", a.to);
+            }
+        }
+
+        let mut forward = WebspaceIndex::new(schema.clone());
+        for v in &views {
+            forward.add_view(v).unwrap();
+        }
+        let mut shuffled = views.clone();
+        // Deterministic pseudo-shuffle.
+        if shuffled.len() > 1 {
+            let k = (order_seed as usize) % shuffled.len();
+            shuffled.rotate_left(k);
+        }
+        let mut backward = WebspaceIndex::new(schema);
+        for v in &shuffled {
+            backward.add_view(v).unwrap();
+        }
+        prop_assert_eq!(forward.object_count(), backward.object_count());
+        prop_assert_eq!(
+            forward.associations().len(),
+            backward.associations().len()
+        );
+    }
+}

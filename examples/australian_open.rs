@@ -1,0 +1,100 @@
+//! The full Australian Open scenario: several conceptual, content-based
+//! and mixed queries over the populated engine — the workloads the
+//! paper's introduction motivates.
+//!
+//! Run with `cargo run --example australian_open`.
+
+use std::sync::Arc;
+
+use dlsearch::{ausopen, qlang, Engine};
+use websim::{crawl, Site, SiteSpec};
+
+fn run(engine: &mut Engine, label: &str, query: &str) -> Result<(), Box<dyn std::error::Error>> {
+    println!("── {label}");
+    println!("{}", query.trim());
+    let hits = engine.query(&qlang::parse(query)?)?;
+    if hits.is_empty() {
+        println!("   (no answers)");
+    }
+    for hit in &hits {
+        print!("   {}", hit.chain.join(" → "));
+        if hit.score > 0.0 {
+            print!("  [score {:.3}]", hit.score);
+        }
+        if !hit.shots.is_empty() {
+            let spans: Vec<String> = hit
+                .shots
+                .iter()
+                .map(|s| format!("{}..{}", s.begin, s.end))
+                .collect();
+            print!("  shots {}", spans.join(", "));
+        }
+        println!();
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let site = Arc::new(Site::generate(SiteSpec::default()));
+    let mut engine = ausopen::engine(Arc::clone(&site))?;
+    let report = engine.populate(&crawl(&site))?;
+    println!(
+        "indexed {} pages / {} objects / {} videos\n",
+        report.pages, report.objects, report.media_analyzed
+    );
+
+    // Pure conceptual search: "ask directly for the history of the
+    // player with name Monica Seles" (the motivating example).
+    run(
+        &mut engine,
+        "conceptual lookup",
+        r#"FROM Player WHERE name CONTAINS "Seles""#,
+    )?;
+
+    // Conceptual join across documents: articles about left-handers.
+    run(
+        &mut engine,
+        "cross-document join",
+        r#"FROM Article VIA About TOP 5"#,
+    )?;
+
+    // Ranked text retrieval inside a concept.
+    run(
+        &mut engine,
+        "ranked hypertext search",
+        r#"FROM Player TEXT history CONTAINS "Winner Australian" TOP 5"#,
+    )?;
+
+    // Content-based only: all players whose match videos contain a net
+    // approach.
+    run(
+        &mut engine,
+        "content-based video search",
+        r#"FROM Player VIA Is_covered_in MEDIA video HAS netplay TOP 20"#,
+    )?;
+
+    // Content-based audio search: profiles with a real post-match
+    // interview (speech-majority audio with speaker turns).
+    run(
+        &mut engine,
+        "content-based audio search",
+        r#"FROM Player VIA Is_covered_in MEDIA interview HAS isInterview TOP 5"#,
+    )?;
+
+    // The Figure 13 flagship: everything at once.
+    run(
+        &mut engine,
+        "Figure 13 — the integrated query",
+        r#"
+        FROM Player
+        WHERE gender = "female" AND hand = "left"
+        TEXT history CONTAINS "Winner"
+        VIA Is_covered_in
+        MEDIA video HAS netplay
+        TOP 10
+        "#,
+    )?;
+
+    Ok(())
+}

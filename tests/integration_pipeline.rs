@@ -1,0 +1,136 @@
+//! Figure 2 — the global system architecture, end to end:
+//! crawler → web-object retriever → XML view storage → feature grammar
+//! analysis → meta-index → integrated query.
+
+use std::sync::Arc;
+
+use dlsearch::ausopen;
+use websim::{crawl, Site, SiteSpec};
+
+fn spec() -> SiteSpec {
+    SiteSpec {
+        players: 6,
+        articles: 8,
+        seed: 77,
+    }
+}
+
+#[test]
+fn populate_report_matches_the_site() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    let pages = crawl(&site);
+    let report = engine.populate(&pages).unwrap();
+
+    assert_eq!(report.pages, site.page_count());
+    // One Player + one Profile per player, one Article per article.
+    assert_eq!(report.objects, 2 * 6 + 8);
+    // history per player + body per article.
+    assert_eq!(report.text_documents, 6 + 8);
+    // One video + one interview clip per player, none rejected.
+    assert_eq!(report.media_analyzed, 12);
+    assert_eq!(report.media_rejected, 0);
+    assert!(report.detector_calls > 0);
+    // Associations: player→profile and article→player (≥ 1 each).
+    assert!(report.associations >= 6 + 8);
+}
+
+#[test]
+fn conceptual_views_are_stored_as_xml_documents() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+
+    // Every page that yielded objects has a stored view document.
+    let views = engine.views();
+    assert!(views.document_count() >= 2 * 6 + 8);
+    // The path summary reflects the view encoding.
+    let relations = views.summary().all_relations();
+    assert!(relations.iter().any(|r| r == "view/object"));
+    assert!(relations.iter().any(|r| r == "view/object[class]"));
+    assert!(relations.iter().any(|r| r == "view/association[name]"));
+}
+
+#[test]
+fn meta_index_holds_one_tree_per_media_object() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+
+    assert_eq!(engine.meta().sources().len(), 12);
+    for p in &site.players {
+        assert!(engine.meta().contains(&p.video_url), "{}", p.video_url);
+        assert!(engine.meta().contains(&p.audio_url), "{}", p.audio_url);
+    }
+}
+
+#[test]
+fn netplay_meta_data_matches_cobra_ground_truth() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+
+    let grammar = engine.grammar().clone();
+    for p in site.players.clone() {
+        let tree = engine.meta_mut().tree(&grammar, &p.video_url).unwrap();
+        let shots = dlsearch::video_shots(&tree);
+        assert!(!shots.is_empty());
+        let any_netplay = shots.iter().any(|s| s.netplay == Some(true));
+        assert_eq!(any_netplay, p.video_has_netplay, "{}", p.key);
+        // Shot boundaries align with the generated broadcast: 8 shots.
+        assert_eq!(shots.len(), 8, "{}", p.key);
+        // Tennis/cutaway alternation survived the whole pipeline.
+        let tennis_count = shots.iter().filter(|s| s.is_tennis).count();
+        assert_eq!(tennis_count, 4, "{}", p.key);
+    }
+}
+
+#[test]
+fn interview_meta_data_matches_audio_ground_truth() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+
+    let grammar = engine.grammar().clone();
+    for p in site.players.clone() {
+        let tree = engine.meta_mut().tree(&grammar, &p.audio_url).unwrap();
+        let verdicts: Vec<_> = tree
+            .find_all("isInterview")
+            .into_iter()
+            .filter_map(|n| tree.value(n).cloned())
+            .collect();
+        assert_eq!(verdicts.len(), 1, "{}", p.key);
+        assert_eq!(
+            verdicts[0],
+            feagram::FeatureValue::Bit(p.audio_is_interview),
+            "{}",
+            p.key
+        );
+    }
+}
+
+#[test]
+fn interviews_are_queryable_as_media_events() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+
+    let q = dlsearch::qlang::parse(
+        "FROM Player VIA Is_covered_in MEDIA interview HAS isInterview TOP 100",
+    )
+    .unwrap();
+    let hits = engine.query(&q).unwrap();
+    let expected = site.players.iter().filter(|p| p.audio_is_interview).count();
+    assert_eq!(hits.len(), expected);
+}
+
+#[test]
+fn repopulating_a_fresh_engine_is_deterministic() {
+    let site = Arc::new(Site::generate(spec()));
+    let pages = crawl(&site);
+    let mut e1 = ausopen::engine(Arc::clone(&site)).unwrap();
+    let r1 = e1.populate(&pages).unwrap();
+    let mut e2 = ausopen::engine(Arc::clone(&site)).unwrap();
+    let r2 = e2.populate(&pages).unwrap();
+    assert_eq!(r1, r2);
+}

@@ -1,0 +1,167 @@
+//! The maintenance stage: detector evolution handled by the FDS.
+//!
+//! "The real benefit of a feature grammar shows when the feature
+//! detector algorithms change and the index has to be updated."
+
+use std::sync::Arc;
+
+use acoi::{RevisionLevel, Token};
+use dlsearch::{ausopen, qlang};
+use websim::{crawl, Site, SiteSpec};
+
+fn populated_engine(seed: u64) -> (Arc<Site>, dlsearch::Engine) {
+    let site = Arc::new(Site::generate(SiteSpec {
+        players: 4,
+        articles: 4,
+        seed,
+    }));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+    (site, engine)
+}
+
+#[test]
+fn correction_revision_changes_nothing() {
+    let (_, mut engine) = populated_engine(31);
+    let report = engine
+        .upgrade_detector(
+            "tennis",
+            RevisionLevel::Correction,
+            Box::new(|_| Ok(vec![])),
+        )
+        .unwrap();
+    assert_eq!(report.objects_reparsed, 0);
+    assert_eq!(report.detector_calls, 0);
+    // 4 video trees + 4 interview trees, all untouched.
+    assert_eq!(report.objects_untouched, 8);
+}
+
+#[test]
+fn minor_revision_reuses_header_and_segment_results() {
+    let (_, mut engine) = populated_engine(32);
+    // A new tracker implementation: the player is reported glued to the
+    // net in every frame.
+    let report = engine
+        .upgrade_detector(
+            "tennis",
+            RevisionLevel::Minor,
+            Box::new(|inputs| {
+                let begin = inputs[1].as_f64().ok_or("no begin")? as i64;
+                Ok(vec![
+                    Token::new("frameNo", begin),
+                    Token::new("xPos", 320.0),
+                    Token::new("yPos", 100.0),
+                    Token::new("Area", 1000i64),
+                    Token::new("Ecc", 0.9),
+                    Token::new("Orient", 90.0),
+                ])
+            }),
+        )
+        .unwrap();
+
+    assert_eq!(report.objects_reparsed, 4);
+    // Each video: 4 tennis shots re-analysed, header + segment reused.
+    assert_eq!(report.detector_calls, 4 * 4);
+    assert_eq!(report.detector_calls_saved, 4 * 2);
+
+    // The change is queryable: every player's video now has netplay in
+    // every tennis shot.
+    let q = qlang::parse("FROM Player VIA Is_covered_in MEDIA video HAS netplay TOP 100")
+        .unwrap();
+    let hits = engine.query(&q).unwrap();
+    assert_eq!(hits.len(), 4);
+    for hit in &hits {
+        assert_eq!(hit.shots.len(), 4);
+    }
+}
+
+#[test]
+fn major_revision_of_segment_cascades_to_tennis() {
+    let (_, mut engine) = populated_engine(33);
+    // One giant tennis shot per video.
+    let report = engine
+        .upgrade_detector(
+            "segment",
+            RevisionLevel::Major,
+            Box::new(|_| {
+                Ok(vec![
+                    Token::new("frameNo", 0i64),
+                    Token::new("frameNo", 319i64),
+                    Token::new("type", "tennis"),
+                ])
+            }),
+        )
+        .unwrap();
+    assert_eq!(report.objects_reparsed, 4);
+    // Only header results were reusable.
+    assert_eq!(report.detector_calls_saved, 4);
+    assert!(report.plan.invalidated.contains("tennis"));
+    assert!(report.plan.invalidated.contains("netplay"));
+
+    let grammar = engine.grammar().clone();
+    let sources: Vec<String> = engine.meta().sources().to_vec();
+    for source in sources {
+        // Only the video trees contain shots; interview trees were
+        // untouched by the segment revision.
+        if !source.ends_with(".mpg") {
+            continue;
+        }
+        let tree = engine.meta_mut().tree(&grammar, &source).unwrap();
+        assert_eq!(dlsearch::video_shots(&tree).len(), 1, "{source}");
+    }
+}
+
+#[test]
+fn incremental_maintenance_beats_full_rebuild_on_detector_calls() {
+    // The quantitative heart of the flexibility claim (experiment E3's
+    // correctness side): a tennis revision re-runs tennis only.
+    let (site, mut engine) = populated_engine(34);
+    let report = engine
+        .upgrade_detector(
+            "tennis",
+            RevisionLevel::Minor,
+            Box::new(|inputs| {
+                let begin = inputs[1].as_f64().ok_or("no begin")? as i64;
+                Ok(vec![
+                    Token::new("frameNo", begin),
+                    Token::new("xPos", 1.0),
+                    Token::new("yPos", 400.0),
+                    Token::new("Area", 900i64),
+                    Token::new("Ecc", 0.8),
+                    Token::new("Orient", 80.0),
+                ])
+            }),
+        )
+        .unwrap();
+
+    // A full rebuild would have cost (header + segment + 4×tennis) per
+    // video; incremental cost is 4×tennis per video.
+    let full_rebuild_calls = site.players.len() * (1 + 1 + 4);
+    let incremental_calls = report.detector_calls;
+    assert_eq!(incremental_calls, site.players.len() * 4);
+    assert!(incremental_calls < full_rebuild_calls);
+    assert_eq!(
+        report.detector_calls + report.detector_calls_saved,
+        full_rebuild_calls
+    );
+}
+
+#[test]
+fn source_data_change_regenerates_only_that_tree() {
+    let (site, mut engine) = populated_engine(35);
+    let victim = site.players[0].video_url.clone();
+    let untouched = site.players[1].video_url.clone();
+
+    // Simulate: the victim video changed on the web; the other did not.
+    let changed_url = victim.clone();
+    let check = move |s: &str| s != changed_url; // valid unless victim
+    assert!(engine.refresh_source(&victim, &check).unwrap());
+    assert!(!engine.refresh_source(&untouched, &check).unwrap());
+
+    // Both trees still answer queries.
+    let grammar = engine.grammar().clone();
+    for url in [&victim, &untouched] {
+        let tree = engine.meta_mut().tree(&grammar, url).unwrap();
+        assert_eq!(dlsearch::video_shots(&tree).len(), 8, "{url}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Figures 6, 7 and 14 — the paper's grammar fragments run, verbatim,
+//! against real (simulated) objects.
+
+use std::sync::Arc;
+
+use acoi::{Fde, Token};
+use feagram::FeatureValue;
+use websim::{Site, SiteSpec};
+
+#[test]
+fn video_grammar_analyses_a_site_video_end_to_end() {
+    let site = Arc::new(Site::generate(SiteSpec {
+        players: 3,
+        articles: 0,
+        seed: 9,
+    }));
+    let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+    let mut registry = dlsearch::ausopen::detectors(Arc::clone(&site));
+
+    let player = &site.players[0];
+    let mut fde = Fde::new(&grammar, &mut registry);
+    let tree = fde
+        .parse(vec![Token::new(
+            "location",
+            FeatureValue::url(player.video_url.clone()),
+        )])
+        .unwrap();
+
+    // The parse tree has the shape Figure 7 prescribes.
+    assert_eq!(tree.find_all("MMO").len(), 1);
+    assert_eq!(tree.find_all("segment").len(), 1);
+    assert_eq!(tree.find_all("shot").len(), 8);
+    assert_eq!(tree.find_all("tennis").len(), 4);
+    assert_eq!(tree.find_all("netplay").len(), 4);
+    assert!(!tree.find_all("frame").is_empty());
+
+    // MIME data from the header detector is in the tree.
+    let primary = tree.find_all("primary")[0];
+    assert_eq!(tree.value(primary), Some(&FeatureValue::from("video")));
+
+    // The dumped XML document reloads into an identical tree ("the
+    // parse tree can be dumped as an XML-document").
+    let doc = tree.to_document().unwrap();
+    let back = acoi::ParseTree::from_document(&grammar, &doc).unwrap();
+    assert_eq!(back.to_document().unwrap(), doc);
+}
+
+#[test]
+fn image_object_takes_the_optional_branch() {
+    let site = Arc::new(Site::generate(SiteSpec {
+        players: 2,
+        articles: 0,
+        seed: 10,
+    }));
+    let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+    let mut registry = dlsearch::ausopen::detectors(Arc::clone(&site));
+    let mut fde = Fde::new(&grammar, &mut registry);
+    let picture = site.players[0].picture_url.clone();
+    let tree = fde
+        .parse(vec![Token::new("location", FeatureValue::url(picture))])
+        .unwrap();
+    // mm_type? skipped: no video subtree, no segment call.
+    assert!(tree.find_all("video").is_empty());
+    assert_eq!(fde.stats().detector_calls, 1); // header only
+}
+
+#[test]
+fn internet_grammar_indexes_generic_pages() {
+    let grammar = feagram::parse_grammar(feagram::paper::INTERNET_GRAMMAR).unwrap();
+    let pages = websim::internet::generate_pages(5, 21);
+
+    for page in &pages {
+        let mut registry = acoi::DetectorRegistry::new();
+        // The html detector tokenises the page: title, keywords, anchors.
+        let page_clone = page.clone();
+        registry.register(
+            "html",
+            acoi::Version::new(1, 0, 0),
+            Box::new(move |_| {
+                let mut tokens = vec![Token::new("title", page_clone.title.clone())];
+                for k in &page_clone.keywords {
+                    tokens.push(Token::new("word", k.clone()));
+                }
+                for o in &page_clone.objects {
+                    tokens.push(Token::new("location", FeatureValue::url(o.clone())));
+                    tokens.push(Token::new("embedded", "embed"));
+                }
+                Ok(tokens)
+            }),
+        );
+        registry.register(
+            "header",
+            acoi::Version::new(1, 0, 0),
+            Box::new(|inputs| {
+                let url = inputs[0].as_str().ok_or("no url")?;
+                let primary = if url.ends_with(".mpg") { "video" } else { "image" };
+                Ok(vec![
+                    Token::new("primary", primary),
+                    Token::new("secondary", "x"),
+                ])
+            }),
+        );
+
+        let mut fde = Fde::new(&grammar, &mut registry);
+        let tree = fde
+            .parse(vec![Token::new(
+                "location",
+                FeatureValue::url(page.url.clone()),
+            )])
+            .unwrap();
+        assert_eq!(tree.find_all("keyword").len(), page.keywords.len());
+        assert_eq!(tree.find_all("anchor").len(), page.objects.len());
+    }
+}
+
+#[test]
+fn composed_internet_video_grammar_analyses_embedded_match_videos() {
+    // Future-work section: "when the content of a webpage is classified
+    // as a sports topic, rules in the grammar can be used to steer the
+    // processing of videos embedded in the page, towards sport specific
+    // detectors (e.g. the discussed tennis video analysis)". The
+    // composed grammar (Figure 14 core merged with Figures 6-7) does
+    // exactly that: an HTML page's anchor leads straight into the tennis
+    // pipeline.
+    let site = Arc::new(Site::generate(SiteSpec {
+        players: 2,
+        articles: 0,
+        seed: 61,
+    }));
+    let grammar = feagram::paper::internet_video_grammar().unwrap();
+    let video_url = site.players[0].video_url.clone();
+
+    // Reuse the Australian Open detectors for the video pipeline; add
+    // the html detector for the page.
+    let mut registry = dlsearch::ausopen::detectors(Arc::clone(&site));
+    let video_for_page = video_url.clone();
+    registry.register(
+        "html",
+        acoi::Version::new(1, 0, 0),
+        Box::new(move |_| {
+            Ok(vec![
+                Token::new("title", "Sports news"),
+                Token::new("word", "tennis"),
+                Token::new("location", FeatureValue::url(video_for_page.clone())),
+                Token::new("embedded", "embed"),
+            ])
+        }),
+    );
+
+    let mut fde = Fde::new(&grammar, &mut registry);
+    let tree = fde
+        .parse(vec![Token::new(
+            "location",
+            FeatureValue::url("http://web.example.org/sports/match-report.html"),
+        )])
+        .unwrap();
+
+    // The page parse contains a full video analysis under its anchor.
+    assert_eq!(tree.find_all("anchor").len(), 1);
+    assert_eq!(tree.find_all("segment").len(), 1);
+    assert!(!tree.find_all("shot").is_empty());
+    assert!(!tree.find_all("netplay").is_empty());
+}
+
+#[test]
+fn image_pipeline_grammar_detects_portraits() {
+    // Future-work: the photo/graphic classifier + face detection,
+    // answering "show me all portraits …".
+    let grammar = feagram::parse_grammar(feagram::paper::INTERNET_IMAGE_GRAMMAR).unwrap();
+    let pages = websim::internet::generate_pages(20, 77);
+
+    let mut checked = 0usize;
+    for page in &pages {
+        if page.images.is_empty() {
+            continue;
+        }
+        let mut registry = acoi::DetectorRegistry::new();
+        let p = page.clone();
+        registry.register(
+            "html",
+            acoi::Version::new(1, 0, 0),
+            Box::new(move |_| {
+                let mut tokens = vec![Token::new("title", p.title.clone())];
+                for k in &p.keywords {
+                    tokens.push(Token::new("word", k.clone()));
+                }
+                for o in &p.objects {
+                    tokens.push(Token::new("location", FeatureValue::url(o.clone())));
+                    tokens.push(Token::new("embedded", "embed"));
+                }
+                Ok(tokens)
+            }),
+        );
+        registry.register(
+            "header",
+            acoi::Version::new(1, 0, 0),
+            Box::new(|inputs| {
+                let url = inputs[0].as_str().ok_or("no url")?;
+                let primary = if url.ends_with(".jpg") { "image" } else { "video" };
+                Ok(vec![
+                    Token::new("primary", primary),
+                    Token::new("secondary", "x"),
+                ])
+            }),
+        );
+        let p = page.clone();
+        registry.register(
+            "photo",
+            acoi::Version::new(1, 0, 0),
+            Box::new(move |inputs| {
+                let url = inputs[0].as_str().ok_or("no url")?;
+                let signal = p.image(url).ok_or("404")?;
+                Ok(vec![
+                    Token::new("kind", cobra::image::classify_image(signal).as_str()),
+                    Token::new("faces", cobra::image::count_faces(signal) as i64),
+                ])
+            }),
+        );
+
+        let mut fde = Fde::new(&grammar, &mut registry);
+        let tree = fde
+            .parse(vec![Token::new(
+                "location",
+                FeatureValue::url(page.url.clone()),
+            )])
+            .unwrap();
+
+        // Every image got a portrait verdict matching its ground truth.
+        for (url, _, truth) in &page.images {
+            let _ = url;
+            let expected_portrait =
+                truth.kind == cobra::image::ImageKind::Photo && truth.faces >= 1;
+            let detected = tree.find_all("portrait").iter().any(|n| {
+                tree.value(*n) == Some(&FeatureValue::Bit(true))
+            });
+            assert_eq!(detected, expected_portrait, "{}", page.url);
+            checked += 1;
+        }
+    }
+    assert!(checked > 5, "only {checked} images checked");
+}
+
+#[test]
+fn figure8_dependency_graph_drives_the_video_grammar_too() {
+    let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+    let graph = feagram::DepGraph::build(&grammar);
+    // The paper's examples, on the full grammar:
+    let closure = graph.downward_closure("header");
+    assert!(closure.contains("MIME_type"));
+    assert!(closure.contains("primary"));
+    assert!(closure.contains("secondary"));
+    let changed: std::collections::BTreeSet<String> = ["primary".to_owned()].into();
+    assert!(graph.parameter_dependents(&changed).contains("video_type"));
+}
