@@ -105,10 +105,49 @@ pub enum RevisionLevel {
     Major,
 }
 
+/// How a blackbox detector call went wrong.
+///
+/// The distinction drives recovery: a [`DetectorError::Reject`] is a
+/// verdict about the media object (the algorithm ran and said no), while
+/// a [`DetectorError::Unavailable`] is an infrastructure failure (the
+/// algorithm never ran) — the parse records an incomplete node and the
+/// scheduler retries later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorError {
+    /// The detector ran and rejected its input.
+    Reject(String),
+    /// The detector could not be reached or did not answer in time.
+    Unavailable(String),
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectorError::Reject(msg) => f.write_str(msg),
+            DetectorError::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+        }
+    }
+}
+
+// Plain strings stay the idiom for in-process detectors (`Err("no
+// url".into())`, `.ok_or("not numeric")?`): they mean a rejection.
+impl From<String> for DetectorError {
+    fn from(msg: String) -> Self {
+        DetectorError::Reject(msg)
+    }
+}
+
+impl From<&str> for DetectorError {
+    fn from(msg: &str) -> Self {
+        DetectorError::Reject(msg.to_owned())
+    }
+}
+
 /// A blackbox detector implementation: typed inputs in, tokens out.
-/// Errors reject the current parse alternative.
+/// Errors reject the current parse alternative, except
+/// [`DetectorError::Unavailable`] which marks the node for later repair.
 pub type DetectorFn =
-    Box<dyn FnMut(&[FeatureValue]) -> std::result::Result<Vec<Token>, String> + Send>;
+    Box<dyn FnMut(&[FeatureValue]) -> std::result::Result<Vec<Token>, DetectorError> + Send>;
 
 /// A lifecycle hook (`init`/`final`/`begin`/`end`).
 pub type HookFn = Box<dyn FnMut() -> std::result::Result<(), String> + Send>;
@@ -188,9 +227,15 @@ impl DetectorRegistry {
             .get_mut(name)
             .ok_or_else(|| Error::UnregisteredDetector(name.to_owned()))?;
         *self.calls.entry(name.to_owned()).or_insert(0) += 1;
-        (reg.run)(inputs).map_err(|message| Error::DetectorFailed {
-            name: name.to_owned(),
-            message,
+        (reg.run)(inputs).map_err(|e| match e {
+            DetectorError::Reject(message) => Error::DetectorFailed {
+                name: name.to_owned(),
+                message,
+            },
+            DetectorError::Unavailable(cause) => Error::DetectorUnavailable {
+                name: name.to_owned(),
+                cause,
+            },
         })
     }
 
@@ -301,6 +346,23 @@ mod tests {
             Err(Error::DetectorFailed { name, message }) => {
                 assert_eq!(name, "bad");
                 assert_eq!(message, "boom");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unavailable_detector_is_distinguished_from_rejection() {
+        let mut reg = DetectorRegistry::new();
+        reg.register(
+            "remote",
+            Version::new(1, 0, 0),
+            Box::new(|_| Err(DetectorError::Unavailable("connection refused".into()))),
+        );
+        match reg.run("remote", &[]) {
+            Err(Error::DetectorUnavailable { name, cause }) => {
+                assert_eq!(name, "remote");
+                assert_eq!(cause, "connection refused");
             }
             other => panic!("{other:?}"),
         }

@@ -21,6 +21,17 @@ pub enum Error {
         /// Failure message.
         message: String,
     },
+    /// A detector could not be reached (transport failure, deadline
+    /// exceeded, circuit breaker open). Unlike [`Error::DetectorFailed`]
+    /// this says nothing about the media object itself — the call never
+    /// completed — so the FDE records a rejected-with-cause node instead
+    /// of failing the parse, and the FDS schedules a healing re-parse.
+    DetectorUnavailable {
+        /// Detector name.
+        name: String,
+        /// Why the call never completed.
+        cause: String,
+    },
     /// A grammar-level problem discovered at run time.
     Grammar(String),
     /// An underlying grammar-language error.
@@ -40,6 +51,9 @@ impl fmt::Display for Error {
             }
             Error::DetectorFailed { name, message } => {
                 write!(f, "detector `{name}` failed: {message}")
+            }
+            Error::DetectorUnavailable { name, cause } => {
+                write!(f, "detector `{name}` unavailable: {cause}")
             }
             Error::Grammar(msg) => write!(f, "grammar problem: {msg}"),
             Error::Feagram(e) => write!(f, "{e}"),

@@ -10,19 +10,61 @@
 //!
 //! * [`encode_request`] / [`decode_request`] and [`encode_response`] /
 //!   [`decode_response`] define the wire format,
-//! * [`RpcServer`] hosts handler functions and answers requests,
+//! * [`WireError`] types the three ways a remote call goes wrong:
+//!   transport, decode, and remote fault,
+//! * [`RpcServer`] hosts handler functions and answers requests; a
+//!   [`FaultPlan`] can be attached to inject transport errors, hangs and
+//!   garbage responses per detector (label `rpc:<name>`),
 //! * [`spawn_server`] runs a server on its own thread,
 //! * [`RpcClient::as_detector`] adapts a client into a [`DetectorFn`]
 //!   that can be registered like any linked detector.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use faults::{FaultAction, FaultPlan};
 use feagram::FeatureValue;
 use monetxml::{parse_document, to_xml, Document};
 
-use crate::detector::DetectorFn;
+use crate::detector::{DetectorError, DetectorFn};
 use crate::token::Token;
+
+/// How a wire-level call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The wire itself broke: the peer hung up or the send failed.
+    Transport(String),
+    /// Bytes arrived but did not parse as a protocol document.
+    Decode(String),
+    /// The protocol worked; the remote side reported a detector fault.
+    Remote(DetectorError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Transport(msg) => write!(f, "transport error: {msg}"),
+            WireError::Decode(msg) => write!(f, "decode error: {msg}"),
+            WireError::Remote(e) => write!(f, "remote fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for DetectorError {
+    fn from(e: WireError) -> Self {
+        match e {
+            // The call never completed — infrastructure, not a verdict.
+            WireError::Transport(msg) => DetectorError::Unavailable(format!("transport: {msg}")),
+            WireError::Decode(msg) => DetectorError::Unavailable(format!("decode: {msg}")),
+            WireError::Remote(e) => e,
+        }
+    }
+}
 
 /// Encodes a call to `name` with `inputs` as an XML request.
 pub fn encode_request(name: &str, inputs: &[FeatureValue]) -> String {
@@ -38,33 +80,37 @@ pub fn encode_request(name: &str, inputs: &[FeatureValue]) -> String {
 }
 
 /// Decodes a request; returns the detector name and inputs.
-pub fn decode_request(xml: &str) -> Result<(String, Vec<FeatureValue>), String> {
-    let doc = parse_document(xml).map_err(|e| e.to_string())?;
+pub fn decode_request(xml: &str) -> Result<(String, Vec<FeatureValue>), WireError> {
+    let doc = parse_document(xml).map_err(|e| WireError::Decode(e.to_string()))?;
     let root = doc.root();
     if doc.tag(root) != Some("call") {
-        return Err("expected <call> request".into());
+        return Err(WireError::Decode("expected <call> request".into()));
     }
     let name = doc
         .attr(root, "name")
-        .ok_or("missing call name")?
+        .ok_or_else(|| WireError::Decode("missing call name".into()))?
         .to_owned();
     let mut inputs = Vec::new();
     for arg in doc.children_by_tag(root, "arg") {
-        let ty = doc.attr(arg, "type").ok_or("missing arg type")?;
+        let ty = doc
+            .attr(arg, "type")
+            .ok_or_else(|| WireError::Decode("missing arg type".into()))?;
         let lexical = doc
             .children(arg)
             .first()
             .and_then(|c| doc.text(*c))
             .unwrap_or("");
         let value = FeatureValue::from_lexical(ty, lexical)
-            .ok_or_else(|| format!("bad {ty} value `{lexical}`"))?;
+            .ok_or_else(|| WireError::Decode(format!("bad {ty} value `{lexical}`")))?;
         inputs.push(value);
     }
     Ok((name, inputs))
 }
 
-/// Encodes a detector outcome as an XML response.
-pub fn encode_response(outcome: &Result<Vec<Token>, String>) -> String {
+/// Encodes a detector outcome as an XML response. Faults carry a `kind`
+/// attribute (`reject` or `unavailable`) so the failure class survives
+/// the wire.
+pub fn encode_response(outcome: &Result<Vec<Token>, DetectorError>) -> String {
     let mut doc = Document::new("response");
     let root = doc.root();
     match outcome {
@@ -76,8 +122,13 @@ pub fn encode_response(outcome: &Result<Vec<Token>, String>) -> String {
                 doc.add_cdata(t, token.value.lexical());
             }
         }
-        Err(message) => {
+        Err(e) => {
+            let (kind, message) = match e {
+                DetectorError::Reject(msg) => ("reject", msg),
+                DetectorError::Unavailable(msg) => ("unavailable", msg),
+            };
             let f = doc.add_element(root, "fault");
+            doc.set_attr(f, "kind", kind);
             doc.add_cdata(f, message.clone());
         }
     }
@@ -85,31 +136,41 @@ pub fn encode_response(outcome: &Result<Vec<Token>, String>) -> String {
 }
 
 /// Decodes a response back into a detector outcome.
-pub fn decode_response(xml: &str) -> Result<Vec<Token>, String> {
-    let doc = parse_document(xml).map_err(|e| e.to_string())?;
+pub fn decode_response(xml: &str) -> Result<Vec<Token>, WireError> {
+    let doc = parse_document(xml).map_err(|e| WireError::Decode(e.to_string()))?;
     let root = doc.root();
     if doc.tag(root) != Some("response") {
-        return Err("expected <response>".into());
+        return Err(WireError::Decode("expected <response>".into()));
     }
     if let Some(fault) = doc.child_by_tag(root, "fault") {
         let msg = doc
             .children(fault)
             .first()
             .and_then(|c| doc.text(*c))
-            .unwrap_or("remote fault");
-        return Err(msg.to_owned());
+            .unwrap_or("remote fault")
+            .to_owned();
+        let remote = match doc.attr(fault, "kind") {
+            Some("unavailable") => DetectorError::Unavailable(msg),
+            // Absent or `reject`: the paper-era format, a plain verdict.
+            _ => DetectorError::Reject(msg),
+        };
+        return Err(WireError::Remote(remote));
     }
     let mut tokens = Vec::new();
     for t in doc.children_by_tag(root, "token") {
-        let symbol = doc.attr(t, "symbol").ok_or("missing token symbol")?;
-        let ty = doc.attr(t, "type").ok_or("missing token type")?;
+        let symbol = doc
+            .attr(t, "symbol")
+            .ok_or_else(|| WireError::Decode("missing token symbol".into()))?;
+        let ty = doc
+            .attr(t, "type")
+            .ok_or_else(|| WireError::Decode("missing token type".into()))?;
         let lexical = doc
             .children(t)
             .first()
             .and_then(|c| doc.text(*c))
             .unwrap_or("");
         let value = FeatureValue::from_lexical(ty, lexical)
-            .ok_or_else(|| format!("bad {ty} value `{lexical}`"))?;
+            .ok_or_else(|| WireError::Decode(format!("bad {ty} value `{lexical}`")))?;
         tokens.push(Token {
             symbol: symbol.to_owned(),
             value,
@@ -119,15 +180,25 @@ pub fn decode_response(xml: &str) -> Result<Vec<Token>, String> {
 }
 
 /// A server hosting external detector implementations.
+///
+/// An attached [`FaultPlan`] is consulted once per call under the label
+/// `rpc:<detector>`; it can turn the answer into a transport-style
+/// fault, stall it past the client's deadline, or corrupt the response.
 #[derive(Default)]
 pub struct RpcServer {
     handlers: HashMap<String, DetectorFn>,
+    faults: Option<Arc<FaultPlan>>,
+    hang: Duration,
 }
 
 impl RpcServer {
     /// An empty server.
     pub fn new() -> Self {
-        Self::default()
+        RpcServer {
+            handlers: HashMap::new(),
+            faults: None,
+            hang: Duration::from_millis(200),
+        }
     }
 
     /// Registers a handler for calls to `name`.
@@ -136,14 +207,48 @@ impl RpcServer {
         self
     }
 
+    /// Attaches a fault plan consulted on every call (label
+    /// `rpc:<detector>`).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// How long an injected [`FaultAction::Hang`] stalls (default
+    /// 200 ms — longer than any sane per-call deadline in tests).
+    pub fn with_hang_duration(mut self, hang: Duration) -> Self {
+        self.hang = hang;
+        self
+    }
+
     /// Answers one raw request.
     pub fn serve(&mut self, request_xml: &str) -> String {
         let outcome = match decode_request(request_xml) {
-            Ok((name, inputs)) => match self.handlers.get_mut(&name) {
-                Some(f) => f(&inputs),
-                None => Err(format!("no remote handler for `{name}`")),
-            },
-            Err(e) => Err(e),
+            Ok((name, inputs)) => {
+                let action = self
+                    .faults
+                    .as_ref()
+                    .map_or(FaultAction::None, |plan| plan.decide(&format!("rpc:{name}")));
+                match action {
+                    FaultAction::Error => {
+                        return encode_response(&Err(DetectorError::Unavailable(
+                            "injected transport error".into(),
+                        )));
+                    }
+                    FaultAction::Hang => std::thread::sleep(self.hang),
+                    FaultAction::Garbage => {
+                        return "<<corrupted response>>".into();
+                    }
+                    FaultAction::None => {}
+                }
+                match self.handlers.get_mut(&name) {
+                    Some(f) => f(&inputs),
+                    None => Err(DetectorError::Unavailable(format!(
+                        "no remote handler for `{name}`"
+                    ))),
+                }
+            }
+            Err(e) => Err(DetectorError::from(e)),
         };
         encode_response(&outcome)
     }
@@ -158,24 +263,30 @@ pub struct RpcClient {
 
 impl RpcClient {
     /// Performs a remote call.
-    pub fn call(&self, name: &str, inputs: &[FeatureValue]) -> Result<Vec<Token>, String> {
+    pub fn call(&self, name: &str, inputs: &[FeatureValue]) -> Result<Vec<Token>, WireError> {
         self.tx
             .send(encode_request(name, inputs))
-            .map_err(|_| "rpc server hung up".to_owned())?;
+            .map_err(|_| WireError::Transport("rpc server hung up".into()))?;
         let response = self
             .rx
             .recv()
-            .map_err(|_| "rpc server hung up".to_owned())?;
+            .map_err(|_| WireError::Transport("rpc server hung up".into()))?;
         decode_response(&response)
     }
 
     /// Adapts the client into a [`DetectorFn`] for detector `name`, so an
     /// external detector registers exactly like a linked one — "code for
-    /// the protocol instantiation is generated".
+    /// the protocol instantiation is generated". Wire-level failures
+    /// surface as [`DetectorError::Unavailable`], remote faults keep
+    /// their class.
     pub fn as_detector(&self, name: impl Into<String>) -> DetectorFn {
         let client = self.clone();
         let name = name.into();
-        Box::new(move |inputs| client.call(&name, inputs))
+        Box::new(move |inputs| {
+            client
+                .call(&name, inputs)
+                .map_err(DetectorError::from)
+        })
     }
 }
 
@@ -202,6 +313,8 @@ pub fn spawn_server(mut server: RpcServer) -> RpcClient {
 mod tests {
     use super::*;
     use crate::detector::{DetectorRegistry, Version};
+    use crate::error::Error;
+    use faults::FaultSpec;
 
     #[test]
     fn request_wire_format_round_trips() {
@@ -228,12 +341,30 @@ mod tests {
     }
 
     #[test]
-    fn fault_round_trips() {
-        let xml = encode_response(&Err("cannot reach camera".into()));
+    fn fault_round_trips_preserving_its_kind() {
+        let reject = encode_response(&Err(DetectorError::Reject("cannot reach camera".into())));
         assert_eq!(
-            decode_response(&xml).unwrap_err(),
-            "cannot reach camera"
+            decode_response(&reject).unwrap_err(),
+            WireError::Remote(DetectorError::Reject("cannot reach camera".into()))
         );
+        let unavail =
+            encode_response(&Err(DetectorError::Unavailable("worker crashed".into())));
+        assert_eq!(
+            decode_response(&unavail).unwrap_err(),
+            WireError::Remote(DetectorError::Unavailable("worker crashed".into()))
+        );
+    }
+
+    #[test]
+    fn garbage_bytes_are_a_decode_error() {
+        assert!(matches!(
+            decode_response("<<corrupted response>>"),
+            Err(WireError::Decode(_))
+        ));
+        assert!(matches!(
+            decode_request("not xml at all"),
+            Err(WireError::Decode(_))
+        ));
     }
 
     #[test]
@@ -249,7 +380,12 @@ mod tests {
         let ok = server.serve(&encode_request("segment", &[FeatureValue::url("u")]));
         assert_eq!(decode_response(&ok).unwrap().len(), 1);
         let missing = server.serve(&encode_request("ghost", &[]));
-        assert!(decode_response(&missing).unwrap_err().contains("ghost"));
+        match decode_response(&missing).unwrap_err() {
+            WireError::Remote(DetectorError::Unavailable(msg)) => {
+                assert!(msg.contains("ghost"), "{msg}");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]
@@ -281,6 +417,57 @@ mod tests {
             .run("segment", &[FeatureValue::url("http://x")])
             .unwrap();
         assert_eq!(out[0].value, FeatureValue::Int(7));
+    }
+
+    #[test]
+    fn injected_faults_surface_as_unavailable() {
+        let plan = FaultPlan::seeded(11)
+            .with_script(
+                "rpc:echo",
+                vec![
+                    faults::FaultAction::Error,
+                    faults::FaultAction::Garbage,
+                    faults::FaultAction::None,
+                ],
+            )
+            .shared();
+        let mut server = RpcServer::new().with_fault_plan(Arc::clone(&plan));
+        server.handle("echo", Box::new(|_| Ok(vec![Token::new("x", 1i64)])));
+        let client = spawn_server(server);
+        let mut registry = DetectorRegistry::new();
+        registry.register("echo", Version::new(1, 0, 0), client.as_detector("echo"));
+
+        // Call 1: injected transport error.
+        match registry.run("echo", &[]) {
+            Err(Error::DetectorUnavailable { name, cause }) => {
+                assert_eq!(name, "echo");
+                assert!(cause.contains("injected"), "{cause}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Call 2: garbage response fails to decode.
+        match registry.run("echo", &[]) {
+            Err(Error::DetectorUnavailable { cause, .. }) => {
+                assert!(cause.contains("decode"), "{cause}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Call 3: healthy again.
+        assert_eq!(registry.run("echo", &[]).unwrap().len(), 1);
+        assert_eq!(plan.calls("rpc:echo"), 3);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_transparent() {
+        let plan = FaultPlan::seeded(5)
+            .with_site("rpc:echo", FaultSpec::none())
+            .shared();
+        let mut server = RpcServer::new().with_fault_plan(plan);
+        server.handle("echo", Box::new(|_| Ok(vec![Token::new("x", 1i64)])));
+        let client = spawn_server(server);
+        for _ in 0..20 {
+            assert_eq!(client.call("echo", &[]).unwrap().len(), 1);
+        }
     }
 
     #[test]

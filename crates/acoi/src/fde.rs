@@ -69,6 +69,10 @@ pub struct FdeStats {
     pub max_stack: usize,
     /// Nodes in the resulting tree.
     pub nodes: usize,
+    /// Detector nodes recorded as rejected-with-cause because their
+    /// implementation was unavailable (transport failure, deadline,
+    /// open circuit breaker).
+    pub rejected_nodes: usize,
 }
 
 /// Memoised detector outputs, keyed by detector name and the lexical
@@ -356,10 +360,22 @@ impl<'g> Fde<'g> {
             cached.clone()
         } else {
             self.stats.detector_calls += 1;
-            self.registry.run(sym, &inputs).map_err(|e| match e {
-                Error::UnregisteredDetector(_) => Flow::Hard(e),
-                other => Flow::Mismatch(other.to_string()),
-            })?
+            match self.registry.run(sym, &inputs) {
+                Ok(tokens) => tokens,
+                Err(e @ Error::UnregisteredDetector(_)) => return Err(Flow::Hard(e)),
+                // The detector never ran — infrastructure, not a verdict
+                // about the media object. Record an incomplete node with
+                // its cause (no version, so the FDS never reuses it) and
+                // keep parsing: the rest of the object's metadata is
+                // better than none, and a healing re-parse can fill the
+                // hole once the detector recovers.
+                Err(Error::DetectorUnavailable { cause, .. }) => {
+                    self.stats.rejected_nodes += 1;
+                    tree.set_rejected(node, cause);
+                    return Ok(node);
+                }
+                Err(other) => return Err(Flow::Mismatch(other.to_string())),
+            }
         };
         if let Some(version) = self.registry.version(sym) {
             tree.set_version(node, version);
@@ -794,6 +810,51 @@ mod tests {
         let mut fde = Fde::new(&g, &mut reg);
         let err = fde.parse(mmo_tokens("http://x/v.mpg")).unwrap_err();
         assert!(err.to_string().contains("404"), "{err}");
+    }
+
+    #[test]
+    fn unavailable_detector_leaves_a_rejected_node_not_a_failed_parse() {
+        use crate::detector::DetectorError;
+        let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = video_registry(4);
+        reg.register(
+            "segment",
+            Version::new(1, 0, 1),
+            Box::new(|_| Err(DetectorError::Unavailable("deadline exceeded".into()))),
+        );
+        let mut fde = Fde::new(&g, &mut reg);
+        let tree = fde.parse(mmo_tokens("http://x/v.mpg")).unwrap();
+        // The parse completed; the segment subtree is a hole with a cause.
+        assert_eq!(fde.stats().rejected_nodes, 1);
+        let rejected = tree.rejected_nodes();
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].1, "segment");
+        assert_eq!(rejected[0].2, "deadline exceeded");
+        // No version on the hole: the FDS can never mistake it for valid.
+        assert_eq!(tree.version(rejected[0].0), None);
+        assert!(tree.find_all("shot").is_empty());
+        // The healthy part of the parse is intact.
+        assert_eq!(tree.find_all("primary").len(), 1);
+    }
+
+    #[test]
+    fn rejected_nodes_are_never_harvested_into_the_cache() {
+        use crate::detector::DetectorError;
+        let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = video_registry(4);
+        reg.register(
+            "segment",
+            Version::new(1, 0, 1),
+            Box::new(|_| Err(DetectorError::Unavailable("circuit open".into()))),
+        );
+        let tree = {
+            let mut fde = Fde::new(&g, &mut reg);
+            fde.parse(mmo_tokens("http://x/v.mpg")).unwrap()
+        };
+        let cache = harvest_cache(&g, &reg, &tree, |_| true);
+        assert!(cache
+            .get("segment", &[FeatureValue::url("http://x/v.mpg")])
+            .is_none());
     }
 
     #[test]

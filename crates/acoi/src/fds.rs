@@ -212,6 +212,63 @@ impl Fds {
         Ok(report)
     }
 
+    /// Re-parses every object whose stored tree has a rejected-with-cause
+    /// node for `detector` (its implementation was unavailable when the
+    /// object was populated). Healthy detector results are reused from
+    /// the stored tree, so a heal only runs the recovered detector and
+    /// whatever lives beneath it; if the detector is *still* unavailable
+    /// the tree simply keeps its rejected marker for the next heal wave.
+    pub fn heal_detector(
+        &self,
+        grammar: &Grammar,
+        registry: &mut DetectorRegistry,
+        index: &mut MetaIndex,
+        detector: &str,
+    ) -> Result<MaintenanceReport> {
+        let plan = InvalidationPlan {
+            detector: detector.to_owned(),
+            level: RevisionLevel::Minor,
+            priority: Priority::Low,
+            invalidated: BTreeSet::new(),
+            parameter_dependents: BTreeSet::new(),
+            enclosing: BTreeSet::new(),
+        };
+        let mut report = MaintenanceReport {
+            plan,
+            objects_reparsed: 0,
+            objects_untouched: 0,
+            detector_calls: 0,
+            detector_calls_saved: 0,
+        };
+        let sources: Vec<String> = index.sources().to_vec();
+        for source in sources {
+            let tree = index.tree(grammar, &source)?;
+            let needs_heal = tree
+                .rejected_nodes()
+                .iter()
+                .any(|(_, symbol, _)| symbol == detector);
+            if !needs_heal {
+                report.objects_untouched += 1;
+                continue;
+            }
+            // Rejected nodes carry no version, so the harvest naturally
+            // excludes them; every healthy detector is reused.
+            let cache = harvest_cache(grammar, registry, &tree, |_| true);
+            let initial = index
+                .initial_tokens(&source)
+                .map(<[crate::token::Token]>::to_vec)
+                .unwrap_or_default();
+            let mut fde = Fde::new(grammar, registry);
+            let new_tree = fde.parse_with_cache(initial.clone(), &cache)?;
+            let stats = fde.stats();
+            report.detector_calls += stats.detector_calls;
+            report.detector_calls_saved += stats.cache_hits;
+            index.insert(&source, initial, &new_tree)?;
+            report.objects_reparsed += 1;
+        }
+        Ok(report)
+    }
+
     /// Handles a change of the *source data* of one object: "the FDS uses
     /// a special detector associated to the start symbol to determine if
     /// the complete stored parse tree has become invalid due to changes
@@ -457,6 +514,64 @@ mod tests {
             .unwrap();
         assert_eq!(report.objects_reparsed, 1);
         assert_eq!(report.objects_untouched, 1);
+    }
+
+    #[test]
+    fn healing_reparses_only_objects_with_rejected_nodes() {
+        use crate::detector::DetectorError;
+        let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut reg = video_registry(2);
+        // Populate object 0 while tennis is down, object 1 while healthy.
+        let mut index = MetaIndex::new();
+        reg.register(
+            "tennis",
+            Version::new(1, 0, 1),
+            Box::new(|_| Err(DetectorError::Unavailable("rpc down".into()))),
+        );
+        {
+            let url = "http://x/video0.mpg";
+            let initial = vec![Token::new("location", FeatureValue::url(url))];
+            let tree = Fde::new(&g, &mut reg).parse(initial.clone()).unwrap();
+            assert_eq!(tree.rejected_nodes().len(), 1);
+            index.insert(url, initial, &tree).unwrap();
+        }
+        // Tennis recovers (same version: nothing was revised, it healed).
+        reg.register(
+            "tennis",
+            Version::new(1, 0, 1),
+            Box::new(|inputs| {
+                let begin = inputs[1].as_f64().ok_or("no begin")? as i64;
+                Ok(vec![
+                    Token::new("frameNo", begin),
+                    Token::new("xPos", 320.0),
+                    Token::new("yPos", 150.0),
+                    Token::new("Area", 1200i64),
+                    Token::new("Ecc", 0.8),
+                    Token::new("Orient", 12.0),
+                ])
+            }),
+        );
+        {
+            let url = "http://x/video1.mpg";
+            let initial = vec![Token::new("location", FeatureValue::url(url))];
+            let tree = Fde::new(&g, &mut reg).parse(initial.clone()).unwrap();
+            assert!(tree.rejected_nodes().is_empty());
+            index.insert(url, initial, &tree).unwrap();
+        }
+
+        let fds = Fds::new(&g);
+        reg.reset_counts();
+        let report = fds.heal_detector(&g, &mut reg, &mut index, "tennis").unwrap();
+        assert_eq!(report.objects_reparsed, 1);
+        assert_eq!(report.objects_untouched, 1);
+        // header and segment were reused from the stored tree.
+        assert_eq!(reg.call_count("header"), 0);
+        assert_eq!(reg.call_count("segment"), 0);
+        assert_eq!(reg.call_count("tennis"), 1);
+        // The healed tree is complete.
+        let tree = index.tree(&g, "http://x/video0.mpg").unwrap();
+        assert!(tree.rejected_nodes().is_empty());
+        assert!(!tree.find_all("netplay").is_empty());
     }
 
     #[test]

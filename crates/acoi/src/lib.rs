@@ -16,7 +16,11 @@
 //!   special `init`/`final`/`begin`/`end` hooks.
 //! * [`external`] — the remote-detector boundary: inputs and outputs are
 //!   serialised over a channel "wire", preserving the paper's XML-RPC /
-//!   CORBA contract without a network.
+//!   CORBA contract without a network. Failures are typed
+//!   ([`external::WireError`]) and injectable via a `faults::FaultPlan`.
+//! * [`supervise`] — supervised detector execution: per-call deadlines
+//!   on worker threads, bounded retries with jittered backoff, and a
+//!   per-detector circuit breaker feeding the FDS's healing queue.
 //! * [`fde`] — the **Feature Detector Engine**: a recursive-descent
 //!   parser with backtracking that runs detectors on demand, validates
 //!   their output against the production rules, and produces the parse
@@ -41,14 +45,17 @@ pub mod fde;
 pub mod fds;
 pub mod metaindex;
 pub mod scheduler;
+pub mod supervise;
 pub mod token;
 pub mod tree;
 
-pub use detector::{DetectorFn, DetectorRegistry, RevisionLevel, Version};
+pub use detector::{DetectorError, DetectorFn, DetectorRegistry, RevisionLevel, Version};
 pub use error::{Error, Result};
+pub use external::{RpcClient, RpcServer, WireError};
 pub use fde::{Fde, FdeStats, StackMode};
 pub use fds::{Fds, MaintenanceReport};
 pub use metaindex::MetaIndex;
 pub use scheduler::Scheduler;
+pub use supervise::{BreakerState, Supervisor, SupervisorConfig, SupervisorStats};
 pub use token::Token;
 pub use tree::{PNodeId, ParseTree};

@@ -23,15 +23,27 @@ use crate::error::Result;
 use crate::fds::{Fds, MaintenanceReport, Priority};
 use crate::metaindex::MetaIndex;
 
+/// What kind of maintenance a queued task performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Revalidation after a detector implementation revision.
+    Revision,
+    /// Healing re-parse of objects whose trees hold rejected-with-cause
+    /// nodes for a detector that was unavailable at populate time.
+    Heal,
+}
+
 /// One queued revalidation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueuedTask {
-    /// The revised detector.
+    /// The revised (or recovering) detector.
     pub detector: String,
     /// The (strongest pending) revision level.
     pub level: RevisionLevel,
     /// Its scheduling priority.
     pub priority: Priority,
+    /// Revision or heal.
+    pub kind: TaskKind,
 }
 
 /// The deferred-maintenance scheduler: an [`Fds`] plus a priority queue.
@@ -93,6 +105,7 @@ impl Scheduler {
             } else {
                 Priority::Low
             },
+            kind: TaskKind::Revision,
         };
         let effective = task.priority;
         match effective {
@@ -100,6 +113,30 @@ impl Scheduler {
             _ => self.low.push_back(task),
         }
         Ok(priority)
+    }
+
+    /// Enqueues a low-priority healing re-parse for `detector`: objects
+    /// populated while it was unavailable (circuit broken, hung, dead
+    /// transport) carry rejected-with-cause nodes, and their metadata
+    /// should be completed once the detector recovers. Queries keep
+    /// using the partial data meanwhile. No-op if any task for the
+    /// detector is already pending — a revision re-parse heals too.
+    pub fn submit_heal(&mut self, detector: &str) -> Priority {
+        let already = self
+            .high
+            .iter()
+            .chain(self.low.iter())
+            .any(|t| t.detector == detector);
+        if already {
+            return Priority::Low;
+        }
+        self.low.push_back(QueuedTask {
+            detector: detector.to_owned(),
+            level: RevisionLevel::Minor,
+            priority: Priority::Low,
+            kind: TaskKind::Heal,
+        });
+        Priority::Low
     }
 
     /// Pending tasks, most urgent first.
@@ -143,9 +180,15 @@ impl Scheduler {
         let Some(task) = self.high.pop_front().or_else(|| self.low.pop_front()) else {
             return Ok(None);
         };
-        let report =
-            self.fds
-                .apply_revision(grammar, registry, index, &task.detector, task.level)?;
+        let report = match task.kind {
+            TaskKind::Revision => {
+                self.fds
+                    .apply_revision(grammar, registry, index, &task.detector, task.level)?
+            }
+            TaskKind::Heal => self
+                .fds
+                .heal_detector(grammar, registry, index, &task.detector)?,
+        };
         Ok(Some(report))
     }
 
@@ -315,6 +358,45 @@ mod tests {
         assert_eq!(sched.pending().len(), 1);
         let reports = sched.drain(&grammar, &mut reg, &mut index).unwrap();
         assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn heal_tasks_queue_low_and_complete_partial_trees() {
+        use crate::detector::DetectorError;
+        let (grammar, mut reg, mut index) = setup();
+        // Populate one extra object while tennis is down.
+        reg.register(
+            "tennis",
+            Version::new(1, 0, 0),
+            Box::new(|_| Err(DetectorError::Unavailable("rpc down".into()))),
+        );
+        let url = "http://x/broken.mpg";
+        let initial = vec![Token::new("location", FeatureValue::url(url))];
+        let tree = Fde::new(&grammar, &mut reg).parse(initial.clone()).unwrap();
+        assert_eq!(tree.rejected_nodes().len(), 1);
+        index.insert(url, initial, &tree).unwrap();
+
+        let mut sched = Scheduler::new(&grammar);
+        assert_eq!(sched.submit_heal("tennis"), Priority::Low);
+        // Dedupe: resubmission does not double-queue.
+        sched.submit_heal("tennis");
+        assert_eq!(sched.pending().len(), 1);
+        assert_eq!(sched.pending()[0].kind, TaskKind::Heal);
+        // A heal never makes data unusable.
+        assert!(sched
+            .unusable_sources(&grammar, &mut index)
+            .unwrap()
+            .is_empty());
+
+        // Tennis recovers, the queue drains, the hole is filled.
+        reg.register("tennis", Version::new(1, 0, 0), new_tennis(150.0));
+        let report = sched.step(&grammar, &mut reg, &mut index).unwrap().unwrap();
+        assert_eq!(report.objects_reparsed, 1);
+        assert_eq!(report.objects_untouched, 3);
+        let tree = index.tree(&grammar, url).unwrap();
+        assert!(tree.rejected_nodes().is_empty());
+        assert!(!tree.find_all("netplay").is_empty());
+        assert!(sched.pending().is_empty());
     }
 
     #[test]

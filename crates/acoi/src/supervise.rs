@@ -1,0 +1,566 @@
+//! Supervised detector execution: deadlines, retries, circuit breakers.
+//!
+//! External detectors "may even run on a different machine", which means
+//! they hang, crash and drop connections. A [`Supervisor`] wraps any
+//! [`DetectorFn`] so that the FDE only ever sees one of two clean
+//! outcomes — tokens, or a typed [`DetectorError`]:
+//!
+//! * **deadline** — the wrapped call runs on a dedicated worker thread;
+//!   the caller waits with `recv_timeout` and gives up after the
+//!   configured deadline. A hung call keeps its worker busy but never
+//!   blocks a parse; stale answers are discarded by sequence number.
+//! * **retries** — [`DetectorError::Unavailable`] outcomes are retried
+//!   with exponential backoff plus deterministic jitter; a
+//!   [`DetectorError::Reject`] is a verdict, never retried.
+//! * **circuit breaker** — after `breaker_threshold` consecutive
+//!   unavailable outcomes the breaker opens and calls fail fast without
+//!   touching the worker; after `breaker_probe_after` short-circuited
+//!   calls one half-open probe is let through, closing the breaker on
+//!   success and re-opening it on failure.
+//!
+//! Breaker state is shared: the FDS asks [`Supervisor::broken`] which
+//! detectors to re-parse at low priority once they recover.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use feagram::FeatureValue;
+
+use crate::detector::{DetectorError, DetectorFn};
+use crate::token::Token;
+
+/// Tuning knobs for supervised execution.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Per-attempt deadline; a call that has not answered by then is
+    /// reported unavailable.
+    pub deadline: Duration,
+    /// Extra attempts after the first (so `max_retries = 2` means at
+    /// most three attempts per call).
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `backoff_base * 2^n` plus jitter…
+    pub backoff_base: Duration,
+    /// …capped at this.
+    pub backoff_cap: Duration,
+    /// Seed for deterministic backoff jitter.
+    pub jitter_seed: u64,
+    /// Consecutive unavailable outcomes that open the breaker.
+    pub breaker_threshold: u32,
+    /// Calls short-circuited while open before a half-open probe.
+    pub breaker_probe_after: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            deadline: Duration::from_millis(250),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(20),
+            jitter_seed: 0,
+            breaker_threshold: 3,
+            breaker_probe_after: 2,
+        }
+    }
+}
+
+/// Where a detector's circuit breaker stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow through.
+    Closed,
+    /// Failing fast: calls are rejected without running the detector.
+    Open,
+    /// One probe call is allowed through to test recovery.
+    HalfOpen,
+}
+
+/// Per-detector counters, readable via [`Supervisor::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Attempts dispatched to the worker (first tries and retries).
+    pub attempts: u64,
+    /// Retries among those attempts.
+    pub retries: u64,
+    /// Attempts abandoned at the deadline.
+    pub timeouts: u64,
+    /// Closed→Open transitions.
+    pub breaker_opens: u64,
+    /// Calls rejected without an attempt because the breaker was open.
+    pub short_circuits: u64,
+}
+
+struct DetectorState {
+    breaker: BreakerState,
+    consecutive_failures: u32,
+    open_rejections: u32,
+    stats: SupervisorStats,
+}
+
+impl DetectorState {
+    fn new() -> Self {
+        DetectorState {
+            breaker: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_rejections: 0,
+            stats: SupervisorStats::default(),
+        }
+    }
+}
+
+struct Inner {
+    config: SupervisorConfig,
+    detectors: Mutex<HashMap<String, DetectorState>>,
+}
+
+/// Wraps detectors with deadlines, retries and a circuit breaker.
+///
+/// Cloning is cheap and shares all breaker state, so the engine can keep
+/// one handle for registration and another for health inspection.
+#[derive(Clone)]
+pub struct Supervisor {
+    inner: Arc<Inner>,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+type Outcome = std::result::Result<Vec<Token>, DetectorError>;
+
+/// The worker owns the wrapped detector; requests and responses are
+/// sequence-tagged so an answer that arrives after its deadline (the
+/// worker was hung) is recognised as stale and discarded.
+struct Worker {
+    req_tx: Sender<(u64, Vec<FeatureValue>)>,
+    resp_rx: Receiver<(u64, Outcome)>,
+    next_seq: u64,
+}
+
+impl Worker {
+    fn spawn(name: String, mut inner: DetectorFn) -> Self {
+        let (req_tx, req_rx) = unbounded::<(u64, Vec<FeatureValue>)>();
+        let (resp_tx, resp_rx) = unbounded::<(u64, Outcome)>();
+        std::thread::Builder::new()
+            .name(format!("detector-{name}"))
+            .spawn(move || {
+                while let Ok((seq, inputs)) = req_rx.recv() {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| inner(&inputs)))
+                        .unwrap_or_else(|_| {
+                            Err(DetectorError::Unavailable("detector panicked".into()))
+                        });
+                    if resp_tx.send((seq, outcome)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn detector worker");
+        Worker {
+            req_tx,
+            resp_rx,
+            next_seq: 0,
+        }
+    }
+
+    /// One attempt: dispatch and wait out the deadline.
+    fn attempt(&mut self, inputs: &[FeatureValue], deadline: Duration) -> Outcome {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.req_tx.send((seq, inputs.to_vec())).is_err() {
+            return Err(DetectorError::Unavailable("detector worker died".into()));
+        }
+        let give_up = Instant::now() + deadline;
+        loop {
+            let remaining = give_up.saturating_duration_since(Instant::now());
+            match self.resp_rx.recv_timeout(remaining) {
+                Ok((got, outcome)) if got == seq => return outcome,
+                Ok(_) => continue, // stale answer from a timed-out attempt
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(DetectorError::Unavailable(format!(
+                        "deadline of {deadline:?} exceeded"
+                    )));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(DetectorError::Unavailable("detector worker died".into()));
+                }
+            }
+        }
+    }
+}
+
+impl Supervisor {
+    /// A supervisor with the given configuration.
+    pub fn new(config: SupervisorConfig) -> Self {
+        Supervisor {
+            inner: Arc::new(Inner {
+                config,
+                detectors: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Wraps `detector` so every call runs under a deadline with retries
+    /// and the shared circuit breaker for `name`.
+    pub fn wrap(&self, name: impl Into<String>, detector: DetectorFn) -> DetectorFn {
+        let name = name.into();
+        let sup = self.clone();
+        {
+            let mut detectors = sup.inner.detectors.lock().expect("supervisor poisoned");
+            detectors.entry(name.clone()).or_insert_with(DetectorState::new);
+        }
+        let mut worker = Worker::spawn(name.clone(), detector);
+        Box::new(move |inputs| sup.call(&name, &mut worker, inputs))
+    }
+
+    fn call(&self, name: &str, worker: &mut Worker, inputs: &[FeatureValue]) -> Outcome {
+        let config = &self.inner.config;
+
+        // Breaker gate.
+        {
+            let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
+            let state = detectors
+                .entry(name.to_owned())
+                .or_insert_with(DetectorState::new);
+            match state.breaker {
+                BreakerState::Closed | BreakerState::HalfOpen => {}
+                BreakerState::Open => {
+                    if state.open_rejections < config.breaker_probe_after {
+                        state.open_rejections += 1;
+                        state.stats.short_circuits += 1;
+                        return Err(DetectorError::Unavailable(format!(
+                            "circuit breaker open for `{name}`"
+                        )));
+                    }
+                    state.breaker = BreakerState::HalfOpen;
+                }
+            }
+        }
+
+        // Attempt loop: only `Unavailable` is retried.
+        let mut last: Option<DetectorError> = None;
+        for attempt in 0..=config.max_retries {
+            if attempt > 0 {
+                let exp = config
+                    .backoff_base
+                    .saturating_mul(1u32 << (attempt - 1).min(16));
+                let capped = exp.min(config.backoff_cap);
+                let jitter_word = splitmix(
+                    config.jitter_seed ^ name_hash(name) ^ u64::from(attempt),
+                );
+                let jitter =
+                    Duration::from_nanos(jitter_word % (capped.as_nanos().max(1) as u64 / 2 + 1));
+                std::thread::sleep(capped + jitter);
+            }
+            {
+                let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
+                let state = detectors.get_mut(name).expect("registered in wrap");
+                state.stats.attempts += 1;
+                if attempt > 0 {
+                    state.stats.retries += 1;
+                }
+            }
+            match worker.attempt(inputs, config.deadline) {
+                Err(DetectorError::Unavailable(cause)) => {
+                    let mut detectors =
+                        self.inner.detectors.lock().expect("supervisor poisoned");
+                    let state = detectors.get_mut(name).expect("registered in wrap");
+                    if cause.starts_with("deadline") {
+                        state.stats.timeouts += 1;
+                    }
+                    last = Some(DetectorError::Unavailable(cause));
+                }
+                outcome => {
+                    // Tokens or a Reject: the detector answered, so the
+                    // breaker closes either way.
+                    self.record_success(name);
+                    return outcome;
+                }
+            }
+        }
+        self.record_failure(name);
+        Err(last.unwrap_or_else(|| DetectorError::Unavailable("unreachable".into())))
+    }
+
+    fn record_success(&self, name: &str) {
+        let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
+        let state = detectors.get_mut(name).expect("registered in wrap");
+        state.breaker = BreakerState::Closed;
+        state.consecutive_failures = 0;
+        state.open_rejections = 0;
+    }
+
+    fn record_failure(&self, name: &str) {
+        let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
+        let state = detectors.get_mut(name).expect("registered in wrap");
+        match state.breaker {
+            BreakerState::HalfOpen => {
+                state.breaker = BreakerState::Open;
+                state.open_rejections = 0;
+                state.stats.breaker_opens += 1;
+            }
+            BreakerState::Closed => {
+                state.consecutive_failures += 1;
+                if state.consecutive_failures >= self.inner.config.breaker_threshold {
+                    state.breaker = BreakerState::Open;
+                    state.open_rejections = 0;
+                    state.stats.breaker_opens += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// The breaker state for `name` (None if never wrapped).
+    pub fn state(&self, name: &str) -> Option<BreakerState> {
+        self.inner
+            .detectors
+            .lock()
+            .expect("supervisor poisoned")
+            .get(name)
+            .map(|s| s.breaker)
+    }
+
+    /// Counters for `name`.
+    pub fn stats(&self, name: &str) -> SupervisorStats {
+        self.inner
+            .detectors
+            .lock()
+            .expect("supervisor poisoned")
+            .get(name)
+            .map(|s| s.stats)
+            .unwrap_or_default()
+    }
+
+    /// Detectors whose breaker is currently not closed — the set the FDS
+    /// schedules healing re-parses for.
+    pub fn broken(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .detectors
+            .lock()
+            .expect("supervisor poisoned")
+            .iter()
+            .filter(|(_, s)| s.breaker != BreakerState::Closed)
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Force-closes the breaker for `name` (e.g. after an operator fixed
+    /// the remote service).
+    pub fn reset(&self, name: &str) {
+        let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
+        if let Some(state) = detectors.get_mut(name) {
+            state.breaker = BreakerState::Closed;
+            state.consecutive_failures = 0;
+            state.open_rejections = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorRegistry, Version};
+
+    fn fast_config() -> SupervisorConfig {
+        SupervisorConfig {
+            deadline: Duration::from_millis(40),
+            max_retries: 1,
+            backoff_base: Duration::from_micros(100),
+            backoff_cap: Duration::from_millis(1),
+            jitter_seed: 7,
+            breaker_threshold: 2,
+            breaker_probe_after: 1,
+        }
+    }
+
+    #[test]
+    fn healthy_detectors_pass_through() {
+        let sup = Supervisor::new(fast_config());
+        let mut wrapped = sup.wrap(
+            "echo",
+            Box::new(|inputs| Ok(vec![Token::new("out", inputs[0].clone())])),
+        );
+        let out = wrapped(&[FeatureValue::Int(3)]).unwrap();
+        assert_eq!(out[0].value, FeatureValue::Int(3));
+        assert_eq!(sup.state("echo"), Some(BreakerState::Closed));
+        assert_eq!(sup.stats("echo").attempts, 1);
+    }
+
+    #[test]
+    fn rejects_are_verdicts_not_retried() {
+        let sup = Supervisor::new(fast_config());
+        let mut wrapped = sup.wrap("judge", Box::new(|_| Err("not a video".into())));
+        for _ in 0..5 {
+            assert_eq!(
+                wrapped(&[]).unwrap_err(),
+                DetectorError::Reject("not a video".into())
+            );
+        }
+        // One attempt per call, breaker stays closed.
+        assert_eq!(sup.stats("judge").attempts, 5);
+        assert_eq!(sup.stats("judge").retries, 0);
+        assert_eq!(sup.state("judge"), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn hung_detector_times_out_and_stale_answers_are_discarded() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let sup = Supervisor::new(SupervisorConfig {
+            deadline: Duration::from_millis(30),
+            max_retries: 0,
+            ..fast_config()
+        });
+        let mut wrapped = sup.wrap(
+            "sleepy",
+            Box::new(move |_| {
+                if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(120));
+                }
+                Ok(vec![Token::new("x", 1i64)])
+            }),
+        );
+        // First call hangs past the deadline.
+        match wrapped(&[]) {
+            Err(DetectorError::Unavailable(cause)) => {
+                assert!(cause.contains("deadline"), "{cause}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(sup.stats("sleepy").timeouts, 1);
+        // Wait for the hung call to finish: its answer now sits in the
+        // channel as a stale message the next attempt must skip over.
+        std::thread::sleep(Duration::from_millis(150));
+        let out = wrapped(&[]).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unavailable_is_retried_with_backoff() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let sup = Supervisor::new(SupervisorConfig {
+            max_retries: 2,
+            ..fast_config()
+        });
+        let mut wrapped = sup.wrap(
+            "flaky",
+            Box::new(move |_| {
+                if c.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(DetectorError::Unavailable("connection reset".into()))
+                } else {
+                    Ok(vec![Token::new("x", 1i64)])
+                }
+            }),
+        );
+        assert_eq!(wrapped(&[]).unwrap().len(), 1);
+        let stats = sup.stats("flaky");
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.retries, 2);
+    }
+
+    #[test]
+    fn breaker_opens_then_probes_then_recovers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let healthy = Arc::new(AtomicBool::new(false));
+        let h = Arc::clone(&healthy);
+        let sup = Supervisor::new(SupervisorConfig {
+            max_retries: 0,
+            breaker_threshold: 2,
+            breaker_probe_after: 1,
+            ..fast_config()
+        });
+        let mut wrapped = sup.wrap(
+            "remote",
+            Box::new(move |_| {
+                if h.load(Ordering::SeqCst) {
+                    Ok(vec![Token::new("x", 1i64)])
+                } else {
+                    Err(DetectorError::Unavailable("down".into()))
+                }
+            }),
+        );
+        // Two failures open the breaker.
+        assert!(wrapped(&[]).is_err());
+        assert!(wrapped(&[]).is_err());
+        assert_eq!(sup.state("remote"), Some(BreakerState::Open));
+        assert_eq!(sup.broken(), vec!["remote".to_owned()]);
+        // Short-circuited call: the detector is not even tried.
+        assert!(wrapped(&[]).is_err());
+        assert_eq!(sup.stats("remote").short_circuits, 1);
+        // Service recovers; the next call is the half-open probe.
+        healthy.store(true, Ordering::SeqCst);
+        assert_eq!(wrapped(&[]).unwrap().len(), 1);
+        assert_eq!(sup.state("remote"), Some(BreakerState::Closed));
+        assert!(sup.broken().is_empty());
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        let sup = Supervisor::new(SupervisorConfig {
+            max_retries: 0,
+            breaker_threshold: 1,
+            breaker_probe_after: 1,
+            ..fast_config()
+        });
+        let mut wrapped = sup.wrap(
+            "dead",
+            Box::new(|_| Err(DetectorError::Unavailable("still down".into()))),
+        );
+        assert!(wrapped(&[]).is_err()); // opens
+        assert_eq!(sup.state("dead"), Some(BreakerState::Open));
+        assert!(wrapped(&[]).is_err()); // short-circuit
+        assert!(wrapped(&[]).is_err()); // probe, fails, reopens
+        assert_eq!(sup.state("dead"), Some(BreakerState::Open));
+        assert_eq!(sup.stats("dead").breaker_opens, 2);
+        sup.reset("dead");
+        assert_eq!(sup.state("dead"), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn panicking_detector_is_reported_unavailable() {
+        let sup = Supervisor::new(SupervisorConfig {
+            max_retries: 0,
+            ..fast_config()
+        });
+        let mut wrapped = sup.wrap("bomb", Box::new(|_| panic!("kaboom")));
+        match wrapped(&[]) {
+            Err(DetectorError::Unavailable(cause)) => {
+                assert!(cause.contains("panicked"), "{cause}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_detector_registers_like_any_other() {
+        let sup = Supervisor::new(fast_config());
+        let mut registry = DetectorRegistry::new();
+        registry.register(
+            "seg",
+            Version::new(1, 0, 0),
+            sup.wrap("seg", Box::new(|_| Ok(vec![Token::new("frameNo", 0i64)]))),
+        );
+        assert_eq!(registry.run("seg", &[]).unwrap().len(), 1);
+    }
+}

@@ -52,6 +52,9 @@ struct PNode {
     value: Option<FeatureValue>,
     /// Version of the detector implementation that produced this node.
     version: Option<Version>,
+    /// Why this detector node could not be completed (its implementation
+    /// was unavailable); `None` for healthy nodes.
+    rejected: Option<String>,
     children: Vec<PNodeId>,
     parent: Option<PNodeId>,
 }
@@ -103,6 +106,7 @@ impl ParseTree {
             kind,
             value: None,
             version: None,
+            rejected: None,
             children: Vec::new(),
             parent,
         });
@@ -140,6 +144,33 @@ impl ParseTree {
     /// The node's recorded detector version, if any.
     pub fn version(&self, id: PNodeId) -> Option<Version> {
         self.nodes[id.index()].version
+    }
+
+    /// Marks a node as rejected-with-cause: its detector was unavailable
+    /// and the subtree is incomplete until a healing re-parse succeeds.
+    pub fn set_rejected(&mut self, id: PNodeId, cause: impl Into<String>) {
+        self.nodes[id.index()].rejected = Some(cause.into());
+    }
+
+    /// Why the node is incomplete, if its detector was unavailable.
+    pub fn rejected(&self, id: PNodeId) -> Option<&str> {
+        self.nodes[id.index()].rejected.as_deref()
+    }
+
+    /// All rejected-with-cause nodes, in document order, with their
+    /// symbols and causes.
+    pub fn rejected_nodes(&self) -> Vec<(PNodeId, String, String)> {
+        match self.root() {
+            Some(root) => self
+                .preorder(root)
+                .into_iter()
+                .filter_map(|n| {
+                    self.rejected(n)
+                        .map(|cause| (n, self.symbol(n).to_owned(), cause.to_owned()))
+                })
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// The node's children, in creation order.
@@ -300,6 +331,9 @@ impl ParseTree {
         if let Some(version) = self.version(node) {
             doc.set_attr(at, "version", version.to_string());
         }
+        if let Some(cause) = self.rejected(node) {
+            doc.set_attr(at, "rejected", cause);
+        }
         if let Some(value) = self.value(node) {
             doc.add_cdata(at, value.lexical());
         }
@@ -346,6 +380,10 @@ fn load_node(
             Error::Grammar(format!("bad version attribute `{vtext}` on <{tag}>"))
         })?;
         tree.set_version(id, version);
+    }
+
+    if let Some(cause) = doc.attr(at, "rejected") {
+        tree.set_rejected(id, cause);
     }
 
     // Direct text = this node's value.
@@ -547,6 +585,21 @@ mod tests {
         let back = ParseTree::from_document(&g, &doc).unwrap();
         let h = back.find_all("header")[0];
         assert_eq!(back.version(h), Some(Version::new(1, 2, 3)));
+    }
+
+    #[test]
+    fn rejected_causes_survive_the_xml_round_trip() {
+        let g = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
+        let mut t = ParseTree::new();
+        let mmo = t.add(None, "MMO", PNodeKind::Variable);
+        let seg = t.add(Some(mmo), "segment", PNodeKind::Detector);
+        t.set_rejected(seg, "transport: rpc server hung up");
+        let doc = t.to_document().unwrap();
+        let back = ParseTree::from_document(&g, &doc).unwrap();
+        let s = back.find_all("segment")[0];
+        assert_eq!(back.rejected(s), Some("transport: rpc server hung up"));
+        assert_eq!(back.rejected_nodes().len(), 1);
+        assert_eq!(back.rejected_nodes()[0].1, "segment");
     }
 
     #[test]

@@ -38,6 +38,30 @@ pub fn engine(site: Arc<Site>) -> Result<Engine> {
         retriever: retriever(),
         grammar_source: feagram::paper::MEDIA_GRAMMAR.to_owned(),
         registry: detectors(site),
+        text_servers: 1,
+        faults: None,
+    })
+}
+
+/// Builds the engine as deployed against an unreliable world: the media
+/// detectors run out of process behind the XML-RPC wire (with the fault
+/// plan injecting at `rpc:<name>`), every remote call is supervised
+/// (deadline, retries, circuit breaker), and full text is spread over
+/// `text_servers` shared-nothing servers (the plan injecting at
+/// `shard:<i>`). With a zero-fault plan the answers are identical to
+/// [`engine`]'s.
+pub fn resilient_engine(
+    site: Arc<Site>,
+    text_servers: usize,
+    plan: Arc<faults::FaultPlan>,
+) -> Result<Engine> {
+    Engine::new(EngineConfig {
+        schema: webspace::paper::ausopen_schema(),
+        retriever: retriever(),
+        grammar_source: feagram::paper::MEDIA_GRAMMAR.to_owned(),
+        registry: supervised_detectors(site, Arc::clone(&plan)),
+        text_servers,
+        faults: Some(plan),
     })
 }
 
@@ -130,6 +154,45 @@ pub fn retriever() -> Retriever {
 /// the simulated site. Analysed videos are cached so `segment` and
 /// `tennis` share one decoded copy per location.
 pub fn detectors(site: Arc<Site>) -> DetectorRegistry {
+    let mut registry = DetectorRegistry::new();
+    for (name, f) in detector_impls(site) {
+        registry.register(name, Version::new(1, 0, 0), f);
+    }
+    registry
+}
+
+/// The detector registry as deployed against an unreliable world: the
+/// media detectors (`segment`, `tennis`, `interview`) run behind the
+/// XML-RPC wire on a server that consults `plan` (labels `rpc:<name>`),
+/// and every remote call is supervised — per-call deadline, bounded
+/// retries with backoff, circuit breaker. `header` (cheap, local MIME
+/// sniffing) stays linked. With a zero-fault plan this registry answers
+/// exactly like [`detectors`].
+pub fn supervised_detectors(site: Arc<Site>, plan: Arc<faults::FaultPlan>) -> DetectorRegistry {
+    let supervisor = acoi::Supervisor::new(acoi::SupervisorConfig::default());
+    let mut registry = DetectorRegistry::new();
+    let mut server = acoi::RpcServer::new().with_fault_plan(plan);
+    for (name, f) in detector_impls(site) {
+        if name == "header" {
+            registry.register(name, Version::new(1, 0, 0), f);
+        } else {
+            server.handle(name, f);
+        }
+    }
+    let client = acoi::external::spawn_server(server);
+    for name in ["segment", "tennis", "interview"] {
+        registry.register(
+            name,
+            Version::new(1, 0, 0),
+            supervisor.wrap(name, client.as_detector(name)),
+        );
+    }
+    registry
+}
+
+/// The four detector implementations, shared by the linked and the
+/// remote/supervised wirings.
+fn detector_impls(site: Arc<Site>) -> Vec<(&'static str, acoi::DetectorFn)> {
     type Cache = Arc<Mutex<HashMap<String, Arc<AnalyzedVideo>>>>;
 
     struct AnalyzedVideo {
@@ -155,14 +218,13 @@ pub fn detectors(site: Arc<Site>) -> DetectorRegistry {
     }
 
     let cache: Cache = Arc::new(Mutex::new(HashMap::new()));
-    let mut registry = DetectorRegistry::new();
+    let mut impls: Vec<(&'static str, acoi::DetectorFn)> = Vec::new();
 
     // header: MIME sniffing over the simulated HTTP server.
     {
         let site = Arc::clone(&site);
-        registry.register(
+        impls.push((
             "header",
-            Version::new(1, 0, 0),
             Box::new(move |inputs| {
                 let url = inputs[0].as_str().ok_or("header: no location")?;
                 let (primary, secondary) = site.mime(url);
@@ -171,7 +233,7 @@ pub fn detectors(site: Arc<Site>) -> DetectorRegistry {
                     Token::new("secondary", secondary),
                 ])
             }),
-        );
+        ));
     }
 
     // segment: shot segmentation + classification (one combined
@@ -179,9 +241,8 @@ pub fn detectors(site: Arc<Site>) -> DetectorRegistry {
     {
         let site = Arc::clone(&site);
         let cache = Arc::clone(&cache);
-        registry.register(
+        impls.push((
             "segment",
-            Version::new(1, 0, 0),
             Box::new(move |inputs| {
                 let url = inputs[0].as_str().ok_or("segment: no location")?;
                 let analysed = analysed(&site, &cache, url)?;
@@ -203,7 +264,7 @@ pub fn detectors(site: Arc<Site>) -> DetectorRegistry {
                 }
                 Ok(tokens)
             }),
-        );
+        ));
     }
 
     // tennis: player segmentation, tracking and shape features for one
@@ -211,9 +272,8 @@ pub fn detectors(site: Arc<Site>) -> DetectorRegistry {
     {
         let site = Arc::clone(&site);
         let cache = Arc::clone(&cache);
-        registry.register(
+        impls.push((
             "tennis",
-            Version::new(1, 0, 0),
             Box::new(move |inputs| {
                 let url = inputs[0].as_str().ok_or("tennis: no location")?;
                 let begin = inputs[1].as_f64().ok_or("tennis: no begin")? as usize;
@@ -238,15 +298,14 @@ pub fn detectors(site: Arc<Site>) -> DetectorRegistry {
                 }
                 Ok(tokens)
             }),
-        );
+        ));
     }
 
     // interview: audio segmentation + speaker-turn analysis.
     {
         let site = Arc::clone(&site);
-        registry.register(
+        impls.push((
             "interview",
-            Version::new(1, 0, 0),
             Box::new(move |inputs| {
                 let url = inputs[0].as_str().ok_or("interview: no location")?;
                 let clip = site
@@ -258,10 +317,10 @@ pub fn detectors(site: Arc<Site>) -> DetectorRegistry {
                     Token::new("turnCount", count_turns(clip, &segments, 20.0) as i64),
                 ])
             }),
-        );
+        ));
     }
 
-    registry
+    impls
 }
 
 #[cfg(test)]

@@ -15,8 +15,10 @@
 //!   ranked text retrieval and media-event evidence into one answer.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use acoi::{DetectorRegistry, Fde, Fds, MaintenanceReport, MetaIndex, RevisionLevel, Token};
+use faults::FaultPlan;
 use feagram::{FeatureValue, Grammar};
 use monetxml::XmlStore;
 use webspace::{AttrValue, MaterializedView, MediaType, Retriever, WebspaceIndex, WebspaceSchema};
@@ -36,6 +38,14 @@ pub struct EngineConfig {
     pub grammar_source: String,
     /// Implementations for the grammar's blackbox detectors.
     pub registry: DetectorRegistry,
+    /// Shared-nothing text servers backing full-text retrieval. `1`
+    /// keeps the single-server semantics (and byte-identical rankings);
+    /// more servers distribute documents per-document and answer
+    /// queries in parallel, degrading gracefully when servers fail.
+    pub text_servers: usize,
+    /// Fault plan consulted by the text servers (labels `shard:<i>`).
+    /// `None` means no injection anywhere.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 /// What one population run did.
@@ -53,6 +63,13 @@ pub struct PopulateReport {
     pub media_analyzed: usize,
     /// Multimedia objects whose analysis was rejected by the grammar.
     pub media_rejected: usize,
+    /// Multimedia objects analysed, but with holes: one or more
+    /// detectors were unavailable, so their parse tree carries
+    /// rejected-with-cause nodes awaiting a heal.
+    pub media_degraded: usize,
+    /// Total unavailable-detector failures recorded across the run
+    /// (rejected nodes over all degraded objects).
+    pub detector_failures: usize,
     /// Blackbox detector executions during analysis.
     pub detector_calls: usize,
 }
@@ -66,9 +83,12 @@ pub struct Engine {
     webspace: WebspaceIndex,
     /// Conceptual data as stored XML (the physical level's view store).
     views: XmlStore,
-    text: ir::TextIndex,
+    text: ir::DistributedIndex,
     meta: MetaIndex,
     fds: Fds,
+    /// Shard status of the last text retrieval, for degraded-plan
+    /// reporting. `None` until a text query ran.
+    last_text_status: Option<TextQueryStatus>,
     /// Lazily computed media evidence per analysed location: the shot
     /// list and per-event verdicts. Loading a stored parse tree means
     /// reconstructing it from the Monet relations, so repeated queries
@@ -83,11 +103,32 @@ struct MediaEvidence {
     events: HashMap<String, bool>,
 }
 
+/// Shard status of the most recent text retrieval: how distributed (and
+/// how degraded) the ranking behind the current answer was.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextQueryStatus {
+    /// Text servers whose local ranking made it into the merge.
+    pub shards_ok: usize,
+    /// Text servers that failed (error, hang past deadline, panic).
+    pub shards_failed: usize,
+    /// Which servers failed.
+    pub failed_shards: Vec<usize>,
+    /// Estimated answer quality: fraction of the collection's documents
+    /// held by surviving servers.
+    pub quality: f64,
+}
+
 impl Engine {
     /// Builds an engine from its model.
     pub fn new(config: EngineConfig) -> Result<Engine> {
         let grammar = feagram::parse_grammar(&config.grammar_source)?;
         let fds = Fds::new(&grammar);
+        let mut text =
+            ir::DistributedIndex::new(config.text_servers, ir::ScoreModel::TfIdf)
+                .map_err(Error::Ir)?;
+        if let Some(plan) = &config.faults {
+            text.set_fault_plan(Arc::clone(plan));
+        }
         Ok(Engine {
             webspace: WebspaceIndex::new(config.schema.clone()),
             schema: config.schema,
@@ -95,9 +136,10 @@ impl Engine {
             grammar,
             registry: config.registry,
             views: XmlStore::new(),
-            text: ir::TextIndex::new(ir::ScoreModel::TfIdf),
+            text,
             meta: MetaIndex::new(),
             fds,
+            last_text_status: None,
             media_cache: HashMap::new(),
         })
     }
@@ -132,9 +174,19 @@ impl Engine {
         &mut self.meta
     }
 
-    /// The full-text index.
-    pub fn text_index(&self) -> &ir::TextIndex {
+    /// The full-text index (one or more shared-nothing servers).
+    pub fn text_index(&self) -> &ir::DistributedIndex {
         &self.text
+    }
+
+    /// Mutable full-text index access (deadline / fault-plan knobs).
+    pub fn text_index_mut(&mut self) -> &mut ir::DistributedIndex {
+        &mut self.text
+    }
+
+    /// Shard status of the last text retrieval, if any ran.
+    pub fn last_text_status(&self) -> Option<&TextQueryStatus> {
+        self.last_text_status.as_ref()
     }
 
     /// The detector registry (call counters for experiments).
@@ -224,12 +276,30 @@ impl Engine {
                         match fde.parse(initial.clone()) {
                             Ok(tree) => {
                                 report.detector_calls += fde.stats().detector_calls;
+                                // Unavailable detectors don't abort the
+                                // parse — they leave rejected-with-cause
+                                // holes. Count and log every one so a
+                                // degraded population is visible, not
+                                // silently incomplete.
+                                let rejected = tree.rejected_nodes();
+                                if !rejected.is_empty() {
+                                    report.media_degraded += 1;
+                                    report.detector_failures += rejected.len();
+                                    for (_, symbol, cause) in &rejected {
+                                        eprintln!(
+                                            "populate: {location}: detector `{symbol}` unavailable: {cause}"
+                                        );
+                                    }
+                                }
                                 self.meta.insert(location, initial, &tree)?;
                                 report.media_analyzed += 1;
                             }
-                            Err(acoi::Error::Reject { .. })
-                            | Err(acoi::Error::DetectorFailed { .. }) => {
+                            Err(
+                                e @ (acoi::Error::Reject { .. }
+                                | acoi::Error::DetectorFailed { .. }),
+                            ) => {
                                 report.media_rejected += 1;
+                                eprintln!("populate: {location}: analysis rejected: {e}");
                             }
                             Err(e) => return Err(Error::Acoi(e)),
                         }
@@ -277,6 +347,30 @@ impl Engine {
                     }
                 ),
             );
+            if self.text.servers() > 1 {
+                push(
+                    &mut out,
+                    format!(
+                        "fan the top-{} request out to {} shared-nothing text servers; the central node merges the local rankings",
+                        text.top_n,
+                        self.text.servers()
+                    ),
+                );
+            }
+            if let Some(st) = &self.last_text_status {
+                if st.shards_failed > 0 {
+                    push(
+                        &mut out,
+                        format!(
+                            "DEGRADED: {} of {} text servers answered last time (shards {:?} down), estimated quality {:.0}%",
+                            st.shards_ok,
+                            st.shards_ok + st.shards_failed,
+                            st.failed_shards,
+                            st.quality * 100.0
+                        ),
+                    );
+                }
+            }
         }
         for join in &q.conceptual.joins {
             push(
@@ -306,8 +400,11 @@ impl Engine {
         //    choice: global ranking merged afterwards, or ranking
         //    restricted a-priori to the conceptual candidates.
         let mut scores: Option<HashMap<String, f64>> = None;
+        if q.text.is_none() {
+            self.last_text_status = None;
+        }
         if let Some(text) = &q.text {
-            let hits = if text.rank_within {
+            let result = if text.rank_within {
                 let candidates: std::collections::HashSet<String> = rows
                     .iter()
                     .filter_map(|r| r.chain.first())
@@ -316,13 +413,20 @@ impl Engine {
                 self.text
                     .query_restricted(&text.query, text.top_n, &candidates)
                     .map_err(Error::Ir)?
-                    .0
             } else {
+                // Parallel, isolated evaluation: failed servers drop
+                // out and the merge ranks the survivors.
                 self.text
-                    .query(&text.query, text.top_n)
+                    .query_parallel(&text.query, text.top_n)
                     .map_err(Error::Ir)?
-                    .0
             };
+            self.last_text_status = Some(TextQueryStatus {
+                shards_ok: result.shards_ok,
+                shards_failed: result.shards_failed,
+                failed_shards: result.failed_shards.clone(),
+                quality: result.quality,
+            });
+            let hits = result.hits;
             let mut map = HashMap::new();
             for hit in hits {
                 if let Some((object_id, attr)) = split_text_doc_key(&hit.url) {
@@ -472,6 +576,18 @@ impl Engine {
                 level,
                 new_impl,
             )
+            .map_err(Error::Acoi)
+    }
+
+    /// Re-parses every analysed object whose stored tree carries
+    /// rejected-with-cause holes left by an unavailable `detector` —
+    /// the low-priority heal the scheduler queues when a circuit breaks.
+    /// Healthy detector results are reused from the harvest cache, so a
+    /// heal costs only the calls the outage originally skipped.
+    pub fn heal_detector(&mut self, detector: &str) -> Result<MaintenanceReport> {
+        self.media_cache.clear();
+        self.fds
+            .heal_detector(&self.grammar, &mut self.registry, &mut self.meta, detector)
             .map_err(Error::Acoi)
     }
 }

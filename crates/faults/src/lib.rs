@@ -1,0 +1,302 @@
+//! Deterministic, seedable fault injection.
+//!
+//! The paper's architecture spans components that fail in practice:
+//! blackbox detectors reached over XML-RPC ("possible failure" is part
+//! of the detector contract) and full-text relations distributed over
+//! shared-nothing servers. A [`FaultPlan`] decides, per call-site
+//! *label* (e.g. `rpc:tennis`, `shard:2`), whether a call should fail
+//! with a transport error, hang past its deadline, or return garbage —
+//! so every failure mode is testable without a real network.
+//!
+//! Decisions are a pure function of `(seed, label, per-label call
+//! count)`: two runs with the same plan observe the same faults, which
+//! keeps degraded-mode runs reproducible and zero-fault runs
+//! byte-identical to fault-free builds.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// What the injection point should do for one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed normally.
+    None,
+    /// Fail immediately with a transport-style error.
+    Error,
+    /// Stall the call until past its deadline.
+    Hang,
+    /// Deliver a corrupted (undecodable) response.
+    Garbage,
+}
+
+/// Per-label fault probabilities (the three kinds are disjoint; their
+/// sum must stay ≤ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultSpec {
+    /// Probability of a transport error.
+    pub error: f64,
+    /// Probability of a hang.
+    pub hang: f64,
+    /// Probability of a garbage response.
+    pub garbage: f64,
+}
+
+impl FaultSpec {
+    /// No faults ever.
+    pub fn none() -> Self {
+        FaultSpec::default()
+    }
+
+    /// Transport errors with probability `p`.
+    pub fn errors(p: f64) -> Self {
+        FaultSpec {
+            error: p,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Hangs on every call.
+    pub fn always_hang() -> Self {
+        FaultSpec {
+            hang: 1.0,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Transport errors on every call.
+    pub fn always_error() -> Self {
+        FaultSpec {
+            error: 1.0,
+            ..FaultSpec::default()
+        }
+    }
+
+    fn validate(&self) {
+        let sum = self.error + self.hang + self.garbage;
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&sum),
+            "fault probabilities sum to {sum}, must be within [0, 1]"
+        );
+    }
+}
+
+#[derive(Debug, Default)]
+struct SiteState {
+    spec: Option<FaultSpec>,
+    /// Scripted prefix, consumed one action per call before `spec` (or
+    /// the default spec) takes over.
+    script: Vec<FaultAction>,
+    consumed: usize,
+    calls: u64,
+}
+
+/// A deterministic fault schedule shared by every injection point.
+///
+/// Interior mutability makes the plan `Arc`-shareable across the RPC
+/// clients, supervisors and shard threads that consult it.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    default: FaultSpec,
+    sites: Mutex<HashMap<String, SiteState>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn label_hash(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the production default).
+    pub fn none() -> Self {
+        FaultPlan::seeded(0)
+    }
+
+    /// An empty plan with deterministic randomness derived from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            default: FaultSpec::none(),
+            sites: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the spec applied to every label without its own entry
+    /// (builder style).
+    pub fn with_default(mut self, spec: FaultSpec) -> Self {
+        spec.validate();
+        self.default = spec;
+        self
+    }
+
+    /// Sets the probabilistic spec for one label (builder style).
+    pub fn with_site(self, label: impl Into<String>, spec: FaultSpec) -> Self {
+        self.set_site(label, spec);
+        self
+    }
+
+    /// Prepends a scripted schedule for one label: the listed actions
+    /// are consumed one per call, after which the label falls back to
+    /// its spec (builder style).
+    pub fn with_script(self, label: impl Into<String>, script: Vec<FaultAction>) -> Self {
+        self.set_script(label, script);
+        self
+    }
+
+    /// Replaces the probabilistic spec for `label` at runtime — e.g. to
+    /// simulate a detector recovering mid-run.
+    pub fn set_site(&self, label: impl Into<String>, spec: FaultSpec) {
+        spec.validate();
+        let mut sites = self.sites.lock().expect("fault plan poisoned");
+        sites.entry(label.into()).or_default().spec = Some(spec);
+    }
+
+    /// Replaces the scripted schedule for `label` at runtime.
+    pub fn set_script(&self, label: impl Into<String>, script: Vec<FaultAction>) {
+        let mut sites = self.sites.lock().expect("fault plan poisoned");
+        let site = sites.entry(label.into()).or_default();
+        site.script = script;
+        site.consumed = 0;
+    }
+
+    /// Decides what the next call at `label` should do, advancing the
+    /// per-label call counter.
+    pub fn decide(&self, label: &str) -> FaultAction {
+        let mut sites = self.sites.lock().expect("fault plan poisoned");
+        let site = sites.entry(label.to_owned()).or_default();
+        let call = site.calls;
+        site.calls += 1;
+        if site.consumed < site.script.len() {
+            let action = site.script[site.consumed];
+            site.consumed += 1;
+            return action;
+        }
+        let spec = site.spec.unwrap_or(self.default);
+        let word = splitmix(self.seed ^ label_hash(label) ^ call.wrapping_mul(0x9E37_79B9));
+        let draw = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if draw < spec.error {
+            FaultAction::Error
+        } else if draw < spec.error + spec.hang {
+            FaultAction::Hang
+        } else if draw < spec.error + spec.hang + spec.garbage {
+            FaultAction::Garbage
+        } else {
+            FaultAction::None
+        }
+    }
+
+    /// Total calls decided for `label` so far.
+    pub fn calls(&self, label: &str) -> u64 {
+        self.sites
+            .lock()
+            .expect("fault plan poisoned")
+            .get(label)
+            .map_or(0, |s| s.calls)
+    }
+
+    /// Wraps the plan for sharing across threads.
+    pub fn shared(self) -> Arc<FaultPlan> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_plan_never_faults() {
+        let plan = FaultPlan::none();
+        for i in 0..1000 {
+            assert_eq!(plan.decide(&format!("site:{}", i % 7)), FaultAction::None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_label() {
+        let observe = |seed| {
+            let plan = FaultPlan::seeded(seed).with_default(FaultSpec {
+                error: 0.3,
+                hang: 0.2,
+                garbage: 0.1,
+            });
+            (0..200)
+                .map(|_| plan.decide("rpc:tennis"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(observe(42), observe(42));
+        assert_ne!(observe(42), observe(43), "different seeds, same schedule");
+    }
+
+    #[test]
+    fn labels_have_independent_streams() {
+        let plan = FaultPlan::seeded(7).with_default(FaultSpec::errors(0.5));
+        let a: Vec<_> = (0..100).map(|_| plan.decide("a")).collect();
+        let plan = FaultPlan::seeded(7).with_default(FaultSpec::errors(0.5));
+        let b: Vec<_> = (0..100).map(|_| plan.decide("b")).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn error_rate_tracks_the_spec() {
+        let plan = FaultPlan::seeded(1).with_site("s", FaultSpec::errors(0.2));
+        let errors = (0..10_000)
+            .filter(|_| plan.decide("s") == FaultAction::Error)
+            .count();
+        assert!((1700..2300).contains(&errors), "errors {errors}");
+    }
+
+    #[test]
+    fn scripts_run_before_probabilities() {
+        let plan = FaultPlan::seeded(9)
+            .with_script(
+                "d",
+                vec![FaultAction::Error, FaultAction::Hang, FaultAction::Garbage],
+            )
+            .with_site("d", FaultSpec::none());
+        assert_eq!(plan.decide("d"), FaultAction::Error);
+        assert_eq!(plan.decide("d"), FaultAction::Hang);
+        assert_eq!(plan.decide("d"), FaultAction::Garbage);
+        for _ in 0..50 {
+            assert_eq!(plan.decide("d"), FaultAction::None);
+        }
+        assert_eq!(plan.calls("d"), 53);
+    }
+
+    #[test]
+    fn sites_can_recover_at_runtime() {
+        let plan = FaultPlan::seeded(3).with_site("d", FaultSpec::always_error());
+        assert_eq!(plan.decide("d"), FaultAction::Error);
+        plan.set_site("d", FaultSpec::none());
+        assert_eq!(plan.decide("d"), FaultAction::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault probabilities")]
+    fn overfull_specs_are_rejected() {
+        let _ = FaultPlan::none().with_default(FaultSpec {
+            error: 0.8,
+            hang: 0.5,
+            garbage: 0.0,
+        });
+    }
+}

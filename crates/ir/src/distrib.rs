@@ -16,6 +16,32 @@
 //! Each logical server is a full [`TextIndex`] over its slice of the
 //! collection (shared-nothing: no cross-server state). The parallel
 //! evaluation path runs one scoped thread per server.
+//!
+//! # Degraded mode
+//!
+//! Shared-nothing distribution also means shared-nothing *failure*: a
+//! server can crash, hang or answer garbage without taking the others
+//! down, so the central node must not either. [`query_parallel`]
+//! isolates every server — panics are caught, answers are collected
+//! with a deadline — and merges whatever survived. The
+//! [`DistributedResult`] reports how many servers answered
+//! ([`shards_ok`](DistributedResult::shards_ok) /
+//! [`shards_failed`](DistributedResult::shards_failed)) and a quality
+//! estimate in the style of the fragmentation cutoff model: the
+//! fraction of the collection's documents the surviving servers cover.
+//! Only when *every* server fails does the query error
+//! ([`Error::AllShardsFailed`]).
+//!
+//! Failures are injectable through a [`faults::FaultPlan`] consulted
+//! under the label `shard:<i>` before each server runs its local query.
+//!
+//! [`query_parallel`]: DistributedIndex::query_parallel
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use faults::{FaultAction, FaultPlan};
 
 use crate::error::{Error, Result};
 use crate::index::{QueryWork, ScoreModel, SearchHit, TextIndex};
@@ -23,16 +49,40 @@ use crate::index::{QueryWork, ScoreModel, SearchHit, TextIndex};
 /// A distributed text index: N shared-nothing logical servers.
 pub struct DistributedIndex {
     shards: Vec<TextIndex>,
+    faults: Option<Arc<FaultPlan>>,
+    shard_deadline: Duration,
+    hang: Duration,
 }
 
 /// Outcome of a distributed query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistributedResult {
-    /// The merged master ranking.
+    /// The merged master ranking (of the surviving servers).
     pub hits: Vec<SearchHit>,
     /// Per-server work counters (for the load-balance experiment E5).
+    /// A failed server contributes [`QueryWork::default`].
     pub per_shard_work: Vec<QueryWork>,
+    /// Servers whose local ranking made it into the merge.
+    pub shards_ok: usize,
+    /// Servers that errored, hung past the deadline or panicked.
+    pub shards_failed: usize,
+    /// Which servers failed (indices into the shard list).
+    pub failed_shards: Vec<usize>,
+    /// Estimated answer quality, as in the fragmentation cutoff model:
+    /// the fraction of the collection's documents held by surviving
+    /// servers. `1.0` means the ranking is complete.
+    pub quality: f64,
 }
+
+impl DistributedResult {
+    /// Whether any server dropped out of this answer.
+    pub fn is_degraded(&self) -> bool {
+        self.shards_failed > 0
+    }
+}
+
+/// What one server thread reports back to the central node.
+type ShardAnswer = std::result::Result<(Vec<SearchHit>, QueryWork), String>;
 
 impl DistributedIndex {
     /// Creates `servers` empty logical servers.
@@ -42,12 +92,34 @@ impl DistributedIndex {
         }
         Ok(DistributedIndex {
             shards: (0..servers).map(|_| TextIndex::new(model)).collect(),
+            faults: None,
+            shard_deadline: Duration::from_millis(250),
+            hang: Duration::from_millis(500),
         })
     }
 
     /// Number of logical servers.
     pub fn servers(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Attaches a fault plan consulted (label `shard:<i>`) before each
+    /// server answers a parallel query.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// How long the central node waits for server answers before
+    /// declaring the stragglers failed (default 250ms).
+    pub fn set_shard_deadline(&mut self, deadline: Duration) {
+        self.shard_deadline = deadline;
+    }
+
+    /// How long an injected [`FaultAction::Hang`] stalls a server
+    /// (default 500ms — past the default deadline, but bounded so the
+    /// query thread pool drains).
+    pub fn set_hang_duration(&mut self, hang: Duration) {
+        self.hang = hang;
     }
 
     /// Routes a document to its server (stable per-document assignment)
@@ -95,49 +167,174 @@ impl DistributedIndex {
     }
 
     /// Serial evaluation: local top-`k` on each server in turn, then the
-    /// master merge.
+    /// master merge. No isolation — any server error fails the query —
+    /// so a serial answer is always complete (`quality == 1.0`).
     pub fn query_serial(&mut self, text: &str, k: usize) -> Result<DistributedResult> {
+        let sizes = self.shard_sizes();
         let mut locals = Vec::with_capacity(self.shards.len());
         for shard in &mut self.shards {
-            locals.push(shard.query(text, k)?);
+            locals.push(Some(shard.query(text, k)?));
         }
-        Ok(merge(locals, k))
+        Ok(merge(locals, &sizes, k))
+    }
+
+    /// Candidate-restricted evaluation: each server ranks only the
+    /// candidate documents it holds ("a very interesting a-priori
+    /// restriction of the ranking candidate set"), then the master
+    /// merge. Serial and unisolated, like [`query_serial`].
+    ///
+    /// [`query_serial`]: DistributedIndex::query_serial
+    pub fn query_restricted(
+        &mut self,
+        text: &str,
+        k: usize,
+        candidates: &std::collections::HashSet<String>,
+    ) -> Result<DistributedResult> {
+        let sizes = self.shard_sizes();
+        let mut locals = Vec::with_capacity(self.shards.len());
+        for shard in &mut self.shards {
+            locals.push(Some(shard.query_restricted(text, k, candidates)?));
+        }
+        Ok(merge(locals, &sizes, k))
     }
 
     /// Parallel evaluation: one scoped thread per server (shared-nothing,
     /// so servers proceed independently), then the master merge.
+    ///
+    /// Every server is isolated: a panic is caught in its thread, an
+    /// injected fault or index error marks it failed, and a server that
+    /// does not answer within the shard deadline is abandoned (its
+    /// thread still winds down — injected hangs are bounded). The merge
+    /// ranks whatever survived; [`Error::AllShardsFailed`] is returned
+    /// only when no server answered.
     pub fn query_parallel(&mut self, text: &str, k: usize) -> Result<DistributedResult> {
-        type LocalResult = Result<(Vec<SearchHit>, QueryWork)>;
-        let mut slots: Vec<Option<LocalResult>> =
-            (0..self.shards.len()).map(|_| None).collect();
+        let n = self.shards.len();
+        let sizes = self.shard_sizes();
+        let plan = self.faults.clone();
+        let hang = self.hang;
+        let deadline = Instant::now() + self.shard_deadline;
+        let mut slots: Vec<Option<ShardAnswer>> = (0..n).map(|_| None).collect();
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, ShardAnswer)>();
         crossbeam::thread::scope(|scope| {
-            for (shard, slot) in self.shards.iter_mut().zip(slots.iter_mut()) {
+            for (i, shard) in self.shards.iter_mut().enumerate() {
+                let tx = tx.clone();
+                let plan = plan.clone();
                 scope.spawn(move |_| {
-                    *slot = Some(shard.query(text, k));
+                    let answer = run_shard(shard, text, k, i, plan.as_deref(), hang);
+                    // The central node may have stopped listening; the
+                    // answer is then simply dropped.
+                    let _ = tx.send((i, answer));
                 });
             }
+            drop(tx);
+            // Collect *inside* the scope: the scope exit still joins a
+            // hung server thread, but the deadline bounds how long the
+            // merge waits for answers.
+            let mut pending = n;
+            while pending > 0 {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(remaining) {
+                    Ok((i, answer)) => {
+                        slots[i] = Some(answer);
+                        pending -= 1;
+                    }
+                    Err(_) => break,
+                }
+            }
         })
-        .map_err(|_| Error::Config("a server thread panicked".into()))?;
-        let mut locals = Vec::with_capacity(slots.len());
-        for slot in slots {
-            locals.push(slot.expect("every shard ran")?);
+        .map_err(|_| Error::Config("the central query node panicked".into()))?;
+
+        let mut locals = Vec::with_capacity(n);
+        let mut causes = Vec::new();
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Some(Ok(local)) => locals.push(Some(local)),
+                Some(Err(cause)) => {
+                    causes.push(format!("shard {i}: {cause}"));
+                    locals.push(None);
+                }
+                None => {
+                    causes.push(format!(
+                        "shard {i}: no answer within {:?}",
+                        self.shard_deadline
+                    ));
+                    locals.push(None);
+                }
+            }
         }
-        Ok(merge(locals, k))
+        if locals.iter().all(Option::is_none) {
+            return Err(Error::AllShardsFailed(causes.join("; ")));
+        }
+        Ok(merge(locals, &sizes, k))
     }
 }
 
-/// "The central node merges the top-10 rankings into a large ranking."
-fn merge(locals: Vec<(Vec<SearchHit>, QueryWork)>, k: usize) -> DistributedResult {
+/// One server's side of the query: consult the fault plan, then run the
+/// local top-`k` with panics contained.
+fn run_shard(
+    shard: &mut TextIndex,
+    text: &str,
+    k: usize,
+    i: usize,
+    plan: Option<&FaultPlan>,
+    hang: Duration,
+) -> ShardAnswer {
+    if let Some(plan) = plan {
+        match plan.decide(&format!("shard:{i}")) {
+            FaultAction::None => {}
+            FaultAction::Error => return Err("injected transport error".into()),
+            FaultAction::Garbage => return Err("undecodable server response".into()),
+            FaultAction::Hang => std::thread::sleep(hang),
+        }
+    }
+    match catch_unwind(AssertUnwindSafe(|| shard.query(text, k))) {
+        Ok(Ok(local)) => Ok(local),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(_) => Err("server thread panicked".into()),
+    }
+}
+
+/// "The central node merges the top-10 rankings into a large ranking" —
+/// over the servers that answered (`None` marks a failed server).
+fn merge(
+    locals: Vec<Option<(Vec<SearchHit>, QueryWork)>>,
+    sizes: &[usize],
+    k: usize,
+) -> DistributedResult {
     let mut per_shard_work = Vec::with_capacity(locals.len());
+    let mut failed_shards = Vec::new();
     let mut all = Vec::new();
-    for (hits, work) in locals {
-        per_shard_work.push(work);
-        all.extend(hits);
+    let mut surviving_docs = 0usize;
+    for (i, local) in locals.into_iter().enumerate() {
+        match local {
+            Some((hits, work)) => {
+                per_shard_work.push(work);
+                all.extend(hits);
+                surviving_docs += sizes[i];
+            }
+            None => {
+                per_shard_work.push(QueryWork::default());
+                failed_shards.push(i);
+            }
+        }
     }
     all.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
     all.truncate(k);
+    let total: usize = sizes.iter().sum();
+    let quality = if total == 0 {
+        1.0
+    } else {
+        surviving_docs as f64 / total as f64
+    };
     DistributedResult {
         hits: all,
+        shards_ok: sizes.len() - failed_shards.len(),
+        shards_failed: failed_shards.len(),
+        failed_shards,
+        quality,
         per_shard_work,
     }
 }
@@ -145,6 +342,7 @@ fn merge(locals: Vec<(Vec<SearchHit>, QueryWork)>, k: usize) -> DistributedResul
 #[cfg(test)]
 mod tests {
     use super::*;
+    use faults::FaultSpec;
 
     fn corpus(n: usize) -> Vec<(String, String)> {
         (0..n)
@@ -212,6 +410,10 @@ mod tests {
         let serial = d.query_serial("winner tennis", 10).unwrap();
         let parallel = d.query_parallel("winner tennis", 10).unwrap();
         assert_eq!(serial.hits, parallel.hits);
+        assert_eq!(serial, parallel);
+        assert!(!parallel.is_degraded());
+        assert_eq!(parallel.shards_ok, 4);
+        assert_eq!(parallel.quality, 1.0);
     }
 
     #[test]
@@ -229,5 +431,126 @@ mod tests {
     #[test]
     fn zero_servers_is_a_config_error() {
         assert!(DistributedIndex::new(0, ScoreModel::TfIdf).is_err());
+    }
+
+    #[test]
+    fn zero_fault_plan_leaves_the_ranking_untouched() {
+        let mut plain = build(4, 200);
+        let mut injected = build(4, 200);
+        injected.set_fault_plan(FaultPlan::none().shared());
+        let a = plain.query_parallel("winner tennis", 10).unwrap();
+        let b = injected.query_parallel("winner tennis", 10).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.quality, 1.0);
+    }
+
+    #[test]
+    fn a_failed_shard_degrades_the_answer_instead_of_erroring() {
+        let mut d = build(4, 120);
+        d.set_fault_plan(
+            FaultPlan::seeded(1)
+                .with_script("shard:1", vec![FaultAction::Error])
+                .shared(),
+        );
+        let sizes = d.shard_sizes();
+        let r = d.query_parallel("winner", 10).unwrap();
+        assert!(r.is_degraded());
+        assert_eq!(r.shards_ok, 3);
+        assert_eq!(r.shards_failed, 1);
+        assert_eq!(r.failed_shards, vec![1]);
+        assert_eq!(r.per_shard_work[1], QueryWork::default());
+        assert!(!r.hits.is_empty(), "survivors still answer");
+        // No hit can come from the dead server…
+        for hit in &r.hits {
+            assert_ne!(d.route(&hit.url), 1, "hit from a failed shard: {hit:?}");
+        }
+        // …and the quality estimate is the surviving document fraction.
+        let total: usize = sizes.iter().sum();
+        let expected = (total - sizes[1]) as f64 / total as f64;
+        assert!((r.quality - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a_hung_shard_is_timed_out_and_dropped() {
+        let mut d = build(4, 120);
+        d.set_fault_plan(
+            FaultPlan::seeded(2)
+                .with_script("shard:2", vec![FaultAction::Hang])
+                .shared(),
+        );
+        d.set_shard_deadline(Duration::from_millis(40));
+        d.set_hang_duration(Duration::from_millis(160));
+        let start = Instant::now();
+        let r = d.query_parallel("winner", 10).unwrap();
+        assert_eq!(r.failed_shards, vec![2]);
+        assert!(!r.hits.is_empty());
+        // The hang is bounded: the scope drains shortly after the sleep.
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "hung shard stalled the query for {:?}",
+            start.elapsed()
+        );
+        // A later query sees the recovered server again.
+        let healthy = d.query_parallel("winner", 10).unwrap();
+        assert_eq!(healthy.shards_failed, 0);
+    }
+
+    #[test]
+    fn garbage_answers_count_as_failures() {
+        let mut d = build(3, 90);
+        d.set_fault_plan(
+            FaultPlan::seeded(3)
+                .with_script("shard:0", vec![FaultAction::Garbage])
+                .shared(),
+        );
+        let r = d.query_parallel("tennis", 10).unwrap();
+        assert_eq!(r.failed_shards, vec![0]);
+        assert_eq!(r.shards_ok, 2);
+    }
+
+    #[test]
+    fn all_shards_failing_is_an_error() {
+        let mut d = build(3, 60);
+        d.set_fault_plan(
+            FaultPlan::seeded(4)
+                .with_default(FaultSpec::always_error())
+                .shared(),
+        );
+        match d.query_parallel("winner", 10) {
+            Err(Error::AllShardsFailed(msg)) => {
+                assert!(msg.contains("injected transport error"), "{msg}");
+            }
+            other => panic!("expected AllShardsFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn killing_a_shard_yields_exactly_the_survivors_ranking() {
+        // The degraded merge must equal a fault-free merge over the
+        // surviving servers only (same routing, dead shard's documents
+        // absent) — no partial or stale data sneaks in.
+        let mut d = build(4, 200);
+        d.set_fault_plan(
+            FaultPlan::seeded(5)
+                .with_script("shard:3", vec![FaultAction::Error])
+                .shared(),
+        );
+        let degraded = d.query_parallel("winner tennis", 10).unwrap();
+
+        let mut survivors = build(4, 200);
+        let full = survivors.query_serial("winner tennis", 200).unwrap();
+        let mut expected: Vec<&SearchHit> = full
+            .hits
+            .iter()
+            .filter(|h| survivors.route(&h.url) != 3)
+            .collect();
+        expected.truncate(10);
+        let urls = |hits: &[&SearchHit]| {
+            hits.iter().map(|h| h.url.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            urls(&degraded.hits.iter().collect::<Vec<_>>()),
+            urls(&expected)
+        );
     }
 }

@@ -11,6 +11,9 @@ pub enum Error {
     Monet(monet::Error),
     /// Bad configuration (zero fragments, zero servers, …).
     Config(String),
+    /// Every distributed server failed to answer a query — there is no
+    /// survivor left to degrade to.
+    AllShardsFailed(String),
 }
 
 impl fmt::Display for Error {
@@ -19,6 +22,7 @@ impl fmt::Display for Error {
             Error::Document(m) => write!(f, "document error: {m}"),
             Error::Monet(e) => write!(f, "store error: {e}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::AllShardsFailed(m) => write!(f, "all servers failed: {m}"),
         }
     }
 }

@@ -36,7 +36,7 @@ pub mod index;
 pub mod lang;
 pub mod text;
 
-pub use distrib::DistributedIndex;
+pub use distrib::{DistributedIndex, DistributedResult};
 pub use error::{Error, Result};
 pub use frag::FragmentedIndex;
 pub use index::{ScoreModel, SearchHit, TextIndex};

@@ -1,5 +1,6 @@
 //! Property tests for retrieval invariants.
 
+use faults::{FaultAction, FaultPlan};
 use ir::{DistributedIndex, FragmentedIndex, ScoreModel, TextIndex};
 use proptest::prelude::*;
 
@@ -129,5 +130,72 @@ proptest! {
             v
         };
         prop_assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn killing_shards_returns_the_exact_top_k_of_the_survivors(
+        corpus in arb_corpus(),
+        k in 1usize..10,
+        (servers, kills) in (2usize..5).prop_flat_map(|s| {
+            (Just(s), prop::collection::vec(0usize..s, 1..s))
+        }),
+    ) {
+        // Deduplicated kill set; `kills` has fewer than `servers`
+        // entries, so at least one server always survives.
+        let mut dead = kills;
+        dead.sort_unstable();
+        dead.dedup();
+
+        let build = || {
+            let mut d = DistributedIndex::new(servers, ScoreModel::TfIdf).unwrap();
+            for (i, words) in corpus.iter().enumerate() {
+                d.index_document(&format!("d{i}"), &words.join(" ")).unwrap();
+            }
+            d.commit().unwrap();
+            d
+        };
+
+        // Degraded run: the chosen shards fail on their first call.
+        let mut faulty = build();
+        let plan = FaultPlan::seeded(0);
+        for &i in &dead {
+            plan.set_script(format!("shard:{i}"), vec![FaultAction::Error]);
+        }
+        faulty.set_fault_plan(plan.shared());
+        let degraded = faulty.query_parallel("tennis winner champion", k).unwrap();
+        prop_assert_eq!(degraded.shards_failed, dead.len());
+        prop_assert_eq!(&degraded.failed_shards, &dead);
+        prop_assert_eq!(degraded.shards_ok, servers - dead.len());
+
+        // Reference run: the fault-free full ranking with the dead
+        // shards' documents filtered out, cut at k. The degraded answer
+        // must be exactly this — the survivors' top-k, nothing partial.
+        let mut reference = build();
+        let full = reference
+            .query_serial("tennis winner champion", corpus.len())
+            .unwrap();
+        let expected: Vec<(String, i64)> = full
+            .hits
+            .iter()
+            .filter(|h| !dead.contains(&reference.route(&h.url)))
+            .take(k)
+            .map(|h| (h.url.clone(), (h.score * 1e9).round() as i64))
+            .collect();
+        let got: Vec<(String, i64)> = degraded
+            .hits
+            .iter()
+            .map(|h| (h.url.clone(), (h.score * 1e9).round() as i64))
+            .collect();
+        prop_assert_eq!(got, expected);
+
+        let sizes = reference.shard_sizes();
+        let surviving: usize = sizes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !dead.contains(i))
+            .map(|(_, s)| *s)
+            .sum();
+        let total: usize = sizes.iter().sum();
+        prop_assert!((degraded.quality - surviving as f64 / total as f64).abs() < 1e-12);
     }
 }

@@ -3,10 +3,18 @@
 //! paper's introduction motivates.
 //!
 //! Run with `cargo run --example australian_open`.
+//!
+//! Set `FAULTS=1` to run the same scenario against an unreliable
+//! deployment: the media detectors sit behind an XML-RPC wire with 20%
+//! injected transport errors (supervised — deadline, retries, circuit
+//! breaker), and one of four text servers hangs on every query. The
+//! engine completes end to end, reporting what degraded instead of
+//! crashing.
 
 use std::sync::Arc;
 
 use dlsearch::{ausopen, qlang, Engine};
+use faults::{FaultPlan, FaultSpec};
 use websim::{crawl, Site, SiteSpec};
 
 fn run(engine: &mut Engine, label: &str, query: &str) -> Result<(), Box<dyn std::error::Error>> {
@@ -36,13 +44,30 @@ fn run(engine: &mut Engine, label: &str, query: &str) -> Result<(), Box<dyn std:
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let faulty = std::env::var("FAULTS").is_ok_and(|v| v == "1");
     let site = Arc::new(Site::generate(SiteSpec::default()));
-    let mut engine = ausopen::engine(Arc::clone(&site))?;
+    let mut engine = if faulty {
+        let plan = FaultPlan::seeded(42)
+            .with_site("rpc:segment", FaultSpec::errors(0.2))
+            .with_site("rpc:tennis", FaultSpec::errors(0.2))
+            .with_site("rpc:interview", FaultSpec::errors(0.2))
+            .with_site("shard:2", FaultSpec::always_hang())
+            .shared();
+        ausopen::resilient_engine(Arc::clone(&site), 4, plan)?
+    } else {
+        ausopen::engine(Arc::clone(&site))?
+    };
     let report = engine.populate(&crawl(&site))?;
     println!(
         "indexed {} pages / {} objects / {} videos\n",
         report.pages, report.objects, report.media_analyzed
     );
+    if faulty {
+        println!(
+            "fault mode: {} detector failure(s) left {} media object(s) degraded (rejected-with-cause holes, healable)\n",
+            report.detector_failures, report.media_degraded
+        );
+    }
 
     // Pure conceptual search: "ask directly for the history of the
     // player with name Monica Seles" (the motivating example).
@@ -95,6 +120,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TOP 10
         "#,
     )?;
+
+    if faulty {
+        if let Some(st) = engine.last_text_status() {
+            println!(
+                "text retrieval behind the last answer: {} of {} servers answered (shards {:?} down), estimated quality {:.0}%",
+                st.shards_ok,
+                st.shards_ok + st.shards_failed,
+                st.failed_shards,
+                st.quality * 100.0
+            );
+        }
+    }
 
     Ok(())
 }

@@ -1,0 +1,24 @@
+# Development commands. The container has no network: every cargo
+# invocation must stay --offline (deps are vendored in-tree under shims/).
+
+# Build, test, and lint — the full pre-merge gate.
+verify:
+    cargo build --release --offline
+    cargo test --offline -q
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+
+build:
+    cargo build --offline
+
+test:
+    cargo test --offline -q
+
+clippy:
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# The flagship scenario, healthy and under injected faults.
+demo:
+    cargo run --offline --release --example australian_open
+
+demo-faults:
+    FAULTS=1 cargo run --offline --release --example australian_open

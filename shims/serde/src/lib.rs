@@ -1,0 +1,15 @@
+//! In-tree shim for `serde` (no-network build environment).
+//!
+//! Exposes marker traits plus the no-op derive macros from the
+//! `serde_derive` shim. No workspace code serialises through serde at
+//! runtime; the annotations are kept so the type definitions match the
+//! upstream source they were written against.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -3,8 +3,10 @@
 //! analysis → meta-index → integrated query.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use dlsearch::ausopen;
+use faults::{FaultPlan, FaultSpec};
 use websim::{crawl, Site, SiteSpec};
 
 fn spec() -> SiteSpec {
@@ -122,6 +124,77 @@ fn interviews_are_queryable_as_media_events() {
     let hits = engine.query(&q).unwrap();
     let expected = site.players.iter().filter(|p| p.audio_is_interview).count();
     assert_eq!(hits.len(), expected);
+}
+
+#[test]
+fn zero_fault_resilient_engine_answers_identically_to_the_plain_one() {
+    // The supervised/remote detectors and the distributed text backend
+    // are transparent when nothing fails.
+    let site = Arc::new(Site::generate(spec()));
+    let pages = crawl(&site);
+    let mut plain = ausopen::engine(Arc::clone(&site)).unwrap();
+    let mut resilient =
+        ausopen::resilient_engine(Arc::clone(&site), 1, FaultPlan::none().shared()).unwrap();
+    let r1 = plain.populate(&pages).unwrap();
+    let r2 = resilient.populate(&pages).unwrap();
+    assert_eq!(r1, r2);
+    assert_eq!(r2.media_degraded, 0);
+    assert_eq!(r2.detector_failures, 0);
+
+    for query in [
+        r#"FROM Player TEXT history CONTAINS "Winner" TOP 10"#,
+        "FROM Player VIA Is_covered_in MEDIA video HAS netplay TOP 100",
+        "FROM Player VIA Is_covered_in MEDIA interview HAS isInterview TOP 100",
+    ] {
+        let q = dlsearch::qlang::parse(query).unwrap();
+        assert_eq!(plain.query(&q).unwrap(), resilient.query(&q).unwrap(), "{query}");
+    }
+}
+
+#[test]
+fn degraded_run_reports_failures_and_answers_from_survivor_shards() {
+    // 20% transport errors on every remote detector plus one text
+    // server that hangs on every query: the pipeline must complete end
+    // to end, reporting what degraded instead of erroring out.
+    let site = Arc::new(Site::generate(spec()));
+    let plan = FaultPlan::seeded(11)
+        .with_site("rpc:segment", FaultSpec::errors(0.2))
+        .with_site("rpc:tennis", FaultSpec::errors(0.2))
+        .with_site("rpc:interview", FaultSpec::errors(0.2))
+        // One guaranteed outage: the first tennis call errors through
+        // all its retries (the probabilistic 20% alone may be absorbed
+        // by the supervisor's retries).
+        .with_script("rpc:tennis", vec![faults::FaultAction::Error; 3])
+        .with_site("shard:2", FaultSpec::always_hang())
+        .shared();
+    let mut engine = ausopen::resilient_engine(Arc::clone(&site), 4, plan).unwrap();
+    engine.text_index_mut().set_shard_deadline(Duration::from_millis(50));
+    engine.text_index_mut().set_hang_duration(Duration::from_millis(150));
+
+    let report = engine.populate(&crawl(&site)).unwrap();
+    // Every media object was analysed — outages leave healable holes,
+    // they don't reject objects.
+    assert_eq!(report.media_analyzed, 12);
+    assert_eq!(report.media_rejected, 0);
+    // The failures were counted, not dropped (seeded plan: this run
+    // deterministically exhausts the supervisor's retries at least once).
+    assert!(report.detector_failures >= 1, "{report:?}");
+    assert!(report.media_degraded >= 1, "{report:?}");
+
+    // Ranked text retrieval answers from the three surviving servers.
+    let q = dlsearch::qlang::parse(r#"FROM Player TEXT history CONTAINS "Winner" TOP 10"#)
+        .unwrap();
+    let hits = engine.query(&q).unwrap();
+    assert!(!hits.is_empty(), "survivors must still answer");
+    let status = engine.last_text_status().unwrap();
+    assert_eq!(status.shards_failed, 1);
+    assert_eq!(status.failed_shards, vec![2]);
+    assert!(status.quality > 0.0 && status.quality < 1.0, "{status:?}");
+
+    // The plan explanation surfaces the degradation.
+    let explain = engine.explain(&q);
+    assert!(explain.contains("4 shared-nothing text servers"), "{explain}");
+    assert!(explain.contains("DEGRADED"), "{explain}");
 }
 
 #[test]

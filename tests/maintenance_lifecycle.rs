@@ -147,6 +147,100 @@ fn incremental_maintenance_beats_full_rebuild_on_detector_calls() {
 }
 
 #[test]
+fn scripted_fail_then_recover_detector_heals_after_the_scheduler_drains() {
+    use acoi::{Fde, MetaIndex, Scheduler};
+    use faults::{FaultAction, FaultPlan};
+
+    let site = Arc::new(Site::generate(SiteSpec {
+        players: 2,
+        articles: 0,
+        seed: 36,
+    }));
+    // The first supervised `tennis` call sees a transport error on all
+    // three attempts (retries included) and gives up; every later call
+    // succeeds — a scripted fail-then-recover outage.
+    let plan = FaultPlan::seeded(0)
+        .with_script("rpc:tennis", vec![FaultAction::Error; 3])
+        .shared();
+    let mut registry = ausopen::supervised_detectors(Arc::clone(&site), plan);
+    let grammar = feagram::parse_grammar(feagram::paper::MEDIA_GRAMMAR).unwrap();
+
+    let mut index = MetaIndex::new();
+    for p in &site.players {
+        let initial = vec![Token::new(
+            "location",
+            feagram::FeatureValue::url(p.video_url.clone()),
+        )];
+        let tree = Fde::new(&grammar, &mut registry)
+            .parse(initial.clone())
+            .unwrap();
+        index.insert(&p.video_url, initial, &tree).unwrap();
+    }
+
+    // The outage hit exactly one shot of the first video: a
+    // rejected-with-cause hole, not a failed parse.
+    let broken = site.players[0].video_url.clone();
+    let tree = index.tree(&grammar, &broken).unwrap();
+    let rejected = tree.rejected_nodes();
+    assert_eq!(rejected.len(), 1, "{rejected:?}");
+    assert_eq!(rejected[0].1, "tennis");
+    assert!(rejected[0].2.contains("injected transport error"), "{rejected:?}");
+    let healthy = index.tree(&grammar, &site.players[1].video_url).unwrap();
+    assert!(healthy.rejected_nodes().is_empty());
+
+    // The detector has recovered (script exhausted). Queue the
+    // low-priority heal and drain the scheduler.
+    let mut sched = Scheduler::new(&grammar);
+    sched.submit_heal("tennis");
+    let reports = sched.drain(&grammar, &mut registry, &mut index).unwrap();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].objects_reparsed, 1);
+    assert_eq!(reports[0].objects_untouched, 1);
+
+    // The parse tree is complete: no holes, all 8 shots back, player
+    // tracking present in all 4 court shots.
+    let tree = index.tree(&grammar, &broken).unwrap();
+    assert!(tree.rejected_nodes().is_empty());
+    let shots = dlsearch::video_shots(&tree);
+    assert_eq!(shots.len(), 8);
+    assert_eq!(shots.iter().filter(|s| s.netplay.is_some()).count(), 4);
+}
+
+#[test]
+fn engine_heal_completes_degraded_populations() {
+    use faults::{FaultAction, FaultPlan};
+
+    let site = Arc::new(Site::generate(SiteSpec {
+        players: 4,
+        articles: 4,
+        seed: 37,
+    }));
+    let plan = FaultPlan::seeded(0)
+        .with_script("rpc:tennis", vec![FaultAction::Error; 3])
+        .shared();
+    let mut engine =
+        ausopen::resilient_engine(Arc::clone(&site), 1, plan).unwrap();
+    let report = engine.populate(&crawl(&site)).unwrap();
+    assert_eq!(report.media_analyzed, 8);
+    assert_eq!(report.media_rejected, 0);
+    assert_eq!(report.media_degraded, 1);
+    assert_eq!(report.detector_failures, 1);
+
+    // Heal re-parses only the one degraded object, reusing every
+    // healthy detector result from the harvest cache.
+    let heal = engine.heal_detector("tennis").unwrap();
+    assert_eq!(heal.objects_reparsed, 1);
+    assert_eq!(heal.objects_untouched, 7);
+
+    // After healing, media evidence matches the ground truth again.
+    let q = qlang::parse("FROM Player VIA Is_covered_in MEDIA video HAS netplay TOP 100")
+        .unwrap();
+    let hits = engine.query(&q).unwrap();
+    let expected = site.players.iter().filter(|p| p.video_has_netplay).count();
+    assert_eq!(hits.len(), expected);
+}
+
+#[test]
 fn source_data_change_regenerates_only_that_tree() {
     let (site, mut engine) = populated_engine(35);
     let victim = site.players[0].video_url.clone();
