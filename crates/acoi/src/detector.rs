@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Mutex;
 
 use feagram::ast::SpecialEvent;
 use feagram::FeatureValue;
@@ -146,10 +147,16 @@ impl From<&str> for DetectorError {
 /// A blackbox detector implementation: typed inputs in, tokens out.
 /// Errors reject the current parse alternative, except
 /// [`DetectorError::Unavailable`] which marks the node for later repair.
-pub type DetectorFn =
-    Box<dyn FnMut(&[FeatureValue]) -> std::result::Result<Vec<Token>, DetectorError> + Send>;
+///
+/// Implementations are `Fn + Send + Sync` so one registry can serve
+/// concurrent FDE workers during parallel ingestion; detectors that need
+/// mutable state keep it behind their own `Arc<Mutex<…>>`.
+pub type DetectorFn = Box<
+    dyn Fn(&[FeatureValue]) -> std::result::Result<Vec<Token>, DetectorError> + Send + Sync,
+>;
 
-/// A lifecycle hook (`init`/`final`/`begin`/`end`).
+/// A lifecycle hook (`init`/`final`/`begin`/`end`). Hooks run under the
+/// registry's hook lock, so `FnMut` state stays sound under sharing.
 pub type HookFn = Box<dyn FnMut() -> std::result::Result<(), String> + Send>;
 
 struct Registered {
@@ -158,11 +165,15 @@ struct Registered {
 }
 
 /// The registry of detector implementations for one engine instance.
+///
+/// Registration and upgrades take `&mut self` (structural changes);
+/// running detectors, firing hooks, and the call counters work through
+/// `&self` so a single registry can be shared across ingestion workers.
 #[derive(Default)]
 pub struct DetectorRegistry {
     impls: HashMap<String, Registered>,
-    hooks: HashMap<(String, SpecialEvent), HookFn>,
-    calls: HashMap<String, usize>,
+    hooks: Mutex<HashMap<(String, SpecialEvent), HookFn>>,
+    calls: Mutex<HashMap<String, usize>>,
 }
 
 impl DetectorRegistry {
@@ -189,7 +200,10 @@ impl DetectorRegistry {
         event: SpecialEvent,
         hook: HookFn,
     ) -> &mut Self {
-        self.hooks.insert((target.into(), event), hook);
+        self.hooks
+            .lock()
+            .expect("hook lock")
+            .insert((target.into(), event), hook);
         self
     }
 
@@ -221,12 +235,17 @@ impl DetectorRegistry {
     }
 
     /// Runs detector `name` on `inputs`, counting the call.
-    pub fn run(&mut self, name: &str, inputs: &[FeatureValue]) -> Result<Vec<Token>> {
+    pub fn run(&self, name: &str, inputs: &[FeatureValue]) -> Result<Vec<Token>> {
         let reg = self
             .impls
-            .get_mut(name)
+            .get(name)
             .ok_or_else(|| Error::UnregisteredDetector(name.to_owned()))?;
-        *self.calls.entry(name.to_owned()).or_insert(0) += 1;
+        *self
+            .calls
+            .lock()
+            .expect("call-count lock")
+            .entry(name.to_owned())
+            .or_insert(0) += 1;
         (reg.run)(inputs).map_err(|e| match e {
             DetectorError::Reject(message) => Error::DetectorFailed {
                 name: name.to_owned(),
@@ -240,8 +259,9 @@ impl DetectorRegistry {
     }
 
     /// Fires the hook for `(target, event)` if one is registered.
-    pub fn fire_hook(&mut self, target: &str, event: SpecialEvent) -> Result<()> {
-        if let Some(hook) = self.hooks.get_mut(&(target.to_owned(), event)) {
+    pub fn fire_hook(&self, target: &str, event: SpecialEvent) -> Result<()> {
+        let mut hooks = self.hooks.lock().expect("hook lock");
+        if let Some(hook) = hooks.get_mut(&(target.to_owned(), event)) {
             hook().map_err(|message| Error::DetectorFailed {
                 name: format!("{target}.{event:?}"),
                 message,
@@ -252,17 +272,22 @@ impl DetectorRegistry {
 
     /// Calls made to `name` since the last reset.
     pub fn call_count(&self, name: &str) -> usize {
-        self.calls.get(name).copied().unwrap_or(0)
+        self.calls
+            .lock()
+            .expect("call-count lock")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Total detector calls since the last reset.
     pub fn total_calls(&self) -> usize {
-        self.calls.values().sum()
+        self.calls.lock().expect("call-count lock").values().sum()
     }
 
     /// Clears the call counters.
-    pub fn reset_counts(&mut self) {
-        self.calls.clear();
+    pub fn reset_counts(&self) {
+        self.calls.lock().expect("call-count lock").clear();
     }
 }
 
@@ -327,7 +352,7 @@ mod tests {
 
     #[test]
     fn unregistered_detector_errors() {
-        let mut reg = DetectorRegistry::new();
+        let reg = DetectorRegistry::new();
         assert!(matches!(
             reg.run("ghost", &[]),
             Err(Error::UnregisteredDetector(_))

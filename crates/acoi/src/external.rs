@@ -241,7 +241,7 @@ impl RpcServer {
                     }
                     FaultAction::None => {}
                 }
-                match self.handlers.get_mut(&name) {
+                match self.handlers.get(&name) {
                     Some(f) => f(&inputs),
                     None => Err(DetectorError::Unavailable(format!(
                         "no remote handler for `{name}`"
@@ -255,15 +255,21 @@ impl RpcServer {
 }
 
 /// A client holding the wire to a spawned server.
+///
+/// The wire has no correlation ids (faithful to the paper-era protocol),
+/// so a call lock shared by every clone keeps each request paired with
+/// its own response when parallel ingestion workers call concurrently.
 #[derive(Clone)]
 pub struct RpcClient {
     tx: Sender<String>,
     rx: Receiver<String>,
+    call_lock: Arc<std::sync::Mutex<()>>,
 }
 
 impl RpcClient {
     /// Performs a remote call.
     pub fn call(&self, name: &str, inputs: &[FeatureValue]) -> Result<Vec<Token>, WireError> {
+        let _wire = self.call_lock.lock().expect("rpc call lock poisoned");
         self.tx
             .send(encode_request(name, inputs))
             .map_err(|_| WireError::Transport("rpc server hung up".into()))?;
@@ -306,6 +312,7 @@ pub fn spawn_server(mut server: RpcServer) -> RpcClient {
     RpcClient {
         tx: req_tx,
         rx: resp_rx,
+        call_lock: Arc::new(std::sync::Mutex::new(())),
     }
 }
 

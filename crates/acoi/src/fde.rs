@@ -121,7 +121,7 @@ impl DetectorCache {
 /// duration of one or more parses.
 pub struct Fde<'g> {
     grammar: &'g Grammar,
-    registry: &'g mut DetectorRegistry,
+    registry: &'g DetectorRegistry,
     mode: StackMode,
     stats: FdeStats,
 }
@@ -145,14 +145,17 @@ struct RunCtx<'a> {
 
 impl<'g> Fde<'g> {
     /// An engine with the default (suffix-sharing) stack.
-    pub fn new(grammar: &'g Grammar, registry: &'g mut DetectorRegistry) -> Self {
+    ///
+    /// The registry is borrowed *shared*: any number of engines (one per
+    /// ingestion worker) can parse against the same registry at once.
+    pub fn new(grammar: &'g Grammar, registry: &'g DetectorRegistry) -> Self {
         Self::with_mode(grammar, registry, StackMode::Shared)
     }
 
     /// An engine with an explicit stack mode.
     pub fn with_mode(
         grammar: &'g Grammar,
-        registry: &'g mut DetectorRegistry,
+        registry: &'g DetectorRegistry,
         mode: StackMode,
     ) -> Self {
         Fde {
@@ -715,8 +718,8 @@ mod tests {
     #[test]
     fn video_grammar_end_to_end() {
         let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg = video_registry(4);
-        let mut fde = Fde::new(&g, &mut reg);
+        let reg = video_registry(4);
+        let mut fde = Fde::new(&g, &reg);
         let tree = fde.parse(mmo_tokens("http://ausopen.org/final.mpg")).unwrap();
 
         // 4 shots, alternating tennis/other.
@@ -742,8 +745,8 @@ mod tests {
     #[test]
     fn non_video_object_skips_the_video_pipeline() {
         let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg = video_registry(4);
-        let mut fde = Fde::new(&g, &mut reg);
+        let reg = video_registry(4);
+        let mut fde = Fde::new(&g, &reg);
         let tree = fde.parse(mmo_tokens("http://ausopen.org/seles.jpg")).unwrap();
         // mm_type? was skipped: video_type guard failed on "image".
         assert!(tree.find_all("video").is_empty());
@@ -758,8 +761,8 @@ mod tests {
     #[test]
     fn detector_versions_are_recorded_in_the_tree() {
         let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg = video_registry(2);
-        let mut fde = Fde::new(&g, &mut reg);
+        let reg = video_registry(2);
+        let mut fde = Fde::new(&g, &reg);
         let tree = fde.parse(mmo_tokens("http://x/v.mpg")).unwrap();
         let header = tree.find_all("header")[0];
         assert_eq!(tree.version(header), Some(Version::new(1, 0, 0)));
@@ -768,11 +771,11 @@ mod tests {
     #[test]
     fn copying_and_shared_stacks_produce_identical_trees() {
         let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg1 = video_registry(6);
-        let mut shared = Fde::with_mode(&g, &mut reg1, StackMode::Shared);
+        let reg1 = video_registry(6);
+        let mut shared = Fde::with_mode(&g, &reg1, StackMode::Shared);
         let t1 = shared.parse(mmo_tokens("http://x/v.mpg")).unwrap();
-        let mut reg2 = video_registry(6);
-        let mut copying = Fde::with_mode(&g, &mut reg2, StackMode::Copying);
+        let reg2 = video_registry(6);
+        let mut copying = Fde::with_mode(&g, &reg2, StackMode::Copying);
         let t2 = copying.parse(mmo_tokens("http://x/v.mpg")).unwrap();
         assert_eq!(
             t1.to_document().unwrap(),
@@ -783,8 +786,8 @@ mod tests {
     #[test]
     fn missing_initial_token_rejects() {
         let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg = video_registry(1);
-        let mut fde = Fde::new(&g, &mut reg);
+        let reg = video_registry(1);
+        let mut fde = Fde::new(&g, &reg);
         let err = fde.parse(vec![]).unwrap_err();
         assert!(matches!(err, Error::Reject { .. }), "{err}");
     }
@@ -792,8 +795,8 @@ mod tests {
     #[test]
     fn unregistered_detector_is_a_hard_error() {
         let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg = DetectorRegistry::new(); // nothing registered
-        let mut fde = Fde::new(&g, &mut reg);
+        let reg = DetectorRegistry::new(); // nothing registered
+        let mut fde = Fde::new(&g, &reg);
         let err = fde.parse(mmo_tokens("http://x/v.mpg")).unwrap_err();
         assert!(matches!(err, Error::UnregisteredDetector(_)), "{err}");
     }
@@ -807,7 +810,7 @@ mod tests {
             Version::new(1, 0, 1),
             Box::new(|_| Err("404 not found".into())),
         );
-        let mut fde = Fde::new(&g, &mut reg);
+        let mut fde = Fde::new(&g, &reg);
         let err = fde.parse(mmo_tokens("http://x/v.mpg")).unwrap_err();
         assert!(err.to_string().contains("404"), "{err}");
     }
@@ -822,7 +825,7 @@ mod tests {
             Version::new(1, 0, 1),
             Box::new(|_| Err(DetectorError::Unavailable("deadline exceeded".into()))),
         );
-        let mut fde = Fde::new(&g, &mut reg);
+        let mut fde = Fde::new(&g, &reg);
         let tree = fde.parse(mmo_tokens("http://x/v.mpg")).unwrap();
         // The parse completed; the segment subtree is a hole with a cause.
         assert_eq!(fde.stats().rejected_nodes, 1);
@@ -848,7 +851,7 @@ mod tests {
             Box::new(|_| Err(DetectorError::Unavailable("circuit open".into()))),
         );
         let tree = {
-            let mut fde = Fde::new(&g, &mut reg);
+            let mut fde = Fde::new(&g, &reg);
             fde.parse(mmo_tokens("http://x/v.mpg")).unwrap()
         };
         let cache = harvest_cache(&g, &reg, &tree, |_| true);
@@ -879,7 +882,7 @@ mod tests {
                 }),
             );
         }
-        let mut fde = Fde::new(&g, &mut reg);
+        let mut fde = Fde::new(&g, &reg);
         fde.parse(mmo_tokens("http://x/v.mpg")).unwrap();
         assert_eq!(*log.lock().unwrap(), vec!["init", "begin", "end", "final"]);
     }
@@ -887,17 +890,17 @@ mod tests {
     #[test]
     fn cache_hits_avoid_detector_calls() {
         let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg = video_registry(4);
+        let reg = video_registry(4);
         // First parse fills a tree; harvest the cache from it.
         let tree = {
-            let mut fde = Fde::new(&g, &mut reg);
+            let mut fde = Fde::new(&g, &reg);
             fde.parse(mmo_tokens("http://x/v.mpg")).unwrap()
         };
         let cache = harvest_cache(&g, &reg, &tree, |_| true);
         assert!(cache.len() >= 4, "cache has {} entries", cache.len());
 
         // Second parse: everything memoised, zero detector executions.
-        let mut fde = Fde::new(&g, &mut reg);
+        let mut fde = Fde::new(&g, &reg);
         let tree2 = fde
             .parse_with_cache(mmo_tokens("http://x/v.mpg"), &cache)
             .unwrap();
@@ -914,7 +917,7 @@ mod tests {
         let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
         let mut reg = video_registry(2);
         let tree = {
-            let mut fde = Fde::new(&g, &mut reg);
+            let mut fde = Fde::new(&g, &reg);
             fde.parse(mmo_tokens("http://x/v.mpg")).unwrap()
         };
         // Upgrade segment: its stored output must not be reused.
@@ -961,7 +964,7 @@ mod tests {
                 ])
             }),
         );
-        let mut fde = Fde::new(&g, &mut reg);
+        let mut fde = Fde::new(&g, &reg);
         let tree = fde
             .parse(vec![Token::new(
                 "location",

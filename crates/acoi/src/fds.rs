@@ -497,7 +497,7 @@ mod tests {
                 }),
             );
             let initial = vec![Token::new("location", FeatureValue::url(url))];
-            let mut fde = Fde::new(&g, &mut reg);
+            let mut fde = Fde::new(&g, &reg);
             let tree = fde.parse(initial.clone()).unwrap();
             index.insert(url, initial, &tree).unwrap();
         }
@@ -531,7 +531,7 @@ mod tests {
         {
             let url = "http://x/video0.mpg";
             let initial = vec![Token::new("location", FeatureValue::url(url))];
-            let tree = Fde::new(&g, &mut reg).parse(initial.clone()).unwrap();
+            let tree = Fde::new(&g, &reg).parse(initial.clone()).unwrap();
             assert_eq!(tree.rejected_nodes().len(), 1);
             index.insert(url, initial, &tree).unwrap();
         }
@@ -554,7 +554,7 @@ mod tests {
         {
             let url = "http://x/video1.mpg";
             let initial = vec![Token::new("location", FeatureValue::url(url))];
-            let tree = Fde::new(&g, &mut reg).parse(initial.clone()).unwrap();
+            let tree = Fde::new(&g, &reg).parse(initial.clone()).unwrap();
             assert!(tree.rejected_nodes().is_empty());
             index.insert(url, initial, &tree).unwrap();
         }

@@ -257,12 +257,12 @@ mod tests {
 
     fn setup() -> (Grammar, DetectorRegistry, MetaIndex) {
         let grammar = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg = registry(400.0);
+        let reg = registry(400.0);
         let mut index = MetaIndex::new();
         for i in 0..3 {
             let url = format!("http://x/v{i}.mpg");
             let initial = vec![Token::new("location", FeatureValue::url(url.clone()))];
-            let tree = Fde::new(&grammar, &mut reg).parse(initial.clone()).unwrap();
+            let tree = Fde::new(&grammar, &reg).parse(initial.clone()).unwrap();
             index.insert(&url, initial, &tree).unwrap();
         }
         (grammar, reg, index)
@@ -372,7 +372,7 @@ mod tests {
         );
         let url = "http://x/broken.mpg";
         let initial = vec![Token::new("location", FeatureValue::url(url))];
-        let tree = Fde::new(&grammar, &mut reg).parse(initial.clone()).unwrap();
+        let tree = Fde::new(&grammar, &reg).parse(initial.clone()).unwrap();
         assert_eq!(tree.rejected_nodes().len(), 1);
         index.insert(url, initial, &tree).unwrap();
 

@@ -153,7 +153,7 @@ struct Worker {
 }
 
 impl Worker {
-    fn spawn(name: String, mut inner: DetectorFn) -> Self {
+    fn spawn(name: String, inner: DetectorFn) -> Self {
         let (req_tx, req_rx) = unbounded::<(u64, Vec<FeatureValue>)>();
         let (resp_tx, resp_rx) = unbounded::<(u64, Outcome)>();
         std::thread::Builder::new()
@@ -223,8 +223,15 @@ impl Supervisor {
             let mut detectors = sup.inner.detectors.lock().expect("supervisor poisoned");
             detectors.entry(name.clone()).or_insert_with(DetectorState::new);
         }
-        let mut worker = Worker::spawn(name.clone(), detector);
-        Box::new(move |inputs| sup.call(&name, &mut worker, inputs))
+        // The wrapped closure must be `Fn + Sync` (registry sharing across
+        // ingestion workers), so the worker handle lives behind a mutex.
+        // Calls to one remote detector are serialized through its single
+        // worker thread anyway, so the lock adds no extra contention.
+        let worker = Mutex::new(Worker::spawn(name.clone(), detector));
+        Box::new(move |inputs| {
+            let mut worker = worker.lock().expect("detector worker poisoned");
+            sup.call(&name, &mut worker, inputs)
+        })
     }
 
     fn call(&self, name: &str, worker: &mut Worker, inputs: &[FeatureValue]) -> Outcome {
@@ -394,7 +401,7 @@ mod tests {
     #[test]
     fn healthy_detectors_pass_through() {
         let sup = Supervisor::new(fast_config());
-        let mut wrapped = sup.wrap(
+        let wrapped = sup.wrap(
             "echo",
             Box::new(|inputs| Ok(vec![Token::new("out", inputs[0].clone())])),
         );
@@ -407,7 +414,7 @@ mod tests {
     #[test]
     fn rejects_are_verdicts_not_retried() {
         let sup = Supervisor::new(fast_config());
-        let mut wrapped = sup.wrap("judge", Box::new(|_| Err("not a video".into())));
+        let wrapped = sup.wrap("judge", Box::new(|_| Err("not a video".into())));
         for _ in 0..5 {
             assert_eq!(
                 wrapped(&[]).unwrap_err(),
@@ -430,7 +437,7 @@ mod tests {
             max_retries: 0,
             ..fast_config()
         });
-        let mut wrapped = sup.wrap(
+        let wrapped = sup.wrap(
             "sleepy",
             Box::new(move |_| {
                 if c.fetch_add(1, Ordering::SeqCst) == 0 {
@@ -463,7 +470,7 @@ mod tests {
             max_retries: 2,
             ..fast_config()
         });
-        let mut wrapped = sup.wrap(
+        let wrapped = sup.wrap(
             "flaky",
             Box::new(move |_| {
                 if c.fetch_add(1, Ordering::SeqCst) < 2 {
@@ -490,7 +497,7 @@ mod tests {
             breaker_probe_after: 1,
             ..fast_config()
         });
-        let mut wrapped = sup.wrap(
+        let wrapped = sup.wrap(
             "remote",
             Box::new(move |_| {
                 if h.load(Ordering::SeqCst) {
@@ -523,7 +530,7 @@ mod tests {
             breaker_probe_after: 1,
             ..fast_config()
         });
-        let mut wrapped = sup.wrap(
+        let wrapped = sup.wrap(
             "dead",
             Box::new(|_| Err(DetectorError::Unavailable("still down".into()))),
         );
@@ -543,7 +550,7 @@ mod tests {
             max_retries: 0,
             ..fast_config()
         });
-        let mut wrapped = sup.wrap("bomb", Box::new(|_| panic!("kaboom")));
+        let wrapped = sup.wrap("bomb", Box::new(|_| panic!("kaboom")));
         match wrapped(&[]) {
             Err(DetectorError::Unavailable(cause)) => {
                 assert!(cause.contains("panicked"), "{cause}");

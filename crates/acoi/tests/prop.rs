@@ -81,22 +81,22 @@ proptest! {
     #[test]
     fn fde_is_deterministic(script in arb_script()) {
         let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut r1 = registry_for(script.clone());
-        let mut r2 = registry_for(script);
-        let t1 = Fde::new(&grammar, &mut r1).parse(initial()).unwrap();
-        let t2 = Fde::new(&grammar, &mut r2).parse(initial()).unwrap();
+        let r1 = registry_for(script.clone());
+        let r2 = registry_for(script);
+        let t1 = Fde::new(&grammar, &r1).parse(initial()).unwrap();
+        let t2 = Fde::new(&grammar, &r2).parse(initial()).unwrap();
         prop_assert_eq!(t1.to_document().unwrap(), t2.to_document().unwrap());
     }
 
     #[test]
     fn stack_modes_agree(script in arb_script()) {
         let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut r1 = registry_for(script.clone());
-        let mut r2 = registry_for(script);
-        let shared = Fde::with_mode(&grammar, &mut r1, StackMode::Shared)
+        let r1 = registry_for(script.clone());
+        let r2 = registry_for(script);
+        let shared = Fde::with_mode(&grammar, &r1, StackMode::Shared)
             .parse(initial())
             .unwrap();
-        let copying = Fde::with_mode(&grammar, &mut r2, StackMode::Copying)
+        let copying = Fde::with_mode(&grammar, &r2, StackMode::Copying)
             .parse(initial())
             .unwrap();
         prop_assert_eq!(
@@ -108,8 +108,8 @@ proptest! {
     #[test]
     fn parse_tree_xml_round_trip(script in arb_script()) {
         let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg = registry_for(script);
-        let tree = Fde::new(&grammar, &mut reg).parse(initial()).unwrap();
+        let reg = registry_for(script);
+        let tree = Fde::new(&grammar, &reg).parse(initial()).unwrap();
         let doc = tree.to_document().unwrap();
         // Through text as well (storage does this).
         let xml = monetxml::to_xml(&doc);
@@ -123,8 +123,8 @@ proptest! {
         let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
         let n_shots = script.shots.len();
         let n_tennis = script.shots.iter().filter(|(t, _)| *t).count();
-        let mut reg = registry_for(script);
-        let tree = Fde::new(&grammar, &mut reg).parse(initial()).unwrap();
+        let reg = registry_for(script);
+        let tree = Fde::new(&grammar, &reg).parse(initial()).unwrap();
         prop_assert_eq!(tree.find_all("shot").len(), n_shots);
         prop_assert_eq!(tree.find_all("tennis").len(), n_tennis);
         prop_assert_eq!(tree.find_all("netplay").len(), n_tennis);

@@ -113,14 +113,14 @@ fn bench_memoisation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_detector_memoisation");
     group.sample_size(30);
 
-    let mut reg = scripted_registry(30);
-    let tree = Fde::new(&grammar, &mut reg).parse(initial()).unwrap();
+    let reg = scripted_registry(30);
+    let tree = Fde::new(&grammar, &reg).parse(initial()).unwrap();
     let cache = acoi::fde::harvest_cache(&grammar, &reg, &tree, |_| true);
     let empty = acoi::fde::DetectorCache::new();
 
     group.bench_function("cold_reparse", |b| {
         b.iter(|| {
-            Fde::new(&grammar, &mut reg)
+            Fde::new(&grammar, &reg)
                 .parse_with_cache(initial(), &empty)
                 .unwrap()
                 .len()
@@ -128,7 +128,7 @@ fn bench_memoisation(c: &mut Criterion) {
     });
     group.bench_function("warm_reparse", |b| {
         b.iter(|| {
-            Fde::new(&grammar, &mut reg)
+            Fde::new(&grammar, &reg)
                 .parse_with_cache(initial(), &cache)
                 .unwrap()
                 .len()

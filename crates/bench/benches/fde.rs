@@ -74,12 +74,12 @@ fn bench_fde(c: &mut Criterion) {
             ("shared", StackMode::Shared),
             ("copying", StackMode::Copying),
         ] {
-            let mut reg = registry(shots, frames);
+            let reg = registry(shots, frames);
             group.bench_function(
                 BenchmarkId::new(label, format!("{shots}shots_{frames}frames")),
                 |b| {
                     b.iter(|| {
-                        let mut fde = Fde::with_mode(&grammar, &mut reg, mode);
+                        let mut fde = Fde::with_mode(&grammar, &reg, mode);
                         let tree = fde.parse(initial()).unwrap();
                         tree.len()
                     })
@@ -92,15 +92,15 @@ fn bench_fde(c: &mut Criterion) {
     // Cache-assisted re-parse (the FDS fast path).
     let mut group = c.benchmark_group("e7_fde_cached_reparse");
     group.sample_size(30);
-    let mut reg = registry(50, 20);
+    let reg = registry(50, 20);
     let tree = {
-        let mut fde = Fde::new(&grammar, &mut reg);
+        let mut fde = Fde::new(&grammar, &reg);
         fde.parse(initial()).unwrap()
     };
     let cache = acoi::fde::harvest_cache(&grammar, &reg, &tree, |_| true);
     group.bench_function("all_detectors_cached", |b| {
         b.iter(|| {
-            let mut fde = Fde::new(&grammar, &mut reg);
+            let mut fde = Fde::new(&grammar, &reg);
             let tree = fde.parse_with_cache(initial(), &cache).unwrap();
             assert_eq!(fde.stats().detector_calls, 0);
             tree.len()

@@ -1,0 +1,79 @@
+//! E11 — parallel ingestion scaling.
+//!
+//! Times `Engine::populate_with` over the same crawled site at worker
+//! counts 1, 2, 4 and 8, verifying along the way that every run leaves
+//! byte-identical stores (the pipeline's core promise: parallelism
+//! changes wall-clock, never output). Results land in
+//! `BENCH_populate.json` at the repository root.
+//!
+//! `BENCH_SMOKE=1` runs a minimal site once per worker count and skips
+//! the JSON write — the `just verify` wiring, proving the harness
+//! works without disturbing committed numbers.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dlsearch::PopulateOptions;
+use websim::crawl;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let (players, articles, iters) = if smoke { (4, 4, 1) } else { (24, 32, 5) };
+    let site = bench::site(players, articles);
+    let pages = crawl(&site);
+
+    let mut baseline: Option<(Vec<u8>, Vec<u8>)> = None;
+    let mut rows = Vec::new();
+    let mut medians = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut samples = Vec::new();
+        for _ in 0..iters {
+            let mut engine =
+                dlsearch::ausopen::engine(Arc::clone(&site)).expect("engine config");
+            let start = Instant::now();
+            let report = engine
+                .populate_with(&pages, PopulateOptions { workers })
+                .expect("populate");
+            samples.push(start.elapsed().as_secs_f64() * 1e3);
+            assert!(report.media_analyzed > 0, "workload must analyse media");
+
+            // Identity check: every run, any worker count, same bytes.
+            let snaps = (engine.views().snapshot(), engine.meta().store().snapshot());
+            match &baseline {
+                None => baseline = Some(snaps),
+                Some(base) => {
+                    assert_eq!(base.0, snaps.0, "views diverged at workers={workers}");
+                    assert_eq!(base.1, snaps.1, "meta diverged at workers={workers}");
+                }
+            }
+        }
+        let med = median(&mut samples);
+        println!("e11_populate/workers={workers}: median {med:.2} ms {samples:?}");
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"median_ms\": {med:.3}, \"samples_ms\": {samples:?}}}"
+        ));
+        medians.push((workers, med));
+    }
+
+    let speedup4 = medians[0].1 / medians.iter().find(|(w, _)| *w == 4).unwrap().1;
+    println!("e11_populate: speedup at 4 workers = {speedup4:.2}x");
+
+    if smoke {
+        println!("e11_populate: smoke mode, not writing BENCH_populate.json");
+        return;
+    }
+    let json = format!
+(
+        "{{\n  \"experiment\": \"E11 parallel ingestion\",\n  \"site\": {{\"players\": {players}, \"articles\": {articles}, \"pages\": {}}},\n  \"iterations\": {iters},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_workers\": {speedup4:.3}\n}}\n",
+        pages.len(),
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_populate.json");
+    std::fs::write(path, json).expect("write BENCH_populate.json");
+    println!("e11_populate: wrote {path}");
+}

@@ -1,0 +1,80 @@
+//! E12 — the epoch-keyed query cache: cold versus warm answers.
+//!
+//! Times the flagship integrated query cold (cache dropped before
+//! every run) and warm (answered from the cache), verifying the warm
+//! answer is identical. Results land in `BENCH_query.json` at the
+//! repository root.
+//!
+//! `BENCH_SMOKE=1` shrinks the workload and skips the JSON write.
+
+use std::time::Instant;
+
+use dlsearch::qlang;
+
+const FIGURE13: &str = r#"
+    FROM Player
+    WHERE gender = "female" AND hand = "left"
+    TEXT history CONTAINS "Winner"
+    VIA Is_covered_in
+    MEDIA video HAS netplay
+    TOP 10
+"#;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let (players, iters) = if smoke { (4, 3) } else { (32, 25) };
+    let (_site, mut engine) = bench::populated_engine(players, players * 2);
+    let query = qlang::parse(FIGURE13).unwrap();
+
+    // Cold: every run recomputes the full conceptual + text + media
+    // evaluation.
+    let mut cold = Vec::new();
+    let mut reference = None;
+    for _ in 0..iters {
+        engine.invalidate_query_cache();
+        let start = Instant::now();
+        let hits = engine.query(&query).expect("cold query");
+        cold.push(start.elapsed().as_secs_f64() * 1e6);
+        reference.get_or_insert(hits);
+    }
+
+    // Warm: the entry is primed; every run is a cache hit.
+    engine.query(&query).expect("prime");
+    let mut warm = Vec::new();
+    for _ in 0..iters {
+        let start = Instant::now();
+        let hits = engine.query(&query).expect("warm query");
+        warm.push(start.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(
+            reference.as_ref().unwrap(),
+            &hits,
+            "warm answer must equal cold answer"
+        );
+    }
+    let (hits, misses) = engine.query_cache_stats();
+    assert!(hits as usize >= iters, "warm runs must hit the cache");
+
+    let cold_med = median(&mut cold);
+    let warm_med = median(&mut warm);
+    let speedup = cold_med / warm_med.max(f64::EPSILON);
+    println!("e12_query_cache/cold: median {cold_med:.1} us");
+    println!("e12_query_cache/warm: median {warm_med:.1} us");
+    println!("e12_query_cache: speedup {speedup:.1}x (cache {hits} hits / {misses} misses)");
+
+    if smoke {
+        println!("e12_query_cache: smoke mode, not writing BENCH_query.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"E12 epoch-keyed query cache\",\n  \"site\": {{\"players\": {players}, \"articles\": {}}},\n  \"iterations\": {iters},\n  \"cold_median_us\": {cold_med:.2},\n  \"warm_median_us\": {warm_med:.2},\n  \"speedup\": {speedup:.2},\n  \"cold_samples_us\": {cold:?},\n  \"warm_samples_us\": {warm:?}\n}}\n",
+        players * 2
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
+    std::fs::write(path, json).expect("write BENCH_query.json");
+    println!("e12_query_cache: wrote {path}");
+}

@@ -190,6 +190,59 @@ pub fn supervised_detectors(site: Arc<Site>, plan: Arc<faults::FaultPlan>) -> De
     registry
 }
 
+/// Builds an engine whose media detectors fail deterministically per
+/// *document*: outages are drawn with
+/// [`faults::FaultPlan::decide_keyed`] on the media location, so the
+/// same documents degrade no matter how populate schedules the
+/// analyses — the fixture for exercising degraded ingestion under the
+/// parallel pipeline. Text serving stays fault-free (and cacheable).
+pub fn flaky_engine(site: Arc<Site>, plan: Arc<faults::FaultPlan>) -> Result<Engine> {
+    Engine::new(EngineConfig {
+        schema: webspace::paper::ausopen_schema(),
+        retriever: retriever(),
+        grammar_source: feagram::paper::MEDIA_GRAMMAR.to_owned(),
+        registry: flaky_detectors(site, plan),
+        text_servers: 1,
+        faults: None,
+    })
+}
+
+/// The detector registry with per-document keyed fault injection: the
+/// media detectors (`segment`, `tennis`, `interview`) consult
+/// `plan.decide_keyed("det:<name>", <location>)` before running, and
+/// any injected action surfaces as [`acoi::DetectorError::Unavailable`]
+/// — the failure mode that leaves rejected-with-cause holes in the
+/// parse tree instead of aborting it. `header` stays reliable. The
+/// keyed draw is a pure function of (seed, detector, location), so two
+/// populate runs — whatever their worker counts or scheduling — fail
+/// on exactly the same documents.
+pub fn flaky_detectors(site: Arc<Site>, plan: Arc<faults::FaultPlan>) -> DetectorRegistry {
+    let mut registry = DetectorRegistry::new();
+    for (name, f) in detector_impls(site) {
+        if name == "header" {
+            registry.register(name, Version::new(1, 0, 0), f);
+            continue;
+        }
+        let plan = Arc::clone(&plan);
+        let label = format!("det:{name}");
+        let flaky: acoi::DetectorFn = Box::new(move |inputs| {
+            let key = inputs
+                .first()
+                .and_then(|v| v.as_str())
+                .unwrap_or_default()
+                .to_owned();
+            if plan.decide_keyed(&label, &key) != faults::FaultAction::None {
+                return Err(acoi::DetectorError::Unavailable(format!(
+                    "{label}: injected outage for {key}"
+                )));
+            }
+            f(inputs)
+        });
+        registry.register(name, Version::new(1, 0, 0), flaky);
+    }
+    registry
+}
+
 /// The four detector implementations, shared by the linked and the
 /// remote/supervised wirings.
 fn detector_impls(site: Arc<Site>) -> Vec<(&'static str, acoi::DetectorFn)> {
@@ -343,7 +396,7 @@ mod tests {
             articles: 2,
             seed: 8,
         }));
-        let mut registry = detectors(Arc::clone(&site));
+        let registry = detectors(Arc::clone(&site));
         let video_url = site.players[0].video_url.clone();
         let out = registry
             .run("header", &[feagram::FeatureValue::url(video_url.clone())])
@@ -359,7 +412,7 @@ mod tests {
     #[test]
     fn segment_fails_on_missing_video() {
         let site = Arc::new(Site::generate(SiteSpec::default()));
-        let mut registry = detectors(site);
+        let registry = detectors(site);
         let err = registry
             .run("segment", &[feagram::FeatureValue::url("http://nowhere/x.mpg")])
             .unwrap_err();

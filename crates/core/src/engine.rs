@@ -14,7 +14,7 @@
 //! * **Querying** — [`Engine::query`] combines conceptual selection,
 //!   ranked text retrieval and media-event evidence into one answer.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use acoi::{DetectorRegistry, Fde, Fds, MaintenanceReport, MetaIndex, RevisionLevel, Token};
@@ -74,6 +74,23 @@ pub struct PopulateReport {
     pub detector_calls: usize,
 }
 
+/// Options controlling how [`Engine::populate_with`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulateOptions {
+    /// FDE worker threads for media analysis. `1` analyses every
+    /// document in source order on the calling thread; `N > 1` fans
+    /// the analyses over a pool of `N` workers while a single writer
+    /// merges the parse trees back in source order, so stores, report
+    /// counters and log lines are identical to the sequential run.
+    pub workers: usize,
+}
+
+impl Default for PopulateOptions {
+    fn default() -> Self {
+        PopulateOptions { workers: 1 }
+    }
+}
+
 /// The integrated search engine.
 pub struct Engine {
     schema: WebspaceSchema,
@@ -95,6 +112,97 @@ pub struct Engine {
     /// must not re-load it per candidate. Invalidated whenever the
     /// meta-index changes (populate / maintenance / source refresh).
     media_cache: HashMap<String, MediaEvidence>,
+    /// Whether a fault plan is wired in anywhere. Fault-injected runs
+    /// must exercise the real evaluation path on every query (the
+    /// injection draws advance per call), so the answer cache is
+    /// bypassed entirely.
+    faults_active: bool,
+    /// Epoch-keyed LRU cache of full query answers.
+    query_cache: QueryCache,
+}
+
+/// How many distinct query answers [`QueryCache`] retains.
+const QUERY_CACHE_CAPACITY: usize = 64;
+
+/// LRU cache of complete query answers, validated by store epochs.
+///
+/// A cached answer is only returned while the `(views, meta, text)`
+/// epoch triple it was computed under still matches the stores, so any
+/// ingestion or maintenance makes stale entries unreachable even
+/// without an explicit [`QueryCache::clear`] (the mutating engine
+/// entry points clear eagerly anyway, to free the memory).
+struct QueryCache {
+    capacity: usize,
+    entries: HashMap<String, CachedAnswer>,
+    /// Recency order, least recent first.
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Clone)]
+struct CachedAnswer {
+    /// `(views, meta, text)` store epochs at compute time.
+    epochs: (u64, u64, u64),
+    hits: Vec<EngineHit>,
+    /// The [`TextQueryStatus`] the answer was produced with, restored
+    /// on a cache hit so degraded-plan reporting stays consistent.
+    text_status: Option<TextQueryStatus>,
+}
+
+impl QueryCache {
+    fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn lookup(&mut self, key: &str, epochs: (u64, u64, u64)) -> Option<CachedAnswer> {
+        let fresh = match self.entries.get(key) {
+            Some(entry) => entry.epochs == epochs,
+            None => {
+                self.misses += 1;
+                return None;
+            }
+        };
+        if !fresh {
+            self.misses += 1;
+            self.entries.remove(key);
+            self.order.retain(|k| k != key);
+            return None;
+        }
+        self.hits += 1;
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos).expect("position from iter");
+            self.order.push_back(k);
+        }
+        self.entries.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: String, answer: CachedAnswer) {
+        if self.entries.insert(key.clone(), answer).is_some() {
+            self.order.retain(|k| k != &key);
+        }
+        self.order.push_back(key);
+        while self.entries.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Drops every entry; the hit/miss counters survive.
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
 }
 
 #[derive(Default, Clone)]
@@ -129,6 +237,7 @@ impl Engine {
         if let Some(plan) = &config.faults {
             text.set_fault_plan(Arc::clone(plan));
         }
+        let faults_active = config.faults.is_some();
         Ok(Engine {
             webspace: WebspaceIndex::new(config.schema.clone()),
             schema: config.schema,
@@ -141,6 +250,8 @@ impl Engine {
             fds,
             last_text_status: None,
             media_cache: HashMap::new(),
+            faults_active,
+            query_cache: QueryCache::new(QUERY_CACHE_CAPACITY),
         })
     }
 
@@ -194,8 +305,27 @@ impl Engine {
         &self.registry
     }
 
-    /// Populates the index from crawled `(url, html)` pages.
+    /// Populates the index from crawled `(url, html)` pages,
+    /// analysing media sequentially (one worker).
     pub fn populate(&mut self, pages: &[(String, String)]) -> Result<PopulateReport> {
+        self.populate_with(pages, PopulateOptions::default())
+    }
+
+    /// Populates the index from crawled `(url, html)` pages.
+    ///
+    /// The run is staged: conceptual extraction, view storage and text
+    /// indexing happen in source order on the calling thread; media
+    /// analysis — the FDE-dominated stage — fans out over
+    /// `options.workers` threads. A single writer merges the resulting
+    /// parse trees into the meta-index strictly in source order, so
+    /// every store snapshot, report counter and log line is identical
+    /// to a `workers: 1` run.
+    pub fn populate_with(
+        &mut self,
+        pages: &[(String, String)],
+        options: PopulateOptions,
+    ) -> Result<PopulateReport> {
+        self.query_cache.clear();
         let mut report = PopulateReport {
             pages: pages.len(),
             ..PopulateReport::default()
@@ -208,18 +338,25 @@ impl Engine {
         }
         let views: Vec<MaterializedView> = self.retriever.finalize(extracts);
 
+        // Physical storage of the view documents (one batched load)…
+        let docs: Vec<_> = views
+            .iter()
+            .map(|view| (view.name.clone(), view.to_document()))
+            .collect();
+        self.views
+            .insert_documents(docs.iter().map(|(name, doc)| (name.as_str(), doc)))?;
+        // …and the merged conceptual graph.
         for view in &views {
-            // Physical storage of the view document…
-            let doc = view.to_document();
-            self.views.insert_document(&view.name, &doc)?;
-            // …and the merged conceptual graph.
             self.webspace.add_view(view)?;
             report.associations += view.associations.len();
         }
         report.objects = self.webspace.object_count();
 
         // Logical level: full text + video analysis, driven by the
-        // schema's multimedia hooks.
+        // schema's multimedia hooks. One ordered walk collects both
+        // workloads; text is indexed as a batch, media analysis is the
+        // stage worth parallelising (each document runs the detector
+        // cascade).
         let object_ids: Vec<String> = self
             .webspace
             .schema()
@@ -233,6 +370,12 @@ impl Engine {
             })
             .collect();
 
+        let mut text_docs: Vec<(String, String)> = Vec::new();
+        // Media analysis jobs in source order. Locations already in
+        // the meta-index (or queued earlier in this run) are shared
+        // media objects — analysed once.
+        let mut media_jobs: Vec<(String, Vec<Token>)> = Vec::new();
+        let mut queued: HashSet<String> = HashSet::new();
         for id in object_ids {
             let object = self
                 .webspace
@@ -254,59 +397,97 @@ impl Engine {
                         webspace::AttrType::Media(MediaType::Hypertext),
                         AttrValue::Text(text),
                     ) => {
-                        let key = text_doc_key(&object.id, &attr_def.name);
-                        self.text
-                            .index_document(&key, text)
-                            .map_err(Error::Ir)?;
-                        report.text_documents += 1;
+                        text_docs
+                            .push((text_doc_key(&object.id, &attr_def.name), text.clone()));
                     }
                     // Video / audio → FDE analysis into the meta-index.
                     (
                         webspace::AttrType::Media(MediaType::Video | MediaType::Audio),
                         AttrValue::Media { location, .. },
                     ) => {
-                        if self.meta.contains(location) {
-                            continue; // shared media object, already analysed
+                        if self.meta.contains(location) || !queued.insert(location.clone())
+                        {
+                            continue;
                         }
                         let initial = vec![Token::new(
                             "location",
                             FeatureValue::url(location.clone()),
                         )];
-                        let mut fde = Fde::new(&self.grammar, &mut self.registry);
-                        match fde.parse(initial.clone()) {
-                            Ok(tree) => {
-                                report.detector_calls += fde.stats().detector_calls;
-                                // Unavailable detectors don't abort the
-                                // parse — they leave rejected-with-cause
-                                // holes. Count and log every one so a
-                                // degraded population is visible, not
-                                // silently incomplete.
-                                let rejected = tree.rejected_nodes();
-                                if !rejected.is_empty() {
-                                    report.media_degraded += 1;
-                                    report.detector_failures += rejected.len();
-                                    for (_, symbol, cause) in &rejected {
-                                        eprintln!(
-                                            "populate: {location}: detector `{symbol}` unavailable: {cause}"
-                                        );
-                                    }
-                                }
-                                self.meta.insert(location, initial, &tree)?;
-                                report.media_analyzed += 1;
-                            }
-                            Err(
-                                e @ (acoi::Error::Reject { .. }
-                                | acoi::Error::DetectorFailed { .. }),
-                            ) => {
-                                report.media_rejected += 1;
-                                eprintln!("populate: {location}: analysis rejected: {e}");
-                            }
-                            Err(e) => return Err(Error::Acoi(e)),
-                        }
+                        media_jobs.push((location.clone(), initial));
                     }
                     _ => {}
                 }
             }
+        }
+
+        self.text
+            .index_documents(text_docs.iter().map(|(key, text)| (key.as_str(), text.as_str())))
+            .map_err(Error::Ir)?;
+        report.text_documents = text_docs.len();
+
+        let workers = options.workers.max(1).min(media_jobs.len().max(1));
+        if workers <= 1 {
+            for (location, initial) in media_jobs {
+                let outcome = analyse_media(&self.grammar, &self.registry, &initial);
+                merge_media_outcome(&mut self.meta, &mut report, &location, initial, outcome)?;
+            }
+        } else {
+            // Fan out: a shared job queue feeds the workers; each runs
+            // its own FDE over the shared grammar and registry. The
+            // writer (this thread) holds the only mutable borrows and
+            // merges results strictly by ascending sequence number,
+            // buffering out-of-order arrivals, so the meta-index sees
+            // the exact sequential insertion order.
+            let grammar = &self.grammar;
+            let registry = &self.registry;
+            let meta = &mut self.meta;
+            let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, Vec<Token>)>();
+            let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, MediaOutcome)>();
+            for (seq, (_, initial)) in media_jobs.iter().enumerate() {
+                job_tx
+                    .send((seq, initial.clone()))
+                    .expect("job receiver alive");
+            }
+            drop(job_tx);
+            let merged: Result<()> = crossbeam::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let job_rx = job_rx.clone();
+                    let res_tx = res_tx.clone();
+                    scope.spawn(move |_| {
+                        while let Ok((seq, initial)) = job_rx.recv() {
+                            let outcome = analyse_media(grammar, registry, &initial);
+                            if res_tx.send((seq, outcome)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(res_tx);
+                let mut pending: BTreeMap<usize, MediaOutcome> = BTreeMap::new();
+                let mut next = 0usize;
+                while next < media_jobs.len() {
+                    let Ok((seq, outcome)) = res_rx.recv() else {
+                        // Workers gone with jobs outstanding: one of
+                        // them panicked; the scope will surface it.
+                        break;
+                    };
+                    pending.insert(seq, outcome);
+                    while let Some(outcome) = pending.remove(&next) {
+                        let (location, initial) = &media_jobs[next];
+                        merge_media_outcome(
+                            meta,
+                            &mut report,
+                            location,
+                            initial.clone(),
+                            outcome,
+                        )?;
+                        next += 1;
+                    }
+                }
+                Ok(())
+            })
+            .map_err(|_| Error::Config("media analysis worker panicked".to_owned()))?;
+            merged?;
         }
         self.text.commit().map_err(Error::Ir)?;
         self.media_cache.clear();
@@ -392,7 +573,59 @@ impl Engine {
     }
 
     /// Executes an integrated query.
+    ///
+    /// Answers are cached under an epoch-keyed LRU: the key combines
+    /// the normalized query (stemmed text terms, so `"winner"` and
+    /// `"Winner"` share an entry) with the `(views, meta, text)` store
+    /// epochs, and every mutation — populate, maintenance, source
+    /// refresh — bumps an epoch and clears the cache. Fault-injected
+    /// engines bypass the cache entirely: injection draws advance per
+    /// call, so a replayed answer would freeze the failure dynamics.
     pub fn query(&mut self, q: &EngineQuery) -> Result<Vec<EngineHit>> {
+        if self.faults_active {
+            return self.query_uncached(q);
+        }
+        let key = cache_key(q);
+        let epochs = self.store_epochs();
+        if let Some(answer) = self.query_cache.lookup(&key, epochs) {
+            self.last_text_status = answer.text_status;
+            return Ok(answer.hits);
+        }
+        let hits = self.query_uncached(q)?;
+        self.query_cache.insert(
+            key,
+            CachedAnswer {
+                epochs,
+                hits: hits.clone(),
+                text_status: self.last_text_status.clone(),
+            },
+        );
+        Ok(hits)
+    }
+
+    /// Hit/miss counters of the query-answer cache since engine
+    /// construction (cache clears do not reset them).
+    pub fn query_cache_stats(&self) -> (u64, u64) {
+        (self.query_cache.hits, self.query_cache.misses)
+    }
+
+    /// Drops every cached query answer. Epoch keys already make stale
+    /// answers unreachable; this frees the memory too.
+    pub fn invalidate_query_cache(&mut self) {
+        self.query_cache.clear();
+    }
+
+    /// Current `(views, meta, text)` store epochs — the freshness
+    /// stamp carried by every cached answer.
+    fn store_epochs(&self) -> (u64, u64, u64) {
+        (
+            self.views.epoch(),
+            self.meta.store().epoch(),
+            self.text.epoch(),
+        )
+    }
+
+    fn query_uncached(&mut self, q: &EngineQuery) -> Result<Vec<EngineHit>> {
         // 1. Conceptual selection and joins.
         let rows = self.webspace.execute(&q.conceptual)?;
 
@@ -547,6 +780,7 @@ impl Engine {
         still_valid: impl Fn(&str) -> bool,
     ) -> Result<bool> {
         self.media_cache.remove(source);
+        self.query_cache.clear();
         self.fds
             .refresh_source(
                 &self.grammar,
@@ -567,6 +801,7 @@ impl Engine {
         new_impl: acoi::DetectorFn,
     ) -> Result<MaintenanceReport> {
         self.media_cache.clear();
+        self.query_cache.clear();
         self.fds
             .upgrade_detector(
                 &self.grammar,
@@ -586,9 +821,91 @@ impl Engine {
     /// heal costs only the calls the outage originally skipped.
     pub fn heal_detector(&mut self, detector: &str) -> Result<MaintenanceReport> {
         self.media_cache.clear();
+        self.query_cache.clear();
         self.fds
             .heal_detector(&self.grammar, &mut self.registry, &mut self.meta, detector)
             .map_err(Error::Acoi)
+    }
+}
+
+/// Normalizes a query into its cache key. Text terms go through the
+/// same tokenizer/stemmer as indexing, so spelling variants that rank
+/// identically share an entry; everything else uses its canonical
+/// debug form.
+fn cache_key(q: &EngineQuery) -> String {
+    let mut key = format!("{:?}", q.conceptual);
+    match &q.text {
+        Some(text) => {
+            let terms = ir::tokenize_and_stem(&text.query).join(" ");
+            key.push_str(&format!(
+                "|text:{}:{}:{}:{}",
+                text.attr, terms, text.top_n, text.rank_within
+            ));
+        }
+        None => key.push_str("|text:-"),
+    }
+    match &q.media {
+        Some(media) => key.push_str(&format!("|media:{}:{}", media.attr, media.event)),
+        None => key.push_str("|media:-"),
+    }
+    key.push_str(&format!("|limit:{}", q.limit));
+    key
+}
+
+/// What one media analysis produced: the parse tree plus the number of
+/// blackbox detector executions it took, or the parse error.
+type MediaOutcome = std::result::Result<(acoi::ParseTree, usize), acoi::Error>;
+
+/// Runs one FDE analysis. Pure with respect to the engine: only the
+/// (shared, thread-safe) grammar and registry are touched, so any
+/// worker thread can execute it.
+fn analyse_media(
+    grammar: &Grammar,
+    registry: &DetectorRegistry,
+    initial: &[Token],
+) -> MediaOutcome {
+    let mut fde = Fde::new(grammar, registry);
+    let tree = fde.parse(initial.to_vec())?;
+    let calls = fde.stats().detector_calls;
+    Ok((tree, calls))
+}
+
+/// Applies one analysis outcome to the meta-index and the report —
+/// the single-writer half of the pipeline. Callers must invoke it in
+/// source order; it reproduces the sequential counters and log lines.
+fn merge_media_outcome(
+    meta: &mut MetaIndex,
+    report: &mut PopulateReport,
+    location: &str,
+    initial: Vec<Token>,
+    outcome: MediaOutcome,
+) -> Result<()> {
+    match outcome {
+        Ok((tree, detector_calls)) => {
+            report.detector_calls += detector_calls;
+            // Unavailable detectors don't abort the parse — they leave
+            // rejected-with-cause holes. Count and log every one so a
+            // degraded population is visible, not silently incomplete.
+            let rejected = tree.rejected_nodes();
+            if !rejected.is_empty() {
+                report.media_degraded += 1;
+                report.detector_failures += rejected.len();
+                for (_, symbol, cause) in &rejected {
+                    eprintln!(
+                        "populate: {location}: detector `{symbol}` unavailable: {cause}"
+                    );
+                }
+            }
+            meta.insert(location, initial, &tree)?;
+            report.media_analyzed += 1;
+            Ok(())
+        }
+        Err(e @ (acoi::Error::Reject { .. } | acoi::Error::DetectorFailed { .. })) => {
+            report.media_rejected += 1;
+            eprintln!("populate: {location}: analysis rejected: {e}");
+            Ok(())
+        }
+        Err(e) => Err(Error::Acoi(e)),
     }
 }
 

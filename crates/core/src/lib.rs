@@ -58,7 +58,7 @@ pub mod qlang;
 pub mod query;
 pub mod shots;
 
-pub use engine::{Engine, EngineConfig, PopulateReport, TextQueryStatus};
+pub use engine::{Engine, EngineConfig, PopulateOptions, PopulateReport, TextQueryStatus};
 pub use error::{Error, Result};
 pub use query::{EngineHit, EngineQuery, MediaPredicate, TextPredicate};
 pub use shots::{video_shots, ShotMeta};

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 /// What the injection point should do for one call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultAction {
     /// Proceed normally.
     None,
@@ -204,6 +204,35 @@ impl FaultPlan {
         }
     }
 
+    /// Decides what a call at `label` identified by `key` should do.
+    ///
+    /// Unlike [`FaultPlan::decide`], the outcome is a pure function of
+    /// `(seed, label, key)` — independent of call *order* — so parallel
+    /// ingestion workers observe the same faults on the same documents
+    /// no matter how the scheduler interleaves them. The per-label call
+    /// counter still advances (for [`FaultPlan::calls`] accounting), but
+    /// scripted schedules are ignored: a script is inherently
+    /// order-based and belongs with [`FaultPlan::decide`].
+    pub fn decide_keyed(&self, label: &str, key: &str) -> FaultAction {
+        let spec = {
+            let mut sites = self.sites.lock().expect("fault plan poisoned");
+            let site = sites.entry(label.to_owned()).or_default();
+            site.calls += 1;
+            site.spec.unwrap_or(self.default)
+        };
+        let word = splitmix(self.seed ^ label_hash(label) ^ label_hash(key).rotate_left(17));
+        let draw = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if draw < spec.error {
+            FaultAction::Error
+        } else if draw < spec.error + spec.hang {
+            FaultAction::Hang
+        } else if draw < spec.error + spec.hang + spec.garbage {
+            FaultAction::Garbage
+        } else {
+            FaultAction::None
+        }
+    }
+
     /// Total calls decided for `label` so far.
     pub fn calls(&self, label: &str) -> u64 {
         self.sites
@@ -280,6 +309,47 @@ mod tests {
             assert_eq!(plan.decide("d"), FaultAction::None);
         }
         assert_eq!(plan.calls("d"), 53);
+    }
+
+    #[test]
+    fn keyed_decisions_ignore_call_order() {
+        let spec = FaultSpec {
+            error: 0.4,
+            hang: 0.1,
+            garbage: 0.1,
+        };
+        let keys: Vec<String> = (0..50).map(|i| format!("http://x/v{i}.mpg")).collect();
+        let forward: Vec<_> = {
+            let plan = FaultPlan::seeded(5).with_site("det:tennis", spec);
+            keys.iter()
+                .map(|k| plan.decide_keyed("det:tennis", k))
+                .collect()
+        };
+        let backward: Vec<_> = {
+            let plan = FaultPlan::seeded(5).with_site("det:tennis", spec);
+            let mut v: Vec<_> = keys
+                .iter()
+                .rev()
+                .map(|k| plan.decide_keyed("det:tennis", k))
+                .collect();
+            v.reverse();
+            v
+        };
+        assert_eq!(forward, backward);
+        assert!(forward.iter().any(|a| *a != FaultAction::None));
+        assert!(forward.contains(&FaultAction::None));
+    }
+
+    #[test]
+    fn keyed_decisions_vary_by_key_and_count_calls() {
+        let plan = FaultPlan::seeded(2).with_site("d", FaultSpec::errors(0.5));
+        let distinct: std::collections::HashSet<_> = (0..100)
+            .map(|i| plan.decide_keyed("d", &format!("k{i}")))
+            .collect();
+        assert!(distinct.len() > 1, "all keys drew the same action");
+        assert_eq!(plan.calls("d"), 100);
+        // Same key, same answer, regardless of how often it is asked.
+        assert_eq!(plan.decide_keyed("d", "k0"), plan.decide_keyed("d", "k0"));
     }
 
     #[test]

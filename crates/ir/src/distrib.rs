@@ -130,6 +130,33 @@ impl DistributedIndex {
         Ok(())
     }
 
+    /// Bulk entry point: routes a batch of `(url, text)` documents and
+    /// indexes each shard's slice in one call, preserving input order
+    /// within every shard (routing is order-independent, so the stored
+    /// state is identical to repeated [`index_document`] calls).
+    ///
+    /// [`index_document`]: DistributedIndex::index_document
+    pub fn index_documents<'a, I>(&mut self, docs: I) -> Result<()>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut per_shard: Vec<Vec<(&str, &str)>> = vec![Vec::new(); self.shards.len()];
+        for (url, text) in docs {
+            per_shard[self.route(url)].push((url, text));
+        }
+        for (shard, batch) in self.shards.iter_mut().zip(per_shard) {
+            shard.index_documents(batch)?;
+        }
+        Ok(())
+    }
+
+    /// A counter that advances whenever any server's index mutates (via
+    /// this distributed facade) or global IDF is redistributed. Query
+    /// results are safe to cache while the epoch holds still.
+    pub fn epoch(&self) -> u64 {
+        self.shards.iter().map(TextIndex::epoch).sum()
+    }
+
     /// The server a URL is assigned to.
     pub fn route(&self, url: &str) -> usize {
         // FNV-1a over the URL: deterministic, well-spread.

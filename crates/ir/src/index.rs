@@ -92,6 +92,9 @@ pub struct TextIndex {
     /// Total token count, for avgdl.
     total_tokens: usize,
     committed: bool,
+    /// Bumped on every mutation (insert or commit); cache keys built
+    /// from the epoch go stale the moment the index changes.
+    epoch: u64,
 }
 
 impl TextIndex {
@@ -105,7 +108,15 @@ impl TextIndex {
             dirty_terms: Vec::new(),
             total_tokens: 0,
             committed: true,
+            epoch: 0,
         }
+    }
+
+    /// A counter that advances on every mutation. Equal epochs guarantee
+    /// the index has not changed in between; results derived from it can
+    /// be cached keyed by the epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The underlying catalog (the relations are inspectable).
@@ -184,7 +195,21 @@ impl TextIndex {
             self.dirty_terms.push(term_oid);
         }
         self.committed = false;
+        self.epoch += 1;
         Ok(doc)
+    }
+
+    /// Indexes a batch of `(url, text)` documents in order — the bulk
+    /// entry point for parallel ingestion writers, which hand a whole
+    /// merge batch over in one call and commit once at the end. Returns
+    /// the minted doc oids in input order.
+    pub fn index_documents<'a, I>(&mut self, docs: I) -> Result<Vec<Oid>>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        docs.into_iter()
+            .map(|(url, text)| self.index_document(url, text))
+            .collect()
     }
 
     /// Derives IDF entries for the terms touched since the last commit
@@ -200,6 +225,7 @@ impl TextIndex {
             idf_bat.upsert(term, Value::Flt(1.0 / df as f64))?;
         }
         self.committed = true;
+        self.epoch += 1;
         Ok(())
     }
 
@@ -383,6 +409,7 @@ impl TextIndex {
                     .upsert(term, Value::Flt(1.0 / df as f64))?;
             }
         }
+        self.epoch += 1;
         Ok(())
     }
 

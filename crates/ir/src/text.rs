@@ -18,15 +18,47 @@ pub fn is_stop_word(word: &str) -> bool {
     STOP_WORDS.binary_search(&word).is_ok()
 }
 
+/// Case-insensitive stop-word test for ASCII tokens, so the hot
+/// tokenisation loop can filter *before* allocating a lowercased copy.
+/// `STOP_WORDS` entries are lowercase ASCII (asserted in tests), so
+/// comparing against the token's bytes mapped through
+/// `to_ascii_lowercase` is exactly `is_stop_word(&token.to_lowercase())`.
+fn is_stop_word_ignore_ascii_case(token: &str) -> bool {
+    STOP_WORDS
+        .binary_search_by(|stop| {
+            stop.bytes()
+                .cmp(token.bytes().map(|b| b.to_ascii_lowercase()))
+        })
+        .is_ok()
+}
+
 /// Splits text into lowercase alphanumeric tokens, drops stop words and
 /// single characters, and stems the rest — the exact preprocessing the
 /// paper's "stemmer and stopper" perform before matching against `T`.
+///
+/// Most tokens in a web corpus are stop words or single characters;
+/// filtering happens before any allocation, so only surviving tokens pay
+/// for a `String` (built inside [`porter_stem`], which lowercases its
+/// input itself).
 pub fn tokenize_and_stem(text: &str) -> Vec<String> {
-    text.split(|c: char| !c.is_alphanumeric())
-        .map(str::to_lowercase)
-        .filter(|t| t.len() > 1 && !is_stop_word(t))
-        .map(|t| porter_stem(&t))
-        .collect()
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_alphanumeric()) {
+        if raw.is_ascii() {
+            // ASCII fast path: lowercasing preserves byte length, so the
+            // length and stop-word filters run on the raw slice.
+            if raw.len() > 1 && !is_stop_word_ignore_ascii_case(raw) {
+                out.push(porter_stem(raw));
+            }
+        } else {
+            // Unicode lowercasing can change byte length (ﬁ → fi); keep
+            // the original lowercase-then-filter semantics.
+            let lower = raw.to_lowercase();
+            if lower.len() > 1 && !is_stop_word(&lower) {
+                out.push(porter_stem(&lower));
+            }
+        }
+    }
+    out
 }
 
 /// Porter's stemming algorithm (M.F. Porter, "An algorithm for suffix
@@ -285,11 +317,42 @@ mod tests {
 
     #[test]
     fn stop_words_are_sorted_for_binary_search() {
-        let mut sorted = STOP_WORDS.to_vec();
-        sorted.sort_unstable();
-        assert_eq!(sorted, STOP_WORDS);
+        // `is_stop_word` binary-searches STOP_WORDS, so the list must be
+        // strictly sorted (sorted + free of duplicates); a future edit
+        // that breaks ordering would silently drop stop-word filtering.
+        for pair in STOP_WORDS.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "STOP_WORDS out of order or duplicated at `{}` / `{}`",
+                pair[0],
+                pair[1]
+            );
+        }
+        // The case-insensitive fast path additionally assumes every
+        // entry is lowercase ASCII.
+        for word in STOP_WORDS {
+            assert!(
+                word.bytes().all(|b| b.is_ascii_lowercase()),
+                "stop word `{word}` is not lowercase ASCII"
+            );
+        }
         assert!(is_stop_word("the"));
         assert!(!is_stop_word("tennis"));
+        // Every entry is found by both lookups, in any case mix.
+        for word in STOP_WORDS {
+            assert!(is_stop_word(word));
+            assert!(is_stop_word_ignore_ascii_case(word));
+            assert!(is_stop_word_ignore_ascii_case(&word.to_uppercase()));
+        }
+        assert!(!is_stop_word_ignore_ascii_case("Tennis"));
+    }
+
+    #[test]
+    fn tokenize_filters_before_allocating_without_changing_results() {
+        // Mixed-case stop words, single chars, digits and punctuation all
+        // behave exactly as the old lowercase-first pipeline did.
+        let terms = tokenize_and_stem("THE And a I Winner v7 IS his 42 net-play");
+        assert_eq!(terms, vec!["winner", "v7", "42", "net", "plai"]);
     }
 
     #[test]

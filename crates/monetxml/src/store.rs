@@ -39,6 +39,9 @@ pub struct XmlStore {
     roots: Vec<Oid>,
     /// Cumulative stats of the most recent load.
     last_stats: LoadStats,
+    /// Bumped on every insert or delete; anything derived from the
+    /// store can be cached while the epoch holds still.
+    epoch: u64,
 }
 
 impl XmlStore {
@@ -49,7 +52,14 @@ impl XmlStore {
             summary: PathSummary::new(),
             roots: Vec::new(),
             last_stats: LoadStats::default(),
+            epoch: 0,
         }
+    }
+
+    /// A counter that advances on every insert or delete. Equal epochs
+    /// guarantee the stored documents have not changed in between.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The underlying BAT catalog (immutable).
@@ -87,7 +97,30 @@ impl XmlStore {
         let (root, stats) = transform::load_document(&mut self.db, &mut self.summary, source, doc)?;
         self.roots.push(root);
         self.last_stats = stats;
+        self.epoch += 1;
         Ok(root)
+    }
+
+    /// Inserts a batch of `(source, document)` pairs in order — the bulk
+    /// entry point the ingestion writer uses to land one merge batch in a
+    /// single call. [`XmlStore::last_stats`] afterwards holds the *sum*
+    /// over the batch. Returns the root oids in input order.
+    pub fn insert_documents<'a, I>(&mut self, docs: I) -> Result<Vec<Oid>>
+    where
+        I: IntoIterator<Item = (&'a str, &'a Document)>,
+    {
+        let mut roots = Vec::new();
+        let mut total = LoadStats::default();
+        for (source, doc) in docs {
+            roots.push(self.insert_document(source, doc)?);
+            let stats = self.last_stats;
+            total.nodes += stats.nodes;
+            total.attrs += stats.attrs;
+            total.new_relations += stats.new_relations;
+            total.max_depth = total.max_depth.max(stats.max_depth);
+        }
+        self.last_stats = total;
+        Ok(roots)
     }
 
     /// Streams XML text into the store with O(height) live memory — the
@@ -111,6 +144,7 @@ impl XmlStore {
         let (root, stats) = loader.finish()?;
         self.roots.push(root);
         self.last_stats = stats;
+        self.epoch += 1;
         Ok(root)
     }
 
@@ -135,6 +169,7 @@ impl XmlStore {
         let (root, stats) = loader.finish()?;
         self.roots.push(root);
         self.last_stats = stats;
+        self.epoch += 1;
         Ok(root)
     }
 
@@ -272,6 +307,7 @@ impl XmlStore {
             .root
             .ok_or_else(|| Error::Store("no root element".into()))?;
         self.roots.push(root);
+        self.epoch += 1;
         Ok(root)
     }
 
@@ -331,6 +367,7 @@ impl XmlStore {
         self.db.get_mut(SYS_RELATION)?.delete_head(root);
         self.db.get_mut(SOURCE_RELATION)?.delete_head(root);
         self.roots.retain(|r| *r != root);
+        self.epoch += 1;
         Ok(removed)
     }
 
@@ -421,6 +458,7 @@ impl XmlStore {
             summary,
             roots,
             last_stats: LoadStats::default(),
+            epoch: 0,
         })
     }
 

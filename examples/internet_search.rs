@@ -142,7 +142,7 @@ fn analyse_page(
         }),
     );
 
-    let mut fde = Fde::new(grammar, &mut registry);
+    let mut fde = Fde::new(grammar, &registry);
     Ok(fde.parse(vec![Token::new(
         "location",
         FeatureValue::url(page.url.clone()),

@@ -1,11 +1,15 @@
 # Development commands. The container has no network: every cargo
 # invocation must stay --offline (deps are vendored in-tree under shims/).
 
-# Build, test, and lint — the full pre-merge gate.
+# Build, test, and lint — the full pre-merge gate. Includes a smoke
+# pass over the perf benches (tiny workload, no JSON rewrite) so the
+# harness itself cannot rot.
 verify:
     cargo build --release --offline
     cargo test --offline -q
     cargo clippy --offline --workspace --all-targets -- -D warnings
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench ingest
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench query_cache
 
 build:
     cargo build --offline
@@ -15,6 +19,12 @@ test:
 
 clippy:
     cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Perf baselines: E11 (parallel ingestion) and E12 (query cache).
+# Full runs refresh BENCH_populate.json / BENCH_query.json in-repo.
+bench:
+    cargo bench --offline -p bench --bench ingest
+    cargo bench --offline -p bench --bench query_cache
 
 # The flagship scenario, healthy and under injected faults.
 demo:

@@ -171,7 +171,7 @@ fn scripted_fail_then_recover_detector_heals_after_the_scheduler_drains() {
             "location",
             feagram::FeatureValue::url(p.video_url.clone()),
         )];
-        let tree = Fde::new(&grammar, &mut registry)
+        let tree = Fde::new(&grammar, &registry)
             .parse(initial.clone())
             .unwrap();
         index.insert(&p.video_url, initial, &tree).unwrap();

@@ -15,10 +15,10 @@ fn video_grammar_analyses_a_site_video_end_to_end() {
         seed: 9,
     }));
     let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-    let mut registry = dlsearch::ausopen::detectors(Arc::clone(&site));
+    let registry = dlsearch::ausopen::detectors(Arc::clone(&site));
 
     let player = &site.players[0];
-    let mut fde = Fde::new(&grammar, &mut registry);
+    let mut fde = Fde::new(&grammar, &registry);
     let tree = fde
         .parse(vec![Token::new(
             "location",
@@ -53,8 +53,8 @@ fn image_object_takes_the_optional_branch() {
         seed: 10,
     }));
     let grammar = feagram::parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-    let mut registry = dlsearch::ausopen::detectors(Arc::clone(&site));
-    let mut fde = Fde::new(&grammar, &mut registry);
+    let registry = dlsearch::ausopen::detectors(Arc::clone(&site));
+    let mut fde = Fde::new(&grammar, &registry);
     let picture = site.players[0].picture_url.clone();
     let tree = fde
         .parse(vec![Token::new("location", FeatureValue::url(picture))])
@@ -101,7 +101,7 @@ fn internet_grammar_indexes_generic_pages() {
             }),
         );
 
-        let mut fde = Fde::new(&grammar, &mut registry);
+        let mut fde = Fde::new(&grammar, &registry);
         let tree = fde
             .parse(vec![Token::new(
                 "location",
@@ -147,7 +147,7 @@ fn composed_internet_video_grammar_analyses_embedded_match_videos() {
         }),
     );
 
-    let mut fde = Fde::new(&grammar, &mut registry);
+    let mut fde = Fde::new(&grammar, &registry);
     let tree = fde
         .parse(vec![Token::new(
             "location",
@@ -217,7 +217,7 @@ fn image_pipeline_grammar_detects_portraits() {
             }),
         );
 
-        let mut fde = Fde::new(&grammar, &mut registry);
+        let mut fde = Fde::new(&grammar, &registry);
         let tree = fde
             .parse(vec![Token::new(
                 "location",

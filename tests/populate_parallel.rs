@@ -1,0 +1,237 @@
+//! The parallel ingestion pipeline: `populate_with` fans media
+//! analysis over a worker pool, but a single writer merges parse trees
+//! in source order — so every store snapshot, report counter and query
+//! answer must be *identical* to the sequential run, for any worker
+//! count, healthy or degraded. Plus the epoch-keyed query cache:
+//! warm answers equal cold ones, and any ingestion or maintenance
+//! invalidates them.
+
+use std::sync::Arc;
+
+use dlsearch::{ausopen, qlang, Engine, PopulateOptions, PopulateReport};
+use faults::{FaultPlan, FaultSpec};
+use websim::{crawl, Site, SiteSpec};
+
+fn spec() -> SiteSpec {
+    SiteSpec {
+        players: 8,
+        articles: 10,
+        seed: 42,
+    }
+}
+
+const FIGURE13: &str = r#"
+    FROM Player
+    WHERE gender = "female" AND hand = "left"
+    TEXT history CONTAINS "Winner"
+    VIA Is_covered_in
+    MEDIA video HAS netplay
+    TOP 10
+"#;
+
+const TEXT_ONLY: &str = r#"
+    FROM Article
+    TEXT body CONTAINS "tennis court"
+    TOP 5
+"#;
+
+/// Everything observable about one populated engine: the report, both
+/// store snapshots (bytes!), the text-index epoch and the answers to
+/// the reference queries.
+fn observe(engine: &mut Engine, report: PopulateReport) -> (PopulateReport, Vec<u8>, Vec<u8>, u64, String) {
+    let views = engine.views().snapshot();
+    let meta = engine.meta().store().snapshot();
+    let text_epoch = engine.text_index().epoch();
+    let mut answers = String::new();
+    for q in [FIGURE13, TEXT_ONLY] {
+        let query = qlang::parse(q).unwrap();
+        let hits = engine.query(&query).unwrap();
+        answers.push_str(&format!("{hits:?}\n"));
+    }
+    (report, views, meta, text_epoch, answers)
+}
+
+#[test]
+fn parallel_populate_is_byte_identical_to_sequential() {
+    let site = Arc::new(Site::generate(spec()));
+    let pages = crawl(&site);
+
+    let mut baseline = None;
+    for workers in [1usize, 2, 8] {
+        let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+        let report = engine
+            .populate_with(&pages, PopulateOptions { workers })
+            .unwrap();
+        assert!(report.media_analyzed > 0);
+        assert_eq!(report.media_degraded, 0);
+        let observed = observe(&mut engine, report);
+        match &baseline {
+            None => baseline = Some(observed),
+            Some(base) => {
+                assert_eq!(base.0, observed.0, "report differs at workers={workers}");
+                assert_eq!(base.1, observed.1, "views snapshot differs at workers={workers}");
+                assert_eq!(base.2, observed.2, "meta snapshot differs at workers={workers}");
+                assert_eq!(base.3, observed.3, "text epoch differs at workers={workers}");
+                assert_eq!(base.4, observed.4, "query answers differ at workers={workers}");
+            }
+        }
+    }
+}
+
+#[test]
+fn degraded_populate_is_deterministic_across_worker_counts() {
+    let site = Arc::new(Site::generate(spec()));
+    let pages = crawl(&site);
+    // Keyed faults: each (detector, location) pair fails or succeeds as
+    // a pure function of the seed, never of scheduling order.
+    let plan = || {
+        FaultPlan::seeded(7)
+            .with_site("det:segment", FaultSpec::errors(0.4))
+            .with_site("det:interview", FaultSpec::errors(0.4))
+            .shared()
+    };
+
+    let mut baseline = None;
+    for workers in [1usize, 2, 8] {
+        let mut engine = ausopen::flaky_engine(Arc::clone(&site), plan()).unwrap();
+        let report = engine
+            .populate_with(&pages, PopulateOptions { workers })
+            .unwrap();
+        let observed = observe(&mut engine, report);
+        match &baseline {
+            None => {
+                // The plan must actually bite, or the test is vacuous.
+                assert!(
+                    observed.0.media_degraded > 0,
+                    "fault plan injected nothing: {:?}",
+                    observed.0
+                );
+                assert!(observed.0.detector_failures > 0);
+                baseline = Some(observed);
+            }
+            Some(base) => {
+                assert_eq!(base.0, observed.0, "degraded report differs at workers={workers}");
+                assert_eq!(base.2, observed.2, "degraded meta differs at workers={workers}");
+                assert_eq!(base.4, observed.4, "degraded answers differ at workers={workers}");
+            }
+        }
+    }
+}
+
+#[test]
+fn populate_with_zero_workers_behaves_like_one() {
+    let site = Arc::new(Site::generate(spec()));
+    let pages = crawl(&site);
+    let mut seq = ausopen::engine(Arc::clone(&site)).unwrap();
+    let seq_report = seq.populate(&pages).unwrap();
+    let mut zero = ausopen::engine(Arc::clone(&site)).unwrap();
+    let zero_report = zero
+        .populate_with(&pages, PopulateOptions { workers: 0 })
+        .unwrap();
+    assert_eq!(seq_report, zero_report);
+    assert_eq!(seq.views().snapshot(), zero.views().snapshot());
+}
+
+#[test]
+fn query_cache_serves_warm_answers_until_ingest_invalidates() {
+    let site = Arc::new(Site::generate(spec()));
+    let pages = crawl(&site);
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&pages).unwrap();
+
+    let query = qlang::parse(FIGURE13).unwrap();
+    let cold = engine.query(&query).unwrap();
+    assert_eq!(engine.query_cache_stats(), (0, 1));
+
+    // Warm: identical answer, including the text status, no new miss.
+    let warm = engine.query(&query).unwrap();
+    assert_eq!(cold, warm);
+    assert_eq!(engine.query_cache_stats(), (1, 1));
+    assert_eq!(
+        engine.last_text_status().map(|s| s.shards_ok),
+        Some(1),
+        "cache hit must restore the text status"
+    );
+
+    // A source refresh invalidates — even one that finds the source
+    // still valid — so the same query misses again and recomputes.
+    let video = site.players[0].video_url.clone();
+    engine.refresh_source(&video, |_| true).unwrap();
+    let after = engine.query(&query).unwrap();
+    assert_eq!(engine.query_cache_stats(), (1, 2));
+    assert_eq!(cold, after, "recomputing over unchanged stores must not change the answer");
+}
+
+#[test]
+fn query_cache_normalizes_spelling_variants() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+
+    // "Winner" and "winners" stem identically, so the second query is
+    // answered from the first one's cache entry.
+    let q1 = qlang::parse(FIGURE13).unwrap();
+    let q2 = qlang::parse(&FIGURE13.replace("\"Winner\"", "\"winners\"")).unwrap();
+    let a1 = engine.query(&q1).unwrap();
+    let a2 = engine.query(&q2).unwrap();
+    assert_eq!(a1, a2);
+    assert_eq!(engine.query_cache_stats(), (1, 1));
+}
+
+#[test]
+fn maintenance_invalidates_the_query_cache() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+
+    let query = qlang::parse(FIGURE13).unwrap();
+    engine.query(&query).unwrap();
+    engine.query(&query).unwrap();
+    assert_eq!(engine.query_cache_stats(), (1, 1));
+
+    // A heal run (even a no-op one) must clear the cache.
+    engine.heal_detector("segment").unwrap();
+    engine.query(&query).unwrap();
+    assert_eq!(engine.query_cache_stats(), (1, 2));
+}
+
+#[test]
+fn fault_injected_engines_bypass_the_cache() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine =
+        ausopen::resilient_engine(Arc::clone(&site), 2, FaultPlan::none().shared()).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+
+    let query = qlang::parse(FIGURE13).unwrap();
+    engine.query(&query).unwrap();
+    engine.query(&query).unwrap();
+    // Neither query touched the cache: injection draws must advance.
+    assert_eq!(engine.query_cache_stats(), (0, 0));
+}
+
+#[test]
+fn store_epochs_advance_with_ingestion() {
+    let site = Arc::new(Site::generate(spec()));
+    let pages = crawl(&site);
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    assert_eq!(engine.views().epoch(), 0);
+    assert_eq!(engine.text_index().epoch(), 0);
+    engine.populate(&pages).unwrap();
+    assert!(engine.views().epoch() > 0);
+    assert!(engine.text_index().epoch() > 0);
+    assert!(engine.meta().store().epoch() > 0);
+
+    // Maintenance that rewrites stored trees moves the meta epoch, so
+    // epoch-keyed cache entries can never survive it.
+    let meta1 = engine.meta().store().epoch();
+    let report = engine
+        .upgrade_detector(
+            "segment",
+            acoi::RevisionLevel::Minor,
+            Box::new(|_| Err("segment offline".into())),
+        )
+        .unwrap();
+    if report.objects_reparsed > 0 {
+        assert!(engine.meta().store().epoch() > meta1);
+    }
+}
