@@ -40,6 +40,26 @@ impl MetaIndex {
         &mut self.store
     }
 
+    /// Rebuilds a meta-index around a restored store. Sources come from
+    /// the store's document registry (insertion order); the minimum
+    /// token set of each — which the store does not record — is
+    /// re-derived by `initial_for`, matching whatever convention the
+    /// caller used when inserting.
+    pub fn from_store(
+        mut store: XmlStore,
+        mut initial_for: impl FnMut(&str) -> Vec<Token>,
+    ) -> Self {
+        let mut order = Vec::new();
+        let mut initial = std::collections::HashMap::new();
+        for root in store.roots().to_vec() {
+            if let Some(source) = store.source_of(root) {
+                initial.insert(source.clone(), initial_for(&source));
+                order.push(source);
+            }
+        }
+        MetaIndex { store, initial, order }
+    }
+
     /// Inserts (or replaces) the parse tree of `source`, remembering the
     /// initial tokens it was parsed from.
     pub fn insert(

@@ -43,7 +43,10 @@ fn main() {
             assert!(report.media_analyzed > 0, "workload must analyse media");
 
             // Identity check: every run, any worker count, same bytes.
-            let snaps = (engine.views().snapshot(), engine.meta().store().snapshot());
+            let snaps = (
+                engine.views().snapshot().unwrap(),
+                engine.meta().store().snapshot().unwrap(),
+            );
             match &baseline {
                 None => baseline = Some(snaps),
                 Some(base) => {

@@ -1,0 +1,125 @@
+//! E13 — recovery time versus WAL length.
+//!
+//! Opens the same durable directory two ways at several site scales:
+//! once with nothing but the write-ahead log (every operation replays
+//! from LSN 0) and once after a checkpoint (snapshot restore, empty
+//! tail). Both recoveries must produce byte-identical state; the gap
+//! between them is the price of replay and the payoff of
+//! checkpointing. Results land in `BENCH_recovery.json` at the
+//! repository root.
+//!
+//! `BENCH_SMOKE=1` shrinks the workload and skips the JSON write.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dlsearch::{ausopen, Engine};
+use websim::{crawl, Site, SiteSpec};
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct Point {
+    players: usize,
+    wal_records: usize,
+    replay_ms: f64,
+    snapshot_ms: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let (scales, iters): (&[usize], usize) = if smoke { (&[2], 1) } else { (&[2, 4, 8, 16], 5) };
+
+    let mut points = Vec::new();
+    for &players in scales {
+        let site = Arc::new(Site::generate(SiteSpec {
+            players,
+            articles: players * 2,
+            seed: 2001,
+        }));
+        let pages = crawl(&site);
+        let dir = std::env::temp_dir().join(format!(
+            "dl_bench_recovery_{players}_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let (mut engine, _) =
+            Engine::open(ausopen::config(Arc::clone(&site)), &dir).expect("open fresh");
+        engine.populate(&pages).expect("populate");
+        let expected = engine.state_digest().expect("digest");
+        drop(engine);
+
+        // WAL-only: every record replays from LSN 0 into empty stores.
+        let mut replay = Vec::new();
+        let mut wal_records = 0;
+        for _ in 0..iters {
+            let start = Instant::now();
+            let (mut reopened, report) =
+                Engine::open(ausopen::config(Arc::clone(&site)), &dir).expect("replay open");
+            replay.push(start.elapsed().as_secs_f64() * 1e3);
+            wal_records = report.wal_replayed + report.wal_skipped;
+            assert_eq!(
+                reopened.state_digest().expect("digest"),
+                expected,
+                "replay recovery must be byte-identical"
+            );
+        }
+
+        // Checkpointed: snapshot restore with an empty WAL tail.
+        let (mut engine, _) =
+            Engine::open(ausopen::config(Arc::clone(&site)), &dir).expect("reopen");
+        engine.checkpoint().expect("checkpoint");
+        drop(engine);
+        let mut snap = Vec::new();
+        for _ in 0..iters {
+            let start = Instant::now();
+            let (mut reopened, report) =
+                Engine::open(ausopen::config(Arc::clone(&site)), &dir).expect("snapshot open");
+            snap.push(start.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(report.wal_replayed, 0, "the checkpoint covers the log");
+            assert_eq!(
+                reopened.state_digest().expect("digest"),
+                expected,
+                "snapshot recovery must be byte-identical"
+            );
+        }
+
+        let point = Point {
+            players,
+            wal_records,
+            replay_ms: median(&mut replay),
+            snapshot_ms: median(&mut snap),
+        };
+        println!(
+            "e13_recovery/players={}: {} wal records, replay {:.2} ms, snapshot {:.2} ms",
+            point.players, point.wal_records, point.replay_ms, point.snapshot_ms
+        );
+        points.push(point);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    if smoke {
+        println!("e13_recovery: smoke mode, not writing BENCH_recovery.json");
+        return;
+    }
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"players\": {}, \"wal_records\": {}, \"replay_median_ms\": {:.3}, \
+                 \"snapshot_median_ms\": {:.3}}}",
+                p.players, p.wal_records, p.replay_ms, p.snapshot_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"E13 recovery time vs WAL length\",\n  \"iterations\": {iters},\n  \"points\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    std::fs::write(path, json).expect("write BENCH_recovery.json");
+    println!("e13_recovery: wrote {path}");
+}

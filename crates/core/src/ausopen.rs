@@ -31,16 +31,23 @@ use webspace::retriever::{AttrKind, AttrRule, LinkRule, Selector};
 use crate::engine::{Engine, EngineConfig};
 use crate::error::Result;
 
-/// Builds the complete Australian Open engine over a (simulated) site.
-pub fn engine(site: Arc<Site>) -> Result<Engine> {
-    Engine::new(EngineConfig {
+/// The [`EngineConfig`] behind [`engine`], exposed on its own so a
+/// durable engine can be reopened against the same model
+/// ([`Engine::open`] consumes a config per call).
+pub fn config(site: Arc<Site>) -> EngineConfig {
+    EngineConfig {
         schema: webspace::paper::ausopen_schema(),
         retriever: retriever(),
         grammar_source: feagram::paper::MEDIA_GRAMMAR.to_owned(),
         registry: detectors(site),
         text_servers: 1,
         faults: None,
-    })
+    }
+}
+
+/// Builds the complete Australian Open engine over a (simulated) site.
+pub fn engine(site: Arc<Site>) -> Result<Engine> {
+    Engine::new(config(site))
 }
 
 /// Builds the engine as deployed against an unreliable world: the media

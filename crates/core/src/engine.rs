@@ -15,15 +15,21 @@
 //!   ranked text retrieval and media-event evidence into one answer.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use acoi::{DetectorRegistry, Fde, Fds, MaintenanceReport, MetaIndex, RevisionLevel, Token};
 use faults::FaultPlan;
 use feagram::{FeatureValue, Grammar};
+use monet::storage::{write_atomic, FsBackend, StorageBackend};
+use monet::wal::{Wal, WalHandle};
 use monetxml::XmlStore;
 use webspace::{AttrValue, MaterializedView, MediaType, Retriever, WebspaceIndex, WebspaceSchema};
 
 use crate::error::{Error, Result};
+use crate::persist::{
+    self, Manifest, RecoveryReport, MANIFEST, MANIFEST_PREV, WAL_DIR,
+};
 use crate::query::{EngineHit, EngineQuery};
 use crate::shots::video_shots;
 
@@ -119,6 +125,24 @@ pub struct Engine {
     faults_active: bool,
     /// Epoch-keyed LRU cache of full query answers.
     query_cache: QueryCache,
+    /// Wired in by [`Engine::persist_to`] / [`Engine::open`]: the
+    /// storage backend, WAL and current checkpoint generation.
+    durability: Option<Durability>,
+}
+
+/// The durable half of an engine: where checkpoints live and the log
+/// every mutation goes through first.
+struct Durability {
+    dir: PathBuf,
+    backend: Arc<dyn StorageBackend>,
+    wal: Arc<Mutex<Wal>>,
+    /// Generation of the newest committed checkpoint.
+    snapshot_id: u64,
+}
+
+fn lock_wal(wal: &Arc<Mutex<Wal>>) -> Result<std::sync::MutexGuard<'_, Wal>> {
+    wal.lock()
+        .map_err(|_| Error::Persist(monet::Error::Wal("log mutex poisoned".into())))
 }
 
 /// How many distinct query answers [`QueryCache`] retains.
@@ -252,7 +276,278 @@ impl Engine {
             media_cache: HashMap::new(),
             faults_active,
             query_cache: QueryCache::new(QUERY_CACHE_CAPACITY),
+            durability: None,
         })
+    }
+
+    /// Opens a durable engine from `dir` (the real filesystem):
+    /// recovers the newest valid checkpoint, replays the WAL tail, and
+    /// leaves the engine logging to the same WAL. See
+    /// [`Engine::open_with_backend`].
+    pub fn open(config: EngineConfig, dir: impl AsRef<Path>) -> Result<(Engine, RecoveryReport)> {
+        Self::open_with_backend(config, FsBackend::shared(), dir)
+    }
+
+    /// Opens a durable engine through an arbitrary storage backend.
+    ///
+    /// Recovery: load the newest checkpoint generation whose manifest
+    /// and snapshots all pass their CRC-32 checks (falling back to the
+    /// previous generation when the newest is corrupt or torn), resume
+    /// the store epochs recorded in the manifest, replay every intact
+    /// WAL record past the manifest's watermark (a torn final record —
+    /// a crashed append — is silently dropped; replay is idempotent),
+    /// then rebuild the derived state: the webspace graph from the
+    /// stored views, the meta-index registry from the stored parse
+    /// trees. The returned [`RecoveryReport`] says what was loaded,
+    /// replayed, skipped and — on fallback — why.
+    pub fn open_with_backend(
+        config: EngineConfig,
+        backend: Arc<dyn StorageBackend>,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Engine, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        let faults = config.faults.clone();
+        let mut engine = Engine::new(config)?;
+        let mut report = RecoveryReport::default();
+
+        let wal = monet::wal::open_shared(Arc::clone(&backend), dir.join(WAL_DIR))
+            .map_err(Error::Persist)?;
+        let generation = match persist::load_newest_generation(backend.as_ref(), &dir, &mut report)
+        {
+            Ok(g) => g,
+            Err(e) => {
+                // Every checkpoint generation is corrupt. Last resort:
+                // if the log still reaches back to LSN 0 — no checkpoint
+                // ever garbage-collected it — empty stores plus a full
+                // replay reproduce every logged write.
+                let reaches_origin = lock_wal(&wal)?
+                    .replay_from(0)
+                    .map_err(Error::Persist)?
+                    .first()
+                    .map(|r| r.lsn)
+                    == Some(0);
+                if !reaches_origin {
+                    return Err(e);
+                }
+                report.fell_back = true;
+                report.snapshot_id = 0;
+                report.notes.push(format!(
+                    "{e}; the log still reaches LSN 0 — rebuilding every store by full replay"
+                ));
+                None
+            }
+        };
+        let configured_servers = engine.text.servers();
+        let (mut views, mut meta_store, mut text, watermark) = match generation {
+            Some(g) => {
+                if g.manifest.shard_epochs.len() != configured_servers {
+                    report.notes.push(format!(
+                        "config asks for {configured_servers} text servers but the checkpoint \
+                         was written with {}; using the checkpoint's count (routing depends on it)",
+                        g.manifest.shard_epochs.len()
+                    ));
+                }
+                let mut views = g.views;
+                let mut meta_store = g.meta_store;
+                let mut text = g.text;
+                // Resume epochs monotonically from the manifest BEFORE
+                // replay, so replayed mutations advance past every
+                // epoch value the previous process could have exposed.
+                views.set_epoch(g.manifest.views_epoch);
+                meta_store.set_epoch(g.manifest.meta_epoch);
+                text.set_shard_epochs(&g.manifest.shard_epochs);
+                (views, meta_store, text, g.manifest.watermark)
+            }
+            None => (
+                XmlStore::new(),
+                XmlStore::new(),
+                ir::DistributedIndex::new(configured_servers, ir::ScoreModel::TfIdf)
+                    .map_err(Error::Ir)?,
+                0,
+            ),
+        };
+
+        // Replay the WAL tail into the raw stores (no WAL attached yet,
+        // so replayed operations are not re-logged).
+        let records = lock_wal(&wal)?.replay_from(watermark).map_err(Error::Persist)?;
+        persist::apply_wal_records(&mut views, &mut meta_store, &mut text, &records, &mut report)?;
+
+        // Rebuild derived state from the recovered stores.
+        engine.webspace = WebspaceIndex::new(engine.schema.clone());
+        for root in views.roots().to_vec() {
+            let doc = views.reconstruct(root)?;
+            let view = MaterializedView::from_document(&doc)?;
+            engine.webspace.add_view(&view)?;
+        }
+        engine.views = views;
+        engine.meta = MetaIndex::from_store(meta_store, |location| {
+            vec![Token::new(
+                "location",
+                FeatureValue::url(location.to_owned()),
+            )]
+        });
+        if let Some(plan) = &faults {
+            text.set_fault_plan(Arc::clone(plan));
+        }
+        engine.text = text;
+
+        engine.attach_wal(&wal);
+        engine.durability = Some(Durability {
+            dir,
+            backend,
+            wal,
+            snapshot_id: report.snapshot_id,
+        });
+        Ok((engine, report))
+    }
+
+    /// Checkpoints the engine to `dir` on the real filesystem. See
+    /// [`Engine::persist_to_backend`].
+    pub fn persist_to(&mut self, dir: impl AsRef<Path>) -> Result<()> {
+        self.persist_to_backend(FsBackend::shared(), dir)
+    }
+
+    /// Checkpoints the engine through an arbitrary storage backend and
+    /// leaves it durable: every subsequent insert/delete is logged to
+    /// the WAL in `dir` before any store mutates.
+    ///
+    /// The write order makes the manifest swap the commit point: all
+    /// snapshot files land atomically first (temp + rename), then
+    /// `MANIFEST` rotates to `MANIFEST.prev` and the new manifest takes
+    /// its place. A crash at any step leaves either the old or the new
+    /// generation fully intact. Afterwards, snapshots older than the
+    /// fallback generation and WAL segments below its watermark are
+    /// garbage-collected.
+    pub fn persist_to_backend(
+        &mut self,
+        backend: Arc<dyn StorageBackend>,
+        dir: impl AsRef<Path>,
+    ) -> Result<()> {
+        let dir = dir.as_ref().to_path_buf();
+        backend.create_dir_all(&dir).map_err(Error::Persist)?;
+
+        // Reuse the live WAL when re-checkpointing the same directory
+        // (a fresh open would be fine too, but pointless); otherwise
+        // open the log now so the manifest can record its watermark.
+        let wal = match &self.durability {
+            Some(d) if d.dir == dir => Arc::clone(&d.wal),
+            _ => monet::wal::open_shared(Arc::clone(&backend), dir.join(WAL_DIR))
+                .map_err(Error::Persist)?,
+        };
+        lock_wal(&wal)?.flush().map_err(Error::Persist)?;
+        let watermark = lock_wal(&wal)?.next_lsn();
+
+        let prev = if backend.exists(&dir.join(MANIFEST)) {
+            let bytes = backend.read(&dir.join(MANIFEST)).map_err(Error::Persist)?;
+            Manifest::decode(&bytes).ok()
+        } else {
+            None
+        };
+        let id = prev.as_ref().map(|m| m.snapshot_id).unwrap_or(0) + 1;
+
+        // Snapshots first (each atomic on its own)…
+        let views_bytes = self.views.snapshot()?;
+        write_atomic(backend.as_ref(), &persist::views_snap(&dir, id), &views_bytes)
+            .map_err(Error::Persist)?;
+        let meta_bytes = self.meta.store().snapshot()?;
+        write_atomic(backend.as_ref(), &persist::meta_snap(&dir, id), &meta_bytes)
+            .map_err(Error::Persist)?;
+        let shard_bytes = self.text.snapshot_shards().map_err(Error::Ir)?;
+        for (k, bytes) in shard_bytes.iter().enumerate() {
+            write_atomic(backend.as_ref(), &persist::text_snap(&dir, id, k), bytes)
+                .map_err(Error::Persist)?;
+        }
+
+        // …then the manifest swap commits the generation.
+        let manifest = Manifest {
+            snapshot_id: id,
+            watermark,
+            views_epoch: self.views.epoch(),
+            meta_epoch: self.meta.store().epoch(),
+            shard_epochs: self.text.shard_epochs(),
+        };
+        let new_path = dir.join("MANIFEST.new");
+        backend.write(&new_path, &manifest.encode()).map_err(Error::Persist)?;
+        backend.sync(&new_path).map_err(Error::Persist)?;
+        if backend.exists(&dir.join(MANIFEST)) {
+            backend
+                .rename(&dir.join(MANIFEST), &dir.join(MANIFEST_PREV))
+                .map_err(Error::Persist)?;
+        }
+        backend.rename(&new_path, &dir.join(MANIFEST)).map_err(Error::Persist)?;
+        backend.sync(&dir).map_err(Error::Persist)?;
+
+        // The fallback generation (prev) must stay loadable: keep its
+        // snapshots and every WAL record from its watermark on.
+        if let Some(prev) = &prev {
+            persist::gc_old_snapshots(backend.as_ref(), &dir, prev.snapshot_id);
+            lock_wal(&wal)?.gc_below(prev.watermark).map_err(Error::Persist)?;
+        }
+
+        self.attach_wal(&wal);
+        self.durability = Some(Durability {
+            dir,
+            backend,
+            wal,
+            snapshot_id: id,
+        });
+        Ok(())
+    }
+
+    /// Attaches one shared WAL to all three stores, each under its own
+    /// store tag.
+    fn attach_wal(&mut self, wal: &Arc<Mutex<Wal>>) {
+        let handle = WalHandle::new(Arc::clone(wal), persist::STORE_VIEWS);
+        self.views.set_wal(handle.clone());
+        self.meta
+            .store_mut()
+            .set_wal(handle.for_store(persist::STORE_META));
+        self.text.set_wal(handle.for_store(persist::STORE_TEXT));
+    }
+
+    /// Re-checkpoints a durable engine to its attached directory,
+    /// through its attached backend. Errors when the engine was never
+    /// opened or persisted durably.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let (backend, dir) = match &self.durability {
+            Some(d) => (Arc::clone(&d.backend), d.dir.clone()),
+            None => {
+                return Err(Error::Config(
+                    "checkpoint() requires a durable engine (open or persist_to first)".into(),
+                ))
+            }
+        };
+        self.persist_to_backend(backend, dir)
+    }
+
+    /// Forces every WAL record appended so far to stable storage. A
+    /// no-op for a purely in-memory engine. The mutating entry points
+    /// call this at the end of each batch, so fsync cost is paid per
+    /// operation batch, not per record.
+    pub fn sync_wal(&self) -> Result<()> {
+        if let Some(d) = &self.durability {
+            lock_wal(&d.wal)?.flush().map_err(Error::Persist)?;
+        }
+        Ok(())
+    }
+
+    /// Generation id of the newest committed checkpoint (0 when the
+    /// engine is not durable or has never checkpointed).
+    pub fn snapshot_id(&self) -> u64 {
+        self.durability.as_ref().map(|d| d.snapshot_id).unwrap_or(0)
+    }
+
+    /// A byte string that is equal iff the persistent state of two
+    /// engines is equal: the concatenated store snapshots (views, meta,
+    /// every text server). The crash harness compares digests of a
+    /// reopened engine against pre-/post-operation captures.
+    pub fn state_digest(&mut self) -> Result<Vec<u8>> {
+        let mut out = self.views.snapshot()?;
+        out.extend_from_slice(&self.meta.store().snapshot()?);
+        for shard in self.text.snapshot_shards().map_err(Error::Ir)? {
+            out.extend_from_slice(&shard);
+        }
+        Ok(out)
     }
 
     /// The conceptual schema.
@@ -491,6 +786,7 @@ impl Engine {
         }
         self.text.commit().map_err(Error::Ir)?;
         self.media_cache.clear();
+        self.sync_wal()?;
         Ok(report)
     }
 
@@ -781,7 +1077,8 @@ impl Engine {
     ) -> Result<bool> {
         self.media_cache.remove(source);
         self.query_cache.clear();
-        self.fds
+        let refreshed = self
+            .fds
             .refresh_source(
                 &self.grammar,
                 &mut self.registry,
@@ -789,7 +1086,9 @@ impl Engine {
                 source,
                 still_valid,
             )
-            .map_err(Error::Acoi)
+            .map_err(Error::Acoi)?;
+        self.sync_wal()?;
+        Ok(refreshed)
     }
 
     /// Installs a new detector implementation and incrementally
@@ -802,7 +1101,8 @@ impl Engine {
     ) -> Result<MaintenanceReport> {
         self.media_cache.clear();
         self.query_cache.clear();
-        self.fds
+        let maintained = self
+            .fds
             .upgrade_detector(
                 &self.grammar,
                 &mut self.registry,
@@ -811,7 +1111,9 @@ impl Engine {
                 level,
                 new_impl,
             )
-            .map_err(Error::Acoi)
+            .map_err(Error::Acoi)?;
+        self.sync_wal()?;
+        Ok(maintained)
     }
 
     /// Re-parses every analysed object whose stored tree carries
@@ -822,9 +1124,12 @@ impl Engine {
     pub fn heal_detector(&mut self, detector: &str) -> Result<MaintenanceReport> {
         self.media_cache.clear();
         self.query_cache.clear();
-        self.fds
+        let healed = self
+            .fds
             .heal_detector(&self.grammar, &mut self.registry, &mut self.meta, detector)
-            .map_err(Error::Acoi)
+            .map_err(Error::Acoi)?;
+        self.sync_wal()?;
+        Ok(healed)
     }
 }
 

@@ -19,6 +19,10 @@ pub enum Error {
     Query(String),
     /// Engine configuration error.
     Config(String),
+    /// Durable-storage error (snapshot, WAL or backend I/O).
+    Persist(monet::Error),
+    /// Recovery failed: no valid checkpoint generation could be loaded.
+    Recovery(String),
 }
 
 impl fmt::Display for Error {
@@ -31,6 +35,8 @@ impl fmt::Display for Error {
             Error::Ir(e) => write!(f, "retrieval: {e}"),
             Error::Query(m) => write!(f, "query error: {m}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Persist(e) => write!(f, "durable storage: {e}"),
+            Error::Recovery(m) => write!(f, "recovery failed: {m}"),
         }
     }
 }
@@ -43,8 +49,15 @@ impl std::error::Error for Error {
             Error::Feagram(e) => Some(e),
             Error::Xml(e) => Some(e),
             Error::Ir(e) => Some(e),
+            Error::Persist(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<monet::Error> for Error {
+    fn from(e: monet::Error) -> Self {
+        Error::Persist(e)
     }
 }
 

@@ -54,11 +54,13 @@
 pub mod ausopen;
 pub mod engine;
 pub mod error;
+pub mod persist;
 pub mod qlang;
 pub mod query;
 pub mod shots;
 
 pub use engine::{Engine, EngineConfig, PopulateOptions, PopulateReport, TextQueryStatus};
 pub use error::{Error, Result};
+pub use persist::RecoveryReport;
 pub use query::{EngineHit, EngineQuery, MediaPredicate, TextPredicate};
 pub use shots::{video_shots, ShotMeta};

@@ -1,0 +1,446 @@
+//! Durable engine state: the checkpoint manifest and crash recovery.
+//!
+//! The engine persists as a set of per-store snapshot files plus a tiny
+//! `MANIFEST` naming one consistent generation of them:
+//!
+//! ```text
+//! <dir>/views-<id>.snap       the materialized-view store
+//! <dir>/meta-<id>.snap        the meta-index (parse-tree) store
+//! <dir>/text-<id>-<k>.snap    one per text server (shard order)
+//! <dir>/MANIFEST              commit point of generation <id>
+//! <dir>/MANIFEST.prev         the previous generation (fallback)
+//! <dir>/wal/wal-*.wal         the write-ahead log segments
+//! ```
+//!
+//! The manifest is the *commit point*: snapshots are written first
+//! (each atomically, temp + rename), then the manifest is atomically
+//! swapped in. A crash anywhere in between leaves the old manifest
+//! naming the old — still complete — generation. Recovery
+//! ([`Engine::open`](crate::Engine::open)) loads the newest generation
+//! whose manifest **and** every referenced snapshot verify their
+//! CRC-32s, falls back to `MANIFEST.prev` otherwise, then replays the
+//! WAL tail from the manifest's watermark, skipping torn final records.
+//!
+//! Manifest layout (CRC-trailered like every durable artefact):
+//!
+//! ```text
+//! magic "DLMF" | version u8 | snapshot id u64 | WAL watermark u64
+//! views epoch u64 | meta epoch u64 | text server count u32
+//! per server: epoch u64
+//! crc32 of everything above: u32 LE
+//! ```
+//!
+//! The store epochs ride in the manifest so a reopened engine resumes
+//! its epoch counters monotonically instead of silently restarting at
+//! zero — an epoch value observed before a restart can never validate
+//! stale derived state afterwards.
+
+use std::path::{Path, PathBuf};
+
+use monet::crc::crc32;
+use monet::storage::StorageBackend;
+
+use crate::error::{Error, Result};
+
+/// WAL store tag of the materialized-view store.
+pub const STORE_VIEWS: u8 = 0;
+/// WAL store tag of the meta-index store.
+pub const STORE_META: u8 = 1;
+/// WAL store tag of the text index (all servers share it).
+pub const STORE_TEXT: u8 = 2;
+
+const MANIFEST_MAGIC: &[u8; 4] = b"DLMF";
+const MANIFEST_VERSION: u8 = 1;
+
+/// Current manifest file name.
+pub const MANIFEST: &str = "MANIFEST";
+/// Previous-generation manifest (the corruption fallback).
+pub const MANIFEST_PREV: &str = "MANIFEST.prev";
+/// WAL directory name inside the persistence dir.
+pub const WAL_DIR: &str = "wal";
+
+/// One consistent checkpoint generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Monotone generation counter; names the snapshot files.
+    pub snapshot_id: u64,
+    /// First WAL LSN *not* covered by the snapshots: replay starts here.
+    pub watermark: u64,
+    /// View-store epoch at snapshot time.
+    pub views_epoch: u64,
+    /// Meta-store epoch at snapshot time.
+    pub meta_epoch: u64,
+    /// Per-text-server epochs at snapshot time (shard order; the length
+    /// is the shard count the snapshots were written with).
+    pub shard_epochs: Vec<u64>,
+}
+
+impl Manifest {
+    /// Serialises the manifest with its CRC trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(MANIFEST_MAGIC);
+        out.push(MANIFEST_VERSION);
+        out.extend_from_slice(&self.snapshot_id.to_le_bytes());
+        out.extend_from_slice(&self.watermark.to_le_bytes());
+        out.extend_from_slice(&self.views_epoch.to_le_bytes());
+        out.extend_from_slice(&self.meta_epoch.to_le_bytes());
+        out.extend_from_slice(&(self.shard_epochs.len() as u32).to_le_bytes());
+        for e in &self.shard_epochs {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and CRC-verifies a manifest.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest> {
+        if bytes.len() < 4 + 1 + 8 * 4 + 4 + 4 {
+            return Err(Error::Recovery("manifest truncated".into()));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        if stored != crc32(body) {
+            return Err(Error::Recovery("manifest checksum mismatch".into()));
+        }
+        if &body[..4] != MANIFEST_MAGIC {
+            return Err(Error::Recovery("bad manifest magic".into()));
+        }
+        if body[4] != MANIFEST_VERSION {
+            return Err(Error::Recovery(format!("unsupported manifest version {}", body[4])));
+        }
+        let u64_at = |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().expect("8 bytes"));
+        let snapshot_id = u64_at(5);
+        let watermark = u64_at(13);
+        let views_epoch = u64_at(21);
+        let meta_epoch = u64_at(29);
+        let nshards = u32::from_le_bytes(body[37..41].try_into().expect("4 bytes")) as usize;
+        if body.len() < 41 + nshards * 8 {
+            return Err(Error::Recovery(format!("manifest lists {nshards} servers but is truncated")));
+        }
+        let shard_epochs = (0..nshards).map(|i| u64_at(41 + i * 8)).collect();
+        Ok(Manifest {
+            snapshot_id,
+            watermark,
+            views_epoch,
+            meta_epoch,
+            shard_epochs,
+        })
+    }
+}
+
+/// Snapshot file names of generation `id`.
+pub fn views_snap(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("views-{id:08}.snap"))
+}
+/// Meta-store snapshot of generation `id`.
+pub fn meta_snap(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("meta-{id:08}.snap"))
+}
+/// Text-server `k` snapshot of generation `id`.
+pub fn text_snap(dir: &Path, id: u64, k: usize) -> PathBuf {
+    dir.join(format!("text-{id:08}-{k}.snap"))
+}
+
+/// What recovery found and did — the typed report the crash harness
+/// asserts on instead of a panic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation that was loaded (0 = no checkpoint existed; the
+    /// engine started empty and only the WAL was replayed).
+    pub snapshot_id: u64,
+    /// Whether the newest manifest (or one of its snapshots) was
+    /// invalid and recovery fell back to the previous generation.
+    pub fell_back: bool,
+    /// WAL records applied during replay.
+    pub wal_replayed: usize,
+    /// WAL records skipped because their effect was already present in
+    /// the snapshot (replay is idempotent) or they no longer apply.
+    pub wal_skipped: usize,
+    /// Human-readable notes: what was corrupt, what was skipped, why.
+    pub notes: Vec<String>,
+}
+
+/// One loaded checkpoint generation: the restored stores.
+pub struct LoadedGeneration {
+    /// The manifest that named this generation.
+    pub manifest: Manifest,
+    /// The restored view store.
+    pub views: monetxml::XmlStore,
+    /// The restored meta-index store.
+    pub meta_store: monetxml::XmlStore,
+    /// The restored text index (shard count from the snapshot list).
+    pub text: ir::DistributedIndex,
+}
+
+/// Attempts to load the generation named by one manifest file. Any
+/// checksum or decode failure anywhere in the generation fails the
+/// whole attempt — a generation is valid only as a unit.
+fn try_load_generation(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    manifest_name: &str,
+) -> Result<LoadedGeneration> {
+    let manifest_bytes = backend
+        .read(&dir.join(manifest_name))
+        .map_err(|e| Error::Recovery(format!("{manifest_name}: {e}")))?;
+    let manifest = Manifest::decode(&manifest_bytes)?;
+    let id = manifest.snapshot_id;
+    let views = monetxml::XmlStore::restore(&backend.read(&views_snap(dir, id))?)
+        .map_err(|e| Error::Recovery(format!("views snapshot {id}: {e}")))?;
+    let meta_store = monetxml::XmlStore::restore(&backend.read(&meta_snap(dir, id))?)
+        .map_err(|e| Error::Recovery(format!("meta snapshot {id}: {e}")))?;
+    let mut shard_bytes = Vec::with_capacity(manifest.shard_epochs.len());
+    for k in 0..manifest.shard_epochs.len() {
+        shard_bytes.push(backend.read(&text_snap(dir, id, k))?);
+    }
+    let text = ir::DistributedIndex::restore_shards(&shard_bytes)
+        .map_err(|e| Error::Recovery(format!("text snapshot {id}: {e}")))?;
+    Ok(LoadedGeneration {
+        manifest,
+        views,
+        meta_store,
+        text,
+    })
+}
+
+/// Loads the newest fully-valid checkpoint generation: the current
+/// manifest first, the previous one if the current generation is
+/// corrupt or torn. `Ok(None)` means no manifest exists at all (a
+/// fresh directory — the engine starts empty and replays any WAL).
+pub fn load_newest_generation(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    report: &mut RecoveryReport,
+) -> Result<Option<LoadedGeneration>> {
+    let current_exists = backend.exists(&dir.join(MANIFEST));
+    let prev_exists = backend.exists(&dir.join(MANIFEST_PREV));
+    if !current_exists && !prev_exists {
+        return Ok(None);
+    }
+    if current_exists {
+        match try_load_generation(backend, dir, MANIFEST) {
+            Ok(generation) => {
+                report.snapshot_id = generation.manifest.snapshot_id;
+                return Ok(Some(generation));
+            }
+            Err(e) => {
+                report
+                    .notes
+                    .push(format!("newest generation invalid ({e}); trying previous"));
+            }
+        }
+    } else {
+        report
+            .notes
+            .push("MANIFEST missing (crash between manifest renames); trying previous".into());
+    }
+    match try_load_generation(backend, dir, MANIFEST_PREV) {
+        Ok(generation) => {
+            report.snapshot_id = generation.manifest.snapshot_id;
+            report.fell_back = true;
+            Ok(Some(generation))
+        }
+        Err(e) => Err(Error::Recovery(format!(
+            "no valid checkpoint generation: {} / {e}",
+            report
+                .notes
+                .last()
+                .cloned()
+                .unwrap_or_else(|| "newest unavailable".into())
+        ))),
+    }
+}
+
+/// Applies replayed WAL records to the restored stores. Idempotent by
+/// construction: an insert whose source/url is already present and a
+/// delete whose target is already gone are skipped, so replaying a
+/// prefix twice leaves the same state as replaying it once.
+pub fn apply_wal_records(
+    views: &mut monetxml::XmlStore,
+    meta_store: &mut monetxml::XmlStore,
+    text: &mut ir::DistributedIndex,
+    records: &[monet::wal::WalRecord],
+    report: &mut RecoveryReport,
+) -> Result<()> {
+    let mut text_touched = false;
+    for record in records {
+        let (store, op, fields) = match monet::wal::decode_payload(&record.payload) {
+            Ok(parts) => parts,
+            Err(e) => {
+                report
+                    .notes
+                    .push(format!("lsn {}: undecodable record ({e}); skipped", record.lsn));
+                report.wal_skipped += 1;
+                continue;
+            }
+        };
+        let field_str = |i: usize| -> std::result::Result<&str, std::str::Utf8Error> {
+            std::str::from_utf8(&fields[i])
+        };
+        let applied = match (store, op) {
+            (STORE_VIEWS | STORE_META, monetxml::store::WAL_OP_INSERT) if fields.len() == 2 => {
+                let (source, xml) = match (field_str(0), field_str(1)) {
+                    (Ok(s), Ok(x)) => (s, x),
+                    _ => {
+                        report
+                            .notes
+                            .push(format!("lsn {}: non-utf8 insert fields; skipped", record.lsn));
+                        report.wal_skipped += 1;
+                        continue;
+                    }
+                };
+                let target = if store == STORE_VIEWS { &mut *views } else { &mut *meta_store };
+                if target.root_for_source(source).is_some() {
+                    false // already in the snapshot: idempotent skip
+                } else {
+                    match target.bulkload_str(source, xml) {
+                        Ok(_) => true,
+                        Err(e) => {
+                            report
+                                .notes
+                                .push(format!("lsn {}: insert of {source} failed ({e}); skipped", record.lsn));
+                            false
+                        }
+                    }
+                }
+            }
+            (STORE_VIEWS | STORE_META, monetxml::store::WAL_OP_DELETE) if fields.len() == 1 => {
+                let source = field_str(0).unwrap_or_default();
+                let target = if store == STORE_VIEWS { &mut *views } else { &mut *meta_store };
+                match target.root_for_source(source) {
+                    Some(root) => {
+                        target.delete_document(root)?;
+                        true
+                    }
+                    None => false, // already gone: idempotent skip
+                }
+            }
+            (STORE_TEXT, ir::index::WAL_OP_INDEX) if fields.len() == 2 => {
+                let (url, body) = match (field_str(0), field_str(1)) {
+                    (Ok(u), Ok(b)) => (u, b),
+                    _ => {
+                        report
+                            .notes
+                            .push(format!("lsn {}: non-utf8 text fields; skipped", record.lsn));
+                        report.wal_skipped += 1;
+                        continue;
+                    }
+                };
+                if text.contains_url(url) {
+                    false
+                } else {
+                    text.index_document(url, body).map_err(Error::Ir)?;
+                    text_touched = true;
+                    true
+                }
+            }
+            _ => {
+                report.notes.push(format!(
+                    "lsn {}: unknown record (store {store}, op {op}); skipped",
+                    record.lsn
+                ));
+                false
+            }
+        };
+        if applied {
+            report.wal_replayed += 1;
+        } else {
+            report.wal_skipped += 1;
+        }
+    }
+    if text_touched {
+        text.commit().map_err(Error::Ir)?;
+    }
+    Ok(())
+}
+
+/// Deletes snapshot files of generations older than `keep_from` —
+/// everything the current and previous manifests can still reference
+/// stays. Best-effort: a failed removal is reported, not fatal.
+pub fn gc_old_snapshots(
+    backend: &dyn StorageBackend,
+    dir: &Path,
+    keep_from: u64,
+) -> Vec<String> {
+    let mut notes = Vec::new();
+    let Ok(names) = backend.list(dir) else {
+        return notes;
+    };
+    for name in names {
+        let Some(id) = snapshot_file_generation(&name) else {
+            continue;
+        };
+        if id < keep_from {
+            if let Err(e) = backend.remove(&dir.join(&name)) {
+                notes.push(format!("gc of {name} failed: {e}"));
+            }
+        }
+    }
+    notes
+}
+
+/// The generation id a snapshot file name encodes, if it is one.
+fn snapshot_file_generation(name: &str) -> Option<u64> {
+    let rest = name
+        .strip_prefix("views-")
+        .or_else(|| name.strip_prefix("meta-"))
+        .or_else(|| name.strip_prefix("text-"))?;
+    let rest = rest.strip_suffix(".snap")?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = Manifest {
+            snapshot_id: 7,
+            watermark: 1234,
+            views_epoch: 42,
+            meta_epoch: 9,
+            shard_epochs: vec![3, 0, 11],
+        };
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn manifest_corruption_is_detected() {
+        let m = Manifest {
+            snapshot_id: 1,
+            watermark: 0,
+            views_epoch: 0,
+            meta_epoch: 0,
+            shard_epochs: vec![5],
+        };
+        let bytes = m.encode();
+        for i in 0..bytes.len() {
+            let mut copy = bytes.clone();
+            copy[i] ^= 0x10;
+            assert!(
+                matches!(Manifest::decode(&copy), Err(Error::Recovery(_))),
+                "byte {i} undetected"
+            );
+        }
+        assert!(Manifest::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn snapshot_file_names_parse_back() {
+        let dir = Path::new("/x");
+        assert_eq!(
+            snapshot_file_generation(views_snap(dir, 3).file_name().unwrap().to_str().unwrap()),
+            Some(3)
+        );
+        assert_eq!(
+            snapshot_file_generation(text_snap(dir, 12, 4).file_name().unwrap().to_str().unwrap()),
+            Some(12)
+        );
+        assert_eq!(snapshot_file_generation("MANIFEST"), None);
+        assert_eq!(snapshot_file_generation("wal-00.wal"), None);
+    }
+}

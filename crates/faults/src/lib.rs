@@ -12,6 +12,26 @@
 //! count)`: two runs with the same plan observe the same faults, which
 //! keeps degraded-mode runs reproducible and zero-fault runs
 //! byte-identical to fault-free builds.
+//!
+//! # The `disk:*` label namespace
+//!
+//! The durability layer injects *I/O* faults through the same plan,
+//! decided by [`FaultPlan::decide_io`] (kinds in [`IoFault`]: torn
+//! writes, bit flips, short reads, `ENOSPC`, fsync failures). The
+//! storage backend consults two well-known labels:
+//!
+//! * `disk:wal` — every operation on a write-ahead-log segment
+//!   (`*.wal` files),
+//! * `disk:snapshot` — every operation on snapshot and manifest files
+//!   (everything else under the durability directory).
+//!
+//! I/O decisions keep their own per-label call counter (`io_calls`),
+//! independent of [`FaultPlan::decide`]'s, with the same replay-exactly
+//! determinism: a pure function of `(seed, label, per-label I/O call
+//! count)`. Scripted I/O schedules ([`FaultPlan::set_io_script`]) run
+//! before the probabilistic spec, one action per call — the crash-point
+//! recovery harness scripts `k` clean operations followed by a failure
+//! to "crash" persistence at exactly the `k`-th disk touch.
 
 #![warn(missing_docs)]
 
@@ -82,6 +102,76 @@ impl FaultSpec {
     }
 }
 
+/// What one disk operation should do.
+///
+/// Offsets are in bytes into the buffer being written; the backend
+/// clamps them to the buffer length, so scripted offsets never panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoFault {
+    /// Proceed normally.
+    None,
+    /// Persist only the first `at` bytes of the write, then fail — the
+    /// on-disk file ends mid-record, as after a power cut.
+    TornWrite {
+        /// Byte offset at which the write is cut.
+        at: usize,
+    },
+    /// Flip one bit of the written buffer at byte `at` and report
+    /// success — silent media corruption, detectable only by checksum.
+    BitFlip {
+        /// Byte offset of the flipped bit.
+        at: usize,
+    },
+    /// Return only a prefix of the file's contents from a read.
+    ShortRead,
+    /// Fail the operation up front with an `ENOSPC`-style error; no
+    /// bytes reach the disk.
+    NoSpace,
+    /// Report failure from `fsync` — the data may or may not be
+    /// durable, and the caller must assume it is not.
+    FsyncFail,
+}
+
+/// Per-label I/O fault probabilities (disjoint kinds; their sum must
+/// stay ≤ 1).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IoFaultSpec {
+    /// Probability of a torn write (random cut offset).
+    pub torn_write: f64,
+    /// Probability of a single flipped bit (random offset).
+    pub bit_flip: f64,
+    /// Probability of a short read.
+    pub short_read: f64,
+    /// Probability of an `ENOSPC` failure.
+    pub no_space: f64,
+    /// Probability of an fsync failure.
+    pub fsync_fail: f64,
+}
+
+impl IoFaultSpec {
+    /// No I/O faults ever.
+    pub fn none() -> Self {
+        IoFaultSpec::default()
+    }
+
+    /// `ENOSPC` on every operation.
+    pub fn always_no_space() -> Self {
+        IoFaultSpec {
+            no_space: 1.0,
+            ..IoFaultSpec::default()
+        }
+    }
+
+    fn validate(&self) {
+        let sum = self.torn_write + self.bit_flip + self.short_read + self.no_space
+            + self.fsync_fail;
+        assert!(
+            (0.0..=1.0 + 1e-12).contains(&sum),
+            "I/O fault probabilities sum to {sum}, must be within [0, 1]"
+        );
+    }
+}
+
 #[derive(Debug, Default)]
 struct SiteState {
     spec: Option<FaultSpec>,
@@ -90,6 +180,12 @@ struct SiteState {
     script: Vec<FaultAction>,
     consumed: usize,
     calls: u64,
+    /// I/O half of the site: its own spec, script and call counter, so
+    /// disk decisions never perturb the RPC/shard streams.
+    io_spec: Option<IoFaultSpec>,
+    io_script: Vec<IoFault>,
+    io_consumed: usize,
+    io_calls: u64,
 }
 
 /// A deterministic fault schedule shared by every injection point.
@@ -233,6 +329,95 @@ impl FaultPlan {
         }
     }
 
+    /// Sets the probabilistic I/O spec for one label (builder style).
+    pub fn with_io_site(self, label: impl Into<String>, spec: IoFaultSpec) -> Self {
+        self.set_io_site(label, spec);
+        self
+    }
+
+    /// Prepends a scripted I/O schedule for one label (builder style).
+    pub fn with_io_script(self, label: impl Into<String>, script: Vec<IoFault>) -> Self {
+        self.set_io_script(label, script);
+        self
+    }
+
+    /// Replaces the probabilistic I/O spec for `label` at runtime.
+    pub fn set_io_site(&self, label: impl Into<String>, spec: IoFaultSpec) {
+        spec.validate();
+        let mut sites = self.sites.lock().expect("fault plan poisoned");
+        sites.entry(label.into()).or_default().io_spec = Some(spec);
+    }
+
+    /// Replaces the scripted I/O schedule for `label` at runtime. The
+    /// listed faults are consumed one per operation, after which the
+    /// label falls back to its probabilistic spec.
+    pub fn set_io_script(&self, label: impl Into<String>, script: Vec<IoFault>) {
+        let mut sites = self.sites.lock().expect("fault plan poisoned");
+        let site = sites.entry(label.into()).or_default();
+        site.io_script = script;
+        site.io_consumed = 0;
+    }
+
+    /// Decides what the next disk operation at `label` should do,
+    /// advancing the per-label I/O call counter. `len` is the size of
+    /// the buffer involved; randomly drawn cut/flip offsets stay within
+    /// it (an empty buffer yields offset 0).
+    ///
+    /// Like [`FaultPlan::decide`], the outcome is a pure function of
+    /// `(seed, label, per-label I/O call count)` — replaying a run with
+    /// the same plan observes byte-identical fault schedules.
+    pub fn decide_io(&self, label: &str, len: usize) -> IoFault {
+        let mut sites = self.sites.lock().expect("fault plan poisoned");
+        let site = sites.entry(label.to_owned()).or_default();
+        let call = site.io_calls;
+        site.io_calls += 1;
+        if site.io_consumed < site.io_script.len() {
+            let fault = site.io_script[site.io_consumed];
+            site.io_consumed += 1;
+            return fault;
+        }
+        let spec = site.io_spec.unwrap_or_default();
+        let word = splitmix(
+            self.seed ^ label_hash(label).rotate_left(31) ^ call.wrapping_mul(0xA24B_AED5),
+        );
+        let draw = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let at = if len == 0 {
+            0
+        } else {
+            (splitmix(word ^ 0xD6E8_FEB8_6659_FD93) % len as u64) as usize
+        };
+        let mut edge = spec.torn_write;
+        if draw < edge {
+            return IoFault::TornWrite { at };
+        }
+        edge += spec.bit_flip;
+        if draw < edge {
+            return IoFault::BitFlip { at };
+        }
+        edge += spec.short_read;
+        if draw < edge {
+            return IoFault::ShortRead;
+        }
+        edge += spec.no_space;
+        if draw < edge {
+            return IoFault::NoSpace;
+        }
+        edge += spec.fsync_fail;
+        if draw < edge {
+            return IoFault::FsyncFail;
+        }
+        IoFault::None
+    }
+
+    /// Total I/O operations decided for `label` so far.
+    pub fn io_calls(&self, label: &str) -> u64 {
+        self.sites
+            .lock()
+            .expect("fault plan poisoned")
+            .get(label)
+            .map_or(0, |s| s.io_calls)
+    }
+
     /// Total calls decided for `label` so far.
     pub fn calls(&self, label: &str) -> u64 {
         self.sites
@@ -358,6 +543,122 @@ mod tests {
         assert_eq!(plan.decide("d"), FaultAction::Error);
         plan.set_site("d", FaultSpec::none());
         assert_eq!(plan.decide("d"), FaultAction::None);
+    }
+
+    #[test]
+    fn io_decisions_are_deterministic_and_independent_of_rpc_stream() {
+        let observe = |seed| {
+            let plan = FaultPlan::seeded(seed).with_io_site(
+                "disk:wal",
+                IoFaultSpec {
+                    torn_write: 0.2,
+                    bit_flip: 0.2,
+                    short_read: 0.1,
+                    no_space: 0.1,
+                    fsync_fail: 0.1,
+                },
+            );
+            (0..200)
+                .map(|_| plan.decide_io("disk:wal", 4096))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(observe(42), observe(42));
+        assert_ne!(observe(42), observe(43));
+        // Interleaving RPC decisions on the same label must not shift
+        // the I/O stream: the counters are separate.
+        let plan = FaultPlan::seeded(42).with_io_site(
+            "disk:wal",
+            IoFaultSpec {
+                torn_write: 0.2,
+                bit_flip: 0.2,
+                short_read: 0.1,
+                no_space: 0.1,
+                fsync_fail: 0.1,
+            },
+        );
+        let interleaved: Vec<_> = (0..200)
+            .map(|_| {
+                let _ = plan.decide("disk:wal");
+                plan.decide_io("disk:wal", 4096)
+            })
+            .collect();
+        assert_eq!(interleaved, observe(42));
+    }
+
+    #[test]
+    fn io_offsets_stay_within_the_buffer() {
+        let plan = FaultPlan::seeded(7).with_io_site(
+            "disk:snapshot",
+            IoFaultSpec {
+                torn_write: 0.5,
+                bit_flip: 0.5,
+                ..IoFaultSpec::default()
+            },
+        );
+        for len in [0usize, 1, 17, 4096] {
+            for _ in 0..100 {
+                match plan.decide_io("disk:snapshot", len) {
+                    IoFault::TornWrite { at } | IoFault::BitFlip { at } => {
+                        if len == 0 {
+                            assert_eq!(at, 0);
+                        } else {
+                            assert!(at < len, "offset {at} out of {len}");
+                        }
+                    }
+                    other => panic!("unexpected kind {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn io_scripts_run_before_io_probabilities() {
+        let plan = FaultPlan::seeded(1)
+            .with_io_script(
+                "disk:wal",
+                vec![IoFault::None, IoFault::TornWrite { at: 3 }, IoFault::NoSpace],
+            )
+            .with_io_site("disk:wal", IoFaultSpec::none());
+        assert_eq!(plan.decide_io("disk:wal", 100), IoFault::None);
+        assert_eq!(plan.decide_io("disk:wal", 100), IoFault::TornWrite { at: 3 });
+        assert_eq!(plan.decide_io("disk:wal", 100), IoFault::NoSpace);
+        for _ in 0..20 {
+            assert_eq!(plan.decide_io("disk:wal", 100), IoFault::None);
+        }
+        assert_eq!(plan.io_calls("disk:wal"), 23);
+        // Exhausted script + always-failing spec: the crash-harness
+        // shape "k clean ops, then the disk dies".
+        let plan = FaultPlan::seeded(2)
+            .with_io_script("disk:snapshot", vec![IoFault::None; 2])
+            .with_io_site("disk:snapshot", IoFaultSpec::always_no_space());
+        assert_eq!(plan.decide_io("disk:snapshot", 10), IoFault::None);
+        assert_eq!(plan.decide_io("disk:snapshot", 10), IoFault::None);
+        assert_eq!(plan.decide_io("disk:snapshot", 10), IoFault::NoSpace);
+        assert_eq!(plan.decide_io("disk:snapshot", 10), IoFault::NoSpace);
+    }
+
+    #[test]
+    fn zero_plan_never_injects_io_faults() {
+        let plan = FaultPlan::none();
+        for i in 0..500 {
+            assert_eq!(
+                plan.decide_io(if i % 2 == 0 { "disk:wal" } else { "disk:snapshot" }, 64),
+                IoFault::None
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "I/O fault probabilities")]
+    fn overfull_io_specs_are_rejected() {
+        let _ = FaultPlan::none().with_io_site(
+            "disk:wal",
+            IoFaultSpec {
+                torn_write: 0.8,
+                no_space: 0.5,
+                ..IoFaultSpec::default()
+            },
+        );
     }
 
     #[test]

@@ -157,6 +157,67 @@ impl DistributedIndex {
         self.shards.iter().map(TextIndex::epoch).sum()
     }
 
+    /// Per-shard epochs, in shard order — the durable manifest records
+    /// them individually so a reopened index resumes each counter.
+    pub fn shard_epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(TextIndex::epoch).collect()
+    }
+
+    /// Resumes per-shard epochs from persisted values (shard order).
+    pub fn set_shard_epochs(&mut self, epochs: &[u64]) {
+        for (shard, &epoch) in self.shards.iter_mut().zip(epochs) {
+            shard.set_epoch(epoch);
+        }
+    }
+
+    /// Attaches a write-ahead-log handle to every server. All shards
+    /// share one handle (and so one store tag): replay re-routes each
+    /// logged document through the deterministic URL hash, landing it on
+    /// the same shard it originally went to.
+    pub fn set_wal(&mut self, wal: monet::wal::WalHandle) {
+        for shard in &mut self.shards {
+            shard.set_wal(wal.clone());
+        }
+    }
+
+    /// Detaches the log from every server (used during replay).
+    pub fn detach_wal(&mut self) {
+        for shard in &mut self.shards {
+            shard.detach_wal();
+        }
+    }
+
+    /// Whether any server already indexed `url`.
+    pub fn contains_url(&self, url: &str) -> bool {
+        self.shards[self.route(url)].contains_url(url)
+    }
+
+    /// Serialises every server (shard order). Commits first so the
+    /// snapshots carry consistent IDF state.
+    pub fn snapshot_shards(&mut self) -> Result<Vec<Vec<u8>>> {
+        self.commit()?;
+        self.shards.iter_mut().map(TextIndex::snapshot).collect()
+    }
+
+    /// Restores a distributed index from per-server snapshots produced
+    /// by [`Self::snapshot_shards`]. The shard count is taken from the
+    /// snapshot list — it must match the count used at write time, or
+    /// the URL routing would scatter documents differently.
+    pub fn restore_shards(snapshots: &[Vec<u8>]) -> Result<Self> {
+        if snapshots.is_empty() {
+            return Err(Error::Config("at least one server snapshot required".into()));
+        }
+        Ok(DistributedIndex {
+            shards: snapshots
+                .iter()
+                .map(|bytes| TextIndex::restore(bytes))
+                .collect::<Result<Vec<_>>>()?,
+            faults: None,
+            shard_deadline: Duration::from_millis(250),
+            hang: Duration::from_millis(500),
+        })
+    }
+
     /// The server a URL is assigned to.
     pub fn route(&self, url: &str) -> usize {
         // FNV-1a over the URL: deterministic, well-spread.
@@ -173,6 +234,12 @@ impl DistributedIndex {
     /// corresponding IDF tuples) over several database servers"), so
     /// local rankings use collection-wide document frequencies.
     pub fn commit(&mut self) -> Result<()> {
+        // A clean index commits to nothing: without this, every
+        // snapshot would bump the shard epochs through the global-df
+        // pass and spuriously invalidate epoch-keyed query caches.
+        if self.shards.iter().all(TextIndex::is_committed) {
+            return Ok(());
+        }
         let mut global: std::collections::HashMap<String, usize> =
             std::collections::HashMap::new();
         for shard in &mut self.shards {

@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 
+use monet::wal::WalHandle;
 use monet::{ColumnKind, Db, Oid, Value};
 use serde::{Deserialize, Serialize};
 
@@ -95,7 +96,13 @@ pub struct TextIndex {
     /// Bumped on every mutation (insert or commit); cache keys built
     /// from the epoch go stale the moment the index changes.
     epoch: u64,
+    /// When attached, every indexed document is logged here *before*
+    /// any relation mutates.
+    wal: Option<WalHandle>,
 }
+
+/// WAL op tag: index a document body (`fields = [url, text]`).
+pub const WAL_OP_INDEX: u8 = 0;
 
 impl TextIndex {
     /// An empty index with the given ranking model.
@@ -109,6 +116,7 @@ impl TextIndex {
             total_tokens: 0,
             committed: true,
             epoch: 0,
+            wal: None,
         }
     }
 
@@ -117,6 +125,109 @@ impl TextIndex {
     /// be cached keyed by the epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Resumes the epoch counter from a persisted value, so cache keys
+    /// derived from epochs stay monotone across restarts.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Whether every indexed document has been committed — i.e. the IDF
+    /// relation is up to date and [`TextIndex::commit`] would be a no-op.
+    pub fn is_committed(&self) -> bool {
+        self.committed
+    }
+
+    /// Attaches a write-ahead-log handle: from now on every indexed
+    /// document is logged before the relations mutate.
+    pub fn set_wal(&mut self, wal: WalHandle) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches the log (used during replay so replayed operations are
+    /// not re-logged).
+    pub fn detach_wal(&mut self) -> Option<WalHandle> {
+        self.wal.take()
+    }
+
+    /// Whether `url` is already indexed here.
+    pub fn contains_url(&self, url: &str) -> bool {
+        self.db
+            .get(D)
+            .map(|bat| !bat.select_str_eq(url).is_empty())
+            .unwrap_or(false)
+    }
+
+    /// Serialises the index (ranking model + all relations, with a CRC
+    /// trailer via the catalog snapshot). Commits pending IDF work first
+    /// so the snapshot is self-consistent.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>> {
+        self.commit()?;
+        let mut out = Vec::new();
+        match self.model {
+            ScoreModel::TfIdf => {
+                out.push(0u8);
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+            ScoreModel::Hiemstra { lambda } => {
+                out.push(1u8);
+                out.extend_from_slice(&lambda.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&monet::persist::snapshot(&self.db)?);
+        Ok(out)
+    }
+
+    /// Restores an index from a [`Self::snapshot`]. The in-memory
+    /// mirrors (vocabulary, df counts, token totals) are rebuilt from
+    /// the T / DT / DL relations.
+    pub fn restore(bytes: &[u8]) -> Result<TextIndex> {
+        if bytes.len() < 9 {
+            return Err(Error::Document("text snapshot shorter than header".into()));
+        }
+        let lambda = f64::from_bits(u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes")));
+        let model = match bytes[0] {
+            0 => ScoreModel::TfIdf,
+            1 => ScoreModel::Hiemstra { lambda },
+            other => {
+                return Err(Error::Document(format!("bad score-model tag {other}")));
+            }
+        };
+        let mut db = monet::persist::restore(&bytes[9..])?;
+        let mut vocab = HashMap::new();
+        if let Ok(t) = db.get(T) {
+            for (oid, v) in t.iter() {
+                if let Some(s) = v.as_str() {
+                    vocab.insert(s.to_owned(), oid);
+                }
+            }
+        }
+        let mut df: HashMap<Oid, usize> = HashMap::new();
+        if let Ok(dt) = db.get(DT_TERM) {
+            for (term, _) in dt.iter() {
+                *df.entry(term).or_insert(0) += 1;
+            }
+        }
+        let total_tokens = match db.get_mut(DL) {
+            Ok(bat) => bat
+                .iter()
+                .filter_map(|(_, v)| v.as_int())
+                .map(|n| n.max(0) as usize)
+                .sum(),
+            Err(_) => 0,
+        };
+        Ok(TextIndex {
+            db,
+            model,
+            vocab,
+            df,
+            dirty_terms: Vec::new(),
+            total_tokens,
+            committed: true,
+            epoch: 0,
+            wal: None,
+        })
     }
 
     /// The underlying catalog (the relations are inspectable).
@@ -149,6 +260,11 @@ impl TextIndex {
             .unwrap_or(true)
         {
             return Err(Error::Document(format!("`{url}` already indexed")));
+        }
+        // Log before any relation mutates; a failed append aborts the
+        // whole operation with the index untouched.
+        if let Some(wal) = &self.wal {
+            wal.log(WAL_OP_INDEX, &[url.as_bytes(), text.as_bytes()])?;
         }
         let doc = self.db.mint();
         self.db

@@ -21,6 +21,11 @@ pub enum Error {
     BatExists(String),
     /// A snapshot could not be encoded or decoded.
     Snapshot(String),
+    /// A write-ahead-log operation failed (append, flush, replay).
+    Wal(String),
+    /// A storage-backend operation failed (the durable analogue of
+    /// `std::io::Error`; carries the backend's message).
+    Io(String),
 }
 
 impl fmt::Display for Error {
@@ -32,6 +37,8 @@ impl fmt::Display for Error {
             Error::NoSuchBat(name) => write!(f, "no such BAT: {name}"),
             Error::BatExists(name) => write!(f, "BAT already exists: {name}"),
             Error::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            Error::Wal(msg) => write!(f, "WAL error: {msg}"),
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
         }
     }
 }

@@ -41,10 +41,13 @@
 
 pub mod bat;
 pub mod catalog;
+pub mod crc;
 pub mod error;
 pub mod oid;
 pub mod persist;
+pub mod storage;
 pub mod value;
+pub mod wal;
 
 pub use bat::Bat;
 pub use catalog::Db;

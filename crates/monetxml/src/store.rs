@@ -19,6 +19,7 @@
 //! [`crate::query::nodes_at_edges`] (node-at-a-time traversal, the
 //! "plain data guides" competitor).
 
+use monet::wal::WalHandle;
 use monet::{ColumnKind, Db, Oid, Value};
 
 use crate::doc::Document;
@@ -42,7 +43,15 @@ pub struct XmlStore {
     /// Bumped on every insert or delete; anything derived from the
     /// store can be cached while the epoch holds still.
     epoch: u64,
+    /// When attached, every insert/delete is logged here *before* the
+    /// catalog mutates, so a crash mid-operation replays cleanly.
+    wal: Option<WalHandle>,
 }
+
+/// WAL op tag: insert a document (`fields = [source, xml]`).
+pub const WAL_OP_INSERT: u8 = 0;
+/// WAL op tag: delete a document (`fields = [source]`).
+pub const WAL_OP_DELETE: u8 = 1;
 
 impl XmlStore {
     /// An empty store.
@@ -53,6 +62,7 @@ impl XmlStore {
             roots: Vec::new(),
             last_stats: LoadStats::default(),
             epoch: 0,
+            wal: None,
         }
     }
 
@@ -60,6 +70,31 @@ impl XmlStore {
     /// guarantee the stored documents have not changed in between.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Resumes the epoch counter from a persisted value, so cache keys
+    /// derived from epochs stay monotone across restarts.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Attaches a write-ahead-log handle: from now on every insert and
+    /// delete is logged before the catalog mutates.
+    pub fn set_wal(&mut self, wal: WalHandle) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches the log (used during replay so replayed operations are
+    /// not re-logged).
+    pub fn detach_wal(&mut self) -> Option<WalHandle> {
+        self.wal.take()
+    }
+
+    fn log_insert(&self, source: &str, xml: &str) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.log(WAL_OP_INSERT, &[source.as_bytes(), xml.as_bytes()])?;
+        }
+        Ok(())
     }
 
     /// The underlying BAT catalog (immutable).
@@ -92,8 +127,14 @@ impl XmlStore {
         self.last_stats
     }
 
-    /// Inserts an in-memory document; returns its root oid.
+    /// Inserts an in-memory document; returns its root oid. With a WAL
+    /// attached the document is logged (as serialised XML) first, and
+    /// nothing mutates if the log append fails.
     pub fn insert_document(&mut self, source: &str, doc: &Document) -> Result<Oid> {
+        if self.wal.is_some() {
+            let xml = crate::ser::to_xml(doc);
+            self.log_insert(source, &xml)?;
+        }
         let (root, stats) = transform::load_document(&mut self.db, &mut self.summary, source, doc)?;
         self.roots.push(root);
         self.last_stats = stats;
@@ -124,8 +165,10 @@ impl XmlStore {
     }
 
     /// Streams XML text into the store with O(height) live memory — the
-    /// paper's bulkload method. Returns the root oid.
+    /// paper's bulkload method. Returns the root oid. Logged to the WAL
+    /// (when attached) before any relation mutates.
     pub fn bulkload_str(&mut self, source: &str, xml: &str) -> Result<Oid> {
+        self.log_insert(source, xml)?;
         struct Sax<'a, 'b>(&'a mut Loader<'b>);
         impl SaxHandler for Sax<'_, '_> {
             fn start_element(&mut self, tag: &str, attrs: &[(&str, String)]) -> Result<()> {
@@ -345,6 +388,16 @@ impl XmlStore {
             .first_tail_of(root)
             .and_then(|v| v.as_str().map(str::to_owned))
             .ok_or_else(|| Error::Store(format!("oid {root} is not a document root")))?;
+        // Log the delete (keyed by source, which survives restarts —
+        // oids do not) before any relation mutates.
+        if self.wal.is_some() {
+            let source = self
+                .source_of(root)
+                .ok_or_else(|| Error::Store(format!("oid {root} has no source entry")))?;
+            if let Some(wal) = &self.wal {
+                wal.log(WAL_OP_DELETE, &[source.as_bytes()])?;
+            }
+        }
         let sum = self
             .summary
             .child(self.summary.root(), &root_tag)
@@ -417,8 +470,8 @@ impl XmlStore {
     /// on restore from the relation names and the `sys` relations —
     /// which is exactly why the paper's document-dependent mapping can
     /// afford a DTD-less catalog).
-    pub fn snapshot(&self) -> Vec<u8> {
-        monet::persist::snapshot(&self.db)
+    pub fn snapshot(&self) -> Result<Vec<u8>> {
+        Ok(monet::persist::snapshot(&self.db)?)
     }
 
     /// Restores a store from a [`Self::snapshot`].
@@ -459,6 +512,7 @@ impl XmlStore {
             roots,
             last_stats: LoadStats::default(),
             epoch: 0,
+            wal: None,
         })
     }
 
@@ -615,7 +669,7 @@ mod tests {
         let mut store = XmlStore::new();
         let r1 = store.bulkload_str("a.xml", FIGURE9_XML).unwrap();
         let r2 = store.bulkload_str("b.xml", FIGURE9_XML).unwrap();
-        let bytes = store.snapshot();
+        let bytes = store.snapshot().unwrap();
         let mut back = XmlStore::restore(&bytes).unwrap();
         assert_eq!(back.document_count(), 2);
         assert_eq!(back.reconstruct(r1).unwrap(), figure9());

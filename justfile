@@ -3,13 +3,20 @@
 
 # Build, test, and lint — the full pre-merge gate. Includes a smoke
 # pass over the perf benches (tiny workload, no JSON rewrite) so the
-# harness itself cannot rot.
+# harness itself cannot rot, and the crash-recovery suite.
 verify:
     cargo build --release --offline
     cargo test --offline -q
     cargo clippy --offline --workspace --all-targets -- -D warnings
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench ingest
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench query_cache
+    just recovery-smoke
+
+# Crash-point recovery: the durability harness (WAL + snapshot fault
+# sweeps) plus a smoke pass of the E13 recovery bench.
+recovery-smoke:
+    cargo test --offline -q -p dlsearch --test durability
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench recovery
 
 build:
     cargo build --offline
@@ -20,11 +27,13 @@ test:
 clippy:
     cargo clippy --offline --workspace --all-targets -- -D warnings
 
-# Perf baselines: E11 (parallel ingestion) and E12 (query cache).
-# Full runs refresh BENCH_populate.json / BENCH_query.json in-repo.
+# Perf baselines: E11 (parallel ingestion), E12 (query cache), E13
+# (recovery). Full runs refresh BENCH_populate.json / BENCH_query.json
+# / BENCH_recovery.json in-repo.
 bench:
     cargo bench --offline -p bench --bench ingest
     cargo bench --offline -p bench --bench query_cache
+    cargo bench --offline -p bench --bench recovery
 
 # The flagship scenario, healthy and under injected faults.
 demo:

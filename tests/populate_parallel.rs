@@ -39,8 +39,8 @@ const TEXT_ONLY: &str = r#"
 /// store snapshots (bytes!), the text-index epoch and the answers to
 /// the reference queries.
 fn observe(engine: &mut Engine, report: PopulateReport) -> (PopulateReport, Vec<u8>, Vec<u8>, u64, String) {
-    let views = engine.views().snapshot();
-    let meta = engine.meta().store().snapshot();
+    let views = engine.views().snapshot().unwrap();
+    let meta = engine.meta().store().snapshot().unwrap();
     let text_epoch = engine.text_index().epoch();
     let mut answers = String::new();
     for q in [FIGURE13, TEXT_ONLY] {
@@ -129,7 +129,10 @@ fn populate_with_zero_workers_behaves_like_one() {
         .populate_with(&pages, PopulateOptions { workers: 0 })
         .unwrap();
     assert_eq!(seq_report, zero_report);
-    assert_eq!(seq.views().snapshot(), zero.views().snapshot());
+    assert_eq!(
+        seq.views().snapshot().unwrap(),
+        zero.views().snapshot().unwrap()
+    );
 }
 
 #[test]

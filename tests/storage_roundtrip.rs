@@ -87,7 +87,7 @@ fn catalog_snapshots_restore_fully() {
         let xml = format!("<doc n=\"{i}\"><body>content {i}</body></doc>");
         store.bulkload_str(&format!("d{i}.xml"), &xml).unwrap();
     }
-    let snapshot = persist::snapshot(store.db());
+    let snapshot = persist::snapshot(store.db()).unwrap();
     let restored = persist::restore(&snapshot).unwrap();
     assert_eq!(restored.relation_count(), store.db().relation_count());
     assert_eq!(
