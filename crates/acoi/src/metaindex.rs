@@ -81,11 +81,24 @@ impl MetaIndex {
 
     /// Loads the stored parse tree of `source`.
     pub fn tree(&mut self, grammar: &feagram::Grammar, source: &str) -> Result<ParseTree> {
+        self.tree_budgeted(grammar, source, &faults::Budget::unlimited())
+    }
+
+    /// [`MetaIndex::tree`] under a caller budget: the underlying
+    /// reconstruction pays one work unit per rebuilt node, so loading a
+    /// stored tree is cancellable mid-query (the budget error surfaces
+    /// as [`Error::Storage`] wrapping the typed deadline).
+    pub fn tree_budgeted(
+        &mut self,
+        grammar: &feagram::Grammar,
+        source: &str,
+        budget: &faults::Budget,
+    ) -> Result<ParseTree> {
         let root = self
             .store
             .root_for_source(source)
             .ok_or_else(|| Error::Grammar(format!("no stored tree for `{source}`")))?;
-        let doc = self.store.reconstruct(root)?;
+        let doc = self.store.reconstruct_budgeted(root, budget)?;
         ParseTree::from_document(grammar, &doc)
     }
 

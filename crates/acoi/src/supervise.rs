@@ -23,6 +23,7 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -97,6 +98,10 @@ struct DetectorState {
     breaker: BreakerState,
     consecutive_failures: u32,
     open_rejections: u32,
+    /// Whether the half-open probe slot is taken. Exactly one caller
+    /// may test a recovering detector; everyone else fails fast until
+    /// the probe reports back.
+    probe_in_flight: bool,
     stats: SupervisorStats,
 }
 
@@ -106,6 +111,7 @@ impl DetectorState {
             breaker: BreakerState::Closed,
             consecutive_failures: 0,
             open_rejections: 0,
+            probe_in_flight: false,
             stats: SupervisorStats::default(),
         }
     }
@@ -114,6 +120,10 @@ impl DetectorState {
 struct Inner {
     config: SupervisorConfig,
     detectors: Mutex<HashMap<String, DetectorState>>,
+    /// Process-wide backoff-jitter draw counter: every backoff sleep
+    /// takes the next index of the seeded jitter stream, so concurrent
+    /// retries at the same attempt number sleep different amounts.
+    jitter_draws: AtomicU64,
 }
 
 /// Wraps detectors with deadlines, retries and a circuit breaker.
@@ -139,6 +149,22 @@ fn name_hash(name: &str) -> u64 {
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
+}
+
+/// Deterministic, de-correlated backoff jitter within `[0, span/2]`.
+///
+/// The stream is seeded (replayable for a given `jitter_seed`) but
+/// indexed by a process-wide `draw` counter as well as the attempt
+/// number: two callers retrying the *same* recovering detector at the
+/// *same* attempt draw different indices, so their sleeps diverge
+/// instead of stampeding the detector in lockstep.
+fn backoff_jitter(seed: u64, name: &str, attempt: u32, draw: u64, span: Duration) -> Duration {
+    let word = splitmix(
+        seed ^ name_hash(name)
+            ^ u64::from(attempt).wrapping_mul(0x9E37_79B9)
+            ^ draw.wrapping_mul(0x85EB_CA6B_27D4_EB4F),
+    );
+    Duration::from_nanos(word % (span.as_nanos().max(1) as u64 / 2 + 1))
 }
 
 type Outcome = std::result::Result<Vec<Token>, DetectorError>;
@@ -210,6 +236,7 @@ impl Supervisor {
             inner: Arc::new(Inner {
                 config,
                 detectors: Mutex::new(HashMap::new()),
+                jitter_draws: AtomicU64::new(0),
             }),
         }
     }
@@ -244,7 +271,19 @@ impl Supervisor {
                 .entry(name.to_owned())
                 .or_insert_with(DetectorState::new);
             match state.breaker {
-                BreakerState::Closed | BreakerState::HalfOpen => {}
+                BreakerState::Closed => {}
+                BreakerState::HalfOpen => {
+                    // The probe slot is single-occupancy: concurrent
+                    // callers fail fast instead of piling onto a
+                    // detector that is barely back on its feet.
+                    if state.probe_in_flight {
+                        state.stats.short_circuits += 1;
+                        return Err(DetectorError::Unavailable(format!(
+                            "half-open probe already in flight for `{name}`"
+                        )));
+                    }
+                    state.probe_in_flight = true;
+                }
                 BreakerState::Open => {
                     if state.open_rejections < config.breaker_probe_after {
                         state.open_rejections += 1;
@@ -254,6 +293,7 @@ impl Supervisor {
                         )));
                     }
                     state.breaker = BreakerState::HalfOpen;
+                    state.probe_in_flight = true;
                 }
             }
         }
@@ -266,11 +306,8 @@ impl Supervisor {
                     .backoff_base
                     .saturating_mul(1u32 << (attempt - 1).min(16));
                 let capped = exp.min(config.backoff_cap);
-                let jitter_word = splitmix(
-                    config.jitter_seed ^ name_hash(name) ^ u64::from(attempt),
-                );
-                let jitter =
-                    Duration::from_nanos(jitter_word % (capped.as_nanos().max(1) as u64 / 2 + 1));
+                let draw = self.inner.jitter_draws.fetch_add(1, Ordering::Relaxed);
+                let jitter = backoff_jitter(config.jitter_seed, name, attempt, draw, capped);
                 std::thread::sleep(capped + jitter);
             }
             {
@@ -309,11 +346,13 @@ impl Supervisor {
         state.breaker = BreakerState::Closed;
         state.consecutive_failures = 0;
         state.open_rejections = 0;
+        state.probe_in_flight = false;
     }
 
     fn record_failure(&self, name: &str) {
         let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
         let state = detectors.get_mut(name).expect("registered in wrap");
+        state.probe_in_flight = false;
         match state.breaker {
             BreakerState::HalfOpen => {
                 state.breaker = BreakerState::Open;
@@ -377,6 +416,7 @@ impl Supervisor {
             state.breaker = BreakerState::Closed;
             state.consecutive_failures = 0;
             state.open_rejections = 0;
+            state.probe_in_flight = false;
         }
     }
 }
@@ -542,6 +582,84 @@ mod tests {
         assert_eq!(sup.stats("dead").breaker_opens, 2);
         sup.reset("dead");
         assert_eq!(sup.state("dead"), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_but_decorrelated_across_draws() {
+        let span = Duration::from_millis(20);
+        // Same inputs replay the same jitter (seeded determinism)…
+        assert_eq!(
+            backoff_jitter(7, "det", 1, 0, span),
+            backoff_jitter(7, "det", 1, 0, span)
+        );
+        // …the stream moves with the seed…
+        let per_seed = |seed| -> Vec<Duration> {
+            (0..8).map(|d| backoff_jitter(seed, "det", 1, d, span)).collect()
+        };
+        assert_ne!(per_seed(7), per_seed(8));
+        // …and same-attempt retries at different draw indices diverge:
+        // two concurrent callers never sleep the same schedule.
+        let draws = per_seed(7);
+        let distinct: std::collections::HashSet<Duration> = draws.iter().copied().collect();
+        assert!(
+            distinct.len() > 1,
+            "same-attempt retries share one jitter value (stampede): {draws:?}"
+        );
+        for j in draws {
+            assert!(j <= span / 2 + Duration::from_nanos(1));
+        }
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let sup = Supervisor::new(SupervisorConfig {
+            deadline: Duration::from_millis(500),
+            max_retries: 0,
+            breaker_threshold: 1,
+            breaker_probe_after: 0,
+            ..fast_config()
+        });
+        let (gate_tx, gate_rx) = unbounded::<()>();
+        let calls = Arc::new(AtomicU32::new(0));
+        let mk = |calls: Arc<AtomicU32>, gate_rx: Receiver<()>| -> DetectorFn {
+            Box::new(move |_| {
+                if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                    return Err(DetectorError::Unavailable("down".into()));
+                }
+                // A recovering-but-slow detector: answers only once
+                // released, so the probe stays in flight long enough
+                // for a concurrent caller to arrive.
+                let _ = gate_rx.recv_timeout(Duration::from_millis(400));
+                Ok(vec![Token::new("x", 1i64)])
+            })
+        };
+        // Two wrapped handles share one breaker state but have their
+        // own workers, so both can be inside the gate at once.
+        let w1 = sup.wrap("rec", mk(Arc::clone(&calls), gate_rx.clone()));
+        let w2 = sup.wrap("rec", mk(Arc::clone(&calls), gate_rx));
+        assert!(w1(&[]).is_err()); // opens the breaker
+        assert_eq!(sup.state("rec"), Some(BreakerState::Open));
+        // `breaker_probe_after: 0`: the next call becomes the half-open
+        // probe and blocks inside the detector…
+        let probe = std::thread::spawn(move || w1(&[]));
+        let waited = Instant::now();
+        while calls.load(Ordering::SeqCst) < 2 {
+            assert!(waited.elapsed() < Duration::from_secs(2), "probe never started");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // …while a concurrent caller is short-circuited instead of
+        // stampeding the recovering detector.
+        match w2(&[]) {
+            Err(DetectorError::Unavailable(cause)) => {
+                assert!(cause.contains("probe"), "{cause}");
+            }
+            other => panic!("expected a short-circuit, got {other:?}"),
+        }
+        assert_eq!(sup.stats("rec").short_circuits, 1);
+        gate_tx.send(()).unwrap();
+        assert!(probe.join().unwrap().is_ok());
+        assert_eq!(sup.state("rec"), Some(BreakerState::Closed));
     }
 
     #[test]

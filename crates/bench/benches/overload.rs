@@ -1,0 +1,182 @@
+//! E14 — overload behaviour: latency, rejections and the degradation
+//! ladder under a closed-loop storm.
+//!
+//! A fixed service (2 execution slots, 4-deep queue, delay-injected
+//! text shards so every query costs real wall time) is driven by
+//! closed-loop client fleets at 1×, 4× and 10× its concurrency
+//! capacity. Per multiplier we record: served / rejected counts,
+//! interactive p50 and p99 latency, how many answers were served
+//! browned-out (quality < 1) and how often the ladder moved. The
+//! contract being measured: interactive p99 stays bounded by the queue
+//! timeout while throughput saturates, rejections are typed (a panic or
+//! a hung client fails the bench), and degradation is honest. Results
+//! land in `BENCH_overload.json` at the repository root.
+//!
+//! `BENCH_SMOKE=1` shrinks the workload and skips the JSON write.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dlsearch::{ausopen, qlang, AdmissionConfig, Error, OverloadLevel, Priority, QueryService};
+use faults::{Budget, DelaySpec, FaultPlan};
+use websim::{crawl, Site, SiteSpec};
+
+const STORM_QUERY: &str = r#"
+    FROM Player
+    WHERE hand = "left"
+    TEXT history CONTAINS "Winner"
+    TOP 10
+"#;
+
+fn percentile(sorted: &[f64], p: usize) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+struct Point {
+    multiplier: usize,
+    clients: usize,
+    served: usize,
+    rejected: usize,
+    degraded: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    transitions: usize,
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let (multipliers, per_client): (&[usize], usize) =
+        if smoke { (&[1, 10], 3) } else { (&[1, 4, 10], 12) };
+
+    let site = Arc::new(Site::generate(SiteSpec {
+        players: 12,
+        articles: 8,
+        seed: 2014,
+    }));
+    let pages = crawl(&site);
+    let plan = Arc::new(
+        FaultPlan::seeded(14)
+            .with_delay_site("shard:0", DelaySpec::always(Duration::from_millis(3)))
+            .with_delay_site("shard:1", DelaySpec::always(Duration::from_millis(3))),
+    );
+    let config = AdmissionConfig {
+        max_concurrent: 2,
+        max_queue: 4,
+        queue_timeout: Duration::from_millis(150),
+        pressured_queue: 1,
+        brownout_queue: 2,
+        latency_target: Duration::from_millis(2),
+        latency_window: 8,
+    };
+    let q = qlang::parse(STORM_QUERY).expect("parse storm query");
+
+    let mut points = Vec::new();
+    for &multiplier in multipliers {
+        // A fresh engine per multiplier: the ladder's latency window
+        // and transition log start clean, so points are independent.
+        let mut engine =
+            ausopen::resilient_engine(Arc::clone(&site), 2, Arc::clone(&plan)).expect("engine");
+        engine.populate(&pages).expect("populate");
+        let service = Arc::new(QueryService::with_config(engine, config.clone()));
+
+        let clients = multiplier * config.max_concurrent;
+        let served = Arc::new(AtomicUsize::new(0));
+        let rejected = Arc::new(AtomicUsize::new(0));
+        let degraded = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::new();
+        for _ in 0..clients {
+            let service = Arc::clone(&service);
+            let q = q.clone();
+            let served = Arc::clone(&served);
+            let rejected = Arc::clone(&rejected);
+            let degraded = Arc::clone(&degraded);
+            workers.push(std::thread::spawn(move || {
+                let mut latencies = Vec::new();
+                for _ in 0..per_client {
+                    let start = Instant::now();
+                    match service.query(&q, Priority::Interactive, &Budget::unlimited()) {
+                        Ok(outcome) => {
+                            served.fetch_add(1, Ordering::Relaxed);
+                            latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                            if outcome.level >= OverloadLevel::Brownout {
+                                assert!(
+                                    outcome.quality < 1.0,
+                                    "browned-out answer claimed full quality"
+                                );
+                                degraded.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(Error::Overloaded { .. }) => {
+                            rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(other) => panic!("untyped failure under load: {other}"),
+                    }
+                }
+                latencies
+            }));
+        }
+        let mut latencies = Vec::new();
+        for worker in workers {
+            latencies.extend(worker.join().expect("client panicked"));
+        }
+        latencies.sort_by(|a, b| a.total_cmp(b));
+
+        let point = Point {
+            multiplier,
+            clients,
+            served: served.load(Ordering::Relaxed),
+            rejected: rejected.load(Ordering::Relaxed),
+            degraded: degraded.load(Ordering::Relaxed),
+            p50_ms: percentile(&latencies, 50),
+            p99_ms: percentile(&latencies, 99),
+            transitions: service.status().transitions.len(),
+        };
+        assert_eq!(point.served + point.rejected, clients * per_client);
+        println!(
+            "e14_overload/x{}: {} clients, served {}, rejected {}, degraded {}, \
+             p50 {:.2} ms, p99 {:.2} ms, {} ladder transitions",
+            point.multiplier,
+            point.clients,
+            point.served,
+            point.rejected,
+            point.degraded,
+            point.p50_ms,
+            point.p99_ms,
+            point.transitions
+        );
+        points.push(point);
+    }
+
+    if smoke {
+        println!("e14_overload: smoke mode, not writing BENCH_overload.json");
+        return;
+    }
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"multiplier\": {}, \"clients\": {}, \"served\": {}, \"rejected\": {}, \
+                 \"degraded\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"transitions\": {}}}",
+                p.multiplier,
+                p.clients,
+                p.served,
+                p.rejected,
+                p.degraded,
+                p.p50_ms,
+                p.p99_ms,
+                p.transitions
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"E14 overload: latency, rejections and the degradation ladder\",\n  \"queries_per_client\": {per_client},\n  \"points\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overload.json");
+    std::fs::write(path, json).expect("write BENCH_overload.json");
+    println!("e14_overload: wrote {path}");
+}

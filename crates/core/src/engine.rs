@@ -19,14 +19,17 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use acoi::{DetectorRegistry, Fde, Fds, MaintenanceReport, MetaIndex, RevisionLevel, Token};
-use faults::FaultPlan;
+use faults::{Budget, FaultPlan};
 use feagram::{FeatureValue, Grammar};
 use monet::storage::{write_atomic, FsBackend, StorageBackend};
 use monet::wal::{Wal, WalHandle};
 use monetxml::XmlStore;
 use webspace::{AttrValue, MaterializedView, MediaType, Retriever, WebspaceIndex, WebspaceSchema};
 
-use crate::error::{Error, Result};
+use crate::admission::{
+    AdmissionConfig, AdmissionGate, OverloadLevel, OverloadStatus, QueryOutcome,
+};
+use crate::error::{Error, PartialProgress, Result};
 use crate::persist::{
     self, Manifest, RecoveryReport, MANIFEST, MANIFEST_PREV, WAL_DIR,
 };
@@ -128,6 +131,9 @@ pub struct Engine {
     /// Wired in by [`Engine::persist_to`] / [`Engine::open`]: the
     /// storage backend, WAL and current checkpoint generation.
     durability: Option<Durability>,
+    /// The admission gate and degradation ladder. Shared with any
+    /// [`crate::admission::QueryService`] wrapping this engine.
+    admission: Arc<AdmissionGate>,
 }
 
 /// The durable half of an engine: where checkpoints live and the log
@@ -235,6 +241,56 @@ struct MediaEvidence {
     events: HashMap<String, bool>,
 }
 
+/// Undo log for the media-evidence memo: enough to roll a cancelled
+/// query's insertions back precisely (entries it created, shot lists it
+/// materialised on existing entries, event verdicts it memoised), so a
+/// budget cut-off leaves the cache exactly as found.
+#[derive(Default)]
+struct MediaUndo {
+    /// Locations whose cache entry this query created.
+    inserted: Vec<String>,
+    /// Pre-existing entries whose `shots` went `None` → `Some`.
+    shots_set: Vec<String>,
+    /// `(location, event)` verdicts memoised onto pre-existing entries.
+    events_added: Vec<(String, String)>,
+}
+
+impl MediaUndo {
+    /// Records what the upcoming mutation of `location` for `event`
+    /// will change, judged against the cache's current state.
+    fn note(&mut self, cache: &HashMap<String, MediaEvidence>, location: &str, event: &str) {
+        match cache.get(location) {
+            None => self.inserted.push(location.to_owned()),
+            Some(ev) => {
+                if event == "netplay" {
+                    if ev.shots.is_none() {
+                        self.shots_set.push(location.to_owned());
+                    }
+                } else if !ev.events.contains_key(event) {
+                    self.events_added.push((location.to_owned(), event.to_owned()));
+                }
+            }
+        }
+    }
+
+    /// Reverts every recorded mutation.
+    fn apply(self, cache: &mut HashMap<String, MediaEvidence>) {
+        for location in self.inserted {
+            cache.remove(&location);
+        }
+        for location in self.shots_set {
+            if let Some(ev) = cache.get_mut(&location) {
+                ev.shots = None;
+            }
+        }
+        for (location, event) in self.events_added {
+            if let Some(ev) = cache.get_mut(&location) {
+                ev.events.remove(&event);
+            }
+        }
+    }
+}
+
 /// Shard status of the most recent text retrieval: how distributed (and
 /// how degraded) the ranking behind the current answer was.
 #[derive(Debug, Clone, PartialEq)]
@@ -277,6 +333,7 @@ impl Engine {
             faults_active,
             query_cache: QueryCache::new(QUERY_CACHE_CAPACITY),
             durability: None,
+            admission: AdmissionGate::new(AdmissionConfig::default()),
         })
     }
 
@@ -595,6 +652,29 @@ impl Engine {
         self.last_text_status.as_ref()
     }
 
+    /// The admission gate (shared; clones point at the same gate).
+    pub fn admission_gate(&self) -> Arc<AdmissionGate> {
+        Arc::clone(&self.admission)
+    }
+
+    /// Retunes the admission gate in place.
+    pub fn set_admission_config(&mut self, config: AdmissionConfig) {
+        self.admission.reconfigure(config);
+    }
+
+    /// Current overload state: ladder rung, gate occupancy, lifetime
+    /// admission counters and the recent transition log.
+    pub fn overload_status(&self) -> OverloadStatus {
+        self.admission.status()
+    }
+
+    /// Memoised media-evidence entries currently held (diagnostics; the
+    /// budget-cancellation property tests assert a cancelled query
+    /// leaves this count untouched).
+    pub fn media_cache_len(&self) -> usize {
+        self.media_cache.len()
+    }
+
     /// The detector registry (call counters for experiments).
     pub fn registry(&self) -> &DetectorRegistry {
         &self.registry
@@ -878,8 +958,27 @@ impl Engine {
     /// engines bypass the cache entirely: injection draws advance per
     /// call, so a replayed answer would freeze the failure dynamics.
     pub fn query(&mut self, q: &EngineQuery) -> Result<Vec<EngineHit>> {
-        if self.faults_active {
-            return self.query_uncached(q);
+        self.query_budgeted(q, &Budget::unlimited())
+    }
+
+    /// [`Engine::query`] under an end-to-end budget: a wall-clock
+    /// deadline, a work budget, or a cancellation flag, checked at loop
+    /// granularity in every layer — conceptual join expansion, text
+    /// scatter-gather, physical tuple scans, media-tree reconstruction.
+    ///
+    /// On expiry the query returns a typed [`Error::DeadlineExceeded`]
+    /// whose [`PartialProgress`] says which stage was cut and how far it
+    /// got, and the engine is left exactly as if the query never ran:
+    /// no answer is cached, memoised media evidence gathered by the
+    /// cancelled run is rolled back, and the last-text-status report is
+    /// restored. An unlimited budget is the plain [`Engine::query`]
+    /// path, byte for byte — same cache, same answers.
+    pub fn query_budgeted(&mut self, q: &EngineQuery, budget: &Budget) -> Result<Vec<EngineHit>> {
+        if self.faults_active || !budget.is_unlimited() {
+            // Fault-injected runs must replay the failure dynamics;
+            // budget-limited runs must not publish (possibly partial)
+            // work into the shared answer cache. Both bypass it.
+            return self.query_uncached_budgeted(q, budget);
         }
         let key = cache_key(q);
         let epochs = self.store_epochs();
@@ -887,7 +986,7 @@ impl Engine {
             self.last_text_status = answer.text_status;
             return Ok(answer.hits);
         }
-        let hits = self.query_uncached(q)?;
+        let hits = self.query_uncached_budgeted(q, budget)?;
         self.query_cache.insert(
             key,
             CachedAnswer {
@@ -897,6 +996,100 @@ impl Engine {
             },
         );
         Ok(hits)
+    }
+
+    /// Executes `q` at the fidelity the degradation ladder asks for.
+    ///
+    /// * `Healthy` / `Pressured` — the full-fidelity path (Pressured
+    ///   changes nothing about evaluation; the answer cache, consulted
+    ///   on every unlimited-budget query, is what absorbs the repeat
+    ///   traffic).
+    /// * `Brownout` / `Shedding` — the browned-out plan: the text
+    ///   ranking's top-N and the result limit are halved, and the
+    ///   media-event refinement — the most expensive stage, every
+    ///   candidate's parse tree reconstructed from the physical store —
+    ///   is skipped. Each cut is recorded in
+    ///   [`QueryOutcome::degraded`] and priced into
+    ///   [`QueryOutcome::quality`], so a browned-out answer is honest
+    ///   about what it is. Degraded answers are never cached.
+    ///
+    /// The quality stamp also folds in the text layer's shard survival
+    /// (a degraded distributed ranking is a quality loss whatever the
+    /// ladder says).
+    pub fn query_degraded(
+        &mut self,
+        q: &EngineQuery,
+        budget: &Budget,
+        level: OverloadLevel,
+    ) -> Result<QueryOutcome> {
+        if level < OverloadLevel::Brownout {
+            let hits = self.query_budgeted(q, budget)?;
+            let quality = self
+                .last_text_status
+                .as_ref()
+                .map(|s| s.quality)
+                .unwrap_or(1.0);
+            let degraded = match &self.last_text_status {
+                Some(s) if s.shards_failed > 0 => vec![format!(
+                    "DEGRADED: {} of {} text servers answered",
+                    s.shards_ok,
+                    s.shards_ok + s.shards_failed
+                )],
+                _ => Vec::new(),
+            };
+            return Ok(QueryOutcome {
+                hits,
+                quality,
+                level,
+                degraded,
+            });
+        }
+
+        let mut plan = q.clone();
+        let mut quality = 1.0_f64;
+        let mut degraded = Vec::new();
+        if let Some(text) = &mut plan.text {
+            let wanted = text.top_n;
+            text.top_n = (wanted / 2).max(1);
+            if text.top_n < wanted {
+                quality *= text.top_n as f64 / wanted as f64;
+                degraded.push(format!(
+                    "DEGRADED: text ranking truncated to top-{} (asked top-{wanted})",
+                    text.top_n
+                ));
+            }
+        }
+        let wanted_limit = plan.limit;
+        plan.limit = (wanted_limit / 2).max(1);
+        if plan.limit < wanted_limit {
+            degraded.push(format!(
+                "DEGRADED: result limit cut to {} (asked {wanted_limit})",
+                plan.limit
+            ));
+        }
+        if plan.media.take().is_some() {
+            quality *= 0.5;
+            degraded.push(
+                "DEGRADED: media-event refinement skipped (candidates unverified)".to_owned(),
+            );
+        }
+        let hits = self.query_uncached_budgeted(&plan, budget)?;
+        if let Some(status) = &self.last_text_status {
+            quality *= status.quality;
+            if status.shards_failed > 0 {
+                degraded.push(format!(
+                    "DEGRADED: {} of {} text servers answered",
+                    status.shards_ok,
+                    status.shards_ok + status.shards_failed
+                ));
+            }
+        }
+        Ok(QueryOutcome {
+            hits,
+            quality,
+            level,
+            degraded,
+        })
     }
 
     /// Hit/miss counters of the query-answer cache since engine
@@ -921,9 +1114,54 @@ impl Engine {
         )
     }
 
-    fn query_uncached(&mut self, q: &EngineQuery) -> Result<Vec<EngineHit>> {
-        // 1. Conceptual selection and joins.
-        let rows = self.webspace.execute(&q.conceptual)?;
+    /// The uncached execution path, with cancellation hygiene: when the
+    /// budget is limited, any error restores the engine's query-visible
+    /// state — memoised media evidence, the last-text-status report —
+    /// to what it was before the call, so a cancelled query is
+    /// indistinguishable from one that never ran. (Unlimited budgets
+    /// keep the historical behaviour: partial memoisation survives an
+    /// error, which is harmless because nothing partial is derived from
+    /// a *failed* unlimited query either.)
+    pub(crate) fn query_uncached_budgeted(
+        &mut self,
+        q: &EngineQuery,
+        budget: &Budget,
+    ) -> Result<Vec<EngineHit>> {
+        let saved_status = if budget.is_unlimited() {
+            None
+        } else {
+            Some(self.last_text_status.clone())
+        };
+        let mut undo = MediaUndo::default();
+        let out = self.query_core(q, budget, &mut undo);
+        if out.is_err() {
+            if let Some(saved) = saved_status {
+                self.last_text_status = saved;
+                undo.apply(&mut self.media_cache);
+            }
+        }
+        out
+    }
+
+    fn query_core(
+        &mut self,
+        q: &EngineQuery,
+        budget: &Budget,
+        undo: &mut MediaUndo,
+    ) -> Result<Vec<EngineHit>> {
+        // A budget that is already spent (or cancelled) fails before
+        // any work: the admission phase.
+        budget.check().map_err(|cause| Error::DeadlineExceeded {
+            partial: PartialProgress {
+                phase: "admission".into(),
+                completed: 0,
+            },
+            cause,
+        })?;
+
+        // 1. Conceptual selection and joins (one work unit per seed
+        //    candidate and per expanded join row).
+        let rows = self.webspace.execute_budgeted(&q.conceptual, budget)?;
 
         // 2. Ranked text retrieval on the start class. The optimizer
         //    choice: global ranking merged afterwards, or ranking
@@ -940,14 +1178,13 @@ impl Engine {
                     .map(|id| text_doc_key(id, &text.attr))
                     .collect();
                 self.text
-                    .query_restricted(&text.query, text.top_n, &candidates)
-                    .map_err(Error::Ir)?
+                    .query_restricted_budgeted(&text.query, text.top_n, &candidates, budget)?
             } else {
                 // Parallel, isolated evaluation: failed servers drop
-                // out and the merge ranks the survivors.
+                // out and the merge ranks the survivors; the per-shard
+                // deadline shrinks to the budget's remaining window.
                 self.text
-                    .query_parallel(&text.query, text.top_n)
-                    .map_err(Error::Ir)?
+                    .query_parallel_budgeted(&text.query, text.top_n, budget)?
             };
             self.last_text_status = Some(TextQueryStatus {
                 shards_ok: result.shards_ok,
@@ -980,6 +1217,15 @@ impl Engine {
             };
 
             let (video, shots) = if let Some(media) = &q.media {
+                // One work unit per candidate refined; `completed`
+                // reports the hits already assembled.
+                budget.consume(1).map_err(|cause| Error::DeadlineExceeded {
+                    partial: PartialProgress {
+                        phase: "media".into(),
+                        completed: out.len(),
+                    },
+                    cause,
+                })?;
                 // The event must exist in the grammar — an atom-paired
                 // whitebox detector (netplay, isInterview, …).
                 if self.grammar.detector(&media.event).is_none() {
@@ -1007,13 +1253,21 @@ impl Engine {
                     None => true,
                 };
                 let tree = if need_tree {
-                    match self.meta.tree(&self.grammar, &location) {
+                    match self.meta.tree_budgeted(&self.grammar, &location, budget) {
                         Ok(t) => t,
+                        // A broken stored tree is skipped (historical
+                        // behaviour) — but a budget cut-off mid-
+                        // reconstruction must surface, not silently
+                        // drop the candidate.
+                        Err(e @ acoi::Error::Storage(monetxml::Error::DeadlineExceeded {
+                            ..
+                        })) => return Err(Error::from(e)),
                         Err(_) => continue,
                     }
                 } else {
                     acoi::ParseTree::new()
                 };
+                undo.note(&self.media_cache, &location, &media.event);
                 let evidence = self.media_cache.entry(location.clone()).or_default();
                 if media.event == "netplay" {
                     // Video events answer at shot granularity.

@@ -1,6 +1,29 @@
 //! Error type of the integrated engine.
 
 use std::fmt;
+use std::time::Duration;
+
+/// How far a budget-cancelled query got before it was cut off.
+///
+/// `phase` names the evaluation stage the budget expired in
+/// (`"admission"`, `"conceptual"`, `"text"`, `"physical"` or
+/// `"media"`); `completed` counts the units that stage had finished —
+/// rows expanded, server answers merged, nodes reconstructed,
+/// candidates refined — so callers can judge whether retrying with a
+/// bigger budget is worthwhile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialProgress {
+    /// Evaluation stage the budget expired in.
+    pub phase: String,
+    /// Units of work that stage completed before the cut-off.
+    pub completed: usize,
+}
+
+impl fmt::Display for PartialProgress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} phase, {} unit(s) done", self.phase, self.completed)
+    }
+}
 
 /// Errors from any of the three levels, unified.
 #[derive(Debug)]
@@ -23,6 +46,24 @@ pub enum Error {
     Persist(monet::Error),
     /// Recovery failed: no valid checkpoint generation could be loaded.
     Recovery(String),
+    /// The admission gate turned the query away: every execution slot
+    /// and queue position is taken (or the ladder is shedding this
+    /// priority class). Not a failure of the query itself — retrying
+    /// after roughly `retry_after_hint` has a good chance of admission.
+    Overloaded {
+        /// Estimated wait until a slot frees up, from recent service
+        /// latency and current occupancy.
+        retry_after_hint: Duration,
+    },
+    /// The query's end-to-end budget (wall-clock deadline, work budget
+    /// or explicit cancellation) expired mid-evaluation. The engine
+    /// state is left exactly as if the query never ran.
+    DeadlineExceeded {
+        /// How far evaluation got before the cut-off.
+        partial: PartialProgress,
+        /// Which budget dimension ran out.
+        cause: faults::BudgetExceeded,
+    },
 }
 
 impl fmt::Display for Error {
@@ -37,6 +78,14 @@ impl fmt::Display for Error {
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::Persist(e) => write!(f, "durable storage: {e}"),
             Error::Recovery(m) => write!(f, "recovery failed: {m}"),
+            Error::Overloaded { retry_after_hint } => write!(
+                f,
+                "overloaded: admission refused, retry after ~{}ms",
+                retry_after_hint.as_millis()
+            ),
+            Error::DeadlineExceeded { partial, cause } => {
+                write!(f, "query budget expired ({cause}) in the {partial}")
+            }
         }
     }
 }
@@ -50,6 +99,7 @@ impl std::error::Error for Error {
             Error::Xml(e) => Some(e),
             Error::Ir(e) => Some(e),
             Error::Persist(e) => Some(e),
+            Error::DeadlineExceeded { cause, .. } => Some(cause),
             _ => None,
         }
     }
@@ -61,14 +111,41 @@ impl From<monet::Error> for Error {
     }
 }
 
+// The conversions below lift the typed budget errors of every layer
+// into [`Error::DeadlineExceeded`] instead of burying them in the
+// layer's wrapper variant, so callers can match one variant no matter
+// which stage the budget expired in.
+
 impl From<webspace::Error> for Error {
     fn from(e: webspace::Error) -> Self {
-        Error::Webspace(e)
+        match e {
+            webspace::Error::DeadlineExceeded { rows, cause } => Error::DeadlineExceeded {
+                partial: PartialProgress {
+                    phase: "conceptual".into(),
+                    completed: rows,
+                },
+                cause,
+            },
+            other => Error::Webspace(other),
+        }
     }
 }
 impl From<acoi::Error> for Error {
     fn from(e: acoi::Error) -> Self {
-        Error::Acoi(e)
+        match e {
+            // A budget cut-off while loading a stored parse tree is the
+            // media-refinement stage of the integrated query.
+            acoi::Error::Storage(monetxml::Error::DeadlineExceeded { nodes, cause }) => {
+                Error::DeadlineExceeded {
+                    partial: PartialProgress {
+                        phase: "media".into(),
+                        completed: nodes,
+                    },
+                    cause,
+                }
+            }
+            other => Error::Acoi(other),
+        }
     }
 }
 impl From<feagram::Error> for Error {
@@ -78,12 +155,33 @@ impl From<feagram::Error> for Error {
 }
 impl From<monetxml::Error> for Error {
     fn from(e: monetxml::Error) -> Self {
-        Error::Xml(e)
+        match e {
+            monetxml::Error::DeadlineExceeded { nodes, cause } => Error::DeadlineExceeded {
+                partial: PartialProgress {
+                    phase: "physical".into(),
+                    completed: nodes,
+                },
+                cause,
+            },
+            other => Error::Xml(other),
+        }
     }
 }
 impl From<ir::Error> for Error {
     fn from(e: ir::Error) -> Self {
-        Error::Ir(e)
+        match e {
+            ir::Error::DeadlineExceeded {
+                shards_answered,
+                cause,
+            } => Error::DeadlineExceeded {
+                partial: PartialProgress {
+                    phase: "text".into(),
+                    completed: shards_answered,
+                },
+                cause,
+            },
+            other => Error::Ir(other),
+        }
     }
 }
 

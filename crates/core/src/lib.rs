@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod ausopen;
 pub mod engine;
 pub mod error;
@@ -59,8 +60,12 @@ pub mod qlang;
 pub mod query;
 pub mod shots;
 
+pub use admission::{
+    AdmissionConfig, AdmissionGate, LevelTransition, OverloadLevel, OverloadStatus, Permit,
+    Priority, QueryOutcome, QueryService,
+};
 pub use engine::{Engine, EngineConfig, PopulateOptions, PopulateReport, TextQueryStatus};
-pub use error::{Error, Result};
+pub use error::{Error, PartialProgress, Result};
 pub use persist::RecoveryReport;
 pub use query::{EngineHit, EngineQuery, MediaPredicate, TextPredicate};
 pub use shots::{video_shots, ShotMeta};

@@ -37,6 +37,11 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+pub mod budget;
+
+pub use budget::{Budget, BudgetExceeded};
 
 /// What the injection point should do for one call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -172,6 +177,38 @@ impl IoFaultSpec {
     }
 }
 
+/// Per-label latency injection: how slow a site should be, without
+/// being *dead*. Overload is mostly a latency phenomenon — a shard
+/// that answers in 80 ms instead of 2 ms backs queues up long before
+/// anything reports an error — so the load harness injects delays,
+/// not faults, to push the engine into its degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DelaySpec {
+    /// Probability that a call is delayed at all (0 = never, 1 = every
+    /// call).
+    pub probability: f64,
+    /// How long a delayed call stalls before proceeding normally.
+    pub delay: Duration,
+}
+
+impl DelaySpec {
+    /// Delays every call by `delay`.
+    pub fn always(delay: Duration) -> Self {
+        DelaySpec {
+            probability: 1.0,
+            delay,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.probability),
+            "delay probability {} must be within [0, 1]",
+            self.probability
+        );
+    }
+}
+
 #[derive(Debug, Default)]
 struct SiteState {
     spec: Option<FaultSpec>,
@@ -186,6 +223,12 @@ struct SiteState {
     io_script: Vec<IoFault>,
     io_consumed: usize,
     io_calls: u64,
+    /// Latency half of the site: again its own spec, schedule and
+    /// counter, so making a label slow never shifts its fault stream.
+    delay_spec: Option<DelaySpec>,
+    delay_schedule: Vec<Duration>,
+    delay_consumed: usize,
+    delay_calls: u64,
 }
 
 /// A deterministic fault schedule shared by every injection point.
@@ -407,6 +450,78 @@ impl FaultPlan {
             return IoFault::FsyncFail;
         }
         IoFault::None
+    }
+
+    /// Sets the probabilistic latency spec for one label (builder
+    /// style).
+    pub fn with_delay_site(self, label: impl Into<String>, spec: DelaySpec) -> Self {
+        self.set_delay_site(label, spec);
+        self
+    }
+
+    /// Prepends a scripted per-call delay schedule for one label
+    /// (builder style): call *k* stalls for `schedule[k]`, after which
+    /// the label falls back to its probabilistic delay spec.
+    pub fn with_delay_schedule(self, label: impl Into<String>, schedule: Vec<Duration>) -> Self {
+        self.set_delay_schedule(label, schedule);
+        self
+    }
+
+    /// Replaces the probabilistic latency spec for `label` at runtime —
+    /// e.g. to let a slow shard recover mid-run.
+    pub fn set_delay_site(&self, label: impl Into<String>, spec: DelaySpec) {
+        spec.validate();
+        let mut sites = self.sites.lock().expect("fault plan poisoned");
+        sites.entry(label.into()).or_default().delay_spec = Some(spec);
+    }
+
+    /// Replaces the scripted delay schedule for `label` at runtime.
+    pub fn set_delay_schedule(&self, label: impl Into<String>, schedule: Vec<Duration>) {
+        let mut sites = self.sites.lock().expect("fault plan poisoned");
+        let site = sites.entry(label.into()).or_default();
+        site.delay_schedule = schedule;
+        site.delay_consumed = 0;
+    }
+
+    /// Decides how long the next call at `label` should stall before
+    /// proceeding, advancing the per-label delay counter. Returns
+    /// [`Duration::ZERO`] for an undelayed call. The injection point is
+    /// responsible for actually sleeping — the plan only decides.
+    ///
+    /// Like every other decision, the outcome is a pure function of
+    /// `(seed, label, per-label delay call count)`, on a stream
+    /// independent of [`FaultPlan::decide`] and [`FaultPlan::decide_io`].
+    pub fn decide_delay(&self, label: &str) -> Duration {
+        let mut sites = self.sites.lock().expect("fault plan poisoned");
+        let site = sites.entry(label.to_owned()).or_default();
+        let call = site.delay_calls;
+        site.delay_calls += 1;
+        if site.delay_consumed < site.delay_schedule.len() {
+            let delay = site.delay_schedule[site.delay_consumed];
+            site.delay_consumed += 1;
+            return delay;
+        }
+        let Some(spec) = site.delay_spec else {
+            return Duration::ZERO;
+        };
+        let word = splitmix(
+            self.seed ^ label_hash(label).rotate_left(13) ^ call.wrapping_mul(0xC2B2_AE3D),
+        );
+        let draw = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if draw < spec.probability {
+            spec.delay
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Total delay decisions made for `label` so far.
+    pub fn delay_calls(&self, label: &str) -> u64 {
+        self.sites
+            .lock()
+            .expect("fault plan poisoned")
+            .get(label)
+            .map_or(0, |s| s.delay_calls)
     }
 
     /// Total I/O operations decided for `label` so far.
@@ -646,6 +761,79 @@ mod tests {
                 IoFault::None
             );
         }
+    }
+
+    #[test]
+    fn zero_plan_never_delays() {
+        let plan = FaultPlan::none();
+        for _ in 0..200 {
+            assert_eq!(plan.decide_delay("shard:0"), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn delay_decisions_are_deterministic_and_leave_fault_streams_alone() {
+        let spec = DelaySpec {
+            probability: 0.5,
+            delay: Duration::from_millis(40),
+        };
+        let observe = |seed| {
+            let plan = FaultPlan::seeded(seed).with_delay_site("shard:1", spec);
+            (0..200)
+                .map(|_| plan.decide_delay("shard:1"))
+                .collect::<Vec<_>>()
+        };
+        let a = observe(42);
+        assert_eq!(a, observe(42));
+        assert_ne!(a, observe(43));
+        assert!(a.contains(&Duration::ZERO));
+        assert!(a.contains(&Duration::from_millis(40)));
+        // Interleaving delay decisions must not shift the fault stream.
+        let faults_alone = |seed| {
+            let plan = FaultPlan::seeded(seed).with_site("shard:1", FaultSpec::errors(0.5));
+            (0..100).map(|_| plan.decide("shard:1")).collect::<Vec<_>>()
+        };
+        let plan = FaultPlan::seeded(9)
+            .with_site("shard:1", FaultSpec::errors(0.5))
+            .with_delay_site("shard:1", spec);
+        let interleaved: Vec<_> = (0..100)
+            .map(|_| {
+                let _ = plan.decide_delay("shard:1");
+                plan.decide("shard:1")
+            })
+            .collect();
+        assert_eq!(interleaved, faults_alone(9));
+    }
+
+    #[test]
+    fn delay_schedules_run_before_delay_probabilities() {
+        let plan = FaultPlan::seeded(3)
+            .with_delay_schedule(
+                "rpc:tennis",
+                vec![Duration::from_millis(5), Duration::from_millis(10)],
+            )
+            .with_delay_site("rpc:tennis", DelaySpec::default());
+        assert_eq!(plan.decide_delay("rpc:tennis"), Duration::from_millis(5));
+        assert_eq!(plan.decide_delay("rpc:tennis"), Duration::from_millis(10));
+        for _ in 0..20 {
+            assert_eq!(plan.decide_delay("rpc:tennis"), Duration::ZERO);
+        }
+        assert_eq!(plan.delay_calls("rpc:tennis"), 22);
+        // A site can recover (or degrade) at runtime.
+        plan.set_delay_site("rpc:tennis", DelaySpec::always(Duration::from_millis(1)));
+        assert_eq!(plan.decide_delay("rpc:tennis"), Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "delay probability")]
+    fn out_of_range_delay_probabilities_are_rejected() {
+        let _ = FaultPlan::none().with_delay_site(
+            "s",
+            DelaySpec {
+                probability: 1.5,
+                delay: Duration::from_millis(1),
+            },
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use faults::{FaultAction, FaultPlan};
+use faults::{Budget, FaultAction, FaultPlan};
 
 use crate::error::{Error, Result};
 use crate::index::{QueryWork, ScoreModel, SearchHit, TextIndex};
@@ -55,7 +55,7 @@ pub struct DistributedIndex {
 }
 
 /// Outcome of a distributed query.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DistributedResult {
     /// The merged master ranking (of the surviving servers).
     pub hits: Vec<SearchHit>,
@@ -72,12 +72,39 @@ pub struct DistributedResult {
     /// the fraction of the collection's documents held by surviving
     /// servers. `1.0` means the ranking is complete.
     pub quality: f64,
+    /// Wall-clock time each server took to answer (shard order). A
+    /// timed-out server reports the full collection window it was
+    /// given; serial evaluations report the per-shard measurement. The
+    /// brownout controller consumes these to spot slow-but-alive
+    /// servers before they start missing deadlines.
+    pub shard_elapsed: Vec<Duration>,
+}
+
+/// Equality ignores `shard_elapsed`: two results are equal when they
+/// rank the same answer with the same degradation accounting. Timing
+/// is a diagnostic, never a semantic part of the answer — byte-identity
+/// tests across serial/parallel evaluation rely on this.
+impl PartialEq for DistributedResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.hits == other.hits
+            && self.per_shard_work == other.per_shard_work
+            && self.shards_ok == other.shards_ok
+            && self.shards_failed == other.shards_failed
+            && self.failed_shards == other.failed_shards
+            && self.quality == other.quality
+    }
 }
 
 impl DistributedResult {
     /// Whether any server dropped out of this answer.
     pub fn is_degraded(&self) -> bool {
         self.shards_failed > 0
+    }
+
+    /// The slowest server's elapsed time — the scatter-gather critical
+    /// path.
+    pub fn slowest_shard(&self) -> Duration {
+        self.shard_elapsed.iter().copied().max().unwrap_or_default()
     }
 }
 
@@ -266,10 +293,13 @@ impl DistributedIndex {
     pub fn query_serial(&mut self, text: &str, k: usize) -> Result<DistributedResult> {
         let sizes = self.shard_sizes();
         let mut locals = Vec::with_capacity(self.shards.len());
+        let mut elapsed = Vec::with_capacity(self.shards.len());
         for shard in &mut self.shards {
+            let start = Instant::now();
             locals.push(Some(shard.query(text, k)?));
+            elapsed.push(start.elapsed());
         }
-        Ok(merge(locals, &sizes, k))
+        Ok(merge(locals, &sizes, k, elapsed))
     }
 
     /// Candidate-restricted evaluation: each server ranks only the
@@ -284,12 +314,34 @@ impl DistributedIndex {
         k: usize,
         candidates: &std::collections::HashSet<String>,
     ) -> Result<DistributedResult> {
+        self.query_restricted_budgeted(text, k, candidates, &Budget::unlimited())
+    }
+
+    /// [`query_restricted`] under a caller budget: one work unit per
+    /// server, with a typed [`Error::DeadlineExceeded`] the moment the
+    /// budget runs out (carrying how many servers already answered).
+    ///
+    /// [`query_restricted`]: DistributedIndex::query_restricted
+    pub fn query_restricted_budgeted(
+        &mut self,
+        text: &str,
+        k: usize,
+        candidates: &std::collections::HashSet<String>,
+        budget: &Budget,
+    ) -> Result<DistributedResult> {
         let sizes = self.shard_sizes();
         let mut locals = Vec::with_capacity(self.shards.len());
-        for shard in &mut self.shards {
+        let mut elapsed = Vec::with_capacity(self.shards.len());
+        for (answered, shard) in self.shards.iter_mut().enumerate() {
+            budget.consume(1).map_err(|cause| Error::DeadlineExceeded {
+                shards_answered: answered,
+                cause,
+            })?;
+            let start = Instant::now();
             locals.push(Some(shard.query_restricted(text, k, candidates)?));
+            elapsed.push(start.elapsed());
         }
-        Ok(merge(locals, &sizes, k))
+        Ok(merge(locals, &sizes, k, elapsed))
     }
 
     /// Parallel evaluation: one scoped thread per server (shared-nothing,
@@ -302,22 +354,56 @@ impl DistributedIndex {
     /// ranks whatever survived; [`Error::AllShardsFailed`] is returned
     /// only when no server answered.
     pub fn query_parallel(&mut self, text: &str, k: usize) -> Result<DistributedResult> {
+        self.query_parallel_budgeted(text, k, &Budget::unlimited())
+    }
+
+    /// [`query_parallel`] under a caller budget. The collection window
+    /// is no longer the constant shard deadline: it is the *minimum* of
+    /// the configured shard deadline and the budget's remaining
+    /// wall-clock time, so a query that has already spent most of its
+    /// end-to-end deadline gives its servers only what is left.
+    /// Stragglers past the window are dropped and the survivors merged,
+    /// exactly like the unbudgeted degraded mode; the typed
+    /// [`Error::DeadlineExceeded`] is returned only when the budget
+    /// leaves no room to collect anything (or its work allowance runs
+    /// out mid-gather, one unit per answering server).
+    ///
+    /// [`query_parallel`]: DistributedIndex::query_parallel
+    pub fn query_parallel_budgeted(
+        &mut self,
+        text: &str,
+        k: usize,
+        budget: &Budget,
+    ) -> Result<DistributedResult> {
+        budget.check().map_err(|cause| Error::DeadlineExceeded {
+            shards_answered: 0,
+            cause,
+        })?;
         let n = self.shards.len();
         let sizes = self.shard_sizes();
         let plan = self.faults.clone();
         let hang = self.hang;
-        let deadline = Instant::now() + self.shard_deadline;
+        let window = match budget.remaining_time() {
+            Some(left) => left.min(self.shard_deadline),
+            None => self.shard_deadline,
+        };
+        let deadline = Instant::now() + window;
         let mut slots: Vec<Option<ShardAnswer>> = (0..n).map(|_| None).collect();
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, ShardAnswer)>();
+        // A server that never answers burned its whole window.
+        let mut elapsed: Vec<Duration> = vec![window; n];
+        let mut answered = 0usize;
+        let mut budget_stop = None;
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, ShardAnswer, Duration)>();
         crossbeam::thread::scope(|scope| {
             for (i, shard) in self.shards.iter_mut().enumerate() {
                 let tx = tx.clone();
                 let plan = plan.clone();
                 scope.spawn(move |_| {
+                    let start = Instant::now();
                     let answer = run_shard(shard, text, k, i, plan.as_deref(), hang);
                     // The central node may have stopped listening; the
                     // answer is then simply dropped.
-                    let _ = tx.send((i, answer));
+                    let _ = tx.send((i, answer, start.elapsed()));
                 });
             }
             drop(tx);
@@ -331,8 +417,16 @@ impl DistributedIndex {
                     break;
                 }
                 match rx.recv_timeout(remaining) {
-                    Ok((i, answer)) => {
+                    Ok((i, answer, took)) => {
+                        if answer.is_ok() {
+                            if let Err(cause) = budget.consume(1) {
+                                budget_stop = Some(cause);
+                                break;
+                            }
+                            answered += 1;
+                        }
                         slots[i] = Some(answer);
+                        elapsed[i] = took;
                         pending -= 1;
                     }
                     Err(_) => break,
@@ -340,6 +434,12 @@ impl DistributedIndex {
             }
         })
         .map_err(|_| Error::Config("the central query node panicked".into()))?;
+        if let Some(cause) = budget_stop {
+            return Err(Error::DeadlineExceeded {
+                shards_answered: answered,
+                cause,
+            });
+        }
 
         let mut locals = Vec::with_capacity(n);
         let mut causes = Vec::new();
@@ -351,23 +451,29 @@ impl DistributedIndex {
                     locals.push(None);
                 }
                 None => {
-                    causes.push(format!(
-                        "shard {i}: no answer within {:?}",
-                        self.shard_deadline
-                    ));
+                    causes.push(format!("shard {i}: no answer within {window:?}"));
                     locals.push(None);
                 }
             }
         }
         if locals.iter().all(Option::is_none) {
+            // Distinguish "every server is broken" from "the budget
+            // left the servers no time to answer".
+            if let Err(cause) = budget.check() {
+                return Err(Error::DeadlineExceeded {
+                    shards_answered: 0,
+                    cause,
+                });
+            }
             return Err(Error::AllShardsFailed(causes.join("; ")));
         }
-        Ok(merge(locals, &sizes, k))
+        Ok(merge(locals, &sizes, k, elapsed))
     }
 }
 
-/// One server's side of the query: consult the fault plan, then run the
-/// local top-`k` with panics contained.
+/// One server's side of the query: consult the fault plan (latency
+/// first — a slow server is still expected to answer — then the
+/// fault action), then run the local top-`k` with panics contained.
 fn run_shard(
     shard: &mut TextIndex,
     text: &str,
@@ -377,7 +483,12 @@ fn run_shard(
     hang: Duration,
 ) -> ShardAnswer {
     if let Some(plan) = plan {
-        match plan.decide(&format!("shard:{i}")) {
+        let label = format!("shard:{i}");
+        let delay = plan.decide_delay(&label);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        match plan.decide(&label) {
             FaultAction::None => {}
             FaultAction::Error => return Err("injected transport error".into()),
             FaultAction::Garbage => return Err("undecodable server response".into()),
@@ -397,6 +508,7 @@ fn merge(
     locals: Vec<Option<(Vec<SearchHit>, QueryWork)>>,
     sizes: &[usize],
     k: usize,
+    shard_elapsed: Vec<Duration>,
 ) -> DistributedResult {
     let mut per_shard_work = Vec::with_capacity(locals.len());
     let mut failed_shards = Vec::new();
@@ -430,6 +542,7 @@ fn merge(
         failed_shards,
         quality,
         per_shard_work,
+        shard_elapsed,
     }
 }
 
@@ -616,6 +729,94 @@ mod tests {
             }
             other => panic!("expected AllShardsFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn elapsed_is_recorded_per_shard() {
+        let mut d = build(4, 120);
+        let serial = d.query_serial("winner", 10).unwrap();
+        assert_eq!(serial.shard_elapsed.len(), 4);
+        let parallel = d.query_parallel("winner", 10).unwrap();
+        assert_eq!(parallel.shard_elapsed.len(), 4);
+        assert!(parallel.slowest_shard() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn shard_window_is_derived_from_the_remaining_budget() {
+        // A hung server with a *long* configured shard deadline: the
+        // caller's almost-spent budget must clamp the collection
+        // window, so the query degrades quickly instead of waiting the
+        // full constant.
+        let mut d = build(4, 120);
+        d.set_fault_plan(
+            FaultPlan::seeded(6)
+                .with_script("shard:2", vec![FaultAction::Hang])
+                .shared(),
+        );
+        d.set_shard_deadline(Duration::from_secs(10));
+        d.set_hang_duration(Duration::from_millis(300));
+        let budget = Budget::with_deadline(Duration::from_millis(60));
+        let start = Instant::now();
+        let r = d
+            .query_parallel_budgeted("winner", 10, &budget)
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "budget did not clamp the shard window: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(r.failed_shards, vec![2]);
+        assert!(r.quality < 1.0);
+        // The straggler is charged the whole (clamped) window.
+        assert!(r.shard_elapsed[2] <= Duration::from_millis(60));
+    }
+
+    #[test]
+    fn an_expired_budget_is_a_typed_deadline_error() {
+        let mut d = build(3, 60);
+        let budget = Budget::with_work(0);
+        match d.query_parallel_budgeted("winner", 10, &budget) {
+            Err(Error::DeadlineExceeded {
+                shards_answered, ..
+            }) => assert_eq!(shards_answered, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let candidates: std::collections::HashSet<String> =
+            corpus(60).into_iter().map(|(url, _)| url).collect();
+        match d.query_restricted_budgeted("winner", 10, &candidates, &Budget::with_work(1)) {
+            Err(Error::DeadlineExceeded {
+                shards_answered,
+                cause,
+            }) => {
+                assert_eq!(shards_answered, 1);
+                assert_eq!(cause, faults::BudgetExceeded::Work);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delayed_shards_still_answer_within_the_window() {
+        let mut d = build(4, 120);
+        d.set_fault_plan(
+            FaultPlan::none()
+                .shared(),
+        );
+        let plain = d.query_parallel("winner", 10).unwrap();
+        let mut slow = build(4, 120);
+        slow.set_fault_plan(
+            FaultPlan::seeded(8)
+                .with_delay_site(
+                    "shard:1",
+                    faults::DelaySpec::always(Duration::from_millis(20)),
+                )
+                .shared(),
+        );
+        let delayed = slow.query_parallel("winner", 10).unwrap();
+        // Slow is not dead: the answer is identical, only later.
+        assert_eq!(plain, delayed);
+        assert_eq!(delayed.shards_failed, 0);
+        assert!(delayed.shard_elapsed[1] >= Duration::from_millis(20));
     }
 
     #[test]

@@ -14,6 +14,16 @@ pub enum Error {
     /// Every distributed server failed to answer a query — there is no
     /// survivor left to degrade to.
     AllShardsFailed(String),
+    /// The caller's query budget expired before the evaluation
+    /// finished. Carries how far the scatter-gather got so upper
+    /// layers can report partial progress.
+    DeadlineExceeded {
+        /// Servers whose local rankings were already collected when
+        /// the budget ran out.
+        shards_answered: usize,
+        /// Which budget dimension expired.
+        cause: faults::BudgetExceeded,
+    },
 }
 
 impl fmt::Display for Error {
@@ -23,6 +33,13 @@ impl fmt::Display for Error {
             Error::Monet(e) => write!(f, "store error: {e}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::AllShardsFailed(m) => write!(f, "all servers failed: {m}"),
+            Error::DeadlineExceeded {
+                shards_answered,
+                cause,
+            } => write!(
+                f,
+                "query budget expired ({cause}) after {shards_answered} server answers"
+            ),
         }
     }
 }

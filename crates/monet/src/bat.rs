@@ -223,6 +223,28 @@ impl Bat {
         }
     }
 
+    /// [`Self::select_str_eq`] under a caller budget: one work unit
+    /// per tuple scanned, so even a physical-level relation scan is
+    /// cancellable at loop granularity. Returns the typed cause when
+    /// the budget runs out mid-scan.
+    pub fn select_str_eq_budgeted(
+        &self,
+        s: &str,
+        budget: &faults::Budget,
+    ) -> std::result::Result<Vec<Oid>, faults::BudgetExceeded> {
+        let Column::Str(vs) = &self.tail else {
+            return Ok(Vec::new());
+        };
+        let mut out = Vec::new();
+        for (h, v) in self.head.iter().zip(vs) {
+            budget.consume(1)?;
+            if v.as_str() == s {
+                out.push(*h);
+            }
+        }
+        Ok(out)
+    }
+
     /// Heads with integer tail equal to `i`.
     pub fn select_int_eq(&self, i: i64) -> Vec<Oid> {
         match &self.tail {

@@ -16,6 +16,13 @@ pub enum Error {
     Store(String),
     /// An underlying BAT-store error.
     Monet(monet::Error),
+    /// The caller's query budget expired mid-scan or mid-reconstruction.
+    DeadlineExceeded {
+        /// Nodes processed before expiry.
+        nodes: usize,
+        /// Which budget dimension expired.
+        cause: faults::BudgetExceeded,
+    },
 }
 
 impl fmt::Display for Error {
@@ -26,6 +33,9 @@ impl fmt::Display for Error {
             }
             Error::Store(msg) => write!(f, "store error: {msg}"),
             Error::Monet(e) => write!(f, "monet error: {e}"),
+            Error::DeadlineExceeded { nodes, cause } => {
+                write!(f, "query budget expired ({cause}) after {nodes} nodes")
+            }
         }
     }
 }

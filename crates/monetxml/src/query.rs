@@ -23,6 +23,17 @@ use crate::transform::{PARENT_RELATION, SYS_RELATION};
 
 /// All node oids at element path `path` — a single relation scan.
 pub fn nodes_at(store: &mut XmlStore, path: &Path) -> Result<Vec<Oid>> {
+    nodes_at_budgeted(store, path, &faults::Budget::unlimited())
+}
+
+/// [`nodes_at`] under a caller budget: the relation scan pays one work
+/// unit per tuple, so even the physical level cancels cooperatively
+/// with a typed [`Error::DeadlineExceeded`].
+pub fn nodes_at_budgeted(
+    store: &mut XmlStore,
+    path: &Path,
+    budget: &faults::Budget,
+) -> Result<Vec<Oid>> {
     if path.is_attr() {
         return Err(Error::Store(format!(
             "nodes_at expects an element path, got {path}"
@@ -31,18 +42,28 @@ pub fn nodes_at(store: &mut XmlStore, path: &Path) -> Result<Vec<Oid>> {
     if path.len() == 1 {
         // Root paths live in `sys`.
         let label = path.steps()[0].label().to_owned();
-        return Ok(store
-            .db()
-            .get(SYS_RELATION)
-            .map(|bat| bat.select_str_eq(&label))
-            .unwrap_or_default());
+        return match store.db().get(SYS_RELATION) {
+            Ok(bat) => bat
+                .select_str_eq_budgeted(&label, budget)
+                .map_err(|cause| Error::DeadlineExceeded { nodes: 0, cause }),
+            Err(_) => Ok(Vec::new()),
+        };
     }
     let rel = path.to_string();
     match store.db().get(&rel) {
-        Ok(bat) => Ok(bat
-            .iter()
-            .filter_map(|(_, v)| v.as_oid())
-            .collect()),
+        Ok(bat) => {
+            let mut out = Vec::new();
+            for (_, v) in bat.iter() {
+                budget.consume(1).map_err(|cause| Error::DeadlineExceeded {
+                    nodes: out.len(),
+                    cause,
+                })?;
+                if let Some(oid) = v.as_oid() {
+                    out.push(oid);
+                }
+            }
+            Ok(out)
+        }
         Err(_) => Ok(Vec::new()),
     }
 }
@@ -75,12 +96,26 @@ pub fn attr_values(store: &XmlStore, path: &Path, name: &str) -> Result<Vec<(Oid
 /// `(element, text)` pairs: the direct text content of every node at
 /// element path `path` (concatenating multiple PCDATA children).
 pub fn text_values(store: &mut XmlStore, path: &Path) -> Result<Vec<(Oid, String)>> {
+    text_values_budgeted(store, path, &faults::Budget::unlimited())
+}
+
+/// [`text_values`] under a caller budget: the node scan is budgeted and
+/// every text fetch pays one further work unit.
+pub fn text_values_budgeted(
+    store: &mut XmlStore,
+    path: &Path,
+    budget: &faults::Budget,
+) -> Result<Vec<(Oid, String)>> {
     let Some(sum) = store.summary().resolve(path) else {
         return Ok(Vec::new());
     };
-    let nodes = nodes_at(store, path)?;
+    let nodes = nodes_at_budgeted(store, path, budget)?;
     let mut out = Vec::with_capacity(nodes.len());
     for n in nodes {
+        budget.consume(1).map_err(|cause| Error::DeadlineExceeded {
+            nodes: out.len(),
+            cause,
+        })?;
         let text = store.direct_text(sum, n)?;
         if !text.is_empty() {
             out.push((n, text));
@@ -385,6 +420,35 @@ mod tests {
         let mut store = XmlStore::new();
         let root = store.bulkload_str("s.xml", FIGURE9_XML).unwrap();
         assert_eq!(extent_of(&mut store, &Path::root("image"), root), None);
+    }
+
+    #[test]
+    fn budgeted_scans_and_reconstruction_are_cancellable() {
+        let (mut store, root) = loaded();
+        let p = Path::root("image").child("colors").child("saturation");
+        let full = text_values(&mut store, &p).unwrap();
+        assert_eq!(
+            text_values_budgeted(&mut store, &p, &faults::Budget::unlimited()).unwrap(),
+            full
+        );
+        match text_values_budgeted(&mut store, &p, &faults::Budget::with_work(0)) {
+            Err(Error::DeadlineExceeded { cause, .. }) => {
+                assert_eq!(cause, faults::BudgetExceeded::Work);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // Reconstruction under a tiny budget fails typed; a generous
+        // one rebuilds the document unchanged.
+        match store.reconstruct_budgeted(root, &faults::Budget::with_work(2)) {
+            Err(Error::DeadlineExceeded { nodes, .. }) => assert!(nodes >= 1),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(
+            store
+                .reconstruct_budgeted(root, &faults::Budget::with_work(10_000))
+                .unwrap(),
+            figure9()
+        );
     }
 
     #[test]

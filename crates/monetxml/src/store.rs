@@ -359,6 +359,17 @@ impl XmlStore {
         transform::reconstruct(&mut self.db, &self.summary, root)
     }
 
+    /// Reconstructs under a caller budget (one work unit per node),
+    /// failing with a typed [`Error::DeadlineExceeded`] when it runs
+    /// out.
+    pub fn reconstruct_budgeted(
+        &mut self,
+        root: Oid,
+        budget: &faults::Budget,
+    ) -> Result<Document> {
+        transform::reconstruct_budgeted(&mut self.db, &self.summary, root, budget)
+    }
+
     /// The source name a document was loaded from.
     pub fn source_of(&mut self, root: Oid) -> Option<String> {
         self.db

@@ -296,6 +296,18 @@ fn walk(loader: &mut Loader<'_>, doc: &Document, node: NodeId) -> Result<()> {
 /// Reconstructs the document rooted at `root` — the inverse mapping
 /// `M⁻¹ₜ`; the result is isomorphic to the originally loaded document.
 pub fn reconstruct(db: &mut Db, summary: &PathSummary, root: Oid) -> Result<Document> {
+    reconstruct_budgeted(db, summary, root, &faults::Budget::unlimited())
+}
+
+/// [`reconstruct`] under a caller budget: one work unit per rebuilt
+/// node, so reconstructing a pathological document is cancellable at
+/// node granularity with a typed [`Error::DeadlineExceeded`].
+pub fn reconstruct_budgeted(
+    db: &mut Db,
+    summary: &PathSummary,
+    root: Oid,
+    budget: &faults::Budget,
+) -> Result<Document> {
     let root_tag = db
         .get_mut(SYS_RELATION)
         .map_err(Error::from)?
@@ -306,10 +318,15 @@ pub fn reconstruct(db: &mut Db, summary: &PathSummary, root: Oid) -> Result<Docu
         .child(summary.root(), &root_tag)
         .ok_or_else(|| Error::Store(format!("no schema node for root tag {root_tag}")))?;
 
+    let mut built = 0usize;
+    budget
+        .consume(1)
+        .map_err(|cause| Error::DeadlineExceeded { nodes: built, cause })?;
+    built += 1;
     let mut doc = Document::new(root_tag);
     let doc_root = doc.root();
     fill_attrs(db, summary, sum, root, &mut doc, doc_root)?;
-    fill_children(db, summary, sum, root, &mut doc, doc_root)?;
+    fill_children(db, summary, sum, root, &mut doc, doc_root, budget, &mut built)?;
     Ok(doc)
 }
 
@@ -340,6 +357,7 @@ fn fill_attrs(
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fill_children(
     db: &mut Db,
     summary: &PathSummary,
@@ -347,6 +365,8 @@ fn fill_children(
     oid: Oid,
     doc: &mut Document,
     node: NodeId,
+    budget: &faults::Budget,
+    built: &mut usize,
 ) -> Result<()> {
     // Gather children across all child path relations, with their ranks,
     // then rebuild sibling order by sorting on rank.
@@ -379,6 +399,11 @@ fn fill_children(
     kids.sort_unstable_by_key(|(rank, _, _)| *rank);
 
     for (_, child_sum, child_oid) in kids {
+        budget.consume(1).map_err(|cause| Error::DeadlineExceeded {
+            nodes: *built,
+            cause,
+        })?;
+        *built += 1;
         if summary.label(child_sum) == PCDATA_LABEL {
             let cdata_rel = summary
                 .attr_relation(child_sum, CDATA_ATTR)
@@ -394,7 +419,7 @@ fn fill_children(
         } else {
             let child_node = doc.add_element(node, summary.label(child_sum));
             fill_attrs(db, summary, child_sum, child_oid, doc, child_node)?;
-            fill_children(db, summary, child_sum, child_oid, doc, child_node)?;
+            fill_children(db, summary, child_sum, child_oid, doc, child_node, budget, built)?;
         }
     }
     Ok(())

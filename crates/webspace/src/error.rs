@@ -17,6 +17,14 @@ pub enum Error {
     Retriever(String),
     /// An underlying XML error.
     Xml(monetxml::Error),
+    /// The caller's query budget expired mid-join. Carries how many
+    /// result rows were already assembled when it ran out.
+    DeadlineExceeded {
+        /// Chain rows completed before expiry.
+        rows: usize,
+        /// Which budget dimension expired.
+        cause: faults::BudgetExceeded,
+    },
 }
 
 impl fmt::Display for Error {
@@ -28,6 +36,9 @@ impl fmt::Display for Error {
             Error::Query(m) => write!(f, "query error: {m}"),
             Error::Retriever(m) => write!(f, "retriever error: {m}"),
             Error::Xml(e) => write!(f, "{e}"),
+            Error::DeadlineExceeded { rows, cause } => {
+                write!(f, "query budget expired ({cause}) after {rows} rows")
+            }
         }
     }
 }

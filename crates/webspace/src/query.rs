@@ -220,6 +220,19 @@ impl WebspaceIndex {
 
     /// Executes a conceptual query.
     pub fn execute(&self, query: &ConceptualQuery) -> Result<Vec<QueryResult>> {
+        self.execute_budgeted(query, &faults::Budget::unlimited())
+    }
+
+    /// Executes a conceptual query under a caller budget: one work
+    /// unit per candidate row examined (seed objects and join
+    /// expansions alike), so a runaway join is cancelled at row
+    /// granularity with a typed [`Error::DeadlineExceeded`] instead of
+    /// running forever.
+    pub fn execute_budgeted(
+        &self,
+        query: &ConceptualQuery,
+        budget: &faults::Budget,
+    ) -> Result<Vec<QueryResult>> {
         // Validate against the schema first.
         let mut class = self
             .schema
@@ -241,16 +254,26 @@ impl WebspaceIndex {
         }
 
         // Seed: objects of the starting class passing all predicates.
-        let mut rows: Vec<Vec<String>> = self
-            .objects_of(&query.from_class)
-            .filter(|o| query.predicates.iter().all(|p| p.holds(o)))
-            .map(|o| vec![o.id.clone()])
-            .collect();
+        // One work unit per candidate object examined.
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for o in self.objects_of(&query.from_class) {
+            budget.consume(1).map_err(|cause| Error::DeadlineExceeded {
+                rows: rows.len(),
+                cause,
+            })?;
+            if query.predicates.iter().all(|p| p.holds(o)) {
+                rows.push(vec![o.id.clone()]);
+            }
+        }
 
-        // Walk the association chain.
+        // Walk the association chain, paying one unit per expanded row.
         for step in &query.joins {
             let mut next = Vec::new();
             for row in rows {
+                budget.consume(1).map_err(|cause| Error::DeadlineExceeded {
+                    rows: next.len(),
+                    cause,
+                })?;
                 let last = row.last().expect("rows are non-empty").clone();
                 for target in self.targets(&last, &step.association) {
                     if step.predicates.iter().all(|p| p.holds(target)) {
@@ -396,6 +419,39 @@ mod tests {
             needle: "final".into(),
         });
         assert_eq!(index.execute(&q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn budgets_cancel_joins_with_a_typed_error() {
+        let index = populated();
+        let q = ConceptualQuery::from_class("Article")
+            .join("About", vec![])
+            .join("Is_covered_in", vec![]);
+        // Unlimited budget: identical to plain execute.
+        let full = index.execute(&q).unwrap();
+        assert_eq!(
+            index
+                .execute_budgeted(&q, &faults::Budget::unlimited())
+                .unwrap(),
+            full
+        );
+        // Sweep work allowances: every failure is typed, and a large
+        // enough allowance converges on the full answer.
+        let mut succeeded = false;
+        for w in 0..50 {
+            match index.execute_budgeted(&q, &faults::Budget::with_work(w)) {
+                Ok(rows) => {
+                    assert_eq!(rows, full);
+                    succeeded = true;
+                    break;
+                }
+                Err(Error::DeadlineExceeded { cause, .. }) => {
+                    assert_eq!(cause, faults::BudgetExceeded::Work);
+                }
+                Err(other) => panic!("untyped budget failure: {other:?}"),
+            }
+        }
+        assert!(succeeded, "no work allowance sufficed");
     }
 
     #[test]

@@ -11,12 +11,20 @@ verify:
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench ingest
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench query_cache
     just recovery-smoke
+    just overload-smoke
 
 # Crash-point recovery: the durability harness (WAL + snapshot fault
 # sweeps) plus a smoke pass of the E13 recovery bench.
 recovery-smoke:
     cargo test --offline -q -p dlsearch --test durability
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench recovery
+
+# Overload resilience: the closed-loop storm suite (admission,
+# deadlines, cancellation hygiene, brownout honesty) plus a smoke pass
+# of the E14 overload bench.
+overload-smoke:
+    cargo test --offline -q -p dlsearch --test overload
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench overload
 
 build:
     cargo build --offline
@@ -28,12 +36,13 @@ clippy:
     cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Perf baselines: E11 (parallel ingestion), E12 (query cache), E13
-# (recovery). Full runs refresh BENCH_populate.json / BENCH_query.json
-# / BENCH_recovery.json in-repo.
+# (recovery), E14 (overload). Full runs refresh BENCH_populate.json /
+# BENCH_query.json / BENCH_recovery.json / BENCH_overload.json in-repo.
 bench:
     cargo bench --offline -p bench --bench ingest
     cargo bench --offline -p bench --bench query_cache
     cargo bench --offline -p bench --bench recovery
+    cargo bench --offline -p bench --bench overload
 
 # The flagship scenario, healthy and under injected faults.
 demo:
