@@ -79,6 +79,22 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+/// A point-in-time health snapshot of one supervised detector,
+/// returned by [`Supervisor::detector_health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorHealth {
+    /// Detector name (as passed to [`Supervisor::wrap`]).
+    pub name: String,
+    /// Where the circuit breaker stands.
+    pub breaker: BreakerState,
+    /// Consecutive failed calls since the last success.
+    pub consecutive_failures: u32,
+    /// Cause of the most recent exhausted failure, if any.
+    pub last_error: Option<String>,
+    /// Call counters.
+    pub stats: SupervisorStats,
+}
+
 /// Per-detector counters, readable via [`Supervisor::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SupervisorStats {
@@ -103,6 +119,9 @@ struct DetectorState {
     /// the probe reports back.
     probe_in_flight: bool,
     stats: SupervisorStats,
+    /// The cause of the most recent exhausted (retries included) failed
+    /// call; cleared when the detector answers again.
+    last_error: Option<String>,
 }
 
 impl DetectorState {
@@ -113,6 +132,7 @@ impl DetectorState {
             open_rejections: 0,
             probe_in_flight: false,
             stats: SupervisorStats::default(),
+            last_error: None,
         }
     }
 }
@@ -124,6 +144,9 @@ struct Inner {
     /// takes the next index of the seeded jitter stream, so concurrent
     /// retries at the same attempt number sleep different amounts.
     jitter_draws: AtomicU64,
+    /// Observability handle; breaker transitions and call accounting
+    /// feed `acoi_*` metrics when enabled.
+    obs: Mutex<obs::Obs>,
 }
 
 /// Wraps detectors with deadlines, retries and a circuit breaker.
@@ -237,8 +260,85 @@ impl Supervisor {
                 config,
                 detectors: Mutex::new(HashMap::new()),
                 jitter_draws: AtomicU64::new(0),
+                obs: Mutex::new(obs::Obs::disabled()),
             }),
         }
+    }
+
+    /// Connects the supervisor to an observability handle: breaker
+    /// transitions drive the labelled `acoi_breaker_state` /
+    /// `acoi_breaker_consecutive_failures` gauges and call accounting
+    /// feeds the `acoi_detector_*` counters. Already-known detectors
+    /// publish their current state immediately.
+    pub fn set_obs(&self, o: &obs::Obs) {
+        *self.inner.obs.lock().expect("supervisor poisoned") = o.clone();
+        let snapshot: Vec<(String, BreakerState, u32)> = self
+            .inner
+            .detectors
+            .lock()
+            .expect("supervisor poisoned")
+            .iter()
+            .map(|(n, s)| (n.clone(), s.breaker, s.consecutive_failures))
+            .collect();
+        for (name, breaker, failures) in snapshot {
+            self.publish_breaker(&name, breaker, failures);
+        }
+    }
+
+    fn obs_handle(&self) -> obs::Obs {
+        self.inner.obs.lock().expect("supervisor poisoned").clone()
+    }
+
+    fn inc_counter(&self, metric: &'static str, help: &'static str, det: &str) {
+        let o = self.obs_handle();
+        if let Some(reg) = o.registry() {
+            reg.labeled_counter(metric, help, "detector", det).inc();
+        }
+    }
+
+    fn publish_breaker(&self, det: &str, breaker: BreakerState, failures: u32) {
+        let o = self.obs_handle();
+        if let Some(reg) = o.registry() {
+            reg.labeled_gauge(
+                "acoi_breaker_state",
+                "Circuit-breaker state per detector (0=closed, 1=half-open, 2=open)",
+                "detector",
+                det,
+            )
+            .set(match breaker {
+                BreakerState::Closed => 0,
+                BreakerState::HalfOpen => 1,
+                BreakerState::Open => 2,
+            });
+            reg.labeled_gauge(
+                "acoi_breaker_consecutive_failures",
+                "Consecutive failed calls per detector",
+                "detector",
+                det,
+            )
+            .set(i64::from(failures));
+        }
+    }
+
+    /// A typed health snapshot of every supervised detector, sorted by
+    /// name: breaker state, consecutive failures, last error, counters.
+    pub fn detector_health(&self) -> Vec<DetectorHealth> {
+        let mut health: Vec<DetectorHealth> = self
+            .inner
+            .detectors
+            .lock()
+            .expect("supervisor poisoned")
+            .iter()
+            .map(|(name, s)| DetectorHealth {
+                name: name.clone(),
+                breaker: s.breaker,
+                consecutive_failures: s.consecutive_failures,
+                last_error: s.last_error.clone(),
+                stats: s.stats,
+            })
+            .collect();
+        health.sort_by(|a, b| a.name.cmp(&b.name));
+        health
     }
 
     /// Wraps `detector` so every call runs under a deadline with retries
@@ -250,6 +350,7 @@ impl Supervisor {
             let mut detectors = sup.inner.detectors.lock().expect("supervisor poisoned");
             detectors.entry(name.clone()).or_insert_with(DetectorState::new);
         }
+        self.publish_breaker(&name, BreakerState::Closed, 0);
         // The wrapped closure must be `Fn + Sync` (registry sharing across
         // ingestion workers), so the worker handle lives behind a mutex.
         // Calls to one remote detector are serialized through its single
@@ -278,6 +379,11 @@ impl Supervisor {
                     // detector that is barely back on its feet.
                     if state.probe_in_flight {
                         state.stats.short_circuits += 1;
+                        self.inc_counter(
+                            "acoi_detector_short_circuits_total",
+                            "Calls rejected without an attempt (breaker open or probe busy)",
+                            name,
+                        );
                         return Err(DetectorError::Unavailable(format!(
                             "half-open probe already in flight for `{name}`"
                         )));
@@ -288,6 +394,11 @@ impl Supervisor {
                     if state.open_rejections < config.breaker_probe_after {
                         state.open_rejections += 1;
                         state.stats.short_circuits += 1;
+                        self.inc_counter(
+                            "acoi_detector_short_circuits_total",
+                            "Calls rejected without an attempt (breaker open or probe busy)",
+                            name,
+                        );
                         return Err(DetectorError::Unavailable(format!(
                             "circuit breaker open for `{name}`"
                         )));
@@ -318,13 +429,35 @@ impl Supervisor {
                     state.stats.retries += 1;
                 }
             }
+            self.inc_counter(
+                "acoi_detector_attempts_total",
+                "Attempts dispatched to detector workers (first tries and retries)",
+                name,
+            );
+            if attempt > 0 {
+                self.inc_counter(
+                    "acoi_detector_retries_total",
+                    "Retries among dispatched attempts",
+                    name,
+                );
+            }
             match worker.attempt(inputs, config.deadline) {
                 Err(DetectorError::Unavailable(cause)) => {
-                    let mut detectors =
-                        self.inner.detectors.lock().expect("supervisor poisoned");
-                    let state = detectors.get_mut(name).expect("registered in wrap");
-                    if cause.starts_with("deadline") {
-                        state.stats.timeouts += 1;
+                    let timed_out = cause.starts_with("deadline");
+                    {
+                        let mut detectors =
+                            self.inner.detectors.lock().expect("supervisor poisoned");
+                        let state = detectors.get_mut(name).expect("registered in wrap");
+                        if timed_out {
+                            state.stats.timeouts += 1;
+                        }
+                    }
+                    if timed_out {
+                        self.inc_counter(
+                            "acoi_detector_timeouts_total",
+                            "Attempts abandoned at the per-attempt deadline",
+                            name,
+                        );
                     }
                     last = Some(DetectorError::Unavailable(cause));
                 }
@@ -336,39 +469,62 @@ impl Supervisor {
                 }
             }
         }
-        self.record_failure(name);
-        Err(last.unwrap_or_else(|| DetectorError::Unavailable("unreachable".into())))
+        let err = last.unwrap_or_else(|| DetectorError::Unavailable("unreachable".into()));
+        let cause = match &err {
+            DetectorError::Unavailable(c) | DetectorError::Reject(c) => c.clone(),
+        };
+        self.record_failure(name, cause);
+        Err(err)
     }
 
     fn record_success(&self, name: &str) {
-        let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
-        let state = detectors.get_mut(name).expect("registered in wrap");
-        state.breaker = BreakerState::Closed;
-        state.consecutive_failures = 0;
-        state.open_rejections = 0;
-        state.probe_in_flight = false;
+        {
+            let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
+            let state = detectors.get_mut(name).expect("registered in wrap");
+            state.breaker = BreakerState::Closed;
+            state.consecutive_failures = 0;
+            state.open_rejections = 0;
+            state.probe_in_flight = false;
+            state.last_error = None;
+        }
+        self.publish_breaker(name, BreakerState::Closed, 0);
     }
 
-    fn record_failure(&self, name: &str) {
-        let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
-        let state = detectors.get_mut(name).expect("registered in wrap");
-        state.probe_in_flight = false;
-        match state.breaker {
-            BreakerState::HalfOpen => {
-                state.breaker = BreakerState::Open;
-                state.open_rejections = 0;
-                state.stats.breaker_opens += 1;
-            }
-            BreakerState::Closed => {
-                state.consecutive_failures += 1;
-                if state.consecutive_failures >= self.inner.config.breaker_threshold {
+    fn record_failure(&self, name: &str, cause: String) {
+        let (breaker, failures, opened) = {
+            let mut detectors = self.inner.detectors.lock().expect("supervisor poisoned");
+            let state = detectors.get_mut(name).expect("registered in wrap");
+            state.probe_in_flight = false;
+            state.last_error = Some(cause);
+            let mut opened = false;
+            match state.breaker {
+                BreakerState::HalfOpen => {
                     state.breaker = BreakerState::Open;
                     state.open_rejections = 0;
                     state.stats.breaker_opens += 1;
+                    opened = true;
                 }
+                BreakerState::Closed => {
+                    state.consecutive_failures += 1;
+                    if state.consecutive_failures >= self.inner.config.breaker_threshold {
+                        state.breaker = BreakerState::Open;
+                        state.open_rejections = 0;
+                        state.stats.breaker_opens += 1;
+                        opened = true;
+                    }
+                }
+                BreakerState::Open => {}
             }
-            BreakerState::Open => {}
+            (state.breaker, state.consecutive_failures, opened)
+        };
+        if opened {
+            self.inc_counter(
+                "acoi_breaker_opens_total",
+                "Closed/half-open to open breaker transitions",
+                name,
+            );
         }
+        self.publish_breaker(name, breaker, failures);
     }
 
     /// The breaker state for `name` (None if never wrapped).
@@ -582,6 +738,62 @@ mod tests {
         assert_eq!(sup.stats("dead").breaker_opens, 2);
         sup.reset("dead");
         assert_eq!(sup.state("dead"), Some(BreakerState::Closed));
+    }
+
+    #[test]
+    fn detector_health_and_obs_gauges_track_breaker_state() {
+        let sup = Supervisor::new(SupervisorConfig {
+            max_retries: 0,
+            breaker_threshold: 2,
+            breaker_probe_after: 1,
+            ..fast_config()
+        });
+        let o = obs::Obs::enabled();
+        sup.set_obs(&o);
+        let wrapped = sup.wrap(
+            "remote",
+            Box::new(|_| Err(DetectorError::Unavailable("link down".into()))),
+        );
+        let reg = o.registry().expect("enabled");
+        // Registration publishes an initial closed state.
+        assert_eq!(
+            reg.labeled_gauge("acoi_breaker_state", "", "detector", "remote").get(),
+            0
+        );
+        assert!(wrapped(&[]).is_err());
+        assert!(wrapped(&[]).is_err()); // second failure opens the breaker
+        assert!(wrapped(&[]).is_err()); // short-circuit
+        let health = sup.detector_health();
+        assert_eq!(health.len(), 1);
+        let h = &health[0];
+        assert_eq!(h.name, "remote");
+        assert_eq!(h.breaker, BreakerState::Open);
+        assert_eq!(h.consecutive_failures, 2);
+        assert_eq!(h.last_error.as_deref(), Some("link down"));
+        assert_eq!(h.stats.short_circuits, 1);
+        assert_eq!(
+            reg.labeled_gauge("acoi_breaker_state", "", "detector", "remote").get(),
+            2
+        );
+        assert_eq!(
+            reg.labeled_gauge("acoi_breaker_consecutive_failures", "", "detector", "remote")
+                .get(),
+            2
+        );
+        assert_eq!(
+            reg.labeled_counter("acoi_breaker_opens_total", "", "detector", "remote").get(),
+            1
+        );
+        assert_eq!(
+            reg.labeled_counter("acoi_detector_attempts_total", "", "detector", "remote")
+                .get(),
+            2
+        );
+        assert_eq!(
+            reg.labeled_counter("acoi_detector_short_circuits_total", "", "detector", "remote")
+                .get(),
+            1
+        );
     }
 
     #[test]

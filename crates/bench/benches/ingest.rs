@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dlsearch::PopulateOptions;
+use obs::report::{BenchReport, Json};
 use websim::crawl;
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -27,6 +28,7 @@ fn main() {
     let site = bench::site(players, articles);
     let pages = crawl(&site);
 
+    let obs_handle = obs::Obs::enabled();
     let mut baseline: Option<(Vec<u8>, Vec<u8>)> = None;
     let mut rows = Vec::new();
     let mut medians = Vec::new();
@@ -35,6 +37,7 @@ fn main() {
         for _ in 0..iters {
             let mut engine =
                 dlsearch::ausopen::engine(Arc::clone(&site)).expect("engine config");
+            engine.set_obs(&obs_handle);
             let start = Instant::now();
             let report = engine
                 .populate_with(&pages, PopulateOptions { workers })
@@ -57,9 +60,14 @@ fn main() {
         }
         let med = median(&mut samples);
         println!("e11_populate/workers={workers}: median {med:.2} ms {samples:?}");
-        rows.push(format!(
-            "    {{\"workers\": {workers}, \"median_ms\": {med:.3}, \"samples_ms\": {samples:?}}}"
-        ));
+        rows.push(Json::Obj(vec![
+            ("workers".to_owned(), Json::Int(workers as i64)),
+            ("median_ms".to_owned(), Json::Num(med)),
+            (
+                "samples_ms".to_owned(),
+                Json::Arr(samples.iter().map(|s| Json::Num(*s)).collect()),
+            ),
+        ]));
         medians.push((workers, med));
     }
 
@@ -70,13 +78,15 @@ fn main() {
         println!("e11_populate: smoke mode, not writing BENCH_populate.json");
         return;
     }
-    let json = format!
-(
-        "{{\n  \"experiment\": \"E11 parallel ingestion\",\n  \"site\": {{\"players\": {players}, \"articles\": {articles}, \"pages\": {}}},\n  \"iterations\": {iters},\n  \"results\": [\n{}\n  ],\n  \"speedup_4_workers\": {speedup4:.3}\n}}\n",
-        pages.len(),
-        rows.join(",\n")
-    );
+    let report = BenchReport::new("e11_parallel_ingestion")
+        .config("players", Json::Int(players as i64))
+        .config("articles", Json::Int(articles as i64))
+        .config("pages", Json::Int(pages.len() as i64))
+        .config("iterations", Json::Int(iters as i64))
+        .result("results", Json::Arr(rows))
+        .result("speedup_4_workers", Json::Num(speedup4))
+        .metrics(obs_handle.registry().expect("enabled"));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_populate.json");
-    std::fs::write(path, json).expect("write BENCH_populate.json");
+    std::fs::write(path, report.render()).expect("write BENCH_populate.json");
     println!("e11_populate: wrote {path}");
 }

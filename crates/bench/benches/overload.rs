@@ -20,6 +20,7 @@ use std::time::{Duration, Instant};
 
 use dlsearch::{ausopen, qlang, AdmissionConfig, Error, OverloadLevel, Priority, QueryService};
 use faults::{Budget, DelaySpec, FaultPlan};
+use obs::report::{BenchReport, Json};
 use websim::{crawl, Site, SiteSpec};
 
 const STORM_QUERY: &str = r#"
@@ -74,12 +75,14 @@ fn main() {
     };
     let q = qlang::parse(STORM_QUERY).expect("parse storm query");
 
+    let obs_handle = obs::Obs::enabled();
     let mut points = Vec::new();
     for &multiplier in multipliers {
         // A fresh engine per multiplier: the ladder's latency window
         // and transition log start clean, so points are independent.
         let mut engine =
             ausopen::resilient_engine(Arc::clone(&site), 2, Arc::clone(&plan)).expect("engine");
+        engine.set_obs(&obs_handle);
         engine.populate(&pages).expect("populate");
         let service = Arc::new(QueryService::with_config(engine, config.clone()));
 
@@ -155,28 +158,26 @@ fn main() {
         println!("e14_overload: smoke mode, not writing BENCH_overload.json");
         return;
     }
-    let rows: Vec<String> = points
+    let rows: Vec<Json> = points
         .iter()
         .map(|p| {
-            format!(
-                "    {{\"multiplier\": {}, \"clients\": {}, \"served\": {}, \"rejected\": {}, \
-                 \"degraded\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"transitions\": {}}}",
-                p.multiplier,
-                p.clients,
-                p.served,
-                p.rejected,
-                p.degraded,
-                p.p50_ms,
-                p.p99_ms,
-                p.transitions
-            )
+            Json::Obj(vec![
+                ("multiplier".to_owned(), Json::Int(p.multiplier as i64)),
+                ("clients".to_owned(), Json::Int(p.clients as i64)),
+                ("served".to_owned(), Json::Int(p.served as i64)),
+                ("rejected".to_owned(), Json::Int(p.rejected as i64)),
+                ("degraded".to_owned(), Json::Int(p.degraded as i64)),
+                ("p50_ms".to_owned(), Json::Num(p.p50_ms)),
+                ("p99_ms".to_owned(), Json::Num(p.p99_ms)),
+                ("transitions".to_owned(), Json::Int(p.transitions as i64)),
+            ])
         })
         .collect();
-    let json = format!(
-        "{{\n  \"experiment\": \"E14 overload: latency, rejections and the degradation ladder\",\n  \"queries_per_client\": {per_client},\n  \"points\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    );
+    let report = BenchReport::new("e14_overload_ladder")
+        .config("queries_per_client", Json::Int(per_client as i64))
+        .result("points", Json::Arr(rows))
+        .metrics(obs_handle.registry().expect("enabled"));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overload.json");
-    std::fs::write(path, json).expect("write BENCH_overload.json");
+    std::fs::write(path, report.render()).expect("write BENCH_overload.json");
     println!("e14_overload: wrote {path}");
 }

@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use dlsearch::qlang;
+use obs::report::{BenchReport, Json};
 
 const FIGURE13: &str = r#"
     FROM Player
@@ -29,6 +30,8 @@ fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let (players, iters) = if smoke { (4, 3) } else { (32, 25) };
     let (_site, mut engine) = bench::populated_engine(players, players * 2);
+    let obs_handle = obs::Obs::enabled();
+    engine.set_obs(&obs_handle);
     let query = qlang::parse(FIGURE13).unwrap();
 
     // Cold: every run recomputes the full conceptual + text + media
@@ -70,11 +73,23 @@ fn main() {
         println!("e12_query_cache: smoke mode, not writing BENCH_query.json");
         return;
     }
-    let json = format!(
-        "{{\n  \"experiment\": \"E12 epoch-keyed query cache\",\n  \"site\": {{\"players\": {players}, \"articles\": {}}},\n  \"iterations\": {iters},\n  \"cold_median_us\": {cold_med:.2},\n  \"warm_median_us\": {warm_med:.2},\n  \"speedup\": {speedup:.2},\n  \"cold_samples_us\": {cold:?},\n  \"warm_samples_us\": {warm:?}\n}}\n",
-        players * 2
-    );
+    let report = BenchReport::new("e12_epoch_keyed_query_cache")
+        .config("players", Json::Int(players as i64))
+        .config("articles", Json::Int(players as i64 * 2))
+        .config("iterations", Json::Int(iters as i64))
+        .result("cold_median_us", Json::Num(cold_med))
+        .result("warm_median_us", Json::Num(warm_med))
+        .result("speedup", Json::Num(speedup))
+        .result(
+            "cold_samples_us",
+            Json::Arr(cold.iter().map(|s| Json::Num(*s)).collect()),
+        )
+        .result(
+            "warm_samples_us",
+            Json::Arr(warm.iter().map(|s| Json::Num(*s)).collect()),
+        )
+        .metrics(obs_handle.registry().expect("enabled"));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query.json");
-    std::fs::write(path, json).expect("write BENCH_query.json");
+    std::fs::write(path, report.render()).expect("write BENCH_query.json");
     println!("e12_query_cache: wrote {path}");
 }

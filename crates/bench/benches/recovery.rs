@@ -14,6 +14,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use dlsearch::{ausopen, Engine};
+use obs::report::{BenchReport, Json};
 use websim::{crawl, Site, SiteSpec};
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -32,6 +33,7 @@ fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let (scales, iters): (&[usize], usize) = if smoke { (&[2], 1) } else { (&[2, 4, 8, 16], 5) };
 
+    let obs_handle = obs::Obs::enabled();
     let mut points = Vec::new();
     for &players in scales {
         let site = Arc::new(Site::generate(SiteSpec {
@@ -74,7 +76,7 @@ fn main() {
         engine.checkpoint().expect("checkpoint");
         drop(engine);
         let mut snap = Vec::new();
-        for _ in 0..iters {
+        for i in 0..iters {
             let start = Instant::now();
             let (mut reopened, report) =
                 Engine::open(ausopen::config(Arc::clone(&site)), &dir).expect("snapshot open");
@@ -85,6 +87,11 @@ fn main() {
                 expected,
                 "snapshot recovery must be byte-identical"
             );
+            if i + 1 == iters {
+                // Publish the last recovery's gauges into the dump.
+                reopened.set_obs(&obs_handle);
+                let _ = reopened.metrics_text();
+            }
         }
 
         let point = Point {
@@ -105,21 +112,22 @@ fn main() {
         println!("e13_recovery: smoke mode, not writing BENCH_recovery.json");
         return;
     }
-    let rows: Vec<String> = points
+    let rows: Vec<Json> = points
         .iter()
         .map(|p| {
-            format!(
-                "    {{\"players\": {}, \"wal_records\": {}, \"replay_median_ms\": {:.3}, \
-                 \"snapshot_median_ms\": {:.3}}}",
-                p.players, p.wal_records, p.replay_ms, p.snapshot_ms
-            )
+            Json::Obj(vec![
+                ("players".to_owned(), Json::Int(p.players as i64)),
+                ("wal_records".to_owned(), Json::Int(p.wal_records as i64)),
+                ("replay_median_ms".to_owned(), Json::Num(p.replay_ms)),
+                ("snapshot_median_ms".to_owned(), Json::Num(p.snapshot_ms)),
+            ])
         })
         .collect();
-    let json = format!(
-        "{{\n  \"experiment\": \"E13 recovery time vs WAL length\",\n  \"iterations\": {iters},\n  \"points\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
-    );
+    let report = BenchReport::new("e13_recovery_vs_wal_length")
+        .config("iterations", Json::Int(iters as i64))
+        .result("points", Json::Arr(rows))
+        .metrics(obs_handle.registry().expect("enabled"));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
-    std::fs::write(path, json).expect("write BENCH_recovery.json");
+    std::fs::write(path, report.render()).expect("write BENCH_recovery.json");
     println!("e13_recovery: wrote {path}");
 }

@@ -158,8 +158,66 @@ pub struct OverloadStatus {
 /// Transition-log ring capacity.
 const TRANSITION_LOG: usize = 256;
 
+/// Gate metric handles, registered by [`AdmissionGate::set_obs`].
+struct GateMetrics {
+    admitted: obs::Counter,
+    rejected: obs::Counter,
+    timed_out: obs::Counter,
+    shed: obs::Counter,
+    completed: obs::Counter,
+    wait_seconds: obs::Histogram,
+    level: obs::Gauge,
+    running: obs::Gauge,
+    queued: obs::Gauge,
+}
+
+impl GateMetrics {
+    fn register(reg: &obs::Registry) -> GateMetrics {
+        GateMetrics {
+            admitted: reg.counter("admission_admitted_total", "Queries granted a slot"),
+            rejected: reg.counter(
+                "admission_rejected_total",
+                "Queries turned away (queue full, shedding, or wait timeout)",
+            ),
+            timed_out: reg.counter(
+                "admission_timed_out_total",
+                "Rejections that first waited out the queue timeout",
+            ),
+            shed: reg.counter(
+                "admission_shed_total",
+                "Batch queries rejected because the ladder was shedding",
+            ),
+            completed: reg.counter("admission_completed_total", "Permits released"),
+            wait_seconds: reg.histogram(
+                "admission_wait_seconds",
+                "Time from arrival at the gate to a granted slot",
+                obs::DEFAULT_TIME_BUCKETS,
+            ),
+            level: reg.gauge(
+                "admission_level",
+                "Ladder rung (0=healthy, 1=pressured, 2=brownout, 3=shedding)",
+            ),
+            running: reg.gauge("admission_running", "Queries executing right now"),
+            queued: reg.gauge("admission_queued", "Queries waiting for a slot right now"),
+        }
+    }
+}
+
+fn level_ordinal(level: OverloadLevel) -> i64 {
+    match level {
+        OverloadLevel::Healthy => 0,
+        OverloadLevel::Pressured => 1,
+        OverloadLevel::Brownout => 2,
+        OverloadLevel::Shedding => 3,
+    }
+}
+
 struct GateState {
     config: AdmissionConfig,
+    /// Observability handle plus pre-registered metric handles; both
+    /// disabled/absent until [`AdmissionGate::set_obs`].
+    obs: obs::Obs,
+    metrics: Option<GateMetrics>,
     running: usize,
     queued: usize,
     level: OverloadLevel,
@@ -187,6 +245,8 @@ impl AdmissionGate {
         Arc::new(AdmissionGate {
             state: Mutex::new(GateState {
                 config,
+                obs: obs::Obs::disabled(),
+                metrics: None,
                 running: 0,
                 queued: 0,
                 level: OverloadLevel::Healthy,
@@ -202,6 +262,20 @@ impl AdmissionGate {
         })
     }
 
+    /// Connects the gate to an observability handle: admissions,
+    /// rejections and wait times record into `admission_*` metrics,
+    /// and each admission runs under an `admission.wait` span.
+    pub fn set_obs(&self, o: &obs::Obs) {
+        let mut state = self.lock();
+        state.obs = o.clone();
+        state.metrics = o.registry().map(GateMetrics::register);
+        if let Some(m) = &state.metrics {
+            m.level.set(level_ordinal(state.level));
+            m.running.set(state.running as i64);
+            m.queued.set(state.queued as i64);
+        }
+    }
+
     /// Locks the gate state, absorbing poisoning: a panic inside a
     /// query holding a permit must not take the whole gate down with
     /// it — overload resilience includes surviving our own bugs.
@@ -213,6 +287,11 @@ impl AdmissionGate {
     /// transition if it moved.
     fn retune(&self, state: &mut GateState) {
         let next = level_for(state);
+        if let Some(m) = &state.metrics {
+            m.level.set(level_ordinal(next));
+            m.running.set(state.running as i64);
+            m.queued.set(state.queued as i64);
+        }
         if next != state.level {
             state.transition_seq += 1;
             if state.transitions.len() == TRANSITION_LOG {
@@ -236,8 +315,15 @@ impl AdmissionGate {
     /// or the wait exceeds `queue_timeout`. Never queues unboundedly.
     pub fn admit(self: &Arc<Self>, priority: Priority) -> Result<Permit> {
         let mut state = self.lock();
+        let mut sp = state.obs.span("admission.wait");
+        let arrived = state.metrics.as_ref().map(|_| Instant::now());
         if state.level == OverloadLevel::Shedding && priority == Priority::Batch {
             state.rejected += 1;
+            if let Some(m) = &state.metrics {
+                m.rejected.inc();
+                m.shed.inc();
+            }
+            sp.set_outcome(obs::Outcome::Rejected);
             let hint = retry_hint(&state);
             return Err(Error::Overloaded {
                 retry_after_hint: hint,
@@ -247,6 +333,12 @@ impl AdmissionGate {
             // Free slot: no queueing, no ladder blip.
             state.running += 1;
             state.admitted += 1;
+            if let Some(m) = &state.metrics {
+                m.admitted.inc();
+                if let Some(arrived) = arrived {
+                    m.wait_seconds.observe_ns(arrived.elapsed().as_nanos() as u64);
+                }
+            }
             self.retune(&mut state);
             return Ok(Permit {
                 gate: Arc::clone(self),
@@ -255,6 +347,10 @@ impl AdmissionGate {
         }
         if state.queued >= state.config.max_queue {
             state.rejected += 1;
+            if let Some(m) = &state.metrics {
+                m.rejected.inc();
+            }
+            sp.set_outcome(obs::Outcome::Rejected);
             let hint = retry_hint(&state);
             return Err(Error::Overloaded {
                 retry_after_hint: hint,
@@ -269,6 +365,11 @@ impl AdmissionGate {
                 state.queued -= 1;
                 state.timed_out += 1;
                 state.rejected += 1;
+                if let Some(m) = &state.metrics {
+                    m.rejected.inc();
+                    m.timed_out.inc();
+                }
+                sp.set_outcome(obs::Outcome::Rejected);
                 let hint = retry_hint(&state);
                 self.retune(&mut state);
                 return Err(Error::Overloaded {
@@ -284,6 +385,12 @@ impl AdmissionGate {
         state.queued -= 1;
         state.running += 1;
         state.admitted += 1;
+        if let Some(m) = &state.metrics {
+            m.admitted.inc();
+            if let Some(arrived) = arrived {
+                m.wait_seconds.observe_ns(arrived.elapsed().as_nanos() as u64);
+            }
+        }
         self.retune(&mut state);
         Ok(Permit {
             gate: Arc::clone(self),
@@ -413,6 +520,9 @@ impl Drop for Permit {
         let mut state = self.gate.lock();
         state.running = state.running.saturating_sub(1);
         state.completed += 1;
+        if let Some(m) = &state.metrics {
+            m.completed.inc();
+        }
         if state.config.latency_window > 0 {
             if state.latencies.len() >= state.config.latency_window {
                 state.latencies.pop_front();

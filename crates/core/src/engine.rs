@@ -134,6 +134,108 @@ pub struct Engine {
     /// The admission gate and degradation ladder. Shared with any
     /// [`crate::admission::QueryService`] wrapping this engine.
     admission: Arc<AdmissionGate>,
+    /// The fault plan shared with the text servers, kept so
+    /// [`Engine::set_obs`] can thread observability into it too.
+    faults_plan: Option<Arc<FaultPlan>>,
+    /// Observability handle. Disabled by default: no clock reads, no
+    /// recording, byte-identical answers. [`Engine::set_obs`] turns the
+    /// lights on across every layer.
+    obs: obs::Obs,
+    /// Engine-level metric handles, present iff obs is enabled.
+    metrics: Option<EngineMetrics>,
+    /// The recovery report of the `open` that produced this engine.
+    last_recovery: Option<RecoveryReport>,
+}
+
+/// Engine-level metric handles, registered once in
+/// [`Engine::set_obs`]. Counters record at event time; gauges are
+/// refreshed from live state on every [`Engine::metrics_text`] /
+/// [`Engine::metrics_json`] scrape.
+struct EngineMetrics {
+    queries: obs::Counter,
+    query_deadlines: obs::Counter,
+    cache_hits: obs::Counter,
+    cache_misses: obs::Counter,
+    degraded_answers: obs::Counter,
+    populate_runs: obs::Counter,
+    populate_pages: obs::Counter,
+    media_analyzed: obs::Counter,
+    detector_calls: obs::Counter,
+    checkpoints: obs::Counter,
+    query_cache_entries: obs::Gauge,
+    media_cache_entries: obs::Gauge,
+    views_epoch: obs::Gauge,
+    meta_epoch: obs::Gauge,
+    text_epoch: obs::Gauge,
+    snapshot_generation: obs::Gauge,
+    recovery_wal_replayed: obs::Gauge,
+    recovery_wal_skipped: obs::Gauge,
+    recovery_fell_back: obs::Gauge,
+}
+
+impl EngineMetrics {
+    fn register(reg: &obs::Registry) -> EngineMetrics {
+        EngineMetrics {
+            queries: reg.counter("engine_queries_total", "Queries executed (all entry points)"),
+            query_deadlines: reg.counter(
+                "engine_query_deadline_total",
+                "Queries cancelled by their budget",
+            ),
+            cache_hits: reg.counter(
+                "engine_query_cache_hits_total",
+                "Answers served from the epoch-keyed query cache",
+            ),
+            cache_misses: reg.counter(
+                "engine_query_cache_misses_total",
+                "Cache consultations that had to execute the query",
+            ),
+            degraded_answers: reg.counter(
+                "engine_degraded_answers_total",
+                "Answers stamped DEGRADED (brownout cuts or failed shards)",
+            ),
+            populate_runs: reg.counter("engine_populate_runs_total", "Population runs"),
+            populate_pages: reg.counter(
+                "engine_populate_pages_total",
+                "Crawled pages processed across population runs",
+            ),
+            media_analyzed: reg.counter(
+                "engine_media_analyzed_total",
+                "Multimedia objects analysed by the FDE",
+            ),
+            detector_calls: reg.counter(
+                "engine_detector_calls_total",
+                "Blackbox detector executions during population",
+            ),
+            checkpoints: reg.counter("engine_checkpoints_total", "Checkpoints committed"),
+            query_cache_entries: reg.gauge(
+                "engine_query_cache_entries",
+                "Distinct answers currently cached",
+            ),
+            media_cache_entries: reg.gauge(
+                "engine_media_cache_entries",
+                "Memoised media-evidence entries currently held",
+            ),
+            views_epoch: reg.gauge("engine_views_epoch", "Mutation epoch of the view store"),
+            meta_epoch: reg.gauge("engine_meta_epoch", "Mutation epoch of the meta-index store"),
+            text_epoch: reg.gauge("engine_text_epoch", "Combined mutation epoch of the text shards"),
+            snapshot_generation: reg.gauge(
+                "engine_snapshot_generation",
+                "Generation of the newest committed checkpoint",
+            ),
+            recovery_wal_replayed: reg.gauge(
+                "engine_recovery_wal_replayed",
+                "WAL records replayed by the recovery that opened this engine",
+            ),
+            recovery_wal_skipped: reg.gauge(
+                "engine_recovery_wal_skipped",
+                "WAL records skipped as already applied during recovery",
+            ),
+            recovery_fell_back: reg.gauge(
+                "engine_recovery_fell_back",
+                "1 when recovery fell back past the newest checkpoint generation",
+            ),
+        }
+    }
 }
 
 /// The durable half of an engine: where checkpoints live and the log
@@ -306,6 +408,29 @@ pub struct TextQueryStatus {
     pub quality: f64,
 }
 
+/// One traced query: the answer plus the measured EXPLAIN ANALYZE
+/// tree, from [`Engine::query_traced`].
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// The answer, identical to what [`Engine::query`] returns.
+    pub hits: Vec<EngineHit>,
+    /// The phase tree (wall time, work units, outcome, per-shard
+    /// children). `None` when observability is disabled.
+    pub trace: Option<obs::TraceNode>,
+}
+
+impl QueryTrace {
+    /// Renders the trace as an EXPLAIN ANALYZE-style report.
+    pub fn render(&self) -> String {
+        match &self.trace {
+            Some(t) => format!("EXPLAIN ANALYZE\n{}", t.render()),
+            None => {
+                "EXPLAIN ANALYZE\n(observability disabled: no trace collected)\n".to_owned()
+            }
+        }
+    }
+}
+
 impl Engine {
     /// Builds an engine from its model.
     pub fn new(config: EngineConfig) -> Result<Engine> {
@@ -334,6 +459,10 @@ impl Engine {
             query_cache: QueryCache::new(QUERY_CACHE_CAPACITY),
             durability: None,
             admission: AdmissionGate::new(AdmissionConfig::default()),
+            faults_plan: config.faults,
+            obs: obs::Obs::disabled(),
+            metrics: None,
+            last_recovery: None,
         })
     }
 
@@ -455,6 +584,7 @@ impl Engine {
             wal,
             snapshot_id: report.snapshot_id,
         });
+        engine.last_recovery = Some(report.clone());
         Ok((engine, report))
     }
 
@@ -481,6 +611,7 @@ impl Engine {
         dir: impl AsRef<Path>,
     ) -> Result<()> {
         let dir = dir.as_ref().to_path_buf();
+        let mut checkpoint_span = self.obs.span("engine.checkpoint");
         backend.create_dir_all(&dir).map_err(Error::Persist)?;
 
         // Reuse the live WAL when re-checkpointing the same directory
@@ -542,12 +673,22 @@ impl Engine {
         }
 
         self.attach_wal(&wal);
+        if self.obs.is_enabled() {
+            if let Ok(mut w) = wal.lock() {
+                w.set_obs(&self.obs);
+            }
+        }
         self.durability = Some(Durability {
             dir,
             backend,
             wal,
             snapshot_id: id,
         });
+        checkpoint_span.add_work(1);
+        drop(checkpoint_span);
+        if let Some(m) = &self.metrics {
+            m.checkpoints.inc();
+        }
         Ok(())
     }
 
@@ -668,6 +809,79 @@ impl Engine {
         self.admission.status()
     }
 
+    /// Turns observability on: every layer below — conceptual joins,
+    /// the view and meta stores, the text shards, the fault plan, the
+    /// WAL and the admission gate — records into `o`'s registry and
+    /// trace stack from here on. Disabled (the default) the engine
+    /// takes zero clock reads and produces byte-identical output.
+    pub fn set_obs(&mut self, o: &obs::Obs) {
+        self.obs = o.clone();
+        self.metrics = o.registry().map(EngineMetrics::register);
+        self.webspace.set_obs(o);
+        self.views.set_obs(o);
+        self.meta.store_mut().set_obs(o);
+        self.text.set_obs(o);
+        self.admission.set_obs(o);
+        if let Some(plan) = &self.faults_plan {
+            plan.set_obs(o);
+        }
+        if let Some(d) = &self.durability {
+            if let Ok(mut wal) = d.wal.lock() {
+                wal.set_obs(o);
+            }
+        }
+        self.refresh_gauges();
+    }
+
+    /// The engine's observability handle (disabled unless
+    /// [`Engine::set_obs`] was called).
+    pub fn obs(&self) -> &obs::Obs {
+        &self.obs
+    }
+
+    /// The recovery report of the `open` that produced this engine,
+    /// if it was opened from durable storage.
+    pub fn last_recovery(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    /// Re-stamps every scrape-time gauge from live state.
+    fn refresh_gauges(&self) {
+        let Some(m) = &self.metrics else { return };
+        m.query_cache_entries.set(self.query_cache.entries.len() as i64);
+        m.media_cache_entries.set(self.media_cache.len() as i64);
+        m.views_epoch.set(self.views.epoch() as i64);
+        m.meta_epoch.set(self.meta.store().epoch() as i64);
+        m.text_epoch.set(self.text.epoch() as i64);
+        m.snapshot_generation.set(self.snapshot_id() as i64);
+        if let Some(r) = &self.last_recovery {
+            m.recovery_wal_replayed.set(r.wal_replayed as i64);
+            m.recovery_wal_skipped.set(r.wal_skipped as i64);
+            m.recovery_fell_back.set(i64::from(r.fell_back));
+        }
+    }
+
+    /// Every registered metric — this engine's and every layer's — in
+    /// Prometheus text exposition format. Scrape-time gauges are
+    /// refreshed first. Empty when observability is disabled.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        match self.obs.registry() {
+            Some(reg) => reg.render_text(),
+            None => String::new(),
+        }
+    }
+
+    /// The registry contents as a JSON value (bench reports embed it).
+    /// [`obs::report::Json::Null`] when observability is disabled.
+    pub fn metrics_json(&self) -> obs::report::Json {
+        self.refresh_gauges();
+        match self.obs.registry() {
+            Some(reg) => reg.render_json(),
+            None => obs::report::Json::Null,
+        }
+    }
+
     /// Memoised media-evidence entries currently held (diagnostics; the
     /// budget-cancellation property tests assert a cancelled query
     /// leaves this count untouched).
@@ -701,6 +915,8 @@ impl Engine {
         options: PopulateOptions,
     ) -> Result<PopulateReport> {
         self.query_cache.clear();
+        let mut populate_span = self.obs.span("engine.populate");
+        populate_span.add_work(pages.len() as u64);
         let mut report = PopulateReport {
             pages: pages.len(),
             ..PopulateReport::default()
@@ -867,6 +1083,13 @@ impl Engine {
         self.text.commit().map_err(Error::Ir)?;
         self.media_cache.clear();
         self.sync_wal()?;
+        drop(populate_span);
+        if let Some(m) = &self.metrics {
+            m.populate_runs.inc();
+            m.populate_pages.add(report.pages as u64);
+            m.media_analyzed.add(report.media_analyzed as u64);
+            m.detector_calls.add(report.detector_calls as u64);
+        }
         Ok(report)
     }
 
@@ -974,6 +1197,30 @@ impl Engine {
     /// restored. An unlimited budget is the plain [`Engine::query`]
     /// path, byte for byte — same cache, same answers.
     pub fn query_budgeted(&mut self, q: &EngineQuery, budget: &Budget) -> Result<Vec<EngineHit>> {
+        if let Some(m) = &self.metrics {
+            m.queries.inc();
+        }
+        let mut sp = self.obs.span("engine.query");
+        let out = self.query_budgeted_inner(q, budget);
+        match &out {
+            Ok(hits) => {
+                sp.add_work(hits.len() as u64);
+                if self.last_text_status.as_ref().is_some_and(|s| s.shards_failed > 0) {
+                    sp.set_outcome(obs::Outcome::Degraded);
+                }
+            }
+            Err(Error::DeadlineExceeded { .. }) => {
+                sp.set_outcome(obs::Outcome::Deadline);
+                if let Some(m) = &self.metrics {
+                    m.query_deadlines.inc();
+                }
+            }
+            Err(_) => sp.set_outcome(obs::Outcome::Degraded),
+        }
+        out
+    }
+
+    fn query_budgeted_inner(&mut self, q: &EngineQuery, budget: &Budget) -> Result<Vec<EngineHit>> {
         if self.faults_active || !budget.is_unlimited() {
             // Fault-injected runs must replay the failure dynamics;
             // budget-limited runs must not publish (possibly partial)
@@ -983,9 +1230,17 @@ impl Engine {
         let key = cache_key(q);
         let epochs = self.store_epochs();
         if let Some(answer) = self.query_cache.lookup(&key, epochs) {
+            if let Some(m) = &self.metrics {
+                m.cache_hits.inc();
+            }
+            self.obs.annotate(|| "cache=hit".to_owned());
             self.last_text_status = answer.text_status;
             return Ok(answer.hits);
         }
+        if let Some(m) = &self.metrics {
+            m.cache_misses.inc();
+        }
+        self.obs.annotate(|| "cache=miss".to_owned());
         let hits = self.query_uncached_budgeted(q, budget)?;
         self.query_cache.insert(
             key,
@@ -1037,6 +1292,11 @@ impl Engine {
                 )],
                 _ => Vec::new(),
             };
+            if !degraded.is_empty() {
+                if let Some(m) = &self.metrics {
+                    m.degraded_answers.inc();
+                }
+            }
             return Ok(QueryOutcome {
                 hits,
                 quality,
@@ -1073,7 +1333,29 @@ impl Engine {
                 "DEGRADED: media-event refinement skipped (candidates unverified)".to_owned(),
             );
         }
-        let hits = self.query_uncached_budgeted(&plan, budget)?;
+        if let Some(m) = &self.metrics {
+            m.queries.inc();
+        }
+        let mut sp = self.obs.span("engine.query");
+        sp.note(|| format!("brownout plan at {level:?}"));
+        let hits = match self.query_uncached_budgeted(&plan, budget) {
+            Ok(hits) => hits,
+            Err(e) => {
+                sp.set_outcome(match &e {
+                    Error::DeadlineExceeded { .. } => obs::Outcome::Deadline,
+                    _ => obs::Outcome::Degraded,
+                });
+                if matches!(e, Error::DeadlineExceeded { .. }) {
+                    if let Some(m) = &self.metrics {
+                        m.query_deadlines.inc();
+                    }
+                }
+                return Err(e);
+            }
+        };
+        sp.add_work(hits.len() as u64);
+        sp.set_outcome(obs::Outcome::Degraded);
+        drop(sp);
         if let Some(status) = &self.last_text_status {
             quality *= status.quality;
             if status.shards_failed > 0 {
@@ -1084,12 +1366,33 @@ impl Engine {
                 ));
             }
         }
+        if !degraded.is_empty() {
+            if let Some(m) = &self.metrics {
+                m.degraded_answers.inc();
+            }
+        }
         Ok(QueryOutcome {
             hits,
             quality,
             level,
             degraded,
         })
+    }
+
+    /// [`Engine::query`] with EXPLAIN ANALYZE: the same answer (same
+    /// cache, same evaluation path), plus the measured phase tree —
+    /// which stages ran, how long each took, how much work each did,
+    /// which text shards answered. The trace is also offered to the
+    /// slow-query log. With observability disabled the query runs
+    /// exactly as untraced and the trace is `None`.
+    pub fn query_traced(&mut self, q: &EngineQuery) -> Result<QueryTrace> {
+        self.obs.begin_trace();
+        let out = self.query(q);
+        let trace = self.obs.take_trace();
+        if let Some(t) = &trace {
+            self.obs.offer_slow(cache_key(q), t);
+        }
+        Ok(QueryTrace { hits: out?, trace })
     }
 
     /// Hit/miss counters of the query-answer cache since engine
@@ -1161,7 +1464,22 @@ impl Engine {
 
         // 1. Conceptual selection and joins (one work unit per seed
         //    candidate and per expanded join row).
-        let rows = self.webspace.execute_budgeted(&q.conceptual, budget)?;
+        let rows = {
+            let mut sp = self.obs.span("engine.query.conceptual");
+            match self.webspace.execute_budgeted(&q.conceptual, budget) {
+                Ok(rows) => {
+                    sp.add_work(rows.len() as u64);
+                    rows
+                }
+                Err(e) => {
+                    sp.set_outcome(match &e {
+                        webspace::Error::DeadlineExceeded { .. } => obs::Outcome::Deadline,
+                        _ => obs::Outcome::Degraded,
+                    });
+                    return Err(e.into());
+                }
+            }
+        };
 
         // 2. Ranked text retrieval on the start class. The optimizer
         //    choice: global ranking merged afterwards, or ranking
@@ -1171,21 +1489,37 @@ impl Engine {
             self.last_text_status = None;
         }
         if let Some(text) = &q.text {
-            let result = if text.rank_within {
+            let mut sp = self.obs.span("engine.query.text");
+            let queried = if text.rank_within {
                 let candidates: std::collections::HashSet<String> = rows
                     .iter()
                     .filter_map(|r| r.chain.first())
                     .map(|id| text_doc_key(id, &text.attr))
                     .collect();
                 self.text
-                    .query_restricted_budgeted(&text.query, text.top_n, &candidates, budget)?
+                    .query_restricted_budgeted(&text.query, text.top_n, &candidates, budget)
             } else {
                 // Parallel, isolated evaluation: failed servers drop
                 // out and the merge ranks the survivors; the per-shard
                 // deadline shrinks to the budget's remaining window.
                 self.text
-                    .query_parallel_budgeted(&text.query, text.top_n, budget)?
+                    .query_parallel_budgeted(&text.query, text.top_n, budget)
             };
+            let result = match queried {
+                Ok(r) => r,
+                Err(e) => {
+                    sp.set_outcome(match &e {
+                        ir::Error::DeadlineExceeded { .. } => obs::Outcome::Deadline,
+                        _ => obs::Outcome::Degraded,
+                    });
+                    return Err(e.into());
+                }
+            };
+            sp.add_work(result.hits.len() as u64);
+            if result.shards_failed > 0 {
+                sp.set_outcome(obs::Outcome::Degraded);
+            }
+            drop(sp);
             self.last_text_status = Some(TextQueryStatus {
                 shards_ok: result.shards_ok,
                 shards_failed: result.shards_failed,
@@ -1205,10 +1539,32 @@ impl Engine {
         }
 
         // 3. Media evidence on the final class.
+        let mut sp = self.obs.span("engine.query.refine");
+        let out = self.refine_media(q, rows, &scores, budget, undo);
+        match &out {
+            Ok(hits) => sp.add_work(hits.len() as u64),
+            Err(Error::DeadlineExceeded { .. }) => sp.set_outcome(obs::Outcome::Deadline),
+            Err(_) => sp.set_outcome(obs::Outcome::Degraded),
+        }
+        out
+    }
+
+    /// Step 3 of [`Engine::query_core`]: walks every conceptual
+    /// candidate, attaches its text score, verifies the media event
+    /// against the stored parse tree (memoised), then ranks and
+    /// truncates the answer.
+    fn refine_media(
+        &mut self,
+        q: &EngineQuery,
+        rows: Vec<webspace::QueryResult>,
+        scores: &Option<HashMap<String, f64>>,
+        budget: &Budget,
+        undo: &mut MediaUndo,
+    ) -> Result<Vec<EngineHit>> {
         let mut out = Vec::new();
         for row in rows {
             let first = row.chain.first().expect("non-empty chain").clone();
-            let score = match &scores {
+            let score = match scores {
                 Some(map) => match map.get(&first) {
                     Some(s) => *s,
                     None => continue, // outside the ranked top-N

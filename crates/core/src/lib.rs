@@ -64,7 +64,9 @@ pub use admission::{
     AdmissionConfig, AdmissionGate, LevelTransition, OverloadLevel, OverloadStatus, Permit,
     Priority, QueryOutcome, QueryService,
 };
-pub use engine::{Engine, EngineConfig, PopulateOptions, PopulateReport, TextQueryStatus};
+pub use engine::{
+    Engine, EngineConfig, PopulateOptions, PopulateReport, QueryTrace, TextQueryStatus,
+};
 pub use error::{Error, PartialProgress, Result};
 pub use persist::RecoveryReport;
 pub use query::{EngineHit, EngineQuery, MediaPredicate, TextPredicate};

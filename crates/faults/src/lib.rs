@@ -231,6 +231,70 @@ struct SiteState {
     delay_calls: u64,
 }
 
+/// Pre-registered metric handles for fault-injection accounting.
+/// Cloned atomic handles: recording a decision is one atomic add.
+#[derive(Debug, Clone)]
+struct FaultMetrics {
+    decisions: obs::Counter,
+    injected_error: obs::Counter,
+    injected_hang: obs::Counter,
+    injected_garbage: obs::Counter,
+    io_decisions: obs::Counter,
+    io_injected: obs::Counter,
+    delays_injected: obs::Counter,
+}
+
+impl FaultMetrics {
+    fn register(registry: &obs::Registry) -> FaultMetrics {
+        FaultMetrics {
+            decisions: registry.counter(
+                "faults_decisions_total",
+                "Fault-injection decisions taken (all labels)",
+            ),
+            injected_error: registry.labeled_counter(
+                "faults_injected_total",
+                "Faults actually injected, by kind",
+                "kind",
+                "error",
+            ),
+            injected_hang: registry.labeled_counter(
+                "faults_injected_total",
+                "Faults actually injected, by kind",
+                "kind",
+                "hang",
+            ),
+            injected_garbage: registry.labeled_counter(
+                "faults_injected_total",
+                "Faults actually injected, by kind",
+                "kind",
+                "garbage",
+            ),
+            io_decisions: registry.counter(
+                "faults_io_decisions_total",
+                "Disk I/O fault decisions taken",
+            ),
+            io_injected: registry.counter(
+                "faults_io_injected_total",
+                "Disk I/O faults actually injected",
+            ),
+            delays_injected: registry.counter(
+                "faults_delays_injected_total",
+                "Latency injections that stalled a call",
+            ),
+        }
+    }
+
+    fn record_action(&self, action: FaultAction) {
+        self.decisions.inc();
+        match action {
+            FaultAction::None => {}
+            FaultAction::Error => self.injected_error.inc(),
+            FaultAction::Hang => self.injected_hang.inc(),
+            FaultAction::Garbage => self.injected_garbage.inc(),
+        }
+    }
+}
+
 /// A deterministic fault schedule shared by every injection point.
 ///
 /// Interior mutability makes the plan `Arc`-shareable across the RPC
@@ -240,6 +304,7 @@ pub struct FaultPlan {
     seed: u64,
     default: FaultSpec,
     sites: Mutex<HashMap<String, SiteState>>,
+    metrics: Mutex<Option<FaultMetrics>>,
 }
 
 impl Default for FaultPlan {
@@ -276,7 +341,20 @@ impl FaultPlan {
             seed,
             default: FaultSpec::none(),
             sites: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(None),
         }
+    }
+
+    /// Connects the plan to an observability handle: every subsequent
+    /// decision feeds the `faults_*` counters. A disabled handle
+    /// disconnects (decisions go back to costing nothing extra).
+    pub fn set_obs(&self, o: &obs::Obs) {
+        let mut metrics = self.metrics.lock().expect("fault plan poisoned");
+        *metrics = o.registry().map(FaultMetrics::register);
+    }
+
+    fn metrics(&self) -> Option<FaultMetrics> {
+        self.metrics.lock().expect("fault plan poisoned").clone()
     }
 
     /// Sets the spec applied to every label without its own entry
@@ -320,6 +398,14 @@ impl FaultPlan {
     /// Decides what the next call at `label` should do, advancing the
     /// per-label call counter.
     pub fn decide(&self, label: &str) -> FaultAction {
+        let action = self.decide_inner(label);
+        if let Some(m) = self.metrics() {
+            m.record_action(action);
+        }
+        action
+    }
+
+    fn decide_inner(&self, label: &str) -> FaultAction {
         let mut sites = self.sites.lock().expect("fault plan poisoned");
         let site = sites.entry(label.to_owned()).or_default();
         let call = site.calls;
@@ -353,6 +439,14 @@ impl FaultPlan {
     /// scripted schedules are ignored: a script is inherently
     /// order-based and belongs with [`FaultPlan::decide`].
     pub fn decide_keyed(&self, label: &str, key: &str) -> FaultAction {
+        let action = self.decide_keyed_inner(label, key);
+        if let Some(m) = self.metrics() {
+            m.record_action(action);
+        }
+        action
+    }
+
+    fn decide_keyed_inner(&self, label: &str, key: &str) -> FaultAction {
         let spec = {
             let mut sites = self.sites.lock().expect("fault plan poisoned");
             let site = sites.entry(label.to_owned()).or_default();
@@ -410,6 +504,17 @@ impl FaultPlan {
     /// `(seed, label, per-label I/O call count)` — replaying a run with
     /// the same plan observes byte-identical fault schedules.
     pub fn decide_io(&self, label: &str, len: usize) -> IoFault {
+        let fault = self.decide_io_inner(label, len);
+        if let Some(m) = self.metrics() {
+            m.io_decisions.inc();
+            if fault != IoFault::None {
+                m.io_injected.inc();
+            }
+        }
+        fault
+    }
+
+    fn decide_io_inner(&self, label: &str, len: usize) -> IoFault {
         let mut sites = self.sites.lock().expect("fault plan poisoned");
         let site = sites.entry(label.to_owned()).or_default();
         let call = site.io_calls;
@@ -492,6 +597,16 @@ impl FaultPlan {
     /// `(seed, label, per-label delay call count)`, on a stream
     /// independent of [`FaultPlan::decide`] and [`FaultPlan::decide_io`].
     pub fn decide_delay(&self, label: &str) -> Duration {
+        let delay = self.decide_delay_inner(label);
+        if delay > Duration::ZERO {
+            if let Some(m) = self.metrics() {
+                m.delays_injected.inc();
+            }
+        }
+        delay
+    }
+
+    fn decide_delay_inner(&self, label: &str) -> Duration {
         let mut sites = self.sites.lock().expect("fault plan poisoned");
         let site = sites.entry(label.to_owned()).or_default();
         let call = site.delay_calls;
@@ -847,6 +962,26 @@ mod tests {
                 ..IoFaultSpec::default()
             },
         );
+    }
+
+    #[test]
+    fn metrics_count_decisions_when_connected() {
+        let o = obs::Obs::enabled();
+        let plan = FaultPlan::seeded(3).with_site("d", FaultSpec::always_error());
+        plan.set_obs(&o);
+        assert_eq!(plan.decide("d"), FaultAction::Error);
+        let _ = plan.decide_keyed("d", "k");
+        let _ = plan.decide_io("disk:wal", 8);
+        let _ = plan.decide_delay("d");
+        let text = o.registry().expect("enabled").render_text();
+        assert!(text.contains("faults_decisions_total 2"), "{text}");
+        assert!(text.contains("faults_injected_total{kind=\"error\"} "), "{text}");
+        assert!(text.contains("faults_io_decisions_total 1"), "{text}");
+        // Disconnecting stops the counting without touching decisions.
+        plan.set_obs(&obs::Obs::disabled());
+        assert_eq!(plan.decide("d"), FaultAction::Error);
+        let text2 = o.registry().expect("enabled").render_text();
+        assert!(text2.contains("faults_decisions_total 2"), "{text2}");
     }
 
     #[test]

@@ -52,6 +52,52 @@ pub struct DistributedIndex {
     faults: Option<Arc<FaultPlan>>,
     shard_deadline: Duration,
     hang: Duration,
+    obs: obs::Obs,
+    metrics: Option<IrMetrics>,
+}
+
+/// Metric handles for the scatter-gather layer. Every evaluation path
+/// (serial, restricted, parallel) reports through [`record_result`],
+/// so shard health is visible regardless of how the query ran.
+///
+/// [`record_result`]: DistributedIndex::record_result
+#[derive(Debug, Clone)]
+struct IrMetrics {
+    queries: obs::Counter,
+    shards_ok: obs::Counter,
+    shards_failed: obs::Counter,
+    degraded: obs::Counter,
+    hits: obs::Counter,
+    shard_seconds: obs::Histogram,
+}
+
+impl IrMetrics {
+    fn register(registry: &obs::Registry) -> IrMetrics {
+        IrMetrics {
+            queries: registry.counter(
+                "ir_queries_total",
+                "Distributed text queries evaluated (all paths)",
+            ),
+            shards_ok: registry.counter(
+                "ir_shards_ok_total",
+                "Shard answers that made it into a merge",
+            ),
+            shards_failed: registry.counter(
+                "ir_shards_failed_total",
+                "Shard answers lost to errors, hangs or panics",
+            ),
+            degraded: registry.counter(
+                "ir_degraded_queries_total",
+                "Distributed queries merged with at least one shard missing",
+            ),
+            hits: registry.counter("ir_hits_total", "Hits returned by master merges"),
+            shard_seconds: registry.histogram(
+                "ir_shard_seconds",
+                "Per-shard answer latency",
+                obs::DEFAULT_TIME_BUCKETS,
+            ),
+        }
+    }
 }
 
 /// Outcome of a distributed query.
@@ -122,12 +168,55 @@ impl DistributedIndex {
             faults: None,
             shard_deadline: Duration::from_millis(250),
             hang: Duration::from_millis(500),
+            obs: obs::Obs::disabled(),
+            metrics: None,
         })
     }
 
     /// Number of logical servers.
     pub fn servers(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Connects the index to an observability handle: every evaluation
+    /// path feeds the `ir_*` metrics and, while a trace is collecting,
+    /// attaches one child span per shard. A disabled handle disconnects.
+    pub fn set_obs(&mut self, o: &obs::Obs) {
+        self.obs = o.clone();
+        self.metrics = o.registry().map(IrMetrics::register);
+    }
+
+    /// Reports one merged result to the metrics registry and, when a
+    /// trace is collecting, as per-shard child spans of the open span.
+    /// Shared by the serial, restricted and parallel paths so shard
+    /// accounting never depends on which evaluation strategy ran.
+    fn record_result(&self, result: &DistributedResult) {
+        if let Some(m) = &self.metrics {
+            m.queries.inc();
+            m.shards_ok.add(result.shards_ok as u64);
+            m.shards_failed.add(result.shards_failed as u64);
+            m.hits.add(result.hits.len() as u64);
+            if result.is_degraded() {
+                m.degraded.inc();
+            }
+            for elapsed in &result.shard_elapsed {
+                m.shard_seconds
+                    .observe_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            }
+        }
+        for (i, elapsed) in result.shard_elapsed.iter().enumerate() {
+            let failed = result.failed_shards.contains(&i);
+            self.obs.record_child(
+                format!("shard-{i}"),
+                u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+                result.per_shard_work.get(i).map_or(0, |w| w.tuples as u64),
+                if failed {
+                    obs::Outcome::Degraded
+                } else {
+                    obs::Outcome::Ok
+                },
+            );
+        }
     }
 
     /// Attaches a fault plan consulted (label `shard:<i>`) before each
@@ -242,6 +331,8 @@ impl DistributedIndex {
             faults: None,
             shard_deadline: Duration::from_millis(250),
             hang: Duration::from_millis(500),
+            obs: obs::Obs::disabled(),
+            metrics: None,
         })
     }
 
@@ -299,7 +390,9 @@ impl DistributedIndex {
             locals.push(Some(shard.query(text, k)?));
             elapsed.push(start.elapsed());
         }
-        Ok(merge(locals, &sizes, k, elapsed))
+        let result = merge(locals, &sizes, k, elapsed);
+        self.record_result(&result);
+        Ok(result)
     }
 
     /// Candidate-restricted evaluation: each server ranks only the
@@ -341,7 +434,9 @@ impl DistributedIndex {
             locals.push(Some(shard.query_restricted(text, k, candidates)?));
             elapsed.push(start.elapsed());
         }
-        Ok(merge(locals, &sizes, k, elapsed))
+        let result = merge(locals, &sizes, k, elapsed);
+        self.record_result(&result);
+        Ok(result)
     }
 
     /// Parallel evaluation: one scoped thread per server (shared-nothing,
@@ -467,7 +562,9 @@ impl DistributedIndex {
             }
             return Err(Error::AllShardsFailed(causes.join("; ")));
         }
-        Ok(merge(locals, &sizes, k, elapsed))
+        let result = merge(locals, &sizes, k, elapsed);
+        self.record_result(&result);
+        Ok(result)
     }
 }
 

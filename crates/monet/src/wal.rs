@@ -71,6 +71,40 @@ pub struct Wal {
     pub sync_every: u64,
     /// Rotate to a fresh segment past this many bytes.
     pub max_segment_bytes: u64,
+    /// Observability handle (spans around flush); disabled by default.
+    obs: obs::Obs,
+    metrics: Option<WalMetrics>,
+}
+
+/// Pre-registered metric handles for the WAL hot path.
+#[derive(Debug, Clone)]
+struct WalMetrics {
+    appends: obs::Counter,
+    append_bytes: obs::Counter,
+    flushes: obs::Counter,
+    flush_failures: obs::Counter,
+    flushed_bytes: obs::Counter,
+}
+
+impl WalMetrics {
+    fn register(registry: &obs::Registry) -> WalMetrics {
+        WalMetrics {
+            appends: registry.counter("monet_wal_appends_total", "Records appended to the WAL"),
+            append_bytes: registry.counter(
+                "monet_wal_append_bytes_total",
+                "Payload bytes appended to the WAL (excluding framing)",
+            ),
+            flushes: registry.counter("monet_wal_flushes_total", "Successful WAL flush+fsync cycles"),
+            flush_failures: registry.counter(
+                "monet_wal_flush_failures_total",
+                "WAL flushes that failed and poisoned the log",
+            ),
+            flushed_bytes: registry.counter(
+                "monet_wal_flushed_bytes_total",
+                "Framed bytes made durable by WAL flushes",
+            ),
+        }
+    }
 }
 
 impl Wal {
@@ -92,6 +126,8 @@ impl Wal {
             poisoned: false,
             sync_every: 32,
             max_segment_bytes: 4 << 20,
+            obs: obs::Obs::disabled(),
+            metrics: None,
         };
         if let Some(last_start) = wal.segment_starts()?.last().copied() {
             let path = wal.dir.join(segment_name(last_start));
@@ -123,6 +159,14 @@ impl Wal {
     /// The LSN the next appended record will get.
     pub fn next_lsn(&self) -> u64 {
         self.next_lsn
+    }
+
+    /// Connects the log to an observability handle: appends and flushes
+    /// feed the `monet_wal_*` counters, and each flush runs under a
+    /// `monet.wal.flush` span. A disabled handle disconnects.
+    pub fn set_obs(&mut self, o: &obs::Obs) {
+        self.obs = o.clone();
+        self.metrics = o.registry().map(WalMetrics::register);
     }
 
     fn segment_starts(&self) -> Result<Vec<u64>> {
@@ -157,6 +201,10 @@ impl Wal {
         self.pending.extend_from_slice(payload);
         self.pending_records += 1;
         self.next_lsn += 1;
+        if let Some(m) = &self.metrics {
+            m.appends.inc();
+            m.append_bytes.add(payload.len() as u64);
+        }
         if self.pending_records >= self.sync_every {
             self.flush()?;
         }
@@ -182,6 +230,8 @@ impl Wal {
         let path = self.current_path();
         let buf = std::mem::take(&mut self.pending);
         self.pending_records = 0;
+        let mut span = self.obs.span("monet.wal.flush");
+        span.add_work(buf.len() as u64);
         // On failure the buffered records are lost and the segment tail
         // is indeterminate (a torn append may have landed a prefix):
         // poison the log so no later append can ride over the damage.
@@ -191,9 +241,18 @@ impl Wal {
             .and_then(|()| self.backend.sync(&path))
         {
             self.poisoned = true;
+            span.set_outcome(obs::Outcome::Degraded);
+            span.note(|| "poisoned".to_owned());
+            if let Some(m) = &self.metrics {
+                m.flush_failures.inc();
+            }
             return Err(e);
         }
         self.current_bytes += buf.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.flushes.inc();
+            m.flushed_bytes.add(buf.len() as u64);
+        }
         Ok(())
     }
 

@@ -39,13 +39,22 @@ pub fn nodes_at_budgeted(
             "nodes_at expects an element path, got {path}"
         )));
     }
+    if let Some(m) = store.metrics() {
+        m.path_scans.inc();
+    }
     if path.len() == 1 {
         // Root paths live in `sys`.
         let label = path.steps()[0].label().to_owned();
         return match store.db().get(SYS_RELATION) {
-            Ok(bat) => bat
-                .select_str_eq_budgeted(&label, budget)
-                .map_err(|cause| Error::DeadlineExceeded { nodes: 0, cause }),
+            Ok(bat) => {
+                let out = bat
+                    .select_str_eq_budgeted(&label, budget)
+                    .map_err(|cause| Error::DeadlineExceeded { nodes: 0, cause })?;
+                if let Some(m) = store.metrics() {
+                    m.scan_rows.add(out.len() as u64);
+                }
+                Ok(out)
+            }
             Err(_) => Ok(Vec::new()),
         };
     }
@@ -61,6 +70,9 @@ pub fn nodes_at_budgeted(
                 if let Some(oid) = v.as_oid() {
                     out.push(oid);
                 }
+            }
+            if let Some(m) = store.metrics() {
+                m.scan_rows.add(out.len() as u64);
             }
             Ok(out)
         }

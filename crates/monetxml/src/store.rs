@@ -46,6 +46,47 @@ pub struct XmlStore {
     /// When attached, every insert/delete is logged here *before* the
     /// catalog mutates, so a crash mid-operation replays cleanly.
     wal: Option<WalHandle>,
+    /// Pre-registered metric handles; `None` when observability is off.
+    metrics: Option<StoreMetrics>,
+}
+
+/// Metric handles for the physical level (loads, scans, reconstructs).
+#[derive(Debug, Clone)]
+pub(crate) struct StoreMetrics {
+    loads: obs::Counter,
+    nodes_loaded: obs::Counter,
+    deletes: obs::Counter,
+    reconstructions: obs::Counter,
+    pub(crate) path_scans: obs::Counter,
+    pub(crate) scan_rows: obs::Counter,
+}
+
+impl StoreMetrics {
+    fn register(registry: &obs::Registry) -> StoreMetrics {
+        StoreMetrics {
+            loads: registry.counter(
+                "monetxml_loads_total",
+                "Documents loaded (bulkload or tree insert)",
+            ),
+            nodes_loaded: registry.counter(
+                "monetxml_nodes_loaded_total",
+                "Nodes inserted into path relations",
+            ),
+            deletes: registry.counter("monetxml_deletes_total", "Documents deleted"),
+            reconstructions: registry.counter(
+                "monetxml_reconstructions_total",
+                "Documents reconstructed from relations",
+            ),
+            path_scans: registry.counter(
+                "monetxml_path_scans_total",
+                "Path-expression relation scans",
+            ),
+            scan_rows: registry.counter(
+                "monetxml_scan_rows_total",
+                "Tuples returned by path-expression scans",
+            ),
+        }
+    }
 }
 
 /// WAL op tag: insert a document (`fields = [source, xml]`).
@@ -63,6 +104,25 @@ impl XmlStore {
             last_stats: LoadStats::default(),
             epoch: 0,
             wal: None,
+            metrics: None,
+        }
+    }
+
+    /// Connects the store to an observability handle: loads, deletes,
+    /// scans and reconstructions feed the `monetxml_*` counters. A
+    /// disabled handle disconnects.
+    pub fn set_obs(&mut self, o: &obs::Obs) {
+        self.metrics = o.registry().map(StoreMetrics::register);
+    }
+
+    pub(crate) fn metrics(&self) -> Option<&StoreMetrics> {
+        self.metrics.as_ref()
+    }
+
+    fn note_load(&self, stats: &LoadStats) {
+        if let Some(m) = &self.metrics {
+            m.loads.inc();
+            m.nodes_loaded.add(stats.nodes as u64);
         }
     }
 
@@ -137,6 +197,7 @@ impl XmlStore {
         }
         let (root, stats) = transform::load_document(&mut self.db, &mut self.summary, source, doc)?;
         self.roots.push(root);
+        self.note_load(&stats);
         self.last_stats = stats;
         self.epoch += 1;
         Ok(root)
@@ -186,6 +247,7 @@ impl XmlStore {
         parse::parse_sax(xml, &mut Sax(&mut loader))?;
         let (root, stats) = loader.finish()?;
         self.roots.push(root);
+        self.note_load(&stats);
         self.last_stats = stats;
         self.epoch += 1;
         Ok(root)
@@ -211,6 +273,7 @@ impl XmlStore {
         parse::parse_sax(xml, &mut Sax(&mut loader))?;
         let (root, stats) = loader.finish()?;
         self.roots.push(root);
+        self.note_load(&stats);
         self.last_stats = stats;
         self.epoch += 1;
         Ok(root)
@@ -356,6 +419,9 @@ impl XmlStore {
 
     /// Reconstructs the document rooted at `root` (the inverse mapping).
     pub fn reconstruct(&mut self, root: Oid) -> Result<Document> {
+        if let Some(m) = &self.metrics {
+            m.reconstructions.inc();
+        }
         transform::reconstruct(&mut self.db, &self.summary, root)
     }
 
@@ -367,6 +433,9 @@ impl XmlStore {
         root: Oid,
         budget: &faults::Budget,
     ) -> Result<Document> {
+        if let Some(m) = &self.metrics {
+            m.reconstructions.inc();
+        }
         transform::reconstruct_budgeted(&mut self.db, &self.summary, root, budget)
     }
 
@@ -432,6 +501,9 @@ impl XmlStore {
         self.db.get_mut(SOURCE_RELATION)?.delete_head(root);
         self.roots.retain(|r| *r != root);
         self.epoch += 1;
+        if let Some(m) = &self.metrics {
+            m.deletes.inc();
+        }
         Ok(removed)
     }
 
@@ -524,6 +596,7 @@ impl XmlStore {
             last_stats: LoadStats::default(),
             epoch: 0,
             wal: None,
+            metrics: None,
         })
     }
 

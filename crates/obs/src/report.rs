@@ -1,0 +1,244 @@
+//! The shared bench-report schema.
+//!
+//! Every `BENCH_*.json` at the repo root is written through
+//! [`BenchReport`], so they all carry the same envelope:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "bench": "populate",
+//!   "config": { ... },
+//!   "results": { ... },
+//!   "metrics": { ... }   // optional registry dump
+//! }
+//! ```
+//!
+//! [`Json`] is a minimal owned JSON value — enough to serialize the
+//! reports without pulling a serde dependency into the workspace.
+
+use crate::metrics::Registry;
+
+/// Version stamp shared by every bench report.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// A minimal owned JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer (rendered without a decimal point).
+    Int(i64),
+    /// A float (rendered via `{}`; NaN/inf degrade to `null`).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders compact-but-readable JSON (two-space indent).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if *n == n.trunc() && n.abs() < 1e15 {
+                        out.push_str(&format!("{n:.1}"));
+                    } else {
+                        out.push_str(&format!("{n}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    Json::Str(key.clone()).render_into(out, depth + 1);
+                    out.push_str(": ");
+                    value.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Builder for a `BENCH_*.json` payload with the shared envelope.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    bench: String,
+    config: Vec<(String, Json)>,
+    results: Vec<(String, Json)>,
+    metrics: Option<Json>,
+}
+
+impl BenchReport {
+    /// Starts a report for the named bench (`"populate"`, `"obs"`, …).
+    pub fn new(bench: impl Into<String>) -> BenchReport {
+        BenchReport {
+            bench: bench.into(),
+            config: Vec::new(),
+            results: Vec::new(),
+            metrics: None,
+        }
+    }
+
+    /// Records a configuration knob (workload size, shard count, …).
+    pub fn config(mut self, key: impl Into<String>, value: Json) -> Self {
+        self.config.push((key.into(), value));
+        self
+    }
+
+    /// Records a headline result (throughput, latency, ratio, …).
+    pub fn result(mut self, key: impl Into<String>, value: Json) -> Self {
+        self.results.push((key.into(), value));
+        self
+    }
+
+    /// Attaches a full registry dump under `"metrics"`.
+    pub fn metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(registry.render_json());
+        self
+    }
+
+    /// The assembled envelope as a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        let mut entries = vec![
+            ("schema_version".to_owned(), Json::Int(SCHEMA_VERSION)),
+            ("bench".to_owned(), Json::str(self.bench.clone())),
+            ("config".to_owned(), Json::Obj(self.config.clone())),
+            ("results".to_owned(), Json::Obj(self.results.clone())),
+        ];
+        if let Some(metrics) = &self.metrics {
+            entries.push(("metrics".to_owned(), metrics.clone()));
+        }
+        Json::Obj(entries)
+    }
+
+    /// Renders the report (with trailing newline, ready to write).
+    pub fn render(&self) -> String {
+        let mut s = self.to_json().render();
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_envelope_has_schema_version_first() {
+        let report = BenchReport::new("smoke")
+            .config("docs", Json::Int(100))
+            .result("throughput_docs_per_s", Json::Num(12_500.0));
+        let text = report.render();
+        assert!(text.starts_with("{\n  \"schema_version\": 1"), "{text}");
+        assert!(text.contains("\"bench\": \"smoke\""), "{text}");
+        assert!(text.contains("\"docs\": 100"), "{text}");
+        assert!(text.contains("\"throughput_docs_per_s\": 12500.0"), "{text}");
+        assert!(text.ends_with("}\n"), "{text}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let j = Json::str("a\"b\\c\nd");
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn nested_values_render_deterministically() {
+        let j = Json::Obj(vec![
+            ("arr".to_owned(), Json::Arr(vec![Json::Int(1), Json::Null])),
+            ("empty".to_owned(), Json::Obj(vec![])),
+            ("flag".to_owned(), Json::Bool(true)),
+        ]);
+        let text = j.render();
+        assert_eq!(
+            text,
+            "{\n  \"arr\": [\n    1,\n    null\n  ],\n  \"empty\": {},\n  \"flag\": true\n}"
+        );
+    }
+
+    #[test]
+    fn metrics_dump_attaches() {
+        let r = Registry::new();
+        r.counter("x_total", "x").add(2);
+        let report = BenchReport::new("m").metrics(&r);
+        let text = report.render();
+        assert!(text.contains("\"metrics\": {"), "{text}");
+        assert!(text.contains("\"x_total\": 2"), "{text}");
+    }
+}

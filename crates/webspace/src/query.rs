@@ -131,6 +131,38 @@ pub struct QueryResult {
     pub chain: Vec<String>,
 }
 
+/// Metric handles for the conceptual level.
+#[derive(Debug, Clone)]
+struct WebspaceMetrics {
+    queries: obs::Counter,
+    rows_examined: obs::Counter,
+    rows_out: obs::Counter,
+    joins_walked: obs::Counter,
+}
+
+impl WebspaceMetrics {
+    fn register(registry: &obs::Registry) -> WebspaceMetrics {
+        WebspaceMetrics {
+            queries: registry.counter(
+                "webspace_queries_total",
+                "Conceptual queries executed against the object graph",
+            ),
+            rows_examined: registry.counter(
+                "webspace_rows_examined_total",
+                "Candidate rows examined (seeds plus join expansions)",
+            ),
+            rows_out: registry.counter(
+                "webspace_rows_out_total",
+                "Result rows produced by conceptual queries",
+            ),
+            joins_walked: registry.counter(
+                "webspace_joins_total",
+                "Association-chain join steps walked",
+            ),
+        }
+    }
+}
+
 /// The merged object graph of a webspace.
 #[derive(Debug, Clone)]
 pub struct WebspaceIndex {
@@ -138,6 +170,7 @@ pub struct WebspaceIndex {
     objects: Vec<WebObject>,
     by_id: HashMap<String, usize>,
     associations: Vec<Association>,
+    metrics: Option<WebspaceMetrics>,
 }
 
 impl WebspaceIndex {
@@ -148,7 +181,14 @@ impl WebspaceIndex {
             objects: Vec::new(),
             by_id: HashMap::new(),
             associations: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Connects the index to an observability handle: executed queries
+    /// feed the `webspace_*` counters. A disabled handle disconnects.
+    pub fn set_obs(&mut self, o: &obs::Obs) {
+        self.metrics = o.registry().map(WebspaceMetrics::register);
     }
 
     /// The schema.
@@ -253,10 +293,16 @@ impl WebspaceIndex {
             class = assoc.to.clone();
         }
 
+        if let Some(m) = &self.metrics {
+            m.queries.inc();
+        }
+
         // Seed: objects of the starting class passing all predicates.
         // One work unit per candidate object examined.
+        let mut examined: u64 = 0;
         let mut rows: Vec<Vec<String>> = Vec::new();
         for o in self.objects_of(&query.from_class) {
+            examined += 1;
             budget.consume(1).map_err(|cause| Error::DeadlineExceeded {
                 rows: rows.len(),
                 cause,
@@ -268,8 +314,12 @@ impl WebspaceIndex {
 
         // Walk the association chain, paying one unit per expanded row.
         for step in &query.joins {
+            if let Some(m) = &self.metrics {
+                m.joins_walked.inc();
+            }
             let mut next = Vec::new();
             for row in rows {
+                examined += 1;
                 budget.consume(1).map_err(|cause| Error::DeadlineExceeded {
                     rows: next.len(),
                     cause,
@@ -286,6 +336,10 @@ impl WebspaceIndex {
             rows = next;
         }
 
+        if let Some(m) = &self.metrics {
+            m.rows_examined.add(examined);
+            m.rows_out.add(rows.len() as u64);
+        }
         Ok(rows.into_iter().map(|chain| QueryResult { chain }).collect())
     }
 }

@@ -12,6 +12,7 @@ verify:
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench query_cache
     just recovery-smoke
     just overload-smoke
+    just obs-smoke
 
 # Crash-point recovery: the durability harness (WAL + snapshot fault
 # sweeps) plus a smoke pass of the E13 recovery bench.
@@ -26,6 +27,12 @@ overload-smoke:
     cargo test --offline -q -p dlsearch --test overload
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench overload
 
+# Observability: byte-identity, scrape coverage, EXPLAIN ANALYZE tree
+# shape, slow-log bounds — plus a smoke pass of the E15 overhead bench.
+obs-smoke:
+    cargo test --offline -q -p dlsearch --test observability
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench obs
+
 build:
     cargo build --offline
 
@@ -36,13 +43,15 @@ clippy:
     cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Perf baselines: E11 (parallel ingestion), E12 (query cache), E13
-# (recovery), E14 (overload). Full runs refresh BENCH_populate.json /
-# BENCH_query.json / BENCH_recovery.json / BENCH_overload.json in-repo.
+# (recovery), E14 (overload), E15 (observability overhead). Full runs
+# refresh the BENCH_*.json artifacts in-repo; all five emit the shared
+# schema_version=1 envelope with an embedded metrics dump.
 bench:
     cargo bench --offline -p bench --bench ingest
     cargo bench --offline -p bench --bench query_cache
     cargo bench --offline -p bench --bench recovery
     cargo bench --offline -p bench --bench overload
+    cargo bench --offline -p bench --bench obs
 
 # The flagship scenario, healthy and under injected faults.
 demo:
