@@ -5,6 +5,9 @@
 //! *estimated* quality degrade for large cost savings. Expected shape:
 //! evaluation cost falls sharply with the cut-off while the top-ranked
 //! documents (driven by high-idf terms) stay put.
+//!
+//! `BENCH_SMOKE=1` shrinks the corpus (the criterion shim already cuts
+//! iteration counts) so the harness can run inside `just verify`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ir::{FragmentedIndex, ScoreModel, TextIndex};
@@ -23,7 +26,7 @@ fn bench_fragmentation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_fragment_cutoff");
     group.sample_size(30);
 
-    let docs = 2000;
+    let docs = if std::env::var("BENCH_SMOKE").is_ok() { 300 } else { 2000 };
     for fragments in [4usize, 16] {
         let index = build_fragmented(docs, fragments);
         // Budgets: everything, half, just the high-idf head.

@@ -41,6 +41,7 @@ pub fn config(site: Arc<Site>) -> EngineConfig {
         grammar_source: feagram::paper::MEDIA_GRAMMAR.to_owned(),
         registry: detectors(site),
         text_servers: 1,
+        text_replicas: 0,
         faults: None,
     }
 }
@@ -68,6 +69,7 @@ pub fn resilient_engine(
         grammar_source: feagram::paper::MEDIA_GRAMMAR.to_owned(),
         registry: supervised_detectors(site, Arc::clone(&plan)),
         text_servers,
+        text_replicas: 0,
         faults: Some(plan),
     })
 }
@@ -210,6 +212,7 @@ pub fn flaky_engine(site: Arc<Site>, plan: Arc<faults::FaultPlan>) -> Result<Eng
         grammar_source: feagram::paper::MEDIA_GRAMMAR.to_owned(),
         registry: flaky_detectors(site, plan),
         text_servers: 1,
+        text_replicas: 0,
         faults: None,
     })
 }

@@ -52,6 +52,12 @@ pub struct EngineConfig {
     /// more servers distribute documents per-document and answer
     /// queries in parallel, degrading gracefully when servers fail.
     pub text_servers: usize,
+    /// Replicas per text shard, each placed on a distinct server.
+    /// `0` keeps the unreplicated semantics; with `R > 0` a query
+    /// fails over to a replica before ever degrading, as long as any
+    /// copy of the shard's group survives. Must leave room for
+    /// distinct hosts (`text_replicas < text_servers` unless 0).
+    pub text_replicas: usize,
     /// Fault plan consulted by the text servers (labels `shard:<i>`).
     /// `None` means no injection anywhere.
     pub faults: Option<Arc<FaultPlan>>,
@@ -403,6 +409,9 @@ pub struct TextQueryStatus {
     pub shards_failed: usize,
     /// Which servers failed.
     pub failed_shards: Vec<usize>,
+    /// Shard groups whose primary failed but a replica answered — the
+    /// group still counts towards `shards_ok` and full quality.
+    pub failovers: usize,
     /// Estimated answer quality: fraction of the collection's documents
     /// held by surviving servers.
     pub quality: f64,
@@ -436,9 +445,12 @@ impl Engine {
     pub fn new(config: EngineConfig) -> Result<Engine> {
         let grammar = feagram::parse_grammar(&config.grammar_source)?;
         let fds = Fds::new(&grammar);
-        let mut text =
-            ir::DistributedIndex::new(config.text_servers, ir::ScoreModel::TfIdf)
-                .map_err(Error::Ir)?;
+        let mut text = ir::DistributedIndex::with_replication(
+            config.text_servers,
+            ir::ScoreModel::TfIdf,
+            config.text_replicas,
+        )
+        .map_err(Error::Ir)?;
         if let Some(plan) = &config.faults {
             text.set_fault_plan(Arc::clone(plan));
         }
@@ -524,6 +536,7 @@ impl Engine {
             }
         };
         let configured_servers = engine.text.servers();
+        let configured_replicas = engine.text.replication();
         let (mut views, mut meta_store, mut text, watermark) = match generation {
             Some(g) => {
                 if g.manifest.shard_epochs.len() != configured_servers {
@@ -536,6 +549,25 @@ impl Engine {
                 let mut views = g.views;
                 let mut meta_store = g.meta_store;
                 let mut text = g.text;
+                if text.replication() != configured_replicas {
+                    // Replicas are derived state (snapshots of their
+                    // primaries), so unlike the shard count the config
+                    // wins: rebuild the replica sets at the requested
+                    // factor — unless it cannot place distinct hosts.
+                    match text.set_replication(configured_replicas) {
+                        Ok(()) => report.notes.push(format!(
+                            "checkpoint was written with {} text replica(s); rebuilt at the \
+                             configured {configured_replicas}",
+                            g.manifest.text_replicas
+                        )),
+                        Err(e) => report.notes.push(format!(
+                            "cannot apply configured text replication {configured_replicas} \
+                             to the checkpoint's {} server(s) ({e}); keeping {}",
+                            g.manifest.shard_epochs.len(),
+                            g.manifest.text_replicas
+                        )),
+                    }
+                }
                 // Resume epochs monotonically from the manifest BEFORE
                 // replay, so replayed mutations advance past every
                 // epoch value the previous process could have exposed.
@@ -547,8 +579,12 @@ impl Engine {
             None => (
                 XmlStore::new(),
                 XmlStore::new(),
-                ir::DistributedIndex::new(configured_servers, ir::ScoreModel::TfIdf)
-                    .map_err(Error::Ir)?,
+                ir::DistributedIndex::with_replication(
+                    configured_servers,
+                    ir::ScoreModel::TfIdf,
+                    configured_replicas,
+                )
+                .map_err(Error::Ir)?,
                 0,
             ),
         };
@@ -653,6 +689,8 @@ impl Engine {
             views_epoch: self.views.epoch(),
             meta_epoch: self.meta.store().epoch(),
             shard_epochs: self.text.shard_epochs(),
+            text_replicas: self.text.replication() as u32,
+            text_layout: self.text.layout().to_vec(),
         };
         let new_path = dir.join("MANIFEST.new");
         backend.write(&new_path, &manifest.encode()).map_err(Error::Persist)?;
@@ -742,7 +780,10 @@ impl Engine {
     pub fn state_digest(&mut self) -> Result<Vec<u8>> {
         let mut out = self.views.snapshot()?;
         out.extend_from_slice(&self.meta.store().snapshot()?);
-        for shard in self.text.snapshot_shards().map_err(Error::Ir)? {
+        // Content-only shard snapshots: the epoch counters measure how
+        // many mutations a history took, and recovery resumes them from
+        // the manifest anyway — equal digests must mean equal *state*.
+        for shard in self.text.content_snapshot_shards().map_err(Error::Ir)? {
             out.extend_from_slice(&shard);
         }
         Ok(out)
@@ -791,6 +832,29 @@ impl Engine {
     /// Shard status of the last text retrieval, if any ran.
     pub fn last_text_status(&self) -> Option<&TextQueryStatus> {
         self.last_text_status.as_ref()
+    }
+
+    /// Per-shard-group health of the text tier — document counts,
+    /// replica counts, copies believed healthy — the distributed
+    /// index's analogue of `Supervisor::detector_health`.
+    pub fn shard_health(&self) -> Vec<ir::ShardHealth> {
+        self.text.shard_health()
+    }
+
+    /// Rebalances the text tier onto `target` servers with the
+    /// idf-aware planner, migrating documents and cutting over
+    /// epoch-consistently. The answer cache is cleared up front (the
+    /// cutover bumps every shard epoch anyway, but a rebalance is rare
+    /// and correctness must not lean on epoch-key coverage alone). With
+    /// durability attached, the cutover is WAL-logged before the swap;
+    /// checkpointing afterwards persists the new layout in the
+    /// manifest.
+    pub fn rebalance_text(&mut self, target: usize) -> Result<ir::RebalanceReport> {
+        self.query_cache.clear();
+        let report = ir::Rebalancer::new()
+            .rebalance(&mut self.text, target)
+            .map_err(Error::Ir)?;
+        Ok(report)
     }
 
     /// The admission gate (shared; clones point at the same gate).
@@ -1138,6 +1202,15 @@ impl Engine {
                 );
             }
             if let Some(st) = &self.last_text_status {
+                if st.failovers > 0 {
+                    push(
+                        &mut out,
+                        format!(
+                            "FAILOVER: {} shard group(s) answered from a replica last time (primary down, answer exact)",
+                            st.failovers
+                        ),
+                    );
+                }
                 if st.shards_failed > 0 {
                     push(
                         &mut out,
@@ -1524,6 +1597,7 @@ impl Engine {
                 shards_ok: result.shards_ok,
                 shards_failed: result.shards_failed,
                 failed_shards: result.failed_shards.clone(),
+                failovers: result.failovers,
                 quality: result.quality,
             });
             let hits = result.hits;

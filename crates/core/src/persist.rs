@@ -25,15 +25,20 @@
 //!
 //! ```text
 //! magic "DLMF" | version u8 | snapshot id u64 | WAL watermark u64
-//! views epoch u64 | meta epoch u64 | text server count u32
-//! per server: epoch u64
+//! views epoch u64 | meta epoch u64 | text replicas u32
+//! text server count u32 | per server: epoch u64
+//! route slot count u16 | per slot: server u16
 //! crc32 of everything above: u32 LE
 //! ```
 //!
 //! The store epochs ride in the manifest so a reopened engine resumes
 //! its epoch counters monotonically instead of silently restarting at
 //! zero — an epoch value observed before a restart can never validate
-//! stale derived state afterwards.
+//! stale derived state afterwards. Since version 2 the manifest also
+//! pins the text tier's replication factor and slot→server routing
+//! layout: recovery cross-checks them against what the shard snapshots
+//! decode to, so a checkpoint can never silently come back with a
+//! different document placement than it was written with.
 
 use std::path::{Path, PathBuf};
 
@@ -50,7 +55,7 @@ pub const STORE_META: u8 = 1;
 pub const STORE_TEXT: u8 = 2;
 
 const MANIFEST_MAGIC: &[u8; 4] = b"DLMF";
-const MANIFEST_VERSION: u8 = 1;
+const MANIFEST_VERSION: u8 = 2;
 
 /// Current manifest file name.
 pub const MANIFEST: &str = "MANIFEST";
@@ -73,6 +78,12 @@ pub struct Manifest {
     /// Per-text-server epochs at snapshot time (shard order; the length
     /// is the shard count the snapshots were written with).
     pub shard_epochs: Vec<u64>,
+    /// Replication factor of the text tier at snapshot time.
+    pub text_replicas: u32,
+    /// Slot→server routing layout at snapshot time (length
+    /// [`ir::ROUTE_SLOTS`] in practice; recovery cross-checks it
+    /// against what the shard snapshots decode to).
+    pub text_layout: Vec<u16>,
 }
 
 impl Manifest {
@@ -85,9 +96,14 @@ impl Manifest {
         out.extend_from_slice(&self.watermark.to_le_bytes());
         out.extend_from_slice(&self.views_epoch.to_le_bytes());
         out.extend_from_slice(&self.meta_epoch.to_le_bytes());
+        out.extend_from_slice(&self.text_replicas.to_le_bytes());
         out.extend_from_slice(&(self.shard_epochs.len() as u32).to_le_bytes());
         for e in &self.shard_epochs {
             out.extend_from_slice(&e.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.text_layout.len() as u16).to_le_bytes());
+        for s in &self.text_layout {
+            out.extend_from_slice(&s.to_le_bytes());
         }
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
@@ -96,7 +112,7 @@ impl Manifest {
 
     /// Decodes and CRC-verifies a manifest.
     pub fn decode(bytes: &[u8]) -> Result<Manifest> {
-        if bytes.len() < 4 + 1 + 8 * 4 + 4 + 4 {
+        if bytes.len() < 4 + 1 + 8 * 4 + 4 + 4 + 2 + 4 {
             return Err(Error::Recovery("manifest truncated".into()));
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 4);
@@ -115,17 +131,32 @@ impl Manifest {
         let watermark = u64_at(13);
         let views_epoch = u64_at(21);
         let meta_epoch = u64_at(29);
-        let nshards = u32::from_le_bytes(body[37..41].try_into().expect("4 bytes")) as usize;
-        if body.len() < 41 + nshards * 8 {
+        let text_replicas = u32::from_le_bytes(body[37..41].try_into().expect("4 bytes"));
+        let nshards = u32::from_le_bytes(body[41..45].try_into().expect("4 bytes")) as usize;
+        if body.len() < 45 + nshards * 8 + 2 {
             return Err(Error::Recovery(format!("manifest lists {nshards} servers but is truncated")));
         }
-        let shard_epochs = (0..nshards).map(|i| u64_at(41 + i * 8)).collect();
+        let shard_epochs = (0..nshards).map(|i| u64_at(45 + i * 8)).collect();
+        let slots_at = 45 + nshards * 8;
+        let nslots =
+            u16::from_le_bytes(body[slots_at..slots_at + 2].try_into().expect("2 bytes")) as usize;
+        if body.len() < slots_at + 2 + nslots * 2 {
+            return Err(Error::Recovery(format!("manifest lists {nslots} route slots but is truncated")));
+        }
+        let text_layout = (0..nslots)
+            .map(|i| {
+                let off = slots_at + 2 + i * 2;
+                u16::from_le_bytes(body[off..off + 2].try_into().expect("2 bytes"))
+            })
+            .collect();
         Ok(Manifest {
             snapshot_id,
             watermark,
             views_epoch,
             meta_epoch,
             shard_epochs,
+            text_replicas,
+            text_layout,
         })
     }
 }
@@ -197,6 +228,18 @@ fn try_load_generation(
     }
     let text = ir::DistributedIndex::restore_shards(&shard_bytes)
         .map_err(|e| Error::Recovery(format!("text snapshot {id}: {e}")))?;
+    if text.layout() != &manifest.text_layout[..] {
+        return Err(Error::Recovery(format!(
+            "text snapshot {id}: routing layout disagrees with the manifest"
+        )));
+    }
+    if text.replication() != manifest.text_replicas as usize {
+        return Err(Error::Recovery(format!(
+            "text snapshot {id}: replication {} disagrees with the manifest's {}",
+            text.replication(),
+            manifest.text_replicas
+        )));
+    }
     Ok(LoadedGeneration {
         manifest,
         views,
@@ -336,6 +379,36 @@ pub fn apply_wal_records(
                     true
                 }
             }
+            (STORE_TEXT, ir::distrib::WAL_OP_LAYOUT) if fields.len() == 1 => {
+                match decode_layout_record(&fields[0]) {
+                    Some((shards, layout)) => {
+                        if text.servers() == shards && text.layout() == &layout[..] {
+                            false // snapshot already past this cutover
+                        } else {
+                            match text.apply_layout(shards, &layout) {
+                                Ok(_) => {
+                                    text_touched = true;
+                                    true
+                                }
+                                Err(e) => {
+                                    report.notes.push(format!(
+                                        "lsn {}: layout cutover failed ({e}); skipped",
+                                        record.lsn
+                                    ));
+                                    false
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        report.notes.push(format!(
+                            "lsn {}: malformed layout record; skipped",
+                            record.lsn
+                        ));
+                        false
+                    }
+                }
+            }
             _ => {
                 report.notes.push(format!(
                     "lsn {}: unknown record (store {store}, op {op}); skipped",
@@ -354,6 +427,23 @@ pub fn apply_wal_records(
         text.commit().map_err(Error::Ir)?;
     }
     Ok(())
+}
+
+/// Decodes a [`ir::distrib::WAL_OP_LAYOUT`] record:
+/// `shards u32 | nslots u16 | per slot: server u16`.
+fn decode_layout_record(bytes: &[u8]) -> Option<(usize, Vec<u16>)> {
+    if bytes.len() < 6 {
+        return None;
+    }
+    let shards = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let nslots = u16::from_le_bytes(bytes[4..6].try_into().ok()?) as usize;
+    if bytes.len() != 6 + nslots * 2 {
+        return None;
+    }
+    let layout = (0..nslots)
+        .map(|i| u16::from_le_bytes([bytes[6 + i * 2], bytes[7 + i * 2]]))
+        .collect();
+    Some((shards, layout))
 }
 
 /// Deletes snapshot files of generations older than `keep_from` —
@@ -404,6 +494,8 @@ mod tests {
             views_epoch: 42,
             meta_epoch: 9,
             shard_epochs: vec![3, 0, 11],
+            text_replicas: 2,
+            text_layout: (0..ir::ROUTE_SLOTS).map(|s| (s % 3) as u16).collect(),
         };
         assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
     }
@@ -416,6 +508,8 @@ mod tests {
             views_epoch: 0,
             meta_epoch: 0,
             shard_epochs: vec![5],
+            text_replicas: 0,
+            text_layout: vec![0; ir::ROUTE_SLOTS],
         };
         let bytes = m.encode();
         for i in 0..bytes.len() {

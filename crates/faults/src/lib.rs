@@ -387,6 +387,19 @@ impl FaultPlan {
         sites.entry(label.into()).or_default().spec = Some(spec);
     }
 
+    /// Applies one spec to a whole batch of labels at runtime — the
+    /// chaos-test idiom for killing a *machine* rather than a site
+    /// (e.g. every `shard:`/`replica:` label a virtual server hosts).
+    pub fn set_sites<I, S>(&self, labels: I, spec: FaultSpec)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for label in labels {
+            self.set_site(label, spec);
+        }
+    }
+
     /// Replaces the scripted schedule for `label` at runtime.
     pub fn set_script(&self, label: impl Into<String>, script: Vec<FaultAction>) {
         let mut sites = self.sites.lock().expect("fault plan poisoned");

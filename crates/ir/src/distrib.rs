@@ -15,7 +15,27 @@
 //!
 //! Each logical server is a full [`TextIndex`] over its slice of the
 //! collection (shared-nothing: no cross-server state). The parallel
-//! evaluation path runs one scoped thread per server.
+//! evaluation path runs one scoped thread per server copy.
+//!
+//! # Routing
+//!
+//! URLs hash (FNV-1a) onto a fixed ring of [`ROUTE_SLOTS`] slots; a
+//! **layout table** maps each slot to its primary server. The default
+//! layout deals slots round-robin, but the [`Rebalancer`] may install
+//! any table — splitting a hot server's slots off or merging cold ones
+//! — without changing which slot any URL hashes to. Routing is thus
+//! deterministic for a fixed layout and survives restore and rebalance.
+//!
+//! # Replication
+//!
+//! [`DistributedIndex::with_replication`] gives every shard group `R`
+//! replicas placed on the *next* `R` distinct virtual servers (so a
+//! whole-server loss never takes out every copy of a group). Writes fan
+//! out to all copies; the parallel query path asks every copy and
+//! prefers the primary's answer, failing over to the lowest-numbered
+//! live replica — within the same collection window — before ever
+//! degrading the merge. [`DistributedResult::failovers`] counts how
+//! many groups were rescued that way.
 //!
 //! # Degraded mode
 //!
@@ -24,36 +44,79 @@
 //! down, so the central node must not either. [`query_parallel`]
 //! isolates every server — panics are caught, answers are collected
 //! with a deadline — and merges whatever survived. The
-//! [`DistributedResult`] reports how many servers answered
+//! [`DistributedResult`] reports how many groups answered
 //! ([`shards_ok`](DistributedResult::shards_ok) /
 //! [`shards_failed`](DistributedResult::shards_failed)) and a quality
 //! estimate in the style of the fragmentation cutoff model: the
-//! fraction of the collection's documents the surviving servers cover.
-//! Only when *every* server fails does the query error
+//! fraction of the collection's documents the surviving groups cover.
+//! Only when *every* group fails does the query error
 //! ([`Error::AllShardsFailed`]).
 //!
-//! Failures are injectable through a [`faults::FaultPlan`] consulted
-//! under the label `shard:<i>` before each server runs its local query.
+//! Failures are injectable through a [`faults::FaultPlan`]: primaries
+//! are consulted under `shard:<group>`, replica copies under
+//! `replica:<host>:<group>` (host = the virtual server the copy lives
+//! on), and migration streams during a rebalance under
+//! `migrate:shard:<group>`. [`fault_labels_for_server`] enumerates
+//! every label a whole-server kill must cover.
 //!
 //! [`query_parallel`]: DistributedIndex::query_parallel
+//! [`Rebalancer`]: crate::rebalance::Rebalancer
+//! [`fault_labels_for_server`]: DistributedIndex::fault_labels_for_server
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use faults::{Budget, FaultAction, FaultPlan};
+use monet::wal::WalHandle;
 
 use crate::error::{Error, Result};
-use crate::index::{QueryWork, ScoreModel, SearchHit, TextIndex};
+use crate::index::{DocExport, QueryWork, ScoreModel, SearchHit, TextIndex};
+use crate::rebalance::RebalanceReport;
 
-/// A distributed text index: N shared-nothing logical servers.
+/// Number of routing slots on the hash ring. URLs hash to a slot once
+/// and forever; layouts only remap slots to servers. 64 slots keep the
+/// table tiny while still letting the rebalancer move load in ~1.5%
+/// steps.
+pub const ROUTE_SLOTS: usize = 64;
+
+/// WAL op tag (text store): a layout cutover
+/// (`fields = [[shards u32][nslots u16][slot entries u16 × nslots]]`).
+/// Replaying it re-derives the whole migration deterministically.
+pub const WAL_OP_LAYOUT: u8 = 1;
+
+/// Snapshot envelope magic for one shard of a consistent cut.
+const SHARD_MAGIC: &[u8; 4] = b"DSHD";
+/// Envelope format version.
+const SHARD_VERSION: u8 = 1;
+/// Fixed envelope header size (see [`DistributedIndex::snapshot_shards`]).
+const SHARD_HEADER: usize = 4 + 1 + 4 + 4 + 4 + 8 + 8 + 2 + 2 * ROUTE_SLOTS;
+
+/// A distributed text index: N shared-nothing logical server groups,
+/// each a primary [`TextIndex`] plus `R` replicas on distinct hosts.
 pub struct DistributedIndex {
+    /// Primary per group; the group index is the primary's host.
     shards: Vec<TextIndex>,
+    /// `replicas[g][c]` is copy `c+1` of group `g`, living on virtual
+    /// host `(g + c + 1) % servers`.
+    replicas: Vec<Vec<TextIndex>>,
+    replication: usize,
+    /// Slot → primary server table ([`ROUTE_SLOTS`] entries).
+    layout: Vec<u16>,
     faults: Option<Arc<FaultPlan>>,
     shard_deadline: Duration,
     hang: Duration,
     obs: obs::Obs,
     metrics: Option<IrMetrics>,
+    /// The shared log handle (also held by every primary); the layout
+    /// record of a rebalance goes through it. `None` during replay.
+    wal: Option<WalHandle>,
+    /// `copy_health[g][c]`: did copy `c` (0 = primary) of group `g`
+    /// answer its most recent parallel query? Diagnostic only — the
+    /// next query always asks every copy again.
+    copy_health: Vec<Vec<bool>>,
+    /// Epoch stamped on the primaries by the last layout cutover.
+    last_cutover_epoch: u64,
 }
 
 /// Metric handles for the scatter-gather layer. Every evaluation path
@@ -69,6 +132,10 @@ struct IrMetrics {
     degraded: obs::Counter,
     hits: obs::Counter,
     shard_seconds: obs::Histogram,
+    failovers: obs::Counter,
+    replicas_healthy: obs::Gauge,
+    rebalance_moves: obs::Counter,
+    rebalance_cutover: obs::Gauge,
 }
 
 impl IrMetrics {
@@ -84,11 +151,11 @@ impl IrMetrics {
             ),
             shards_failed: registry.counter(
                 "ir_shards_failed_total",
-                "Shard answers lost to errors, hangs or panics",
+                "Shard groups lost to errors, hangs or panics (no copy answered)",
             ),
             degraded: registry.counter(
                 "ir_degraded_queries_total",
-                "Distributed queries merged with at least one shard missing",
+                "Distributed queries merged with at least one group missing",
             ),
             hits: registry.counter("ir_hits_total", "Hits returned by master merges"),
             shard_seconds: registry.histogram(
@@ -96,8 +163,44 @@ impl IrMetrics {
                 "Per-shard answer latency",
                 obs::DEFAULT_TIME_BUCKETS,
             ),
+            failovers: registry.counter(
+                "ir_failovers_total",
+                "Shard groups answered by a replica after the primary failed",
+            ),
+            replicas_healthy: registry.gauge(
+                "ir_replicas_healthy",
+                "Copies (primaries + replicas) that answered the last parallel query",
+            ),
+            rebalance_moves: registry.counter(
+                "ir_rebalance_moves_total",
+                "Documents migrated between servers by layout cutovers",
+            ),
+            rebalance_cutover: registry.gauge(
+                "ir_rebalance_cutover_epoch",
+                "Epoch stamped by the most recent layout cutover (0 = never)",
+            ),
         }
     }
+}
+
+/// Health of one shard group, in the style of
+/// `Supervisor::detector_health`: a point-in-time snapshot of the last
+/// parallel query's copy liveness plus the group's durable identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Group index (== the primary's virtual host).
+    pub shard: usize,
+    /// Documents the group holds.
+    pub documents: usize,
+    /// Configured replicas per group.
+    pub replicas: usize,
+    /// Copies (out of `1 + replicas`) that answered the most recent
+    /// parallel query; `1 + replicas` when no parallel query ran yet.
+    pub healthy_copies: usize,
+    /// Whether the primary itself answered that query.
+    pub primary_healthy: bool,
+    /// The primary's mutation epoch.
+    pub epoch: u64,
 }
 
 /// Outcome of a distributed query.
@@ -108,21 +211,26 @@ pub struct DistributedResult {
     /// Per-server work counters (for the load-balance experiment E5).
     /// A failed server contributes [`QueryWork::default`].
     pub per_shard_work: Vec<QueryWork>,
-    /// Servers whose local ranking made it into the merge.
+    /// Groups whose local ranking made it into the merge.
     pub shards_ok: usize,
-    /// Servers that errored, hung past the deadline or panicked.
+    /// Groups where *no* copy answered in time.
     pub shards_failed: usize,
-    /// Which servers failed (indices into the shard list).
+    /// Which groups failed entirely (indices into the shard list).
     pub failed_shards: Vec<usize>,
+    /// Groups rescued by a replica after their primary failed. These
+    /// count toward [`shards_ok`](DistributedResult::shards_ok): a
+    /// failover is invisible in the ranking, only the accounting shows
+    /// it.
+    pub failovers: usize,
     /// Estimated answer quality, as in the fragmentation cutoff model:
     /// the fraction of the collection's documents held by surviving
     /// servers. `1.0` means the ranking is complete.
     pub quality: f64,
-    /// Wall-clock time each server took to answer (shard order). A
-    /// timed-out server reports the full collection window it was
-    /// given; serial evaluations report the per-shard measurement. The
-    /// brownout controller consumes these to spot slow-but-alive
-    /// servers before they start missing deadlines.
+    /// Wall-clock time each group's chosen copy took to answer (shard
+    /// order). A group that never answered reports the full collection
+    /// window it was given; serial evaluations report the per-shard
+    /// measurement. The brownout controller consumes these to spot
+    /// slow-but-alive servers before they start missing deadlines.
     pub shard_elapsed: Vec<Duration>,
 }
 
@@ -137,12 +245,13 @@ impl PartialEq for DistributedResult {
             && self.shards_ok == other.shards_ok
             && self.shards_failed == other.shards_failed
             && self.failed_shards == other.failed_shards
+            && self.failovers == other.failovers
             && self.quality == other.quality
     }
 }
 
 impl DistributedResult {
-    /// Whether any server dropped out of this answer.
+    /// Whether any server group dropped out of this answer.
     pub fn is_degraded(&self) -> bool {
         self.shards_failed > 0
     }
@@ -157,25 +266,160 @@ impl DistributedResult {
 /// What one server thread reports back to the central node.
 type ShardAnswer = std::result::Result<(Vec<SearchHit>, QueryWork), String>;
 
+/// The FNV-1a slot a URL hashes to — independent of the layout, so it
+/// never changes across restore or rebalance.
+fn slot_of(url: &str) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in url.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    (hash % ROUTE_SLOTS as u64) as usize
+}
+
+/// The round-robin default layout for `servers` servers.
+fn default_layout(servers: usize) -> Vec<u16> {
+    (0..ROUTE_SLOTS).map(|s| (s % servers) as u16).collect()
+}
+
+fn validate_layout(layout: &[u16], servers: usize) -> Result<()> {
+    if servers == 0 {
+        return Err(Error::Config("at least one server required".into()));
+    }
+    if layout.len() != ROUTE_SLOTS {
+        return Err(Error::Config(format!(
+            "layout must map all {ROUTE_SLOTS} slots, got {}",
+            layout.len()
+        )));
+    }
+    if let Some(&bad) = layout.iter().find(|&&s| usize::from(s) >= servers) {
+        return Err(Error::Config(format!(
+            "layout routes a slot to server {bad}, but only {servers} exist"
+        )));
+    }
+    Ok(())
+}
+
+fn validate_replication(replication: usize, servers: usize) -> Result<()> {
+    if replication >= servers && replication > 0 {
+        return Err(Error::Config(format!(
+            "{replication} replicas need {} servers, got {servers}",
+            replication + 1
+        )));
+    }
+    Ok(())
+}
+
 impl DistributedIndex {
-    /// Creates `servers` empty logical servers.
+    /// Creates `servers` empty logical servers (no replication).
     pub fn new(servers: usize, model: ScoreModel) -> Result<Self> {
+        Self::with_replication(servers, model, 0)
+    }
+
+    /// Creates `servers` empty logical servers with `replication`
+    /// replicas per shard group. Each group's copies live on distinct
+    /// virtual hosts, so `replication` must stay below `servers`.
+    pub fn with_replication(
+        servers: usize,
+        model: ScoreModel,
+        replication: usize,
+    ) -> Result<Self> {
         if servers == 0 {
             return Err(Error::Config("at least one server required".into()));
         }
+        validate_replication(replication, servers)?;
         Ok(DistributedIndex {
             shards: (0..servers).map(|_| TextIndex::new(model)).collect(),
+            replicas: (0..servers)
+                .map(|_| (0..replication).map(|_| TextIndex::new(model)).collect())
+                .collect(),
+            replication,
+            layout: default_layout(servers),
             faults: None,
             shard_deadline: Duration::from_millis(250),
             hang: Duration::from_millis(500),
             obs: obs::Obs::disabled(),
             metrics: None,
+            wal: None,
+            copy_health: vec![vec![true; replication + 1]; servers],
+            last_cutover_epoch: 0,
         })
     }
 
-    /// Number of logical servers.
+    /// Number of logical servers (shard groups).
     pub fn servers(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Replicas per shard group.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Group `g`'s primary index (read-only — the rebalancer weighs
+    /// its relations without mutating them).
+    ///
+    /// # Panics
+    /// Panics if `group >= servers()`.
+    pub fn shard(&self, group: usize) -> &TextIndex {
+        &self.shards[group]
+    }
+
+    /// The slot → primary-server table currently routing queries.
+    pub fn layout(&self) -> &[u16] {
+        &self.layout
+    }
+
+    /// Epoch stamped by the most recent layout cutover (0 = never).
+    pub fn last_cutover_epoch(&self) -> u64 {
+        self.last_cutover_epoch
+    }
+
+    /// The virtual hosts holding group `g`'s replicas: the next
+    /// `replication` servers after the primary, wrapping — all distinct
+    /// from the primary and from each other.
+    pub fn replica_servers(&self, group: usize) -> Vec<usize> {
+        let n = self.shards.len();
+        (1..=self.replication).map(|c| (group + c) % n).collect()
+    }
+
+    /// Every fault-plan label that must fire to kill virtual server `s`
+    /// entirely: its primary (`shard:<s>`) plus every replica copy
+    /// hosted there (`replica:<s>:<g>`). Chaos tests use this to model
+    /// a whole-machine loss rather than a single-copy loss.
+    pub fn fault_labels_for_server(&self, server: usize) -> Vec<String> {
+        let mut labels = vec![format!("shard:{server}")];
+        for g in 0..self.shards.len() {
+            if self.replica_servers(g).contains(&server) {
+                labels.push(format!("replica:{server}:{g}"));
+            }
+        }
+        labels
+    }
+
+    /// Re-provisions replication at `replication` copies per group,
+    /// rebuilding every replica from its primary's snapshot. Used when
+    /// a restored checkpoint carries a different replication factor
+    /// than the configuration asks for.
+    pub fn set_replication(&mut self, replication: usize) -> Result<()> {
+        validate_replication(replication, self.shards.len())?;
+        let mut replicas = Vec::with_capacity(self.shards.len());
+        for primary in &mut self.shards {
+            let epoch = primary.epoch();
+            let snap = primary.snapshot()?;
+            let mut copies = Vec::with_capacity(replication);
+            for _ in 0..replication {
+                let mut copy = TextIndex::restore(&snap)?;
+                copy.set_epoch(epoch);
+                copies.push(copy);
+            }
+            replicas.push(copies);
+        }
+        self.replicas = replicas;
+        self.replication = replication;
+        self.copy_health = vec![vec![true; replication + 1]; self.shards.len()];
+        self.refresh_health_gauge();
+        Ok(())
     }
 
     /// Connects the index to an observability handle: every evaluation
@@ -184,6 +428,38 @@ impl DistributedIndex {
     pub fn set_obs(&mut self, o: &obs::Obs) {
         self.obs = o.clone();
         self.metrics = o.registry().map(IrMetrics::register);
+        self.refresh_health_gauge();
+    }
+
+    /// Point-in-time health of every shard group — the distribution
+    /// layer's analogue of `Supervisor::detector_health`.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(g, primary)| {
+                let copies = &self.copy_health[g];
+                ShardHealth {
+                    shard: g,
+                    documents: primary.document_count(),
+                    replicas: self.replication,
+                    healthy_copies: copies.iter().filter(|h| **h).count(),
+                    primary_healthy: copies.first().copied().unwrap_or(true),
+                    epoch: primary.epoch(),
+                }
+            })
+            .collect()
+    }
+
+    fn refresh_health_gauge(&self) {
+        if let Some(m) = &self.metrics {
+            let healthy: usize = self
+                .copy_health
+                .iter()
+                .map(|g| g.iter().filter(|h| **h).count())
+                .sum();
+            m.replicas_healthy.set(healthy as i64);
+        }
     }
 
     /// Reports one merged result to the metrics registry and, when a
@@ -196,6 +472,7 @@ impl DistributedIndex {
             m.shards_ok.add(result.shards_ok as u64);
             m.shards_failed.add(result.shards_failed as u64);
             m.hits.add(result.hits.len() as u64);
+            m.failovers.add(result.failovers as u64);
             if result.is_degraded() {
                 m.degraded.inc();
             }
@@ -204,6 +481,7 @@ impl DistributedIndex {
                     .observe_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
             }
         }
+        self.refresh_health_gauge();
         for (i, elapsed) in result.shard_elapsed.iter().enumerate() {
             let failed = result.failed_shards.contains(&i);
             self.obs.record_child(
@@ -219,8 +497,10 @@ impl DistributedIndex {
         }
     }
 
-    /// Attaches a fault plan consulted (label `shard:<i>`) before each
-    /// server answers a parallel query.
+    /// Attaches a fault plan consulted before each server copy answers
+    /// a parallel query (labels `shard:<g>` / `replica:<host>:<g>`) and
+    /// before each migration stream of a rebalance
+    /// (`migrate:shard:<g>`).
     pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
         self.faults = Some(plan);
     }
@@ -238,11 +518,14 @@ impl DistributedIndex {
         self.hang = hang;
     }
 
-    /// Routes a document to its server (stable per-document assignment)
-    /// and indexes it there.
+    /// Routes a document to its primary server (stable per-document
+    /// assignment) and indexes it on every copy of that group.
     pub fn index_document(&mut self, url: &str, text: &str) -> Result<()> {
-        let shard = self.route(url);
-        self.shards[shard].index_document(url, text)?;
+        let group = self.route(url);
+        self.shards[group].index_document(url, text)?;
+        for copy in &mut self.replicas[group] {
+            copy.index_document(url, text)?;
+        }
         Ok(())
     }
 
@@ -260,15 +543,19 @@ impl DistributedIndex {
         for (url, text) in docs {
             per_shard[self.route(url)].push((url, text));
         }
-        for (shard, batch) in self.shards.iter_mut().zip(per_shard) {
-            shard.index_documents(batch)?;
+        for (group, batch) in per_shard.into_iter().enumerate() {
+            self.shards[group].index_documents(batch.iter().copied())?;
+            for copy in &mut self.replicas[group] {
+                copy.index_documents(batch.iter().copied())?;
+            }
         }
         Ok(())
     }
 
     /// A counter that advances whenever any server's index mutates (via
     /// this distributed facade) or global IDF is redistributed. Query
-    /// results are safe to cache while the epoch holds still.
+    /// results are safe to cache while the epoch holds still. Replicas
+    /// mirror their primary and are not counted separately.
     pub fn epoch(&self) -> u64 {
         self.shards.iter().map(TextIndex::epoch).sum()
     }
@@ -280,27 +567,40 @@ impl DistributedIndex {
     }
 
     /// Resumes per-shard epochs from persisted values (shard order).
+    /// Replicas take their primary's epoch — they are the same state.
     pub fn set_shard_epochs(&mut self, epochs: &[u64]) {
-        for (shard, &epoch) in self.shards.iter_mut().zip(epochs) {
-            shard.set_epoch(epoch);
+        for (group, &epoch) in epochs.iter().enumerate() {
+            if let Some(shard) = self.shards.get_mut(group) {
+                shard.set_epoch(epoch);
+            }
+            if let Some(copies) = self.replicas.get_mut(group) {
+                for copy in copies {
+                    copy.set_epoch(epoch);
+                }
+            }
         }
     }
 
-    /// Attaches a write-ahead-log handle to every server. All shards
-    /// share one handle (and so one store tag): replay re-routes each
-    /// logged document through the deterministic URL hash, landing it on
-    /// the same shard it originally went to.
-    pub fn set_wal(&mut self, wal: monet::wal::WalHandle) {
+    /// Attaches a write-ahead-log handle to every *primary*. All
+    /// primaries share one handle (and so one store tag): replay
+    /// re-routes each logged document through the layout table, landing
+    /// it on the same group it originally went to. Replicas never log —
+    /// they are derived state, rebuilt from the same records. Layout
+    /// cutovers are logged through the retained handle.
+    pub fn set_wal(&mut self, wal: WalHandle) {
         for shard in &mut self.shards {
             shard.set_wal(wal.clone());
         }
+        self.wal = Some(wal);
     }
 
-    /// Detaches the log from every server (used during replay).
+    /// Detaches the log from every server (used during replay, so
+    /// replayed documents and layout cutovers are not re-logged).
     pub fn detach_wal(&mut self) {
         for shard in &mut self.shards {
             shard.detach_wal();
         }
+        self.wal = None;
     }
 
     /// Whether any server already indexed `url`.
@@ -308,43 +608,296 @@ impl DistributedIndex {
         self.shards[self.route(url)].contains_url(url)
     }
 
-    /// Serialises every server (shard order). Commits first so the
-    /// snapshots carry consistent IDF state.
+    /// Serialises every server group as one **consistent cut**: commits
+    /// first (so IDF state is uniform), then wraps each primary's
+    /// snapshot in an envelope stamping the shard index, shard count,
+    /// replication factor, per-shard epoch, the collection-wide cut
+    /// epoch and the layout table. [`Self::restore_shards`] refuses any
+    /// vector whose envelopes disagree — a skewed restore (snapshots
+    /// from different cuts, or a partial set) is a typed error, never a
+    /// silently inconsistent index.
     pub fn snapshot_shards(&mut self) -> Result<Vec<Vec<u8>>> {
         self.commit()?;
-        self.shards.iter_mut().map(TextIndex::snapshot).collect()
+        let cut = self.epoch();
+        let n = self.shards.len();
+        let mut out = Vec::with_capacity(n);
+        for g in 0..n {
+            let epoch = self.shards[g].epoch();
+            let payload = self.shards[g].snapshot()?;
+            let mut bytes = Vec::with_capacity(SHARD_HEADER + payload.len());
+            bytes.extend_from_slice(SHARD_MAGIC);
+            bytes.push(SHARD_VERSION);
+            bytes.extend_from_slice(&(g as u32).to_le_bytes());
+            bytes.extend_from_slice(&(n as u32).to_le_bytes());
+            bytes.extend_from_slice(&(self.replication as u32).to_le_bytes());
+            bytes.extend_from_slice(&epoch.to_le_bytes());
+            bytes.extend_from_slice(&cut.to_le_bytes());
+            bytes.extend_from_slice(&(ROUTE_SLOTS as u16).to_le_bytes());
+            for &slot in &self.layout {
+                bytes.extend_from_slice(&slot.to_le_bytes());
+            }
+            bytes.extend_from_slice(&payload);
+            out.push(bytes);
+        }
+        Ok(out)
+    }
+
+    /// [`Self::snapshot_shards`] with the volatile counters zeroed:
+    /// the per-shard epoch and the cut stamp record how many mutations
+    /// a history took, not what state it reached, so two histories
+    /// arriving at the same content (a replay vs. an idempotently
+    /// repeated one) digest identically here while their real
+    /// checkpoints would not.
+    pub fn content_snapshot_shards(&mut self) -> Result<Vec<Vec<u8>>> {
+        let mut blobs = self.snapshot_shards()?;
+        for blob in &mut blobs {
+            // epoch u64 | cut u64 live right after the fixed
+            // magic|ver|shard|count|replication prefix.
+            blob[17..33].fill(0);
+        }
+        Ok(blobs)
     }
 
     /// Restores a distributed index from per-server snapshots produced
-    /// by [`Self::snapshot_shards`]. The shard count is taken from the
-    /// snapshot list — it must match the count used at write time, or
-    /// the URL routing would scatter documents differently.
+    /// by [`Self::snapshot_shards`], validating that the vector is one
+    /// complete, consistent cut: every envelope must carry the position
+    /// it is restored into, the same shard count (matching the vector
+    /// length), the same replication factor, the same cut epoch and the
+    /// same layout table. Any disagreement is
+    /// [`Error::SnapshotMismatch`]. Replicas are rebuilt from the
+    /// primary payloads.
     pub fn restore_shards(snapshots: &[Vec<u8>]) -> Result<Self> {
         if snapshots.is_empty() {
             return Err(Error::Config("at least one server snapshot required".into()));
         }
+        let mut shards = Vec::with_capacity(snapshots.len());
+        let mut replicas = Vec::with_capacity(snapshots.len());
+        let mut expect: Option<(u32, u32, u64, Vec<u16>)> = None;
+        for (g, bytes) in snapshots.iter().enumerate() {
+            let (env, payload) = decode_shard_envelope(bytes)
+                .map_err(|m| Error::SnapshotMismatch(format!("shard {g}: {m}")))?;
+            if env.shard as usize != g {
+                return Err(Error::SnapshotMismatch(format!(
+                    "snapshot for shard {} restored at position {g}",
+                    env.shard
+                )));
+            }
+            if env.shard_count as usize != snapshots.len() {
+                return Err(Error::SnapshotMismatch(format!(
+                    "shard {g} belongs to a {}-shard cut, got {} snapshots",
+                    env.shard_count,
+                    snapshots.len()
+                )));
+            }
+            match &expect {
+                None => {
+                    expect = Some((
+                        env.shard_count,
+                        env.replication,
+                        env.cut,
+                        env.layout.clone(),
+                    ))
+                }
+                Some((count, repl, cut, layout)) => {
+                    if env.shard_count != *count || env.replication != *repl {
+                        return Err(Error::SnapshotMismatch(format!(
+                            "shard {g} disagrees on the cluster shape"
+                        )));
+                    }
+                    if env.cut != *cut {
+                        return Err(Error::SnapshotMismatch(format!(
+                            "shard {g} is from cut epoch {}, expected {} — snapshots \
+                             span different checkpoints",
+                            env.cut, cut
+                        )));
+                    }
+                    if env.layout != *layout {
+                        return Err(Error::SnapshotMismatch(format!(
+                            "shard {g} carries a different layout table"
+                        )));
+                    }
+                }
+            }
+            let mut primary = TextIndex::restore(payload)?;
+            primary.set_epoch(env.epoch);
+            let mut copies = Vec::with_capacity(env.replication as usize);
+            for _ in 0..env.replication {
+                let mut copy = TextIndex::restore(payload)?;
+                copy.set_epoch(env.epoch);
+                copies.push(copy);
+            }
+            shards.push(primary);
+            replicas.push(copies);
+        }
+        let (_, replication, _, layout) =
+            expect.unwrap_or((1, 0, 0, default_layout(snapshots.len())));
+        validate_layout(&layout, snapshots.len())?;
+        let replication = replication as usize;
+        validate_replication(replication, snapshots.len())?;
+        let servers = shards.len();
         Ok(DistributedIndex {
-            shards: snapshots
-                .iter()
-                .map(|bytes| TextIndex::restore(bytes))
-                .collect::<Result<Vec<_>>>()?,
+            shards,
+            replicas,
+            replication,
+            layout,
             faults: None,
             shard_deadline: Duration::from_millis(250),
             hang: Duration::from_millis(500),
             obs: obs::Obs::disabled(),
             metrics: None,
+            wal: None,
+            copy_health: vec![vec![true; replication + 1]; servers],
+            last_cutover_epoch: 0,
         })
     }
 
-    /// The server a URL is assigned to.
+    /// The routing slot a URL hashes to (layout-independent).
+    pub fn slot(url: &str) -> usize {
+        slot_of(url)
+    }
+
+    /// The primary server a URL is assigned to under the current
+    /// layout.
     pub fn route(&self, url: &str) -> usize {
-        // FNV-1a over the URL: deterministic, well-spread.
-        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in url.as_bytes() {
-            hash ^= u64::from(*b);
-            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        usize::from(self.layout[slot_of(url)])
+    }
+
+    /// Installs a new layout (and possibly a new server count) by
+    /// migrating every document to its new primary — the cutover half
+    /// of the [`Rebalancer`]. The migration is staged off to the side
+    /// and swapped in atomically:
+    ///
+    /// 1. every migration stream consults the fault plan
+    ///    (`migrate:shard:<g>`) — an injected failure aborts with the
+    ///    old layout fully intact;
+    /// 2. documents are exported in relation-level form (stems + tf —
+    ///    stemming is not idempotent, so re-tokenizing is not an
+    ///    option) and imported into freshly built primaries;
+    /// 3. replicas are rebuilt from the new primaries' snapshots;
+    /// 4. the cutover epoch (`old epoch sum + 1`) is stamped on every
+    ///    new copy, the layout record is durably logged
+    ///    ([`WAL_OP_LAYOUT`], synchronously flushed), and the new
+    ///    cluster replaces the old in one assignment — a query either
+    ///    runs entirely before or entirely after that swap, never
+    ///    against a mix, and epoch-keyed caches invalidate because the
+    ///    epoch jumped;
+    /// 5. global IDF is redistributed over the new groups.
+    ///
+    /// Replaying the layout record re-derives the identical migration
+    /// (exports are deterministic, in D-order), so a crash right after
+    /// the flush recovers to the same new layout, and a crash before it
+    /// recovers to the old one — never to a mix.
+    ///
+    /// [`Rebalancer`]: crate::rebalance::Rebalancer
+    pub fn apply_layout(
+        &mut self,
+        shards_after: usize,
+        new_layout: &[u16],
+    ) -> Result<RebalanceReport> {
+        validate_layout(new_layout, shards_after)?;
+        validate_replication(self.replication, shards_after)?;
+        if let Some(plan) = self.faults.clone() {
+            for g in 0..self.shards.len() {
+                let label = format!("migrate:shard:{g}");
+                let delay = plan.decide_delay(&label);
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                match plan.decide(&label) {
+                    FaultAction::None => {}
+                    FaultAction::Hang => std::thread::sleep(self.hang),
+                    FaultAction::Error | FaultAction::Garbage => {
+                        return Err(Error::Config(format!(
+                            "rebalance aborted: injected migration failure at shard {g} \
+                             (old layout kept)"
+                        )));
+                    }
+                }
+            }
         }
-        (hash % self.shards.len() as u64) as usize
+        self.commit()?;
+        let shards_before = self.shards.len();
+        let moved_slots = if shards_after == shards_before {
+            self.layout
+                .iter()
+                .zip(new_layout)
+                .filter(|(a, b)| a != b)
+                .count()
+        } else {
+            ROUTE_SLOTS
+        };
+
+        // Stage: export in group order / D order — deterministic, so a
+        // WAL replay of this cutover rebuilds byte-identical shards.
+        let mut moved_docs = 0usize;
+        let mut exports: Vec<(usize, DocExport)> = Vec::new();
+        for (g, shard) in self.shards.iter().enumerate() {
+            for doc in shard.export_documents()? {
+                let target = usize::from(new_layout[slot_of(&doc.url)]);
+                if target != g {
+                    moved_docs += 1;
+                }
+                exports.push((target, doc));
+            }
+        }
+        let model = self.shards[0].model();
+        let mut new_primaries: Vec<TextIndex> =
+            (0..shards_after).map(|_| TextIndex::new(model)).collect();
+        for (target, doc) in &exports {
+            new_primaries[*target].import_document(doc)?;
+        }
+        let mut new_replicas: Vec<Vec<TextIndex>> = Vec::with_capacity(shards_after);
+        for primary in &mut new_primaries {
+            let snap = primary.snapshot()?;
+            let copies = (0..self.replication)
+                .map(|_| TextIndex::restore(&snap))
+                .collect::<Result<Vec<_>>>()?;
+            new_replicas.push(copies);
+        }
+        let cutover = self.epoch() + 1;
+        for (primary, copies) in new_primaries.iter_mut().zip(&mut new_replicas) {
+            primary.set_epoch(cutover);
+            for copy in copies {
+                copy.set_epoch(cutover);
+            }
+        }
+
+        // Durable intent *before* the in-memory swap: recovery replays
+        // the record and re-derives this exact migration.
+        if let Some(wal) = &self.wal {
+            let mut rec = Vec::with_capacity(4 + 2 + 2 * ROUTE_SLOTS);
+            rec.extend_from_slice(&(shards_after as u32).to_le_bytes());
+            rec.extend_from_slice(&(ROUTE_SLOTS as u16).to_le_bytes());
+            for &s in new_layout {
+                rec.extend_from_slice(&s.to_le_bytes());
+            }
+            wal.log_sync(WAL_OP_LAYOUT, &[&rec])?;
+        }
+
+        // Cutover: one swap, old world to new.
+        self.shards = new_primaries;
+        self.replicas = new_replicas;
+        self.layout = new_layout.to_vec();
+        self.copy_health = vec![vec![true; self.replication + 1]; shards_after];
+        self.last_cutover_epoch = cutover;
+        if let Some(wal) = self.wal.clone() {
+            for shard in &mut self.shards {
+                shard.set_wal(wal.clone());
+            }
+        }
+        self.distribute_global_df()?;
+        if let Some(m) = &self.metrics {
+            m.rebalance_moves.add(moved_docs as u64);
+            m.rebalance_cutover.set(i64::try_from(cutover).unwrap_or(i64::MAX));
+        }
+        self.refresh_health_gauge();
+        Ok(RebalanceReport {
+            shards_before,
+            shards_after,
+            moved_docs,
+            moved_slots,
+            cutover_epoch: cutover,
+        })
     }
 
     /// Commits every server's pending updates and distributes the
@@ -355,9 +908,24 @@ impl DistributedIndex {
         // A clean index commits to nothing: without this, every
         // snapshot would bump the shard epochs through the global-df
         // pass and spuriously invalidate epoch-keyed query caches.
-        if self.shards.iter().all(TextIndex::is_committed) {
+        if self.shards.iter().all(TextIndex::is_committed)
+            && self
+                .replicas
+                .iter()
+                .flatten()
+                .all(TextIndex::is_committed)
+        {
             return Ok(());
         }
+        self.distribute_global_df()
+    }
+
+    /// The unconditional half of [`commit`](DistributedIndex::commit):
+    /// gathers collection-wide document frequencies from the primaries
+    /// and pushes them to every copy. A layout cutover calls this
+    /// directly — its fresh shards are locally committed but still
+    /// carry local idf.
+    fn distribute_global_df(&mut self) -> Result<()> {
         let mut global: std::collections::HashMap<String, usize> =
             std::collections::HashMap::new();
         for shard in &mut self.shards {
@@ -368,6 +936,9 @@ impl DistributedIndex {
         }
         for shard in &mut self.shards {
             shard.apply_global_df(&global)?;
+        }
+        for copy in self.replicas.iter_mut().flatten() {
+            copy.apply_global_df(&global)?;
         }
         Ok(())
     }
@@ -390,7 +961,7 @@ impl DistributedIndex {
             locals.push(Some(shard.query(text, k)?));
             elapsed.push(start.elapsed());
         }
-        let result = merge(locals, &sizes, k, elapsed);
+        let result = merge(locals, &sizes, k, elapsed, 0);
         self.record_result(&result);
         Ok(result)
     }
@@ -434,20 +1005,24 @@ impl DistributedIndex {
             locals.push(Some(shard.query_restricted(text, k, candidates)?));
             elapsed.push(start.elapsed());
         }
-        let result = merge(locals, &sizes, k, elapsed);
+        let result = merge(locals, &sizes, k, elapsed, 0);
         self.record_result(&result);
         Ok(result)
     }
 
-    /// Parallel evaluation: one scoped thread per server (shared-nothing,
-    /// so servers proceed independently), then the master merge.
+    /// Parallel evaluation: one scoped thread per server copy
+    /// (shared-nothing, so copies proceed independently), then the
+    /// master merge.
     ///
-    /// Every server is isolated: a panic is caught in its thread, an
-    /// injected fault or index error marks it failed, and a server that
+    /// Every copy is isolated: a panic is caught in its thread, an
+    /// injected fault or index error marks it failed, and a copy that
     /// does not answer within the shard deadline is abandoned (its
-    /// thread still winds down — injected hangs are bounded). The merge
-    /// ranks whatever survived; [`Error::AllShardsFailed`] is returned
-    /// only when no server answered.
+    /// thread still winds down — injected hangs are bounded). For each
+    /// group the primary's answer is preferred; if the primary failed
+    /// but a replica answered, the query **fails over** to the replica
+    /// within the same window and the group still counts as ok. The
+    /// merge ranks whatever survived; [`Error::AllShardsFailed`] is
+    /// returned only when no group answered through any copy.
     pub fn query_parallel(&mut self, text: &str, k: usize) -> Result<DistributedResult> {
         self.query_parallel_budgeted(text, k, &Budget::unlimited())
     }
@@ -461,7 +1036,8 @@ impl DistributedIndex {
     /// exactly like the unbudgeted degraded mode; the typed
     /// [`Error::DeadlineExceeded`] is returned only when the budget
     /// leaves no room to collect anything (or its work allowance runs
-    /// out mid-gather, one unit per answering server).
+    /// out mid-gather, one unit per answering *group* — replicas ride
+    /// on their group's unit, so replication never inflates the bill).
     ///
     /// [`query_parallel`]: DistributedIndex::query_parallel
     pub fn query_parallel_budgeted(
@@ -475,6 +1051,7 @@ impl DistributedIndex {
             cause,
         })?;
         let n = self.shards.len();
+        let copies = self.replication + 1;
         let sizes = self.shard_sizes();
         let plan = self.faults.clone();
         let hang = self.hang;
@@ -483,45 +1060,60 @@ impl DistributedIndex {
             None => self.shard_deadline,
         };
         let deadline = Instant::now() + window;
-        let mut slots: Vec<Option<ShardAnswer>> = (0..n).map(|_| None).collect();
-        // A server that never answers burned its whole window.
-        let mut elapsed: Vec<Duration> = vec![window; n];
+        let mut slots: Vec<Vec<Option<ShardAnswer>>> = vec![vec![None; copies]; n];
+        let mut took: Vec<Vec<Duration>> = vec![vec![window; copies]; n];
+        let mut group_charged = vec![false; n];
         let mut answered = 0usize;
         let mut budget_stop = None;
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, ShardAnswer, Duration)>();
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, usize, ShardAnswer, Duration)>();
         crossbeam::thread::scope(|scope| {
-            for (i, shard) in self.shards.iter_mut().enumerate() {
+            for (g, shard) in self.shards.iter_mut().enumerate() {
                 let tx = tx.clone();
                 let plan = plan.clone();
+                let label = format!("shard:{g}");
                 scope.spawn(move |_| {
                     let start = Instant::now();
-                    let answer = run_shard(shard, text, k, i, plan.as_deref(), hang);
+                    let answer = run_shard(shard, text, k, &label, plan.as_deref(), hang);
                     // The central node may have stopped listening; the
                     // answer is then simply dropped.
-                    let _ = tx.send((i, answer, start.elapsed()));
+                    let _ = tx.send((g, 0, answer, start.elapsed()));
                 });
+            }
+            for (g, group) in self.replicas.iter_mut().enumerate() {
+                for (c, copy) in group.iter_mut().enumerate() {
+                    let tx = tx.clone();
+                    let plan = plan.clone();
+                    let host = (g + c + 1) % n;
+                    let label = format!("replica:{host}:{g}");
+                    scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let answer = run_shard(copy, text, k, &label, plan.as_deref(), hang);
+                        let _ = tx.send((g, c + 1, answer, start.elapsed()));
+                    });
+                }
             }
             drop(tx);
             // Collect *inside* the scope: the scope exit still joins a
             // hung server thread, but the deadline bounds how long the
             // merge waits for answers.
-            let mut pending = n;
+            let mut pending = n * copies;
             while pending > 0 {
                 let remaining = deadline.saturating_duration_since(Instant::now());
                 if remaining.is_zero() {
                     break;
                 }
                 match rx.recv_timeout(remaining) {
-                    Ok((i, answer, took)) => {
-                        if answer.is_ok() {
+                    Ok((g, c, answer, elapsed)) => {
+                        if answer.is_ok() && !group_charged[g] {
                             if let Err(cause) = budget.consume(1) {
                                 budget_stop = Some(cause);
                                 break;
                             }
+                            group_charged[g] = true;
                             answered += 1;
                         }
-                        slots[i] = Some(answer);
-                        elapsed[i] = took;
+                        slots[g][c] = Some(answer);
+                        took[g][c] = elapsed;
                         pending -= 1;
                     }
                     Err(_) => break,
@@ -536,17 +1128,41 @@ impl DistributedIndex {
             });
         }
 
+        // Per group: take the primary's answer if it is good, else fail
+        // over to the lowest-numbered live replica. Health reflects
+        // exactly what each copy did this round.
+        for (g, group) in slots.iter().enumerate() {
+            for (c, slot) in group.iter().enumerate() {
+                self.copy_health[g][c] = matches!(slot, Some(Ok(_)));
+            }
+        }
         let mut locals = Vec::with_capacity(n);
+        let mut elapsed = vec![window; n];
+        let mut failovers = 0usize;
         let mut causes = Vec::new();
-        for (i, slot) in slots.into_iter().enumerate() {
-            match slot {
-                Some(Ok(local)) => locals.push(Some(local)),
-                Some(Err(cause)) => {
-                    causes.push(format!("shard {i}: {cause}"));
-                    locals.push(None);
+        for (g, group) in slots.into_iter().enumerate() {
+            let mut primary_cause: Option<String> = None;
+            let mut chosen: Option<(usize, (Vec<SearchHit>, QueryWork))> = None;
+            for (c, slot) in group.into_iter().enumerate() {
+                match slot {
+                    Some(Ok(local)) if chosen.is_none() => chosen = Some((c, local)),
+                    Some(Err(cause)) if c == 0 => primary_cause = Some(cause),
+                    _ => {}
+                }
+            }
+            match chosen {
+                Some((c, local)) => {
+                    if c > 0 {
+                        failovers += 1;
+                    }
+                    elapsed[g] = took[g][c];
+                    locals.push(Some(local));
                 }
                 None => {
-                    causes.push(format!("shard {i}: no answer within {window:?}"));
+                    match primary_cause {
+                        Some(cause) => causes.push(format!("shard {g}: {cause}")),
+                        None => causes.push(format!("shard {g}: no answer within {window:?}")),
+                    }
                     locals.push(None);
                 }
             }
@@ -562,10 +1178,55 @@ impl DistributedIndex {
             }
             return Err(Error::AllShardsFailed(causes.join("; ")));
         }
-        let result = merge(locals, &sizes, k, elapsed);
+        let result = merge(locals, &sizes, k, elapsed, failovers);
         self.record_result(&result);
         Ok(result)
     }
+}
+
+/// A decoded shard-snapshot envelope.
+struct ShardEnvelope {
+    shard: u32,
+    shard_count: u32,
+    replication: u32,
+    epoch: u64,
+    cut: u64,
+    layout: Vec<u16>,
+}
+
+fn decode_shard_envelope(bytes: &[u8]) -> std::result::Result<(ShardEnvelope, &[u8]), String> {
+    if bytes.len() < SHARD_HEADER {
+        return Err("snapshot shorter than the envelope header".into());
+    }
+    if &bytes[..4] != SHARD_MAGIC {
+        return Err("not a shard snapshot (bad magic)".into());
+    }
+    if bytes[4] != SHARD_VERSION {
+        return Err(format!("unsupported envelope version {}", bytes[4]));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap_or([0; 4]));
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap_or([0; 8]));
+    let nslots =
+        usize::from(u16::from_le_bytes(bytes[33..35].try_into().unwrap_or([0; 2])));
+    if nslots != ROUTE_SLOTS {
+        return Err(format!("layout has {nslots} slots, expected {ROUTE_SLOTS}"));
+    }
+    let mut layout = Vec::with_capacity(ROUTE_SLOTS);
+    for s in 0..ROUTE_SLOTS {
+        let o = 35 + 2 * s;
+        layout.push(u16::from_le_bytes(bytes[o..o + 2].try_into().unwrap_or([0; 2])));
+    }
+    Ok((
+        ShardEnvelope {
+            shard: u32_at(5),
+            shard_count: u32_at(9),
+            replication: u32_at(13),
+            epoch: u64_at(17),
+            cut: u64_at(25),
+            layout,
+        },
+        &bytes[SHARD_HEADER..],
+    ))
 }
 
 /// One server's side of the query: consult the fault plan (latency
@@ -575,17 +1236,16 @@ fn run_shard(
     shard: &mut TextIndex,
     text: &str,
     k: usize,
-    i: usize,
+    label: &str,
     plan: Option<&FaultPlan>,
     hang: Duration,
 ) -> ShardAnswer {
     if let Some(plan) = plan {
-        let label = format!("shard:{i}");
-        let delay = plan.decide_delay(&label);
+        let delay = plan.decide_delay(label);
         if !delay.is_zero() {
             std::thread::sleep(delay);
         }
-        match plan.decide(&label) {
+        match plan.decide(label) {
             FaultAction::None => {}
             FaultAction::Error => return Err("injected transport error".into()),
             FaultAction::Garbage => return Err("undecodable server response".into()),
@@ -600,12 +1260,15 @@ fn run_shard(
 }
 
 /// "The central node merges the top-10 rankings into a large ranking" —
-/// over the servers that answered (`None` marks a failed server).
+/// over the servers that answered (`None` marks a failed server). Ties
+/// break on URL, which is stable across any distribution layout (doc
+/// oids are shard-local and would reorder under rebalancing).
 fn merge(
     locals: Vec<Option<(Vec<SearchHit>, QueryWork)>>,
     sizes: &[usize],
     k: usize,
     shard_elapsed: Vec<Duration>,
+    failovers: usize,
 ) -> DistributedResult {
     let mut per_shard_work = Vec::with_capacity(locals.len());
     let mut failed_shards = Vec::new();
@@ -624,7 +1287,7 @@ fn merge(
             }
         }
     }
-    all.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
+    all.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.url.cmp(&b.url)));
     all.truncate(k);
     let total: usize = sizes.iter().sum();
     let quality = if total == 0 {
@@ -637,6 +1300,7 @@ fn merge(
         shards_ok: sizes.len() - failed_shards.len(),
         shards_failed: failed_shards.len(),
         failed_shards,
+        failovers,
         quality,
         per_shard_work,
         shard_elapsed,
@@ -644,6 +1308,7 @@ fn merge(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use faults::FaultSpec;
@@ -663,7 +1328,22 @@ mod tests {
     }
 
     fn build(servers: usize, n: usize) -> DistributedIndex {
-        let mut d = DistributedIndex::new(servers, ScoreModel::TfIdf).unwrap();
+        build_replicated(servers, n, 0)
+    }
+
+    /// Layout-independent projection of a ranking: oids are shard-local
+    /// and are re-minted when a document migrates, so byte-identity
+    /// across layouts is on `(url, score-bits)` in rank order.
+    fn ranking(r: &DistributedResult) -> Vec<(String, u64)> {
+        r.hits
+            .iter()
+            .map(|h| (h.url.clone(), h.score.to_bits()))
+            .collect()
+    }
+
+    fn build_replicated(servers: usize, n: usize, replicas: usize) -> DistributedIndex {
+        let mut d =
+            DistributedIndex::with_replication(servers, ScoreModel::TfIdf, replicas).unwrap();
         for (url, body) in corpus(n) {
             d.index_document(&url, &body).unwrap();
         }
@@ -695,15 +1375,14 @@ mod tests {
         let mut multi = build(4, 120);
         let a = single.query_serial("winner", 10).unwrap();
         let b = multi.query_serial("winner", 10).unwrap();
-        // Global IDF tuples were distributed at commit, so the scores —
-        // and therefore the merged ranking — are identical to the
-        // single-server evaluation. (Tie order may differ because doc
-        // oids are shard-local; compare (url, score) sorted.)
+        // Global IDF tuples were distributed at commit, and both ties
+        // and the merge order on URL — so the merged ranking is
+        // *identical* to the single-server evaluation, order included.
         let urls = |r: &DistributedResult| {
-            let mut v: Vec<(String, f64)> =
-                r.hits.iter().map(|h| (h.url.clone(), h.score)).collect();
-            v.sort_by(|x, y| x.0.cmp(&y.0));
-            v
+            r.hits
+                .iter()
+                .map(|h| (h.url.clone(), h.score))
+                .collect::<Vec<_>>()
         };
         assert_eq!(urls(&a), urls(&b));
     }
@@ -735,6 +1414,81 @@ mod tests {
     #[test]
     fn zero_servers_is_a_config_error() {
         assert!(DistributedIndex::new(0, ScoreModel::TfIdf).is_err());
+    }
+
+    #[test]
+    fn replication_must_leave_room_for_distinct_hosts() {
+        assert!(DistributedIndex::with_replication(3, ScoreModel::TfIdf, 2).is_ok());
+        assert!(DistributedIndex::with_replication(3, ScoreModel::TfIdf, 3).is_err());
+        assert!(DistributedIndex::with_replication(1, ScoreModel::TfIdf, 1).is_err());
+    }
+
+    #[test]
+    fn replicas_live_on_distinct_hosts() {
+        let d = build_replicated(4, 40, 2);
+        for g in 0..4 {
+            let hosts = d.replica_servers(g);
+            assert_eq!(hosts.len(), 2);
+            assert!(!hosts.contains(&g), "replica on the primary host");
+            assert_ne!(hosts[0], hosts[1], "two replicas share a host");
+        }
+        // Killing one whole server covers its primary and every replica
+        // hosted there: with R=2 on 4 servers, each host carries one
+        // primary plus two replica copies.
+        let labels = d.fault_labels_for_server(1);
+        assert_eq!(labels.len(), 3, "{labels:?}");
+        assert!(labels.contains(&"shard:1".to_owned()));
+    }
+
+    #[test]
+    fn replication_does_not_change_the_answer() {
+        let mut plain = build(4, 200);
+        let mut replicated = build_replicated(4, 200, 2);
+        let a = plain.query_parallel("winner tennis", 10).unwrap();
+        let b = replicated.query_parallel("winner tennis", 10).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.failovers, 0);
+    }
+
+    #[test]
+    fn a_dead_primary_fails_over_to_a_replica_not_degraded() {
+        let mut d = build_replicated(4, 200, 1);
+        d.set_fault_plan(
+            FaultPlan::seeded(11)
+                .with_script("shard:2", vec![FaultAction::Error])
+                .shared(),
+        );
+        let r = d.query_parallel("winner tennis", 10).unwrap();
+        assert!(!r.is_degraded(), "replica should have covered: {r:?}");
+        assert_eq!(r.failovers, 1);
+        assert_eq!(r.shards_ok, 4);
+        assert_eq!(r.quality, 1.0);
+        // The answer equals the fault-free one exactly.
+        let mut healthy = build_replicated(4, 200, 1);
+        let expected = healthy.query_parallel("winner tennis", 10).unwrap();
+        assert_eq!(r.hits, expected.hits);
+        // Health reflects the dead primary.
+        let health = d.shard_health();
+        assert!(!health[2].primary_healthy);
+        assert_eq!(health[2].healthy_copies, 1);
+        assert!(health[3].primary_healthy);
+    }
+
+    #[test]
+    fn a_group_with_every_copy_dead_still_degrades() {
+        let mut d = build_replicated(3, 120, 1);
+        let plan = FaultPlan::seeded(12);
+        plan.set_site("shard:0", FaultSpec::always_error());
+        let host = d.replica_servers(0)[0];
+        plan.set_site(format!("replica:{host}:0"), FaultSpec::always_error());
+        d.set_fault_plan(plan.shared());
+        let r = d.query_parallel("winner", 10).unwrap();
+        assert!(r.is_degraded());
+        assert_eq!(r.failed_shards, vec![0]);
+        assert_eq!(r.failovers, 0);
+        for hit in &r.hits {
+            assert_ne!(d.route(&hit.url), 0);
+        }
     }
 
     #[test]
@@ -893,6 +1647,18 @@ mod tests {
     }
 
     #[test]
+    fn replicas_ride_on_their_groups_budget_unit() {
+        // Work budget of exactly `servers` units: with R=1 there are
+        // twice as many answers, but only one unit per *group* may be
+        // charged — replication must not make budgets twice as tight.
+        let mut d = build_replicated(3, 90, 1);
+        let budget = Budget::with_work(3);
+        let r = d.query_parallel_budgeted("winner", 10, &budget).unwrap();
+        assert_eq!(r.shards_ok, 3);
+        assert!(!r.is_degraded());
+    }
+
+    #[test]
     fn delayed_shards_still_answer_within_the_window() {
         let mut d = build(4, 120);
         d.set_fault_plan(
@@ -944,5 +1710,131 @@ mod tests {
             urls(&degraded.hits.iter().collect::<Vec<_>>()),
             urls(&expected)
         );
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_replication_and_layout() {
+        let mut d = build_replicated(4, 120, 2);
+        let snaps = d.snapshot_shards().unwrap();
+        let mut back = DistributedIndex::restore_shards(&snaps).unwrap();
+        assert_eq!(back.servers(), 4);
+        assert_eq!(back.replication(), 2);
+        assert_eq!(back.layout(), d.layout());
+        assert_eq!(back.shard_epochs(), d.shard_epochs());
+        let a = d.query_serial("winner tennis", 10).unwrap();
+        let b = back.query_serial("winner tennis", 10).unwrap();
+        assert_eq!(a, b);
+        // The restored replicas really hold the data: kill every
+        // primary and the answer must still be complete.
+        let plan = faults::FaultPlan::seeded(21);
+        for g in 0..4 {
+            plan.set_site(format!("shard:{g}"), FaultSpec::always_error());
+        }
+        back.set_fault_plan(plan.shared());
+        let failed_over = back.query_parallel("winner tennis", 10).unwrap();
+        assert_eq!(failed_over.failovers, 4);
+        assert_eq!(failed_over.hits, a.hits);
+    }
+
+    #[test]
+    fn restoring_a_skewed_snapshot_vector_is_a_typed_error() {
+        let mut d = build(3, 60);
+        let snaps = d.snapshot_shards().unwrap();
+
+        // Wrong count: dropping one shard of the cut.
+        match DistributedIndex::restore_shards(&snaps[..2]).map(|_| ()) {
+            Err(Error::SnapshotMismatch(m)) => assert!(m.contains("cut"), "{m}"),
+            other => panic!("expected SnapshotMismatch, got {other:?}"),
+        }
+
+        // Reordered: shard 1's snapshot restored at position 0.
+        let swapped = vec![snaps[1].clone(), snaps[0].clone(), snaps[2].clone()];
+        match DistributedIndex::restore_shards(&swapped).map(|_| ()) {
+            Err(Error::SnapshotMismatch(m)) => assert!(m.contains("position"), "{m}"),
+            other => panic!("expected SnapshotMismatch, got {other:?}"),
+        }
+
+        // Mixed cuts: shard 0 replaced by a snapshot from a *later*
+        // epoch of the same index.
+        d.index_document("http://site/late.html", "tennis winner late")
+            .unwrap();
+        d.commit().unwrap();
+        let later = d.snapshot_shards().unwrap();
+        let mixed = vec![later[0].clone(), snaps[1].clone(), snaps[2].clone()];
+        match DistributedIndex::restore_shards(&mixed).map(|_| ()) {
+            Err(Error::SnapshotMismatch(m)) => assert!(m.contains("cut epoch"), "{m}"),
+            other => panic!("expected SnapshotMismatch, got {other:?}"),
+        }
+
+        // Not an envelope at all.
+        match DistributedIndex::restore_shards(&[vec![0u8; 4]]).map(|_| ()) {
+            Err(Error::SnapshotMismatch(m)) => assert!(m.contains("envelope"), "{m}"),
+            other => panic!("expected SnapshotMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_layout_moves_documents_and_preserves_the_answer() {
+        let mut d = build_replicated(2, 150, 1);
+        let before = d.query_serial("winner tennis", 15).unwrap();
+        // Split: move to 4 servers, round-robin.
+        let new_layout: Vec<u16> = (0..ROUTE_SLOTS).map(|s| (s % 4) as u16).collect();
+        let report = d.apply_layout(4, &new_layout).unwrap();
+        assert_eq!(report.shards_before, 2);
+        assert_eq!(report.shards_after, 4);
+        assert!(report.moved_docs > 0);
+        assert_eq!(d.servers(), 4);
+        assert_eq!(d.shard_sizes().iter().sum::<usize>(), 150);
+        for (url, _) in corpus(150) {
+            assert!(d.contains_url(&url), "{url} lost in migration");
+        }
+        let after = d.query_serial("winner tennis", 15).unwrap();
+        assert_eq!(
+            ranking(&before),
+            ranking(&after),
+            "ranking changed across rebalance"
+        );
+        // Merging down to 1 server is rejected while R=1 (replicas
+        // need a distinct host)…
+        assert!(d.apply_layout(1, &[0u16; ROUTE_SLOTS]).is_err());
+        // …but merging to 2 works and still preserves the ranking.
+        let half: Vec<u16> = (0..ROUTE_SLOTS).map(|s| (s % 2) as u16).collect();
+        let report = d.apply_layout(2, &half).unwrap();
+        assert_eq!(report.shards_after, 2);
+        let merged = d.query_serial("winner tennis", 15).unwrap();
+        assert_eq!(ranking(&before), ranking(&merged));
+    }
+
+    #[test]
+    fn an_injected_migration_failure_aborts_with_the_old_layout_intact() {
+        let mut d = build_replicated(3, 90, 1);
+        let before_layout = d.layout().to_vec();
+        let before = d.query_serial("winner", 10).unwrap();
+        let plan = FaultPlan::seeded(22);
+        plan.set_script("migrate:shard:1", vec![FaultAction::Error]);
+        d.set_fault_plan(plan.shared());
+        let new_layout: Vec<u16> = (0..ROUTE_SLOTS).map(|s| (s % 2) as u16).collect();
+        let err = d.apply_layout(2, &new_layout).unwrap_err();
+        assert!(err.to_string().contains("rebalance aborted"), "{err}");
+        assert_eq!(d.layout(), &before_layout[..]);
+        assert_eq!(d.servers(), 3);
+        let after = d.query_serial("winner", 10).unwrap();
+        assert_eq!(before.hits, after.hits, "aborted rebalance must not move docs");
+        // The fault script is spent: the retry succeeds.
+        let report = d.apply_layout(2, &new_layout).unwrap();
+        assert_eq!(report.shards_after, 2);
+        let rebalanced = d.query_serial("winner", 10).unwrap();
+        assert_eq!(ranking(&before), ranking(&rebalanced));
+    }
+
+    #[test]
+    fn cutover_bumps_the_epoch_past_every_old_value() {
+        let mut d = build(2, 60);
+        let before = d.epoch();
+        let new_layout: Vec<u16> = (0..ROUTE_SLOTS).map(|s| (s % 2) as u16).collect();
+        let report = d.apply_layout(2, &new_layout).unwrap();
+        assert!(report.cutover_epoch > before);
+        assert_eq!(d.last_cutover_epoch(), report.cutover_epoch);
+        assert!(d.epoch() >= report.cutover_epoch, "caches must invalidate");
     }
 }

@@ -14,6 +14,11 @@ pub enum Error {
     /// Every distributed server failed to answer a query — there is no
     /// survivor left to degrade to.
     AllShardsFailed(String),
+    /// A shard snapshot vector does not form one consistent cut:
+    /// wrong count, reordered shards, disagreeing layouts or snapshots
+    /// taken at different epochs. Restoring it would silently build a
+    /// skewed index, so it is refused instead.
+    SnapshotMismatch(String),
     /// The caller's query budget expired before the evaluation
     /// finished. Carries how far the scatter-gather got so upper
     /// layers can report partial progress.
@@ -33,6 +38,7 @@ impl fmt::Display for Error {
             Error::Monet(e) => write!(f, "store error: {e}"),
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::AllShardsFailed(m) => write!(f, "all servers failed: {m}"),
+            Error::SnapshotMismatch(m) => write!(f, "shard snapshot mismatch: {m}"),
             Error::DeadlineExceeded {
                 shards_answered,
                 cause,

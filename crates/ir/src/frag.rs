@@ -229,22 +229,29 @@ impl FragmentedIndex {
             }
         }
 
-        let mut hits: Vec<(Oid, f64)> = scores.into_iter().collect();
-        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        hits.truncate(k);
         CutoffResult {
-            hits: hits
-                .into_iter()
-                .map(|(doc, score)| SearchHit {
-                    doc,
-                    url: self.urls.get(&doc).cloned().unwrap_or_default(),
-                    score,
-                })
-                .collect(),
+            hits: self.ranked_hits(scores, k),
             quality: 1.0,
             fragments_used: used,
             work,
         }
+    }
+
+    /// Resolves scores to hits and ranks them with the same
+    /// score-then-url order [`TextIndex::query`] uses, so fragmented and
+    /// unfragmented evaluation agree byte-for-byte on tie order.
+    fn ranked_hits(&self, scores: HashMap<Oid, f64>, k: usize) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(doc, score)| SearchHit {
+                doc,
+                url: self.urls.get(&doc).cloned().unwrap_or_default(),
+                score,
+            })
+            .collect();
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.url.cmp(&b.url)));
+        hits.truncate(k);
+        hits
     }
 
     /// Evaluates `text` over at most `max_fragments` fragments
@@ -283,18 +290,8 @@ impl FragmentedIndex {
             }
         }
 
-        let mut hits: Vec<(Oid, f64)> = scores.into_iter().collect();
-        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        hits.truncate(k);
         CutoffResult {
-            hits: hits
-                .into_iter()
-                .map(|(doc, score)| SearchHit {
-                    doc,
-                    url: self.urls.get(&doc).cloned().unwrap_or_default(),
-                    score,
-                })
-                .collect(),
+            hits: self.ranked_hits(scores, k),
             quality: if total_mass > 0.0 {
                 evaluated_mass / total_mass
             } else {
@@ -307,6 +304,7 @@ impl FragmentedIndex {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

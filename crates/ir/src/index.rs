@@ -80,6 +80,27 @@ pub struct QueryWork {
     pub matched_terms: usize,
 }
 
+/// A document in relation-level form: the stemmed terms and their
+/// stored frequencies — the unit of shard migration. Re-tokenizing the
+/// original text would not do: stemming is not idempotent, so a
+/// migrated document must carry its stored stems verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocExport {
+    /// The document URL (the routing key).
+    pub url: String,
+    /// `(stem, tf)` pairs, sorted by stem — the DT/TF rows.
+    pub terms: Vec<(String, i64)>,
+}
+
+impl DocExport {
+    /// Token count (`Σ tf`) — the DL value the document re-creates on
+    /// import (document length is the sum of its term frequencies by
+    /// construction).
+    pub fn token_count(&self) -> i64 {
+        self.terms.iter().map(|(_, tf)| *tf).sum()
+    }
+}
+
 /// The text index.
 pub struct TextIndex {
     db: Db,
@@ -489,16 +510,23 @@ impl TextIndex {
                 *scores.entry(doc).or_insert(0.0) += self.term_score(tf, idf, dl);
             }
         }
-        let mut hits: Vec<(Oid, f64)> = scores.into_iter().collect();
-        hits.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Resolve URLs *before* ranking: ties order by URL, which —
+        // unlike shard-local doc oids — survives shard splits, merges
+        // and migrations, so a merged ranking is byte-identical at any
+        // distribution layout. One pass over D covers all scored docs.
+        let mut hits: Vec<SearchHit> = Vec::with_capacity(scores.len());
+        if !scores.is_empty() {
+            if let Ok(d) = self.db.get(D) {
+                for (doc, v) in d.iter() {
+                    if let Some(score) = scores.remove(&doc) {
+                        let url = v.as_str().unwrap_or_default().to_owned();
+                        hits.push(SearchHit { doc, url, score });
+                    }
+                }
+            }
+        }
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.url.cmp(&b.url)));
         hits.truncate(k);
-        let hits = hits
-            .into_iter()
-            .map(|(doc, score)| {
-                let url = self.url_of(doc).unwrap_or_default();
-                SearchHit { doc, url, score }
-            })
-            .collect();
         Ok((hits, work))
     }
 
@@ -540,9 +568,107 @@ impl TextIndex {
         terms.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)));
         terms
     }
+
+    /// Exports every document in relation-level form, in D (insertion)
+    /// order — the rebalancer's migration feed. Inverts DT/TF back into
+    /// per-document `(stem, tf)` lists; [`TextIndex::import_document`]
+    /// on the receiving shard reconstructs identical relations.
+    pub fn export_documents(&self) -> Result<Vec<DocExport>> {
+        if self.document_count() == 0 {
+            return Ok(Vec::new());
+        }
+        let name_of: HashMap<Oid, &str> =
+            self.vocab.iter().map(|(s, o)| (*o, s.as_str())).collect();
+        let mut pair_term: HashMap<Oid, Oid> = HashMap::new();
+        if let Ok(dt) = self.db.get(DT_TERM) {
+            for (term, v) in dt.iter() {
+                if let Some(pair) = v.as_oid() {
+                    pair_term.insert(pair, term);
+                }
+            }
+        }
+        let mut tf_of: HashMap<Oid, i64> = HashMap::new();
+        if let Ok(tf) = self.db.get(TF) {
+            for (pair, v) in tf.iter() {
+                if let Some(n) = v.as_int() {
+                    tf_of.insert(pair, n);
+                }
+            }
+        }
+        let mut doc_terms: HashMap<Oid, Vec<(String, i64)>> = HashMap::new();
+        if let Ok(dt) = self.db.get(DT_DOC) {
+            for (pair, v) in dt.iter() {
+                let Some(doc) = v.as_oid() else { continue };
+                let Some(&term) = pair_term.get(&pair) else {
+                    return Err(Error::Document(format!("pair {pair} lost its term")));
+                };
+                let stem = name_of.get(&term).copied().unwrap_or_default().to_owned();
+                let tf = tf_of.get(&pair).copied().unwrap_or(0);
+                doc_terms.entry(doc).or_default().push((stem, tf));
+            }
+        }
+        let mut out = Vec::with_capacity(self.document_count());
+        if let Ok(d) = self.db.get(D) {
+            for (doc, v) in d.iter() {
+                let Some(url) = v.as_str() else { continue };
+                let mut terms = doc_terms.remove(&doc).unwrap_or_default();
+                terms.sort();
+                out.push(DocExport {
+                    url: url.to_owned(),
+                    terms,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inserts a document from its relation-level export — the shard
+    /// migration path. Identical to [`TextIndex::index_document`] except
+    /// the stored stems are taken as-is (no tokenizing — stemming is not
+    /// idempotent) and nothing is WAL-logged: migrations replay from
+    /// their layout record, which re-derives every move.
+    pub fn import_document(&mut self, doc: &DocExport) -> Result<Oid> {
+        if self.contains_url(&doc.url) {
+            return Err(Error::Document(format!("`{}` already indexed", doc.url)));
+        }
+        let oid = self.db.mint();
+        self.db
+            .get_or_create(D, ColumnKind::Str)
+            .append_str(oid, &doc.url)?;
+        let dl = doc.token_count().max(0);
+        self.total_tokens += dl as usize;
+        self.db.get_or_create(DL, ColumnKind::Int).append_int(oid, dl)?;
+        for (stem, tf) in &doc.terms {
+            let term_oid = match self.vocab.get(stem) {
+                Some(o) => *o,
+                None => {
+                    let o = self.db.mint();
+                    self.db.get_or_create(T, ColumnKind::Str).append_str(o, stem)?;
+                    self.vocab.insert(stem.clone(), o);
+                    o
+                }
+            };
+            let pair = self.db.mint();
+            self.db
+                .get_or_create(DT_DOC, ColumnKind::Oid)
+                .append_oid(pair, oid)?;
+            self.db
+                .get_or_create(DT_TERM, ColumnKind::Oid)
+                .append_oid(term_oid, pair)?;
+            self.db
+                .get_or_create(TF, ColumnKind::Int)
+                .append_int(pair, *tf)?;
+            *self.df.entry(term_oid).or_insert(0) += 1;
+            self.dirty_terms.push(term_oid);
+        }
+        self.committed = false;
+        self.epoch += 1;
+        Ok(oid)
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -659,6 +785,33 @@ mod tests {
         let none = std::collections::HashSet::new();
         let (hits, _) = idx.query_restricted("open", 10, &none).unwrap();
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn export_import_round_trips_relations_exactly() {
+        let mut idx = small_corpus();
+        let docs = idx.export_documents().unwrap();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].url, "seles-history.html");
+        // tf("winner") = 2 in the first document.
+        assert_eq!(
+            docs[0].terms.iter().find(|(s, _)| s == "winner"),
+            Some(&("winner".to_owned(), 2))
+        );
+
+        let mut copy = TextIndex::new(ScoreModel::TfIdf);
+        for d in &docs {
+            copy.import_document(d).unwrap();
+        }
+        copy.commit().unwrap();
+        assert_eq!(copy.document_count(), 3);
+        assert_eq!(copy.avg_doc_len(), idx.avg_doc_len());
+        assert_eq!(copy.idf("open"), idx.idf("open"));
+        let (a, _) = idx.query("australian open winner", 10).unwrap();
+        let (b, _) = copy.query("australian open winner", 10).unwrap();
+        assert_eq!(a, b);
+        // Rebuilding from the same insertion order is byte-stable.
+        assert_eq!(idx.snapshot().unwrap(), copy.snapshot().unwrap());
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   over several database servers, by assigning parts on a per-document
 //!   basis … almost perfect shared nothing parallelism which facilitates
 //!   (almost) unlimited scalability": local top-N per server, master
-//!   ranking merge at the central node.
+//!   ranking merge at the central node. The distribution layer is
+//!   replicated and elastic: every shard group carries R replicas on
+//!   distinct virtual hosts (failover before degradation), and
+//!   [`rebalance`] splits/merges shards with idf-aware placement under
+//!   an epoch-consistent, WAL-logged cutover.
 //!
 //! [`text`] supplies the tokenizer, English stop list and a from-scratch
 //! Porter stemmer ("the terms to be stored … actually will be the
@@ -34,10 +38,12 @@ pub mod error;
 pub mod frag;
 pub mod index;
 pub mod lang;
+pub mod rebalance;
 pub mod text;
 
-pub use distrib::{DistributedIndex, DistributedResult};
+pub use distrib::{DistributedIndex, DistributedResult, ShardHealth, ROUTE_SLOTS};
 pub use error::{Error, Result};
 pub use frag::FragmentedIndex;
-pub use index::{ScoreModel, SearchHit, TextIndex};
+pub use index::{DocExport, ScoreModel, SearchHit, TextIndex};
+pub use rebalance::{RebalanceReport, Rebalancer};
 pub use text::{porter_stem, tokenize_and_stem};

@@ -1,7 +1,8 @@
 //! Property tests for retrieval invariants.
+#![allow(clippy::unwrap_used)]
 
 use faults::{FaultAction, FaultPlan};
-use ir::{DistributedIndex, FragmentedIndex, ScoreModel, TextIndex};
+use ir::{DistributedIndex, FragmentedIndex, Rebalancer, ScoreModel, TextIndex};
 use proptest::prelude::*;
 
 /// Random small corpora over a closed vocabulary (so terms collide).
@@ -197,5 +198,56 @@ proptest! {
             .sum();
         let total: usize = sizes.iter().sum();
         prop_assert!((degraded.quality - surviving as f64 / total as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn routing_is_stable_across_restore_and_rebalance(
+        corpus in arb_corpus(),
+        servers in 3usize..6,
+        replicas in 0usize..3,
+    ) {
+        let mut d =
+            DistributedIndex::with_replication(servers, ScoreModel::TfIdf, replicas).unwrap();
+        let urls: Vec<String> = (0..corpus.len()).map(|i| format!("d{i}")).collect();
+        for (url, words) in urls.iter().zip(&corpus) {
+            d.index_document(url, &words.join(" ")).unwrap();
+        }
+        d.commit().unwrap();
+
+        // Every URL routes to one in-range primary that holds it, and
+        // to R replica hosts that are distinct from the primary and
+        // from each other and hold a copy.
+        for url in &urls {
+            let primary = d.route(url);
+            prop_assert!(primary < servers);
+            prop_assert!(d.shard(primary).contains_url(url));
+            let hosts = d.replica_servers(primary);
+            prop_assert_eq!(hosts.len(), replicas);
+            let mut seen = vec![primary];
+            for h in &hosts {
+                prop_assert!(!seen.contains(h), "replica host collision for {url}");
+                seen.push(*h);
+            }
+        }
+
+        // The route function survives a snapshot/restore round trip.
+        let blobs = d.snapshot_shards().unwrap();
+        let restored = DistributedIndex::restore_shards(&blobs).unwrap();
+        prop_assert_eq!(restored.layout(), d.layout());
+        prop_assert_eq!(restored.replication(), d.replication());
+        for url in &urls {
+            prop_assert_eq!(restored.route(url), d.route(url));
+        }
+
+        // After a rebalance, every URL's (possibly new) routed primary
+        // still holds exactly that document.
+        let target = servers.saturating_sub(1).max(replicas + 1);
+        Rebalancer::new().rebalance(&mut d, target).unwrap();
+        prop_assert_eq!(d.servers(), target);
+        for url in &urls {
+            let primary = d.route(url);
+            prop_assert!(primary < target);
+            prop_assert!(d.shard(primary).contains_url(url));
+        }
     }
 }

@@ -363,6 +363,16 @@ impl WalHandle {
             .map_err(|_| Error::Wal("log mutex poisoned".into()))?
             .flush()
     }
+
+    /// Appends one record and synchronously flushes it — for records
+    /// that *are* the commit point of an operation (a distribution
+    /// layout cutover, say), where losing the record would silently
+    /// roll the operation back even though the caller saw it succeed.
+    pub fn log_sync(&self, op: u8, fields: &[&[u8]]) -> Result<u64> {
+        let lsn = self.log(op, fields)?;
+        self.flush()?;
+        Ok(lsn)
+    }
 }
 
 /// Splits a payload produced by [`WalHandle::log`] back into

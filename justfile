@@ -13,12 +13,22 @@ verify:
     just recovery-smoke
     just overload-smoke
     just obs-smoke
+    just distribution-smoke
 
 # Crash-point recovery: the durability harness (WAL + snapshot fault
 # sweeps) plus a smoke pass of the E13 recovery bench.
 recovery-smoke:
     cargo test --offline -q -p dlsearch --test durability
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench recovery
+
+# Replication & elasticity: the distribution chaos harness (replica
+# failover, rebalancing under injected kills, consistent checkpoints)
+# plus smoke passes of the E16 distribution and E4 fragmentation
+# benches.
+distribution-smoke:
+    cargo test --offline -q -p dlsearch --test distribution_chaos
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench distribution
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench fragmentation
 
 # Overload resilience: the closed-loop storm suite (admission,
 # deadlines, cancellation hygiene, brownout honesty) plus a smoke pass
@@ -43,8 +53,9 @@ clippy:
     cargo clippy --offline --workspace --all-targets -- -D warnings
 
 # Perf baselines: E11 (parallel ingestion), E12 (query cache), E13
-# (recovery), E14 (overload), E15 (observability overhead). Full runs
-# refresh the BENCH_*.json artifacts in-repo; all five emit the shared
+# (recovery), E14 (overload), E15 (observability overhead), E16
+# (distribution: scaling, failover, rebalance). Full runs refresh the
+# BENCH_*.json artifacts in-repo; all six emit the shared
 # schema_version=1 envelope with an embedded metrics dump.
 bench:
     cargo bench --offline -p bench --bench ingest
@@ -52,6 +63,7 @@ bench:
     cargo bench --offline -p bench --bench recovery
     cargo bench --offline -p bench --bench overload
     cargo bench --offline -p bench --bench obs
+    cargo bench --offline -p bench --bench distribution
 
 # The flagship scenario, healthy and under injected faults.
 demo:

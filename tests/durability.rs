@@ -65,9 +65,22 @@ fn replay_digest(records: &[WalRecord]) -> Vec<u8> {
     let mut text = ir::DistributedIndex::new(1, ir::ScoreModel::TfIdf).unwrap();
     let mut report = RecoveryReport::default();
     persist::apply_wal_records(&mut views, &mut meta, &mut text, records, &mut report).unwrap();
+    state_digest(&views, &meta, &mut text)
+}
+
+/// Byte digest of the replayed durable state, matching
+/// [`Engine::state_digest`]: content-only shard snapshots, because the
+/// epoch counters measure how many commits a history took (the
+/// manifest is their durable authority) and two replays reaching the
+/// same state may legitimately count differently.
+fn state_digest(
+    views: &monetxml::XmlStore,
+    meta: &monetxml::XmlStore,
+    text: &mut ir::DistributedIndex,
+) -> Vec<u8> {
     let mut out = views.snapshot().unwrap();
     out.extend_from_slice(&meta.snapshot().unwrap());
-    for shard in text.snapshot_shards().unwrap() {
+    for shard in text.content_snapshot_shards().unwrap() {
         out.extend_from_slice(&shard);
     }
     out
@@ -460,11 +473,7 @@ proptest! {
         persist::apply_wal_records(&mut views, &mut meta, &mut text, &records, &mut report)
             .unwrap();
         prop_assert_eq!(report.wal_skipped, j, "the prefix must be skipped the second time");
-        let mut twice = views.snapshot().unwrap();
-        twice.extend_from_slice(&meta.snapshot().unwrap());
-        for shard in text.snapshot_shards().unwrap() {
-            twice.extend_from_slice(&shard);
-        }
+        let twice = state_digest(&views, &meta, &mut text);
         prop_assert_eq!(twice, once);
         std::fs::remove_dir_all(&dir).ok();
     }
