@@ -6,6 +6,14 @@
 //! changes wall-clock, never output). Results land in
 //! `BENCH_populate.json` at the repository root.
 //!
+//! Reported per worker count: the end-to-end median **and per-stage
+//! medians** (extract / store / collect / text / analyse / merge) from
+//! `Engine::last_populate_timings`. A single "speedup at 4 workers"
+//! scalar was dishonest on small corpora — only the analyse stage
+//! parallelises, so the report now shows exactly which stage moves and
+//! which is serial overhead, alongside `cores_detected` so readers can
+//! judge the numbers against the machine that produced them.
+//!
 //! `BENCH_SMOKE=1` runs a minimal site once per worker count and skips
 //! the JSON write — the `just verify` wiring, proving the harness
 //! works without disturbing committed numbers.
@@ -13,7 +21,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use dlsearch::PopulateOptions;
+use dlsearch::{PopulateOptions, StageTimings};
 use obs::report::{BenchReport, Json};
 use websim::crawl;
 
@@ -22,18 +30,37 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Median per stage over a set of timing breakdowns.
+fn stage_medians(timings: &[StageTimings]) -> Vec<(&'static str, f64)> {
+    let col = |f: fn(&StageTimings) -> f64| {
+        let mut v: Vec<f64> = timings.iter().map(f).collect();
+        median(&mut v)
+    };
+    vec![
+        ("extract_ms", col(|t| t.extract_ms)),
+        ("store_ms", col(|t| t.store_ms)),
+        ("collect_ms", col(|t| t.collect_ms)),
+        ("text_ms", col(|t| t.text_ms)),
+        ("analyse_ms", col(|t| t.analyse_ms)),
+        ("merge_ms", col(|t| t.merge_ms)),
+    ]
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let (players, articles, iters) = if smoke { (4, 4, 1) } else { (24, 32, 5) };
     let site = bench::site(players, articles);
     let pages = crawl(&site);
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
 
     let obs_handle = obs::Obs::enabled();
     let mut baseline: Option<(Vec<u8>, Vec<u8>)> = None;
     let mut rows = Vec::new();
-    let mut medians = Vec::new();
     for workers in [1usize, 2, 4, 8] {
         let mut samples = Vec::new();
+        let mut timings = Vec::new();
         for _ in 0..iters {
             let mut engine =
                 dlsearch::ausopen::engine(Arc::clone(&site)).expect("engine config");
@@ -43,6 +70,7 @@ fn main() {
                 .populate_with(&pages, PopulateOptions { workers })
                 .expect("populate");
             samples.push(start.elapsed().as_secs_f64() * 1e3);
+            timings.push(engine.last_populate_timings());
             assert!(report.media_analyzed > 0, "workload must analyse media");
 
             // Identity check: every run, any worker count, same bytes.
@@ -59,7 +87,15 @@ fn main() {
             }
         }
         let med = median(&mut samples);
-        println!("e11_populate/workers={workers}: median {med:.2} ms {samples:?}");
+        let stages = stage_medians(&timings);
+        let stage_str: Vec<String> = stages
+            .iter()
+            .map(|(name, ms)| format!("{name}={ms:.2}"))
+            .collect();
+        println!(
+            "e11_populate/workers={workers}: median {med:.2} ms [{}]",
+            stage_str.join(" ")
+        );
         rows.push(Json::Obj(vec![
             ("workers".to_owned(), Json::Int(workers as i64)),
             ("median_ms".to_owned(), Json::Num(med)),
@@ -67,12 +103,17 @@ fn main() {
                 "samples_ms".to_owned(),
                 Json::Arr(samples.iter().map(|s| Json::Num(*s)).collect()),
             ),
+            (
+                "stage_medians_ms".to_owned(),
+                Json::Obj(
+                    stages
+                        .iter()
+                        .map(|(name, ms)| (name.to_string(), Json::Num(*ms)))
+                        .collect(),
+                ),
+            ),
         ]));
-        medians.push((workers, med));
     }
-
-    let speedup4 = medians[0].1 / medians.iter().find(|(w, _)| *w == 4).unwrap().1;
-    println!("e11_populate: speedup at 4 workers = {speedup4:.2}x");
 
     if smoke {
         println!("e11_populate: smoke mode, not writing BENCH_populate.json");
@@ -83,8 +124,8 @@ fn main() {
         .config("articles", Json::Int(articles as i64))
         .config("pages", Json::Int(pages.len() as i64))
         .config("iterations", Json::Int(iters as i64))
+        .config("cores_detected", Json::Int(cores as i64))
         .result("results", Json::Arr(rows))
-        .result("speedup_4_workers", Json::Num(speedup4))
         .metrics(obs_handle.registry().expect("enabled"));
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_populate.json");
     std::fs::write(path, report.render()).expect("write BENCH_populate.json");

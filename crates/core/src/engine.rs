@@ -89,6 +89,35 @@ pub struct PopulateReport {
     pub detector_calls: usize,
 }
 
+/// Wall-clock breakdown of one [`Engine::populate_with`] run, by
+/// pipeline stage. Deliberately **not** part of [`PopulateReport`]:
+/// reports are compared byte-for-byte across worker counts, and wall
+/// clocks never are. Retrieved via [`Engine::last_populate_timings`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Conceptual extraction (page parsing + view finalization).
+    pub extract_ms: f64,
+    /// Physical storage: view documents + merged object graph.
+    pub store_ms: f64,
+    /// Schema walk collecting the text and media workloads.
+    pub collect_ms: f64,
+    /// Full-text indexing of the hypertext attributes.
+    pub text_ms: f64,
+    /// Media analysis (detector cascade), wall time of the whole stage.
+    pub analyse_ms: f64,
+    /// Time spent merging parse trees into the meta-index, in source
+    /// order (a subset of the analyse stage's wall time).
+    pub merge_ms: f64,
+}
+
+impl StageTimings {
+    /// Total wall time across the stages (merge is counted inside
+    /// analyse, not added again).
+    pub fn total_ms(&self) -> f64 {
+        self.extract_ms + self.store_ms + self.collect_ms + self.text_ms + self.analyse_ms
+    }
+}
+
 /// Options controlling how [`Engine::populate_with`] runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PopulateOptions {
@@ -151,6 +180,8 @@ pub struct Engine {
     metrics: Option<EngineMetrics>,
     /// The recovery report of the `open` that produced this engine.
     last_recovery: Option<RecoveryReport>,
+    /// Per-stage wall-clock breakdown of the most recent populate run.
+    last_populate_timings: StageTimings,
 }
 
 /// Engine-level metric handles, registered once in
@@ -177,6 +208,9 @@ struct EngineMetrics {
     recovery_wal_replayed: obs::Gauge,
     recovery_wal_skipped: obs::Gauge,
     recovery_fell_back: obs::Gauge,
+    monet_bytes_resident: obs::Gauge,
+    monet_dict_entries: obs::Gauge,
+    monet_dict_hit_ratio: obs::Gauge,
 }
 
 impl EngineMetrics {
@@ -239,6 +273,18 @@ impl EngineMetrics {
             recovery_fell_back: reg.gauge(
                 "engine_recovery_fell_back",
                 "1 when recovery fell back past the newest checkpoint generation",
+            ),
+            monet_bytes_resident: reg.gauge(
+                "monet_bytes_resident",
+                "Bytes resident in materialized BAT catalogs (views, meta, text shards)",
+            ),
+            monet_dict_entries: reg.gauge(
+                "monet_dict_entries",
+                "Distinct strings across the catalogs' shared dictionaries",
+            ),
+            monet_dict_hit_ratio: reg.gauge(
+                "monet_dict_hit_ratio",
+                "Dictionary intern hit ratio, in per-mille (987 = 98.7% of interns were repeats)",
             ),
         }
     }
@@ -475,6 +521,7 @@ impl Engine {
             obs: obs::Obs::disabled(),
             metrics: None,
             last_recovery: None,
+            last_populate_timings: StageTimings::default(),
         })
     }
 
@@ -909,6 +956,12 @@ impl Engine {
         self.last_recovery.as_ref()
     }
 
+    /// Per-stage wall-clock breakdown of the most recent
+    /// [`Engine::populate_with`] run (zeros before the first run).
+    pub fn last_populate_timings(&self) -> StageTimings {
+        self.last_populate_timings
+    }
+
     /// Re-stamps every scrape-time gauge from live state.
     fn refresh_gauges(&self) {
         let Some(m) = &self.metrics else { return };
@@ -923,6 +976,22 @@ impl Engine {
             m.recovery_wal_skipped.set(r.wal_skipped as i64);
             m.recovery_fell_back.set(i64::from(r.fell_back));
         }
+        // Data-plane footprint, aggregated over every BAT catalog the
+        // engine holds: the view store, the meta-index store and each
+        // text shard.
+        let mut bytes = 0usize;
+        let mut dict = monet::DictStats::default();
+        for db in [self.views.db(), self.meta.store().db()]
+            .into_iter()
+            .chain((0..self.text.servers()).map(|k| self.text.shard(k).db()))
+        {
+            bytes += db.resident_bytes();
+            dict.merge(&db.dict_stats());
+        }
+        m.monet_bytes_resident.set(bytes as i64);
+        m.monet_dict_entries.set(dict.entries as i64);
+        m.monet_dict_hit_ratio
+            .set((dict.hit_ratio() * 1000.0).round() as i64);
     }
 
     /// Every registered metric — this engine's and every layer's — in
@@ -985,15 +1054,20 @@ impl Engine {
             pages: pages.len(),
             ..PopulateReport::default()
         };
+        let mut timings = StageTimings::default();
+        let elapsed_ms = |t: std::time::Instant| t.elapsed().as_secs_f64() * 1e3;
 
         // Conceptual extraction (two passes: objects, then links).
+        let stage = std::time::Instant::now();
         let mut extracts = Vec::new();
         for (url, html) in pages {
             extracts.push(self.retriever.extract_page(url, html)?);
         }
         let views: Vec<MaterializedView> = self.retriever.finalize(extracts);
+        timings.extract_ms = elapsed_ms(stage);
 
         // Physical storage of the view documents (one batched load)…
+        let stage = std::time::Instant::now();
         let docs: Vec<_> = views
             .iter()
             .map(|view| (view.name.clone(), view.to_document()))
@@ -1006,12 +1080,14 @@ impl Engine {
             report.associations += view.associations.len();
         }
         report.objects = self.webspace.object_count();
+        timings.store_ms = elapsed_ms(stage);
 
         // Logical level: full text + video analysis, driven by the
         // schema's multimedia hooks. One ordered walk collects both
         // workloads; text is indexed as a batch, media analysis is the
         // stage worth parallelising (each document runs the detector
         // cascade).
+        let stage = std::time::Instant::now();
         let object_ids: Vec<String> = self
             .webspace
             .schema()
@@ -1074,33 +1150,46 @@ impl Engine {
                 }
             }
         }
+        timings.collect_ms = elapsed_ms(stage);
 
+        let stage = std::time::Instant::now();
         self.text
             .index_documents(text_docs.iter().map(|(key, text)| (key.as_str(), text.as_str())))
             .map_err(Error::Ir)?;
         report.text_documents = text_docs.len();
+        timings.text_ms = elapsed_ms(stage);
 
+        let stage = std::time::Instant::now();
+        let mut merge_ms = 0.0f64;
         let workers = options.workers.max(1).min(media_jobs.len().max(1));
         if workers <= 1 {
             for (location, initial) in media_jobs {
                 let outcome = analyse_media(&self.grammar, &self.registry, &initial);
+                let merge_t = std::time::Instant::now();
                 merge_media_outcome(&mut self.meta, &mut report, &location, initial, outcome)?;
+                merge_ms += elapsed_ms(merge_t);
             }
         } else {
             // Fan out: a shared job queue feeds the workers; each runs
-            // its own FDE over the shared grammar and registry. The
-            // writer (this thread) holds the only mutable borrows and
-            // merges results strictly by ascending sequence number,
+            // its own FDE over the shared grammar and registry. Jobs
+            // travel in contiguous chunks (one channel round-trip per
+            // chunk, not per job — channel and wake-up overhead was a
+            // measurable share of merge cost at 10^5-document scale).
+            // The writer (this thread) holds the only mutable borrows
+            // and merges results strictly by ascending sequence number,
             // buffering out-of-order arrivals, so the meta-index sees
             // the exact sequential insertion order.
             let grammar = &self.grammar;
             let registry = &self.registry;
             let meta = &mut self.meta;
-            let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, Vec<Token>)>();
-            let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, MediaOutcome)>();
-            for (seq, (_, initial)) in media_jobs.iter().enumerate() {
+            let chunk_size = (media_jobs.len() / (workers * 4)).max(1);
+            let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, Vec<Vec<Token>>)>();
+            let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, Vec<MediaOutcome>)>();
+            for (i, chunk) in media_jobs.chunks(chunk_size).enumerate() {
+                let batch: Vec<Vec<Token>> =
+                    chunk.iter().map(|(_, initial)| initial.clone()).collect();
                 job_tx
-                    .send((seq, initial.clone()))
+                    .send((i * chunk_size, batch))
                     .expect("job receiver alive");
             }
             drop(job_tx);
@@ -1109,9 +1198,12 @@ impl Engine {
                     let job_rx = job_rx.clone();
                     let res_tx = res_tx.clone();
                     scope.spawn(move |_| {
-                        while let Ok((seq, initial)) = job_rx.recv() {
-                            let outcome = analyse_media(grammar, registry, &initial);
-                            if res_tx.send((seq, outcome)).is_err() {
+                        while let Ok((start, batch)) = job_rx.recv() {
+                            let outcomes: Vec<MediaOutcome> = batch
+                                .iter()
+                                .map(|initial| analyse_media(grammar, registry, initial))
+                                .collect();
+                            if res_tx.send((start, outcomes)).is_err() {
                                 break;
                             }
                         }
@@ -1121,14 +1213,17 @@ impl Engine {
                 let mut pending: BTreeMap<usize, MediaOutcome> = BTreeMap::new();
                 let mut next = 0usize;
                 while next < media_jobs.len() {
-                    let Ok((seq, outcome)) = res_rx.recv() else {
+                    let Ok((start, outcomes)) = res_rx.recv() else {
                         // Workers gone with jobs outstanding: one of
                         // them panicked; the scope will surface it.
                         break;
                     };
-                    pending.insert(seq, outcome);
+                    for (i, outcome) in outcomes.into_iter().enumerate() {
+                        pending.insert(start + i, outcome);
+                    }
                     while let Some(outcome) = pending.remove(&next) {
                         let (location, initial) = &media_jobs[next];
+                        let merge_t = std::time::Instant::now();
                         merge_media_outcome(
                             meta,
                             &mut report,
@@ -1136,6 +1231,7 @@ impl Engine {
                             initial.clone(),
                             outcome,
                         )?;
+                        merge_ms += elapsed_ms(merge_t);
                         next += 1;
                     }
                 }
@@ -1144,6 +1240,9 @@ impl Engine {
             .map_err(|_| Error::Config("media analysis worker panicked".to_owned()))?;
             merged?;
         }
+        timings.analyse_ms = elapsed_ms(stage);
+        timings.merge_ms = merge_ms;
+        self.last_populate_timings = timings;
         self.text.commit().map_err(Error::Ir)?;
         self.media_cache.clear();
         self.sync_wal()?;

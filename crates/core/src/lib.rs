@@ -65,7 +65,8 @@ pub use admission::{
     Priority, QueryOutcome, QueryService,
 };
 pub use engine::{
-    Engine, EngineConfig, PopulateOptions, PopulateReport, QueryTrace, TextQueryStatus,
+    Engine, EngineConfig, PopulateOptions, PopulateReport, QueryTrace, StageTimings,
+    TextQueryStatus,
 };
 pub use error::{Error, PartialProgress, Result};
 pub use persist::RecoveryReport;

@@ -218,9 +218,13 @@ fn try_load_generation(
         .map_err(|e| Error::Recovery(format!("{manifest_name}: {e}")))?;
     let manifest = Manifest::decode(&manifest_bytes)?;
     let id = manifest.snapshot_id;
-    let views = monetxml::XmlStore::restore(&backend.read(&views_snap(dir, id))?)
+    // Lazy per-relation opens: the CRC-32 trailer and snapshot directory
+    // are still validated here (a corrupt file fails the generation),
+    // but relation payloads decode on first touch, so recovery cost
+    // scales with what the rebuild actually reads, not snapshot size.
+    let views = monetxml::XmlStore::restore_lazy(backend.read(&views_snap(dir, id))?)
         .map_err(|e| Error::Recovery(format!("views snapshot {id}: {e}")))?;
-    let meta_store = monetxml::XmlStore::restore(&backend.read(&meta_snap(dir, id))?)
+    let meta_store = monetxml::XmlStore::restore_lazy(backend.read(&meta_snap(dir, id))?)
         .map_err(|e| Error::Recovery(format!("meta snapshot {id}: {e}")))?;
     let mut shard_bytes = Vec::with_capacity(manifest.shard_epochs.len());
     for k in 0..manifest.shard_epochs.len() {

@@ -105,8 +105,11 @@ impl DocExport {
 pub struct TextIndex {
     db: Db,
     model: ScoreModel,
-    /// In-memory mirror of T for O(1) term lookup (rebuilt on restore).
-    vocab: HashMap<String, Oid>,
+    /// In-memory mirror of T for O(1) term lookup, keyed by the
+    /// catalog's **dictionary code** for the stem rather than an owned
+    /// copy of the string — the T relation, the catalog's string pool
+    /// and this mirror share one term dictionary (rebuilt on restore).
+    vocab: HashMap<u32, Oid>,
     /// df per term (mirror, drives incremental IDF updates).
     df: HashMap<Oid, usize>,
     /// Terms touched since the last commit.
@@ -218,11 +221,15 @@ impl TextIndex {
         let mut db = monet::persist::restore(&bytes[9..])?;
         let mut vocab = HashMap::new();
         if let Ok(t) = db.get(T) {
-            for (oid, v) in t.iter() {
-                if let Some(s) = v.as_str() {
-                    vocab.insert(s.to_owned(), oid);
-                }
-            }
+            let codes: Vec<(Oid, u32)> = t
+                .iter()
+                .filter_map(|(oid, v)| {
+                    v.as_str()
+                        .and_then(|s| db.pool().lookup(s))
+                        .map(|code| (oid, code))
+                })
+                .collect();
+            vocab.extend(codes.into_iter().map(|(oid, code)| (code, oid)));
         }
         let mut df: HashMap<Oid, usize> = HashMap::new();
         if let Ok(dt) = db.get(DT_TERM) {
@@ -307,14 +314,17 @@ impl TextIndex {
         sorted.sort_unstable();
 
         for (term, tf) in sorted {
-            let term_oid = match self.vocab.get(term) {
+            // Intern once into the catalog dictionary; T's string column
+            // stores the same code, so the stem bytes live exactly once.
+            let code = self.db.pool().intern(term);
+            let term_oid = match self.vocab.get(&code) {
                 Some(o) => *o,
                 None => {
                     let o = self.db.mint();
                     self.db
                         .get_or_create(T, ColumnKind::Str)
                         .append_str(o, term)?;
-                    self.vocab.insert(term.to_owned(), o);
+                    self.vocab.insert(code, o);
                     o
                 }
             };
@@ -340,13 +350,39 @@ impl TextIndex {
     /// entry point for parallel ingestion writers, which hand a whole
     /// merge batch over in one call and commit once at the end. Returns
     /// the minted doc oids in input order.
+    ///
+    /// With a WAL attached the whole batch is logged with a **single**
+    /// lock acquisition ([`WalHandle::log_batch`]). Duplicate URLs —
+    /// against the index or within the batch — are rejected *before*
+    /// anything is logged, so the log never carries a record the apply
+    /// loop would then refuse.
     pub fn index_documents<'a, I>(&mut self, docs: I) -> Result<Vec<Oid>>
     where
         I: IntoIterator<Item = (&'a str, &'a str)>,
     {
-        docs.into_iter()
+        let docs: Vec<(&str, &str)> = docs.into_iter().collect();
+        let mut seen = std::collections::HashSet::new();
+        for (url, _) in &docs {
+            if self.contains_url(url) || !seen.insert(*url) {
+                return Err(Error::Document(format!("`{url}` already indexed")));
+            }
+        }
+        if let Some(wal) = &self.wal {
+            let groups: Vec<Vec<&[u8]>> = docs
+                .iter()
+                .map(|(url, text)| vec![url.as_bytes(), text.as_bytes()])
+                .collect();
+            wal.log_batch(WAL_OP_INDEX, &groups)?;
+        }
+        // Already logged above; suspend the handle so the per-document
+        // path does not log each insert a second time.
+        let wal = self.wal.take();
+        let result = docs
+            .iter()
             .map(|(url, text)| self.index_document(url, text))
-            .collect()
+            .collect();
+        self.wal = wal;
+        result
     }
 
     /// Derives IDF entries for the terms touched since the last commit
@@ -368,7 +404,7 @@ impl TextIndex {
 
     /// The idf of a (stemmed) term, if in the vocabulary.
     pub fn idf(&self, stem: &str) -> Option<f64> {
-        let term = *self.vocab.get(stem)?;
+        let term = self.term_oid(stem)?;
         self.db
             .get(IDF)
             .ok()?
@@ -377,9 +413,11 @@ impl TextIndex {
             .and_then(|(_, v)| v.as_flt())
     }
 
-    /// The oid of a stemmed term.
+    /// The oid of a stemmed term. Probes through the catalog dictionary
+    /// with a **non-inserting** lookup, so querying never grows the pool.
     pub fn term_oid(&self, stem: &str) -> Option<Oid> {
-        self.vocab.get(stem).copied()
+        let code = self.db.pool().lookup(stem)?;
+        self.vocab.get(&code).copied()
     }
 
     /// The URL of a document oid.
@@ -532,9 +570,15 @@ impl TextIndex {
 
     /// The vocabulary with local document frequencies: `stem → df`.
     pub fn df_map(&self) -> HashMap<String, usize> {
+        let pool = self.db.pool();
         self.vocab
             .iter()
-            .map(|(s, o)| (s.clone(), self.df.get(o).copied().unwrap_or(0)))
+            .map(|(code, o)| {
+                (
+                    pool.get(*code).unwrap_or_default(),
+                    self.df.get(o).copied().unwrap_or(0),
+                )
+            })
             .collect()
     }
 
@@ -546,7 +590,7 @@ impl TextIndex {
     pub fn apply_global_df(&mut self, global: &HashMap<String, usize>) -> Result<()> {
         self.commit()?;
         for (stem, df) in global {
-            if let Some(&term) = self.vocab.get(stem) {
+            if let Some(term) = self.term_oid(stem) {
                 let df = (*df).max(1);
                 self.db
                     .get_or_create(IDF, ColumnKind::Flt)
@@ -560,10 +604,17 @@ impl TextIndex {
     /// All `(stem, term oid, df)` triples, sorted by **descending idf**
     /// (ascending df) — the fragmentation order of the paper.
     pub fn terms_by_desc_idf(&self) -> Vec<(String, Oid, usize)> {
+        let pool = self.db.pool();
         let mut terms: Vec<(String, Oid, usize)> = self
             .vocab
             .iter()
-            .map(|(s, o)| (s.clone(), *o, self.df.get(o).copied().unwrap_or(0)))
+            .map(|(code, o)| {
+                (
+                    pool.get(*code).unwrap_or_default(),
+                    *o,
+                    self.df.get(o).copied().unwrap_or(0),
+                )
+            })
             .collect();
         terms.sort_by(|a, b| a.2.cmp(&b.2).then(a.0.cmp(&b.0)));
         terms
@@ -577,8 +628,12 @@ impl TextIndex {
         if self.document_count() == 0 {
             return Ok(Vec::new());
         }
-        let name_of: HashMap<Oid, &str> =
-            self.vocab.iter().map(|(s, o)| (*o, s.as_str())).collect();
+        let pool = self.db.pool();
+        let name_of: HashMap<Oid, String> = self
+            .vocab
+            .iter()
+            .map(|(code, o)| (*o, pool.get(*code).unwrap_or_default()))
+            .collect();
         let mut pair_term: HashMap<Oid, Oid> = HashMap::new();
         if let Ok(dt) = self.db.get(DT_TERM) {
             for (term, v) in dt.iter() {
@@ -602,7 +657,7 @@ impl TextIndex {
                 let Some(&term) = pair_term.get(&pair) else {
                     return Err(Error::Document(format!("pair {pair} lost its term")));
                 };
-                let stem = name_of.get(&term).copied().unwrap_or_default().to_owned();
+                let stem = name_of.get(&term).cloned().unwrap_or_default();
                 let tf = tf_of.get(&pair).copied().unwrap_or(0);
                 doc_terms.entry(doc).or_default().push((stem, tf));
             }
@@ -639,12 +694,13 @@ impl TextIndex {
         self.total_tokens += dl as usize;
         self.db.get_or_create(DL, ColumnKind::Int).append_int(oid, dl)?;
         for (stem, tf) in &doc.terms {
-            let term_oid = match self.vocab.get(stem) {
+            let code = self.db.pool().intern(stem);
+            let term_oid = match self.vocab.get(&code) {
                 Some(o) => *o,
                 None => {
                     let o = self.db.mint();
                     self.db.get_or_create(T, ColumnKind::Str).append_str(o, stem)?;
-                    self.vocab.insert(stem.clone(), o);
+                    self.vocab.insert(code, o);
                     o
                 }
             };

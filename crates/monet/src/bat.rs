@@ -22,20 +22,106 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::{Error, Result};
 use crate::oid::Oid;
-use crate::value::{Column, ColumnKind, Value};
+use crate::value::{Column, ColumnKind, StrPool, Value};
+
+/// Head-lookup index: a sorted-run base over a loaded prefix plus a hash
+/// overlay for rows appended since.
+///
+/// The base is three flat vectors — `runs` (distinct heads, ascending),
+/// `offsets` (`runs.len() + 1` cumulative counts) and `slots` (row
+/// positions grouped by head, ascending within a head). Unlike the old
+/// per-head `HashMap<Oid, Vec<u32>>` it allocates nothing per head, is
+/// rebuilt from a freshly decoded head column in one sort pass, and
+/// lookups are a binary search — so it stays cheap at snapshot-load time
+/// even for relations with hundreds of thousands of distinct heads.
+///
+/// Appends land in `overlay` (covering rows `base_rows..`), keeping the
+/// index live without touching the base; [`Bat::ensure_index`] folds the
+/// overlay back into the base.
+#[derive(Debug, Clone, Default)]
+struct HeadIndex {
+    runs: Vec<Oid>,
+    offsets: Vec<u32>,
+    slots: Vec<u32>,
+    /// Rows `[0, base_rows)` are covered by the sorted-run base.
+    base_rows: u32,
+    /// Rows `[base_rows, base_rows + overlaid)` are covered here.
+    overlay: HashMap<Oid, Vec<u32>>,
+    overlaid: u32,
+}
+
+impl HeadIndex {
+    /// Rebuilds the base over the whole head column; clears the overlay.
+    fn rebuild(&mut self, head: &[Oid]) {
+        self.overlay.clear();
+        self.overlaid = 0;
+        self.runs.clear();
+        self.offsets.clear();
+        let mut slots: Vec<u32> = (0..head.len() as u32).collect();
+        slots.sort_unstable_by_key(|&p| (head[p as usize], p));
+        self.offsets.push(0);
+        for (i, &p) in slots.iter().enumerate() {
+            let h = head[p as usize];
+            if self.runs.last() != Some(&h) {
+                if i > 0 {
+                    self.offsets.push(i as u32);
+                }
+                self.runs.push(h);
+            }
+        }
+        self.offsets.push(slots.len() as u32);
+        if self.runs.is_empty() {
+            // offsets must always be runs.len() + 1 entries.
+            self.offsets.truncate(1);
+        }
+        self.slots = slots;
+        self.base_rows = head.len() as u32;
+    }
+
+    /// Positions in the base with head `h` (ascending), or `&[]`.
+    fn base_positions(&self, h: Oid) -> &[u32] {
+        match self.runs.binary_search(&h) {
+            Ok(i) => &self.slots[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Positions in the overlay with head `h` (ascending), or `&[]`.
+    fn overlay_positions(&self, h: Oid) -> &[u32] {
+        self.overlay.get(&h).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Records an append at row `pos` (which must equal the current
+    /// total row count).
+    fn note_append(&mut self, h: Oid, pos: u32) {
+        self.overlay.entry(h).or_default().push(pos);
+        self.overlaid += 1;
+    }
+
+    /// Whether the overlay is worth folding into the base.
+    fn overlay_is_heavy(&self) -> bool {
+        self.overlaid as usize > (self.base_rows as usize / 2).max(4096)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.runs.capacity() * std::mem::size_of::<Oid>()
+            + self.offsets.capacity() * 4
+            + self.slots.capacity() * 4
+            // Rough overlay estimate: key + one slot + map overhead.
+            + self.overlay.len() * 48
+            + self.overlaid as usize * 4
+    }
+}
 
 /// A binary association table: `head: Vec<Oid>` aligned with a typed tail
-/// [`Column`], plus a head-index for O(1) expected lookups.
+/// [`Column`], plus a sorted-run head index for cheap lookups that works
+/// through `&self` (see [`HeadIndex`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Bat {
     head: Vec<Oid>,
     tail: Column,
-    /// head oid → positions. Rebuilt on deserialisation, maintained on
-    /// every mutation otherwise.
     #[serde(skip)]
-    index: HashMap<Oid, Vec<u32>>,
-    #[serde(skip)]
-    index_valid: bool,
+    index: HeadIndex,
 }
 
 impl PartialEq for Bat {
@@ -45,14 +131,57 @@ impl PartialEq for Bat {
 }
 
 impl Bat {
-    /// Creates an empty BAT with the given tail kind.
+    /// Creates an empty BAT with the given tail kind. String tails get a
+    /// private dictionary; use [`Bat::with_kind_in`] to share a catalog
+    /// pool.
     pub fn with_kind(kind: ColumnKind) -> Self {
         Bat {
             head: Vec::new(),
             tail: Column::empty(kind),
-            index: HashMap::new(),
-            index_valid: true,
+            index: HeadIndex::default(),
         }
+    }
+
+    /// Creates an empty BAT whose string tails (if any) intern into
+    /// `pool`.
+    pub fn with_kind_in(kind: ColumnKind, pool: &StrPool) -> Self {
+        Bat {
+            head: Vec::new(),
+            tail: Column::empty_with_pool(kind, pool),
+            index: HeadIndex::default(),
+        }
+    }
+
+    /// Reassembles a BAT from decoded snapshot columns, building the
+    /// head index in one pass. Fails if the columns disagree on length.
+    pub fn from_parts(head: Vec<Oid>, tail: Column) -> Result<Bat> {
+        if head.len() != tail.len() {
+            return Err(Error::Snapshot(format!(
+                "head/tail length mismatch: {} vs {}",
+                head.len(),
+                tail.len()
+            )));
+        }
+        let mut index = HeadIndex::default();
+        index.rebuild(&head);
+        Ok(Bat { head, tail, index })
+    }
+
+    /// Re-interns string tails into `pool` (no-op for other kinds or if
+    /// already homed there). Called when a BAT is registered in a
+    /// catalog so every relation shares one dictionary.
+    pub(crate) fn adopt_pool(&mut self, pool: &StrPool) {
+        if let Column::Str(col) = &mut self.tail {
+            col.rehome(pool);
+        }
+    }
+
+    /// Estimated heap bytes held by this BAT (head + tail + index; the
+    /// shared string pool is accounted once per catalog, not here).
+    pub fn resident_bytes(&self) -> usize {
+        self.head.capacity() * std::mem::size_of::<Oid>()
+            + self.tail.resident_bytes()
+            + self.index.resident_bytes()
     }
 
     /// Empty `oid × oid` BAT.
@@ -91,22 +220,19 @@ impl Bat {
         self.head.is_empty()
     }
 
-    fn ensure_index(&mut self) {
-        if self.index_valid {
-            return;
+    /// Folds the append overlay into the sorted-run base if it has grown
+    /// heavy. Lookups are correct without calling this — it is a
+    /// compaction hint for callers that just finished a bulk load.
+    pub fn ensure_index(&mut self) {
+        if self.index.overlay_is_heavy() {
+            self.index.rebuild(&self.head);
         }
-        self.index.clear();
-        for (pos, h) in self.head.iter().enumerate() {
-            self.index.entry(*h).or_default().push(pos as u32);
-        }
-        self.index_valid = true;
     }
 
-    /// Rebuilds the head index if needed (e.g. after deserialisation).
-    /// All lookup methods call this implicitly through [`Self::positions`].
+    /// Rebuilds the head index from scratch (e.g. after deserialisation
+    /// through the no-op serde path).
     pub fn refresh_index(&mut self) {
-        self.index_valid = false;
-        self.ensure_index();
+        self.index.rebuild(&self.head);
     }
 
     /// Appends an association; fails if the value kind does not match the
@@ -117,9 +243,7 @@ impl Bat {
             .push(value)
             .map_err(|(expected, got)| Error::TypeMismatch { expected, got })?;
         self.head.push(head);
-        if self.index_valid {
-            self.index.entry(head).or_default().push(pos);
-        }
+        self.index.note_append(head, pos);
         Ok(())
     }
 
@@ -168,32 +292,38 @@ impl Bat {
         &self.tail
     }
 
-    /// Positions of associations whose head equals `head`.
-    pub fn positions(&mut self, head: Oid) -> &[u32] {
-        self.ensure_index();
-        self.index.get(&head).map(Vec::as_slice).unwrap_or(&[])
+    /// Borrows the head column as a slice (snapshot encoding path).
+    pub(crate) fn head_slice(&self) -> &[Oid] {
+        &self.head
+    }
+
+    /// Positions of associations whose head equals `head`, ascending.
+    /// Purely a read: the index stays live across appends (overlay) and
+    /// is rebuilt on delete, so no `&mut` access is needed.
+    pub fn positions(&self, head: Oid) -> impl Iterator<Item = u32> + '_ {
+        self.index
+            .base_positions(head)
+            .iter()
+            .chain(self.index.overlay_positions(head))
+            .copied()
     }
 
     /// All tails associated with `head`.
-    pub fn tails_of(&mut self, head: Oid) -> Vec<Value> {
-        self.ensure_index();
-        match self.index.get(&head) {
-            Some(ps) => ps.iter().map(|&p| self.tail.get(p as usize)).collect(),
-            None => Vec::new(),
-        }
+    pub fn tails_of(&self, head: Oid) -> Vec<Value> {
+        self.positions(head)
+            .map(|p| self.tail.get(p as usize))
+            .collect()
     }
 
     /// The first tail associated with `head`, if any.
-    pub fn first_tail_of(&mut self, head: Oid) -> Option<Value> {
-        self.ensure_index();
-        let p = *self.index.get(&head)?.first()?;
+    pub fn first_tail_of(&self, head: Oid) -> Option<Value> {
+        let p = self.positions(head).next()?;
         Some(self.tail.get(p as usize))
     }
 
     /// Whether any association has head `head`.
-    pub fn contains_head(&mut self, head: Oid) -> bool {
-        self.ensure_index();
-        self.index.contains_key(&head)
+    pub fn contains_head(&self, head: Oid) -> bool {
+        self.positions(head).next().is_some()
     }
 
     /// Heads whose tail satisfies `pred`. Order follows storage order;
@@ -209,24 +339,32 @@ impl Bat {
         out
     }
 
-    /// Heads with string tail equal to `s` (fast path, no boxing).
+    /// Heads with string tail equal to `s`. With dictionary encoding
+    /// this is one non-inserting pool probe plus a `u32` scan — no
+    /// per-row string comparison, and a probe absent from the
+    /// dictionary short-circuits to empty.
     pub fn select_str_eq(&self, s: &str) -> Vec<Oid> {
-        match &self.tail {
-            Column::Str(vs) => self
-                .head
-                .iter()
-                .zip(vs)
-                .filter(|(_, v)| v.as_str() == s)
-                .map(|(h, _)| *h)
-                .collect(),
-            _ => Vec::new(),
-        }
+        let Column::Str(vs) = &self.tail else {
+            return Vec::new();
+        };
+        let Some(code) = vs.find_code(s) else {
+            return Vec::new();
+        };
+        self.head
+            .iter()
+            .zip(vs.codes())
+            .filter(|(_, &c)| c == code)
+            .map(|(h, _)| *h)
+            .collect()
     }
 
     /// [`Self::select_str_eq`] under a caller budget: one work unit
     /// per tuple scanned, so even a physical-level relation scan is
     /// cancellable at loop granularity. Returns the typed cause when
-    /// the budget runs out mid-scan.
+    /// the budget runs out mid-scan. Work accounting is row-exact and
+    /// independent of the dictionary fast path: every row costs one
+    /// unit even when the probe string is not in the dictionary, so
+    /// budgeted behaviour is identical to the uncompressed scan.
     pub fn select_str_eq_budgeted(
         &self,
         s: &str,
@@ -235,10 +373,11 @@ impl Bat {
         let Column::Str(vs) = &self.tail else {
             return Ok(Vec::new());
         };
+        let code = vs.find_code(s);
         let mut out = Vec::new();
-        for (h, v) in self.head.iter().zip(vs) {
+        for (h, &c) in self.head.iter().zip(vs.codes()) {
             budget.consume(1)?;
-            if v.as_str() == s {
+            if Some(c) == code {
                 out.push(*h);
             }
         }
@@ -313,21 +452,19 @@ impl Bat {
     ///
     /// This is the kernel of path-expression evaluation: joining
     /// `R(a/b)` with `R(a/b/c)` walks one step down the document tree for
-    /// a whole set of nodes at once.
-    pub fn join(&self, other: &mut Bat) -> Result<Bat> {
+    /// a whole set of nodes at once. Both sides are borrowed shared —
+    /// the head index serves lookups without exclusive access.
+    pub fn join(&self, other: &Bat) -> Result<Bat> {
         let Column::Oid(tails) = &self.tail else {
             return Err(Error::TypeMismatch {
                 expected: ColumnKind::Oid,
                 got: self.tail.kind(),
             });
         };
-        other.ensure_index();
         let mut out = Bat::with_kind(other.kind());
         for (h, t) in self.head.iter().zip(tails) {
-            if let Some(ps) = other.index.get(t) {
-                for &p in ps {
-                    out.append(*h, other.tail.get(p as usize))?;
-                }
+            for p in other.positions(*t) {
+                out.append(*h, other.tail.get(p as usize))?;
             }
         }
         Ok(out)
@@ -407,8 +544,9 @@ impl Bat {
             }
         }
         if removed > 0 {
-            self.index_valid = false;
-            self.index.clear();
+            // Swap-removal scrambled positions: rebuild once so the
+            // index stays live for shared (&self) readers.
+            self.index.rebuild(&self.head);
         }
         removed
     }
@@ -431,8 +569,7 @@ impl Bat {
         }
         let removed = before - self.head.len();
         if removed > 0 {
-            self.index_valid = false;
-            self.index.clear();
+            self.index.rebuild(&self.head);
         }
         removed
     }
@@ -441,8 +578,8 @@ impl Bat {
     /// appends a fresh association if none exists. Returns whether an
     /// existing association was updated.
     pub fn upsert(&mut self, head: Oid, value: Value) -> Result<bool> {
-        self.ensure_index();
-        if let Some(&pos) = self.index.get(&head).and_then(|ps| ps.first()) {
+        let first = self.positions(head).next();
+        if let Some(pos) = first {
             self.tail
                 .set(pos as usize, value)
                 .map_err(|(expected, got)| Error::TypeMismatch { expected, got })?;
@@ -461,6 +598,7 @@ impl Bat {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
@@ -526,7 +664,7 @@ mod tests {
         let mut names = Bat::new_str();
         names.append_str(oid(10), "x").unwrap();
         names.append_str(oid(12), "y").unwrap();
-        let joined = edges.join(&mut names).unwrap();
+        let joined = edges.join(&names).unwrap();
         let rows: Vec<_> = joined.iter().collect();
         assert_eq!(
             rows,
@@ -564,7 +702,7 @@ mod tests {
         b.append_flt(oid(1), 0.5).unwrap();
         b.append_flt(oid(1), 0.25).unwrap();
         b.append_flt(oid(2), 1.0).unwrap();
-        let mut g = b.group_sum_flt().unwrap();
+        let g = b.group_sum_flt().unwrap();
         assert_eq!(g.first_tail_of(oid(1)), Some(Value::Flt(0.75)));
     }
 
@@ -627,6 +765,91 @@ mod tests {
         assert!(b.upsert(oid(1), Value::from("b")).unwrap());
         assert_eq!(b.len(), 1);
         assert_eq!(b.first_tail_of(oid(1)), Some(Value::from("b")));
+    }
+
+    #[test]
+    fn lookups_work_through_shared_borrow() {
+        let mut b = Bat::new_str();
+        b.append_str(oid(2), "x").unwrap();
+        b.append_str(oid(1), "y").unwrap();
+        b.append_str(oid(2), "z").unwrap();
+        let shared: &Bat = &b;
+        assert_eq!(
+            shared.tails_of(oid(2)),
+            vec![Value::from("x"), Value::from("z")]
+        );
+        assert!(shared.contains_head(oid(1)));
+        assert_eq!(shared.positions(oid(2)).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn overlay_and_base_agree_after_compaction() {
+        let mut b = Bat::new_int();
+        for i in 0..50 {
+            b.append_int(oid(i % 7), i as i64).unwrap();
+        }
+        // Force a full rebuild (base only), then append more (overlay).
+        b.refresh_index();
+        for i in 50..100 {
+            b.append_int(oid(i % 7), i as i64).unwrap();
+        }
+        let before: Vec<Vec<Value>> = (0..7).map(|h| b.tails_of(oid(h))).collect();
+        b.index.rebuild(&b.head); // compact everything into the base
+        let after: Vec<Vec<Value>> = (0..7).map(|h| b.tails_of(oid(h))).collect();
+        assert_eq!(before, after);
+        for h in 0..7 {
+            let ps: Vec<u32> = b.positions(oid(h)).collect();
+            assert!(ps.windows(2).all(|w| w[0] < w[1]), "ascending positions");
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_indexes() {
+        let head = vec![oid(3), oid(1), oid(3)];
+        let mut col = Column::empty(ColumnKind::Int);
+        for v in [30, 10, 31] {
+            col.push(Value::Int(v)).unwrap();
+        }
+        let b = Bat::from_parts(head, col).unwrap();
+        assert_eq!(b.tails_of(oid(3)), vec![Value::Int(30), Value::Int(31)]);
+        assert_eq!(b.first_tail_of(oid(1)), Some(Value::Int(10)));
+        let bad = Bat::from_parts(vec![oid(1)], Column::empty(ColumnKind::Int));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn select_str_eq_uses_dictionary_codes() {
+        let mut b = Bat::new_str();
+        b.append_str(oid(1), "seles").unwrap();
+        b.append_str(oid(2), "graf").unwrap();
+        b.append_str(oid(3), "seles").unwrap();
+        assert_eq!(b.select_str_eq("seles"), vec![oid(1), oid(3)]);
+        // Probe absent from the dictionary: still empty, and the
+        // dictionary must not grow from a read.
+        let entries_before = match b.tail() {
+            Column::Str(c) => c.pool().len(),
+            _ => unreachable!(),
+        };
+        assert!(b.select_str_eq("absent").is_empty());
+        let entries_after = match b.tail() {
+            Column::Str(c) => c.pool().len(),
+            _ => unreachable!(),
+        };
+        assert_eq!(entries_before, entries_after);
+    }
+
+    #[test]
+    fn budgeted_select_charges_every_row_even_on_miss() {
+        let mut b = Bat::new_str();
+        for i in 0..5 {
+            b.append_str(oid(i), "present").unwrap();
+        }
+        // Budget smaller than the row count: must run out mid-scan even
+        // though "absent" could short-circuit via the dictionary.
+        let budget = faults::Budget::with_work(3);
+        assert!(b.select_str_eq_budgeted("absent", &budget).is_err());
+        let budget = faults::Budget::with_work(5);
+        assert!(b.select_str_eq_budgeted("absent", &budget).is_ok());
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //! * [`Bat`] — an append-friendly binary table `head: oid → tail: value`
 //!   with the relational operations the upper levels consume (selections,
 //!   joins, semijoins, grouping, aggregation, top-N slicing),
-//! * [`Db`] — a named catalog of BATs,
-//! * [`persist`] — serde-based snapshots of a catalog.
+//! * [`Db`] — a named catalog of BATs with a shared string dictionary
+//!   ([`StrPool`]) and lazy per-relation snapshot loading,
+//! * [`persist`] — compressed binary snapshots of a catalog
+//!   (dictionary-encoded strings, delta-compressed oid columns) with a
+//!   lazy [`persist::SnapshotReader`].
 //!
 //! The store is deliberately in-memory and single-version: the paper never
 //! discusses buffer management or transactions, and every experiment in
@@ -38,6 +41,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
 
 pub mod bat;
 pub mod catalog;
@@ -53,4 +57,5 @@ pub use bat::Bat;
 pub use catalog::Db;
 pub use error::{Error, Result};
 pub use oid::{Oid, OidGen};
-pub use value::{Column, ColumnKind, Value};
+pub use persist::SnapshotReader;
+pub use value::{Column, ColumnKind, DictStats, StrColumn, StrPool, Value};

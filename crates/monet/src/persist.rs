@@ -8,20 +8,35 @@
 //! cursors over `Vec<u8>`/`&[u8]` so no serialisation format crate is
 //! needed.
 //!
-//! Layout (version 2):
+//! Layout (version 3, compressed):
 //!
 //! ```text
-//! magic "MBAT" | version u8 | next_oid u64 | relation count u32
-//! per relation: name (u32 len + utf8) | kind u8 | row count u64
-//!               heads: row count × u64
-//!               tails: kind-specific encoding
+//! magic "MBAT" | version u8 | next_oid u64
+//! dictionary: count u32 | count × (u32 len + utf8)    — shared pool, code order
+//! relation count u32
+//! directory, per relation: name (u32 len + utf8) | kind u8
+//!                          | rows varint | payload_len varint
+//! payloads, concatenated in directory order:
+//!   heads:  zigzag-varint deltas (monotone oid runs collapse to 1 byte/row)
+//!   tails:  oid → zigzag-varint deltas · int → zigzag varint
+//!           flt → raw 8-byte bits      · str → varint dictionary code
+//!           bit → packed 8 rows/byte
 //! crc32 of everything above: u32 LE
 //! ```
 //!
-//! Version 1 (no trailer) snapshots are still readable. Decoding is
+//! The directory-plus-payload split is what makes lazy opening possible:
+//! [`SnapshotReader::open`] checks the CRC and parses only the header,
+//! dictionary and directory; each relation's payload is decoded on first
+//! catalog access (see `catalog::Slot`).
+//!
+//! Version 2 (uncompressed per-relation encoding, no dictionary) is
+//! still written by [`snapshot_v2`] for comparison benchmarks, and both
+//! v2 and legacy v1 (no trailer) snapshots remain readable. Decoding is
 //! hardened against hostile input: every length-prefixed allocation is
 //! capped by the bytes actually remaining in the buffer, so a corrupt
 //! row count cannot trigger a multi-gigabyte allocation.
+
+use std::sync::Arc;
 
 use crate::bat::Bat;
 use crate::catalog::Db;
@@ -29,16 +44,61 @@ use crate::crc::crc32;
 use crate::error::{Error, Result};
 use crate::oid::Oid;
 use crate::storage::{write_atomic, StorageBackend};
-use crate::value::{Column, ColumnKind, Value};
+use crate::value::{Column, ColumnKind, StrColumn, StrPool, Value};
 
 const MAGIC: &[u8; 4] = b"MBAT";
-const VERSION: u8 = 2;
+const VERSION_V2: u8 = 2;
+const VERSION: u8 = 3;
 
-/// Encodes the catalog into a byte buffer with a CRC-32 trailer.
+/// Encodes the catalog into a compressed (v3) snapshot with a CRC-32
+/// trailer.
 pub fn snapshot(db: &Db) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(1024);
     out.extend_from_slice(MAGIC);
     out.push(VERSION);
+    put_u64(&mut out, db.next_oid_raw());
+    let dict = db.pool().dump();
+    put_u32(&mut out, dict.len() as u32);
+    for s in &dict {
+        put_str(&mut out, s);
+    }
+    let names: Vec<&str> = db.relation_names().collect();
+    put_u32(&mut out, names.len() as u32);
+    // Encode payloads first so the directory can carry their lengths.
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(names.len());
+    for name in &names {
+        let bat = db
+            .get(name)
+            .map_err(|_| Error::Snapshot(format!("catalog lists missing relation {name}")))?;
+        let mut p = Vec::new();
+        encode_heads_delta(&mut p, bat.head_slice());
+        encode_tail_v3(&mut p, bat, db.pool())?;
+        payloads.push(p);
+    }
+    for (name, payload) in names.iter().zip(&payloads) {
+        let bat = db.get(name).map_err(|_| {
+            Error::Snapshot(format!("catalog lists missing relation {name}"))
+        })?;
+        put_str(&mut out, name);
+        out.push(kind_tag(bat.kind()));
+        put_varint(&mut out, bat.len() as u64);
+        put_varint(&mut out, payload.len() as u64);
+    }
+    for payload in &payloads {
+        out.extend_from_slice(payload);
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    Ok(out)
+}
+
+/// Encodes the catalog in the uncompressed v2 format. Kept for
+/// compression-ratio benchmarks and byte-identity comparisons against
+/// the compressed path.
+pub fn snapshot_v2(db: &Db) -> Result<Vec<u8>> {
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION_V2);
     put_u64(&mut out, db.next_oid_raw());
     let names: Vec<&str> = db.relation_names().collect();
     put_u32(&mut out, names.len() as u32);
@@ -52,15 +112,15 @@ pub fn snapshot(db: &Db) -> Result<Vec<u8>> {
         for h in bat.heads() {
             put_u64(&mut out, h.raw());
         }
-        encode_tail(&mut out, bat);
+        encode_tail_v2(&mut out, bat);
     }
     let crc = crc32(&out);
     put_u32(&mut out, crc);
     Ok(out)
 }
 
-/// Decodes a snapshot produced by [`snapshot`] (v2 with CRC trailer, or
-/// a legacy v1 buffer without one).
+/// Decodes a snapshot produced by [`snapshot`] or [`snapshot_v2`] (or a
+/// legacy v1 buffer without a trailer), materializing every relation.
 pub fn restore(bytes: &[u8]) -> Result<Db> {
     if bytes.len() < 5 {
         return Err(Error::Snapshot("truncated snapshot".into()));
@@ -68,11 +128,31 @@ pub fn restore(bytes: &[u8]) -> Result<Db> {
     if &bytes[..4] != MAGIC {
         return Err(Error::Snapshot("bad magic".into()));
     }
+    match bytes[4] {
+        1 | 2 => restore_v12(bytes),
+        3 => SnapshotReader::open(bytes.to_vec())?.into_db(),
+        other => Err(Error::Snapshot(format!("unsupported version {other}"))),
+    }
+}
+
+/// Decodes a snapshot without materializing relation payloads: a v3
+/// snapshot opens in time proportional to its directory, and each BAT
+/// is decoded on first catalog access. Older versions fall back to the
+/// eager [`restore`].
+pub fn restore_lazy(bytes: Vec<u8>) -> Result<Db> {
+    if bytes.len() >= 5 && &bytes[..4] == MAGIC && bytes[4] == VERSION {
+        Ok(SnapshotReader::open(bytes)?.into_db_lazy())
+    } else {
+        restore(&bytes)
+    }
+}
+
+fn restore_v12(bytes: &[u8]) -> Result<Db> {
     let version = bytes[4];
     let body = match version {
         1 => bytes,
-        2 => {
-            if bytes.len() < 4 {
+        _ => {
+            if bytes.len() < 9 {
                 return Err(Error::Snapshot("snapshot shorter than trailer".into()));
             }
             let (body, trailer) = bytes.split_at(bytes.len() - 4);
@@ -85,7 +165,6 @@ pub fn restore(bytes: &[u8]) -> Result<Db> {
             }
             body
         }
-        other => return Err(Error::Snapshot(format!("unsupported version {other}"))),
     };
     let mut cur = Cursor { buf: body, pos: 5 };
     let next_oid = cur.u64()?;
@@ -111,13 +190,193 @@ pub fn restore(bytes: &[u8]) -> Result<Db> {
             heads.push(Oid::from_raw(cur.u64()?));
         }
         let mut bat = Bat::with_kind(kind);
-        decode_tail(&mut cur, &mut bat, &heads, kind, rows)?;
+        decode_tail_v2(&mut cur, &mut bat, &heads, kind, rows)?;
         db.create(name, bat)?;
     }
     // Restore the oid generator to continue after the snapshot's high
     // watermark, then rebuild lookup indexes.
     db.restore_state(next_oid);
     Ok(db)
+}
+
+/// An undecoded relation inside an opened v3 snapshot: a payload slice
+/// plus the directory facts needed to decode it on demand.
+#[derive(Debug, Clone)]
+pub(crate) struct LazyRelation {
+    bytes: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+    kind: ColumnKind,
+    rows: u64,
+    pool: StrPool,
+}
+
+impl LazyRelation {
+    pub(crate) fn kind(&self) -> ColumnKind {
+        self.kind
+    }
+
+    pub(crate) fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Decodes the payload into a [`Bat`] (head index built in the same
+    /// pass). The payload must be consumed exactly.
+    pub(crate) fn decode(&self) -> Result<Bat> {
+        let buf = &self.bytes[self.start..self.start + self.len];
+        let mut cur = Cursor { buf, pos: 0 };
+        let rows = self.rows as usize;
+        let heads = decode_heads_delta(&mut cur, rows)?;
+        let tail = decode_tail_v3(&mut cur, self.kind, rows, &self.pool)?;
+        if cur.remaining() != 0 {
+            return Err(Error::Snapshot(format!(
+                "relation payload has {} trailing bytes",
+                cur.remaining()
+            )));
+        }
+        Bat::from_parts(heads, tail)
+    }
+}
+
+/// An opened v3 snapshot: CRC verified, header + dictionary + directory
+/// parsed, relation payloads untouched.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    bytes: Arc<Vec<u8>>,
+    next_oid: u64,
+    pool: StrPool,
+    entries: Vec<(String, LazyRelation)>,
+}
+
+impl SnapshotReader {
+    /// Validates the trailer CRC and parses everything except relation
+    /// payloads.
+    pub fn open(bytes: Vec<u8>) -> Result<SnapshotReader> {
+        if bytes.len() < 9 {
+            return Err(Error::Snapshot("truncated snapshot".into()));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(Error::Snapshot("bad magic".into()));
+        }
+        if bytes[4] != VERSION {
+            return Err(Error::Snapshot(format!(
+                "SnapshotReader requires version {VERSION}, got {}",
+                bytes[4]
+            )));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+        let actual = crc32(body);
+        if stored != actual {
+            return Err(Error::Snapshot(format!(
+                "checksum mismatch: stored {stored:#010x}, computed {actual:#010x}"
+            )));
+        }
+        let body_len = body.len();
+        let mut cur = Cursor { buf: body, pos: 5 };
+        let next_oid = cur.u64()?;
+        let dict_count = cur.u32()? as usize;
+        // Each dictionary entry costs at least its 4-byte length prefix.
+        if dict_count > cur.remaining() / 4 {
+            return Err(Error::Snapshot(format!(
+                "dictionary count {dict_count} exceeds buffer"
+            )));
+        }
+        let mut dict = Vec::with_capacity(dict_count);
+        for _ in 0..dict_count {
+            dict.push(cur.string()?);
+        }
+        let pool = StrPool::from_dump(dict).map_err(Error::Snapshot)?;
+        let nrel = cur.u32()? as usize;
+        // Name length prefix (4) + kind (1) + rows (≥1) + len (≥1).
+        if nrel > cur.remaining() / 7 {
+            return Err(Error::Snapshot(format!("relation count {nrel} exceeds buffer")));
+        }
+        let mut dir = Vec::with_capacity(nrel);
+        for _ in 0..nrel {
+            let name = cur.string()?;
+            let kind = tag_kind(cur.u8()?)?;
+            let rows = cur.varint()?;
+            let len = cur.varint()? as usize;
+            dir.push((name, kind, rows, len));
+        }
+        // Payloads sit back to back and must end exactly at the trailer.
+        let mut offset = cur.pos;
+        let bytes = Arc::new(bytes);
+        let mut entries = Vec::with_capacity(dir.len());
+        for (name, kind, rows, len) in dir {
+            if len > body_len.saturating_sub(offset) {
+                return Err(Error::Snapshot(format!(
+                    "payload for {name} overruns the snapshot"
+                )));
+            }
+            // Every head costs at least one varint byte, so a payload
+            // cannot describe more rows than it has bytes.
+            if rows > len as u64 && rows > 0 {
+                return Err(Error::Snapshot(format!(
+                    "row count {rows} for {name} exceeds payload"
+                )));
+            }
+            entries.push((
+                name,
+                LazyRelation {
+                    bytes: Arc::clone(&bytes),
+                    start: offset,
+                    len,
+                    kind,
+                    rows,
+                    pool: pool.clone(),
+                },
+            ));
+            offset += len;
+        }
+        if offset != body_len {
+            return Err(Error::Snapshot(format!(
+                "{} unaccounted payload bytes",
+                body_len - offset
+            )));
+        }
+        Ok(SnapshotReader {
+            bytes,
+            next_oid,
+            pool,
+            entries,
+        })
+    }
+
+    /// The oid high watermark recorded in the snapshot.
+    pub fn next_oid(&self) -> u64 {
+        self.next_oid
+    }
+
+    /// Relation names in snapshot order, without decoding anything.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Total snapshot size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Builds a catalog whose relations decode on first access.
+    pub fn into_db_lazy(self) -> Db {
+        Db::from_snapshot_parts(self.next_oid, self.pool, self.entries, Vec::new())
+    }
+
+    /// Builds a fully materialized catalog (decodes every relation now).
+    pub fn into_db(self) -> Result<Db> {
+        let mut eager = Vec::with_capacity(self.entries.len());
+        for (name, rel) in self.entries {
+            eager.push((name, rel.decode()?));
+        }
+        Ok(Db::from_snapshot_parts(
+            self.next_oid,
+            self.pool,
+            Vec::new(),
+            eager,
+        ))
+    }
 }
 
 /// Writes a snapshot atomically (temp file + rename) through `backend`.
@@ -162,7 +421,153 @@ fn tag_kind(tag: u8) -> Result<ColumnKind> {
     })
 }
 
-fn encode_tail(out: &mut Vec<u8>, bat: &Bat) {
+// ---- v3 column codecs -------------------------------------------------
+
+/// Oid sequences as zigzag-varint deltas: the head column of a
+/// bulk-loaded relation is monotone (often with long +0/+1 runs), so
+/// most rows cost one byte instead of eight. Wrapping arithmetic keeps
+/// the transform lossless for arbitrary (e.g. swap-removed) orders.
+fn encode_heads_delta(out: &mut Vec<u8>, heads: &[Oid]) {
+    let mut prev = 0u64;
+    for h in heads {
+        let d = h.raw().wrapping_sub(prev) as i64;
+        put_varint(out, zigzag(d));
+        prev = h.raw();
+    }
+}
+
+fn decode_heads_delta(cur: &mut Cursor<'_>, rows: usize) -> Result<Vec<Oid>> {
+    if rows > cur.remaining() {
+        return Err(Error::Snapshot(format!(
+            "row count {rows} exceeds remaining buffer"
+        )));
+    }
+    let mut out = Vec::with_capacity(rows);
+    let mut prev = 0u64;
+    for _ in 0..rows {
+        let d = unzigzag(cur.varint()?);
+        prev = prev.wrapping_add(d as u64);
+        out.push(Oid::from_raw(prev));
+    }
+    Ok(out)
+}
+
+fn encode_tail_v3(out: &mut Vec<u8>, bat: &Bat, pool: &StrPool) -> Result<()> {
+    match bat.tail() {
+        Column::Oid(vs) => {
+            let mut prev = 0u64;
+            for v in vs {
+                let d = v.raw().wrapping_sub(prev) as i64;
+                put_varint(out, zigzag(d));
+                prev = v.raw();
+            }
+        }
+        Column::Int(vs) => {
+            for v in vs {
+                put_varint(out, zigzag(*v));
+            }
+        }
+        Column::Flt(vs) => {
+            for v in vs {
+                put_u64(out, v.to_bits());
+            }
+        }
+        Column::Str(col) => {
+            if col.pool().same_pool(pool) {
+                for &c in col.codes() {
+                    put_varint(out, c as u64);
+                }
+            } else {
+                // A column not homed in the catalog pool (shouldn't
+                // happen through the public API): encode via strings.
+                for s in col.decode_all() {
+                    put_varint(out, pool.intern(&s) as u64);
+                }
+            }
+        }
+        Column::Bit(vs) => {
+            let mut byte = 0u8;
+            for (i, v) in vs.iter().enumerate() {
+                if *v {
+                    byte |= 1 << (i % 8);
+                }
+                if i % 8 == 7 {
+                    out.push(byte);
+                    byte = 0;
+                }
+            }
+            if vs.len() % 8 != 0 {
+                out.push(byte);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_tail_v3(
+    cur: &mut Cursor<'_>,
+    kind: ColumnKind,
+    rows: usize,
+    pool: &StrPool,
+) -> Result<Column> {
+    // Bit columns pack 8 rows/byte; everything else is ≥1 byte/row.
+    let floor = if kind == ColumnKind::Bit { rows / 8 } else { rows };
+    if floor > cur.remaining() {
+        return Err(Error::Snapshot(format!(
+            "tail rows {rows} exceed remaining buffer"
+        )));
+    }
+    Ok(match kind {
+        ColumnKind::Oid => {
+            let mut vs = Vec::with_capacity(rows);
+            let mut prev = 0u64;
+            for _ in 0..rows {
+                let d = unzigzag(cur.varint()?);
+                prev = prev.wrapping_add(d as u64);
+                vs.push(Oid::from_raw(prev));
+            }
+            Column::Oid(vs)
+        }
+        ColumnKind::Int => {
+            let mut vs = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                vs.push(unzigzag(cur.varint()?));
+            }
+            Column::Int(vs)
+        }
+        ColumnKind::Flt => {
+            let mut vs = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                vs.push(f64::from_bits(cur.u64()?));
+            }
+            Column::Flt(vs)
+        }
+        ColumnKind::Str => {
+            let mut codes = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let c = cur.varint()?;
+                if c > u32::MAX as u64 {
+                    return Err(Error::Snapshot(format!("dictionary code {c} overflows")));
+                }
+                codes.push(c as u32);
+            }
+            Column::Str(StrColumn::from_codes(codes, pool.clone()).map_err(Error::Snapshot)?)
+        }
+        ColumnKind::Bit => {
+            let nbytes = rows.div_ceil(8);
+            let packed = cur.take(nbytes)?;
+            let mut vs = Vec::with_capacity(rows);
+            for i in 0..rows {
+                vs.push(packed[i / 8] & (1 << (i % 8)) != 0);
+            }
+            Column::Bit(vs)
+        }
+    })
+}
+
+// ---- v2 column codecs -------------------------------------------------
+
+fn encode_tail_v2(out: &mut Vec<u8>, bat: &Bat) {
     match bat.tail() {
         Column::Oid(vs) => {
             for v in vs {
@@ -179,9 +584,9 @@ fn encode_tail(out: &mut Vec<u8>, bat: &Bat) {
                 put_u64(out, v.to_bits());
             }
         }
-        Column::Str(vs) => {
-            for v in vs {
-                put_str(out, v);
+        Column::Str(col) => {
+            for s in col.decode_all() {
+                put_str(out, &s);
             }
         }
         Column::Bit(vs) => {
@@ -192,7 +597,7 @@ fn encode_tail(out: &mut Vec<u8>, bat: &Bat) {
     }
 }
 
-fn decode_tail(
+fn decode_tail_v2(
     cur: &mut Cursor<'_>,
     bat: &mut Bat,
     heads: &[Oid],
@@ -223,6 +628,28 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
+}
+
+/// LEB128 unsigned varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag maps signed to unsigned so small-magnitude deltas stay short.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 struct Cursor<'a> {
@@ -258,6 +685,19 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 
+    /// LEB128 unsigned varint, at most 10 bytes.
+    fn varint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        for shift in 0..10 {
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7f) << (7 * shift);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(Error::Snapshot("varint longer than 10 bytes".into()))
+    }
+
     fn string(&mut self) -> Result<String> {
         let len = self.u32()? as usize;
         // `take` re-checks, but failing here avoids the allocation for
@@ -271,6 +711,7 @@ impl<'a> Cursor<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -296,6 +737,24 @@ mod tests {
         db
     }
 
+    /// A db with enough repetitive data that compression must bite.
+    fn bulky_db() -> Db {
+        let mut db = Db::new();
+        for i in 0..500 {
+            let o = db.mint();
+            db.get_or_create("country", ColumnKind::Str)
+                .append_str(o, ["australia", "germany", "usa"][i % 3])
+                .unwrap();
+            db.get_or_create("rank", ColumnKind::Int)
+                .append_int(o, (i % 10) as i64)
+                .unwrap();
+            db.get_or_create("active", ColumnKind::Bit)
+                .append_bit(o, i % 2 == 0)
+                .unwrap();
+        }
+        db
+    }
+
     #[test]
     fn snapshot_round_trips_all_kinds() {
         let db = sample_db();
@@ -305,6 +764,67 @@ mod tests {
         for name in db.relation_names() {
             assert_eq!(back.get(name).unwrap(), db.get(name).unwrap(), "{name}");
         }
+    }
+
+    #[test]
+    fn v2_snapshot_round_trips_and_matches_v3_content() {
+        let db = bulky_db();
+        let via_v2 = restore(&snapshot_v2(&db).unwrap()).unwrap();
+        let via_v3 = restore(&snapshot(&db).unwrap()).unwrap();
+        assert_eq!(via_v2.relation_count(), via_v3.relation_count());
+        for name in db.relation_names() {
+            assert_eq!(via_v2.get(name).unwrap(), via_v3.get(name).unwrap(), "{name}");
+            assert_eq!(via_v3.get(name).unwrap(), db.get(name).unwrap(), "{name}");
+        }
+    }
+
+    #[test]
+    fn v3_is_smaller_than_v2_on_repetitive_data() {
+        let db = bulky_db();
+        let v2 = snapshot_v2(&db).unwrap().len();
+        let v3 = snapshot(&db).unwrap().len();
+        assert!(
+            v3 * 2 <= v2,
+            "expected ≥2x compression, got v2={v2} v3={v3}"
+        );
+    }
+
+    #[test]
+    fn snapshot_is_stable_across_restore_cycles() {
+        // snapshot(restore(snapshot(db))) must be byte-identical: the
+        // dictionary section reproduces pool codes exactly.
+        let db = bulky_db();
+        let first = snapshot(&db).unwrap();
+        let second = snapshot(&restore(&first).unwrap()).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn lazy_open_defers_decoding() {
+        let db = bulky_db();
+        let bytes = snapshot(&db).unwrap();
+        let lazy = restore_lazy(bytes).unwrap();
+        assert_eq!(lazy.materialized_count(), 0, "nothing decoded at open");
+        assert_eq!(lazy.relation_count(), db.relation_count());
+        assert_eq!(lazy.association_count(), db.association_count());
+        // First access materializes exactly that relation.
+        assert_eq!(
+            lazy.get("country").unwrap(),
+            db.get("country").unwrap()
+        );
+        assert_eq!(lazy.materialized_count(), 1);
+        assert_eq!(lazy.get("rank").unwrap(), db.get("rank").unwrap());
+        assert_eq!(lazy.materialized_count(), 2);
+    }
+
+    #[test]
+    fn lazy_catalog_mints_past_watermark_without_decoding() {
+        let db = sample_db();
+        let max_existing = db.get("edges").unwrap().iter().map(|(h, _)| h).max().unwrap();
+        let mut lazy = restore_lazy(snapshot(&db).unwrap()).unwrap();
+        let fresh = lazy.mint();
+        assert!(fresh > max_existing);
+        assert_eq!(lazy.materialized_count(), 0);
     }
 
     #[test]
@@ -350,9 +870,27 @@ mod tests {
     }
 
     #[test]
+    fn forged_crc_never_panics() {
+        // Flip each body byte AND fix up the trailer so the CRC passes:
+        // decoding must then either fail with a typed error or produce
+        // some catalog — never panic or over-allocate.
+        let db = sample_db();
+        let bytes = snapshot(&db).unwrap();
+        let mut copy = bytes.clone();
+        let body_len = copy.len() - 4;
+        for i in 5..body_len {
+            copy[i] ^= 0x40;
+            let crc = crc32(&copy[..body_len]);
+            copy[body_len..].copy_from_slice(&crc.to_le_bytes());
+            let _ = restore(&copy);
+            copy[i] ^= 0x40;
+        }
+    }
+
+    #[test]
     fn hostile_row_count_cannot_explode_allocation() {
         let db = sample_db();
-        let mut bytes = snapshot(&db).unwrap();
+        let mut bytes = snapshot_v2(&db).unwrap();
         // Forge a v1 snapshot (no trailer to fail first) with a huge
         // relation count: the cap must reject it without allocating.
         bytes[4] = 1;
@@ -369,12 +907,29 @@ mod tests {
     #[test]
     fn legacy_v1_snapshot_still_loads() {
         let db = sample_db();
-        let mut bytes = snapshot(&db).unwrap();
+        let mut bytes = snapshot_v2(&db).unwrap();
         bytes[4] = 1;
         let body_len = bytes.len() - 4;
         bytes.truncate(body_len); // drop the CRC trailer
         let back = restore(&bytes).unwrap();
         assert_eq!(back.relation_count(), db.relation_count());
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, 64, 1 << 20, -(1 << 40), i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "{v}");
+        }
+        let mut buf = Vec::new();
+        let samples = [0u64, 1, 127, 128, 300, 1 << 21, u64::MAX];
+        for &v in &samples {
+            put_varint(&mut buf, v);
+        }
+        let mut cur = Cursor { buf: &buf, pos: 0 };
+        for &v in &samples {
+            assert_eq!(cur.varint().unwrap(), v);
+        }
+        assert_eq!(cur.remaining(), 0);
     }
 
     #[test]

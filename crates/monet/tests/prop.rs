@@ -1,4 +1,5 @@
 //! Property-based tests for the BAT store invariants.
+#![allow(clippy::unwrap_used)]
 
 use monet::{Bat, Db, Oid, Value};
 use proptest::prelude::*;
@@ -50,7 +51,7 @@ proptest! {
 
     #[test]
     fn lookup_agrees_with_scan(rows in arb_rows(), probe in 0u64..64) {
-        if let Some(mut bat) = build_bat(&rows) {
+        if let Some(bat) = build_bat(&rows) {
             let probe = Oid::from_raw(probe);
             let scanned: Vec<Value> = rows.iter()
                 .filter(|(h, _)| Oid::from_raw(*h) == probe)
@@ -157,7 +158,7 @@ proptest! {
         for (h, v) in &leaves {
             l.append_int(Oid::from_raw(*h), *v).unwrap();
         }
-        let joined = e.join(&mut l).unwrap();
+        let joined = e.join(&l).unwrap();
         let mut expected = Vec::new();
         for (h, t) in &edges {
             for (lh, lv) in &leaves {

@@ -207,20 +207,48 @@ impl XmlStore {
     /// entry point the ingestion writer uses to land one merge batch in a
     /// single call. [`XmlStore::last_stats`] afterwards holds the *sum*
     /// over the batch. Returns the root oids in input order.
+    ///
+    /// With a WAL attached the whole batch is logged with a **single**
+    /// lock acquisition ([`WalHandle::log_batch`]) before any relation
+    /// mutates — per-record logging was the dominant merge cost at
+    /// 10^5-document scale. Replaying the log reproduces the same
+    /// per-document insert sequence.
     pub fn insert_documents<'a, I>(&mut self, docs: I) -> Result<Vec<Oid>>
     where
         I: IntoIterator<Item = (&'a str, &'a Document)>,
     {
-        let mut roots = Vec::new();
-        let mut total = LoadStats::default();
-        for (source, doc) in docs {
-            roots.push(self.insert_document(source, doc)?);
-            let stats = self.last_stats;
-            total.nodes += stats.nodes;
-            total.attrs += stats.attrs;
-            total.new_relations += stats.new_relations;
-            total.max_depth = total.max_depth.max(stats.max_depth);
+        let docs: Vec<(&str, &Document)> = docs.into_iter().collect();
+        if let Some(wal) = &self.wal {
+            let xmls: Vec<(usize, String)> = docs
+                .iter()
+                .enumerate()
+                .map(|(i, (_, doc))| (i, crate::ser::to_xml(doc)))
+                .collect();
+            let groups: Vec<Vec<&[u8]>> = xmls
+                .iter()
+                .map(|(i, xml)| vec![docs[*i].0.as_bytes(), xml.as_bytes()])
+                .collect();
+            wal.log_batch(WAL_OP_INSERT, &groups)?;
         }
+        // Already logged above; detach so the per-document path does not
+        // log each insert a second time.
+        let wal = self.wal.take();
+        let mut total = LoadStats::default();
+        let mut insert_all = || -> Result<Vec<Oid>> {
+            let mut roots = Vec::new();
+            for (source, doc) in &docs {
+                roots.push(self.insert_document(source, doc)?);
+                let stats = self.last_stats;
+                total.nodes += stats.nodes;
+                total.attrs += stats.attrs;
+                total.new_relations += stats.new_relations;
+                total.max_depth = total.max_depth.max(stats.max_depth);
+            }
+            Ok(roots)
+        };
+        let result = insert_all();
+        self.wal = wal;
+        let roots = result?;
         self.last_stats = total;
         Ok(roots)
     }
@@ -557,9 +585,24 @@ impl XmlStore {
         Ok(monet::persist::snapshot(&self.db)?)
     }
 
-    /// Restores a store from a [`Self::snapshot`].
+    /// Restores a store from a [`Self::snapshot`], decoding every
+    /// relation eagerly.
     pub fn restore(bytes: &[u8]) -> Result<XmlStore> {
-        let mut db = monet::persist::restore(bytes)?;
+        Self::from_db(monet::persist::restore(bytes)?)
+    }
+
+    /// Restores a store from a [`Self::snapshot`] **lazily**: relations
+    /// decode on first access. The schema tree needs only the relation
+    /// *names* (in the snapshot directory) and the document registry
+    /// materializes just the `sys` relation, so opening a large snapshot
+    /// touches a tiny fraction of its payload bytes.
+    pub fn restore_lazy(bytes: Vec<u8>) -> Result<XmlStore> {
+        Self::from_db(monet::persist::restore_lazy(bytes)?)
+    }
+
+    /// Rebuilds the derived state (schema tree, document registry) from a
+    /// restored catalog. Only the `sys` relation is materialized.
+    fn from_db(mut db: Db) -> Result<XmlStore> {
         // Rebuild the schema tree from the relation names.
         let mut summary = PathSummary::new();
         let names: Vec<String> = db.relation_names().map(str::to_owned).collect();
@@ -768,6 +811,74 @@ mod tests {
         // …and old documents can still be deleted.
         back.delete_document(r1).unwrap();
         assert!(back.reconstruct(r1).is_err());
+    }
+
+    #[test]
+    fn lazy_restore_matches_eager_restore() {
+        let mut store = XmlStore::new();
+        let r1 = store.bulkload_str("a.xml", FIGURE9_XML).unwrap();
+        let r2 = store.bulkload_str("b.xml", FIGURE9_XML).unwrap();
+        let bytes = store.snapshot().unwrap();
+        let mut lazy = XmlStore::restore_lazy(bytes.clone()).unwrap();
+        // Opening lazily only materializes the `sys` document registry.
+        assert_eq!(lazy.db().materialized_count(), 1);
+        assert_eq!(lazy.document_count(), 2);
+        assert_eq!(
+            lazy.summary().all_relations(),
+            store.summary().all_relations()
+        );
+        // First touch decodes; content matches the eager path.
+        let mut eager = XmlStore::restore(&bytes).unwrap();
+        assert_eq!(
+            lazy.reconstruct(r1).unwrap(),
+            eager.reconstruct(r1).unwrap()
+        );
+        assert_eq!(lazy.reconstruct(r2).unwrap(), figure9());
+        assert!(lazy.db().materialized_count() > 1);
+    }
+
+    #[test]
+    fn batched_insert_logs_one_wal_record_per_document() {
+        use monet::storage::FsBackend;
+        use monet::wal::{open_shared, WalHandle};
+
+        let dir = std::env::temp_dir().join(format!(
+            "monetxml_store_batch_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let wal = open_shared(FsBackend::shared(), &dir).unwrap();
+        let mut store = XmlStore::new();
+        store.set_wal(WalHandle::new(wal.clone(), 7));
+
+        let doc = figure9();
+        let batch = vec![("a.xml", &doc), ("b.xml", &doc), ("c.xml", &doc)];
+        let roots = store.insert_documents(batch).unwrap();
+        assert_eq!(roots.len(), 3);
+        assert_eq!(store.document_count(), 3);
+
+        // One frame per document, each replayable as a plain insert.
+        {
+            let mut guard = wal.lock().unwrap();
+            guard.flush().unwrap();
+        }
+        let records = wal.lock().unwrap().replay_from(0).unwrap();
+        assert_eq!(records.len(), 3);
+        let mut replayed = XmlStore::new();
+        for rec in &records {
+            let (_store_tag, op, fields) =
+                monet::wal::decode_payload(&rec.payload).unwrap();
+            assert_eq!(op, WAL_OP_INSERT);
+            let source = String::from_utf8(fields[0].clone()).unwrap();
+            let xml = String::from_utf8(fields[1].clone()).unwrap();
+            replayed.bulkload_str(&source, &xml).unwrap();
+        }
+        assert_eq!(replayed.document_count(), 3);
+        assert_eq!(
+            replayed.db().association_count(),
+            store.db().association_count()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

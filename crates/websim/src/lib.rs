@@ -18,12 +18,16 @@
 //!   from a webspace").
 //! * [`internet`] — generic pages for the Figure 14 Internet grammar
 //!   (titles, keywords, embedded multimedia objects).
+//! * [`corpus`] — a seeded 10^5+-document article generator with
+//!   zipfian term/attribute distributions, for scale experiments.
 
 #![warn(missing_docs)]
 
 pub mod ausopen;
+pub mod corpus;
 pub mod crawler;
 pub mod internet;
 
 pub use ausopen::{PlayerTruth, Site, SiteSpec};
+pub use corpus::{Corpus, CorpusDoc, CorpusSpec};
 pub use crawler::crawl;

@@ -14,6 +14,7 @@ verify:
     just overload-smoke
     just obs-smoke
     just distribution-smoke
+    just scale-smoke
 
 # Crash-point recovery: the durability harness (WAL + snapshot fault
 # sweeps) plus a smoke pass of the E13 recovery bench.
@@ -37,6 +38,14 @@ overload-smoke:
     cargo test --offline -q -p dlsearch --test overload
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench overload
 
+# Data-plane scale: the compression identity suite (v2/v3 snapshot
+# equivalence, lazy opens, WAL replay, ranked-retrieval and EXPLAIN
+# round-trips) plus a smoke pass of the E17 scale bench over tiny
+# zipfian corpora.
+scale-smoke:
+    cargo test --offline -q -p dlsearch --test scale_compression
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench scale
+
 # Observability: byte-identity, scrape coverage, EXPLAIN ANALYZE tree
 # shape, slow-log bounds — plus a smoke pass of the E15 overhead bench.
 obs-smoke:
@@ -54,9 +63,9 @@ clippy:
 
 # Perf baselines: E11 (parallel ingestion), E12 (query cache), E13
 # (recovery), E14 (overload), E15 (observability overhead), E16
-# (distribution: scaling, failover, rebalance). Full runs refresh the
-# BENCH_*.json artifacts in-repo; all six emit the shared
-# schema_version=1 envelope with an embedded metrics dump.
+# (distribution: scaling, failover, rebalance), E17 (scale +
+# compression). Full runs refresh the BENCH_*.json artifacts in-repo;
+# all emit the shared schema_version=1 envelope.
 bench:
     cargo bench --offline -p bench --bench ingest
     cargo bench --offline -p bench --bench query_cache
@@ -64,6 +73,7 @@ bench:
     cargo bench --offline -p bench --bench overload
     cargo bench --offline -p bench --bench obs
     cargo bench --offline -p bench --bench distribution
+    cargo bench --offline -p bench --bench scale
 
 # The flagship scenario, healthy and under injected faults.
 demo:
