@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 use feagram::ast::SpecialEvent;
 use feagram::FeatureValue;
@@ -166,12 +166,16 @@ struct Registered {
 
 /// The registry of detector implementations for one engine instance.
 ///
-/// Registration and upgrades take `&mut self` (structural changes);
-/// running detectors, firing hooks, and the call counters work through
-/// `&self` so a single registry can be shared across ingestion workers.
+/// Initial registration takes `&mut self` (setup-time structural
+/// change); everything else — running detectors, firing hooks, the call
+/// counters, and live [`DetectorRegistry::upgrade`] /
+/// [`DetectorRegistry::replace`] swaps — works through `&self`, so a
+/// single registry can be shared across ingestion workers *and* a
+/// background maintenance job can install a new implementation while
+/// the engine keeps serving.
 #[derive(Default)]
 pub struct DetectorRegistry {
-    impls: HashMap<String, Registered>,
+    impls: RwLock<HashMap<String, Registered>>,
     hooks: Mutex<HashMap<(String, SpecialEvent), HookFn>>,
     calls: Mutex<HashMap<String, usize>>,
 }
@@ -189,7 +193,10 @@ impl DetectorRegistry {
         version: Version,
         run: DetectorFn,
     ) -> &mut Self {
-        self.impls.insert(name.into(), Registered { run, version });
+        self.impls
+            .write()
+            .expect("impl lock")
+            .insert(name.into(), Registered { run, version });
         self
     }
 
@@ -209,24 +216,31 @@ impl DetectorRegistry {
 
     /// Whether `name` has an implementation.
     pub fn contains(&self, name: &str) -> bool {
-        self.impls.contains_key(name)
+        self.impls
+            .read()
+            .expect("impl lock")
+            .contains_key(name)
     }
 
     /// The registered version of `name`.
     pub fn version(&self, name: &str) -> Option<Version> {
-        self.impls.get(name).map(|r| r.version)
+        self.impls
+            .read()
+            .expect("impl lock")
+            .get(name)
+            .map(|r| r.version)
     }
 
     /// Replaces the implementation of `name` and bumps its version at
     /// `level`; returns the new version.
     pub fn upgrade(
-        &mut self,
+        &self,
         name: &str,
         level: RevisionLevel,
         run: DetectorFn,
     ) -> Result<Version> {
-        let reg = self
-            .impls
+        let mut impls = self.impls.write().expect("impl lock");
+        let reg = impls
             .get_mut(name)
             .ok_or_else(|| Error::UnregisteredDetector(name.to_owned()))?;
         reg.version = reg.version.bumped(level);
@@ -234,10 +248,29 @@ impl DetectorRegistry {
         Ok(reg.version)
     }
 
+    /// Installs exactly (`version`, `run`) for `name` and returns the
+    /// previous pair. This is the rollback primitive for online
+    /// maintenance: a job installs the upgraded implementation at
+    /// begin and, if it aborts before cutover, reinstalls the captured
+    /// old pair so the registry is byte-for-byte back to never-ran.
+    pub fn replace(
+        &self,
+        name: &str,
+        version: Version,
+        run: DetectorFn,
+    ) -> Result<(Version, DetectorFn)> {
+        let mut impls = self.impls.write().expect("impl lock");
+        let reg = impls
+            .get_mut(name)
+            .ok_or_else(|| Error::UnregisteredDetector(name.to_owned()))?;
+        let old = std::mem::replace(reg, Registered { run, version });
+        Ok((old.version, old.run))
+    }
+
     /// Runs detector `name` on `inputs`, counting the call.
     pub fn run(&self, name: &str, inputs: &[FeatureValue]) -> Result<Vec<Token>> {
-        let reg = self
-            .impls
+        let impls = self.impls.read().expect("impl lock");
+        let reg = impls
             .get(name)
             .ok_or_else(|| Error::UnregisteredDetector(name.to_owned()))?;
         *self
@@ -406,6 +439,30 @@ mod tests {
             .unwrap();
         assert_eq!(v, Version::new(1, 1, 0));
         assert_eq!(reg.run("d", &[]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn replace_returns_the_old_pair_for_rollback() {
+        let mut reg = DetectorRegistry::new();
+        reg.register(
+            "d",
+            Version::new(1, 0, 0),
+            Box::new(|_| Ok(vec![Token::new("old", 1i64)])),
+        );
+        let (old_version, old_run) = reg
+            .replace(
+                "d",
+                Version::new(1, 1, 0),
+                Box::new(|_| Ok(vec![Token::new("new", 2i64)])),
+            )
+            .unwrap();
+        assert_eq!(old_version, Version::new(1, 0, 0));
+        assert_eq!(reg.version("d"), Some(Version::new(1, 1, 0)));
+        assert_eq!(reg.run("d", &[]).unwrap()[0].symbol, "new");
+        // Roll back: the registry is exactly as before the swap.
+        let _swapped = reg.replace("d", old_version, old_run).unwrap();
+        assert_eq!(reg.version("d"), Some(Version::new(1, 0, 0)));
+        assert_eq!(reg.run("d", &[]).unwrap()[0].symbol, "old");
     }
 
     #[test]

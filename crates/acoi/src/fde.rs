@@ -915,7 +915,7 @@ mod tests {
     #[test]
     fn harvest_respects_version_mismatch() {
         let g = parse_grammar(feagram::paper::VIDEO_GRAMMAR).unwrap();
-        let mut reg = video_registry(2);
+        let reg = video_registry(2);
         let tree = {
             let mut fde = Fde::new(&g, &reg);
             fde.parse(mmo_tokens("http://x/v.mpg")).unwrap()

@@ -31,6 +31,8 @@ use crate::detector::{DetectorFn, DetectorRegistry, RevisionLevel};
 use crate::error::Result;
 use crate::fde::{harvest_cache, DetectorCache, Fde};
 use crate::metaindex::MetaIndex;
+use crate::token::Token;
+use crate::tree::ParseTree;
 
 /// Scheduling priority of a revalidation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -61,6 +63,34 @@ pub struct InvalidationPlan {
     /// Step 3: enclosing detectors (or the start symbol) to revisit if a
     /// subtree turns out invalid.
     pub enclosing: BTreeSet<String>,
+}
+
+impl InvalidationPlan {
+    /// Detectors that may NOT reuse stored results under this plan: the
+    /// invalidated closure plus its parameter dependents.
+    pub fn stale_symbols(&self) -> BTreeSet<String> {
+        self.invalidated
+            .iter()
+            .chain(self.parameter_dependents.iter())
+            .cloned()
+            .collect()
+    }
+}
+
+/// The outcome of re-parsing one object during maintenance — produced
+/// by [`Fds::reparse_object`] / [`Fds::heal_object`] but not yet
+/// installed anywhere, so a background maintenance job can collect
+/// these as deltas and apply them to the live index at cutover.
+#[derive(Debug)]
+pub struct ObjectReparse {
+    /// The freshly parsed tree.
+    pub tree: ParseTree,
+    /// The initial tokens the parse started from.
+    pub initial: Vec<Token>,
+    /// Detector executions this re-parse performed.
+    pub detector_calls: usize,
+    /// Detector executions avoided by reusing stored results.
+    pub detector_calls_saved: usize,
 }
 
 /// What one maintenance run did.
@@ -137,7 +167,7 @@ impl Fds {
     pub fn upgrade_detector(
         &self,
         grammar: &Grammar,
-        registry: &mut DetectorRegistry,
+        registry: &DetectorRegistry,
         index: &mut MetaIndex,
         detector: &str,
         level: RevisionLevel,
@@ -147,12 +177,84 @@ impl Fds {
         self.apply_revision(grammar, registry, index, detector, level)
     }
 
+    /// Re-parses one object for a revision of `detector` whose new
+    /// implementation is already installed in the registry. Returns
+    /// `None` (untouched) when the stored tree cannot contain the
+    /// detector; otherwise the new tree plus the call accounting. The
+    /// caller decides where the result lands — the synchronous paths
+    /// insert it straight back, a background job keeps it as a delta.
+    pub fn reparse_object(
+        &self,
+        grammar: &Grammar,
+        registry: &DetectorRegistry,
+        index: &mut MetaIndex,
+        source: &str,
+        detector: &str,
+        stale: &BTreeSet<String>,
+    ) -> Result<Option<ObjectReparse>> {
+        let tree = index.tree(grammar, source)?;
+        if tree.find_all(detector).is_empty() {
+            return Ok(None);
+        }
+        let cache = harvest_cache(grammar, registry, &tree, |d| !stale.contains(d));
+        let initial = index
+            .initial_tokens(source)
+            .map(<[Token]>::to_vec)
+            .unwrap_or_default();
+        let mut fde = Fde::new(grammar, registry);
+        let new_tree = fde.parse_with_cache(initial.clone(), &cache)?;
+        let stats = fde.stats();
+        Ok(Some(ObjectReparse {
+            tree: new_tree,
+            initial,
+            detector_calls: stats.detector_calls,
+            detector_calls_saved: stats.cache_hits,
+        }))
+    }
+
+    /// Re-parses one object iff its stored tree holds a
+    /// rejected-with-cause node for `detector`. Healthy detector results
+    /// are reused from the stored tree; `None` means nothing to heal.
+    pub fn heal_object(
+        &self,
+        grammar: &Grammar,
+        registry: &DetectorRegistry,
+        index: &mut MetaIndex,
+        source: &str,
+        detector: &str,
+    ) -> Result<Option<ObjectReparse>> {
+        let tree = index.tree(grammar, source)?;
+        let needs_heal = tree
+            .rejected_nodes()
+            .iter()
+            .any(|(_, symbol, _)| symbol == detector);
+        if !needs_heal {
+            return Ok(None);
+        }
+        // Rejected nodes carry no version, so the harvest naturally
+        // excludes them; every healthy detector is reused.
+        let cache = harvest_cache(grammar, registry, &tree, |_| true);
+        let initial = index
+            .initial_tokens(source)
+            .map(<[Token]>::to_vec)
+            .unwrap_or_default();
+        let mut fde = Fde::new(grammar, registry);
+        let new_tree = fde.parse_with_cache(initial.clone(), &cache)?;
+        let stats = fde.stats();
+        Ok(Some(ObjectReparse {
+            tree: new_tree,
+            initial,
+            detector_calls: stats.detector_calls,
+            detector_calls_saved: stats.cache_hits,
+        }))
+    }
+
     /// Maintains the index for an implementation change that is already
     /// installed in the registry (the work a [`Scheduler`] defers).
     pub fn apply_revision(
         &self,
         grammar: &Grammar,
-        registry: &mut DetectorRegistry,
+        registry: &DetectorRegistry,
         index: &mut MetaIndex,
         detector: &str,
         level: RevisionLevel,
@@ -170,15 +272,7 @@ impl Fds {
             });
         }
 
-        // Detectors that may NOT reuse stored results: the invalidated
-        // closure plus its parameter dependents.
-        let stale: BTreeSet<String> = plan
-            .invalidated
-            .iter()
-            .chain(plan.parameter_dependents.iter())
-            .cloned()
-            .collect();
-
+        let stale = plan.stale_symbols();
         let mut report = MaintenanceReport {
             plan,
             objects_reparsed: 0,
@@ -191,23 +285,15 @@ impl Fds {
         // all, nothing is affected.
         let sources: Vec<String> = index.sources().to_vec();
         for source in sources {
-            let tree = index.tree(grammar, &source)?;
-            if tree.find_all(detector).is_empty() {
-                report.objects_untouched += 1;
-                continue;
+            match self.reparse_object(grammar, registry, index, &source, detector, &stale)? {
+                None => report.objects_untouched += 1,
+                Some(done) => {
+                    report.detector_calls += done.detector_calls;
+                    report.detector_calls_saved += done.detector_calls_saved;
+                    index.insert(&source, done.initial, &done.tree)?;
+                    report.objects_reparsed += 1;
+                }
             }
-            let cache = harvest_cache(grammar, registry, &tree, |d| !stale.contains(d));
-            let initial = index
-                .initial_tokens(&source)
-                .map(<[crate::token::Token]>::to_vec)
-                .unwrap_or_default();
-            let mut fde = Fde::new(grammar, registry);
-            let new_tree = fde.parse_with_cache(initial.clone(), &cache)?;
-            let stats = fde.stats();
-            report.detector_calls += stats.detector_calls;
-            report.detector_calls_saved += stats.cache_hits;
-            index.insert(&source, initial, &new_tree)?;
-            report.objects_reparsed += 1;
         }
         Ok(report)
     }
@@ -221,20 +307,12 @@ impl Fds {
     pub fn heal_detector(
         &self,
         grammar: &Grammar,
-        registry: &mut DetectorRegistry,
+        registry: &DetectorRegistry,
         index: &mut MetaIndex,
         detector: &str,
     ) -> Result<MaintenanceReport> {
-        let plan = InvalidationPlan {
-            detector: detector.to_owned(),
-            level: RevisionLevel::Minor,
-            priority: Priority::Low,
-            invalidated: BTreeSet::new(),
-            parameter_dependents: BTreeSet::new(),
-            enclosing: BTreeSet::new(),
-        };
         let mut report = MaintenanceReport {
-            plan,
+            plan: Self::heal_plan(detector),
             objects_reparsed: 0,
             objects_untouched: 0,
             detector_calls: 0,
@@ -242,31 +320,30 @@ impl Fds {
         };
         let sources: Vec<String> = index.sources().to_vec();
         for source in sources {
-            let tree = index.tree(grammar, &source)?;
-            let needs_heal = tree
-                .rejected_nodes()
-                .iter()
-                .any(|(_, symbol, _)| symbol == detector);
-            if !needs_heal {
-                report.objects_untouched += 1;
-                continue;
+            match self.heal_object(grammar, registry, index, &source, detector)? {
+                None => report.objects_untouched += 1,
+                Some(done) => {
+                    report.detector_calls += done.detector_calls;
+                    report.detector_calls_saved += done.detector_calls_saved;
+                    index.insert(&source, done.initial, &done.tree)?;
+                    report.objects_reparsed += 1;
+                }
             }
-            // Rejected nodes carry no version, so the harvest naturally
-            // excludes them; every healthy detector is reused.
-            let cache = harvest_cache(grammar, registry, &tree, |_| true);
-            let initial = index
-                .initial_tokens(&source)
-                .map(<[crate::token::Token]>::to_vec)
-                .unwrap_or_default();
-            let mut fde = Fde::new(grammar, registry);
-            let new_tree = fde.parse_with_cache(initial.clone(), &cache)?;
-            let stats = fde.stats();
-            report.detector_calls += stats.detector_calls;
-            report.detector_calls_saved += stats.cache_hits;
-            index.insert(&source, initial, &new_tree)?;
-            report.objects_reparsed += 1;
         }
         Ok(report)
+    }
+
+    /// The synthetic plan a heal runs under: nothing is invalidated
+    /// (stored results stay reusable), data stays queryable throughout.
+    pub fn heal_plan(detector: &str) -> InvalidationPlan {
+        InvalidationPlan {
+            detector: detector.to_owned(),
+            level: RevisionLevel::Minor,
+            priority: Priority::Low,
+            invalidated: BTreeSet::new(),
+            parameter_dependents: BTreeSet::new(),
+            enclosing: BTreeSet::new(),
+        }
     }
 
     /// Handles a change of the *source data* of one object: "the FDS uses
@@ -278,7 +355,7 @@ impl Fds {
     pub fn refresh_source(
         &self,
         grammar: &Grammar,
-        registry: &mut DetectorRegistry,
+        registry: &DetectorRegistry,
         index: &mut MetaIndex,
         source: &str,
         still_valid: impl Fn(&str) -> bool,
@@ -288,7 +365,7 @@ impl Fds {
         }
         let initial = index
             .initial_tokens(source)
-            .map(<[crate::token::Token]>::to_vec)
+            .map(<[Token]>::to_vec)
             .unwrap_or_default();
         let mut fde = Fde::new(grammar, registry);
         let tree = fde.parse_with_cache(initial.clone(), &DetectorCache::new())?;
@@ -379,7 +456,7 @@ mod tests {
         let report = fds
             .upgrade_detector(
                 &g,
-                &mut reg,
+                &reg,
                 &mut index,
                 "tennis",
                 RevisionLevel::Correction,
@@ -404,7 +481,7 @@ mod tests {
         let report = fds
             .upgrade_detector(
                 &g,
-                &mut reg,
+                &reg,
                 &mut index,
                 "tennis",
                 RevisionLevel::Minor,
@@ -454,7 +531,7 @@ mod tests {
         let report = fds
             .upgrade_detector(
                 &g,
-                &mut reg,
+                &reg,
                 &mut index,
                 "segment",
                 RevisionLevel::Major,
@@ -505,7 +582,7 @@ mod tests {
         let report = fds
             .upgrade_detector(
                 &g,
-                &mut reg,
+                &reg,
                 &mut index,
                 "tennis",
                 RevisionLevel::Major,
@@ -561,7 +638,7 @@ mod tests {
 
         let fds = Fds::new(&g);
         reg.reset_counts();
-        let report = fds.heal_detector(&g, &mut reg, &mut index, "tennis").unwrap();
+        let report = fds.heal_detector(&g, &reg, &mut index, "tennis").unwrap();
         assert_eq!(report.objects_reparsed, 1);
         assert_eq!(report.objects_untouched, 1);
         // header and segment were reused from the stored tree.
@@ -600,13 +677,13 @@ mod tests {
         reg.reset_counts();
         // Object 0 changed on the web; object 1 did not.
         let touched = fds
-            .refresh_source(&g, &mut reg, &mut index, "http://x/video0.mpg", |s| {
+            .refresh_source(&g, &reg, &mut index, "http://x/video0.mpg", |s| {
                 !s.contains("video0")
             })
             .unwrap();
         assert!(touched);
         let untouched = fds
-            .refresh_source(&g, &mut reg, &mut index, "http://x/video1.mpg", |s| {
+            .refresh_source(&g, &reg, &mut index, "http://x/video1.mpg", |s| {
                 !s.contains("video0")
             })
             .unwrap();

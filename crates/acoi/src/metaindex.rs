@@ -127,6 +127,15 @@ impl MetaIndex {
         Ok(())
     }
 
+    /// Rejected-with-cause node counts per symbol across all stored
+    /// trees — the per-detector heal backlog. Reads only the `rejected`
+    /// attribute relations (no tree reconstruction), so it stays cheap
+    /// at metrics-scrape time and is correct straight after a recovery
+    /// from snapshot.
+    pub fn heal_backlog(&mut self) -> std::collections::BTreeMap<String, usize> {
+        self.store.rejected_counts()
+    }
+
     /// Whether any stored tree can contain symbol `name`, judged from
     /// the path summary (cheap pre-filter before loading trees).
     pub fn any_path_mentions(&self, name: &str) -> bool {
@@ -191,6 +200,25 @@ mod tests {
         assert!(!idx.contains("s"));
         assert!(idx.tree(&g, "s").is_err());
         assert!(idx.sources().is_empty());
+    }
+
+    #[test]
+    fn heal_backlog_counts_rejected_nodes_and_survives_restore() {
+        let mut idx = MetaIndex::new();
+        let mut t = sample_tree();
+        let root = t.root().unwrap();
+        let seg = t.add(Some(root), "segment", PNodeKind::Detector);
+        t.set_rejected(seg, "rpc down");
+        idx.insert("s", vec![], &t).unwrap();
+        assert_eq!(idx.heal_backlog().get("segment"), Some(&1));
+        // The backlog is derived from the attribute relations, so it is
+        // correct on a restored snapshot without any replay bookkeeping.
+        let bytes = idx.store().snapshot().unwrap();
+        let mut restored = MetaIndex::from_store(XmlStore::restore(&bytes).unwrap(), |_| vec![]);
+        assert_eq!(restored.heal_backlog().get("segment"), Some(&1));
+        // Replacing with a healed tree drains it.
+        idx.insert("s", vec![], &sample_tree()).unwrap();
+        assert!(idx.heal_backlog().is_empty());
     }
 
     #[test]

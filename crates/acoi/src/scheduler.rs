@@ -74,7 +74,7 @@ impl Scheduler {
     /// wins (a major upgrade subsumes a pending minor one).
     pub fn submit(
         &mut self,
-        registry: &mut DetectorRegistry,
+        registry: &DetectorRegistry,
         detector: &str,
         level: RevisionLevel,
         new_impl: DetectorFn,
@@ -174,7 +174,7 @@ impl Scheduler {
     pub fn step(
         &mut self,
         grammar: &Grammar,
-        registry: &mut DetectorRegistry,
+        registry: &DetectorRegistry,
         index: &mut MetaIndex,
     ) -> Result<Option<MaintenanceReport>> {
         let Some(task) = self.high.pop_front().or_else(|| self.low.pop_front()) else {
@@ -196,7 +196,7 @@ impl Scheduler {
     pub fn drain(
         &mut self,
         grammar: &Grammar,
-        registry: &mut DetectorRegistry,
+        registry: &DetectorRegistry,
         index: &mut MetaIndex,
     ) -> Result<Vec<MaintenanceReport>> {
         let mut out = Vec::new();
@@ -283,10 +283,10 @@ mod tests {
 
     #[test]
     fn corrections_are_not_enqueued() {
-        let (grammar, mut reg, _) = setup();
+        let (grammar, reg, _) = setup();
         let mut sched = Scheduler::new(&grammar);
         let p = sched
-            .submit(&mut reg, "tennis", RevisionLevel::Correction, new_tennis(1.0))
+            .submit(&reg, "tennis", RevisionLevel::Correction, new_tennis(1.0))
             .unwrap();
         assert_eq!(p, Priority::None);
         assert!(sched.pending().is_empty());
@@ -294,10 +294,10 @@ mod tests {
 
     #[test]
     fn minor_revision_defers_data_stays_queryable() {
-        let (grammar, mut reg, mut index) = setup();
+        let (grammar, reg, mut index) = setup();
         let mut sched = Scheduler::new(&grammar);
         sched
-            .submit(&mut reg, "tennis", RevisionLevel::Minor, new_tennis(100.0))
+            .submit(&reg, "tennis", RevisionLevel::Minor, new_tennis(100.0))
             .unwrap();
         assert_eq!(sched.pending().len(), 1);
         // Data is stale but usable: no source is unusable.
@@ -310,7 +310,7 @@ mod tests {
         let np = tree.find_all("netplay")[0];
         assert_eq!(tree.value(np), Some(&FeatureValue::Bit(false)));
         // Processing the queue updates it.
-        let report = sched.step(&grammar, &mut reg, &mut index).unwrap().unwrap();
+        let report = sched.step(&grammar, &reg, &mut index).unwrap().unwrap();
         assert_eq!(report.objects_reparsed, 3);
         let tree = index.tree(&grammar, "http://x/v0.mpg").unwrap();
         let np = tree.find_all("netplay")[0];
@@ -320,16 +320,16 @@ mod tests {
 
     #[test]
     fn major_revisions_block_queries_and_run_first() {
-        let (grammar, mut reg, mut index) = setup();
+        let (grammar, reg, mut index) = setup();
         let mut sched = Scheduler::new(&grammar);
         // An older minor revision of tennis is pending…
         sched
-            .submit(&mut reg, "tennis", RevisionLevel::Minor, new_tennis(100.0))
+            .submit(&reg, "tennis", RevisionLevel::Minor, new_tennis(100.0))
             .unwrap();
         // …then segment changes at major level.
         sched
             .submit(
-                &mut reg,
+                &reg,
                 "segment",
                 RevisionLevel::Major,
                 Box::new(|_| {
@@ -349,14 +349,14 @@ mod tests {
         // The major task runs first.
         let pending: Vec<&str> = sched.pending().iter().map(|t| t.detector.as_str()).collect();
         assert_eq!(pending, vec!["segment", "tennis"]);
-        sched.step(&grammar, &mut reg, &mut index).unwrap().unwrap();
+        sched.step(&grammar, &reg, &mut index).unwrap().unwrap();
         assert!(sched
             .unusable_sources(&grammar, &mut index)
             .unwrap()
             .is_empty());
         // The minor tennis task remains, then drains.
         assert_eq!(sched.pending().len(), 1);
-        let reports = sched.drain(&grammar, &mut reg, &mut index).unwrap();
+        let reports = sched.drain(&grammar, &reg, &mut index).unwrap();
         assert_eq!(reports.len(), 1);
     }
 
@@ -390,7 +390,7 @@ mod tests {
 
         // Tennis recovers, the queue drains, the hole is filled.
         reg.register("tennis", Version::new(1, 0, 0), new_tennis(150.0));
-        let report = sched.step(&grammar, &mut reg, &mut index).unwrap().unwrap();
+        let report = sched.step(&grammar, &reg, &mut index).unwrap().unwrap();
         assert_eq!(report.objects_reparsed, 1);
         assert_eq!(report.objects_untouched, 3);
         let tree = index.tree(&grammar, url).unwrap();
@@ -401,20 +401,20 @@ mod tests {
 
     #[test]
     fn resubmission_keeps_the_strongest_level() {
-        let (grammar, mut reg, mut index) = setup();
+        let (grammar, reg, mut index) = setup();
         let mut sched = Scheduler::new(&grammar);
         sched
-            .submit(&mut reg, "tennis", RevisionLevel::Major, new_tennis(100.0))
+            .submit(&reg, "tennis", RevisionLevel::Major, new_tennis(100.0))
             .unwrap();
         // A later minor revision must not downgrade the pending major.
         sched
-            .submit(&mut reg, "tennis", RevisionLevel::Minor, new_tennis(90.0))
+            .submit(&reg, "tennis", RevisionLevel::Minor, new_tennis(90.0))
             .unwrap();
         let pending = sched.pending();
         assert_eq!(pending.len(), 1);
         assert_eq!(pending[0].level, RevisionLevel::Major);
         assert_eq!(pending[0].priority, Priority::High);
-        let report = sched.step(&grammar, &mut reg, &mut index).unwrap().unwrap();
+        let report = sched.step(&grammar, &reg, &mut index).unwrap().unwrap();
         // The newest implementation (yPos 90) is the one applied.
         assert!(report.objects_reparsed > 0);
         let tree = index.tree(&grammar, "http://x/v0.mpg").unwrap();

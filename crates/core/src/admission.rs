@@ -618,6 +618,43 @@ impl QueryService {
         drop(permit);
         outcome
     }
+
+    /// Upgrades a detector as a *background* maintenance job: the
+    /// engine lock is taken only twice, briefly — once to begin (pin
+    /// the epoch, snapshot the trees, install the new implementation)
+    /// and once to cut over (or roll back). The expensive re-parsing
+    /// in between runs off-lock, admitted through the gate in the
+    /// `Batch` class, while interactive queries keep serving exact
+    /// answers against the pinned epoch.
+    pub fn upgrade_detector_online(
+        &self,
+        detector: &str,
+        level: acoi::RevisionLevel,
+        new_impl: acoi::DetectorFn,
+    ) -> Result<acoi::MaintenanceReport> {
+        let mut job = self.engine().begin_upgrade(detector, level, new_impl)?;
+        match job.run() {
+            Ok(()) => self.engine().commit_maintenance(job),
+            Err(e) => {
+                self.engine().abort_maintenance(job)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Heals a detector's rejected-with-cause backlog as a background
+    /// maintenance job — same two-brief-locks protocol as
+    /// [`QueryService::upgrade_detector_online`].
+    pub fn heal_detector_online(&self, detector: &str) -> Result<acoi::MaintenanceReport> {
+        let mut job = self.engine().begin_heal(detector)?;
+        match job.run() {
+            Ok(()) => self.engine().commit_maintenance(job),
+            Err(e) => {
+                self.engine().abort_maintenance(job)?;
+                Err(e)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ use crate::admission::{
     AdmissionConfig, AdmissionGate, OverloadLevel, OverloadStatus, QueryOutcome,
 };
 use crate::error::{Error, PartialProgress, Result};
+use crate::maintenance::{MaintenanceJob, MaintenanceKind};
 use crate::persist::{
     self, Manifest, RecoveryReport, MANIFEST, MANIFEST_PREV, WAL_DIR,
 };
@@ -140,7 +141,11 @@ pub struct Engine {
     schema: WebspaceSchema,
     retriever: Retriever,
     grammar: Grammar,
-    registry: DetectorRegistry,
+    /// Shared with background maintenance jobs, which install upgraded
+    /// implementations through its interior locks while the engine
+    /// keeps serving (foreground queries never execute detectors, so
+    /// the early swap cannot change an answer).
+    registry: Arc<DetectorRegistry>,
     webspace: WebspaceIndex,
     /// Conceptual data as stored XML (the physical level's view store).
     views: XmlStore,
@@ -211,6 +216,11 @@ struct EngineMetrics {
     monet_bytes_resident: obs::Gauge,
     monet_dict_entries: obs::Gauge,
     monet_dict_hit_ratio: obs::Gauge,
+    /// Per-detector heal-backlog gauges (`engine_heal_backlog`),
+    /// registered on first sight of a detector and re-stamped at every
+    /// meta-index mutation point (the backlog cannot change between
+    /// mutations, and the scan needs mutable store access).
+    heal_backlog: HashMap<String, obs::Gauge>,
 }
 
 impl EngineMetrics {
@@ -286,6 +296,7 @@ impl EngineMetrics {
                 "monet_dict_hit_ratio",
                 "Dictionary intern hit ratio, in per-mille (987 = 98.7% of interns were repeats)",
             ),
+            heal_backlog: HashMap::new(),
         }
     }
 }
@@ -506,7 +517,7 @@ impl Engine {
             schema: config.schema,
             retriever: config.retriever,
             grammar,
-            registry: config.registry,
+            registry: Arc::new(config.registry),
             views: XmlStore::new(),
             text,
             meta: MetaIndex::new(),
@@ -942,6 +953,7 @@ impl Engine {
             }
         }
         self.refresh_gauges();
+        self.refresh_heal_backlog();
     }
 
     /// The engine's observability handle (disabled unless
@@ -992,6 +1004,38 @@ impl Engine {
         m.monet_dict_entries.set(dict.entries as i64);
         m.monet_dict_hit_ratio
             .set((dict.hit_ratio() * 1000.0).round() as i64);
+    }
+
+    /// Re-stamps the `engine_heal_backlog{detector=…}` gauge family
+    /// from the stored trees' rejected-node relations. Called at every
+    /// meta-index mutation point (populate, maintenance commit, source
+    /// refresh) and from [`Engine::set_obs`] rather than at scrape
+    /// time: the backlog only changes when stored trees do, and the
+    /// relation scan needs mutable store access (lazily opened
+    /// snapshots materialize relations on first touch).
+    fn refresh_heal_backlog(&mut self) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let backlog = self.meta.heal_backlog();
+        let Some(reg) = self.obs.registry() else { return };
+        let Some(m) = self.metrics.as_mut() else { return };
+        for gauge in m.heal_backlog.values() {
+            gauge.set(0);
+        }
+        for (detector, count) in backlog {
+            m.heal_backlog
+                .entry(detector.clone())
+                .or_insert_with(|| {
+                    reg.labeled_gauge(
+                        "engine_heal_backlog",
+                        "Rejected-with-cause nodes awaiting a heal, per detector",
+                        "detector",
+                        &detector,
+                    )
+                })
+                .set(count as i64);
+        }
     }
 
     /// Every registered metric — this engine's and every layer's — in
@@ -1253,6 +1297,7 @@ impl Engine {
             m.media_analyzed.add(report.media_analyzed as u64);
             m.detector_calls.add(report.detector_calls as u64);
         }
+        self.refresh_heal_backlog();
         Ok(report)
     }
 
@@ -1864,55 +1909,240 @@ impl Engine {
             .fds
             .refresh_source(
                 &self.grammar,
-                &mut self.registry,
+                &self.registry,
                 &mut self.meta,
                 source,
                 still_valid,
             )
             .map_err(Error::Acoi)?;
         self.sync_wal()?;
+        self.refresh_heal_backlog();
         Ok(refreshed)
     }
 
     /// Installs a new detector implementation and incrementally
-    /// maintains the meta-index (the FDS path).
+    /// maintains the meta-index (the FDS path), synchronously: begin,
+    /// run and cutover all happen under this `&mut self` borrow. The
+    /// online variant is [`crate::QueryService::upgrade_detector_online`].
     pub fn upgrade_detector(
         &mut self,
         detector: &str,
         level: RevisionLevel,
         new_impl: acoi::DetectorFn,
     ) -> Result<MaintenanceReport> {
-        self.media_cache.clear();
-        self.query_cache.clear();
-        let maintained = self
-            .fds
-            .upgrade_detector(
-                &self.grammar,
-                &mut self.registry,
-                &mut self.meta,
-                detector,
-                level,
-                new_impl,
-            )
-            .map_err(Error::Acoi)?;
-        self.sync_wal()?;
-        Ok(maintained)
+        let mut job =
+            self.begin_maintenance(detector, MaintenanceKind::Upgrade { level }, Some(new_impl), false)?;
+        match job.run() {
+            Ok(()) => self.commit_maintenance(job),
+            Err(e) => {
+                self.abort_maintenance(job)?;
+                Err(e)
+            }
+        }
     }
 
     /// Re-parses every analysed object whose stored tree carries
     /// rejected-with-cause holes left by an unavailable `detector` —
     /// the low-priority heal the scheduler queues when a circuit breaks.
     /// Healthy detector results are reused from the harvest cache, so a
-    /// heal costs only the calls the outage originally skipped.
+    /// heal costs only the calls the outage originally skipped. Runs
+    /// synchronously; the online variant is
+    /// [`crate::QueryService::heal_detector_online`].
     pub fn heal_detector(&mut self, detector: &str) -> Result<MaintenanceReport> {
-        self.media_cache.clear();
-        self.query_cache.clear();
-        let healed = self
-            .fds
-            .heal_detector(&self.grammar, &mut self.registry, &mut self.meta, detector)
-            .map_err(Error::Acoi)?;
+        let mut job = self.begin_maintenance(detector, MaintenanceKind::Heal, None, false)?;
+        match job.run() {
+            Ok(()) => self.commit_maintenance(job),
+            Err(e) => {
+                self.abort_maintenance(job)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Begins a *background* detector upgrade: installs `new_impl`
+    /// (keeping the old pair for rollback), pins the current meta
+    /// epoch and snapshots the stored trees — a brief borrow. Drive
+    /// the returned job with [`MaintenanceJob::run`] off the engine
+    /// (queries keep serving), then cut over with
+    /// [`Engine::commit_maintenance`] or roll back with
+    /// [`Engine::abort_maintenance`].
+    pub fn begin_upgrade(
+        &mut self,
+        detector: &str,
+        level: RevisionLevel,
+        new_impl: acoi::DetectorFn,
+    ) -> Result<MaintenanceJob> {
+        self.begin_maintenance(
+            detector,
+            MaintenanceKind::Upgrade { level },
+            Some(new_impl),
+            true,
+        )
+    }
+
+    /// Begins a background heal of `detector` (see
+    /// [`Engine::begin_upgrade`] for the job protocol). Heals swap no
+    /// implementation, so aborting one is free.
+    pub fn begin_heal(&mut self, detector: &str) -> Result<MaintenanceJob> {
+        self.begin_maintenance(detector, MaintenanceKind::Heal, None, true)
+    }
+
+    /// The shared begin: captures everything the job needs so `run`
+    /// never touches the engine. `gated` jobs additionally carry the
+    /// admission gate (Batch-class permits, Brownout pauses) and the
+    /// fault plan; the synchronous legacy paths run ungated and
+    /// uninjected, exactly as they always did.
+    fn begin_maintenance(
+        &mut self,
+        detector: &str,
+        kind: MaintenanceKind,
+        new_impl: Option<acoi::DetectorFn>,
+        gated: bool,
+    ) -> Result<MaintenanceJob> {
+        let plan = match kind {
+            MaintenanceKind::Upgrade { level } => self.fds.plan(&self.grammar, detector, level),
+            MaintenanceKind::Heal => Fds::heal_plan(detector),
+        };
+        let (rollback, new_version) = match (kind, new_impl) {
+            (MaintenanceKind::Upgrade { level }, Some(new_impl)) => {
+                let old_version = self.registry.version(detector).ok_or_else(|| {
+                    Error::Acoi(acoi::Error::UnregisteredDetector(detector.to_owned()))
+                })?;
+                let new_version = old_version.bumped(level);
+                let old = self
+                    .registry
+                    .replace(detector, new_version, new_impl)
+                    .map_err(Error::Acoi)?;
+                (Some(old), Some(new_version))
+            }
+            _ => (None, None),
+        };
+        let snapshot = self.meta.store().snapshot()?;
+        let initial: HashMap<String, Vec<Token>> = self
+            .meta
+            .sources()
+            .iter()
+            .map(|s| {
+                let tokens = self
+                    .meta
+                    .initial_tokens(s)
+                    .map(<[Token]>::to_vec)
+                    .unwrap_or_default();
+                (s.clone(), tokens)
+            })
+            .collect();
+        Ok(MaintenanceJob::new(
+            detector.to_owned(),
+            kind,
+            plan,
+            self.meta.store().epoch(),
+            snapshot,
+            initial,
+            self.grammar.clone(),
+            Arc::clone(&self.registry),
+            rollback,
+            new_version,
+            if gated { self.faults_plan.clone() } else { None },
+            if gated { Some(Arc::clone(&self.admission)) } else { None },
+            self.obs.clone(),
+        ))
+    }
+
+    /// Epoch-consistent cutover of a finished job: under this borrow
+    /// (the same mutex every query serializes on) the pinned epoch is
+    /// re-checked, every delta is applied, and the caches are
+    /// invalidated — conditionally: a job that re-parsed nothing
+    /// provably left the store unchanged, so cached answers stay. A
+    /// stale job (the live store moved past the pinned epoch) is
+    /// rolled back and refused with [`Error::MaintenanceStale`].
+    pub fn commit_maintenance(&mut self, job: MaintenanceJob) -> Result<MaintenanceReport> {
+        if self.meta.store().epoch() != job.pinned_meta_epoch {
+            let detector = job.detector.clone();
+            self.abort_maintenance(job)?;
+            return Err(Error::MaintenanceStale { detector });
+        }
+        let mut span = self.obs.span("engine.maintenance.commit");
+        let MaintenanceJob {
+            kind,
+            plan,
+            deltas,
+            objects_reparsed,
+            objects_untouched,
+            detector_calls,
+            detector_calls_saved,
+            started,
+            ..
+        } = job;
+        for (source, initial, tree) in deltas {
+            self.meta.insert(&source, initial, &tree).map_err(Error::Acoi)?;
+            self.media_cache.remove(&source);
+        }
+        if objects_reparsed > 0 {
+            // Answers may combine several sources, so any reparse
+            // invalidates the whole answer cache. Zero reparses — a
+            // correction bump, a heal with no backlog — leave both
+            // caches (and the store epoch) untouched.
+            self.query_cache.clear();
+        }
         self.sync_wal()?;
-        Ok(healed)
+        span.add_work(objects_reparsed as u64);
+        drop(span);
+        if let Some(reg) = self.obs.registry() {
+            reg.labeled_counter(
+                "engine_maintenance_jobs_total",
+                "Maintenance jobs committed, by upgrade kind",
+                "kind",
+                kind.label(),
+            )
+            .inc();
+            reg.counter(
+                "engine_maintenance_objects_reparsed_total",
+                "Stored parse trees replaced by maintenance jobs",
+            )
+            .add(objects_reparsed as u64);
+            reg.counter(
+                "engine_maintenance_detector_calls_total",
+                "Detector executions spent in maintenance jobs",
+            )
+            .add(detector_calls as u64);
+            reg.counter(
+                "engine_maintenance_detector_calls_saved_total",
+                "Detector executions avoided by harvesting stored results",
+            )
+            .add(detector_calls_saved as u64);
+            if let Some(begun) = started {
+                reg.histogram(
+                    "engine_maintenance_wall_seconds",
+                    "Wall time from job begin to committed cutover",
+                    obs::DEFAULT_TIME_BUCKETS,
+                )
+                .observe(begun.elapsed().as_secs_f64());
+            }
+        }
+        self.refresh_heal_backlog();
+        Ok(MaintenanceReport {
+            plan,
+            objects_reparsed,
+            objects_untouched,
+            detector_calls,
+            detector_calls_saved,
+        })
+    }
+
+    /// Aborts a job: reinstalls the pre-upgrade detector implementation
+    /// (if one was swapped at begin) and drops the job's private copy.
+    /// The live store was never touched, so afterwards the engine is
+    /// byte-identical to one where the job never began.
+    pub fn abort_maintenance(&mut self, job: MaintenanceJob) -> Result<()> {
+        if let Some((version, run)) = job.rollback {
+            // The swapped-out pair is the aborted upgrade's new
+            // implementation; dropping it is the point.
+            let _aborted_impl = self
+                .registry
+                .replace(&job.detector, version, run)
+                .map_err(Error::Acoi)?;
+        }
+        Ok(())
     }
 }
 

@@ -64,6 +64,24 @@ pub enum Error {
         /// Which budget dimension ran out.
         cause: faults::BudgetExceeded,
     },
+    /// A background maintenance job could not commit: the live
+    /// meta-index advanced past the epoch the job pinned at begin
+    /// (something else mutated stored trees mid-job). The store is
+    /// untouched and the detector registry rolled back; re-running the
+    /// job against the new epoch is safe.
+    MaintenanceStale {
+        /// The detector the stale job was maintaining.
+        detector: String,
+    },
+    /// A background maintenance job died mid-run (an injected fault or
+    /// a failed re-parse). The live store is untouched; aborting the
+    /// job rolls the registry back to the pre-job implementation.
+    Maintenance {
+        /// The detector the failed job was maintaining.
+        detector: String,
+        /// What killed the job.
+        cause: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -85,6 +103,13 @@ impl fmt::Display for Error {
             ),
             Error::DeadlineExceeded { partial, cause } => {
                 write!(f, "query budget expired ({cause}) in the {partial}")
+            }
+            Error::MaintenanceStale { detector } => write!(
+                f,
+                "maintenance of `{detector}` is stale: the meta-index moved past the pinned epoch"
+            ),
+            Error::Maintenance { detector, cause } => {
+                write!(f, "maintenance of `{detector}` failed: {cause}")
             }
         }
     }

@@ -55,6 +55,7 @@ pub mod admission;
 pub mod ausopen;
 pub mod engine;
 pub mod error;
+pub mod maintenance;
 pub mod persist;
 pub mod qlang;
 pub mod query;
@@ -69,6 +70,7 @@ pub use engine::{
     TextQueryStatus,
 };
 pub use error::{Error, PartialProgress, Result};
+pub use maintenance::{MaintenanceJob, MaintenanceKind};
 pub use persist::RecoveryReport;
 pub use query::{EngineHit, EngineQuery, MediaPredicate, TextPredicate};
 pub use shots::{video_shots, ShotMeta};

@@ -1,0 +1,336 @@
+//! Online maintenance: detector upgrades and circuit-breaker heals
+//! that run as background jobs while the engine keeps serving.
+//!
+//! The read path and the maintenance path are split. A job begins
+//! under a brief engine borrow ([`crate::Engine::begin_upgrade`] /
+//! [`crate::Engine::begin_heal`]): it pins the meta-index epoch,
+//! captures a snapshot of the stored parse trees, and — for upgrades —
+//! installs the new detector implementation in the shared registry,
+//! keeping the old `(version, impl)` pair for rollback. The engine is
+//! then free: interactive queries keep answering from the live,
+//! epoch-pinned store (foreground queries never execute detectors, so
+//! the early registry swap cannot change an answer).
+//!
+//! [`MaintenanceJob::run`] does the expensive work off-lock, against a
+//! private restore of the pinned snapshot: it re-parses exactly the
+//! objects the invalidation plan touches and collects the new trees as
+//! *deltas*. Background jobs are admitted through the
+//! [`crate::AdmissionGate`] in the `Batch` class, one permit per chunk
+//! of objects, so the overload ladder can pause (Brownout) or refuse
+//! (Shedding) maintenance whenever interactive traffic needs the
+//! capacity — the interference bound is the one Batch slot a chunk
+//! occupies.
+//!
+//! Cutover is epoch-consistent: [`crate::Engine::commit_maintenance`]
+//! re-checks the pinned epoch under the engine borrow and applies every
+//! delta in one critical section, so in-flight queries see either the
+//! old store or the new one, never a half-upgraded mix. A job that
+//! dies mid-run (injected fault, failed re-parse) is aborted instead:
+//! [`crate::Engine::abort_maintenance`] swaps the old implementation
+//! back and drops the private copy, leaving the live store
+//! byte-identical to never-ran.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acoi::{
+    DetectorFn, DetectorRegistry, Fds, MetaIndex, ParseTree, RevisionLevel, Token, Version,
+};
+use acoi::fds::InvalidationPlan;
+use faults::{FaultAction, FaultPlan};
+use feagram::Grammar;
+use monetxml::XmlStore;
+
+use crate::admission::{AdmissionGate, OverloadLevel, Permit, Priority};
+use crate::error::{Error, Result};
+
+/// What a maintenance job is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceKind {
+    /// A detector implementation upgrade at some revision level.
+    Upgrade {
+        /// The revision level of the new implementation.
+        level: RevisionLevel,
+    },
+    /// A heal: re-parse objects whose stored trees carry
+    /// rejected-with-cause holes left by a detector outage.
+    Heal,
+}
+
+impl MaintenanceKind {
+    /// The metric label of this kind
+    /// (`correction` / `minor` / `major` / `heal`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            MaintenanceKind::Upgrade { level: RevisionLevel::Correction } => "correction",
+            MaintenanceKind::Upgrade { level: RevisionLevel::Minor } => "minor",
+            MaintenanceKind::Upgrade { level: RevisionLevel::Major } => "major",
+            MaintenanceKind::Heal => "heal",
+        }
+    }
+}
+
+/// Objects re-parsed per Batch admission. Each chunk holds one gate
+/// permit, so this is the unit of interference maintenance can cause
+/// before the ladder gets a chance to push back again.
+const ADMIT_CHUNK: usize = 4;
+
+/// How long a gated job waits out a Brownout before giving up
+/// (`2000 × 1ms`); Brownout is interactive traffic asking for the
+/// capacity, so maintenance pauses rather than competes.
+const MAX_BROWNOUT_PAUSES: usize = 2000;
+const BROWNOUT_PAUSE: Duration = Duration::from_millis(1);
+
+/// Admission retries after a typed `Overloaded` rejection before the
+/// job reports itself as starved.
+const MAX_ADMIT_RETRIES: usize = 50;
+const MAX_RETRY_SLEEP: Duration = Duration::from_millis(10);
+
+/// One in-flight background maintenance job. Created by
+/// [`crate::Engine::begin_upgrade`] / [`crate::Engine::begin_heal`],
+/// driven by [`MaintenanceJob::run`] (no engine access needed), then
+/// handed back to [`crate::Engine::commit_maintenance`] or
+/// [`crate::Engine::abort_maintenance`].
+pub struct MaintenanceJob {
+    pub(crate) detector: String,
+    pub(crate) kind: MaintenanceKind,
+    pub(crate) plan: InvalidationPlan,
+    /// Meta-store epoch at begin; commit refuses to cut over when the
+    /// live store moved past it.
+    pub(crate) pinned_meta_epoch: u64,
+    /// Snapshot of the meta store at begin — the job's private epoch.
+    snapshot: Vec<u8>,
+    /// Initial token sets of every source at begin (the store snapshot
+    /// does not record them).
+    initial: HashMap<String, Vec<Token>>,
+    grammar: Grammar,
+    registry: Arc<DetectorRegistry>,
+    /// The pre-upgrade `(version, impl)` pair, reinstalled on abort.
+    /// `None` for heals (nothing was swapped).
+    pub(crate) rollback: Option<(Version, DetectorFn)>,
+    /// The version installed at begin (upgrades only) — part of the
+    /// fault-injection label, so chaos schedules can target one
+    /// specific upgrade cycle.
+    new_version: Option<Version>,
+    /// Re-parsed trees awaiting cutover, in source order.
+    pub(crate) deltas: Vec<(String, Vec<Token>, ParseTree)>,
+    pub(crate) objects_reparsed: usize,
+    pub(crate) objects_untouched: usize,
+    pub(crate) detector_calls: usize,
+    pub(crate) detector_calls_saved: usize,
+    /// Fault plan consulted once per object (background jobs only; the
+    /// synchronous legacy paths never had injection here).
+    faults: Option<Arc<FaultPlan>>,
+    /// The admission gate, present iff the job runs gated (background).
+    gate: Option<Arc<AdmissionGate>>,
+    obs: obs::Obs,
+    /// Begin time, taken only when observability is enabled (disabled
+    /// engines must stay clock-free and byte-identical).
+    pub(crate) started: Option<Instant>,
+    /// Batch permits this job was granted.
+    pub(crate) batch_admissions: u64,
+}
+
+impl MaintenanceJob {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        detector: String,
+        kind: MaintenanceKind,
+        plan: InvalidationPlan,
+        pinned_meta_epoch: u64,
+        snapshot: Vec<u8>,
+        initial: HashMap<String, Vec<Token>>,
+        grammar: Grammar,
+        registry: Arc<DetectorRegistry>,
+        rollback: Option<(Version, DetectorFn)>,
+        new_version: Option<Version>,
+        faults: Option<Arc<FaultPlan>>,
+        gate: Option<Arc<AdmissionGate>>,
+        obs: obs::Obs,
+    ) -> MaintenanceJob {
+        let started = if obs.is_enabled() { Some(Instant::now()) } else { None };
+        MaintenanceJob {
+            detector,
+            kind,
+            plan,
+            pinned_meta_epoch,
+            snapshot,
+            initial,
+            grammar,
+            registry,
+            rollback,
+            new_version,
+            deltas: Vec::new(),
+            objects_reparsed: 0,
+            objects_untouched: 0,
+            detector_calls: 0,
+            detector_calls_saved: 0,
+            faults,
+            gate,
+            obs,
+            started,
+            batch_admissions: 0,
+        }
+    }
+
+    /// The detector this job maintains.
+    pub fn detector(&self) -> &str {
+        &self.detector
+    }
+
+    /// What the job is doing.
+    pub fn kind(&self) -> MaintenanceKind {
+        self.kind
+    }
+
+    /// Re-parsed objects collected so far (deltas awaiting cutover).
+    pub fn delta_count(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Batch-class gate permits this job was granted (0 for ungated
+    /// legacy jobs) — the proof that its work was admitted as
+    /// background traffic.
+    pub fn batch_admissions(&self) -> u64 {
+        self.batch_admissions
+    }
+
+    /// The fault-injection label this job consults once per object:
+    /// `maintenance:<detector>:<new-version>` for upgrades,
+    /// `maintenance:<detector>:heal` for heals.
+    pub fn fault_label(&self) -> String {
+        match self.new_version {
+            Some(v) => format!("maintenance:{}:{v}", self.detector),
+            None => format!("maintenance:{}:heal", self.detector),
+        }
+    }
+
+    /// Does the expensive half of the job, entirely off the engine:
+    /// restores the pinned snapshot into a private meta-index, walks
+    /// every source the plan touches (one Batch permit per
+    /// [`ADMIT_CHUNK`] when gated), and collects the re-parsed trees
+    /// as deltas. On any error the job is dead — hand it to
+    /// [`crate::Engine::abort_maintenance`]; the live store was never
+    /// touched.
+    pub fn run(&mut self) -> Result<()> {
+        let mut span = self.obs.span("engine.maintenance");
+        let out = self.run_inner(&mut span);
+        if out.is_err() {
+            span.set_outcome(obs::Outcome::Rejected);
+        }
+        out
+    }
+
+    fn run_inner(&mut self, span: &mut obs::Span) -> Result<()> {
+        let store = XmlStore::restore(&self.snapshot)?;
+        self.snapshot = Vec::new();
+        let initial = std::mem::take(&mut self.initial);
+        let mut index =
+            MetaIndex::from_store(store, |s| initial.get(s).cloned().unwrap_or_default());
+        let sources: Vec<String> = index.sources().to_vec();
+
+        // Corrections invalidate nothing: the version bump installed at
+        // begin is the whole job.
+        if self.plan.priority == acoi::fds::Priority::None {
+            self.objects_untouched = sources.len();
+            return Ok(());
+        }
+
+        let fds = Fds::new(&self.grammar);
+        let stale: BTreeSet<String> = self.plan.stale_symbols();
+        for chunk in sources.chunks(ADMIT_CHUNK) {
+            let _permit = self.admit_batch()?;
+            for source in chunk {
+                self.consult_faults(source)?;
+                let done = match self.kind {
+                    MaintenanceKind::Upgrade { .. } => fds.reparse_object(
+                        &self.grammar,
+                        &self.registry,
+                        &mut index,
+                        source,
+                        &self.detector,
+                        &stale,
+                    ),
+                    MaintenanceKind::Heal => fds.heal_object(
+                        &self.grammar,
+                        &self.registry,
+                        &mut index,
+                        source,
+                        &self.detector,
+                    ),
+                }
+                .map_err(|e| Error::Maintenance {
+                    detector: self.detector.clone(),
+                    cause: e.to_string(),
+                })?;
+                match done {
+                    None => self.objects_untouched += 1,
+                    Some(done) => {
+                        self.detector_calls += done.detector_calls;
+                        self.detector_calls_saved += done.detector_calls_saved;
+                        // Keep the private copy current too, so the
+                        // job's view stays a consistent next epoch.
+                        index
+                            .insert(source, done.initial.clone(), &done.tree)
+                            .map_err(Error::Acoi)?;
+                        self.deltas.push((source.clone(), done.initial, done.tree));
+                        self.objects_reparsed += 1;
+                    }
+                }
+                span.add_work(1);
+            }
+        }
+        Ok(())
+    }
+
+    /// One injected-fault consultation per object. A scripted or drawn
+    /// fault kills the job with a typed error — the caller aborts and
+    /// the live store stays byte-identical.
+    fn consult_faults(&self, source: &str) -> Result<()> {
+        let Some(plan) = &self.faults else { return Ok(()) };
+        match plan.decide(&self.fault_label()) {
+            FaultAction::None => Ok(()),
+            action => Err(Error::Maintenance {
+                detector: self.detector.clone(),
+                cause: format!("injected {action:?} fault at `{source}`"),
+            }),
+        }
+    }
+
+    /// Admission of the next chunk. Ungated jobs (the synchronous
+    /// legacy paths, which already hold the engine) skip the gate
+    /// entirely. Gated jobs first wait out any Brownout-or-worse rung
+    /// — maintenance pauses while interactive traffic is distressed —
+    /// then take one `Batch` permit, retrying a bounded number of
+    /// times on a typed `Overloaded` rejection.
+    fn admit_batch(&mut self) -> Result<Option<Permit>> {
+        let Some(gate) = &self.gate else { return Ok(None) };
+        let mut pauses = 0;
+        while gate.level() >= OverloadLevel::Brownout && pauses < MAX_BROWNOUT_PAUSES {
+            std::thread::sleep(BROWNOUT_PAUSE);
+            pauses += 1;
+        }
+        let mut attempts = 0;
+        loop {
+            match gate.admit(Priority::Batch) {
+                Ok(permit) => {
+                    self.batch_admissions += 1;
+                    if let Some(reg) = self.obs.registry() {
+                        reg.counter(
+                            "engine_maintenance_batch_admissions_total",
+                            "Batch-class gate permits granted to maintenance jobs",
+                        )
+                        .inc();
+                    }
+                    return Ok(Some(permit));
+                }
+                Err(Error::Overloaded { retry_after_hint }) if attempts < MAX_ADMIT_RETRIES => {
+                    attempts += 1;
+                    std::thread::sleep(retry_after_hint.min(MAX_RETRY_SLEEP));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

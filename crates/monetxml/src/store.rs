@@ -576,6 +576,33 @@ impl XmlStore {
         Ok(removed)
     }
 
+    /// Counts `rejected` attribute markers across all stored documents,
+    /// grouped by the owning element's label — read straight off the
+    /// per-(path, attribute) relations, without reconstructing a single
+    /// document. This is the heal backlog the maintenance layer reports
+    /// per detector; because it only touches the (tiny) `rejected`
+    /// attribute relations it is cheap enough for metrics-scrape time
+    /// even on a lazily-opened store.
+    pub fn rejected_counts(&mut self) -> std::collections::BTreeMap<String, usize> {
+        let mut out = std::collections::BTreeMap::new();
+        let mut stack = vec![self.summary.root()];
+        while let Some(sum) = stack.pop() {
+            stack.extend(self.summary.children(sum));
+            let Some(rel) = self.summary.attr_relation(sum, "rejected") else {
+                continue;
+            };
+            let rel = rel.to_owned();
+            let label = self.summary.label(sum).to_owned();
+            if let Ok(bat) = self.db.get_mut(&rel) {
+                let n = bat.len();
+                if n > 0 {
+                    *out.entry(label).or_insert(0) += n;
+                }
+            }
+        }
+        out
+    }
+
     /// Serialises the whole store to bytes (the catalog snapshot; the
     /// path summary and document registry are *derived* state, rebuilt
     /// on restore from the relation names and the `sys` relations —

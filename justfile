@@ -15,6 +15,7 @@ verify:
     just obs-smoke
     just distribution-smoke
     just scale-smoke
+    just maintenance-smoke
 
 # Crash-point recovery: the durability harness (WAL + snapshot fault
 # sweeps) plus a smoke pass of the E13 recovery bench.
@@ -52,6 +53,14 @@ obs-smoke:
     cargo test --offline -q -p dlsearch --test observability
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench obs
 
+# Online maintenance: the upgrade-storm chaos suite (epoch-consistent
+# cutover under concurrent serving, fault-killed abort sweep, cache
+# retention) plus a smoke pass of the E18 bench — which itself asserts
+# the Batch-class admission proof.
+maintenance-smoke:
+    cargo test --offline -q -p dlsearch --test online_maintenance
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench online_maintenance
+
 build:
     cargo build --offline
 
@@ -64,8 +73,9 @@ clippy:
 # Perf baselines: E11 (parallel ingestion), E12 (query cache), E13
 # (recovery), E14 (overload), E15 (observability overhead), E16
 # (distribution: scaling, failover, rebalance), E17 (scale +
-# compression). Full runs refresh the BENCH_*.json artifacts in-repo;
-# all emit the shared schema_version=1 envelope.
+# compression), E18 (online maintenance). Full runs refresh the
+# BENCH_*.json artifacts in-repo; all emit the shared schema_version=1
+# envelope.
 bench:
     cargo bench --offline -p bench --bench ingest
     cargo bench --offline -p bench --bench query_cache
@@ -74,6 +84,7 @@ bench:
     cargo bench --offline -p bench --bench obs
     cargo bench --offline -p bench --bench distribution
     cargo bench --offline -p bench --bench scale
+    cargo bench --offline -p bench --bench online_maintenance
 
 # The flagship scenario, healthy and under injected faults.
 demo:

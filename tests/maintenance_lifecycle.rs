@@ -162,7 +162,7 @@ fn scripted_fail_then_recover_detector_heals_after_the_scheduler_drains() {
     let plan = FaultPlan::seeded(0)
         .with_script("rpc:tennis", vec![FaultAction::Error; 3])
         .shared();
-    let mut registry = ausopen::supervised_detectors(Arc::clone(&site), plan);
+    let registry = ausopen::supervised_detectors(Arc::clone(&site), plan);
     let grammar = feagram::parse_grammar(feagram::paper::MEDIA_GRAMMAR).unwrap();
 
     let mut index = MetaIndex::new();
@@ -192,7 +192,7 @@ fn scripted_fail_then_recover_detector_heals_after_the_scheduler_drains() {
     // low-priority heal and drain the scheduler.
     let mut sched = Scheduler::new(&grammar);
     sched.submit_heal("tennis");
-    let reports = sched.drain(&grammar, &mut registry, &mut index).unwrap();
+    let reports = sched.drain(&grammar, &registry, &mut index).unwrap();
     assert_eq!(reports.len(), 1);
     assert_eq!(reports[0].objects_reparsed, 1);
     assert_eq!(reports[0].objects_untouched, 1);

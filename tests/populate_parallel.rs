@@ -3,8 +3,9 @@
 //! in source order — so every store snapshot, report counter and query
 //! answer must be *identical* to the sequential run, for any worker
 //! count, healthy or degraded. Plus the epoch-keyed query cache:
-//! warm answers equal cold ones, and any ingestion or maintenance
-//! invalidates them.
+//! warm answers equal cold ones, ingestion and store-changing
+//! maintenance invalidate them, and provably store-preserving
+//! maintenance retains them.
 
 use std::sync::Arc;
 
@@ -182,7 +183,7 @@ fn query_cache_normalizes_spelling_variants() {
 }
 
 #[test]
-fn maintenance_invalidates_the_query_cache() {
+fn maintenance_invalidates_the_query_cache_only_when_trees_changed() {
     let site = Arc::new(Site::generate(spec()));
     let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
     engine.populate(&crawl(&site)).unwrap();
@@ -192,10 +193,36 @@ fn maintenance_invalidates_the_query_cache() {
     engine.query(&query).unwrap();
     assert_eq!(engine.query_cache_stats(), (1, 1));
 
-    // A heal run (even a no-op one) must clear the cache.
-    engine.heal_detector("segment").unwrap();
+    // A heal that finds nothing to heal re-parses zero objects: the
+    // store is provably unchanged, so the cached answer stays valid
+    // and the cache is retained.
+    let report = engine.heal_detector("segment").unwrap();
+    assert_eq!(report.objects_reparsed, 0);
     engine.query(&query).unwrap();
-    assert_eq!(engine.query_cache_stats(), (1, 2));
+    assert_eq!(engine.query_cache_stats(), (2, 1));
+
+    // A minor revision that actually re-parses trees must still
+    // invalidate: the same query misses and recomputes.
+    let report = engine
+        .upgrade_detector(
+            "tennis",
+            acoi::RevisionLevel::Minor,
+            Box::new(|inputs| {
+                let begin = inputs[1].as_f64().ok_or("no begin")? as i64;
+                Ok(vec![
+                    acoi::Token::new("frameNo", begin),
+                    acoi::Token::new("xPos", 320.0),
+                    acoi::Token::new("yPos", 100.0),
+                    acoi::Token::new("Area", 1000i64),
+                    acoi::Token::new("Ecc", 0.9),
+                    acoi::Token::new("Orient", 90.0),
+                ])
+            }),
+        )
+        .unwrap();
+    assert!(report.objects_reparsed > 0);
+    engine.query(&query).unwrap();
+    assert_eq!(engine.query_cache_stats(), (2, 2));
 }
 
 #[test]
