@@ -1,0 +1,277 @@
+//! The self-healing distribution control plane: the *executing* half
+//! of the policy in [`ir::control`].
+//!
+//! A [`ControlPlane`] wraps a deterministic [`ir::ControlPolicy`] and
+//! drives its decisions against a [`QueryService`], one
+//! [`ControlPlane::tick`] at a time:
+//!
+//! 1. Under a **brief** engine borrow it assembles an
+//!    [`ir::ClusterView`] (shard loads, observed p99, declared-lost
+//!    servers) and asks the policy for a decision. Queries keep serving
+//!    the moment the borrow drops.
+//! 2. A split/merge/re-replication is **admission-gated**: if the
+//!    overload ladder sits at Brownout or worse the decision is
+//!    deferred to a later tick — interactive traffic owns the capacity
+//!    — and every chunk of background work holds one `Batch`-class
+//!    permit, exactly like online maintenance.
+//! 3. **Re-replication** runs in the same two-brief-locks shape as
+//!    maintenance: begin under the lock (snapshot the lost server's
+//!    copies from survivors), rebuild chunk by chunk off-lock
+//!    (consulting the fault plan at `rereplicate:<lost>:<group>`), and
+//!    commit under the lock behind an epoch check. A fault or a stale
+//!    commit aborts with the cluster byte-identical to never-started.
+//! 4. **Split/merge** takes one permit and runs the idf-aware
+//!    rebalancer under the lock (the cutover itself must be atomic);
+//!    success arms the policy's cooldown so a hot interval cannot
+//!    thrash the layout.
+//!
+//! Every decision is counted in `ir_control_decisions_total{action}`
+//! and surfaced by EXPLAIN ANALYZE's `REBALANCE` line. The fault plan
+//! is additionally consulted at `control:<action>` before any side
+//! effect, so chaos schedules can kill a decision at the policy/
+//! mechanism boundary too.
+
+#![deny(clippy::unwrap_used)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use faults::{FaultAction, FaultPlan};
+use ir::{ControlConfig, ControlDecision, ControlPolicy};
+
+use crate::admission::{AdmissionGate, OverloadLevel, Permit, Priority, QueryService};
+use crate::error::{Error, Result};
+
+/// Copies rebuilt per Batch admission during background
+/// re-replication — the control plane's unit of interference, matching
+/// online maintenance's chunk size.
+const ADMIT_CHUNK: usize = 4;
+
+/// How long a gated action waits out a Brownout before giving up.
+const MAX_BROWNOUT_PAUSES: usize = 2000;
+const BROWNOUT_PAUSE: Duration = Duration::from_millis(1);
+
+/// Admission retries after a typed `Overloaded` rejection.
+const MAX_ADMIT_RETRIES: usize = 50;
+const MAX_RETRY_SLEEP: Duration = Duration::from_millis(10);
+
+/// Help string of the decision counter (shared with the pre-seeded
+/// family in `ir`'s metric registration).
+const DECISIONS_HELP: &str = "Control-plane policy decisions, by action";
+
+/// What one [`ControlPlane::tick`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlOutcome {
+    /// The policy saw a healthy, balanced cluster and decided nothing.
+    Idle,
+    /// A decision exists but the admission ladder sits at Brownout or
+    /// worse; it will be re-evaluated on a later tick.
+    Deferred(String),
+    /// The decision was executed; the string says what and why.
+    Acted(String),
+    /// The decision was started but aborted (injected fault, stale
+    /// epoch, rebalance error); the cluster is byte-identical to
+    /// never-started.
+    Aborted(String),
+}
+
+impl ControlOutcome {
+    /// The human-readable description, if the tick did anything.
+    pub fn describe(&self) -> Option<&str> {
+        match self {
+            ControlOutcome::Idle => None,
+            ControlOutcome::Deferred(d)
+            | ControlOutcome::Acted(d)
+            | ControlOutcome::Aborted(d) => Some(d),
+        }
+    }
+}
+
+/// The control loop: a deterministic policy plus the admission-gated,
+/// fault-injectable execution of its decisions.
+pub struct ControlPlane {
+    policy: ControlPolicy,
+    /// Fault plan consulted at `control:<action>` before execution and
+    /// threaded into re-replication steps (`rereplicate:<lost>:<group>`).
+    faults: Option<Arc<FaultPlan>>,
+    obs: obs::Obs,
+}
+
+impl ControlPlane {
+    /// A control plane with the given policy thresholds.
+    pub fn new(cfg: ControlConfig, faults: Option<Arc<FaultPlan>>) -> ControlPlane {
+        ControlPlane {
+            policy: ControlPolicy::new(cfg),
+            faults,
+            obs: obs::Obs::disabled(),
+        }
+    }
+
+    /// Routes the control plane's metrics into `o`'s registry.
+    pub fn set_obs(&mut self, o: &obs::Obs) {
+        self.obs = o.clone();
+    }
+
+    /// The wrapped policy (tick counter, cooldown state).
+    pub fn policy(&self) -> &ControlPolicy {
+        &self.policy
+    }
+
+    /// One control round: observe under a brief engine borrow, decide,
+    /// and execute the decision (if any) behind the admission gate.
+    /// Errors are reserved for broken invariants (poisoned gate,
+    /// storage failure inside a commit); everything expected — faults,
+    /// stale epochs, overload — comes back as a [`ControlOutcome`].
+    pub fn tick(&mut self, svc: &QueryService) -> Result<ControlOutcome> {
+        self.policy.tick();
+        let decision = {
+            let engine = svc.engine();
+            let view = engine.control_view(self.policy.config().loss_threshold);
+            self.policy.evaluate(&view)
+        };
+        let Some(decision) = decision else {
+            return Ok(ControlOutcome::Idle);
+        };
+        let action = decision.action();
+        self.count_decision(action);
+        let describe = format!("{action}: {}", decision.reason());
+        if svc.gate().level() >= OverloadLevel::Brownout {
+            self.count_decision("defer");
+            return Ok(ControlOutcome::Deferred(describe));
+        }
+        // The policy/mechanism boundary is a fault site of its own:
+        // a scripted `control:<action>` fault kills the decision
+        // before any side effect.
+        if let Some(plan) = &self.faults {
+            let label = format!("control:{action}");
+            let delay = plan.decide_delay(&label);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            match plan.decide(&label) {
+                FaultAction::None => {}
+                injected => {
+                    return Ok(ControlOutcome::Aborted(format!(
+                        "{describe} — injected {injected:?} fault before execution \
+                         (cluster untouched)"
+                    )));
+                }
+            }
+        }
+        match decision {
+            ControlDecision::Rereplicate { lost, .. } => {
+                self.run_rereplication(svc, lost, describe)
+            }
+            ControlDecision::Split { target, .. } | ControlDecision::Merge { target, .. } => {
+                self.run_rebalance(svc, target, describe)
+            }
+        }
+    }
+
+    /// Background re-replication, two-brief-locks: begin under the
+    /// engine borrow, rebuild in admission-gated chunks off-lock,
+    /// commit under the borrow behind the epoch check.
+    fn run_rereplication(
+        &mut self,
+        svc: &QueryService,
+        lost: usize,
+        describe: String,
+    ) -> Result<ControlOutcome> {
+        let mut job = match svc.engine().begin_text_rereplication(lost) {
+            Ok(job) => job,
+            Err(e) => return Ok(ControlOutcome::Aborted(format!("{describe} — {e}"))),
+        };
+        let faults = self.faults.as_deref();
+        while !job.is_done() {
+            let _permit = admit_batch(svc.gate(), &self.obs)?;
+            for _ in 0..ADMIT_CHUNK {
+                if job.is_done() {
+                    break;
+                }
+                if let Err(e) = job.step(faults) {
+                    // Dropping the job is the whole abort: the live
+                    // cluster was never touched.
+                    return Ok(ControlOutcome::Aborted(format!("{describe} — {e}")));
+                }
+            }
+        }
+        let mut engine = svc.engine();
+        match engine.commit_text_rereplication(job) {
+            Ok(installed) => {
+                let done = format!("{describe} — rebuilt {installed} cop(ies) onto survivors");
+                engine.note_control_decision(&done);
+                Ok(ControlOutcome::Acted(done))
+            }
+            Err(Error::Ir(ir::Error::RereplicationStale { pinned, current })) => {
+                Ok(ControlOutcome::Aborted(format!(
+                    "{describe} — stale: staged at epoch {pinned}, cluster now at {current}"
+                )))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// A split or merge: one Batch permit, then the idf-aware
+    /// rebalancer under the engine borrow (the cutover is atomic by
+    /// construction). Success arms the policy cooldown; failure leaves
+    /// the policy free to retry next tick.
+    fn run_rebalance(
+        &mut self,
+        svc: &QueryService,
+        target: usize,
+        describe: String,
+    ) -> Result<ControlOutcome> {
+        let _permit = admit_batch(svc.gate(), &self.obs)?;
+        let mut engine = svc.engine();
+        match engine.rebalance_text(target) {
+            Ok(report) => {
+                self.policy.note_layout_change();
+                let done = format!(
+                    "{describe} — rebalanced {} → {} server(s), {} document(s) moved",
+                    report.shards_before, report.shards_after, report.moved_docs
+                );
+                engine.note_control_decision(&done);
+                Ok(ControlOutcome::Acted(done))
+            }
+            Err(e) => Ok(ControlOutcome::Aborted(format!("{describe} — {e}"))),
+        }
+    }
+
+    fn count_decision(&self, action: &str) {
+        if let Some(reg) = self.obs.registry() {
+            reg.labeled_counter("ir_control_decisions_total", DECISIONS_HELP, "action", action)
+                .inc();
+        }
+    }
+}
+
+/// One Batch-class admission, with the same Brownout-pause /
+/// bounded-retry discipline as online maintenance: background work
+/// yields to distressed interactive traffic instead of competing.
+fn admit_batch(gate: &Arc<AdmissionGate>, obs: &obs::Obs) -> Result<Permit> {
+    let mut pauses = 0;
+    while gate.level() >= OverloadLevel::Brownout && pauses < MAX_BROWNOUT_PAUSES {
+        std::thread::sleep(BROWNOUT_PAUSE);
+        pauses += 1;
+    }
+    let mut attempts = 0;
+    loop {
+        match gate.admit(Priority::Batch) {
+            Ok(permit) => {
+                if let Some(reg) = obs.registry() {
+                    reg.counter(
+                        "engine_control_batch_admissions_total",
+                        "Batch-class gate permits granted to the control plane",
+                    )
+                    .inc();
+                }
+                return Ok(permit);
+            }
+            Err(Error::Overloaded { retry_after_hint }) if attempts < MAX_ADMIT_RETRIES => {
+                attempts += 1;
+                std::thread::sleep(retry_after_hint.min(MAX_RETRY_SLEEP));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}

@@ -62,6 +62,12 @@ pub struct EngineConfig {
     /// Fault plan consulted by the text servers (labels `shard:<i>`).
     /// `None` means no injection anywhere.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Spread text reads round-robin over every copy of each shard
+    /// group instead of always consulting the primary. Answers stay
+    /// byte-identical (replicas are exact copies and the failover
+    /// order is preserved); what changes is which copy does the work.
+    /// Ignored when `text_replicas == 0`.
+    pub text_read_scaling: bool,
 }
 
 /// What one population run did.
@@ -187,6 +193,15 @@ pub struct Engine {
     last_recovery: Option<RecoveryReport>,
     /// Per-stage wall-clock breakdown of the most recent populate run.
     last_populate_timings: StageTimings,
+    /// Detectors with a maintenance job in flight. Shared with each
+    /// job's busy guard, which releases its entry on commit, abort or
+    /// drop — a second `begin_*` on the same detector is refused with
+    /// [`Error::MaintenanceBusy`] instead of clobbering the first
+    /// job's pinned snapshot.
+    maintenance_inflight: Arc<Mutex<HashSet<String>>>,
+    /// The last control-plane decision executed against this engine
+    /// (action + reason), surfaced by EXPLAIN ANALYZE.
+    last_control_decision: Option<String>,
 }
 
 /// Engine-level metric handles, registered once in
@@ -472,6 +487,12 @@ pub struct TextQueryStatus {
     /// Estimated answer quality: fraction of the collection's documents
     /// held by surviving servers.
     pub quality: f64,
+    /// Which copy index served each shard group (`0` = primary), in
+    /// group order. `None` for a group no copy answered.
+    pub served_by: Vec<Option<usize>>,
+    /// Whether round-robin read-scaling routed this query (as opposed
+    /// to the primary-first default).
+    pub routed: bool,
 }
 
 /// One traced query: the answer plus the measured EXPLAIN ANALYZE
@@ -511,6 +532,9 @@ impl Engine {
         if let Some(plan) = &config.faults {
             text.set_fault_plan(Arc::clone(plan));
         }
+        if config.text_read_scaling {
+            text.set_read_routing(ir::ReadRouting::RoundRobin);
+        }
         let faults_active = config.faults.is_some();
         Ok(Engine {
             webspace: WebspaceIndex::new(config.schema.clone()),
@@ -533,6 +557,8 @@ impl Engine {
             metrics: None,
             last_recovery: None,
             last_populate_timings: StageTimings::default(),
+            maintenance_inflight: Arc::new(Mutex::new(HashSet::new())),
+            last_control_decision: None,
         })
     }
 
@@ -913,6 +939,53 @@ impl Engine {
             .rebalance(&mut self.text, target)
             .map_err(Error::Ir)?;
         Ok(report)
+    }
+
+    /// Assembles the control plane's observation of the text tier:
+    /// server/replica counts, per-shard document loads, the observed
+    /// p99 critical path and any servers declared permanently lost at
+    /// `loss_threshold` consecutive failures. Cheap — the control loop
+    /// calls this under a brief engine borrow every tick.
+    pub fn control_view(&self, loss_threshold: u32) -> ir::ClusterView {
+        ir::ClusterView {
+            servers: self.text.servers(),
+            replication: self.text.replication(),
+            docs_per_shard: self.text.shard_sizes(),
+            shard_p99: self.text.observed_shard_p99(),
+            lost_servers: self.text.lost_servers(loss_threshold),
+        }
+    }
+
+    /// Stages background re-replication around permanently lost text
+    /// server `lost`: snapshots every copy the server hosted from a
+    /// surviving source and plans placements on survivors. The engine
+    /// is untouched; drive the returned job off-lock with
+    /// [`ir::RereplicationJob::step`], then hand it to
+    /// [`Engine::commit_text_rereplication`].
+    pub fn begin_text_rereplication(&mut self, lost: usize) -> Result<ir::RereplicationJob> {
+        self.text.begin_rereplication(lost).map_err(Error::Ir)
+    }
+
+    /// Cuts a completed re-replication job over: installs the rebuilt
+    /// copies on their planned survivors in one critical section
+    /// (WAL-audited when durability is attached). Refused with a typed
+    /// stale error if the cluster epoch moved since the job was staged.
+    /// Clears the answer cache — placement changed even though no
+    /// ranking did.
+    pub fn commit_text_rereplication(&mut self, job: ir::RereplicationJob) -> Result<usize> {
+        self.query_cache.clear();
+        self.text.commit_rereplication(job).map_err(Error::Ir)
+    }
+
+    /// Records a control-plane decision (action + reason) for EXPLAIN
+    /// ANALYZE's `REBALANCE` line.
+    pub fn note_control_decision(&mut self, decision: impl Into<String>) {
+        self.last_control_decision = Some(decision.into());
+    }
+
+    /// The last control-plane decision executed against this engine.
+    pub fn last_control_decision(&self) -> Option<&str> {
+        self.last_control_decision.as_deref()
     }
 
     /// The admission gate (shared; clones point at the same gate).
@@ -1346,6 +1419,29 @@ impl Engine {
                 );
             }
             if let Some(st) = &self.last_text_status {
+                if st.routed || st.served_by.iter().flatten().any(|&c| c != 0) {
+                    let route: Vec<String> = st
+                        .served_by
+                        .iter()
+                        .enumerate()
+                        .map(|(g, c)| match c {
+                            Some(c) => format!("g{g}→copy{c}"),
+                            None => format!("g{g}→none"),
+                        })
+                        .collect();
+                    push(
+                        &mut out,
+                        format!(
+                            "READ-ROUTE: {} last time ({})",
+                            if st.routed {
+                                "round-robin read-scaling spread groups over replicas"
+                            } else {
+                                "primary-first routing"
+                            },
+                            route.join(", ")
+                        ),
+                    );
+                }
                 if st.failovers > 0 {
                     push(
                         &mut out,
@@ -1367,6 +1463,9 @@ impl Engine {
                         ),
                     );
                 }
+            }
+            if let Some(decision) = &self.last_control_decision {
+                push(&mut out, format!("REBALANCE: control plane last acted: {decision}"));
             }
         }
         for join in &q.conceptual.joins {
@@ -1743,6 +1842,8 @@ impl Engine {
                 failed_shards: result.failed_shards.clone(),
                 failovers: result.failovers,
                 quality: result.quality,
+                served_by: result.served_by.clone(),
+                routed: self.text.read_routing() == ir::ReadRouting::RoundRobin,
             });
             let hits = result.hits;
             let mut map = HashMap::new();
@@ -1999,6 +2100,10 @@ impl Engine {
         new_impl: Option<acoi::DetectorFn>,
         gated: bool,
     ) -> Result<MaintenanceJob> {
+        // Claim the detector *before* any side effect (the registry
+        // swap below): a second begin while a job is in flight must
+        // not clobber the first job's pinned snapshot or rollback pair.
+        let busy = crate::maintenance::BusyGuard::acquire(&self.maintenance_inflight, detector)?;
         let plan = match kind {
             MaintenanceKind::Upgrade { level } => self.fds.plan(&self.grammar, detector, level),
             MaintenanceKind::Heal => Fds::heal_plan(detector),
@@ -2031,7 +2136,7 @@ impl Engine {
                 (s.clone(), tokens)
             })
             .collect();
-        Ok(MaintenanceJob::new(
+        let mut job = MaintenanceJob::new(
             detector.to_owned(),
             kind,
             plan,
@@ -2045,7 +2150,9 @@ impl Engine {
             if gated { self.faults_plan.clone() } else { None },
             if gated { Some(Arc::clone(&self.admission)) } else { None },
             self.obs.clone(),
-        ))
+        );
+        job.busy = Some(busy);
+        Ok(job)
     }
 
     /// Epoch-consistent cutover of a finished job: under this borrow

@@ -73,6 +73,14 @@ pub enum Error {
         /// The detector the stale job was maintaining.
         detector: String,
     },
+    /// A second `begin_upgrade`/`begin_heal` hit a detector that
+    /// already has a maintenance job in flight. Beginning anyway would
+    /// clobber the first job's pinned snapshot; the caller waits for
+    /// the in-flight job to commit or abort and retries.
+    MaintenanceBusy {
+        /// The detector whose job is still in flight.
+        detector: String,
+    },
     /// A background maintenance job died mid-run (an injected fault or
     /// a failed re-parse). The live store is untouched; aborting the
     /// job rolls the registry back to the pre-job implementation.
@@ -107,6 +115,10 @@ impl fmt::Display for Error {
             Error::MaintenanceStale { detector } => write!(
                 f,
                 "maintenance of `{detector}` is stale: the meta-index moved past the pinned epoch"
+            ),
+            Error::MaintenanceBusy { detector } => write!(
+                f,
+                "maintenance of `{detector}` already in flight: wait for it to commit or abort"
             ),
             Error::Maintenance { detector, cause } => {
                 write!(f, "maintenance of `{detector}` failed: {cause}")

@@ -53,6 +53,7 @@
 
 pub mod admission;
 pub mod ausopen;
+pub mod control;
 pub mod engine;
 pub mod error;
 pub mod maintenance;
@@ -65,6 +66,7 @@ pub use admission::{
     AdmissionConfig, AdmissionGate, LevelTransition, OverloadLevel, OverloadStatus, Permit,
     Priority, QueryOutcome, QueryService,
 };
+pub use control::{ControlOutcome, ControlPlane};
 pub use engine::{
     Engine, EngineConfig, PopulateOptions, PopulateReport, QueryTrace, StageTimings,
     TextQueryStatus,

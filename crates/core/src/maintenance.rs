@@ -30,8 +30,8 @@
 //! back and drops the private copy, leaving the live store
 //! byte-identical to never-ran.
 
-use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use acoi::{
@@ -87,6 +87,48 @@ const BROWNOUT_PAUSE: Duration = Duration::from_millis(1);
 const MAX_ADMIT_RETRIES: usize = 50;
 const MAX_RETRY_SLEEP: Duration = Duration::from_millis(10);
 
+/// Marks a detector busy in the engine's in-flight set for the life of
+/// one maintenance job. Acquired as the *first* step of a begin —
+/// before any side effect like the registry swap — so a second
+/// `begin_*` on the same detector is refused with a typed
+/// [`Error::MaintenanceBusy`] while the first job still exists.
+/// Dropping the guard (commit, abort, or simply dropping the job)
+/// releases the detector again.
+pub(crate) struct BusyGuard {
+    set: Arc<Mutex<HashSet<String>>>,
+    detector: String,
+}
+
+impl BusyGuard {
+    /// Claims `detector` in the shared in-flight set, or refuses with
+    /// [`Error::MaintenanceBusy`] when a job already holds it.
+    pub(crate) fn acquire(
+        set: &Arc<Mutex<HashSet<String>>>,
+        detector: &str,
+    ) -> Result<BusyGuard> {
+        let mut inflight = set
+            .lock()
+            .map_err(|_| Error::Config("maintenance in-flight set poisoned".to_owned()))?;
+        if !inflight.insert(detector.to_owned()) {
+            return Err(Error::MaintenanceBusy {
+                detector: detector.to_owned(),
+            });
+        }
+        Ok(BusyGuard {
+            set: Arc::clone(set),
+            detector: detector.to_owned(),
+        })
+    }
+}
+
+impl Drop for BusyGuard {
+    fn drop(&mut self) {
+        if let Ok(mut inflight) = self.set.lock() {
+            inflight.remove(&self.detector);
+        }
+    }
+}
+
 /// One in-flight background maintenance job. Created by
 /// [`crate::Engine::begin_upgrade`] / [`crate::Engine::begin_heal`],
 /// driven by [`MaintenanceJob::run`] (no engine access needed), then
@@ -125,6 +167,9 @@ pub struct MaintenanceJob {
     /// The admission gate, present iff the job runs gated (background).
     gate: Option<Arc<AdmissionGate>>,
     obs: obs::Obs,
+    /// Holds the detector's slot in the engine's in-flight set;
+    /// released when the job is committed, aborted or dropped.
+    pub(crate) busy: Option<BusyGuard>,
     /// Begin time, taken only when observability is enabled (disabled
     /// engines must stay clock-free and byte-identical).
     pub(crate) started: Option<Instant>,
@@ -169,6 +214,7 @@ impl MaintenanceJob {
             faults,
             gate,
             obs,
+            busy: None,
             started,
             batch_admissions: 0,
         }

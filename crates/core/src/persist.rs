@@ -413,6 +413,17 @@ pub fn apply_wal_records(
                     }
                 }
             }
+            (STORE_TEXT, ir::distrib::WAL_OP_CONTROL) => {
+                // Control-plane audit record (re-replication placement).
+                // Placement is derived state, rebuilt from the shard
+                // snapshots and document routing on restore — the
+                // record documents the decision, it does not replay.
+                report.notes.push(format!(
+                    "lsn {}: control-plane audit record; noted, not replayed",
+                    record.lsn
+                ));
+                false
+            }
             _ => {
                 report.notes.push(format!(
                     "lsn {}: unknown record (store {store}, op {op}); skipped",

@@ -32,6 +32,19 @@
 //! before the probabilistic spec, one action per call — the crash-point
 //! recovery harness scripts `k` clean operations followed by a failure
 //! to "crash" persistence at exactly the `k`-th disk touch.
+//!
+//! # The control-plane label namespaces
+//!
+//! The self-healing distribution control plane consults the plan at
+//! two further families of labels:
+//!
+//! * `control:<action>` (`control:split`, `control:merge`,
+//!   `control:rereplicate`) — before a policy decision is executed,
+//!   so a chaos schedule can kill it at the policy/mechanism
+//!   boundary with the cluster untouched,
+//! * `rereplicate:<lost>:<group>` — each chunk of a background
+//!   re-replication rebuild, so an interrupted repair can be proven
+//!   to abort byte-identically.
 
 #![warn(missing_docs)]
 

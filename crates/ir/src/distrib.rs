@@ -31,11 +31,45 @@
 //! [`DistributedIndex::with_replication`] gives every shard group `R`
 //! replicas placed on the *next* `R` distinct virtual servers (so a
 //! whole-server loss never takes out every copy of a group). Writes fan
-//! out to all copies; the parallel query path asks every copy and
-//! prefers the primary's answer, failing over to the lowest-numbered
-//! live replica — within the same collection window — before ever
-//! degrading the merge. [`DistributedResult::failovers`] counts how
-//! many groups were rescued that way.
+//! out to all copies; under the default [`ReadRouting::Primary`] the
+//! parallel query path asks every copy and prefers the primary's
+//! answer, failing over to the lowest-numbered live replica — within
+//! the same collection window — before ever degrading the merge.
+//! [`DistributedResult::failovers`] counts how many groups were rescued
+//! that way.
+//!
+//! # Read routing
+//!
+//! [`ReadRouting::RoundRobin`] turns replicas into read capacity: each
+//! group's read goes to **one** rotating copy instead of all `R + 1`,
+//! cutting the per-query fan-out by a factor of `R + 1`. Rotation
+//! deliberately includes copies marked unhealthy — the probe doubles as
+//! failure detection — and exactness is preserved by rescue: a selected
+//! copy that answers with an error triggers an immediate second wave
+//! over the group's remaining copies, and a selected copy that has not
+//! answered by **half** the collection window triggers the same hedge,
+//! so a hung copy still fails over inside the window. Replicas mirror
+//! their primaries byte for byte and the merge tiebreak is on URL, so
+//! which copy served is invisible in the ranking
+//! ([`DistributedResult::served_by`] reports it anyway).
+//!
+//! # Loss declaration and re-replication
+//!
+//! Every consulted copy carries a consecutive-failure streak; a virtual
+//! server **all** of whose hosted copies have failed at least
+//! `threshold` consecutive consultations is a loss candidate
+//! ([`DistributedIndex::lost_servers`]). Losing a machine permanently
+//! must not leave its groups one fault from degradation until the next
+//! rebalance: [`DistributedIndex::begin_rereplication`] stages a
+//! rebuild of every copy the dead server hosted **onto surviving
+//! virtual servers**, sourced from each group's lowest surviving copy.
+//! The [`RereplicationJob`] is driven off to the side one object at a
+//! time (each step consults the fault plan at
+//! `rereplicate:<lost>:<group>`); committing swaps the rebuilt copies
+//! and their new placement in under an epoch guard, while dropping the
+//! job aborts with the cluster byte-identical. Placement is derived
+//! state: snapshots and restores reset it to the default ring, exactly
+//! like the replicas themselves.
 //!
 //! # Degraded mode
 //!
@@ -85,6 +119,31 @@ pub const ROUTE_SLOTS: usize = 64;
 /// Replaying it re-derives the whole migration deterministically.
 pub const WAL_OP_LAYOUT: u8 = 1;
 
+/// WAL op tag (text store): a control-plane audit record — a committed
+/// re-replication decision
+/// (`fields = [[lost u32][units u32][(group u32)(copy u32)(host u32) × units]]`).
+/// Replica placement is derived state rebuilt on restore, so replaying
+/// the record is a deliberate no-op; it exists so every control-plane
+/// decision is on the durable record.
+pub const WAL_OP_CONTROL: u8 = 2;
+
+/// How the parallel query path routes each group's read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadRouting {
+    /// Ask every copy, prefer the primary's answer (the replication
+    /// default: replicas are pure failover capacity).
+    #[default]
+    Primary,
+    /// Ask **one** rotating copy per group, rescuing the group from its
+    /// remaining copies only when the selected copy fails or misses the
+    /// half-window hedge — replicas become read capacity.
+    RoundRobin,
+}
+
+/// How many recent parallel-query critical paths feed
+/// [`DistributedIndex::observed_shard_p99`].
+const SLOW_RING: usize = 64;
+
 /// Snapshot envelope magic for one shard of a consistent cut.
 const SHARD_MAGIC: &[u8; 4] = b"DSHD";
 /// Envelope format version.
@@ -112,11 +171,30 @@ pub struct DistributedIndex {
     /// record of a rebalance goes through it. `None` during replay.
     wal: Option<WalHandle>,
     /// `copy_health[g][c]`: did copy `c` (0 = primary) of group `g`
-    /// answer its most recent parallel query? Diagnostic only — the
-    /// next query always asks every copy again.
+    /// answer its most recent consultation? Diagnostic only — copies
+    /// are re-consulted regardless.
     copy_health: Vec<Vec<bool>>,
     /// Epoch stamped on the primaries by the last layout cutover.
     last_cutover_epoch: u64,
+    /// Read-routing mode of the parallel path.
+    read_routing: ReadRouting,
+    /// Per-group rotation cursor for [`ReadRouting::RoundRobin`].
+    route_cursor: Vec<usize>,
+    /// Virtual host of each group's primary. `primary_host[g] == g` by
+    /// default; re-replication relocates a dead host's primary onto a
+    /// survivor. Derived state — resets on restore.
+    primary_host: Vec<usize>,
+    /// Virtual host of each replica copy (`replica_host[g][c]` hosts
+    /// copy `c + 1` of group `g`); defaults to the `(g + c + 1) % n`
+    /// ring. Derived state — resets on restore.
+    replica_host: Vec<Vec<usize>>,
+    /// `copy_fail_streak[g][c]`: consecutive failed consultations of
+    /// copy `c` of group `g`. Reset to zero by a successful answer (or
+    /// a re-replication replacing the copy); feeds loss declaration.
+    copy_fail_streak: Vec<Vec<u32>>,
+    /// Ring of the most recent parallel-query critical paths (slowest
+    /// shard per query), feeding the control plane's p99 trigger.
+    recent_slow: std::collections::VecDeque<Duration>,
 }
 
 /// Metric handles for the scatter-gather layer. Every evaluation path
@@ -136,10 +214,25 @@ struct IrMetrics {
     replicas_healthy: obs::Gauge,
     rebalance_moves: obs::Counter,
     rebalance_cutover: obs::Gauge,
+    rereplication_objects: obs::Counter,
 }
+
+/// Help string of the `ir_read_route_total` family (the per-value
+/// handles are fetched lazily by copy index).
+const READ_ROUTE_HELP: &str = "Group reads served, by copy index (0 = primary)";
 
 impl IrMetrics {
     fn register(registry: &obs::Registry) -> IrMetrics {
+        // Seed the labeled control-plane families so they render (at
+        // zero) on any obs-enabled engine, before the first routed read
+        // or policy decision.
+        registry.labeled_counter("ir_read_route_total", READ_ROUTE_HELP, "replica", "0");
+        registry.labeled_counter(
+            "ir_control_decisions_total",
+            "Control-plane policy decisions, by action",
+            "action",
+            "none",
+        );
         IrMetrics {
             queries: registry.counter(
                 "ir_queries_total",
@@ -178,6 +271,10 @@ impl IrMetrics {
             rebalance_cutover: registry.gauge(
                 "ir_rebalance_cutover_epoch",
                 "Epoch stamped by the most recent layout cutover (0 = never)",
+            ),
+            rereplication_objects: registry.counter(
+                "ir_rereplication_objects_total",
+                "Replica copies rebuilt onto survivors by background re-replication",
             ),
         }
     }
@@ -232,12 +329,19 @@ pub struct DistributedResult {
     /// measurement. The brownout controller consumes these to spot
     /// slow-but-alive servers before they start missing deadlines.
     pub shard_elapsed: Vec<Duration>,
+    /// Which copy (0 = primary) served each group's answer, in shard
+    /// order; `None` marks a group no copy answered for. Serial paths
+    /// always read the primary. Like `shard_elapsed`, this is excluded
+    /// from equality: routing is an execution detail, never part of the
+    /// answer.
+    pub served_by: Vec<Option<usize>>,
 }
 
-/// Equality ignores `shard_elapsed`: two results are equal when they
-/// rank the same answer with the same degradation accounting. Timing
-/// is a diagnostic, never a semantic part of the answer — byte-identity
-/// tests across serial/parallel evaluation rely on this.
+/// Equality ignores `shard_elapsed` and `served_by`: two results are
+/// equal when they rank the same answer with the same degradation
+/// accounting. Timing and routing are diagnostics, never a semantic
+/// part of the answer — byte-identity tests across serial/parallel
+/// evaluation (and across read-routing modes) rely on this.
 impl PartialEq for DistributedResult {
     fn eq(&self, other: &Self) -> bool {
         self.hits == other.hits
@@ -280,6 +384,20 @@ fn slot_of(url: &str) -> usize {
 /// The round-robin default layout for `servers` servers.
 fn default_layout(servers: usize) -> Vec<u16> {
     (0..ROUTE_SLOTS).map(|s| (s % servers) as u16).collect()
+}
+
+/// Default primary placement: group `g`'s primary lives on host `g`.
+fn default_primary_hosts(servers: usize) -> Vec<usize> {
+    (0..servers).collect()
+}
+
+/// Default replica placement: copy `c` of group `g` (1-based) lives on
+/// host `(g + c) % servers` — the next `R` distinct hosts after the
+/// primary.
+fn default_replica_hosts(servers: usize, replication: usize) -> Vec<Vec<usize>> {
+    (0..servers)
+        .map(|g| (1..=replication).map(|c| (g + c) % servers).collect())
+        .collect()
 }
 
 fn validate_layout(layout: &[u16], servers: usize) -> Result<()> {
@@ -343,6 +461,12 @@ impl DistributedIndex {
             wal: None,
             copy_health: vec![vec![true; replication + 1]; servers],
             last_cutover_epoch: 0,
+            read_routing: ReadRouting::default(),
+            route_cursor: vec![0; servers],
+            primary_host: default_primary_hosts(servers),
+            replica_host: default_replica_hosts(servers, replication),
+            copy_fail_streak: vec![vec![0; replication + 1]; servers],
+            recent_slow: std::collections::VecDeque::new(),
         })
     }
 
@@ -375,26 +499,126 @@ impl DistributedIndex {
         self.last_cutover_epoch
     }
 
-    /// The virtual hosts holding group `g`'s replicas: the next
-    /// `replication` servers after the primary, wrapping — all distinct
-    /// from the primary and from each other.
+    /// The virtual hosts holding group `g`'s replicas — by default the
+    /// next `replication` servers after the primary, wrapping; after a
+    /// re-replication, wherever the rebuilt copies landed. Always
+    /// distinct from each other.
     pub fn replica_servers(&self, group: usize) -> Vec<usize> {
-        let n = self.shards.len();
-        (1..=self.replication).map(|c| (group + c) % n).collect()
+        self.replica_host[group].clone()
+    }
+
+    /// The virtual host currently holding group `g`'s primary (`g`
+    /// itself unless re-replication relocated it).
+    pub fn primary_server(&self, group: usize) -> usize {
+        self.primary_host[group]
+    }
+
+    /// The fault-plan label copy `c` (0 = primary) of group `g` is
+    /// consulted under. A primary on its home host keeps the historic
+    /// `shard:<g>` label; a primary relocated by re-replication is
+    /// consulted under `shard:<host>:<g>`, so a stale kill script for
+    /// the dead host stops matching and a whole-machine kill of the
+    /// *new* host covers it. Replicas are always host-qualified.
+    fn copy_label(&self, group: usize, copy: usize) -> String {
+        if copy == 0 {
+            let host = self.primary_host[group];
+            if host == group {
+                format!("shard:{group}")
+            } else {
+                format!("shard:{host}:{group}")
+            }
+        } else {
+            let host = self.replica_host[group][copy - 1];
+            format!("replica:{host}:{group}")
+        }
     }
 
     /// Every fault-plan label that must fire to kill virtual server `s`
-    /// entirely: its primary (`shard:<s>`) plus every replica copy
+    /// entirely: every primary hosted there (`shard:<s>` — or
+    /// `shard:<s>:<g>` for a relocated one) plus every replica copy
     /// hosted there (`replica:<s>:<g>`). Chaos tests use this to model
     /// a whole-machine loss rather than a single-copy loss.
     pub fn fault_labels_for_server(&self, server: usize) -> Vec<String> {
-        let mut labels = vec![format!("shard:{server}")];
+        let mut labels = Vec::new();
         for g in 0..self.shards.len() {
-            if self.replica_servers(g).contains(&server) {
-                labels.push(format!("replica:{server}:{g}"));
+            if self.primary_host[g] == server {
+                labels.push(self.copy_label(g, 0));
+            }
+            for c in 1..=self.replication {
+                if self.replica_host[g][c - 1] == server {
+                    labels.push(self.copy_label(g, c));
+                }
             }
         }
         labels
+    }
+
+    /// Selects how the parallel path routes group reads (default
+    /// [`ReadRouting::Primary`]). Routing never changes what a query
+    /// answers, only which copy does the work.
+    pub fn set_read_routing(&mut self, routing: ReadRouting) {
+        self.read_routing = routing;
+    }
+
+    /// The active read-routing mode.
+    pub fn read_routing(&self) -> ReadRouting {
+        self.read_routing
+    }
+
+    /// Virtual servers that look permanently lost: they host at least
+    /// one copy, and **every** copy they host has failed at least
+    /// `threshold` consecutive consultations. A copy that merely wasn't
+    /// consulted (routed mode skips copies) keeps its streak, so a
+    /// quiet server is never declared lost. `threshold == 0` declares
+    /// nothing.
+    pub fn lost_servers(&self, threshold: u32) -> Vec<usize> {
+        if threshold == 0 {
+            return Vec::new();
+        }
+        let n = self.shards.len();
+        let mut hosted = vec![0usize; n];
+        let mut struck = vec![0usize; n];
+        for g in 0..n {
+            let hp = self.primary_host[g];
+            if hp < n {
+                hosted[hp] += 1;
+                if self.copy_fail_streak[g][0] >= threshold {
+                    struck[hp] += 1;
+                }
+            }
+            for c in 1..=self.replication {
+                let h = self.replica_host[g][c - 1];
+                if h < n {
+                    hosted[h] += 1;
+                    if self.copy_fail_streak[g][c] >= threshold {
+                        struck[h] += 1;
+                    }
+                }
+            }
+        }
+        (0..n)
+            .filter(|&s| hosted[s] > 0 && struck[s] == hosted[s])
+            .collect()
+    }
+
+    /// The 99th percentile of the last [`SLOW_RING`] parallel-query
+    /// critical paths (slowest shard per query) — the control plane's
+    /// latency trigger. Zero until a parallel query has run.
+    pub fn observed_shard_p99(&self) -> Duration {
+        if self.recent_slow.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut paths: Vec<Duration> = self.recent_slow.iter().copied().collect();
+        paths.sort_unstable();
+        paths[(paths.len() - 1) * 99 / 100]
+    }
+
+    /// Records one parallel query's critical path into the p99 ring.
+    fn note_critical_path(&mut self, path: Duration) {
+        if self.recent_slow.len() == SLOW_RING {
+            self.recent_slow.pop_front();
+        }
+        self.recent_slow.push_back(path);
     }
 
     /// Re-provisions replication at `replication` copies per group,
@@ -417,7 +641,12 @@ impl DistributedIndex {
         }
         self.replicas = replicas;
         self.replication = replication;
-        self.copy_health = vec![vec![true; replication + 1]; self.shards.len()];
+        let servers = self.shards.len();
+        self.copy_health = vec![vec![true; replication + 1]; servers];
+        self.route_cursor = vec![0; servers];
+        self.primary_host = default_primary_hosts(servers);
+        self.replica_host = default_replica_hosts(servers, replication);
+        self.copy_fail_streak = vec![vec![0; replication + 1]; servers];
         self.refresh_health_gauge();
         Ok(())
     }
@@ -479,6 +708,18 @@ impl DistributedIndex {
             for elapsed in &result.shard_elapsed {
                 m.shard_seconds
                     .observe_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            }
+            if let Some(registry) = self.obs.registry() {
+                for copy in result.served_by.iter().flatten() {
+                    registry
+                        .labeled_counter(
+                            "ir_read_route_total",
+                            READ_ROUTE_HELP,
+                            "replica",
+                            &copy.to_string(),
+                        )
+                        .inc();
+                }
             }
         }
         self.refresh_health_gauge();
@@ -748,6 +989,12 @@ impl DistributedIndex {
             wal: None,
             copy_health: vec![vec![true; replication + 1]; servers],
             last_cutover_epoch: 0,
+            read_routing: ReadRouting::default(),
+            route_cursor: vec![0; servers],
+            primary_host: default_primary_hosts(servers),
+            replica_host: default_replica_hosts(servers, replication),
+            copy_fail_streak: vec![vec![0; replication + 1]; servers],
+            recent_slow: std::collections::VecDeque::new(),
         })
     }
 
@@ -874,11 +1121,16 @@ impl DistributedIndex {
             wal.log_sync(WAL_OP_LAYOUT, &[&rec])?;
         }
 
-        // Cutover: one swap, old world to new.
+        // Cutover: one swap, old world to new. Placement, health and
+        // failure streaks reset with the new cluster shape.
         self.shards = new_primaries;
         self.replicas = new_replicas;
         self.layout = new_layout.to_vec();
         self.copy_health = vec![vec![true; self.replication + 1]; shards_after];
+        self.route_cursor = vec![0; shards_after];
+        self.primary_host = default_primary_hosts(shards_after);
+        self.replica_host = default_replica_hosts(shards_after, self.replication);
+        self.copy_fail_streak = vec![vec![0; self.replication + 1]; shards_after];
         self.last_cutover_epoch = cutover;
         if let Some(wal) = self.wal.clone() {
             for shard in &mut self.shards {
@@ -961,7 +1213,8 @@ impl DistributedIndex {
             locals.push(Some(shard.query(text, k)?));
             elapsed.push(start.elapsed());
         }
-        let result = merge(locals, &sizes, k, elapsed, 0);
+        let served = vec![Some(0); self.shards.len()];
+        let result = merge(locals, &sizes, k, elapsed, 0, served);
         self.record_result(&result);
         Ok(result)
     }
@@ -1005,7 +1258,8 @@ impl DistributedIndex {
             locals.push(Some(shard.query_restricted(text, k, candidates)?));
             elapsed.push(start.elapsed());
         }
-        let result = merge(locals, &sizes, k, elapsed, 0);
+        let served = vec![Some(0); self.shards.len()];
+        let result = merge(locals, &sizes, k, elapsed, 0, served);
         self.record_result(&result);
         Ok(result)
     }
@@ -1055,56 +1309,126 @@ impl DistributedIndex {
         let sizes = self.shard_sizes();
         let plan = self.faults.clone();
         let hang = self.hang;
+        let routed = self.read_routing == ReadRouting::RoundRobin && copies > 1;
         let window = match budget.remaining_time() {
             Some(left) => left.min(self.shard_deadline),
             None => self.shard_deadline,
         };
-        let deadline = Instant::now() + window;
+        let started = Instant::now();
+        let deadline = started + window;
+        // Under routed reads a hung selected copy must not cost the
+        // group its answer: unanswered groups get their remaining
+        // copies at half the window, leaving the hedge wave the other
+        // half to answer in.
+        let hedge_at = started + window / 2;
+        // The copy each group's read goes to first: the rotation cursor
+        // under RoundRobin (advanced even past unhealthy copies — the
+        // probe doubles as failure detection), always the primary
+        // otherwise.
+        let mut preferred = vec![0usize; n];
+        if routed {
+            for (g, cursor) in self.route_cursor.iter_mut().enumerate() {
+                preferred[g] = *cursor % copies;
+                *cursor = (*cursor + 1) % copies;
+            }
+        }
+        let labels: Vec<Vec<String>> = (0..n)
+            .map(|g| (0..copies).map(|c| self.copy_label(g, c)).collect())
+            .collect();
         let mut slots: Vec<Vec<Option<ShardAnswer>>> = vec![vec![None; copies]; n];
         let mut took: Vec<Vec<Duration>> = vec![vec![window; copies]; n];
+        let mut spawned = vec![vec![false; copies]; n];
+        let mut group_ok = vec![false; n];
         let mut group_charged = vec![false; n];
         let mut answered = 0usize;
         let mut budget_stop = None;
         let (tx, rx) = crossbeam::channel::unbounded::<(usize, usize, ShardAnswer, Duration)>();
+        // Mutable handles to every copy, taken one by one as their
+        // threads launch (the borrows are disjoint: one primary and one
+        // replica set per group).
+        let mut pool: Vec<Vec<Option<&mut TextIndex>>> = self
+            .shards
+            .iter_mut()
+            .zip(self.replicas.iter_mut())
+            .map(|(primary, group)| {
+                let mut row: Vec<Option<&mut TextIndex>> = Vec::with_capacity(copies);
+                row.push(Some(primary));
+                row.extend(group.iter_mut().map(Some));
+                row
+            })
+            .collect();
+        let spawned_ref = &mut spawned;
         crossbeam::thread::scope(|scope| {
-            for (g, shard) in self.shards.iter_mut().enumerate() {
+            let mut launch = |g: usize, c: usize| -> bool {
+                if spawned_ref[g][c] {
+                    return false;
+                }
+                spawned_ref[g][c] = true;
+                let Some(shard) = pool[g][c].take() else {
+                    return false;
+                };
                 let tx = tx.clone();
                 let plan = plan.clone();
-                let label = format!("shard:{g}");
+                let label = labels[g][c].clone();
                 scope.spawn(move |_| {
                     let start = Instant::now();
                     let answer = run_shard(shard, text, k, &label, plan.as_deref(), hang);
                     // The central node may have stopped listening; the
                     // answer is then simply dropped.
-                    let _ = tx.send((g, 0, answer, start.elapsed()));
+                    let _ = tx.send((g, c, answer, start.elapsed()));
                 });
-            }
-            for (g, group) in self.replicas.iter_mut().enumerate() {
-                for (c, copy) in group.iter_mut().enumerate() {
-                    let tx = tx.clone();
-                    let plan = plan.clone();
-                    let host = (g + c + 1) % n;
-                    let label = format!("replica:{host}:{g}");
-                    scope.spawn(move |_| {
-                        let start = Instant::now();
-                        let answer = run_shard(copy, text, k, &label, plan.as_deref(), hang);
-                        let _ = tx.send((g, c + 1, answer, start.elapsed()));
-                    });
+                true
+            };
+            // First wave: every copy under Primary routing, exactly one
+            // selected copy per group under RoundRobin.
+            let mut pending = 0usize;
+            #[allow(clippy::needless_range_loop)] // `g` also indexes `labels` inside `launch`
+            for g in 0..n {
+                if routed {
+                    if launch(g, preferred[g]) {
+                        pending += 1;
+                    }
+                } else {
+                    for c in 0..copies {
+                        if launch(g, c) {
+                            pending += 1;
+                        }
+                    }
                 }
             }
-            drop(tx);
             // Collect *inside* the scope: the scope exit still joins a
             // hung server thread, but the deadline bounds how long the
-            // merge waits for answers.
-            let mut pending = n * copies;
-            while pending > 0 {
-                let remaining = deadline.saturating_duration_since(Instant::now());
+            // merge waits for answers. Groups land on the rescue queue
+            // when their selected copy fails (or the hedge fires) and
+            // get their remaining copies spawned at the loop top.
+            let mut need_rescue: Vec<usize> = Vec::new();
+            let mut hedged = !routed;
+            while pending > 0 || !need_rescue.is_empty() {
+                for g in need_rescue.drain(..) {
+                    for c in 0..copies {
+                        if launch(g, c) {
+                            pending += 1;
+                        }
+                    }
+                }
+                if pending == 0 {
+                    break;
+                }
+                let now = Instant::now();
+                let remaining = deadline.saturating_duration_since(now);
                 if remaining.is_zero() {
                     break;
                 }
-                match rx.recv_timeout(remaining) {
+                let wait = if hedged {
+                    remaining
+                } else {
+                    hedge_at.saturating_duration_since(now).min(remaining)
+                };
+                match rx.recv_timeout(wait) {
                     Ok((g, c, answer, elapsed)) => {
-                        if answer.is_ok() && !group_charged[g] {
+                        pending -= 1;
+                        let ok = answer.is_ok();
+                        if ok && !group_charged[g] {
                             if let Err(cause) = budget.consume(1) {
                                 budget_stop = Some(cause);
                                 break;
@@ -1112,15 +1436,31 @@ impl DistributedIndex {
                             group_charged[g] = true;
                             answered += 1;
                         }
+                        if ok {
+                            group_ok[g] = true;
+                        } else if routed && !group_ok[g] {
+                            need_rescue.push(g);
+                        }
                         slots[g][c] = Some(answer);
                         took[g][c] = elapsed;
-                        pending -= 1;
                     }
-                    Err(_) => break,
+                    Err(_) => {
+                        if !hedged && Instant::now() >= hedge_at {
+                            hedged = true;
+                            for (g, ok) in group_ok.iter().enumerate() {
+                                if !ok {
+                                    need_rescue.push(g);
+                                }
+                            }
+                        } else if hedged {
+                            break;
+                        }
+                    }
                 }
             }
         })
         .map_err(|_| Error::Config("the central query node panicked".into()))?;
+        drop(pool);
         if let Some(cause) = budget_stop {
             return Err(Error::DeadlineExceeded {
                 shards_answered: answered,
@@ -1128,38 +1468,57 @@ impl DistributedIndex {
             });
         }
 
-        // Per group: take the primary's answer if it is good, else fail
-        // over to the lowest-numbered live replica. Health reflects
-        // exactly what each copy did this round.
-        for (g, group) in slots.iter().enumerate() {
-            for (c, slot) in group.iter().enumerate() {
-                self.copy_health[g][c] = matches!(slot, Some(Ok(_)));
+        // Health and failure streaks reflect exactly what each
+        // *consulted* copy did this round; unconsulted copies (routed
+        // mode) keep their previous state.
+        for g in 0..n {
+            for c in 0..copies {
+                if !spawned[g][c] {
+                    continue;
+                }
+                let ok = matches!(&slots[g][c], Some(Ok(_)));
+                self.copy_health[g][c] = ok;
+                self.copy_fail_streak[g][c] = if ok {
+                    0
+                } else {
+                    self.copy_fail_streak[g][c].saturating_add(1)
+                };
             }
         }
+        // Per group: take the preferred copy's answer if it is good,
+        // else fail over to the lowest-numbered live copy —
+        // deterministic regardless of arrival order.
         let mut locals = Vec::with_capacity(n);
         let mut elapsed = vec![window; n];
+        let mut served_by: Vec<Option<usize>> = vec![None; n];
         let mut failovers = 0usize;
         let mut causes = Vec::new();
-        for (g, group) in slots.into_iter().enumerate() {
-            let mut primary_cause: Option<String> = None;
+        for (g, mut group) in slots.into_iter().enumerate() {
+            let pref = preferred[g];
+            let mut preferred_cause: Option<String> = None;
             let mut chosen: Option<(usize, (Vec<SearchHit>, QueryWork))> = None;
-            for (c, slot) in group.into_iter().enumerate() {
-                match slot {
+            let mut order: Vec<usize> = (0..copies).collect();
+            order.sort_by_key(|&c| (c != pref, c));
+            for c in order {
+                match group[c].take() {
                     Some(Ok(local)) if chosen.is_none() => chosen = Some((c, local)),
-                    Some(Err(cause)) if c == 0 => primary_cause = Some(cause),
+                    Some(Err(cause)) if c == pref && preferred_cause.is_none() => {
+                        preferred_cause = Some(cause);
+                    }
                     _ => {}
                 }
             }
             match chosen {
                 Some((c, local)) => {
-                    if c > 0 {
+                    if c != pref {
                         failovers += 1;
                     }
                     elapsed[g] = took[g][c];
+                    served_by[g] = Some(c);
                     locals.push(Some(local));
                 }
                 None => {
-                    match primary_cause {
+                    match preferred_cause {
                         Some(cause) => causes.push(format!("shard {g}: {cause}")),
                         None => causes.push(format!("shard {g}: no answer within {window:?}")),
                     }
@@ -1178,9 +1537,250 @@ impl DistributedIndex {
             }
             return Err(Error::AllShardsFailed(causes.join("; ")));
         }
-        let result = merge(locals, &sizes, k, elapsed, failovers);
+        let result = merge(locals, &sizes, k, elapsed, failovers, served_by);
         self.record_result(&result);
+        self.note_critical_path(result.slowest_shard());
         Ok(result)
+    }
+
+    /// Stages a background re-replication around permanently lost
+    /// virtual server `lost`: every copy it hosted is scheduled for
+    /// rebuild onto a surviving host, sourced from its group's lowest
+    /// surviving copy. Read-only — the cluster does not change until
+    /// [`commit_rereplication`], and dropping the returned job aborts
+    /// with the cluster byte-identical. Errors if `lost` is out of
+    /// range or some affected group has *no* surviving copy
+    /// (re-replication rebuilds redundancy, it cannot resurrect data).
+    ///
+    /// [`commit_rereplication`]: DistributedIndex::commit_rereplication
+    pub fn begin_rereplication(&mut self, lost: usize) -> Result<RereplicationJob> {
+        let n = self.shards.len();
+        if lost >= n {
+            return Err(Error::Config(format!(
+                "server {lost} out of range (cluster has {n})"
+            )));
+        }
+        self.commit()?;
+        let pinned_epoch = self.epoch();
+        let mut units: Vec<RereplUnit> = Vec::new();
+        for g in 0..n {
+            let mut dead_slots = Vec::new();
+            if self.primary_host[g] == lost {
+                dead_slots.push(0);
+            }
+            for c in 1..=self.replication {
+                if self.replica_host[g][c - 1] == lost {
+                    dead_slots.push(c);
+                }
+            }
+            if dead_slots.is_empty() {
+                continue;
+            }
+            // Source: the group's lowest-numbered copy on a surviving
+            // host. Copies mirror each other byte for byte, so any
+            // survivor is an exact source.
+            let (snapshot, epoch) = if self.primary_host[g] != lost {
+                let primary = &mut self.shards[g];
+                (primary.snapshot()?, primary.epoch())
+            } else {
+                let survivor = (1..=self.replication)
+                    .find(|c| self.replica_host[g][c - 1] != lost)
+                    .ok_or_else(|| {
+                        Error::Config(format!(
+                            "group {g} has no surviving copy to re-replicate from"
+                        ))
+                    })?;
+                let replica = &mut self.replicas[g][survivor - 1];
+                (replica.snapshot()?, replica.epoch())
+            };
+            // Place each rebuilt copy on the smallest surviving host
+            // not already holding a copy of this group (falling back to
+            // any survivor when the cluster is too small to keep the
+            // copies host-disjoint).
+            for slot in dead_slots {
+                let mut taken: Vec<usize> = Vec::new();
+                if self.primary_host[g] != lost {
+                    taken.push(self.primary_host[g]);
+                }
+                for c in 1..=self.replication {
+                    let host = self.replica_host[g][c - 1];
+                    if host != lost {
+                        taken.push(host);
+                    }
+                }
+                taken.extend(units.iter().filter(|u| u.group == g).map(|u| u.host));
+                let host = (0..n)
+                    .find(|h| *h != lost && !taken.contains(h))
+                    .or_else(|| (0..n).find(|h| *h != lost))
+                    .ok_or_else(|| {
+                        Error::Config("no surviving host to place a rebuilt copy".into())
+                    })?;
+                units.push(RereplUnit {
+                    group: g,
+                    copy: slot,
+                    host,
+                    snapshot: snapshot.clone(),
+                    epoch,
+                });
+            }
+        }
+        Ok(RereplicationJob {
+            lost,
+            pinned_epoch,
+            units,
+            rebuilt: Vec::new(),
+            hang: self.hang,
+        })
+    }
+
+    /// Commits a finished [`RereplicationJob`]: logs a
+    /// [`WAL_OP_CONTROL`] audit record, swaps every rebuilt copy into
+    /// its slot, updates placement, resets the affected health and
+    /// failure streaks and refreshes `ir_replicas_healthy`. Refuses
+    /// with [`Error::RereplicationStale`] when the cluster epoch moved
+    /// since the job was staged (an interleaved write or rebalance —
+    /// the staged snapshots no longer describe the cluster), and with a
+    /// config error when the job is not
+    /// [`done`](RereplicationJob::is_done). Returns how many copies
+    /// were installed.
+    pub fn commit_rereplication(&mut self, job: RereplicationJob) -> Result<usize> {
+        if !job.is_done() {
+            return Err(Error::Config(format!(
+                "re-replication commit before completion: {}/{} objects rebuilt",
+                job.completed(),
+                job.objects()
+            )));
+        }
+        if self.epoch() != job.pinned_epoch {
+            return Err(Error::RereplicationStale {
+                pinned: job.pinned_epoch,
+                current: self.epoch(),
+            });
+        }
+        // Durable audit intent before the swap — replay treats the
+        // record as a no-op (placement is derived state), but every
+        // control-plane decision lands on the permanent record.
+        if let Some(wal) = &self.wal {
+            let mut rec = Vec::with_capacity(8 + 12 * job.units.len());
+            rec.extend_from_slice(&(job.lost as u32).to_le_bytes());
+            rec.extend_from_slice(&(job.units.len() as u32).to_le_bytes());
+            for unit in &job.units {
+                rec.extend_from_slice(&(unit.group as u32).to_le_bytes());
+                rec.extend_from_slice(&(unit.copy as u32).to_le_bytes());
+                rec.extend_from_slice(&(unit.host as u32).to_le_bytes());
+            }
+            wal.log_sync(WAL_OP_CONTROL, &[&rec])?;
+        }
+        let RereplicationJob { units, rebuilt, .. } = job;
+        let installed = units.len();
+        for (unit, mut copy) in units.into_iter().zip(rebuilt) {
+            if unit.copy == 0 {
+                if let Some(wal) = &self.wal {
+                    copy.set_wal(wal.clone());
+                }
+                self.shards[unit.group] = copy;
+                self.primary_host[unit.group] = unit.host;
+            } else {
+                self.replicas[unit.group][unit.copy - 1] = copy;
+                self.replica_host[unit.group][unit.copy - 1] = unit.host;
+            }
+            self.copy_health[unit.group][unit.copy] = true;
+            self.copy_fail_streak[unit.group][unit.copy] = 0;
+        }
+        if let Some(m) = &self.metrics {
+            m.rereplication_objects.add(installed as u64);
+        }
+        self.refresh_health_gauge();
+        Ok(installed)
+    }
+}
+
+/// One replica copy staged for rebuild by a [`RereplicationJob`]:
+/// which copy slot of which group, the surviving host it lands on, and
+/// the source snapshot it is rebuilt from.
+struct RereplUnit {
+    group: usize,
+    /// Copy slot being replaced (0 = the group's primary).
+    copy: usize,
+    /// Surviving virtual host the rebuilt copy is placed on.
+    host: usize,
+    snapshot: Vec<u8>,
+    epoch: u64,
+}
+
+/// A staged background re-replication: every copy a permanently lost
+/// virtual server hosted, rebuilt off to the side from each group's
+/// lowest surviving copy and swapped in on commit.
+///
+/// Drive it with [`step`](RereplicationJob::step) — one object per
+/// call, so the caller can interleave admission-gate checks between
+/// chunks — then hand it back to
+/// [`DistributedIndex::commit_rereplication`]. Dropping the job
+/// instead aborts with the cluster byte-identical: nothing is mutated
+/// before commit. Each step consults the fault plan at
+/// `rereplicate:<lost>:<group>`.
+pub struct RereplicationJob {
+    lost: usize,
+    /// Cluster epoch when the job was staged; commit refuses to land
+    /// on a cluster that has moved on.
+    pinned_epoch: u64,
+    units: Vec<RereplUnit>,
+    rebuilt: Vec<TextIndex>,
+    hang: Duration,
+}
+
+impl RereplicationJob {
+    /// The virtual server this job heals around.
+    pub fn lost_server(&self) -> usize {
+        self.lost
+    }
+
+    /// Copies staged for rebuild.
+    pub fn objects(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Copies rebuilt so far.
+    pub fn completed(&self) -> usize {
+        self.rebuilt.len()
+    }
+
+    /// Whether every staged copy has been rebuilt.
+    pub fn is_done(&self) -> bool {
+        self.rebuilt.len() == self.units.len()
+    }
+
+    /// Rebuilds the next staged copy. Consults `plan` at
+    /// `rereplicate:<lost>:<group>` first: an injected delay or `Hang`
+    /// stalls the step, an `Error`/`Garbage` fails it — the caller
+    /// drops the job and the cluster stays byte-identical. Returns
+    /// whether the job is now complete.
+    pub fn step(&mut self, plan: Option<&FaultPlan>) -> Result<bool> {
+        let Some(unit) = self.units.get(self.rebuilt.len()) else {
+            return Ok(true);
+        };
+        if let Some(plan) = plan {
+            let label = format!("rereplicate:{}:{}", self.lost, unit.group);
+            let delay = plan.decide_delay(&label);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
+            match plan.decide(&label) {
+                FaultAction::None => {}
+                FaultAction::Hang => std::thread::sleep(self.hang),
+                FaultAction::Error | FaultAction::Garbage => {
+                    return Err(Error::Config(format!(
+                        "re-replication aborted: injected fault rebuilding group {} \
+                         (cluster untouched)",
+                        unit.group
+                    )));
+                }
+            }
+        }
+        let mut copy = TextIndex::restore(&unit.snapshot)?;
+        copy.set_epoch(unit.epoch);
+        self.rebuilt.push(copy);
+        Ok(self.is_done())
     }
 }
 
@@ -1269,6 +1869,7 @@ fn merge(
     k: usize,
     shard_elapsed: Vec<Duration>,
     failovers: usize,
+    served_by: Vec<Option<usize>>,
 ) -> DistributedResult {
     let mut per_shard_work = Vec::with_capacity(locals.len());
     let mut failed_shards = Vec::new();
@@ -1304,6 +1905,7 @@ fn merge(
         quality,
         per_shard_work,
         shard_elapsed,
+        served_by,
     }
 }
 
@@ -1825,6 +2427,198 @@ mod tests {
         assert_eq!(report.shards_after, 2);
         let rebalanced = d.query_serial("winner", 10).unwrap();
         assert_eq!(ranking(&before), ranking(&rebalanced));
+    }
+
+    #[test]
+    fn round_robin_routing_answers_identically_to_primary_routing() {
+        let mut primary_only = build_replicated(4, 200, 2);
+        let mut routed = build_replicated(4, 200, 2);
+        routed.set_read_routing(ReadRouting::RoundRobin);
+        for q in ["winner tennis", "tennis", "winner", "report number3"] {
+            let a = primary_only.query_parallel(q, 10).unwrap();
+            let b = routed.query_parallel(q, 10).unwrap();
+            assert_eq!(a, b, "routing changed the answer for {q:?}");
+            assert_eq!(b.failovers, 0);
+            assert_eq!(b.served_by.len(), 4);
+            assert!(b.served_by.iter().all(Option::is_some));
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_across_copies() {
+        let mut d = build_replicated(3, 90, 2);
+        d.set_read_routing(ReadRouting::RoundRobin);
+        let mut seen: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        for _ in 0..3 {
+            let r = d.query_parallel("winner", 10).unwrap();
+            for (g, copy) in r.served_by.iter().enumerate() {
+                seen[g].push(copy.unwrap());
+            }
+        }
+        // Three queries over three copies: every copy of every group
+        // served exactly once.
+        for (g, copies) in seen.iter().enumerate() {
+            let mut sorted = copies.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "group {g} rotation: {copies:?}");
+        }
+    }
+
+    #[test]
+    fn a_failed_routed_copy_is_rescued_exactly() {
+        let mut d = build_replicated(3, 120, 1);
+        d.set_read_routing(ReadRouting::RoundRobin);
+        // First routed query hits copy 0 everywhere; kill group 1's
+        // primary so its selected copy fails and the replica rescues.
+        d.set_fault_plan(
+            FaultPlan::seeded(31)
+                .with_script("shard:1", vec![FaultAction::Error])
+                .shared(),
+        );
+        let r = d.query_parallel("winner tennis", 10).unwrap();
+        assert!(!r.is_degraded(), "rescue should have covered: {r:?}");
+        assert_eq!(r.failovers, 1);
+        assert_eq!(r.served_by[1], Some(1));
+        let mut healthy = build_replicated(3, 120, 1);
+        let expected = healthy.query_parallel("winner tennis", 10).unwrap();
+        assert_eq!(r.hits, expected.hits);
+    }
+
+    #[test]
+    fn a_hung_routed_copy_is_hedged_within_the_window() {
+        let mut d = build_replicated(3, 120, 1);
+        d.set_read_routing(ReadRouting::RoundRobin);
+        d.set_shard_deadline(Duration::from_millis(200));
+        d.set_hang_duration(Duration::from_millis(400));
+        d.set_fault_plan(
+            FaultPlan::seeded(32)
+                .with_script("shard:0", vec![FaultAction::Hang])
+                .shared(),
+        );
+        let r = d.query_parallel("winner", 10).unwrap();
+        assert!(
+            !r.is_degraded(),
+            "the half-window hedge should have rescued group 0: {r:?}"
+        );
+        assert_eq!(r.served_by[0], Some(1));
+        assert_eq!(r.failovers, 1);
+    }
+
+    #[test]
+    fn failure_streaks_accumulate_and_declare_loss() {
+        let mut d = build_replicated(4, 120, 1);
+        let plan = FaultPlan::seeded(33);
+        for label in d.fault_labels_for_server(2) {
+            plan.set_site(label, FaultSpec::always_error());
+        }
+        d.set_fault_plan(plan.shared());
+        assert_eq!(d.lost_servers(3), Vec::<usize>::new());
+        for _ in 0..2 {
+            d.query_parallel("winner", 10).unwrap();
+            assert_eq!(d.lost_servers(3), Vec::<usize>::new(), "below threshold");
+        }
+        d.query_parallel("winner", 10).unwrap();
+        assert_eq!(d.lost_servers(3), vec![2]);
+        // A healthy copy answering resets its streak: drop the faults
+        // and the server recovers.
+        d.set_fault_plan(FaultPlan::none().shared());
+        d.query_parallel("winner", 10).unwrap();
+        assert_eq!(d.lost_servers(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn rereplication_restores_redundancy_onto_survivors() {
+        let mut d = build_replicated(4, 160, 1);
+        let before = d.query_parallel("winner tennis", 10).unwrap();
+        let mut job = d.begin_rereplication(2).unwrap();
+        // Host 2 held group 2's primary and group 1's replica.
+        assert_eq!(job.objects(), 2);
+        while !job.step(None).unwrap() {}
+        let installed = d.commit_rereplication(job).unwrap();
+        assert_eq!(installed, 2);
+        assert_ne!(d.primary_server(2), 2, "primary must move off the dead host");
+        assert!(!d.replica_servers(1).contains(&2));
+        // Copies of each affected group stay host-disjoint.
+        for g in [1usize, 2] {
+            let mut hosts = vec![d.primary_server(g)];
+            hosts.extend(d.replica_servers(g));
+            hosts.sort_unstable();
+            hosts.dedup();
+            assert_eq!(hosts.len(), 2, "group {g} copies share a host");
+        }
+        // The answer is unchanged, and a whole-machine kill of the new
+        // placement's *other* hosts still fails over exactly.
+        let after = d.query_parallel("winner tennis", 10).unwrap();
+        assert_eq!(before, after);
+        // The relocated primary is consulted under its host-qualified
+        // label: killing the dead host's old labels does nothing.
+        let plan = FaultPlan::seeded(34);
+        plan.set_site("shard:2", FaultSpec::always_error());
+        d.set_fault_plan(plan.shared());
+        let unaffected = d.query_parallel("winner tennis", 10).unwrap();
+        assert_eq!(unaffected.failovers, 0, "stale label hit the moved primary");
+    }
+
+    #[test]
+    fn an_injected_rereplication_fault_aborts_byte_identically() {
+        let mut d = build_replicated(4, 160, 1);
+        let layout_before = d.layout().to_vec();
+        let content_before = d.content_snapshot_shards().unwrap();
+        let placement_before: Vec<(usize, Vec<usize>)> = (0..4)
+            .map(|g| (d.primary_server(g), d.replica_servers(g)))
+            .collect();
+        let plan = FaultPlan::seeded(35);
+        plan.set_site("rereplicate:2:2", FaultSpec::always_error());
+        d.set_fault_plan(plan.shared());
+        let mut job = d.begin_rereplication(2).unwrap();
+        let plan_ref = d.faults.clone();
+        let mut failed = false;
+        loop {
+            match job.step(plan_ref.as_deref()) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => {
+                    assert!(e.to_string().contains("re-replication aborted"), "{e}");
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failed, "the injected fault should have fired");
+        drop(job);
+        assert_eq!(d.layout(), &layout_before[..]);
+        assert_eq!(d.content_snapshot_shards().unwrap(), content_before);
+        let placement_after: Vec<(usize, Vec<usize>)> = (0..4)
+            .map(|g| (d.primary_server(g), d.replica_servers(g)))
+            .collect();
+        assert_eq!(placement_before, placement_after);
+    }
+
+    #[test]
+    fn a_stale_rereplication_commit_is_refused() {
+        let mut d = build_replicated(3, 90, 1);
+        let mut job = d.begin_rereplication(1).unwrap();
+        while !job.step(None).unwrap() {}
+        // The cluster moves on while the job was being built.
+        d.index_document("http://site/new.html", "tennis winner fresh")
+            .unwrap();
+        d.commit().unwrap();
+        match d.commit_rereplication(job) {
+            Err(Error::RereplicationStale { pinned, current }) => {
+                assert!(current > pinned);
+            }
+            other => panic!("expected RereplicationStale, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rereplication_with_no_surviving_copy_is_an_error() {
+        // R=0: losing a server loses its group's only copy.
+        let mut d = build(3, 60);
+        match d.begin_rereplication(0).map(|j| j.objects()) {
+            Err(Error::Config(m)) => assert!(m.contains("no surviving copy"), "{m}"),
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 
     #[test]

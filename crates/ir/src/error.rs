@@ -19,6 +19,16 @@ pub enum Error {
     /// taken at different epochs. Restoring it would silently build a
     /// skewed index, so it is refused instead.
     SnapshotMismatch(String),
+    /// A staged re-replication job tried to commit onto a cluster
+    /// whose epoch moved since the job was staged (an interleaved
+    /// write or rebalance): its snapshots no longer describe the
+    /// cluster, so the commit is refused and the caller re-stages.
+    RereplicationStale {
+        /// Cluster epoch the job was staged against.
+        pinned: u64,
+        /// Cluster epoch found at commit time.
+        current: u64,
+    },
     /// The caller's query budget expired before the evaluation
     /// finished. Carries how far the scatter-gather got so upper
     /// layers can report partial progress.
@@ -39,6 +49,10 @@ impl fmt::Display for Error {
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::AllShardsFailed(m) => write!(f, "all servers failed: {m}"),
             Error::SnapshotMismatch(m) => write!(f, "shard snapshot mismatch: {m}"),
+            Error::RereplicationStale { pinned, current } => write!(
+                f,
+                "re-replication is stale: staged at epoch {pinned}, cluster now at {current}"
+            ),
             Error::DeadlineExceeded {
                 shards_answered,
                 cause,

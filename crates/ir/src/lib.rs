@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod distrib;
 pub mod error;
 pub mod frag;
@@ -41,7 +42,11 @@ pub mod lang;
 pub mod rebalance;
 pub mod text;
 
-pub use distrib::{DistributedIndex, DistributedResult, ShardHealth, ROUTE_SLOTS};
+pub use control::{ClusterView, ControlConfig, ControlDecision, ControlPolicy};
+pub use distrib::{
+    DistributedIndex, DistributedResult, ReadRouting, RereplicationJob, ShardHealth,
+    ROUTE_SLOTS,
+};
 pub use error::{Error, Result};
 pub use frag::FragmentedIndex;
 pub use index::{DocExport, ScoreModel, SearchHit, TextIndex};

@@ -16,6 +16,7 @@ verify:
     just distribution-smoke
     just scale-smoke
     just maintenance-smoke
+    just control-smoke
 
 # Crash-point recovery: the durability harness (WAL + snapshot fault
 # sweeps) plus a smoke pass of the E13 recovery bench.
@@ -61,6 +62,14 @@ maintenance-smoke:
     cargo test --offline -q -p dlsearch --test online_maintenance
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench online_maintenance
 
+# Self-healing control plane: the control-plane suite (policy-driven
+# rebalances, loss declaration → background re-replication, the chaos
+# abort sweep, WAL replay idempotence, round-robin read-scaling) plus
+# a smoke pass of the E19 bench.
+control-smoke:
+    cargo test --offline -q -p dlsearch --test control_plane
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench control
+
 build:
     cargo build --offline
 
@@ -73,9 +82,9 @@ clippy:
 # Perf baselines: E11 (parallel ingestion), E12 (query cache), E13
 # (recovery), E14 (overload), E15 (observability overhead), E16
 # (distribution: scaling, failover, rebalance), E17 (scale +
-# compression), E18 (online maintenance). Full runs refresh the
-# BENCH_*.json artifacts in-repo; all emit the shared schema_version=1
-# envelope.
+# compression), E18 (online maintenance), E19 (control plane:
+# read-scaling + re-replication). Full runs refresh the BENCH_*.json
+# artifacts in-repo; all emit the shared schema_version=1 envelope.
 bench:
     cargo bench --offline -p bench --bench ingest
     cargo bench --offline -p bench --bench query_cache
@@ -85,6 +94,7 @@ bench:
     cargo bench --offline -p bench --bench distribution
     cargo bench --offline -p bench --bench scale
     cargo bench --offline -p bench --bench online_maintenance
+    cargo bench --offline -p bench --bench control
 
 # The flagship scenario, healthy and under injected faults.
 demo:

@@ -130,6 +130,9 @@ fn metrics_scrape_spans_every_layer() {
         "webspace_queries_total",
         "monetxml_path_scans_total",
         "ir_queries_total",
+        "ir_control_decisions_total",
+        "ir_rereplication_objects_total",
+        "ir_read_route_total",
         "monet_wal_appends_total",
         "obs_span_seconds",
     ] {

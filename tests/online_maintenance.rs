@@ -360,3 +360,49 @@ fn correction_bump_retains_the_warm_caches() {
     );
     assert_eq!(engine.media_cache_len(), media_before);
 }
+
+/// Satellite: while a maintenance job is in flight, a second
+/// `begin_upgrade` / `begin_heal` on the same detector is refused with
+/// the typed `MaintenanceBusy` error instead of clobbering the first
+/// job's pinned snapshot. A *different* detector is free to begin, and
+/// once the first job commits or aborts the detector is released.
+#[test]
+fn a_second_begin_on_a_busy_detector_is_refused() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = ausopen::engine(Arc::clone(&site)).unwrap();
+    engine.populate(&crawl(&site)).unwrap();
+
+    let first = engine
+        .begin_upgrade("tennis", RevisionLevel::Minor, netplay_tennis())
+        .unwrap();
+
+    // Same detector, any kind of begin: typed refusal, no side effects.
+    match engine.begin_upgrade("tennis", RevisionLevel::Minor, netplay_tennis()) {
+        Err(Error::MaintenanceBusy { detector }) => assert_eq!(detector, "tennis"),
+        other => panic!("expected MaintenanceBusy, got {:?}", other.map(|j| j.delta_count())),
+    }
+    match engine.begin_heal("tennis") {
+        Err(Error::MaintenanceBusy { detector }) => assert_eq!(detector, "tennis"),
+        other => panic!("expected MaintenanceBusy, got {:?}", other.map(|j| j.delta_count())),
+    }
+
+    // A different detector is not blocked by tennis's job.
+    let other_job = engine.begin_heal("segment").unwrap();
+    engine.abort_maintenance(other_job).unwrap();
+
+    // Committing the first job releases the detector for the next cycle.
+    let mut first = first;
+    first.run().unwrap();
+    engine.commit_maintenance(first).unwrap();
+    let next = engine.begin_heal("tennis").unwrap();
+    engine.abort_maintenance(next).unwrap();
+
+    // An *aborted* job releases it too (drop-based, so a job that dies
+    // on the floor cannot leak the busy flag).
+    let killed = engine
+        .begin_upgrade("tennis", RevisionLevel::Minor, netplay_tennis())
+        .unwrap();
+    engine.abort_maintenance(killed).unwrap();
+    let after_abort = engine.begin_heal("tennis").unwrap();
+    engine.abort_maintenance(after_abort).unwrap();
+}
