@@ -1,0 +1,185 @@
+//! E20 — telemetry history, burn rates and the flight recorder.
+//!
+//! Three questions, one engine:
+//!
+//! 1. **Steady-state overhead** — per-query latency with observability
+//!    enabled, alone vs with a `Telemetry::tick` interleaved between
+//!    queries (the tick runs outside the timed window, exactly as the
+//!    operator loop drives it, so the delta is what the sampler's
+//!    registry snapshots and burn-rate math cost the query hot path).
+//!    The acceptance bar is < 5%.
+//! 2. **Incident dump latency** — one `dump_incident` call, timed,
+//!    with the flight ring and slow log warm.
+//! 3. **Detection speed** — a fault-injected 25ms latency storm on
+//!    every shard; how many ticks until the fast-window burn pages.
+//!
+//! Results land in `BENCH_slo.json` at the repository root.
+//! `BENCH_SMOKE=1` shrinks the workload and skips the JSON write.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dlsearch::{qlang, EngineConfig, QueryService, Telemetry, TelemetryConfig};
+use faults::{DelaySpec, FaultPlan};
+use obs::report::{BenchReport, Json};
+use obs::{AlertState, Obs, SloSignal, SloSpec};
+
+const FIGURE13: &str = r#"
+    FROM Player
+    WHERE gender = "female" AND hand = "left"
+    TEXT history CONTAINS "Winner"
+    VIA Is_covered_in
+    MEDIA video HAS netplay
+    TOP 10
+"#;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn samples_json(samples: &[f64]) -> Json {
+    Json::Arr(samples.iter().map(|s| Json::Num(*s)).collect())
+}
+
+fn storm_slo() -> SloSpec {
+    SloSpec {
+        name: "query-latency-storm",
+        objective: 0.9,
+        signal: SloSignal::LatencyAbove {
+            histogram: "obs_span_seconds{span=\"engine.query\"}".to_owned(),
+            threshold_seconds: 0.005,
+        },
+        fast_window: 2,
+        slow_window: 4,
+        page_burn: 2.0,
+        warn_burn: 1.0,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let (players, iters) = if smoke { (4, 3) } else { (24, 40) };
+    let site = bench::site(players, players * 2);
+    let mut engine = dlsearch::Engine::new(EngineConfig {
+        text_servers: 2,
+        ..dlsearch::ausopen::config(Arc::clone(&site))
+    })
+    .expect("engine config");
+    let o = Obs::enabled();
+    engine.set_obs(&o);
+    engine.populate(&websim::crawl(&site)).expect("populate");
+    let query = qlang::parse(FIGURE13).unwrap();
+
+    // Baseline: observability on, no telemetry loop running.
+    let mut baseline = Vec::new();
+    let mut reference = None;
+    for _ in 0..iters {
+        engine.invalidate_query_cache();
+        let start = Instant::now();
+        let hits = engine.query(&query).expect("baseline query");
+        baseline.push(start.elapsed().as_secs_f64() * 1e6);
+        reference.get_or_insert(hits);
+    }
+    let reference = reference.expect("at least one iteration");
+
+    // With telemetry: the operator loop ticks between queries. Only
+    // the query is timed — the sampler must not slow the hot path.
+    let incident_dir = std::env::temp_dir().join(format!("dl_bench_slo_{}", std::process::id()));
+    std::fs::remove_dir_all(&incident_dir).ok();
+    let svc = QueryService::new(engine);
+    let mut telemetry = Telemetry::new(
+        &o,
+        TelemetryConfig {
+            incident_dir: Some(incident_dir.clone()),
+            ..TelemetryConfig::default()
+        },
+    );
+    telemetry.attach(&svc);
+    let mut with_telemetry = Vec::new();
+    let mut tick_us = Vec::new();
+    for _ in 0..iters {
+        svc.engine().invalidate_query_cache();
+        let start = Instant::now();
+        let hits = svc.engine().query(&query).expect("telemetry query");
+        with_telemetry.push(start.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(hits, reference, "telemetry changed the answer");
+        let tick_start = Instant::now();
+        telemetry.tick(&svc).expect("telemetry tick");
+        tick_us.push(tick_start.elapsed().as_secs_f64() * 1e6);
+    }
+
+    // Incident dump latency, flight ring and slow log warm.
+    let dump_start = Instant::now();
+    let dumped = telemetry
+        .dump_incident(&svc, "bench-manual")
+        .expect("dump incident")
+        .expect("incident dir configured");
+    let dump_us = dump_start.elapsed().as_secs_f64() * 1e6;
+    let dump_bytes = std::fs::metadata(&dumped).map(|m| m.len()).unwrap_or(0);
+
+    // Detection speed: a 25ms storm on every shard against an
+    // aggressive latency SLO — ticks until the fast window pages.
+    let plan = FaultPlan::seeded(47);
+    plan.set_delay_site("shard:0", DelaySpec::always(Duration::from_millis(25)));
+    plan.set_delay_site("shard:1", DelaySpec::always(Duration::from_millis(25)));
+    svc.engine().text_index_mut().set_fault_plan(plan.shared());
+    let mut storm = Telemetry::new(
+        &o,
+        TelemetryConfig {
+            slos: vec![storm_slo()],
+            incident_dir: Some(incident_dir.clone()),
+            ..TelemetryConfig::default()
+        },
+    );
+    let mut ticks_to_page = None;
+    for tick in 1..=10u64 {
+        svc.engine().query(&query).expect("storm query");
+        svc.engine().invalidate_query_cache();
+        let round = storm.tick(&svc).expect("storm tick");
+        if round
+            .transitions
+            .iter()
+            .any(|t| t.to == AlertState::Page)
+        {
+            ticks_to_page = Some(tick);
+            break;
+        }
+    }
+    let ticks_to_page = ticks_to_page.expect("the storm must page within 10 ticks");
+
+    let baseline_med = median(&mut baseline);
+    let telemetry_med = median(&mut with_telemetry);
+    let tick_med = median(&mut tick_us);
+    let overhead_pct = (telemetry_med / baseline_med.max(f64::EPSILON) - 1.0) * 100.0;
+    println!("e20_slo/baseline:  median {baseline_med:.1} us");
+    println!("e20_slo/telemetry: median {telemetry_med:.1} us ({overhead_pct:+.1}%)");
+    println!("e20_slo/tick:      median {tick_med:.1} us");
+    println!("e20_slo/dump:      {dump_us:.1} us ({dump_bytes} bytes)");
+    println!("e20_slo/storm:     paged after {ticks_to_page} tick(s)");
+
+    std::fs::remove_dir_all(&incident_dir).ok();
+    if smoke {
+        println!("e20_slo: smoke mode, not writing BENCH_slo.json");
+        return;
+    }
+    let report = BenchReport::new("e20_slo_burn_rates")
+        .config("players", Json::Int(players as i64))
+        .config("articles", Json::Int(players as i64 * 2))
+        .config("iterations", Json::Int(iters as i64))
+        .config("history", Json::Int(32))
+        .result("baseline_median_us", Json::Num(baseline_med))
+        .result("telemetry_median_us", Json::Num(telemetry_med))
+        .result("hot_path_overhead_pct", Json::Num(overhead_pct))
+        .result("tick_median_us", Json::Num(tick_med))
+        .result("incident_dump_us", Json::Num(dump_us))
+        .result("incident_dump_bytes", Json::Int(dump_bytes as i64))
+        .result("storm_ticks_to_page", Json::Int(ticks_to_page as i64))
+        .result("baseline_samples_us", samples_json(&baseline))
+        .result("telemetry_samples_us", samples_json(&with_telemetry))
+        .result("tick_samples_us", samples_json(&tick_us))
+        .metrics(o.registry().expect("enabled"));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_slo.json");
+    std::fs::write(path, report.render()).expect("write BENCH_slo.json");
+    println!("e20_slo: wrote {path}");
+}

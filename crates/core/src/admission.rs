@@ -153,6 +153,9 @@ pub struct OverloadStatus {
     pub recent_p50: Option<Duration>,
     /// Recent ladder movements, oldest first (bounded ring).
     pub transitions: Vec<LevelTransition>,
+    /// Burn-rate context per SLO, filled by [`crate::Engine::overload_status`]
+    /// when a telemetry layer is attached (empty otherwise).
+    pub slo: Vec<obs::SloStatus>,
 }
 
 /// Transition-log ring capacity.
@@ -304,6 +307,11 @@ impl AdmissionGate {
                 queued: state.queued,
                 running: state.running,
             });
+            let (queued, running) = (state.queued, state.running);
+            let from = state.level;
+            state.obs.record_event("admission", || {
+                format!("ladder {from:?}->{next:?} queued={queued} running={running}")
+            });
             state.level = next;
         }
     }
@@ -416,6 +424,7 @@ impl AdmissionGate {
             completed: state.completed,
             recent_p50: median(&state.latencies),
             transitions: state.transitions.iter().cloned().collect(),
+            slo: Vec::new(),
         }
     }
 

@@ -33,7 +33,7 @@
 
 #![deny(clippy::unwrap_used)]
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use faults::{FaultAction, FaultPlan};
@@ -95,6 +95,11 @@ pub struct ControlPlane {
     /// threaded into re-replication steps (`rereplicate:<lost>:<group>`).
     faults: Option<Arc<FaultPlan>>,
     obs: obs::Obs,
+    /// Telemetry recorder + window (in ticks): when attached, the
+    /// policy's latency trigger uses the windowed p99 reconstructed
+    /// from `ir_critical_path_seconds` bucket deltas instead of the
+    /// instantaneous ring observation.
+    telemetry: Option<(Arc<Mutex<obs::Recorder>>, usize)>,
 }
 
 impl ControlPlane {
@@ -104,12 +109,21 @@ impl ControlPlane {
             policy: ControlPolicy::new(cfg),
             faults,
             obs: obs::Obs::disabled(),
+            telemetry: None,
         }
     }
 
     /// Routes the control plane's metrics into `o`'s registry.
     pub fn set_obs(&mut self, o: &obs::Obs) {
         self.obs = o.clone();
+    }
+
+    /// Closes the loop with the telemetry layer: from now on the
+    /// policy's latency trigger reads the windowed p99 over the
+    /// recorder's last `p99_window` ticks (falling back to the
+    /// instantaneous observation while the window is still empty).
+    pub fn set_telemetry(&mut self, telemetry: &crate::telemetry::Telemetry) {
+        self.telemetry = Some((telemetry.recorder(), telemetry.p99_window()));
     }
 
     /// The wrapped policy (tick counter, cooldown state).
@@ -124,12 +138,21 @@ impl ControlPlane {
     /// stale epochs, overload — comes back as a [`ControlOutcome`].
     pub fn tick(&mut self, svc: &QueryService) -> Result<ControlOutcome> {
         self.policy.tick();
-        let decision = {
+        // Observe under a brief borrow, then drop it before consulting
+        // telemetry: the recorder's lock is never held together with
+        // the engine's.
+        let mut view = {
             let engine = svc.engine();
-            let view = engine.control_view(self.policy.config().loss_threshold);
-            self.policy.evaluate(&view)
+            engine.control_view(self.policy.config().loss_threshold)
         };
-        let Some(decision) = decision else {
+        if let Some((recorder, window)) = &self.telemetry {
+            let rec = recorder.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(p99) = rec.windowed_quantile("ir_critical_path_seconds", 0.99, *window)
+            {
+                view.shard_p99 = Duration::from_secs_f64(p99.max(0.0));
+            }
+        }
+        let Some(decision) = self.policy.evaluate(&view) else {
             return Ok(ControlOutcome::Idle);
         };
         let action = decision.action();
@@ -137,7 +160,9 @@ impl ControlPlane {
         let describe = format!("{action}: {}", decision.reason());
         if svc.gate().level() >= OverloadLevel::Brownout {
             self.count_decision("defer");
-            return Ok(ControlOutcome::Deferred(describe));
+            let outcome = ControlOutcome::Deferred(describe);
+            self.record_outcome(&outcome);
+            return Ok(outcome);
         }
         // The policy/mechanism boundary is a fault site of its own:
         // a scripted `control:<action>` fault kills the decision
@@ -151,21 +176,38 @@ impl ControlPlane {
             match plan.decide(&label) {
                 FaultAction::None => {}
                 injected => {
-                    return Ok(ControlOutcome::Aborted(format!(
+                    let outcome = ControlOutcome::Aborted(format!(
                         "{describe} — injected {injected:?} fault before execution \
                          (cluster untouched)"
-                    )));
+                    ));
+                    self.record_outcome(&outcome);
+                    return Ok(outcome);
                 }
             }
         }
-        match decision {
+        let outcome = match decision {
             ControlDecision::Rereplicate { lost, .. } => {
                 self.run_rereplication(svc, lost, describe)
             }
             ControlDecision::Split { target, .. } | ControlDecision::Merge { target, .. } => {
                 self.run_rebalance(svc, target, describe)
             }
-        }
+        }?;
+        self.record_outcome(&outcome);
+        Ok(outcome)
+    }
+
+    /// Leaves a `control` flight-recorder event for any tick that did
+    /// (or explicitly refused to do) something.
+    fn record_outcome(&self, outcome: &ControlOutcome) {
+        let (verb, detail) = match outcome {
+            ControlOutcome::Idle => return,
+            ControlOutcome::Deferred(d) => ("deferred", d),
+            ControlOutcome::Acted(d) => ("acted", d),
+            ControlOutcome::Aborted(d) => ("aborted", d),
+        };
+        self.obs
+            .record_event("control", || format!("{verb}: {detail}"));
     }
 
     /// Background re-replication, two-brief-locks: begin under the

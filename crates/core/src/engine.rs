@@ -202,6 +202,10 @@ pub struct Engine {
     /// The last control-plane decision executed against this engine
     /// (action + reason), surfaced by EXPLAIN ANALYZE.
     last_control_decision: Option<String>,
+    /// The SLO engine, when a telemetry layer is attached
+    /// ([`crate::Telemetry::attach`]); [`Engine::overload_status`]
+    /// folds its burn-rate context into the gate snapshot.
+    slo: Option<Arc<Mutex<obs::SloEngine>>>,
 }
 
 /// Engine-level metric handles, registered once in
@@ -559,6 +563,7 @@ impl Engine {
             last_populate_timings: StageTimings::default(),
             maintenance_inflight: Arc::new(Mutex::new(HashSet::new())),
             last_control_decision: None,
+            slo: None,
         })
     }
 
@@ -999,9 +1004,21 @@ impl Engine {
     }
 
     /// Current overload state: ladder rung, gate occupancy, lifetime
-    /// admission counters and the recent transition log.
+    /// admission counters, the recent transition log — and, when a
+    /// telemetry layer is attached, per-SLO burn-rate context from the
+    /// latest evaluation.
     pub fn overload_status(&self) -> OverloadStatus {
-        self.admission.status()
+        let mut status = self.admission.status();
+        if let Some(slo) = &self.slo {
+            status.slo = slo.lock().unwrap_or_else(|e| e.into_inner()).statuses();
+        }
+        status
+    }
+
+    /// Wires in the SLO engine evaluated by the telemetry layer, so
+    /// [`Engine::overload_status`] can report burn-rate context.
+    pub fn set_slo_engine(&mut self, slo: Arc<Mutex<obs::SloEngine>>) {
+        self.slo = Some(slo);
     }
 
     /// Turns observability on: every layer below — conceptual joins,
@@ -1045,6 +1062,14 @@ impl Engine {
     /// [`Engine::populate_with`] run (zeros before the first run).
     pub fn last_populate_timings(&self) -> StageTimings {
         self.last_populate_timings
+    }
+
+    /// Re-stamps every scrape-time gauge from live state, without
+    /// rendering anything. The telemetry recorder calls this right
+    /// before snapshotting the registry so its samples carry current
+    /// gauge values, exactly as a text scrape would.
+    pub fn refresh_scrape_gauges(&self) {
+        self.refresh_gauges();
     }
 
     /// Re-stamps every scrape-time gauge from live state.
@@ -1836,6 +1861,12 @@ impl Engine {
                 sp.set_outcome(obs::Outcome::Degraded);
             }
             drop(sp);
+            if result.failovers > 0 {
+                let (failovers, failed) = (result.failovers, result.shards_failed);
+                self.obs.record_event("failover", move || {
+                    format!("replica failovers={failovers} shards_failed={failed}")
+                });
+            }
             self.last_text_status = Some(TextQueryStatus {
                 shards_ok: result.shards_ok,
                 shards_failed: result.shards_failed,
@@ -2225,7 +2256,15 @@ impl Engine {
                 )
                 .observe(begun.elapsed().as_secs_f64());
             }
+            reg.counter(
+                "engine_maintenance_finished_total",
+                "Maintenance jobs that reached commit or abort",
+            )
+            .inc();
         }
+        self.obs.record_event("maintenance", || {
+            format!("commit kind={} reparsed={objects_reparsed}", kind.label())
+        });
         self.refresh_heal_backlog();
         Ok(MaintenanceReport {
             plan,
@@ -2249,6 +2288,21 @@ impl Engine {
                 .replace(&job.detector, version, run)
                 .map_err(Error::Acoi)?;
         }
+        if let Some(reg) = self.obs.registry() {
+            reg.counter(
+                "engine_maintenance_aborts_total",
+                "Maintenance jobs rolled back without touching the store",
+            )
+            .inc();
+            reg.counter(
+                "engine_maintenance_finished_total",
+                "Maintenance jobs that reached commit or abort",
+            )
+            .inc();
+        }
+        let detector = job.detector;
+        self.obs
+            .record_event("maintenance", move || format!("abort detector={detector}"));
         Ok(())
     }
 }

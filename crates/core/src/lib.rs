@@ -61,6 +61,7 @@ pub mod persist;
 pub mod qlang;
 pub mod query;
 pub mod shots;
+pub mod telemetry;
 
 pub use admission::{
     AdmissionConfig, AdmissionGate, LevelTransition, OverloadLevel, OverloadStatus, Permit,
@@ -76,3 +77,4 @@ pub use maintenance::{MaintenanceJob, MaintenanceKind};
 pub use persist::RecoveryReport;
 pub use query::{EngineHit, EngineQuery, MediaPredicate, TextPredicate};
 pub use shots::{video_shots, ShotMeta};
+pub use telemetry::{standard_slos, Telemetry, TelemetryConfig, TelemetryTick};

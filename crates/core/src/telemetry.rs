@@ -1,0 +1,392 @@
+//! The engine-facing telemetry layer: history, SLOs, incidents.
+//!
+//! [`Telemetry`] ties the generic machinery in `obs` to this engine's
+//! metric families. Driven by the same caller loop as
+//! [`crate::ControlPlane::tick`], each [`Telemetry::tick`]:
+//!
+//! 1. refreshes scrape-time gauges under a **brief** engine borrow,
+//! 2. samples the whole registry into the ring-buffer
+//!    [`obs::Recorder`] (lock dropped before the recorder's is taken —
+//!    the two are never held together),
+//! 3. evaluates every configured [`obs::SloSpec`] as fast/slow-window
+//!    burn rates, and
+//! 4. when an SLO pages — or the admission ladder enters Shedding —
+//!    dumps a self-contained JSON **incident report**: SLO states,
+//!    gate occupancy, cluster view, the flight-recorder ring, the
+//!    slow-query traces and a full metrics dump.
+//!
+//! The layer is strictly additive: it reads the registry and emits
+//! `obs_*`/`engine_incident_*` families, never touching an answer
+//! path, so query results stay byte-identical with it on or off.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use obs::report::{Json, SCHEMA_VERSION};
+use obs::{Recorder, SloEngine, SloSignal, SloSpec, SloTransition};
+
+use crate::admission::{OverloadLevel, QueryService};
+use crate::error::Result;
+
+/// Tuning for the telemetry layer.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Registry samples the recorder retains.
+    pub history: usize,
+    /// The objectives to evaluate ([`standard_slos`] by default).
+    pub slos: Vec<SloSpec>,
+    /// Where incident reports are written; `None` keeps dumps
+    /// in-memory only (callers can still ask for the JSON).
+    pub incident_dir: Option<PathBuf>,
+    /// At most this many incident files are written (a paging storm
+    /// must not fill the disk with identical reports).
+    pub max_incidents: usize,
+    /// Window (in ticks) for the control plane's shard p99.
+    pub p99_window: usize,
+    /// Consecutive-failure threshold used when assembling the cluster
+    /// view embedded in incident reports.
+    pub loss_threshold: u32,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            history: 32,
+            slos: standard_slos(),
+            incident_dir: None,
+            max_incidents: 8,
+            p99_window: 8,
+            loss_threshold: 3,
+        }
+    }
+}
+
+/// The engine's standard objectives:
+///
+/// * **query-availability** — at most 0.1% of admission outcomes are
+///   rejections (the gate is the front door; a rejection is this
+///   system's "error response").
+/// * **query-latency** — 99% of `engine.query` spans finish within
+///   250ms (the admission ladder's own latency target).
+/// * **maintenance-success** — at most 5% of finished maintenance
+///   jobs abort.
+pub fn standard_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec {
+            name: "query-availability",
+            objective: 0.999,
+            signal: SloSignal::ErrorRatio {
+                bad: vec!["admission_rejected_total".to_owned()],
+                total: vec![
+                    "admission_admitted_total".to_owned(),
+                    "admission_rejected_total".to_owned(),
+                ],
+            },
+            fast_window: 3,
+            slow_window: 12,
+            page_burn: 14.4,
+            warn_burn: 3.0,
+        },
+        SloSpec {
+            name: "query-latency",
+            objective: 0.99,
+            signal: SloSignal::LatencyAbove {
+                histogram: "obs_span_seconds{span=\"engine.query\"}".to_owned(),
+                threshold_seconds: 0.25,
+            },
+            fast_window: 3,
+            slow_window: 12,
+            page_burn: 14.4,
+            warn_burn: 3.0,
+        },
+        SloSpec {
+            name: "maintenance-success",
+            objective: 0.95,
+            signal: SloSignal::ErrorRatio {
+                bad: vec!["engine_maintenance_aborts_total".to_owned()],
+                total: vec!["engine_maintenance_finished_total".to_owned()],
+            },
+            fast_window: 3,
+            slow_window: 12,
+            page_burn: 4.0,
+            warn_burn: 1.0,
+        },
+    ]
+}
+
+/// What one [`Telemetry::tick`] did.
+#[derive(Debug, Clone)]
+pub struct TelemetryTick {
+    /// The recorder tick number just taken.
+    pub tick: u64,
+    /// SLO alert-state transitions that fired this tick.
+    pub transitions: Vec<SloTransition>,
+    /// Incident files written this tick (empty without a trigger or
+    /// without an `incident_dir`).
+    pub incidents: Vec<PathBuf>,
+}
+
+/// The second observability layer: recorder + SLO engine + incident
+/// dumper, wired to one engine's [`obs::Obs`] handle.
+pub struct Telemetry {
+    obs: obs::Obs,
+    recorder: Arc<Mutex<Recorder>>,
+    slo: Arc<Mutex<SloEngine>>,
+    incident_dir: Option<PathBuf>,
+    max_incidents: usize,
+    p99_window: usize,
+    loss_threshold: u32,
+    incidents_written: usize,
+    incident_seq: u64,
+    /// Highest admission-ladder transition seq already examined, so a
+    /// Shedding entry triggers exactly one dump.
+    last_gate_seq: u64,
+}
+
+impl Telemetry {
+    /// A telemetry layer over the engine's observability handle. With
+    /// a disabled handle every [`Telemetry::tick`] is a cheap no-op.
+    pub fn new(obs: &obs::Obs, config: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            obs: obs.clone(),
+            recorder: Arc::new(Mutex::new(Recorder::new(config.history))),
+            slo: Arc::new(Mutex::new(SloEngine::new(config.slos))),
+            incident_dir: config.incident_dir,
+            max_incidents: config.max_incidents,
+            p99_window: config.p99_window,
+            loss_threshold: config.loss_threshold,
+            incidents_written: 0,
+            incident_seq: 0,
+            last_gate_seq: 0,
+        }
+    }
+
+    /// The shared recorder ([`crate::ControlPlane::set_telemetry`]
+    /// reads windowed p99 through it).
+    pub fn recorder(&self) -> Arc<Mutex<Recorder>> {
+        Arc::clone(&self.recorder)
+    }
+
+    /// The shared SLO engine.
+    pub fn slo_engine(&self) -> Arc<Mutex<SloEngine>> {
+        Arc::clone(&self.slo)
+    }
+
+    /// The configured p99 window, in ticks.
+    pub fn p99_window(&self) -> usize {
+        self.p99_window
+    }
+
+    /// Wires the engine side of the loop: burn-rate context in
+    /// [`crate::Engine::overload_status`].
+    pub fn attach(&self, svc: &QueryService) {
+        svc.engine().set_slo_engine(self.slo_engine());
+    }
+
+    /// One telemetry round: sample, evaluate, maybe dump. See the
+    /// module docs for the locking discipline.
+    pub fn tick(&mut self, svc: &QueryService) -> Result<TelemetryTick> {
+        if self.obs.registry().is_none() {
+            return Ok(TelemetryTick {
+                tick: 0,
+                transitions: Vec::new(),
+                incidents: Vec::new(),
+            });
+        }
+        // 1. Gauges reflect live state under a brief engine borrow.
+        svc.engine().refresh_scrape_gauges();
+        // 2–3. Sample and evaluate (engine borrow already dropped).
+        let at_ns = self.obs.now_ns();
+        let (tick, transitions) = {
+            let mut rec = lock(&self.recorder);
+            let tick = match self.obs.registry() {
+                Some(reg) => rec.record(reg, at_ns),
+                None => 0,
+            };
+            let transitions = lock(&self.slo).evaluate(&rec, &self.obs);
+            (tick, transitions)
+        };
+        // 4. Page-level burn or a fresh entry into Shedding triggers
+        // an incident dump.
+        let mut triggers: Vec<String> = transitions
+            .iter()
+            .filter(|t| t.to == obs::AlertState::Page)
+            .map(|t| format!("slo-page:{}", t.slo))
+            .collect();
+        for t in svc.status().transitions {
+            if t.seq > self.last_gate_seq {
+                self.last_gate_seq = t.seq;
+                if t.to == OverloadLevel::Shedding {
+                    triggers.push("admission-shedding".to_owned());
+                }
+            }
+        }
+        let mut incidents = Vec::new();
+        for trigger in triggers {
+            if let Some(path) = self.dump_incident(svc, &trigger)? {
+                incidents.push(path);
+            }
+        }
+        Ok(TelemetryTick {
+            tick,
+            transitions,
+            incidents,
+        })
+    }
+
+    /// Assembles a self-contained incident report: what fired, what
+    /// every SLO looked like, the gate, the cluster, the recent flight
+    /// events, the retained slow traces and the full metrics dump.
+    pub fn incident_report(&self, svc: &QueryService, trigger: &str) -> Json {
+        let (cluster, overload) = {
+            let engine = svc.engine();
+            engine.refresh_scrape_gauges();
+            (engine.control_view(self.loss_threshold), engine.overload_status())
+        };
+        let statuses = lock(&self.slo).statuses();
+        let tick = lock(&self.recorder).current_tick();
+        let slow: Vec<Json> = self
+            .obs
+            .slow_queries()
+            .into_iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("label".to_owned(), Json::str(e.label)),
+                    ("total_ns".to_owned(), Json::Int(e.total_ns as i64)),
+                    ("trace".to_owned(), Json::str(e.trace.render())),
+                ])
+            })
+            .collect();
+        let events: Vec<Json> = self.obs.flight_events().iter().map(|e| e.to_json()).collect();
+        let slos: Vec<Json> = statuses
+            .into_iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("name".to_owned(), Json::str(s.name)),
+                    ("state".to_owned(), Json::str(s.state.as_str())),
+                    ("fast_burn".to_owned(), Json::Num(s.fast_burn)),
+                    ("slow_burn".to_owned(), Json::Num(s.slow_burn)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema_version".to_owned(), Json::Int(SCHEMA_VERSION)),
+            ("kind".to_owned(), Json::str("incident")),
+            ("trigger".to_owned(), Json::str(trigger)),
+            ("tick".to_owned(), Json::Int(tick as i64)),
+            ("slo".to_owned(), Json::Arr(slos)),
+            (
+                "overload".to_owned(),
+                Json::Obj(vec![
+                    ("level".to_owned(), Json::str(format!("{:?}", overload.level))),
+                    ("running".to_owned(), Json::Int(overload.running as i64)),
+                    ("queued".to_owned(), Json::Int(overload.queued as i64)),
+                    ("admitted".to_owned(), Json::Int(overload.admitted as i64)),
+                    ("rejected".to_owned(), Json::Int(overload.rejected as i64)),
+                    ("timed_out".to_owned(), Json::Int(overload.timed_out as i64)),
+                    ("completed".to_owned(), Json::Int(overload.completed as i64)),
+                ]),
+            ),
+            (
+                "cluster".to_owned(),
+                Json::Obj(vec![
+                    ("servers".to_owned(), Json::Int(cluster.servers as i64)),
+                    ("replication".to_owned(), Json::Int(cluster.replication as i64)),
+                    (
+                        "docs_per_shard".to_owned(),
+                        Json::Arr(
+                            cluster
+                                .docs_per_shard
+                                .iter()
+                                .map(|&d| Json::Int(d as i64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "shard_p99_us".to_owned(),
+                        Json::Int(duration_us(cluster.shard_p99)),
+                    ),
+                    (
+                        "lost_servers".to_owned(),
+                        Json::Arr(
+                            cluster
+                                .lost_servers
+                                .iter()
+                                .map(|&s| Json::Int(s as i64))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            ("events".to_owned(), Json::Arr(events)),
+            ("slow_queries".to_owned(), Json::Arr(slow)),
+            (
+                "metrics".to_owned(),
+                match self.obs.registry() {
+                    Some(reg) => reg.render_json(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Writes one incident report to `incident_dir`, bounded by
+    /// `max_incidents`. Returns the path written, or `None` when no
+    /// directory is configured or the budget is spent (the suppression
+    /// still counts in `engine_incident_dumps_suppressed_total`).
+    pub fn dump_incident(&mut self, svc: &QueryService, trigger: &str) -> Result<Option<PathBuf>> {
+        self.incident_seq += 1;
+        let Some(dir) = self.incident_dir.clone() else {
+            return Ok(None);
+        };
+        if self.incidents_written >= self.max_incidents {
+            if let Some(reg) = self.obs.registry() {
+                reg.counter(
+                    "engine_incident_dumps_suppressed_total",
+                    "Incident dumps skipped after max_incidents was reached",
+                )
+                .inc();
+            }
+            return Ok(None);
+        }
+        let report = self.incident_report(svc, trigger);
+        let slug: String = trigger
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = dir.join(format!("incident-{:04}-{slug}.json", self.incident_seq));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| crate::error::Error::Telemetry(format!("incident dir {}: {e}", dir.display())))?;
+        std::fs::write(&path, report.render())
+            .map_err(|e| crate::error::Error::Telemetry(format!("incident {}: {e}", path.display())))?;
+        self.incidents_written += 1;
+        if let Some(reg) = self.obs.registry() {
+            reg.counter(
+                "engine_incident_dumps_total",
+                "Incident reports written to disk",
+            )
+            .inc();
+        }
+        let shown = path.display().to_string();
+        self.obs
+            .record_event("incident", move || format!("{trigger} -> {shown}"));
+        Ok(Some(path))
+    }
+
+    /// The windowed shard p99 the control plane would see right now
+    /// (`None` while the window holds no parallel queries).
+    pub fn windowed_shard_p99(&self) -> Option<Duration> {
+        lock(&self.recorder)
+            .windowed_quantile("ir_critical_path_seconds", 0.99, self.p99_window)
+            .map(|s| Duration::from_secs_f64(s.max(0.0)))
+    }
+}
+
+fn duration_us(d: Duration) -> i64 {
+    i64::try_from(d.as_micros()).unwrap_or(i64::MAX)
+}
+
+fn lock<T>(m: &Arc<Mutex<T>>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -81,8 +81,12 @@ pub struct ClusterView {
     pub replication: usize,
     /// Documents held by each shard, in shard order.
     pub docs_per_shard: Vec<usize>,
-    /// The observed p99 of recent parallel-query critical paths
-    /// (zero when no parallel query ran yet).
+    /// The p99 of recent parallel-query critical paths (zero when no
+    /// parallel query ran yet). With a telemetry layer attached the
+    /// control plane overrides the instantaneous ring value with the
+    /// windowed p99 reconstructed from `ir_critical_path_seconds`
+    /// bucket deltas, so one slow outlier ages out of the trigger on a
+    /// predictable horizon.
     pub shard_p99: Duration,
     /// Virtual servers whose every hosted copy has exceeded the
     /// consecutive-failure threshold.

@@ -210,6 +210,10 @@ struct IrMetrics {
     degraded: obs::Counter,
     hits: obs::Counter,
     shard_seconds: obs::Histogram,
+    /// Per-query critical path (slowest shard in a parallel merge).
+    /// The telemetry recorder reconstructs windowed p99 from this
+    /// family's bucket deltas to drive the control policy.
+    critical_path_seconds: obs::Histogram,
     failovers: obs::Counter,
     replicas_healthy: obs::Gauge,
     rebalance_moves: obs::Counter,
@@ -254,6 +258,11 @@ impl IrMetrics {
             shard_seconds: registry.histogram(
                 "ir_shard_seconds",
                 "Per-shard answer latency",
+                obs::DEFAULT_TIME_BUCKETS,
+            ),
+            critical_path_seconds: registry.histogram(
+                "ir_critical_path_seconds",
+                "Slowest-shard latency per parallel query (the merge's critical path)",
                 obs::DEFAULT_TIME_BUCKETS,
             ),
             failovers: registry.counter(
@@ -613,12 +622,17 @@ impl DistributedIndex {
         paths[(paths.len() - 1) * 99 / 100]
     }
 
-    /// Records one parallel query's critical path into the p99 ring.
+    /// Records one parallel query's critical path into the p99 ring
+    /// and the `ir_critical_path_seconds` histogram (from which the
+    /// telemetry layer reconstructs windowed p99).
     fn note_critical_path(&mut self, path: Duration) {
         if self.recent_slow.len() == SLOW_RING {
             self.recent_slow.pop_front();
         }
         self.recent_slow.push_back(path);
+        if let Some(m) = &self.metrics {
+            m.critical_path_seconds.observe(path.as_secs_f64());
+        }
     }
 
     /// Re-provisions replication at `replication` copies per group,

@@ -21,6 +21,16 @@
 //!   over a threshold ([`Obs::record_slow`] / [`Obs::slow_queries`]).
 //! * **Bench reports** — [`report::BenchReport`] is the one JSON schema
 //!   every `BENCH_*.json` file shares (`schema_version` stamped).
+//! * **Telemetry history** — [`timeseries::Recorder`] samples the
+//!   registry on a tick into a bounded ring and serves windowed
+//!   aggregates: reset-aware counter deltas, rates, and p50/p99
+//!   reconstructed from histogram-bucket deltas.
+//! * **SLOs** — [`slo::SloEngine`] evaluates declarative objectives
+//!   with fast/slow multi-window burn rates into typed
+//!   Ok→Warn→Page [`AlertState`] transitions, exported as metrics.
+//! * **Flight recorder** — a bounded [`FlightEvent`] ring fed from the
+//!   system's choke points ([`Obs::record_event`]), snapshotted into
+//!   incident reports when an SLO pages or the gate starts shedding.
 //!
 //! The whole crate is infallible by construction: a disabled [`Obs`] is
 //! a `None` behind one pointer, every recording call on it is a no-op,
@@ -29,12 +39,19 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod flight;
 mod metrics;
 pub mod report;
+pub mod slo;
 mod span;
+pub mod timeseries;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, NoopClock};
+pub use flight::FlightEvent;
 pub use metrics::{
-    Counter, Gauge, Histogram, Registry, DEFAULT_TIME_BUCKETS, WORK_BUCKETS,
+    Counter, FamilyMeta, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry,
+    DEFAULT_TIME_BUCKETS, WORK_BUCKETS,
 };
+pub use slo::{AlertState, SloEngine, SloSignal, SloSpec, SloStatus, SloTransition};
 pub use span::{Obs, Outcome, SlowEntry, Span, TraceNode};
+pub use timeseries::{Recorder, TickSample};

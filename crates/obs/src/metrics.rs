@@ -163,6 +163,61 @@ impl Histogram {
             .map(|c| c.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Point-in-time structured snapshot: per-bucket (non-cumulative)
+    /// counts, the +Inf bucket last, plus sum and count. This is what
+    /// the time-series recorder diffs to reconstruct windowed
+    /// quantiles ([`crate::timeseries`]).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.inner.bounds.to_vec(),
+            buckets: self.bucket_counts(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+}
+
+/// A self-contained copy of one histogram series at one instant.
+/// `buckets` are **non-cumulative** per-bucket counts with the +Inf
+/// bucket last (`buckets.len() == bounds.len() + 1`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (not cumulative), +Inf last.
+    pub buckets: Vec<u64>,
+    /// Sum of all observations, in the bound unit.
+    pub sum: f64,
+    /// Total observation count.
+    pub count: u64,
+}
+
+/// A structured point-in-time copy of every series in a [`Registry`],
+/// keyed exactly like [`Registry::render_json`]: `name` for unlabelled
+/// series, `name{key="value"}` for labelled ones.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by series key.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by series key.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by series key.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// Registration-time metadata of one metric family, for hygiene
+/// audits: the self-test over naming conventions and help text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilyMeta {
+    /// Family name (`ir_queries_total`, `obs_span_seconds`, …).
+    pub name: &'static str,
+    /// Help text given at first registration.
+    pub help: &'static str,
+    /// `"counter"`, `"gauge"` or `"histogram"`.
+    pub kind: &'static str,
+    /// The label key, for labelled families.
+    pub label_key: Option<&'static str>,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -239,9 +294,24 @@ impl Registry {
             label_key: label.map(|(k, _)| k),
             series: BTreeMap::new(),
         });
-        debug_assert_eq!(
-            family.kind, kind,
-            "metric `{name}` registered under two kinds"
+        // Re-fetching an existing family with the same shape is the
+        // normal handle-sharing idiom; re-registering the *name* with a
+        // different shape is a bug that would silently cross wires, so
+        // it fails loudly (registry hygiene contract).
+        assert!(
+            family.kind == kind,
+            "metric family `{name}` is already registered as a {}; \
+             refusing duplicate registration as a {}",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        let label_key = label.map(|(k, _)| k);
+        assert!(
+            family.label_key == label_key,
+            "metric family `{name}` is already registered with label key {:?}; \
+             refusing duplicate registration with label key {:?}",
+            family.label_key,
+            label_key
         );
         let key = label.map(|(_, v)| v.to_owned()).unwrap_or_default();
         family.series.entry(key).or_insert_with(make).clone()
@@ -309,7 +379,10 @@ impl Registry {
         match self.series(name, help, Kind::Histogram, None, || {
             Series::Histogram(Histogram::with_bounds(bounds))
         }) {
-            Series::Histogram(h) => h,
+            Series::Histogram(h) => {
+                assert_bounds(name, &h, bounds);
+                h
+            }
             _ => Histogram::detached(),
         }
     }
@@ -330,7 +403,10 @@ impl Registry {
             Some((label_key, label)),
             || Series::Histogram(Histogram::with_bounds(bounds)),
         ) {
-            Series::Histogram(h) => h,
+            Series::Histogram(h) => {
+                assert_bounds(name, &h, bounds);
+                h
+            }
             _ => Histogram::detached(),
         }
     }
@@ -338,6 +414,51 @@ impl Registry {
     /// Every registered family name, sorted.
     pub fn family_names(&self) -> Vec<&'static str> {
         self.lock().families.keys().copied().collect()
+    }
+
+    /// Registration metadata of every family (name, help, kind, label
+    /// key), sorted by name — the input to registry hygiene audits.
+    pub fn family_metas(&self) -> Vec<FamilyMeta> {
+        self.lock()
+            .families
+            .iter()
+            .map(|(name, family)| FamilyMeta {
+                name,
+                help: family.help,
+                kind: family.kind.as_str(),
+                label_key: family.label_key,
+            })
+            .collect()
+    }
+
+    /// A structured point-in-time copy of every series: counters and
+    /// gauges by value, histograms with per-bucket counts. One pass
+    /// under the registration lock reading relaxed atomics — cheap
+    /// enough for a periodic sampler tick, and the returned value is
+    /// fully detached from the live registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        let mut snap = MetricsSnapshot::default();
+        for (name, family) in &inner.families {
+            for (label_value, series) in &family.series {
+                let key = match family.label_key {
+                    Some(k) => format!("{name}{{{k}=\"{label_value}\"}}"),
+                    None => (*name).to_owned(),
+                };
+                match series {
+                    Series::Counter(c) => {
+                        snap.counters.insert(key, c.get());
+                    }
+                    Series::Gauge(g) => {
+                        snap.gauges.insert(key, g.get());
+                    }
+                    Series::Histogram(h) => {
+                        snap.histograms.insert(key, h.snapshot());
+                    }
+                }
+            }
+        }
+        snap
     }
 
     /// Prometheus-style text exposition: `# HELP` / `# TYPE` headers
@@ -406,6 +527,18 @@ impl Registry {
         }
         Json::Obj(entries)
     }
+}
+
+/// Re-registering a histogram family must keep its bucket layout:
+/// silently returning a handle with *different* bounds would make the
+/// recorded distribution unreadable.
+fn assert_bounds(name: &str, h: &Histogram, bounds: &'static [f64]) {
+    assert!(
+        h.inner.bounds == bounds,
+        "histogram family `{name}` is already registered with buckets {:?}; \
+         refusing duplicate registration with buckets {bounds:?}",
+        h.inner.bounds
+    );
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -496,6 +629,67 @@ mod tests {
         for n in names {
             assert!(text.contains(&format!("# TYPE {n} ")), "{n} missing");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn duplicate_registration_under_another_kind_panics() {
+        let r = Registry::new();
+        r.counter("dup_total", "first");
+        r.gauge("dup_total", "second");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered with label key")]
+    fn duplicate_registration_with_another_label_key_panics() {
+        let r = Registry::new();
+        r.labeled_counter("dup_l_total", "first", "shard", "0");
+        r.counter("dup_l_total", "second");
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing duplicate registration with buckets")]
+    fn duplicate_histogram_with_other_buckets_panics() {
+        let r = Registry::new();
+        r.histogram("dup_seconds", "first", DEFAULT_TIME_BUCKETS);
+        r.histogram("dup_seconds", "second", WORK_BUCKETS);
+    }
+
+    #[test]
+    fn family_metas_expose_help_kind_and_label_key() {
+        let r = Registry::new();
+        r.counter("a_total", "counts a");
+        r.labeled_gauge("b_now", "gauges b", "shard", "0");
+        let metas = r.family_metas();
+        assert_eq!(metas.len(), 2);
+        assert_eq!(metas[0].name, "a_total");
+        assert_eq!(metas[0].kind, "counter");
+        assert_eq!(metas[0].help, "counts a");
+        assert_eq!(metas[0].label_key, None);
+        assert_eq!(metas[1].kind, "gauge");
+        assert_eq!(metas[1].label_key, Some("shard"));
+    }
+
+    #[test]
+    fn snapshot_copies_every_series_with_bucket_counts() {
+        let r = Registry::new();
+        r.counter("c_total", "c").add(3);
+        r.labeled_gauge("g_now", "g", "k", "v").set(-7);
+        let h = r.histogram("h_seconds", "h", &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(9.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters.get("c_total"), Some(&3));
+        assert_eq!(snap.gauges.get("g_now{k=\"v\"}"), Some(&-7));
+        let hs = snap.histograms.get("h_seconds").unwrap();
+        assert_eq!(hs.bounds, vec![0.1, 1.0]);
+        assert_eq!(hs.buckets, vec![1, 1, 1]);
+        assert_eq!(hs.count, 3);
+        assert!((hs.sum - 9.55).abs() < 1e-6);
+        // The snapshot is detached: further observations do not move it.
+        h.observe(0.5);
+        assert_eq!(hs.count, 3);
     }
 
     #[test]

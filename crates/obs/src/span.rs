@@ -8,10 +8,12 @@
 //! ([`Obs::begin_trace`] … [`Obs::take_trace`]).
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::clock::{Clock, MonotonicClock};
-use crate::metrics::{Registry, DEFAULT_TIME_BUCKETS};
+use crate::flight::{FlightEvent, FlightRing};
+use crate::metrics::{Histogram, Registry, DEFAULT_TIME_BUCKETS};
 
 /// How a span (phase) ended.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -118,15 +120,28 @@ pub struct SlowEntry {
     pub label: String,
     /// Root elapsed in nanoseconds.
     pub total_ns: u64,
+    /// Arrival order (monotonic across all offers ever accepted);
+    /// breaks total_ns ties so eviction is deterministic.
+    pub seq: u64,
     /// The full trace tree.
     pub trace: TraceNode,
 }
 
 /// In-progress bookkeeping for one span on the trace stack.
-#[derive(Default)]
 struct Pending {
     notes: Vec<String>,
     children: Vec<TraceNode>,
+}
+
+impl Pending {
+    fn new() -> Pending {
+        Pending {
+            notes: Vec::new(),
+            // Most spans have a handful of children (shards, phases);
+            // pre-size so the common case never reallocates.
+            children: Vec::with_capacity(4),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -139,6 +154,7 @@ struct TraceState {
 struct SlowLog {
     threshold_ns: u64,
     capacity: usize,
+    next_seq: u64,
     entries: Vec<SlowEntry>,
 }
 
@@ -148,6 +164,7 @@ impl Default for SlowLog {
             // 10ms default threshold; tune with `set_slow_threshold_ns`.
             threshold_ns: 10_000_000,
             capacity: 16,
+            next_seq: 0,
             entries: Vec::new(),
         }
     }
@@ -156,8 +173,36 @@ impl Default for SlowLog {
 struct ObsInner {
     clock: Box<dyn Clock>,
     registry: Registry,
+    /// Mirrors `trace.collecting`; lets the span hot path skip the
+    /// trace mutex entirely when no trace is being assembled.
+    collecting: AtomicBool,
     trace: Mutex<TraceState>,
     slow: Mutex<SlowLog>,
+    /// Cached `obs_span_seconds{span=…}` handles, keyed by the
+    /// `&'static str` span name, so closing a span is one atomic
+    /// observe instead of a label-format + registry lookup per drop.
+    span_hists: Mutex<Vec<(&'static str, Histogram)>>,
+    flight: Mutex<FlightRing>,
+}
+
+impl ObsInner {
+    /// The cached histogram for a span name (small linear scan — the
+    /// system has ~a dozen distinct span names, all `'static`).
+    fn span_histogram(&self, name: &'static str) -> Histogram {
+        let mut cache = lock(&self.span_hists);
+        if let Some((_, h)) = cache.iter().find(|(n, _)| std::ptr::eq(*n, name) || *n == name) {
+            return h.clone();
+        }
+        let h = self.registry.labeled_histogram(
+            "obs_span_seconds",
+            "Wall time per span",
+            DEFAULT_TIME_BUCKETS,
+            "span",
+            name,
+        );
+        cache.push((name, h.clone()));
+        h
+    }
 }
 
 /// The observability handle. Cheap to clone; `Obs::disabled()` is a
@@ -199,8 +244,11 @@ impl Obs {
             inner: Some(Arc::new(ObsInner {
                 clock,
                 registry: Registry::new(),
+                collecting: AtomicBool::new(false),
                 trace: Mutex::new(TraceState::default()),
                 slow: Mutex::new(SlowLog::default()),
+                span_hists: Mutex::new(Vec::new()),
+                flight: Mutex::new(FlightRing::default()),
             })),
         }
     }
@@ -223,14 +271,18 @@ impl Obs {
             return Span { state: None };
         };
         let start_ns = inner.clock.now_ns();
-        let pushed = {
+        // The atomic mirror lets untraced spans (the steady-state hot
+        // path) skip the trace mutex entirely.
+        let pushed = if inner.collecting.load(Ordering::Relaxed) {
             let mut trace = lock(&inner.trace);
             if trace.collecting {
-                trace.stack.push(Pending::default());
+                trace.stack.push(Pending::new());
                 true
             } else {
                 false
             }
+        } else {
+            false
         };
         Span {
             state: Some(SpanState {
@@ -252,6 +304,7 @@ impl Obs {
             trace.collecting = true;
             trace.stack.clear();
             trace.roots.clear();
+            inner.collecting.store(true, Ordering::Relaxed);
         }
     }
 
@@ -262,6 +315,7 @@ impl Obs {
         let inner = self.inner.as_ref()?;
         let mut trace = lock(&inner.trace);
         trace.collecting = false;
+        inner.collecting.store(false, Ordering::Relaxed);
         trace.stack.clear();
         let mut roots = std::mem::take(&mut trace.roots);
         match roots.len() {
@@ -290,6 +344,9 @@ impl Obs {
         let Some(inner) = self.inner.as_ref() else {
             return;
         };
+        if !inner.collecting.load(Ordering::Relaxed) {
+            return;
+        }
         let mut trace = lock(&inner.trace);
         if !trace.collecting {
             return;
@@ -315,6 +372,9 @@ impl Obs {
         let Some(inner) = self.inner.as_ref() else {
             return;
         };
+        if !inner.collecting.load(Ordering::Relaxed) {
+            return;
+        }
         let mut trace = lock(&inner.trace);
         if !trace.collecting {
             return;
@@ -348,19 +408,30 @@ impl Obs {
         let Some(inner) = self.inner.as_ref() else {
             return;
         };
-        let mut slow = lock(&inner.slow);
-        if trace.elapsed_ns < slow.threshold_ns || slow.capacity == 0 {
-            return;
+        let label = label.into();
+        {
+            let mut slow = lock(&inner.slow);
+            if trace.elapsed_ns < slow.threshold_ns || slow.capacity == 0 {
+                return;
+            }
+            slow.next_seq += 1;
+            let seq = slow.next_seq;
+            slow.entries.push(SlowEntry {
+                label: label.clone(),
+                total_ns: trace.elapsed_ns,
+                seq,
+                trace: trace.clone(),
+            });
+            // Slowest first; the arrival seq breaks wall-time ties so
+            // eviction under equal times is deterministic (earliest
+            // arrivals survive).
+            slow.entries
+                .sort_by_key(|e| (std::cmp::Reverse(e.total_ns), e.seq));
+            let cap = slow.capacity;
+            slow.entries.truncate(cap);
         }
-        slow.entries.push(SlowEntry {
-            label: label.into(),
-            total_ns: trace.elapsed_ns,
-            trace: trace.clone(),
-        });
-        // Slowest first; stable so equal-time entries keep arrival order.
-        slow.entries.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
-        let cap = slow.capacity;
-        slow.entries.truncate(cap);
+        let elapsed_ns = trace.elapsed_ns;
+        self.record_event("slow_query", || format!("{label} total_ns={elapsed_ns}"));
     }
 
     /// Snapshot of the slow-query log, slowest first.
@@ -368,6 +439,48 @@ impl Obs {
         match self.inner.as_ref() {
             Some(inner) => lock(&inner.slow).entries.clone(),
             None => Vec::new(),
+        }
+    }
+
+    /// Appends an event to the flight recorder. The detail closure
+    /// runs only on an enabled handle, so disabled runs pay nothing.
+    pub fn record_event(&self, kind: &'static str, detail: impl FnOnce() -> String) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let at_ns = inner.clock.now_ns();
+        let detail = detail();
+        lock(&inner.flight).push(at_ns, kind, detail);
+    }
+
+    /// Snapshot of the flight-recorder ring, oldest first.
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        match self.inner.as_ref() {
+            Some(inner) => lock(&inner.flight).snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total events ever recorded (including ones the ring evicted).
+    pub fn flight_total_recorded(&self) -> u64 {
+        match self.inner.as_ref() {
+            Some(inner) => lock(&inner.flight).total_recorded(),
+            None => 0,
+        }
+    }
+
+    /// Resizes the flight-recorder ring (default 256 events).
+    pub fn set_flight_capacity(&self, cap: usize) {
+        if let Some(inner) = self.inner.as_ref() {
+            lock(&inner.flight).set_capacity(cap);
+        }
+    }
+
+    /// The injected clock's current reading (0 when disabled).
+    pub fn now_ns(&self) -> u64 {
+        match self.inner.as_ref() {
+            Some(inner) => inner.clock.now_ns(),
+            None => 0,
         }
     }
 }
@@ -420,16 +533,7 @@ impl Drop for Span {
         };
         let end_ns = s.obs.clock.now_ns();
         let elapsed_ns = end_ns.saturating_sub(s.start_ns);
-        s.obs
-            .registry
-            .labeled_histogram(
-                "obs_span_seconds",
-                "Wall time per span",
-                DEFAULT_TIME_BUCKETS,
-                "span",
-                s.name,
-            )
-            .observe_ns(elapsed_ns);
+        s.obs.span_histogram(s.name).observe_ns(elapsed_ns);
         if s.outcome != Outcome::Ok {
             s.obs
                 .registry
@@ -578,6 +682,91 @@ mod tests {
         assert_eq!(slow.len(), 2);
         assert_eq!(slow[0].label, "b");
         assert_eq!(slow[1].label, "c");
+    }
+
+    #[test]
+    fn slow_log_breaks_ties_by_arrival_order() {
+        let (obs, _clock) = manual();
+        obs.set_slow_threshold_ns(100);
+        obs.set_slow_capacity(2);
+        let node = |ns: u64| TraceNode {
+            name: "query".to_owned(),
+            elapsed_ns: ns,
+            work: 0,
+            outcome: Outcome::Ok,
+            notes: Vec::new(),
+            children: Vec::new(),
+        };
+        obs.offer_slow("first", &node(300));
+        obs.offer_slow("second", &node(300));
+        obs.offer_slow("third", &node(300));
+        let slow = obs.slow_queries();
+        assert_eq!(slow.len(), 2);
+        // All equal: the earliest arrivals survive, in arrival order.
+        assert_eq!(slow[0].label, "first");
+        assert_eq!(slow[1].label, "second");
+        assert!(slow[0].seq < slow[1].seq);
+        // A genuinely slower trace still wins over the tie group.
+        obs.offer_slow("slowest", &node(500));
+        let slow = obs.slow_queries();
+        assert_eq!(slow[0].label, "slowest");
+        assert_eq!(slow[1].label, "first");
+    }
+
+    #[test]
+    fn retained_slow_queries_leave_a_flight_event() {
+        let (obs, _clock) = manual();
+        obs.set_slow_threshold_ns(100);
+        let node = |ns: u64| TraceNode {
+            name: "query".to_owned(),
+            elapsed_ns: ns,
+            work: 0,
+            outcome: Outcome::Ok,
+            notes: Vec::new(),
+            children: Vec::new(),
+        };
+        obs.offer_slow("fast", &node(50)); // below threshold: no event
+        obs.offer_slow("slow", &node(250));
+        let events = obs.flight_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "slow_query");
+        assert!(events[0].detail.contains("slow"), "{}", events[0].detail);
+        assert!(events[0].detail.contains("total_ns=250"), "{}", events[0].detail);
+    }
+
+    #[test]
+    fn flight_recorder_is_bounded_and_inert_when_disabled() {
+        let disabled = Obs::disabled();
+        disabled.record_event("test", || unreachable!("closure must not run"));
+        assert!(disabled.flight_events().is_empty());
+        assert_eq!(disabled.now_ns(), 0);
+
+        let (obs, clock) = manual();
+        obs.set_flight_capacity(3);
+        clock.advance_ns(5);
+        for i in 0..5u32 {
+            obs.record_event("admission", move || format!("step={i}"));
+        }
+        let events = obs.flight_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].detail, "step=2");
+        assert_eq!(events[2].detail, "step=4");
+        assert_eq!(events[2].seq, 5);
+        assert_eq!(events[2].at_ns, 5);
+        assert_eq!(obs.flight_total_recorded(), 5);
+    }
+
+    #[test]
+    fn untraced_spans_skip_the_trace_stack_but_feed_metrics() {
+        let (obs, clock) = manual();
+        {
+            let _s = obs.span("query");
+            clock.advance_ns(42);
+        }
+        // No begin_trace: nothing pending, nothing collected.
+        assert!(obs.take_trace().is_none());
+        let text = obs.registry().unwrap().render_text();
+        assert!(text.contains("obs_span_seconds_count{span=\"query\"} 1"), "{text}");
     }
 
     #[test]

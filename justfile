@@ -17,6 +17,7 @@ verify:
     just scale-smoke
     just maintenance-smoke
     just control-smoke
+    just slo-smoke
 
 # Crash-point recovery: the durability harness (WAL + snapshot fault
 # sweeps) plus a smoke pass of the E13 recovery bench.
@@ -70,6 +71,14 @@ control-smoke:
     cargo test --offline -q -p dlsearch --test control_plane
     BENCH_SMOKE=1 cargo bench --offline -p bench --bench control
 
+# SLO burn rates & the flight recorder: the telemetry suite (ticking
+# byte-identity, a fault-injected latency storm paging the fast window
+# and dumping an incident, the windowed-p99 control loop) plus a smoke
+# pass of the E20 bench.
+slo-smoke:
+    cargo test --offline -q -p dlsearch --test slo
+    BENCH_SMOKE=1 cargo bench --offline -p bench --bench slo
+
 build:
     cargo build --offline
 
@@ -83,8 +92,9 @@ clippy:
 # (recovery), E14 (overload), E15 (observability overhead), E16
 # (distribution: scaling, failover, rebalance), E17 (scale +
 # compression), E18 (online maintenance), E19 (control plane:
-# read-scaling + re-replication). Full runs refresh the BENCH_*.json
-# artifacts in-repo; all emit the shared schema_version=1 envelope.
+# read-scaling + re-replication), E20 (SLO burn rates + incident
+# dumps). Full runs refresh the BENCH_*.json artifacts in-repo; all
+# emit the shared schema_version=1 envelope.
 bench:
     cargo bench --offline -p bench --bench ingest
     cargo bench --offline -p bench --bench query_cache
@@ -95,6 +105,7 @@ bench:
     cargo bench --offline -p bench --bench scale
     cargo bench --offline -p bench --bench online_maintenance
     cargo bench --offline -p bench --bench control
+    cargo bench --offline -p bench --bench slo
 
 # The flagship scenario, healthy and under injected faults.
 demo:

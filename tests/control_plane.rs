@@ -380,3 +380,46 @@ fn round_robin_read_scaling_answers_exactly_and_explains_the_route() {
     let explain = scaled.explain(&q);
     assert!(explain.contains("READ-ROUTE: round-robin read-scaling"), "{explain}");
 }
+
+/// With a telemetry layer attached the control plane swaps the
+/// instantaneous shard p99 for the recorder's windowed one — and every
+/// *other* trigger keeps working: the document-threshold split fires
+/// exactly as without telemetry (an empty latency window must never
+/// veto or distort a doc-driven decision), answers unchanged.
+#[test]
+fn doc_threshold_splits_survive_the_windowed_p99_override() {
+    let site = Arc::new(Site::generate(spec()));
+    let mut engine = Engine::new(config(&site, 2, 0, false)).unwrap();
+    let o = obs::Obs::enabled();
+    engine.set_obs(&o);
+    engine.populate(&crawl(&site)).unwrap();
+    let q = qlang::parse(TEXT_QUERY).unwrap();
+    let before = engine.query(&q).unwrap();
+
+    let svc = QueryService::new(engine);
+    let mut telemetry = dlsearch::Telemetry::new(&o, dlsearch::TelemetryConfig::default());
+    let mut plane = ControlPlane::new(
+        ControlConfig {
+            split_docs_per_shard: 1, // every shard is "hot" by size
+            merge_docs_per_shard: 0,
+            cooldown_ticks: 0,
+            max_servers: 3,
+            ..ControlConfig::default()
+        },
+        None,
+    );
+    plane.set_telemetry(&telemetry);
+
+    // The recorder holds samples but no parallel-query latency yet: the
+    // windowed p99 is None, the instantaneous view stands, and the
+    // doc-threshold trigger decides.
+    telemetry.tick(&svc).unwrap();
+    telemetry.tick(&svc).unwrap();
+    match plane.tick(&svc).unwrap() {
+        ControlOutcome::Acted(d) => assert!(d.starts_with("split"), "{d}"),
+        other => panic!("expected the doc-threshold split, got {other:?}"),
+    }
+    assert_eq!(svc.engine().text_index().servers(), 3);
+    svc.engine().invalidate_query_cache();
+    assert_eq!(svc.engine().query(&q).unwrap(), before);
+}

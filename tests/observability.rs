@@ -297,3 +297,125 @@ fn brownout_answers_are_counted_and_marked() {
     let reg = o.registry().unwrap();
     assert_eq!(reg.counter("engine_degraded_answers_total", "").get(), 1);
 }
+
+/// Satellite: slow-ring eviction under equal wall times is
+/// deterministic — stable by arrival order, earliest survive.
+#[test]
+fn slow_ring_tie_eviction_is_stable_by_arrival() {
+    let o = Obs::with_clock(Box::new(obs::NoopClock));
+    o.set_slow_threshold_ns(100);
+    o.set_slow_capacity(2);
+    let node = |ns: u64| TraceNode {
+        name: "engine.query".to_owned(),
+        elapsed_ns: ns,
+        work: 0,
+        outcome: obs::Outcome::Ok,
+        notes: Vec::new(),
+        children: Vec::new(),
+    };
+    // Three offers with identical wall time: the first two arrivals
+    // stay, the third is refused — every time.
+    o.offer_slow("first", &node(500));
+    o.offer_slow("second", &node(500));
+    o.offer_slow("third", &node(500));
+    let slow = o.slow_queries();
+    assert_eq!(slow.len(), 2);
+    assert_eq!(slow[0].label, "first");
+    assert_eq!(slow[1].label, "second");
+    assert!(slow[0].seq < slow[1].seq, "seq must follow arrival order");
+    // A strictly slower trace still preempts the tie group…
+    o.offer_slow("slowest", &node(900));
+    let slow = o.slow_queries();
+    assert_eq!(
+        slow.iter().map(|e| e.label.as_str()).collect::<Vec<_>>(),
+        vec!["slowest", "first"]
+    );
+    // …and a strictly faster one (above threshold) is refused.
+    o.offer_slow("faster", &node(200));
+    let slow = o.slow_queries();
+    assert_eq!(
+        slow.iter().map(|e| e.label.as_str()).collect::<Vec<_>>(),
+        vec!["slowest", "first"]
+    );
+}
+
+/// Satellite: registry hygiene over a fully-exercised engine — every
+/// family carries help text and follows the naming convention
+/// (`<crate>_<noun>…` with counters ending `_total` and histograms
+/// ending in a unit).
+#[test]
+fn registry_hygiene_help_and_naming_convention() {
+    use dlsearch::{QueryService, Telemetry, TelemetryConfig};
+
+    let site = site();
+    let mut engine = Engine::new(sharded_config(&site, 3)).unwrap();
+    let o = Obs::enabled();
+    engine.set_obs(&o);
+    engine.populate(&crawl(&site)).unwrap();
+    let dir = tmp("hygiene");
+    engine.persist_to(&dir).unwrap();
+    let query = qlang::parse(FIGURE13).unwrap();
+    engine.query(&query).unwrap();
+    engine.query(&query).unwrap();
+    // Register the telemetry-layer families too.
+    let svc = QueryService::new(engine);
+    let mut telemetry = Telemetry::new(&o, TelemetryConfig::default());
+    telemetry.tick(&svc).unwrap();
+
+    let metas = o.registry().unwrap().family_metas();
+    assert!(metas.len() >= 30, "expected a broad registry, got {}", metas.len());
+    const PREFIXES: &[&str] = &[
+        "engine", "admission", "webspace", "monetxml", "monet", "ir", "acoi", "faults", "obs",
+    ];
+    for meta in &metas {
+        assert!(
+            !meta.help.trim().is_empty(),
+            "family `{}` has empty help text",
+            meta.name
+        );
+        assert!(
+            meta.name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+            "family `{}` is not lower_snake_case",
+            meta.name
+        );
+        let segments: Vec<&str> = meta.name.split('_').collect();
+        assert!(
+            segments.len() >= 2 && segments.iter().all(|s| !s.is_empty()),
+            "family `{}` must be `<crate>_<noun>[_<unit|total>]`",
+            meta.name
+        );
+        assert!(
+            PREFIXES.contains(&segments[0]),
+            "family `{}` has unknown crate prefix `{}`",
+            meta.name,
+            segments[0]
+        );
+        match meta.kind {
+            "counter" => assert!(
+                meta.name.ends_with("_total"),
+                "counter `{}` must end in `_total`",
+                meta.name
+            ),
+            "histogram" => assert!(
+                meta.name.ends_with("_seconds") || meta.name.ends_with("_bytes"),
+                "histogram `{}` must end in a unit (`_seconds`/`_bytes`)",
+                meta.name
+            ),
+            _ => {}
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Satellite: re-registering a family name as a different kind panics
+/// with a message naming the family and both kinds.
+#[test]
+#[should_panic(expected = "already registered as a counter")]
+fn duplicate_family_registration_panics_clearly() {
+    let o = Obs::enabled();
+    let reg = o.registry().unwrap();
+    reg.counter("engine_queries_total", "queries");
+    reg.gauge("engine_queries_total", "not a counter");
+}
